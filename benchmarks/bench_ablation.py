@@ -1,0 +1,367 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+A1 — value of pair equations: the correlation algorithm with Eq.-10 rows
+     versus single-path rows only.
+A2 — solver choice under rank deficiency: L1 LP vs bounded least squares.
+A3 — snapshot budget: estimator convergence of the final error.
+A4 — theorem algorithm vs practical algorithm on a small exact instance.
+A5 — probe budget: how many packets per path per snapshot the verdicts
+     need before algorithm error, not probing noise, dominates.
+A6 — the tomographer protocol (paper "Ongoing Work"): indirect
+     validation of the uncorrelated vs correlated variants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import record
+from repro.core import (
+    AlgorithmOptions,
+    TheoremAlgorithm,
+    infer_congestion,
+)
+from repro.eval import make_clustered_scenario, potentially_congested_links
+from repro.simulate import (
+    ExactPathStateDistribution,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.utils.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def ablation_setup(planetlab_instance):
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=400
+    )
+    run = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=1200, packets_per_path=800),
+        seed=401,
+    )
+    truth = scenario.truth_model.link_marginals()
+    scored = potentially_congested_links(
+        planetlab_instance.topology, run.observations
+    )
+    return planetlab_instance, scenario, run, truth, scored
+
+
+def _mean_error(instance, scenario, run, truth, scored, options):
+    result = infer_congestion(
+        instance.topology,
+        scenario.algorithm_correlation,
+        run.observations,
+        options=options,
+    )
+    errors = np.abs(result.congestion_probabilities - truth)[scored]
+    return float(errors.mean()), result
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a1_pair_equations(benchmark, ablation_setup, out_dir):
+    """A1: how much accuracy do the Eq.-10 pair rows buy?"""
+    instance, scenario, run, truth, scored = ablation_setup
+
+    def run_with_pairs():
+        return _mean_error(
+            instance, scenario, run, truth, scored, AlgorithmOptions()
+        )
+
+    with_pairs, with_result = benchmark.pedantic(
+        run_with_pairs, rounds=1, iterations=1
+    )
+    without_pairs, without_result = _mean_error(
+        instance,
+        scenario,
+        run,
+        truth,
+        scored,
+        AlgorithmOptions(max_pair_candidates=0),
+    )
+    record(
+        out_dir,
+        "ablation_a1_pairs",
+        format_table(
+            ["variant", "mean err", "rank", "N2"],
+            [
+                [
+                    "with pair equations",
+                    with_pairs,
+                    with_result.rank,
+                    with_result.n_pair_equations,
+                ],
+                [
+                    "single-path only",
+                    without_pairs,
+                    without_result.rank,
+                    0,
+                ],
+            ],
+            title="A1: contribution of Eq.-10 pair equations",
+        ),
+    )
+    assert with_result.rank >= without_result.rank
+    assert with_pairs <= without_pairs + 0.01
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a2_solver_choice(benchmark, ablation_setup, out_dir):
+    """A2: L1 (paper) vs bounded least squares under rank deficiency."""
+    instance, scenario, run, truth, scored = ablation_setup
+
+    def run_l1():
+        return _mean_error(
+            instance,
+            scenario,
+            run,
+            truth,
+            scored,
+            AlgorithmOptions(solver="l1"),
+        )
+
+    l1_error, _ = benchmark.pedantic(run_l1, rounds=1, iterations=1)
+    ls_error, _ = _mean_error(
+        instance,
+        scenario,
+        run,
+        truth,
+        scored,
+        AlgorithmOptions(solver="least_squares"),
+    )
+    record(
+        out_dir,
+        "ablation_a2_solver",
+        format_table(
+            ["solver", "mean err"],
+            [["l1 (paper)", l1_error], ["least_squares", ls_error]],
+            title="A2: solver choice for the correlation algorithm",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a3_snapshot_budget(
+    benchmark, planetlab_instance, out_dir
+):
+    """A3: error vs number of snapshots (estimator convergence)."""
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=402
+    )
+    truth = scenario.truth_model.link_marginals()
+    budgets = (150, 400, 1000, 2500)
+
+    def measure(n_snapshots: int) -> float:
+        run = run_experiment(
+            planetlab_instance.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=n_snapshots, packets_per_path=800
+            ),
+            seed=403,
+        )
+        scored = potentially_congested_links(
+            planetlab_instance.topology, run.observations
+        )
+        result = infer_congestion(
+            planetlab_instance.topology,
+            scenario.algorithm_correlation,
+            run.observations,
+        )
+        errors = np.abs(result.congestion_probabilities - truth)[scored]
+        return float(errors.mean())
+
+    def sweep():
+        return [measure(n) for n in budgets]
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "ablation_a3_snapshots",
+        format_table(
+            ["snapshots", "mean err"],
+            [[n, e] for n, e in zip(budgets, errors)],
+            title="A3: estimator convergence with the snapshot budget",
+        ),
+    )
+    assert errors[-1] <= errors[0] + 0.01
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a5_probe_budget(benchmark, planetlab_instance, out_dir):
+    """A5: packets per path per snapshot vs final error."""
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=404
+    )
+    truth = scenario.truth_model.link_marginals()
+    budgets = (50, 200, 800, None)  # None = infinite-traffic limit
+
+    def measure(packets) -> float:
+        run = run_experiment(
+            planetlab_instance.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=800, packets_per_path=packets
+            ),
+            seed=405,
+        )
+        scored = potentially_congested_links(
+            planetlab_instance.topology, run.observations
+        )
+        result = infer_congestion(
+            planetlab_instance.topology,
+            scenario.algorithm_correlation,
+            run.observations,
+        )
+        errors = np.abs(result.congestion_probabilities - truth)[scored]
+        return float(errors.mean())
+
+    def sweep():
+        return [measure(p) for p in budgets]
+
+    errors = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "ablation_a5_probes",
+        format_table(
+            ["packets/path", "mean err"],
+            [
+                [("inf" if p is None else p), e]
+                for p, e in zip(budgets, errors)
+            ],
+            title="A5: probing budget vs final error",
+        ),
+    )
+    assert errors[-1] <= errors[0] + 0.02
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a6_tomographer_protocol(
+    benchmark, planetlab_instance, out_dir
+):
+    """A6: the paper's planned PlanetLab-tomographer comparison."""
+    from repro.eval import run_tomographer
+
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=406
+    )
+    training = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=1000, packets_per_path=800),
+        seed=407,
+    )
+    holdout = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=600, packets_per_path=800),
+        seed=408,
+    )
+
+    def run():
+        return run_tomographer(
+            planetlab_instance.topology,
+            planetlab_instance.correlation,
+            training.observations,
+            holdout.observations,
+        )
+
+    comparison = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "ablation_a6_tomographer",
+        format_table(
+            ["variant", "mean path err", "mean err (corr-free paths)"],
+            [
+                [
+                    "(i) uncorrelated",
+                    comparison.uncorrelated_validation.mean_error,
+                    comparison.uncorrelated_validation.mean_error_correlation_free,
+                ],
+                [
+                    "(ii) correlated",
+                    comparison.correlated_validation.mean_error,
+                    comparison.correlated_validation.mean_error_correlation_free,
+                ],
+            ],
+            title=(
+                "A6: tomographer indirect validation "
+                "(paper 'Ongoing Work')"
+            ),
+        ),
+    )
+    assert comparison.correlated_wins
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a4_theorem_vs_practical(benchmark, out_dir):
+    """A4: the exact (exponential) theorem algorithm against the
+    practical algorithm on the Figure-1(a) instance with oracle input."""
+    from repro.model import (
+        ExplicitJointModel,
+        IndependentModel,
+        NetworkCongestionModel,
+    )
+    from repro.topogen import fig_1a
+
+    instance = fig_1a()
+    topology = instance.topology
+    e1, e2, e3, e4 = (
+        topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+    )
+    model = NetworkCongestionModel(
+        instance.correlation,
+        [
+            ExplicitJointModel(
+                frozenset({e1, e2}),
+                {
+                    frozenset({e1}): 0.05,
+                    frozenset({e2}): 0.05,
+                    frozenset({e1, e2}): 0.20,
+                },
+            ),
+            IndependentModel({e3: 0.3}),
+            IndependentModel({e4: 0.15}),
+        ],
+    )
+    oracle = ExactPathStateDistribution.from_model(topology, model)
+    truth = model.link_marginals()
+
+    def run_theorem():
+        return TheoremAlgorithm(
+            topology, instance.correlation
+        ).identify(oracle)
+
+    theorem_result = benchmark.pedantic(
+        run_theorem, rounds=3, iterations=1
+    )
+    practical_result = infer_congestion(
+        topology, instance.correlation, oracle
+    )
+    theorem_errors = [
+        abs(theorem_result.link_marginals[k] - truth[k])
+        for k in range(topology.n_links)
+    ]
+    practical_errors = np.abs(
+        practical_result.congestion_probabilities - truth
+    )
+    record(
+        out_dir,
+        "ablation_a4_theorem",
+        format_table(
+            ["algorithm", "max err", "recovers joints"],
+            [
+                ["theorem (exact)", max(theorem_errors), "yes"],
+                [
+                    "practical (Section 4)",
+                    float(practical_errors.max()),
+                    "marginals only",
+                ],
+            ],
+            title="A4: theorem vs practical algorithm (oracle input)",
+        ),
+    )
+    assert max(theorem_errors) < 1e-9
+    assert practical_errors.max() < 1e-6

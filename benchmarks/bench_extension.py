@@ -1,0 +1,72 @@
+"""Extension benchmarks: the future-work localization pipeline.
+
+E1 — localization accuracy by probability source: MAP localization fed
+     with the correlation algorithm's probabilities, the independence
+     baseline's, and the true marginals (oracle reference).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.core import infer_congestion, infer_congestion_independent
+from repro.eval import evaluate_localization, make_clustered_scenario
+from repro.simulate import ExperimentConfig, run_experiment
+from repro.utils.tables import format_table
+
+
+@pytest.mark.benchmark(group="extension")
+def test_e1_localization_by_probability_source(
+    benchmark, planetlab_instance, out_dir
+):
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.08, seed=600
+    )
+    train = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=1200, packets_per_path=800),
+        seed=601,
+    )
+    sources = {
+        "correlation": infer_congestion(
+            planetlab_instance.topology,
+            scenario.algorithm_correlation,
+            train.observations,
+        ).congestion_probabilities,
+        "independence": infer_congestion_independent(
+            planetlab_instance.topology, train.observations
+        ).congestion_probabilities,
+        "true marginals": scenario.truth_model.link_marginals(),
+    }
+
+    def run():
+        return evaluate_localization(
+            planetlab_instance.topology,
+            scenario.truth_model,
+            sources,
+            config=ExperimentConfig(
+                n_snapshots=25, packets_per_path=800
+            ),
+            max_nodes=20_000,
+            seed=602,
+        )
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "extension_e1_localization",
+        format_table(
+            ["probability source", "precision", "recall", "f1"],
+            [
+                [label, score.precision, score.recall, score.f1]
+                for label, score in scores.items()
+            ],
+            title=(
+                "E1: MAP snapshot localization by probability source "
+                "(paper future work)"
+            ),
+        ),
+    )
+    assert scores["true marginals"].f1 >= 0.5

@@ -1,0 +1,123 @@
+"""Figure 3 benchmarks: performance under ideal conditions.
+
+Regenerates the four panels of the paper's Figure 3:
+
+* 3(a) mean absolute error vs % congested links (high correlation);
+* 3(b) 90th percentile of the absolute error vs % congested links;
+* 3(c) error CDF at 10% congested, highly correlated (>2/set);
+* 3(d) error CDF at 10% congested, loosely correlated (≤2/set).
+
+Each benchmark times one full regeneration (scenario + simulation + both
+algorithms) and writes the series to ``benchmarks/out/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import record
+from repro.eval import (
+    default_config,
+    figure3_cdf,
+    figure3_sweep,
+    render_cdf,
+    render_sweep,
+)
+
+FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3a_fig3b_sweep(benchmark, brite_instance, scale, out_dir):
+    """Figures 3(a) and 3(b): one sweep produces both series."""
+    config = default_config(scale)
+
+    def run():
+        return figure3_sweep(
+            instance=brite_instance,
+            fractions=FRACTIONS,
+            config=config,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "fig3ab_sweep",
+        render_sweep(
+            result,
+            title=(
+                "Figure 3(a,b): error vs congested fraction — Brite, "
+                f"high correlation, scale={scale}"
+            ),
+        ),
+    )
+    # Shape assertions (the paper's qualitative claims).
+    first, last = result.points[0], result.points[-1]
+    assert last.independence.mean > first.independence.mean
+    assert last.correlation.mean <= last.independence.mean
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3c_cdf_high_correlation(
+    benchmark, brite_instance, scale, out_dir
+):
+    config = default_config(scale)
+
+    def run():
+        return figure3_cdf(
+            instance=brite_instance,
+            correlation_level="high",
+            congested_fraction=0.10,
+            config=config,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "fig3c_cdf_high",
+        render_cdf(
+            result,
+            title=(
+                "Figure 3(c): CDF of abs error @10% congested, high "
+                f"correlation — Brite, scale={scale}"
+            ),
+        ),
+    )
+    grid = list(result.grid)
+    at_01 = grid.index(0.1)
+    assert (
+        result.curves["correlation"][at_01]
+        >= result.curves["independence"][at_01]
+    )
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_fig3d_cdf_loose_correlation(
+    benchmark, brite_instance, scale, out_dir
+):
+    config = default_config(scale)
+
+    def run():
+        return figure3_cdf(
+            instance=brite_instance,
+            correlation_level="loose",
+            congested_fraction=0.10,
+            config=config,
+            seed=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    record(
+        out_dir,
+        "fig3d_cdf_loose",
+        render_cdf(
+            result,
+            title=(
+                "Figure 3(d): CDF of abs error @10% congested, loose "
+                f"correlation — Brite, scale={scale}"
+            ),
+        ),
+    )
+    assert result.curves["correlation"][-1] == 1.0

@@ -1,0 +1,180 @@
+"""Micro-benchmarks (M1–M4): the pipeline's hot components in isolation.
+
+M1 — equation building (eligibility filtering + rank tracking);
+M2 — the L1 linear program;
+M3 — bulk snapshot simulation;
+M4 — topology generation (Brite hierarchy, PlanetLab mesh);
+plus the theorem algorithm and MAP localization on toy instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import TheoremAlgorithm, build_equations, localize_map
+from repro.core.solvers import solve_l1
+from repro.eval import make_clustered_scenario
+from repro.simulate import (
+    ExactPathStateDistribution,
+    ExperimentConfig,
+    run_experiment,
+)
+from repro.topogen import fig_1a, generate_brite, generate_planetlab
+
+
+@pytest.fixture(scope="module")
+def measured_setup(planetlab_instance):
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=500
+    )
+    run = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=800, packets_per_path=800),
+        seed=501,
+    )
+    return planetlab_instance, scenario, run
+
+
+@pytest.mark.benchmark(group="micro")
+def test_m1_equation_building(benchmark, measured_setup):
+    instance, scenario, run = measured_setup
+
+    def build():
+        return build_equations(
+            instance.topology,
+            scenario.algorithm_correlation,
+            run.observations,
+        )
+
+    system = benchmark(build)
+    assert system.rows
+
+
+@pytest.mark.benchmark(group="micro")
+def test_m2_l1_solve(benchmark, measured_setup):
+    instance, scenario, run = measured_setup
+    system = build_equations(
+        instance.topology,
+        scenario.algorithm_correlation,
+        run.observations,
+    )
+    matrix, values = system.matrix()
+
+    solution = benchmark(lambda: solve_l1(matrix, values))
+    assert np.all(solution <= 1e-9)
+
+
+@pytest.mark.benchmark(group="micro")
+def test_m3_snapshot_simulation(benchmark, planetlab_instance):
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=502
+    )
+
+    def simulate():
+        return run_experiment(
+            planetlab_instance.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=500, packets_per_path=800
+            ),
+            seed=503,
+        )
+
+    run = benchmark.pedantic(simulate, rounds=3, iterations=1)
+    assert run.observations.n_snapshots == 500
+
+
+@pytest.mark.benchmark(group="micro")
+def test_m4a_brite_generation(benchmark):
+    scenario = benchmark.pedantic(
+        lambda: generate_brite(
+            n_ases=100, routers_per_as=5, n_paths=250, seed=504
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert scenario.instance.n_paths > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_m4b_planetlab_generation(benchmark):
+    instance = benchmark.pedantic(
+        lambda: generate_planetlab(
+            n_routers=200, n_vantages=40, n_paths=250, seed=505
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert instance.n_paths > 0
+
+
+@pytest.mark.benchmark(group="micro")
+def test_theorem_algorithm_toy(benchmark):
+    from repro.model import (
+        ExplicitJointModel,
+        IndependentModel,
+        NetworkCongestionModel,
+    )
+
+    instance = fig_1a()
+    topology = instance.topology
+    e1, e2, e3, e4 = (
+        topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+    )
+    model = NetworkCongestionModel(
+        instance.correlation,
+        [
+            ExplicitJointModel(
+                frozenset({e1, e2}),
+                {
+                    frozenset({e1}): 0.05,
+                    frozenset({e2}): 0.05,
+                    frozenset({e1, e2}): 0.20,
+                },
+            ),
+            IndependentModel({e3: 0.3}),
+            IndependentModel({e4: 0.15}),
+        ],
+    )
+    oracle = ExactPathStateDistribution.from_model(topology, model)
+    algorithm = TheoremAlgorithm(topology, instance.correlation)
+
+    result = benchmark(lambda: algorithm.identify(oracle))
+    assert abs(result.link_marginals[e3] - 0.3) < 1e-9
+
+
+@pytest.mark.benchmark(group="micro")
+def test_map_localization(benchmark, planetlab_instance):
+    scenario = make_clustered_scenario(
+        planetlab_instance, congested_fraction=0.10, seed=506
+    )
+    run = run_experiment(
+        planetlab_instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(n_snapshots=10, packets_per_path=800),
+        seed=507,
+    )
+    truth = scenario.truth_model.link_marginals()
+    masks = [
+        run.observations.congested_mask_of_snapshot(t)
+        for t in range(run.observations.n_snapshots)
+    ]
+
+    def localize_all():
+        results = []
+        for mask in masks:
+            results.append(
+                localize_map(
+                    planetlab_instance.topology,
+                    mask,
+                    truth,
+                    max_nodes=20_000,
+                    on_infeasible="trim",
+                )
+            )
+        return results
+
+    results = benchmark.pedantic(localize_all, rounds=1, iterations=1)
+    assert len(results) == len(masks)

@@ -1,0 +1,60 @@
+"""Shared benchmark fixtures.
+
+Figure benchmarks time one full experiment regeneration and *also* write
+the rendered series (the same rows the paper plots) to
+``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can cite the exact
+numbers produced on this machine.
+
+Scale selection: set ``REPRO_BENCH_SCALE`` to ``small`` (default),
+``medium``, or ``paper``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in ("small", "medium", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be small|medium|paper, got {scale!r}"
+        )
+    return scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def out_dir() -> pathlib.Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    return OUT_DIR
+
+
+def record(out_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered table and persist it for EXPERIMENTS.md."""
+    print()
+    print(text)
+    (out_dir / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def brite_instance(scale):
+    from repro.eval import default_instance
+
+    return default_instance("brite", scale=scale, seed=0)
+
+
+@pytest.fixture(scope="session")
+def planetlab_instance(scale):
+    from repro.eval import default_instance
+
+    return default_instance("planetlab", scale=scale, seed=0)

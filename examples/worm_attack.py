@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Unknown correlation patterns: the worm/flooding scenario (paper §5).
+
+A worm periodically orders compromised hosts to flood a set of otherwise
+uncorrelated links, which therefore congest *together* — but the operator
+has no way to know this pattern, so the algorithm treats the targeted
+links as uncorrelated ("mislabeled" links, Figure 5).
+
+This example builds a PlanetLab-style instance, floods 50% of its
+congested links with a hidden common cause, and shows that the
+correlation algorithm still wins: it mislabels one pattern, while the
+independence baseline mislabels every pattern in the network.
+
+Run:  python examples/worm_attack.py
+"""
+
+import numpy as np
+
+from repro.eval import (
+    make_mislabeled_scenario,
+    run_comparison,
+)
+from repro.simulate import ExperimentConfig
+from repro.topogen import generate_planetlab
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    instance = generate_planetlab(
+        n_routers=220, n_vantages=45, n_paths=500, seed=5
+    )
+    print(
+        f"PlanetLab-style instance: {instance.n_links} links, "
+        f"{instance.n_paths} paths"
+    )
+
+    scenario = make_mislabeled_scenario(
+        instance,
+        congested_fraction=0.10,
+        mislabeled_fraction=0.50,
+        seed=17,
+    )
+    flood = scenario.metadata["flood_links"]
+    print(
+        f"worm floods {len(flood)} links "
+        f"({scenario.metadata['mislabeled_fraction']:.0%} of the "
+        f"{len(scenario.congested_links)} congested links); the "
+        "operator's correlation sets do not know about it"
+    )
+
+    comparison = run_comparison(
+        instance.topology,
+        scenario,
+        config=ExperimentConfig(n_snapshots=1500, packets_per_path=800),
+        seed=18,
+    )
+
+    rows = []
+    for name in ("correlation", "independence"):
+        stats = comparison.stats(name)
+        errors = comparison.errors[name]
+        rows.append(
+            [
+                name,
+                stats.mean,
+                stats.p90,
+                float((errors <= 0.1).mean()),
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "mean err", "p90 err", "frac<=0.1"],
+            rows,
+            title=(
+                "Error over potentially congested links "
+                f"({comparison.scored_links.size} links)"
+            ),
+        )
+    )
+
+    # Zoom in on the mislabeled links themselves: the paper reports the
+    # correlation algorithm wins even there (it ignores one pattern, the
+    # baseline ignores them all and suffers cascades).
+    flood_positions = [
+        i
+        for i, link_id in enumerate(comparison.scored_links)
+        if int(link_id) in flood
+    ]
+    rows = []
+    for name in ("correlation", "independence"):
+        flood_errors = comparison.errors[name][flood_positions]
+        rows.append(
+            [name, float(flood_errors.mean()), float(flood_errors.max())]
+        )
+    print(
+        format_table(
+            ["algorithm", "mean err", "max err"],
+            rows,
+            title=f"Error on the {len(flood_positions)} mislabeled links",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy build shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, so PEP-517 editable installs (which build an editable wheel)
+fail.  This shim lets ``pip install -e .`` fall back to the classic
+``setup.py develop`` path; all project metadata lives in pyproject.toml
+and is read by setuptools >= 61.
+"""
+
+from setuptools import setup
+
+setup()

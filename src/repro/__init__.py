@@ -1,0 +1,122 @@
+"""repro — reproduction of *Network Tomography on Correlated Links*.
+
+Ghita, Argyraki, Thiran — ACM IMC 2010.
+
+The package infers per-link congestion probabilities from end-to-end path
+measurements when links may be *correlated* within known correlation sets.
+
+Quickstart::
+
+    from repro import (
+        CorrelationStructure, infer_congestion, run_experiment,
+    )
+    from repro.topogen import fig_1a
+    from repro.model import NetworkCongestionModel, ExplicitJointModel
+
+    instance = fig_1a()                       # the paper's toy topology
+    ...                                        # see examples/quickstart.py
+
+Subpackages:
+
+* :mod:`repro.core` — topology model, identifiability, the theorem
+  algorithm, the practical correlation algorithm, baselines.
+* :mod:`repro.model` — correlated congestion models and the loss model.
+* :mod:`repro.simulate` — snapshot simulator, estimators, exact oracle.
+* :mod:`repro.topogen` — Brite-style, PlanetLab-style, and toy topologies.
+* :mod:`repro.eval` — metrics and the Figure 3/4/5 experiment drivers.
+"""
+
+from repro.core import (
+    AlgorithmOptions,
+    CongestionFactors,
+    CorrelationStructure,
+    CorrelationTomography,
+    IdentifiabilityReport,
+    InferenceResult,
+    Link,
+    Path,
+    TheoremAlgorithm,
+    TheoremResult,
+    Topology,
+    TopologyBuilder,
+    check_assumption4,
+    infer_congestion,
+    infer_congestion_independent,
+    infer_congestion_single_path,
+    localize_map,
+    localize_smallest_set,
+    merge_indistinguishable_links,
+    transform_until_identifiable,
+)
+from repro.exceptions import (
+    CorrelationError,
+    GenerationError,
+    IdentifiabilityError,
+    MeasurementError,
+    ModelError,
+    ReproError,
+    SolverError,
+    TopologyError,
+)
+from repro.io import (
+    instance_from_dict,
+    instance_to_dict,
+    load_instance,
+    save_instance,
+)
+from repro.simulate import (
+    ExactPathStateDistribution,
+    ExperimentConfig,
+    PathObservations,
+    SimulationRun,
+    run_experiment,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core data model
+    "Link",
+    "Path",
+    "Topology",
+    "TopologyBuilder",
+    "CorrelationStructure",
+    # identifiability & transforms
+    "IdentifiabilityReport",
+    "check_assumption4",
+    "merge_indistinguishable_links",
+    "transform_until_identifiable",
+    # inference
+    "TheoremAlgorithm",
+    "TheoremResult",
+    "CongestionFactors",
+    "AlgorithmOptions",
+    "CorrelationTomography",
+    "infer_congestion",
+    "infer_congestion_independent",
+    "infer_congestion_single_path",
+    "InferenceResult",
+    "localize_map",
+    "localize_smallest_set",
+    # simulation
+    "ExperimentConfig",
+    "SimulationRun",
+    "run_experiment",
+    "PathObservations",
+    "ExactPathStateDistribution",
+    # io
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+    # exceptions
+    "ReproError",
+    "TopologyError",
+    "CorrelationError",
+    "IdentifiabilityError",
+    "MeasurementError",
+    "SolverError",
+    "ModelError",
+    "GenerationError",
+]

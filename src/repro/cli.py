@@ -1,0 +1,343 @@
+"""Command-line interface: regenerate the paper's experiments.
+
+Examples::
+
+    repro-tomography demo
+    repro-tomography figure3 --scale small --seed 0
+    repro-tomography figure3-cdf --level loose
+    repro-tomography figure4 --topology planetlab --fraction 0.5
+    repro-tomography figure5 --topology brite --fraction 0.25
+
+Every subcommand prints the same rows/series the paper plots (see
+EXPERIMENTS.md for the recorded outputs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-tomography",
+        description=(
+            "Reproduction of 'Network Tomography on Correlated Links' "
+            "(Ghita, Argyraki, Thiran - IMC 2010)"
+        ),
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="top-level RNG seed"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    demo = commands.add_parser(
+        "demo", help="run the Figure-1(a) worked example end to end"
+    )
+    demo.add_argument(
+        "--snapshots", type=int, default=4000, help="simulated rounds"
+    )
+
+    fig3 = commands.add_parser(
+        "figure3", help="Figures 3(a,b): error vs congested fraction"
+    )
+    _common_figure_arguments(fig3)
+
+    fig3cdf = commands.add_parser(
+        "figure3-cdf", help="Figures 3(c,d): error CDF at 10% congestion"
+    )
+    _common_figure_arguments(fig3cdf)
+    fig3cdf.add_argument(
+        "--level",
+        choices=("high", "loose"),
+        default="high",
+        help="correlation level (3(c)=high, 3(d)=loose)",
+    )
+
+    fig4 = commands.add_parser(
+        "figure4", help="Figure 4: unidentifiable links"
+    )
+    _common_figure_arguments(fig4)
+    fig4.add_argument(
+        "--topology", choices=("brite", "planetlab"), default="brite"
+    )
+    fig4.add_argument(
+        "--fraction",
+        type=float,
+        default=0.25,
+        help="fraction of congested links that are unidentifiable",
+    )
+
+    fig5 = commands.add_parser(
+        "figure5", help="Figure 5: mislabeled links (unknown patterns)"
+    )
+    _common_figure_arguments(fig5)
+    fig5.add_argument(
+        "--topology", choices=("brite", "planetlab"), default="brite"
+    )
+    fig5.add_argument(
+        "--fraction",
+        type=float,
+        default=0.25,
+        help="fraction of congested links targeted by the hidden flood",
+    )
+
+    tomographer = commands.add_parser(
+        "tomographer",
+        help=(
+            "the paper's 'Ongoing Work': uncorrelated vs correlated "
+            "tomographer variants under indirect validation"
+        ),
+    )
+    _common_figure_arguments(tomographer)
+    tomographer.add_argument(
+        "--topology", choices=("brite", "planetlab"), default="planetlab"
+    )
+    return parser
+
+
+def _common_figure_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "paper"),
+        default="small",
+        help="instance/simulation size preset",
+    )
+    parser.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="experiments pooled per data point",
+    )
+
+
+def _run_demo(args) -> int:
+    from repro import (
+        ExperimentConfig,
+        TheoremAlgorithm,
+        infer_congestion,
+        infer_congestion_independent,
+        run_experiment,
+    )
+    from repro.model import (
+        ExplicitJointModel,
+        IndependentModel,
+        NetworkCongestionModel,
+    )
+    from repro.topogen import fig_1a
+    from repro.utils.tables import format_table
+
+    instance = fig_1a()
+    topology = instance.topology
+    e1, e2, e3, e4 = (
+        topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+    )
+    model = NetworkCongestionModel(
+        instance.correlation,
+        [
+            ExplicitJointModel(
+                frozenset({e1, e2}),
+                {
+                    frozenset({e1}): 0.05,
+                    frozenset({e2}): 0.05,
+                    frozenset({e1, e2}): 0.20,
+                },
+            ),
+            IndependentModel({e3: 0.3}),
+            IndependentModel({e4: 0.15}),
+        ],
+    )
+    truth = model.link_marginals()
+    run = run_experiment(
+        topology,
+        model,
+        config=ExperimentConfig(n_snapshots=args.snapshots),
+        seed=args.seed,
+    )
+    correlation_result = infer_congestion(
+        topology, instance.correlation, run.observations
+    )
+    independence_result = infer_congestion_independent(
+        topology, run.observations
+    )
+    theorem_result = TheoremAlgorithm(
+        topology, instance.correlation
+    ).identify(run.observations)
+    rows = []
+    for link in topology.links:
+        rows.append(
+            [
+                link.name,
+                truth[link.id],
+                correlation_result.probability(link.id),
+                independence_result.probability(link.id),
+                theorem_result.link_marginals[link.id],
+            ]
+        )
+    print(
+        format_table(
+            ["link", "true P", "correlation", "independence", "theorem"],
+            rows,
+            title=(
+                f"Figure 1(a) demo — {args.snapshots} snapshots, "
+                f"seed {args.seed}"
+            ),
+        )
+    )
+    return 0
+
+
+def _run_figure3(args) -> int:
+    from repro.eval import figure3_sweep, render_sweep
+
+    result = figure3_sweep(
+        scale=args.scale, n_trials=args.trials, seed=args.seed
+    )
+    print(render_sweep(result))
+    return 0
+
+
+def _run_figure3_cdf(args) -> int:
+    from repro.eval import figure3_cdf, render_cdf
+
+    result = figure3_cdf(
+        correlation_level=args.level,
+        scale=args.scale,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    panel = "3(c)" if args.level == "high" else "3(d)"
+    print(render_cdf(result, title=f"Figure {panel} — {args.level}"))
+    return 0
+
+
+def _run_figure4(args) -> int:
+    from repro.eval import figure4_cdf, render_cdf
+
+    result = figure4_cdf(
+        topology=args.topology,
+        unidentifiable_fraction=args.fraction,
+        scale=args.scale,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    print(
+        render_cdf(
+            result,
+            title=(
+                f"Figure 4 — {args.topology}, "
+                f"{args.fraction:.0%} unidentifiable"
+            ),
+        )
+    )
+    return 0
+
+
+def _run_figure5(args) -> int:
+    from repro.eval import figure5_cdf, render_cdf
+
+    result = figure5_cdf(
+        topology=args.topology,
+        mislabeled_fraction=args.fraction,
+        scale=args.scale,
+        n_trials=args.trials,
+        seed=args.seed,
+    )
+    print(
+        render_cdf(
+            result,
+            title=(
+                f"Figure 5 — {args.topology}, "
+                f"{args.fraction:.0%} mislabeled"
+            ),
+        )
+    )
+    return 0
+
+
+def _run_tomographer(args) -> int:
+    from repro.eval import (
+        default_config,
+        default_instance,
+        make_clustered_scenario,
+        run_tomographer,
+    )
+    from repro.simulate import run_experiment
+    from repro.utils.rng import spawn_children
+    from repro.utils.tables import format_table
+
+    instance = default_instance(
+        args.topology, scale=args.scale, seed=args.seed
+    )
+    scenario_rng, train_rng, holdout_rng = spawn_children(args.seed, 3)
+    scenario = make_clustered_scenario(
+        instance, congested_fraction=0.10, seed=scenario_rng
+    )
+    config = default_config(args.scale)
+    training = run_experiment(
+        instance.topology,
+        scenario.truth_model,
+        config=config,
+        seed=train_rng,
+    )
+    holdout = run_experiment(
+        instance.topology,
+        scenario.truth_model,
+        config=config,
+        seed=holdout_rng,
+    )
+    comparison = run_tomographer(
+        instance.topology,
+        instance.correlation,
+        training.observations,
+        holdout.observations,
+    )
+    print(
+        format_table(
+            ["variant", "mean path err", "mean err (corr-free paths)"],
+            [
+                [
+                    "(i) all links uncorrelated",
+                    comparison.uncorrelated_validation.mean_error,
+                    comparison.uncorrelated_validation.mean_error_correlation_free,
+                ],
+                [
+                    "(ii) cluster-correlated",
+                    comparison.correlated_validation.mean_error,
+                    comparison.correlated_validation.mean_error_correlation_free,
+                ],
+            ],
+            title=(
+                f"Tomographer indirect validation — {args.topology}, "
+                f"scale={args.scale}"
+            ),
+        )
+    )
+    winner = "(ii)" if comparison.correlated_wins else "(i)"
+    print(f"indirect validation prefers variant {winner}")
+    return 0
+
+
+_HANDLERS = {
+    "demo": _run_demo,
+    "figure3": _run_figure3,
+    "figure3-cdf": _run_figure3_cdf,
+    "figure4": _run_figure4,
+    "figure5": _run_figure5,
+    "tomographer": _run_tomographer,
+}
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(precision=4, suppress=True)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""Fluent construction of topologies.
+
+``Topology`` is immutable and validates eagerly, which makes incremental
+construction awkward; :class:`TopologyBuilder` accumulates links and paths
+with human-readable names and assembles the validated object at the end.
+
+Example (the paper's Figure 1(a) topology)::
+
+    builder = TopologyBuilder()
+    builder.add_link("e1", "v4", "v3")
+    builder.add_link("e2", "v4", "v3b")   # parallel logical links are fine
+    ...
+    builder.add_path("P1", ["e1", "e3"])
+    topology = builder.build()
+
+Paths may also be declared as node sequences (``add_path_via_nodes``) when
+each consecutive node pair is joined by exactly one link, which is the
+common case for generated topologies.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from typing import Hashable
+
+from repro.core.link import Link, Path
+from repro.core.topology import Topology
+from repro.exceptions import TopologyError
+
+__all__ = ["TopologyBuilder"]
+
+
+class TopologyBuilder:
+    """Accumulates links and paths, then builds a validated Topology."""
+
+    def __init__(self) -> None:
+        self._links: list[Link] = []
+        self._link_by_name: dict[str, Link] = {}
+        self._link_by_endpoints: dict[tuple[Hashable, Hashable], list[Link]] = {}
+        self._paths: list[Path] = []
+        self._path_names: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+    def add_link(self, name: str, src: Hashable, dst: Hashable) -> Link:
+        """Register a directed logical link and return it.
+
+        Raises :class:`TopologyError` on duplicate names.
+        """
+        if name in self._link_by_name:
+            raise TopologyError(f"duplicate link name {name!r}")
+        link = Link(id=len(self._links), name=name, src=src, dst=dst)
+        self._links.append(link)
+        self._link_by_name[name] = link
+        self._link_by_endpoints.setdefault((src, dst), []).append(link)
+        return link
+
+    def has_link(self, name: str) -> bool:
+        return name in self._link_by_name
+
+    def link(self, name: str) -> Link:
+        try:
+            return self._link_by_name[name]
+        except KeyError:
+            raise TopologyError(f"no link named {name!r}") from None
+
+    def ensure_link(self, name: str, src: Hashable, dst: Hashable) -> Link:
+        """Return the named link, creating it on first use.
+
+        Convenience for generators that discover the same logical link on
+        many routed paths (the traceroute workflow of the paper's PlanetLab
+        experiments).
+        """
+        if name in self._link_by_name:
+            existing = self._link_by_name[name]
+            if (existing.src, existing.dst) != (src, dst):
+                raise TopologyError(
+                    f"link {name!r} already exists with endpoints "
+                    f"({existing.src!r}, {existing.dst!r}), not "
+                    f"({src!r}, {dst!r})"
+                )
+            return existing
+        return self.add_link(name, src, dst)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def add_path(self, name: str, link_names: Sequence[str]) -> Path:
+        """Register a path as an ordered sequence of link names."""
+        if name in self._path_names:
+            raise TopologyError(f"duplicate path name {name!r}")
+        link_ids = tuple(self.link(link_name).id for link_name in link_names)
+        path = Path(id=len(self._paths), name=name, link_ids=link_ids)
+        self._paths.append(path)
+        self._path_names.add(name)
+        return path
+
+    def add_path_via_nodes(self, name: str, nodes: Sequence[Hashable]) -> Path:
+        """Register a path as a node walk.
+
+        Each consecutive node pair must be joined by exactly one registered
+        link; otherwise the walk is ambiguous and a :class:`TopologyError`
+        is raised (use :meth:`add_path` with explicit link names instead).
+        """
+        if len(nodes) < 2:
+            raise TopologyError(
+                f"path {name!r} needs at least two nodes, got {len(nodes)}"
+            )
+        link_names = []
+        for src, dst in zip(nodes, nodes[1:]):
+            candidates = self._link_by_endpoints.get((src, dst), [])
+            if not candidates:
+                raise TopologyError(
+                    f"path {name!r}: no link from {src!r} to {dst!r}"
+                )
+            if len(candidates) > 1:
+                names = [link.name for link in candidates]
+                raise TopologyError(
+                    f"path {name!r}: ambiguous hop {src!r}->{dst!r} "
+                    f"(candidates: {names}); use add_path with link names"
+                )
+            link_names.append(candidates[0].name)
+        return self.add_path(name, link_names)
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    @property
+    def n_paths(self) -> int:
+        return len(self._paths)
+
+    def build(self, *, require_all_links_used: bool = True) -> Topology:
+        """Assemble and validate the topology."""
+        return Topology(
+            self._links,
+            self._paths,
+            require_all_links_used=require_all_links_used,
+        )
+
+    @staticmethod
+    def from_paths(
+        node_paths: Iterable[Sequence[Hashable]],
+        *,
+        path_prefix: str = "P",
+    ) -> Topology:
+        """Build a topology from raw node walks, creating links on demand.
+
+        This mirrors the traceroute workflow: each walk contributes the
+        logical links between its consecutive nodes; links seen on several
+        walks are shared.  Link names are ``"src->dst"``.
+        """
+        builder = TopologyBuilder()
+        for index, nodes in enumerate(node_paths):
+            if len(nodes) < 2:
+                raise TopologyError(
+                    f"walk #{index} needs at least two nodes, got {len(nodes)}"
+                )
+            link_names = []
+            for src, dst in zip(nodes, nodes[1:]):
+                link = builder.ensure_link(f"{src}->{dst}", src, dst)
+                link_names.append(link.name)
+            builder.add_path(f"{path_prefix}{index + 1}", link_names)
+        return builder.build()

@@ -1,0 +1,271 @@
+"""Correlation sets and correlation subsets (paper Section 2.1).
+
+A :class:`CorrelationStructure` is a partition ``C = {C1, ..., C|C|}`` of the
+link set: links inside one set may be arbitrarily correlated, links across
+sets are independent.  The structure knows nothing about the *degree* of
+correlation — exactly the paper's model.
+
+The set of all *correlation subsets*
+
+    C̃ = { A ⊆ E | A ≠ ∅ and A ⊆ Cp for some Cp ∈ C }
+
+drives both the identifiability condition (Assumption 4) and the exact
+theorem algorithm; :meth:`CorrelationStructure.iter_subsets` enumerates it.
+
+The structure also answers the two eligibility questions of the practical
+algorithm (paper Section 4): does a path "involve correlated links", and
+does a *pair* of paths?
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Iterator
+
+from repro.core.topology import Topology
+from repro.exceptions import CorrelationError
+
+__all__ = ["CorrelationStructure"]
+
+#: Refuse full subset enumeration above this set size unless the caller
+#: explicitly caps the subset size; 2^20 subsets is already ~1M.
+_MAX_ENUMERABLE_SET_SIZE = 20
+
+
+class CorrelationStructure:
+    """A partition of a topology's links into correlation sets.
+
+    Args:
+        topology: The topology whose links are being partitioned.
+        sets: An iterable of link-id groups.  Together they must cover every
+            link exactly once.  Groups may be given in any order; internally
+            they are stored as frozensets indexed ``0..|C|-1``.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        sets: Iterable[Iterable[int]],
+    ) -> None:
+        self._topology = topology
+        self._sets: tuple[frozenset[int], ...] = tuple(
+            frozenset(group) for group in sets
+        )
+        self._validate()
+        self._set_of: dict[int, int] = {}
+        for index, group in enumerate(self._sets):
+            for link_id in group:
+                self._set_of[link_id] = index
+
+    def _validate(self) -> None:
+        n_links = self._topology.n_links
+        seen: set[int] = set()
+        for index, group in enumerate(self._sets):
+            if not group:
+                raise CorrelationError(f"correlation set #{index} is empty")
+            for link_id in group:
+                if not 0 <= link_id < n_links:
+                    raise CorrelationError(
+                        f"correlation set #{index} references unknown link "
+                        f"id {link_id}"
+                    )
+                if link_id in seen:
+                    name = self._topology.links[link_id].name
+                    raise CorrelationError(
+                        f"link {name!r} appears in more than one "
+                        "correlation set; sets must form a partition"
+                    )
+                seen.add(link_id)
+        if len(seen) != n_links:
+            missing = sorted(set(range(n_links)) - seen)
+            names = [self._topology.links[k].name for k in missing]
+            raise CorrelationError(
+                f"correlation sets must cover every link; missing: {names}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def trivial(cls, topology: Topology) -> "CorrelationStructure":
+        """The all-singletons partition: every link independent.
+
+        This is the structure under which the practical algorithm collapses
+        to the paper's "independence algorithm" baseline [12].
+        """
+        return cls(topology, [[k] for k in range(topology.n_links)])
+
+    @classmethod
+    def from_link_names(
+        cls,
+        topology: Topology,
+        named_sets: Iterable[Iterable[str]],
+    ) -> "CorrelationStructure":
+        """Build from groups of link *names* (convenient in tests/examples)."""
+        return cls(
+            topology,
+            [
+                [topology.link(name).id for name in group]
+                for group in named_sets
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def sets(self) -> tuple[frozenset[int], ...]:
+        """The correlation sets ``C1..C|C|`` as frozensets of link ids."""
+        return self._sets
+
+    @property
+    def n_sets(self) -> int:
+        return len(self._sets)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when every correlation set is a singleton."""
+        return all(len(group) == 1 for group in self._sets)
+
+    @property
+    def largest_set_size(self) -> int:
+        return max(len(group) for group in self._sets)
+
+    def set_index_of(self, link_id: int) -> int:
+        """Index ``p`` of the correlation set ``Cp`` containing the link."""
+        try:
+            return self._set_of[link_id]
+        except KeyError:
+            raise CorrelationError(f"unknown link id {link_id}") from None
+
+    def set_of(self, link_id: int) -> frozenset[int]:
+        """The correlation set ``Cp`` containing the link."""
+        return self._sets[self.set_index_of(link_id)]
+
+    def same_set(self, link_a: int, link_b: int) -> bool:
+        """True when the two links may be correlated (same ``Cp``)."""
+        return self.set_index_of(link_a) == self.set_index_of(link_b)
+
+    # ------------------------------------------------------------------
+    # Correlation subsets  (C-tilde)
+    # ------------------------------------------------------------------
+    def iter_subsets(
+        self,
+        *,
+        max_subset_size: int | None = None,
+    ) -> Iterator[frozenset[int]]:
+        """Enumerate the correlation subsets ``C̃``.
+
+        Subsets are yielded grouped by correlation set, by increasing size.
+        Enumeration is exponential in the set size; sets larger than
+        ``_MAX_ENUMERABLE_SET_SIZE`` raise unless ``max_subset_size`` bounds
+        the enumeration (the practical algorithm never needs this method —
+        only the theorem algorithm and the exact identifiability checker do,
+        and both target small instances).
+        """
+        for group in self._sets:
+            if (
+                max_subset_size is None
+                and len(group) > _MAX_ENUMERABLE_SET_SIZE
+            ):
+                raise CorrelationError(
+                    f"correlation set of size {len(group)} is too large to "
+                    "enumerate; pass max_subset_size to bound the search"
+                )
+            members = sorted(group)
+            top = len(members)
+            if max_subset_size is not None:
+                top = min(top, max_subset_size)
+            for size in range(1, top + 1):
+                for combo in itertools.combinations(members, size):
+                    yield frozenset(combo)
+
+    def n_subsets(self) -> int:
+        """``|C̃|`` — number of correlation subsets (may be astronomically
+        large; computed arithmetically, not by enumeration)."""
+        return sum(2 ** len(group) - 1 for group in self._sets)
+
+    def subsets_of_set(self, set_index: int) -> Iterator[frozenset[int]]:
+        """All non-empty subsets of one correlation set, by size."""
+        members = sorted(self._sets[set_index])
+        if len(members) > _MAX_ENUMERABLE_SET_SIZE:
+            raise CorrelationError(
+                f"correlation set of size {len(members)} is too large to "
+                "enumerate"
+            )
+        for size in range(1, len(members) + 1):
+            for combo in itertools.combinations(members, size):
+                yield frozenset(combo)
+
+    # ------------------------------------------------------------------
+    # Eligibility tests for the practical algorithm (Section 4)
+    # ------------------------------------------------------------------
+    def path_touch_map(self, path_id: int) -> dict[int, list[int]]:
+        """Map ``set index -> links of the path inside that set``."""
+        touched: dict[int, list[int]] = {}
+        for link_id in self._topology.paths[path_id].link_ids:
+            touched.setdefault(self.set_index_of(link_id), []).append(link_id)
+        return touched
+
+    def path_is_correlation_free(self, path_id: int) -> bool:
+        """True when no two links of the path share a correlation set.
+
+        Such a path satisfies ``P(Y=0) = Π_k P(X_ek=0)`` (paper Eq. 9)
+        because its links are pairwise independent.
+        """
+        seen: set[int] = set()
+        for link_id in self._topology.paths[path_id].link_ids:
+            set_index = self.set_index_of(link_id)
+            if set_index in seen:
+                return False
+            seen.add(set_index)
+        return True
+
+    def pair_is_correlation_free(self, path_a: int, path_b: int) -> bool:
+        """True when the *union* of the two paths' links has no two distinct
+        links in the same correlation set (paper Eq. 10 eligibility).
+
+        Sharing the *same* link is allowed — one link is one random
+        variable.  Requires both paths to be individually correlation-free
+        (otherwise the union trivially is not).
+        """
+        touch_a: dict[int, int] = {}
+        for link_id in self._topology.paths[path_a].link_ids:
+            set_index = self.set_index_of(link_id)
+            if set_index in touch_a:
+                return False
+            touch_a[set_index] = link_id
+        seen_b: set[int] = set()
+        for link_id in self._topology.paths[path_b].link_ids:
+            set_index = self.set_index_of(link_id)
+            if set_index in seen_b:
+                return False
+            seen_b.add(set_index)
+            if set_index in touch_a and touch_a[set_index] != link_id:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Dunder methods
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        sizes = sorted((len(group) for group in self._sets), reverse=True)
+        return (
+            f"CorrelationStructure(n_sets={self.n_sets}, "
+            f"set_sizes={sizes[:8]}{'...' if len(sizes) > 8 else ''})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CorrelationStructure):
+            return NotImplemented
+        return (
+            self._topology == other._topology
+            and frozenset(self._sets) == frozenset(other._sets)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._topology, frozenset(self._sets)))

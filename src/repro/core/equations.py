@@ -1,0 +1,266 @@
+"""Linear-equation construction for the practical algorithm (Section 4).
+
+The practical algorithm forms equations over the unknowns
+
+    x_k = log P(X_ek = 0)
+
+from two kinds of observable events:
+
+* **Single paths** (paper Eq. 9): a path ``P_i`` that "does not involve
+  correlated links" (no two of its links share a correlation set) satisfies
+  ``y_i = Σ_{k: e_k ∈ P_i} x_k`` where ``y_i = log P(Y_Pi = 0)``.
+* **Path pairs** (paper Eq. 10): a pair ``(P_i, P_j)`` whose *union* of
+  links has no two distinct links in a common correlation set satisfies
+  ``y_ij = Σ_{k: e_k ∈ P_i ∪ P_j} x_k``.
+
+Only pairs that *share at least one link* are enumerated: for a disjoint
+eligible pair the union row is the sum of the two single rows, hence never
+linearly independent from the singles (both singles are always eligible
+when the pair is).  This observation shrinks the candidate space from
+``|P|²`` to roughly ``Σ_k |ψ({e_k})|²`` without losing any rank.
+
+Two selection modes:
+
+* ``"independent"`` (the paper's description): keep only rows that increase
+  the rank, tracked by incremental Gaussian elimination, stopping at full
+  column rank.
+* ``"all"``: keep every eligible row and let the solver's L1/L2 objective
+  reconcile redundancy — more robust under measurement noise, identical in
+  the noise-free consistent case.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.interfaces import PathGoodProvider
+from repro.core.topology import Topology
+from repro.exceptions import SolverError
+from repro.utils.rng import as_generator
+
+__all__ = ["EquationRow", "EquationSystem", "build_equations"]
+
+
+@dataclass(frozen=True)
+class EquationRow:
+    """One linear equation ``value = Σ_{k ∈ link_ids} x_k``.
+
+    Attributes:
+        kind: ``"path"`` (Eq. 9) or ``"pair"`` (Eq. 10).
+        paths: The observed path ids (one or two).
+        link_ids: Links with coefficient 1 in the row.
+        value: The measured log-good probability (``y_i`` or ``y_ij``).
+    """
+
+    kind: str
+    paths: tuple[int, ...]
+    link_ids: frozenset[int]
+    value: float
+
+
+@dataclass
+class EquationSystem:
+    """The assembled system ``R x = y`` plus diagnostics.
+
+    Attributes:
+        n_links: Number of unknowns (columns of R).
+        rows: The accepted equations in acceptance order.
+        n_single: Count of Eq.-9 rows (the paper's ``N1``).
+        n_pair: Count of Eq.-10 rows (the paper's ``N2``).
+        rank: Numerical rank of R at assembly time.
+        eligible_paths: Paths that passed the correlation-free test.
+        uncovered_links: Links appearing in no accepted row; their unknowns
+            are unconstrained and the solver will leave them at the
+            "never congested" default (Section 5 discusses the resulting
+            error on unidentifiable links).
+    """
+
+    n_links: int
+    rows: list[EquationRow] = field(default_factory=list)
+    n_single: int = 0
+    n_pair: int = 0
+    rank: int = 0
+    eligible_paths: tuple[int, ...] = ()
+    uncovered_links: frozenset[int] = frozenset()
+
+    def matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise ``(R, y)`` as dense numpy arrays."""
+        if not self.rows:
+            raise SolverError(
+                "no equations could be formed: every path involves "
+                "correlated links"
+            )
+        matrix = np.zeros((len(self.rows), self.n_links), dtype=np.float64)
+        values = np.empty(len(self.rows), dtype=np.float64)
+        for index, row in enumerate(self.rows):
+            matrix[index, sorted(row.link_ids)] = 1.0
+            values[index] = row.value
+        return matrix, values
+
+    @property
+    def is_fully_determined(self) -> bool:
+        """True when ``N1 + N2`` reached ``|E|`` *and* rank is full."""
+        return self.rank >= self.n_links
+
+
+class _RankTracker:
+    """Incremental Gaussian elimination over accepted rows.
+
+    Stored rows are kept partially reduced: each is normalised at its pivot
+    and reduced against every earlier stored row, so reducing a candidate
+    against stored rows in insertion order eliminates each pivot exactly
+    once.
+    """
+
+    def __init__(self, n_cols: int, tol: float = 1e-9) -> None:
+        self._n_cols = n_cols
+        self._tol = tol
+        self._rows: list[np.ndarray] = []
+        self._pivots: list[int] = []
+
+    @property
+    def rank(self) -> int:
+        return len(self._rows)
+
+    def residual(self, row: np.ndarray) -> np.ndarray:
+        reduced = row.astype(np.float64, copy=True)
+        for pivot, stored in zip(self._pivots, self._rows):
+            coefficient = reduced[pivot]
+            if coefficient != 0.0:
+                reduced -= coefficient * stored
+        return reduced
+
+    def try_add(self, row: np.ndarray) -> bool:
+        """Add ``row`` if it increases the rank; report whether it did."""
+        reduced = self.residual(row)
+        pivot = int(np.argmax(np.abs(reduced)))
+        if abs(reduced[pivot]) <= self._tol:
+            return False
+        reduced /= reduced[pivot]
+        self._rows.append(reduced)
+        self._pivots.append(pivot)
+        return True
+
+
+def _row_vector(link_ids: frozenset[int], n_links: int) -> np.ndarray:
+    row = np.zeros(n_links, dtype=np.float64)
+    row[sorted(link_ids)] = 1.0
+    return row
+
+
+def _iter_shared_link_pairs(
+    topology: Topology,
+    eligible: set[int],
+):
+    """Unique pairs of eligible paths that share at least one link."""
+    seen: set[tuple[int, int]] = set()
+    for link_id in range(topology.n_links):
+        through = [
+            path.id
+            for path in topology.paths_through(link_id)
+            if path.id in eligible
+        ]
+        for a, b in itertools.combinations(through, 2):
+            pair = (a, b) if a < b else (b, a)
+            if pair not in seen:
+                seen.add(pair)
+                yield pair
+
+
+def build_equations(
+    topology: Topology,
+    correlation: CorrelationStructure,
+    measurements: PathGoodProvider,
+    *,
+    selection: str = "independent",
+    max_pair_candidates: int = 200_000,
+    pair_order_seed=0,
+) -> EquationSystem:
+    """Assemble the Section-4 equation system.
+
+    Args:
+        topology: The measurement topology.
+        correlation: Known correlation structure (pass the trivial
+            structure to obtain the independence baseline's system).
+        measurements: Provider of the measured ``y`` values.
+        selection: ``"independent"`` (paper) or ``"all"`` (keep every
+            eligible row).
+        max_pair_candidates: Bound on examined shared-link pairs; beyond it
+            the system is returned as-is (rank possibly deficient — the
+            L1 solve then picks the minimum-error solution, Section 4).
+        pair_order_seed: Seed for shuffling pair candidates so truncation
+            is not biased toward low-id links; ``None`` keeps generation
+            order.
+    """
+    if selection not in ("independent", "all"):
+        raise ValueError(
+            f"selection must be 'independent' or 'all', got {selection!r}"
+        )
+    n_links = topology.n_links
+    system = EquationSystem(n_links=n_links)
+    tracker = _RankTracker(n_links)
+
+    eligible = [
+        path.id
+        for path in topology.paths
+        if correlation.path_is_correlation_free(path.id)
+    ]
+    system.eligible_paths = tuple(eligible)
+    eligible_set = set(eligible)
+
+    # --- Single-path rows (Eq. 9) -------------------------------------
+    for path_id in eligible:
+        link_ids = frozenset(topology.paths[path_id].link_ids)
+        row = _row_vector(link_ids, n_links)
+        added = tracker.try_add(row)
+        if selection == "all" or added:
+            system.rows.append(
+                EquationRow(
+                    kind="path",
+                    paths=(path_id,),
+                    link_ids=link_ids,
+                    value=measurements.log_good(path_id),
+                )
+            )
+            system.n_single += 1
+
+    # --- Pair rows (Eq. 10) -------------------------------------------
+    if tracker.rank < n_links or selection == "all":
+        candidates = list(_iter_shared_link_pairs(topology, eligible_set))
+        if pair_order_seed is not None:
+            as_generator(pair_order_seed).shuffle(candidates)
+        examined = 0
+        for path_a, path_b in candidates:
+            if examined >= max_pair_candidates:
+                break
+            if selection == "independent" and tracker.rank >= n_links:
+                break
+            examined += 1
+            if not correlation.pair_is_correlation_free(path_a, path_b):
+                continue
+            link_ids = frozenset(
+                topology.paths[path_a].link_ids
+            ) | frozenset(topology.paths[path_b].link_ids)
+            row = _row_vector(link_ids, n_links)
+            added = tracker.try_add(row)
+            if selection == "all" or added:
+                system.rows.append(
+                    EquationRow(
+                        kind="pair",
+                        paths=(path_a, path_b),
+                        link_ids=link_ids,
+                        value=measurements.log_good_pair(path_a, path_b),
+                    )
+                )
+                system.n_pair += 1
+
+    system.rank = tracker.rank
+    covered: set[int] = set()
+    for row in system.rows:
+        covered.update(row.link_ids)
+    system.uncovered_links = frozenset(range(n_links)) - frozenset(covered)
+    return system

@@ -1,0 +1,175 @@
+"""Congestion factors and the Lemma-3 conversions.
+
+For a correlation subset ``A ⊆ Cp`` the paper defines the *congestion
+factor* (Eq. 2)
+
+    α_A = P(Sp = A) / P(Sp = ∅),
+
+how often exactly the links of ``A`` are the congested ones in their set,
+relative to the set being fully good.  Lemma 3 then recovers everything
+else:
+
+    P(Sp = ∅)  = 1 / (1 + Σ_{A ⊆ Cp, A ≠ ∅} α_A)
+    P(Sp = A)  = α_A · P(Sp = ∅)
+    P(X_ek = 1) = Σ_{A ∋ ek} P(Sp = A)
+
+:class:`CongestionFactors` stores the factors per correlation set and
+implements those conversions, including joint congestion probabilities of
+arbitrary link sets (independence across correlation sets turns them into
+products of per-set joints).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import ModelError
+
+__all__ = ["CongestionFactors"]
+
+
+class CongestionFactors:
+    """Congestion factors ``α_A`` for every correlation subset.
+
+    Args:
+        correlation: The correlation structure the factors refer to.
+        factors: Mapping from correlation subset (frozenset of link ids) to
+            its factor value.  Every subset must be non-empty and contained
+            in a single correlation set; factors must be non-negative.
+            Subsets missing from the mapping are treated as having factor 0
+            (the subset is never the exact congested set).
+    """
+
+    def __init__(
+        self,
+        correlation: CorrelationStructure,
+        factors: Mapping[frozenset[int], float],
+    ) -> None:
+        self._correlation = correlation
+        self._factors: dict[frozenset[int], float] = {}
+        for subset, value in factors.items():
+            subset = frozenset(subset)
+            if not subset:
+                raise ModelError("the empty set has no congestion factor")
+            owners = {correlation.set_index_of(k) for k in subset}
+            if len(owners) != 1:
+                raise ModelError(
+                    f"subset {sorted(subset)} spans several correlation sets"
+                )
+            if value < 0:
+                raise ModelError(
+                    f"congestion factor of {sorted(subset)} is negative "
+                    f"({value}); factors are ratios of probabilities"
+                )
+            self._factors[subset] = float(value)
+        # Per-set normaliser: 1 + Σ α_A over that set's subsets.
+        self._set_total = [1.0] * correlation.n_sets
+        for subset, value in self._factors.items():
+            set_index = correlation.set_index_of(next(iter(subset)))
+            self._set_total[set_index] += value
+
+    # ------------------------------------------------------------------
+    # Raw factor access
+    # ------------------------------------------------------------------
+    @property
+    def correlation(self) -> CorrelationStructure:
+        return self._correlation
+
+    def factor(self, subset: Iterable[int]) -> float:
+        """``α_A`` (0 when the subset was never assigned a factor)."""
+        return self._factors.get(frozenset(subset), 0.0)
+
+    def known_subsets(self) -> list[frozenset[int]]:
+        """Subsets with explicitly stored factors."""
+        return list(self._factors)
+
+    # ------------------------------------------------------------------
+    # Lemma 3
+    # ------------------------------------------------------------------
+    def p_set_empty(self, set_index: int) -> float:
+        """``P(Sp = ∅)`` — probability the whole set is good."""
+        return 1.0 / self._set_total[set_index]
+
+    def p_set_equals(self, subset: Iterable[int]) -> float:
+        """``P(Sp = A)`` — the links of ``A`` are exactly the congested
+        ones in their correlation set."""
+        subset = frozenset(subset)
+        if not subset:
+            raise ModelError(
+                "use p_set_empty(set_index) for the empty state"
+            )
+        set_index = self._correlation.set_index_of(next(iter(subset)))
+        return self.factor(subset) * self.p_set_empty(set_index)
+
+    def link_marginal(self, link_id: int) -> float:
+        """``P(X_ek = 1)`` via Lemma 3's final sum."""
+        set_index = self._correlation.set_index_of(link_id)
+        total = 0.0
+        for subset, value in self._factors.items():
+            if link_id in subset:
+                total += value
+        return total * self.p_set_empty(set_index)
+
+    def link_marginals(self) -> dict[int, float]:
+        """``P(X_ek = 1)`` for every link, as ``{link_id: probability}``."""
+        empties = [
+            self.p_set_empty(index)
+            for index in range(self._correlation.n_sets)
+        ]
+        sums: dict[int, float] = {
+            k: 0.0 for k in range(self._correlation.topology.n_links)
+        }
+        for subset, value in self._factors.items():
+            for link_id in subset:
+                sums[link_id] += value
+        return {
+            link_id: sums[link_id]
+            * empties[self._correlation.set_index_of(link_id)]
+            for link_id in sums
+        }
+
+    def joint_within_set(self, links: Iterable[int]) -> float:
+        """``P(all links of A congested)`` for ``A`` inside one set.
+
+        Sums ``P(Sp = B)`` over every stored superset ``B ⊇ A``.
+        """
+        links = frozenset(links)
+        if not links:
+            return 1.0
+        owners = {self._correlation.set_index_of(k) for k in links}
+        if len(owners) != 1:
+            raise ModelError(
+                "joint_within_set requires links of a single correlation "
+                "set; use joint() for arbitrary link sets"
+            )
+        set_index = owners.pop()
+        total = 0.0
+        for subset, value in self._factors.items():
+            if links <= subset:
+                total += value
+        return total * self.p_set_empty(set_index)
+
+    def joint(self, links: Iterable[int]) -> float:
+        """``P(all links of A congested)`` for an arbitrary link set.
+
+        Splits ``A`` by correlation set; independence across sets makes the
+        joint the product of per-set joints (this is how the paper derives
+        e.g. ``P(X_e1=1, X_e3=1)`` in Section 3.2, Step 4).
+        """
+        by_set: dict[int, set[int]] = {}
+        for link_id in frozenset(links):
+            by_set.setdefault(
+                self._correlation.set_index_of(link_id), set()
+            ).add(link_id)
+        probability = 1.0
+        for members in by_set.values():
+            probability *= self.joint_within_set(members)
+        return probability
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        return (
+            f"CongestionFactors(n_subsets={len(self._factors)}, "
+            f"n_sets={self._correlation.n_sets})"
+        )

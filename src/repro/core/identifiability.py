@@ -1,0 +1,182 @@
+"""Assumption 4 (identifiability) checking.
+
+The paper's key new assumption:
+
+    **Assumption 4.** Given any two correlation subsets ``A, B ∈ C̃``,
+    ``A ≠ B``, it holds that ``ψ(A) ≠ ψ(B)`` — A and B are not traversed
+    by exactly the same paths.
+
+This module provides two complementary checkers:
+
+* :func:`check_assumption4` — the *exact* check: enumerate ``C̃`` (with an
+  optional subset-size cap for large sets), hash coverage masks, report
+  every colliding pair.  Exponential in correlation-set size, meant for
+  validation-scale instances.
+* :func:`structurally_unidentifiable_nodes` — the *structural* criterion
+  from Section 3.3: an intermediate node whose ingress links all live in one
+  correlation set and whose egress links all live in one correlation set
+  makes the ingress subset and the egress subset cover exactly the same
+  paths.  Linear time; used by scenario generators to *create* controlled
+  unidentifiability for the Figure 4 experiments.
+
+Links that belong to any colliding subset are called *unidentifiable*
+(Section 5, "Unidentifiable Links").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.topology import Topology
+
+__all__ = [
+    "IdentifiabilityReport",
+    "check_assumption4",
+    "structurally_unidentifiable_nodes",
+    "unidentifiable_links_structural",
+]
+
+
+@dataclass(frozen=True)
+class IdentifiabilityReport:
+    """Outcome of an Assumption-4 check.
+
+    Attributes:
+        holds: True when no coverage collision was found.
+        collisions: Pairs of distinct correlation subsets with identical
+            coverage, as (frozenset, frozenset) of link ids.
+        unidentifiable_links: Union of the links in colliding subsets.
+        exhaustive: True when the check enumerated all of ``C̃``; False when
+            a subset-size cap truncated the search (a clean report is then
+            only evidence, not proof).
+    """
+
+    holds: bool
+    collisions: tuple[tuple[frozenset[int], frozenset[int]], ...] = ()
+    unidentifiable_links: frozenset[int] = frozenset()
+    exhaustive: bool = True
+
+    def describe(self, topology: Topology) -> str:
+        """Human-readable summary using link names."""
+        if self.holds:
+            suffix = "" if self.exhaustive else " (non-exhaustive check)"
+            return f"Assumption 4 holds{suffix}."
+        lines = [f"Assumption 4 violated: {len(self.collisions)} collision(s)."]
+        for left, right in self.collisions[:10]:
+            left_names = sorted(topology.links[k].name for k in left)
+            right_names = sorted(topology.links[k].name for k in right)
+            lines.append(f"  ψ({left_names}) == ψ({right_names})")
+        if len(self.collisions) > 10:
+            lines.append(f"  ... and {len(self.collisions) - 10} more")
+        return "\n".join(lines)
+
+
+def check_assumption4(
+    correlation: CorrelationStructure,
+    *,
+    max_subset_size: int | None = None,
+    collect_all: bool = False,
+) -> IdentifiabilityReport:
+    """Exhaustively check Assumption 4 by coverage-mask hashing.
+
+    Args:
+        correlation: The correlation structure to check.
+        max_subset_size: Bound subset enumeration per correlation set.  When
+            the largest set exceeds the enumerable limit this argument is
+            required; the resulting report is marked non-exhaustive.
+        collect_all: When False (default) stop at the first collision per
+            coverage mask pair; when True, collect every colliding pair
+            (quadratic in the number of subsets sharing a mask).
+    """
+    topology = correlation.topology
+    by_mask: dict[int, list[frozenset[int]]] = {}
+    for subset in correlation.iter_subsets(max_subset_size=max_subset_size):
+        mask = topology.coverage_of(subset)
+        by_mask.setdefault(mask, []).append(subset)
+
+    collisions: list[tuple[frozenset[int], frozenset[int]]] = []
+    unidentifiable: set[int] = set()
+    for subsets in by_mask.values():
+        if len(subsets) < 2:
+            continue
+        for links in subsets:
+            unidentifiable.update(links)
+        if collect_all:
+            for i in range(len(subsets)):
+                for j in range(i + 1, len(subsets)):
+                    collisions.append((subsets[i], subsets[j]))
+        else:
+            collisions.append((subsets[0], subsets[1]))
+
+    exhaustive = (
+        max_subset_size is None
+        or max_subset_size >= correlation.largest_set_size
+    )
+    return IdentifiabilityReport(
+        holds=not collisions,
+        collisions=tuple(collisions),
+        unidentifiable_links=frozenset(unidentifiable),
+        exhaustive=exhaustive,
+    )
+
+
+def _interior_nodes(topology: Topology) -> set:
+    """Nodes that appear strictly inside at least one path."""
+    interior = set()
+    for path in topology.paths:
+        for link_id in path.link_ids[:-1]:
+            interior.add(topology.links[link_id].dst)
+    return interior
+
+
+def structurally_unidentifiable_nodes(
+    topology: Topology,
+    correlation: CorrelationStructure,
+) -> list:
+    """Nodes matching the Section-3.3 structural criterion.
+
+    A node qualifies when it is interior to some path, all links entering
+    it belong to a single correlation set, and all links leaving it belong
+    to a single correlation set (possibly the same).  At such a node the
+    ingress-link subset and the egress-link subset cover exactly the paths
+    through the node, violating Assumption 4 — unless one of the two
+    subsets is a single link equal to the other, which cannot happen since
+    ingress and egress links are distinct.
+    """
+    in_links: dict[object, list[int]] = {}
+    out_links: dict[object, list[int]] = {}
+    for link in topology.links:
+        out_links.setdefault(link.src, []).append(link.id)
+        in_links.setdefault(link.dst, []).append(link.id)
+
+    offenders = []
+    for node in _interior_nodes(topology):
+        ingress = in_links.get(node, [])
+        egress = out_links.get(node, [])
+        if not ingress or not egress:
+            continue
+        ingress_sets = {correlation.set_index_of(k) for k in ingress}
+        egress_sets = {correlation.set_index_of(k) for k in egress}
+        if len(ingress_sets) == 1 and len(egress_sets) == 1:
+            offenders.append(node)
+    return offenders
+
+
+def unidentifiable_links_structural(
+    topology: Topology,
+    correlation: CorrelationStructure,
+) -> frozenset[int]:
+    """Links incident to structurally unidentifiable nodes.
+
+    This is the fast, sufficient-condition companion of
+    :func:`check_assumption4`: every returned link genuinely belongs to a
+    colliding correlation subset, but deeper collisions (spanning links of
+    several nodes) are not detected.
+    """
+    offenders = set(structurally_unidentifiable_nodes(topology, correlation))
+    links: set[int] = set()
+    for link in topology.links:
+        if link.src in offenders or link.dst in offenders:
+            links.add(link.id)
+    return frozenset(links)

@@ -1,0 +1,49 @@
+"""Measurement-side protocols consumed by the inference algorithms.
+
+The algorithms never touch raw packets; they consume *probabilities of
+observable path events*.  Two protocols capture exactly what each algorithm
+needs:
+
+* :class:`PathGoodProvider` — what the practical algorithm (Section 4)
+  needs: ``log P(Y_Pi = 0)`` for single paths and ``log P(Y_Pi = 0,
+  Y_Pj = 0)`` for path pairs.
+* :class:`PathStateProvider` — what the theorem algorithm (Appendix A)
+  needs: the probability that the set of congested paths is *exactly* a
+  given set, ``P(ψ(S) = F)``, including ``F = ∅``.
+
+Both are implemented by the empirical estimator
+(:class:`repro.simulate.observations.PathObservations`) and by the exact
+oracle (:class:`repro.simulate.oracle.ExactPathStateDistribution`), so every
+algorithm can run on noisy measurements or on ground truth unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["PathGoodProvider", "PathStateProvider"]
+
+
+@runtime_checkable
+class PathGoodProvider(Protocol):
+    """Log-probabilities of single and pairwise path-good events."""
+
+    def log_good(self, path_id: int) -> float:
+        """``log P(Y_Pi = 0)`` — the paper's ``y_i``."""
+        ...
+
+    def log_good_pair(self, path_a: int, path_b: int) -> float:
+        """``log P(Y_Pi = 0, Y_Pj = 0)`` — the paper's ``y_ij``."""
+        ...
+
+
+@runtime_checkable
+class PathStateProvider(Protocol):
+    """Exact-congested-path-set probabilities."""
+
+    def p_congested_mask(self, mask: int) -> float:
+        """``P(ψ(S) = F)`` for the path set encoded by ``mask``.
+
+        ``mask = 0`` is the all-paths-good event ``P(ψ(S) = ∅)``.
+        """
+        ...

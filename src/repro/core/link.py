@@ -1,0 +1,93 @@
+"""Link and path value objects.
+
+A :class:`Link` is a directed *logical* link between two network elements —
+the paper stresses that an edge of the measurement graph may stand for a
+whole sequence of physical links (an IP-level or domain-level hop).  A
+:class:`Path` is a loop-free sequence of links whose end-to-end congestion
+status can be observed.
+
+Both classes are immutable value objects; the mutable, index-carrying
+container is :class:`repro.core.topology.Topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+__all__ = ["Link", "Path"]
+
+
+@dataclass(frozen=True, slots=True)
+class Link:
+    """A directed logical link ``src -> dst``.
+
+    Attributes:
+        id: Dense index of the link inside its topology (0-based).  The id
+            doubles as the bit position of the link in link bitmasks.
+        name: Human-readable label.  The toy topologies use the paper's
+            names (``"e1"``, ``"e2"``, ...).
+        src: Source node identifier (any hashable).
+        dst: Destination node identifier (any hashable).
+    """
+
+    id: int
+    name: str
+    src: Hashable
+    dst: Hashable
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"link id must be non-negative, got {self.id}")
+        if not self.name:
+            raise ValueError("link name must be non-empty")
+        if self.src == self.dst:
+            raise ValueError(
+                f"link {self.name!r} is a self-loop at node {self.src!r}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.name}({self.src}->{self.dst})"
+
+
+@dataclass(frozen=True, slots=True)
+class Path:
+    """A measurement path: an ordered, loop-free sequence of link ids.
+
+    Attributes:
+        id: Dense index of the path inside its topology (0-based).  The id
+            doubles as the bit position of the path in path bitmasks, i.e.
+            in values of the coverage function ``ψ``.
+        name: Human-readable label (``"P1"``, ``"P2"``, ... in the toys).
+        link_ids: The links traversed, in order.  A path never crosses a
+            link more than once (paper Section 2.1).
+    """
+
+    id: int
+    name: str
+    link_ids: tuple[int, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.id < 0:
+            raise ValueError(f"path id must be non-negative, got {self.id}")
+        if not self.name:
+            raise ValueError("path name must be non-empty")
+        if not self.link_ids:
+            raise ValueError(f"path {self.name!r} traverses no links")
+        if len(set(self.link_ids)) != len(self.link_ids):
+            raise ValueError(
+                f"path {self.name!r} crosses a link more than once: "
+                f"{self.link_ids}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Number of links traversed (the ``d`` in ``t_p = 1-(1-t_l)^d``)."""
+        return len(self.link_ids)
+
+    def traverses(self, link_id: int) -> bool:
+        """True when this path crosses the given link (``e_k ∈ P_i``)."""
+        return link_id in self.link_ids
+
+    def __str__(self) -> str:
+        return f"{self.name}[{','.join(map(str, self.link_ids))}]"

@@ -1,0 +1,59 @@
+"""Classic single-path variant of the independence algorithm [12].
+
+Reference ablation: Nguyen & Thiran's original formulation learns link
+probabilities from *single-path* good frequencies only,
+
+    y_i = Σ_{k: e_k ∈ P_i} x_k        for every path P_i,
+
+solved in the least-squares sense with the sign constraint ``x ≤ 0``.  Our
+headline "independence algorithm" additionally uses pairwise observations
+(the same machinery the correlation algorithm gets); this module preserves
+the narrower original so the contribution of pair equations can be
+measured (benchmark A1 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.interfaces import PathGoodProvider
+from repro.core.results import InferenceResult
+from repro.core.solvers import solve
+from repro.core.topology import Topology
+
+__all__ = ["infer_congestion_single_path"]
+
+
+def infer_congestion_single_path(
+    topology: Topology,
+    measurements: PathGoodProvider,
+    *,
+    solver: str = "min_norm",
+) -> InferenceResult:
+    """Infer link probabilities from single-path equations only.
+
+    Every path contributes a row regardless of correlation (the method
+    assumes independent links); there are no pair rows, so the system is
+    typically rank deficient and the solver's minimum-error criterion picks
+    the solution.
+    """
+    matrix = topology.routing_matrix()
+    values = np.array(
+        [measurements.log_good(path.id) for path in topology.paths],
+        dtype=np.float64,
+    )
+    solution, solver_used = solve(matrix, values, method=solver)
+    solution = np.minimum(solution, 0.0)
+    probabilities = np.clip(1.0 - np.exp(solution), 0.0, 1.0)
+    rank = int(np.linalg.matrix_rank(matrix))
+    return InferenceResult(
+        algorithm="nguyen_thiran",
+        congestion_probabilities=probabilities,
+        log_good=solution,
+        uncovered_links=frozenset(),
+        n_single_equations=topology.n_paths,
+        n_pair_equations=0,
+        rank=rank,
+        solver=solver_used,
+        diagnostics={"n_links": topology.n_links},
+    )

@@ -1,0 +1,176 @@
+"""Solvers for the tomographic linear system.
+
+The unknowns are ``x_k = log P(X_ek = 0) ≤ 0``.  When the equation system
+has full column rank the solution is unique; otherwise the paper "picks the
+one that minimizes the L1 norm error" — we implement that as the linear
+program
+
+    minimize   ‖R x − y‖₁
+    subject to x ≤ 0
+
+solved with scipy's HiGHS backend.  A bounded least-squares alternative is
+provided for ablation (:func:`solve_bounded_least_squares`) along with an
+automatic chooser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog, lsq_linear
+
+from repro.exceptions import SolverError
+
+__all__ = [
+    "solve_l1",
+    "solve_bounded_least_squares",
+    "solve_min_norm_least_squares",
+    "solve",
+    "SOLVERS",
+]
+
+
+def solve_l1(
+    matrix: np.ndarray,
+    values: np.ndarray,
+    *,
+    upper_bound: float = 0.0,
+) -> np.ndarray:
+    """Minimise ``‖Rx − y‖₁`` subject to ``x ≤ upper_bound``.
+
+    Standard LP lift: auxiliary ``t ≥ |Rx − y|`` per row, minimise
+    ``Σ t``.  Columns of ``R`` that are entirely zero (links covered by no
+    equation) are pinned to 0 so the LP does not wander on free variables.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise SolverError(f"R must be 2-D, got shape {matrix.shape}")
+    n_rows, n_cols = matrix.shape
+    if values.shape != (n_rows,):
+        raise SolverError(
+            f"y has shape {values.shape}, expected ({n_rows},)"
+        )
+
+    sparse_matrix = sparse.csr_matrix(matrix)
+    identity = sparse.identity(n_rows, format="csr")
+    constraint = sparse.vstack(
+        [
+            sparse.hstack([sparse_matrix, -identity]),
+            sparse.hstack([-sparse_matrix, -identity]),
+        ],
+        format="csr",
+    )
+    rhs = np.concatenate([values, -values])
+    objective = np.concatenate([np.zeros(n_cols), np.ones(n_rows)])
+
+    covered = np.asarray(np.abs(matrix).sum(axis=0) > 0).ravel()
+    bounds: list[tuple[float | None, float | None]] = []
+    for column in range(n_cols):
+        if covered[column]:
+            bounds.append((None, upper_bound))
+        else:
+            bounds.append((0.0, 0.0))
+    bounds.extend([(0.0, None)] * n_rows)
+
+    result = linprog(
+        objective,
+        A_ub=constraint,
+        b_ub=rhs,
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise SolverError(f"L1 linear program failed: {result.message}")
+    return result.x[:n_cols]
+
+
+def solve_min_norm_least_squares(
+    matrix: np.ndarray,
+    values: np.ndarray,
+    *,
+    upper_bound: float = 0.0,
+) -> np.ndarray:
+    """Minimum-norm least squares, clipped to ``x ≤ upper_bound``.
+
+    This is the pseudo-inverse solution ``x = R⁺ y`` — the classic
+    resolution of an under-determined tomographic system (the baseline of
+    [12] learns link probabilities this way): directions unconstrained by
+    the measurements stay at zero ("never congested") instead of drifting,
+    and inconsistent measurements are spread across the involved links in
+    the L2 sense.  The sign constraint is applied by clipping.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    solution, *_ = np.linalg.lstsq(matrix, values, rcond=None)
+    return np.minimum(solution, upper_bound)
+
+
+def solve_bounded_least_squares(
+    matrix: np.ndarray,
+    values: np.ndarray,
+    *,
+    upper_bound: float = 0.0,
+) -> np.ndarray:
+    """Minimise ``‖Rx − y‖₂`` subject to ``x ≤ upper_bound``.
+
+    Ablation alternative to :func:`solve_l1`; uncovered columns are zeroed
+    after the solve for parity with the L1 path.  Falls back to the
+    clipped minimum-norm solution when the active-set iteration stalls.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    n_cols = matrix.shape[1]
+    result = lsq_linear(
+        matrix,
+        values,
+        bounds=(np.full(n_cols, -np.inf), np.full(n_cols, upper_bound)),
+        method="bvls" if n_cols <= 400 else "trf",
+    )
+    if result.status < 0 or not np.all(np.isfinite(result.x)):
+        solution = solve_min_norm_least_squares(
+            matrix, values, upper_bound=upper_bound
+        )
+    else:
+        solution = result.x
+    covered = np.abs(matrix).sum(axis=0) > 0
+    solution = np.where(covered, solution, 0.0)
+    return solution
+
+
+#: Registry used by the algorithm front-ends ("auto" prefers L1, falling
+#: back to least squares if the LP fails — rare, but measurement noise can
+#: produce degenerate systems).
+SOLVERS = {
+    "l1": solve_l1,
+    "least_squares": solve_bounded_least_squares,
+    "min_norm": solve_min_norm_least_squares,
+}
+
+
+def solve(
+    matrix: np.ndarray,
+    values: np.ndarray,
+    *,
+    method: str = "l1",
+    upper_bound: float = 0.0,
+) -> tuple[np.ndarray, str]:
+    """Dispatch to a registered solver; returns ``(x, solver_used)``."""
+    if method == "auto":
+        try:
+            return solve_l1(matrix, values, upper_bound=upper_bound), "l1"
+        except SolverError:
+            return (
+                solve_bounded_least_squares(
+                    matrix, values, upper_bound=upper_bound
+                ),
+                "least_squares",
+            )
+    try:
+        solver = SOLVERS[method]
+    except KeyError:
+        raise SolverError(
+            f"unknown solver {method!r}; available: "
+            f"{sorted(SOLVERS)} or 'auto'"
+        ) from None
+    return solver(matrix, values, upper_bound=upper_bound), method

@@ -1,0 +1,90 @@
+"""Network-state enumeration for the exact theorem algorithm.
+
+A *network state* ``S_n`` assigns to every correlation set ``Cp`` the subset
+``S_n^p ⊆ Cp`` of its links that are congested (paper Appendix A.1).  The
+theorem algorithm repeatedly needs all states whose congested-path set
+matches a target:  ``{ S_n | ψ(S_n) = ψ(A) }``.
+
+:func:`iter_exact_covers` implements that search generically: given, per
+correlation set, the list of candidate subsets (each with its coverage
+mask), it yields every combination whose masks OR to exactly the target.
+A suffix-reachability prune keeps the search from exploding on states that
+can no longer complete the cover.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+from typing import TypeVar
+
+from repro.utils.bitset import subset_of
+
+__all__ = ["StateCandidate", "iter_exact_covers"]
+
+T = TypeVar("T")
+
+#: A candidate choice for one correlation set: (payload, coverage mask).
+#: The payload is opaque to the search (the theorem algorithm passes the
+#: subset's frozenset; the oracle passes model support atoms).
+StateCandidate = tuple[T, int]
+
+
+def iter_exact_covers(
+    target_mask: int,
+    per_set_candidates: Sequence[Sequence[StateCandidate]],
+) -> Iterator[tuple]:
+    """Yield every combination of per-set candidates covering the target.
+
+    Args:
+        target_mask: The path bitmask ``ψ(A)`` that the union of the chosen
+            candidates' masks must equal exactly.
+        per_set_candidates: For each correlation set, the admissible
+            ``(payload, mask)`` choices.  Candidates whose mask is not a
+            subset of ``target_mask`` are skipped (they would cover a path
+            outside the target, contradicting ``ψ(S_n) = ψ(A)``).
+
+    Yields:
+        Tuples of payloads, one per correlation set, in input order.
+    """
+    filtered: list[list[StateCandidate]] = []
+    for candidates in per_set_candidates:
+        admissible = [
+            (payload, mask)
+            for payload, mask in candidates
+            if subset_of(mask, target_mask)
+        ]
+        if not admissible:
+            # No admissible choice for this set (not even the empty subset
+            # was offered): no state can match.
+            return
+        filtered.append(admissible)
+
+    n_sets = len(filtered)
+    # suffix_reach[p] = OR of every admissible mask from set p onwards;
+    # used to prune branches that can no longer complete the cover.
+    suffix_reach = [0] * (n_sets + 1)
+    for p in range(n_sets - 1, -1, -1):
+        combined = 0
+        for _, mask in filtered[p]:
+            combined |= mask
+        suffix_reach[p] = suffix_reach[p + 1] | combined
+
+    if not subset_of(target_mask, suffix_reach[0]):
+        return
+
+    chosen: list = [None] * n_sets
+
+    def descend(p: int, covered: int) -> Iterator[tuple]:
+        if p == n_sets:
+            if covered == target_mask:
+                yield tuple(chosen)
+            return
+        remaining = target_mask & ~covered
+        if not subset_of(remaining, suffix_reach[p]):
+            return
+        for payload, mask in filtered[p]:
+            chosen[p] = payload
+            yield from descend(p + 1, covered | mask)
+        chosen[p] = None
+
+    yield from descend(0, 0)

@@ -1,0 +1,197 @@
+"""The exact "theorem algorithm" (paper Theorem 1 and Appendix A).
+
+The proof of Theorem 1 is constructive: order the correlation subsets by
+the number of paths they cover, and compute each congestion factor ``α_A``
+from measurable path-state probabilities plus factors of subsets earlier in
+the order (Lemma 2).  Lemma 3 then turns factors into per-set state
+probabilities and link marginals.
+
+The central recursion (paper Eq. 18)::
+
+    P(ψ(S) = ψ(A)) / P(ψ(S) = ∅)  =  α_A · Γ_A  +  Γ_Ā
+
+where ``Γ_A`` sums, over network states matching ``ψ(A)`` whose component
+in A's own correlation set is exactly ``A``, the product of the *other*
+sets' factors, and ``Γ_Ā`` does the same over matching states whose
+component differs from ``A`` (including that component's factor).
+
+The algorithm is exponential in correlation-set size — the paper itself
+calls it impractical and uses it only as the feasibility construction.  We
+implement it faithfully for validation: on small instances it must agree
+with the ground-truth model exactly (tests) and provides the reference the
+practical algorithm (:mod:`repro.core.correlation_algorithm`) is compared
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.factors import CongestionFactors
+from repro.core.identifiability import check_assumption4
+from repro.core.interfaces import PathStateProvider
+from repro.core.state import iter_exact_covers
+from repro.exceptions import IdentifiabilityError, MeasurementError
+from repro.utils.bitset import bit_count
+
+__all__ = ["TheoremAlgorithm", "TheoremResult"]
+
+#: Refuse to run when |C̃| exceeds this bound — the point of the practical
+#: algorithm (Section 4) is exactly to avoid this blow-up.
+DEFAULT_MAX_SUBSETS = 50_000
+
+
+@dataclass(frozen=True)
+class TheoremResult:
+    """Output of the theorem algorithm.
+
+    Attributes:
+        factors: The identified congestion factors ``α_A`` for all
+            ``A ∈ C̃`` (wrapped with the Lemma-3 conversions).
+        link_marginals: ``P(X_ek = 1)`` per link id.
+        clamped_subsets: Subsets whose computed factor came out negative
+            (possible only with noisy measurements) and was clamped to 0.
+    """
+
+    factors: CongestionFactors
+    link_marginals: dict[int, float]
+    clamped_subsets: tuple[frozenset[int], ...] = field(default=())
+
+    def joint(self, link_ids) -> float:
+        """``P(all given links congested)`` — Theorem 1's full claim."""
+        return self.factors.joint(link_ids)
+
+
+class TheoremAlgorithm:
+    """Exact identification of congestion factors by ordered induction.
+
+    Args:
+        topology: The measurement topology.
+        correlation: Known correlation structure.  Assumption 4 must hold;
+            a violation raises :class:`IdentifiabilityError` at
+            construction time.
+        max_subsets: Safety bound on ``|C̃|``.
+    """
+
+    def __init__(
+        self,
+        topology,
+        correlation: CorrelationStructure,
+        *,
+        max_subsets: int = DEFAULT_MAX_SUBSETS,
+    ) -> None:
+        self._topology = topology
+        self._correlation = correlation
+        n_subsets = correlation.n_subsets()
+        if n_subsets > max_subsets:
+            raise MeasurementError(
+                f"|C̃| = {n_subsets} exceeds the bound {max_subsets}; the "
+                "theorem algorithm is exponential — use the practical "
+                "correlation algorithm instead (paper Section 4)"
+            )
+        report = check_assumption4(correlation)
+        if not report.holds:
+            raise IdentifiabilityError(
+                "Assumption 4 does not hold; the theorem algorithm's "
+                "induction is undefined.\n" + report.describe(topology),
+                colliding_subsets=report.collisions,
+            )
+        # Precompute C̃ with coverage masks and owning set, ordered by the
+        # partial order  A ≺ B ⇔ |ψ(A)| < |ψ(B)|  (any tie-break is a valid
+        # linear extension: Lemma 1 dependencies are strictly smaller).
+        self._subsets: list[tuple[frozenset[int], int, int]] = []
+        for set_index in range(correlation.n_sets):
+            for subset in correlation.subsets_of_set(set_index):
+                mask = topology.coverage_of(subset)
+                self._subsets.append((subset, mask, set_index))
+        self._subsets.sort(key=lambda item: bit_count(item[1]))
+
+    # ------------------------------------------------------------------
+    @property
+    def ordered_subsets(self) -> list[frozenset[int]]:
+        """The linear extension of ``≺`` the induction follows."""
+        return [subset for subset, _, _ in self._subsets]
+
+    # ------------------------------------------------------------------
+    def identify(self, measurements: PathStateProvider) -> TheoremResult:
+        """Run the induction of Lemma 2 and the conversions of Lemma 3.
+
+        Args:
+            measurements: Provider of ``P(ψ(S) = F)``; typically the exact
+                oracle or empirical congested-path-set frequencies.
+
+        Raises:
+            MeasurementError: When ``P(ψ(S) = ∅)`` is measured as zero —
+                every congestion factor is a ratio against that event, so
+                the method fundamentally needs some fully-good snapshots.
+        """
+        p_all_good = measurements.p_congested_mask(0)
+        if p_all_good <= 0.0:
+            raise MeasurementError(
+                "P(ψ(S) = ∅) = 0: congestion factors are ratios against "
+                "the all-paths-good event, which was never observed"
+            )
+
+        correlation = self._correlation
+        n_sets = correlation.n_sets
+        alphas: dict[frozenset[int], float] = {}
+        clamped: list[frozenset[int]] = []
+
+        # Per correlation set, candidate (subset, mask) pairs for the state
+        # enumeration; the empty subset (factor 1) is always admissible.
+        per_set_all: list[list[tuple[frozenset[int], int]]] = [
+            [(frozenset(), 0)] for _ in range(n_sets)
+        ]
+        for subset, mask, set_index in self._subsets:
+            per_set_all[set_index].append((subset, mask))
+
+        def alpha_of(subset: frozenset[int]) -> float:
+            if not subset:
+                return 1.0
+            try:
+                return alphas[subset]
+            except KeyError:
+                # Lemma 1 guarantees dependencies come earlier in the
+                # order; reaching this means the order was violated.
+                raise AssertionError(
+                    f"factor for {sorted(subset)} requested before it was "
+                    "computed — ordering bug"
+                ) from None
+
+        for subset, target_mask, q in self._subsets:
+            gamma_a = 0.0
+            gamma_not_a = 0.0
+            for state in iter_exact_covers(target_mask, per_set_all):
+                if state[q] == subset:
+                    product = 1.0
+                    for p in range(n_sets):
+                        if p != q:
+                            product *= alpha_of(state[p])
+                    gamma_a += product
+                else:
+                    product = 1.0
+                    for p in range(n_sets):
+                        product *= alpha_of(state[p])
+                    gamma_not_a += product
+            # Γ_A ≥ 1 always: the state S_n = A itself contributes the
+            # all-empty product (Lemma 2's "denominator never 0").
+            ratio = measurements.p_congested_mask(target_mask) / p_all_good
+            value = (ratio - gamma_not_a) / gamma_a
+            if value < 0.0:
+                # A subset whose true factor is 0 computes to a tiny
+                # negative through float cancellation; zero it silently.
+                # Meaningful negatives only arise from noisy inputs and
+                # are recorded.
+                tolerance = 1e-9 * max(1.0, ratio, gamma_not_a)
+                if value < -tolerance:
+                    clamped.append(subset)
+                value = 0.0
+            alphas[subset] = value
+
+        factors = CongestionFactors(correlation, alphas)
+        return TheoremResult(
+            factors=factors,
+            link_marginals=factors.link_marginals(),
+            clamped_subsets=tuple(clamped),
+        )

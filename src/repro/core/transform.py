@@ -1,0 +1,325 @@
+"""Topology transformations for unidentifiable instances (Section 3.3).
+
+Two merge operations are implemented:
+
+* :func:`merge_correlated_node` / :func:`transform_until_identifiable` —
+  the paper's transformation: when an intermediate node has all its ingress
+  links in one correlation set and all its egress links in one correlation
+  set, remove the node and draw a *merged link* ``v_last -> v_next`` for
+  every path that crossed it.  The merged links inherit the union of the
+  two correlation sets.  Inference on the transformed graph characterises
+  merged links, not the originals — tomography at reduced granularity.
+
+* :func:`merge_indistinguishable_links` — the classical transformation of
+  independent-link tomography: consecutive links traversed by exactly the
+  same paths are collapsed into one, restoring the traditional assumption
+  that no two links share a coverage.
+
+Both return a :class:`TransformResult` carrying the new topology, the new
+correlation structure, and a mapping from each new link to the original
+links it stands for, so callers can push inferred probabilities back onto
+(groups of) original links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.link import Link, Path
+from repro.core.topology import Topology
+from repro.exceptions import TopologyError
+
+__all__ = [
+    "TransformResult",
+    "merge_correlated_node",
+    "transform_until_identifiable",
+    "merge_indistinguishable_links",
+]
+
+
+@dataclass(frozen=True)
+class TransformResult:
+    """A transformed instance plus provenance.
+
+    Attributes:
+        topology: The transformed topology.
+        correlation: Correlation structure over the transformed links.
+        origin: For each new link id, the frozenset of *original* link ids
+            it represents (singleton for untouched links).
+        merged_nodes: Nodes removed by the transformation, in order.
+    """
+
+    topology: Topology
+    correlation: CorrelationStructure
+    origin: dict[int, frozenset[int]]
+    merged_nodes: tuple[Hashable, ...] = ()
+
+    def project_probabilities(
+        self, probabilities
+    ) -> dict[frozenset[int], float]:
+        """Map inferred per-merged-link probabilities back to groups of
+        original links.
+
+        The paper's transformation trades granularity for identifiability:
+        inference on the transformed graph characterises each merged link
+        — i.e. the probability that *at least one* of its original links
+        is congested — but cannot split that probability among them.
+        Returns ``{frozenset(original link ids): P(any congested)}``.
+        """
+        projected: dict[frozenset[int], float] = {}
+        for new_id, originals in self.origin.items():
+            projected[originals] = float(probabilities[new_id])
+        return projected
+
+
+def _eligible_nodes(
+    topology: Topology, correlation: CorrelationStructure
+) -> list:
+    """Interior nodes with single-set ingress and single-set egress whose
+    every crossing path passes through (no path starts/ends there)."""
+    from repro.core.identifiability import structurally_unidentifiable_nodes
+
+    candidates = structurally_unidentifiable_nodes(topology, correlation)
+    eligible = []
+    for node in candidates:
+        endpoint = False
+        for path in topology.paths:
+            first = topology.links[path.link_ids[0]]
+            last = topology.links[path.link_ids[-1]]
+            if first.src == node or last.dst == node:
+                endpoint = True
+                break
+        if not endpoint:
+            eligible.append(node)
+    return eligible
+
+
+def merge_correlated_node(
+    topology: Topology,
+    correlation: CorrelationStructure,
+    node: Hashable,
+    *,
+    origin: dict[int, frozenset[int]] | None = None,
+) -> TransformResult:
+    """Apply the Section-3.3 merge at one node.
+
+    Every path crossing ``node`` has its (ingress, egress) link pair at the
+    node replaced by a merged link from the ingress link's source to the
+    egress link's destination.  Links incident to the node that survive on
+    no path disappear.  The correlation sets of the removed ingress and
+    egress links are united into a single set that also receives the merged
+    links; the remaining sets are untouched.
+
+    Raises :class:`TopologyError` when a path starts or ends at ``node``
+    (the transformation is only defined for pass-through nodes).
+    """
+    if origin is None:
+        origin = {
+            link.id: frozenset([link.id]) for link in topology.links
+        }
+
+    incident = {
+        link.id
+        for link in topology.links
+        if link.src == node or link.dst == node
+    }
+    if not incident:
+        raise TopologyError(f"node {node!r} has no incident links")
+    for path in topology.paths:
+        first = topology.links[path.link_ids[0]]
+        last = topology.links[path.link_ids[-1]]
+        if first.src == node or last.dst == node:
+            raise TopologyError(
+                f"path {path.name!r} starts or ends at {node!r}; the merge "
+                "transformation needs pass-through traffic only"
+            )
+
+    # Correlation sets feeding the merge: those of the removed links.
+    affected_sets = {
+        correlation.set_index_of(link_id) for link_id in incident
+    }
+
+    # Rebuild paths, creating merged links on demand.  A merged link is
+    # keyed by its (ingress link, egress link) pair so distinct routes
+    # through the node stay distinct logical links.
+    new_links: list[Link] = []
+    new_origin: dict[int, frozenset[int]] = {}
+    keep_map: dict[int, int] = {}  # old id -> new id for untouched links
+    merged_map: dict[tuple[int, int], int] = {}
+    merged_set_members: set[int] = set()
+
+    def keep(old_id: int) -> int:
+        if old_id not in keep_map:
+            old = topology.links[old_id]
+            new_id = len(new_links)
+            new_links.append(
+                Link(id=new_id, name=old.name, src=old.src, dst=old.dst)
+            )
+            new_origin[new_id] = origin[old_id]
+            keep_map[old_id] = new_id
+        return keep_map[old_id]
+
+    def merged(in_id: int, out_id: int) -> int:
+        key = (in_id, out_id)
+        if key not in merged_map:
+            in_link = topology.links[in_id]
+            out_link = topology.links[out_id]
+            new_id = len(new_links)
+            new_links.append(
+                Link(
+                    id=new_id,
+                    name=f"{in_link.name}+{out_link.name}",
+                    src=in_link.src,
+                    dst=out_link.dst,
+                )
+            )
+            new_origin[new_id] = origin[in_id] | origin[out_id]
+            merged_map[key] = new_id
+            merged_set_members.add(new_id)
+        return merged_map[key]
+
+    new_paths: list[Path] = []
+    for path in topology.paths:
+        sequence: list[int] = []
+        ids = path.link_ids
+        i = 0
+        while i < len(ids):
+            link = topology.links[ids[i]]
+            if link.dst == node:
+                if i + 1 >= len(ids):
+                    raise TopologyError(
+                        f"path {path.name!r} ends on an ingress of {node!r}"
+                    )
+                sequence.append(merged(ids[i], ids[i + 1]))
+                i += 2
+            else:
+                sequence.append(keep(ids[i]))
+                i += 1
+        new_paths.append(
+            Path(id=len(new_paths), name=path.name, link_ids=tuple(sequence))
+        )
+
+    new_topology = Topology(new_links, new_paths)
+
+    # Rebuild correlation sets: affected sets fuse into one (plus merged
+    # links); other sets map through keep_map, dropping vanished links.
+    new_sets: list[set[int]] = []
+    fused: set[int] = set(merged_set_members)
+    for index, group in enumerate(correlation.sets):
+        mapped = {
+            keep_map[link_id] for link_id in group if link_id in keep_map
+        }
+        if index in affected_sets:
+            fused.update(mapped)
+        elif mapped:
+            new_sets.append(mapped)
+    if fused:
+        new_sets.append(fused)
+    new_correlation = CorrelationStructure(new_topology, new_sets)
+
+    return TransformResult(
+        topology=new_topology,
+        correlation=new_correlation,
+        origin=new_origin,
+        merged_nodes=(node,),
+    )
+
+
+def transform_until_identifiable(
+    topology: Topology,
+    correlation: CorrelationStructure,
+    *,
+    max_iterations: int = 1000,
+) -> TransformResult:
+    """Repeatedly merge offending nodes until the structural criterion of
+    Section 3.3 finds none (or no further node is mergeable).
+
+    This implements the paper's "we can apply a transformation to the
+    network topology (merge certain consecutive links) so that
+    [Assumption 4] does" workflow.  Nodes where some path starts/ends are
+    skipped — they cannot be merged away.
+    """
+    result = TransformResult(
+        topology=topology,
+        correlation=correlation,
+        origin={link.id: frozenset([link.id]) for link in topology.links},
+        merged_nodes=(),
+    )
+    for _ in range(max_iterations):
+        nodes = _eligible_nodes(result.topology, result.correlation)
+        if not nodes:
+            return result
+        step = merge_correlated_node(
+            result.topology,
+            result.correlation,
+            nodes[0],
+            origin=result.origin,
+        )
+        result = TransformResult(
+            topology=step.topology,
+            correlation=step.correlation,
+            origin=step.origin,
+            merged_nodes=result.merged_nodes + step.merged_nodes,
+        )
+    raise TopologyError(
+        f"transformation did not converge in {max_iterations} iterations"
+    )
+
+
+def merge_indistinguishable_links(topology: Topology) -> TransformResult:
+    """Collapse consecutive links with identical path coverage.
+
+    Classical tomography preprocessing: two links traversed by exactly the
+    same paths cannot be told apart from end-to-end observations; when they
+    appear consecutively they are replaced by one merged link.  The result
+    carries a trivial (all-singleton) correlation structure — this helper
+    exists for the independent-links baseline and for comparison tests.
+    """
+    coverage = topology.coverage
+    new_links: list[Link] = []
+    new_origin: dict[int, frozenset[int]] = {}
+    rep_map: dict[tuple[int, ...], int] = {}  # run of old ids -> new id
+
+    def link_for_run(run: tuple[int, ...]) -> int:
+        if run not in rep_map:
+            first = topology.links[run[0]]
+            last = topology.links[run[-1]]
+            name = (
+                first.name
+                if len(run) == 1
+                else "+".join(topology.links[k].name for k in run)
+            )
+            new_id = len(new_links)
+            new_links.append(
+                Link(id=new_id, name=name, src=first.src, dst=last.dst)
+            )
+            new_origin[new_id] = frozenset(run)
+            rep_map[run] = new_id
+        return rep_map[run]
+
+    new_paths: list[Path] = []
+    for path in topology.paths:
+        sequence: list[int] = []
+        ids = path.link_ids
+        i = 0
+        while i < len(ids):
+            j = i
+            while (
+                j + 1 < len(ids) and coverage[ids[j + 1]] == coverage[ids[i]]
+            ):
+                j += 1
+            sequence.append(link_for_run(tuple(ids[i : j + 1])))
+            i = j + 1
+        new_paths.append(
+            Path(id=len(new_paths), name=path.name, link_ids=tuple(sequence))
+        )
+
+    new_topology = Topology(new_links, new_paths)
+    return TransformResult(
+        topology=new_topology,
+        correlation=CorrelationStructure.trivial(new_topology),
+        origin=new_origin,
+        merged_nodes=(),
+    )

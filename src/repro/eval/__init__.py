@@ -1,0 +1,77 @@
+"""Evaluation harness: metrics, scenarios, and figure drivers."""
+
+from repro.eval.figures import (
+    SCALES,
+    CdfResult,
+    SweepPoint,
+    SweepResult,
+    default_config,
+    default_instance,
+    figure3_cdf,
+    figure3_sweep,
+    figure4_cdf,
+    figure5_cdf,
+)
+from repro.eval.metrics import (
+    DEFAULT_CDF_GRID,
+    ErrorStats,
+    absolute_error_stats,
+    error_cdf,
+    potentially_congested_links,
+)
+from repro.eval.localization_eval import (
+    LocalizationScore,
+    evaluate_localization,
+)
+from repro.eval.mislabel import make_mislabeled_scenario
+from repro.eval.report import render_cdf, render_sweep
+from repro.eval.tomographer import (
+    TomographerComparison,
+    ValidationReport,
+    indirect_validation,
+    predict_path_congestion,
+    run_tomographer,
+)
+from repro.eval.runner import ComparisonResult, run_comparison
+from repro.eval.scenario import (
+    HIGH_CORRELATION_RANGE,
+    LOOSE_CORRELATION_RANGE,
+    CongestionScenario,
+    make_clustered_scenario,
+)
+from repro.eval.unidentifiable import make_unidentifiable_scenario
+
+__all__ = [
+    "SCALES",
+    "default_instance",
+    "default_config",
+    "SweepPoint",
+    "SweepResult",
+    "CdfResult",
+    "figure3_sweep",
+    "figure3_cdf",
+    "figure4_cdf",
+    "figure5_cdf",
+    "DEFAULT_CDF_GRID",
+    "ErrorStats",
+    "absolute_error_stats",
+    "error_cdf",
+    "potentially_congested_links",
+    "render_cdf",
+    "render_sweep",
+    "ComparisonResult",
+    "run_comparison",
+    "CongestionScenario",
+    "make_clustered_scenario",
+    "make_unidentifiable_scenario",
+    "make_mislabeled_scenario",
+    "HIGH_CORRELATION_RANGE",
+    "LOOSE_CORRELATION_RANGE",
+    "TomographerComparison",
+    "ValidationReport",
+    "indirect_validation",
+    "predict_path_congestion",
+    "run_tomographer",
+    "LocalizationScore",
+    "evaluate_localization",
+]

@@ -1,0 +1,185 @@
+"""Figure-5 scenarios: unknown correlation patterns ("mislabeled" links).
+
+The paper's scenario: "a worm has infected a large number of end-hosts and
+periodically orders them to flood a set of otherwise uncorrelated links;
+as a result, these links become correlated ... there is no practical way
+for an operator to know of this correlation pattern", so the algorithm
+treats the flooded links as uncorrelated — they are *mislabeled*.
+
+Construction: pick the flood targets among links the operator's structure
+holds as singletons ("otherwise uncorrelated"); the *true* model moves
+them into one hidden common-cause set (the worm's periodic flood), while
+the structure handed to the algorithm is left untouched.  The remaining
+congestion budget follows the ordinary Figure-3 clustering, so both known
+correlation and the unknown pattern are present simultaneously.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import GenerationError
+from repro.model.cluster import make_cluster_model
+from repro.model.common_cause import CommonCauseModel
+from repro.model.network import NetworkCongestionModel
+from repro.topogen.instance import TomographyInstance
+from repro.eval.scenario import (
+    HIGH_CORRELATION_RANGE,
+    CongestionScenario,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = ["make_mislabeled_scenario"]
+
+
+def make_mislabeled_scenario(
+    instance: TomographyInstance,
+    *,
+    congested_fraction: float = 0.10,
+    mislabeled_fraction: float = 0.25,
+    flood_cause_range: tuple[float, float] = (0.2, 0.6),
+    per_set_range: tuple[int, int] = HIGH_CORRELATION_RANGE,
+    cause_probability_range: tuple[float, float] = (0.15, 0.6),
+    background_range: tuple[float, float] = (0.02, 0.2),
+    seed=None,
+) -> CongestionScenario:
+    """Build a Figure-5 scenario.
+
+    Args:
+        instance: Base topology + the operator-visible correlation.
+        congested_fraction: Total congested-link budget (paper: 10%).
+        mislabeled_fraction: Fraction *of the congested links* targeted by
+            the hidden flood (0.25 for Fig. 5(a,c), 0.5 for 5(b,d)).
+        flood_cause_range: Activation probability of the worm's periodic
+            flood (all targeted links congest together when it fires).
+        per_set_range / cause_probability_range / background_range: The
+            Figure-3 knobs for the correctly-labeled remainder.
+        seed: RNG seed / generator.
+    """
+    check_fraction(congested_fraction, "congested_fraction")
+    check_fraction(mislabeled_fraction, "mislabeled_fraction")
+    rng = as_generator(seed)
+    topology = instance.topology
+    correlation = instance.correlation
+    n_links = topology.n_links
+    target_total = max(1, round(congested_fraction * n_links))
+    target_flood = round(mislabeled_fraction * target_total)
+
+    singleton_sets = [
+        set_index
+        for set_index, group in enumerate(correlation.sets)
+        if len(group) == 1
+    ]
+    if target_flood > 0 and not singleton_sets:
+        raise GenerationError(
+            "the instance has no singleton correlation sets to flood; "
+            "generate it with a cluster_fraction < 1"
+        )
+    rng.shuffle(singleton_sets)
+    flood_set_indices = singleton_sets[:target_flood]
+    flood_links = frozenset(
+        next(iter(correlation.sets[i])) for i in flood_set_indices
+    )
+    shortfall = target_flood - len(flood_links)
+
+    # ------------------------------------------------------------------
+    # True structure: flooded singletons fuse into one hidden set.
+    # ------------------------------------------------------------------
+    true_sets: list[set[int]] = [
+        set(group)
+        for set_index, group in enumerate(correlation.sets)
+        if set_index not in set(flood_set_indices)
+    ]
+    if flood_links:
+        true_sets.append(set(flood_links))
+    true_correlation = CorrelationStructure(topology, true_sets)
+
+    # ------------------------------------------------------------------
+    # Congestion: hidden flood + ordinary clustering for the rest.
+    # ------------------------------------------------------------------
+    remaining_budget = max(target_total - len(flood_links), 0)
+    lo, hi = per_set_range
+    n_true_sets = len(true_sets)
+    flood_index = n_true_sets - 1 if flood_links else None
+    set_order = list(range(n_true_sets))
+    rng.shuffle(set_order)
+    active_by_set: dict[int, frozenset[int]] = {}
+    total = 0
+    for set_index in set_order:
+        if total >= remaining_budget:
+            break
+        if set_index == flood_index:
+            continue
+        members = sorted(true_sets[set_index] - flood_links)
+        if not members:
+            continue
+        count = min(len(members), hi, max(remaining_budget - total, 0))
+        if len(members) >= lo:
+            count = min(
+                count, int(rng.integers(lo, min(hi, len(members)) + 1))
+            )
+        if count < 1:
+            continue
+        picks = rng.choice(len(members), size=count, replace=False)
+        active_by_set[set_index] = frozenset(members[int(i)] for i in picks)
+        total += count
+
+    models = []
+    congested: set[int] = set(flood_links)
+    for set_index, group in enumerate(true_correlation.sets):
+        if flood_index is not None and set_index == flood_index:
+            cause = float(rng.uniform(*flood_cause_range))
+            backgrounds = {
+                link_id: float(rng.uniform(*background_range))
+                for link_id in group
+            }
+            models.append(
+                CommonCauseModel(
+                    frozenset(group),
+                    cause_probability=cause,
+                    background=backgrounds,
+                )
+            )
+            continue
+        active = active_by_set.get(set_index, frozenset())
+        if active:
+            cause = float(rng.uniform(*cause_probability_range))
+            backgrounds = {
+                link_id: float(rng.uniform(*background_range))
+                for link_id in active
+            }
+            models.append(
+                make_cluster_model(
+                    frozenset(group),
+                    active,
+                    cause_probability=cause,
+                    background=backgrounds,
+                )
+            )
+            congested.update(active)
+        else:
+            models.append(
+                make_cluster_model(
+                    frozenset(group),
+                    frozenset(),
+                    cause_probability=0.0,
+                    background=0.0,
+                )
+            )
+    truth = NetworkCongestionModel(true_correlation, models)
+
+    return CongestionScenario(
+        truth_model=truth,
+        # The operator never learns about the worm: unchanged structure.
+        algorithm_correlation=correlation,
+        congested_links=frozenset(congested),
+        metadata={
+            "congested_fraction": congested_fraction,
+            "mislabeled_fraction": mislabeled_fraction,
+            "target_total": target_total,
+            "target_flood": target_flood,
+            "flood_links": flood_links,
+            "flood_shortfall": shortfall,
+            "achieved_total": len(congested),
+        },
+    )

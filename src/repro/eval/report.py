@@ -1,0 +1,51 @@
+"""Textual rendering of figure series — what the benchmarks print."""
+
+from __future__ import annotations
+
+from repro.eval.figures import CdfResult, SweepResult
+from repro.utils.tables import format_table
+
+__all__ = ["render_sweep", "render_cdf"]
+
+
+def render_sweep(result: SweepResult, *, title: str = "") -> str:
+    """Render the Figure 3(a,b) series as an aligned table."""
+    rows = []
+    for point in result.points:
+        rows.append(
+            [
+                f"{point.congested_fraction:.0%}",
+                point.correlation.mean,
+                point.independence.mean,
+                point.correlation.p90,
+                point.independence.p90,
+                point.correlation.n_links,
+            ]
+        )
+    return format_table(
+        [
+            "congested",
+            "mean[corr]",
+            "mean[indep]",
+            "p90[corr]",
+            "p90[indep]",
+            "links",
+        ],
+        rows,
+        title=title or "Figure 3(a,b): absolute error vs congested fraction",
+    )
+
+
+def render_cdf(result: CdfResult, *, title: str = "") -> str:
+    """Render a CDF panel as an aligned table (fractions, not percent)."""
+    names = sorted(result.curves)
+    headers = ["error<="] + [f"cdf[{name}]" for name in names]
+    rows = []
+    for index, level in enumerate(result.grid):
+        rows.append(
+            [f"{float(level):.2f}"]
+            + [float(result.curves[name][index]) for name in names]
+        )
+    return format_table(
+        headers, rows, title=title or f"CDF panel {result.label}"
+    )

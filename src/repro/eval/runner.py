@@ -1,0 +1,115 @@
+"""One evaluation experiment: simulate, infer with both algorithms, score.
+
+This is the paper's per-figure inner loop: given a scenario (ground-truth
+model + algorithm-visible correlation structure), run the snapshot
+simulator, hand the observations to the correlation algorithm and the
+independence algorithm, and compute per-link absolute errors over the
+potentially congested links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.correlation_algorithm import (
+    AlgorithmOptions,
+    infer_congestion,
+)
+from repro.core.independence_algorithm import infer_congestion_independent
+from repro.core.results import InferenceResult
+from repro.core.topology import Topology
+from repro.eval.metrics import (
+    ErrorStats,
+    absolute_error_stats,
+    error_cdf,
+    potentially_congested_links,
+)
+from repro.eval.scenario import CongestionScenario
+from repro.simulate.experiment import (
+    ExperimentConfig,
+    SimulationRun,
+    run_experiment,
+)
+from repro.utils.rng import spawn_children
+
+__all__ = ["ComparisonResult", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Scores of both algorithms on one simulated experiment.
+
+    Attributes:
+        truth: True per-link congestion probabilities.
+        scored_links: The potentially congested links (score population).
+        errors: Per-algorithm absolute-error vectors over scored links.
+        results: Per-algorithm full inference results.
+        run: The simulation run (observations + ground-truth states).
+    """
+
+    truth: np.ndarray
+    scored_links: np.ndarray
+    errors: dict[str, np.ndarray]
+    results: dict[str, InferenceResult]
+    run: SimulationRun = field(repr=False)
+
+    def stats(self, algorithm: str) -> ErrorStats:
+        """Mean/90th-percentile summary for one algorithm."""
+        return absolute_error_stats(self.errors[algorithm])
+
+    def cdf(self, algorithm: str, grid=None) -> tuple[np.ndarray, np.ndarray]:
+        """Error CDF for one algorithm (paper Figures 3(c,d), 4, 5)."""
+        if grid is None:
+            return error_cdf(self.errors[algorithm])
+        return error_cdf(self.errors[algorithm], grid)
+
+
+def run_comparison(
+    topology: Topology,
+    scenario: CongestionScenario,
+    *,
+    config: ExperimentConfig | None = None,
+    options: AlgorithmOptions | None = None,
+    seed=None,
+) -> ComparisonResult:
+    """Simulate one experiment and score both algorithms.
+
+    Args:
+        topology: The measurement topology.
+        scenario: Ground truth + algorithm-visible correlation.
+        config: Simulation parameters (snapshots, probes).
+        options: Algorithm knobs (shared by both algorithms).
+        seed: RNG seed / generator; the simulation consumes a child
+            stream, so identical seeds reproduce identical experiments.
+    """
+    (sim_rng,) = spawn_children(seed, 1)
+    run = run_experiment(
+        topology, scenario.truth_model, config=config, seed=sim_rng
+    )
+    truth = scenario.truth_model.link_marginals()
+    scored = potentially_congested_links(topology, run.observations)
+
+    results = {
+        "correlation": infer_congestion(
+            topology,
+            scenario.algorithm_correlation,
+            run.observations,
+            options=options,
+        ),
+        "independence": infer_congestion_independent(
+            topology, run.observations, options=options
+        ),
+    }
+    errors = {
+        name: result.absolute_errors(truth)[scored]
+        for name, result in results.items()
+    }
+    return ComparisonResult(
+        truth=truth,
+        scored_links=scored,
+        errors=errors,
+        results=results,
+        run=run,
+    )

@@ -1,0 +1,185 @@
+"""Controlled congestion scenarios (the Figure-3 knobs).
+
+The Figure-3 experiments vary (i) the fraction of congested links (5–25%)
+and (ii) how strongly the congested links cluster within correlation sets:
+"highly correlated" = more than 2 congested links per correlation set,
+"loosely correlated" = up to 2 per set.
+
+:func:`make_clustered_scenario` realises those knobs on any
+:class:`~repro.topogen.instance.TomographyInstance`: it picks which links
+are the scenario's congested ones (respecting the per-set count range),
+then gives every affected correlation set a
+:func:`~repro.model.cluster.make_cluster_model` ground truth (shared cause
++ independent background) so the congested links of a set genuinely rise
+and fall together, with closed-form true marginals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import GenerationError
+from repro.model.cluster import make_cluster_model
+from repro.model.network import NetworkCongestionModel
+from repro.topogen.instance import TomographyInstance
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = [
+    "CongestionScenario",
+    "make_clustered_scenario",
+    "HIGH_CORRELATION_RANGE",
+    "LOOSE_CORRELATION_RANGE",
+]
+
+#: "more than 2 congested links per correlation set" (Figure 3(a–c)).
+HIGH_CORRELATION_RANGE = (3, 6)
+#: "up to 2 congested links per correlation set" (Figure 3(d)).
+LOOSE_CORRELATION_RANGE = (1, 2)
+
+
+@dataclass(frozen=True)
+class CongestionScenario:
+    """Ground truth plus what the algorithm is told.
+
+    Attributes:
+        truth_model: The simulator's congestion model (its correlation
+            structure is the *true* one).
+        algorithm_correlation: The correlation structure handed to the
+            inference algorithm.  Identical to the truth's structure in
+            Figure 3; deliberately different in Figures 4 and 5.
+        congested_links: Links with positive congestion probability.
+        metadata: Scenario bookkeeping (targets, shortfalls, ...).
+    """
+
+    truth_model: NetworkCongestionModel
+    algorithm_correlation: CorrelationStructure
+    congested_links: frozenset[int]
+    metadata: dict = field(default_factory=dict)
+
+
+def _draw_active(
+    members: list[int],
+    count: int,
+    rng,
+) -> frozenset[int]:
+    picks = rng.choice(len(members), size=count, replace=False)
+    return frozenset(members[int(i)] for i in picks)
+
+
+def make_clustered_scenario(
+    instance: TomographyInstance,
+    *,
+    congested_fraction: float = 0.10,
+    per_set_range: tuple[int, int] = HIGH_CORRELATION_RANGE,
+    cause_probability_range: tuple[float, float] = (0.15, 0.6),
+    background_range: tuple[float, float] = (0.02, 0.2),
+    seed=None,
+    strict: bool = False,
+) -> CongestionScenario:
+    """Build a Figure-3 style scenario on an instance.
+
+    Args:
+        instance: Topology + correlation structure.
+        congested_fraction: Fraction of links that are congested (have
+            positive congestion probability) — the x-axis of Fig. 3(a,b).
+        per_set_range: Inclusive (min, max) congested links per affected
+            correlation set.  ``HIGH_CORRELATION_RANGE`` needs sets of
+            ≥ 3 links; when those run out the remainder is congested in
+            smaller groups (recorded in metadata) unless ``strict``.
+        cause_probability_range: Per-set shared-cause activation
+            probability, drawn uniformly.
+        background_range: Per-link background congestion probability,
+            drawn uniformly.
+        seed: RNG seed / generator.
+        strict: Raise instead of falling back to smaller groups.
+    """
+    check_fraction(congested_fraction, "congested_fraction")
+    lo, hi = per_set_range
+    if lo < 1 or hi < lo:
+        raise GenerationError(f"invalid per_set_range {per_set_range}")
+    rng = as_generator(seed)
+    correlation = instance.correlation
+    n_links = instance.topology.n_links
+    target = max(1, round(congested_fraction * n_links))
+
+    set_order = list(range(correlation.n_sets))
+    rng.shuffle(set_order)
+    active_by_set: dict[int, frozenset[int]] = {}
+    total = 0
+    # First pass: sets large enough for the requested clustering.
+    for set_index in set_order:
+        if total >= target:
+            break
+        members = sorted(correlation.sets[set_index])
+        if len(members) < lo:
+            continue
+        count = int(rng.integers(lo, min(hi, len(members)) + 1))
+        count = min(count, max(target - total, lo))
+        count = min(count, len(members))
+        if count < lo:
+            continue
+        active_by_set[set_index] = _draw_active(members, count, rng)
+        total += count
+    fallback = 0
+    if total < target:
+        if strict:
+            raise GenerationError(
+                f"only {total}/{target} links could be congested with "
+                f">= {lo} per correlation set; the instance's sets are "
+                "too small (use strict=False to fill loosely)"
+            )
+        # Second pass: fill the remainder in the largest available groups.
+        for set_index in set_order:
+            if total >= target:
+                break
+            if set_index in active_by_set:
+                continue
+            members = sorted(correlation.sets[set_index])
+            count = min(len(members), hi, target - total)
+            if count < 1:
+                continue
+            active_by_set[set_index] = _draw_active(members, count, rng)
+            total += count
+            fallback += count
+
+    models = []
+    congested: set[int] = set()
+    for set_index, group in enumerate(correlation.sets):
+        active = active_by_set.get(set_index, frozenset())
+        if active:
+            cause = float(rng.uniform(*cause_probability_range))
+            backgrounds = {
+                link_id: float(rng.uniform(*background_range))
+                for link_id in active
+            }
+            models.append(
+                make_cluster_model(
+                    group,
+                    active,
+                    cause_probability=cause,
+                    background=backgrounds,
+                )
+            )
+            congested.update(active)
+        else:
+            models.append(
+                make_cluster_model(
+                    group, frozenset(), cause_probability=0.0, background=0.0
+                )
+            )
+
+    truth = NetworkCongestionModel(correlation, models)
+    return CongestionScenario(
+        truth_model=truth,
+        algorithm_correlation=correlation,
+        congested_links=frozenset(congested),
+        metadata={
+            "congested_fraction": congested_fraction,
+            "per_set_range": per_set_range,
+            "target": target,
+            "achieved": total,
+            "fallback_links": fallback,
+        },
+    )

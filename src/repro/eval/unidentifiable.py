@@ -1,0 +1,225 @@
+"""Figure-4 scenarios: a controlled fraction of unidentifiable links.
+
+Assumption 4 fails at an intermediate node whose ingress links all belong
+to one correlation set and whose egress links all belong to one set
+(paper Section 3.3).  We *create* such nodes deliberately: a chosen node's
+incident links are re-partitioned into a single fresh correlation set (the
+"LAN around the node" that a hidden switch would produce), making every
+one of them unidentifiable.  Nodes are absorbed until the requested
+fraction of the scenario's congested links is unidentifiable.
+
+Ground truth congests each node-set jointly (shared cause — the hidden
+switch genuinely is one resource); the identifiable remainder of the
+congestion budget follows the ordinary Figure-3 clustering.
+
+Following the paper's stated practice, the structure *handed to the
+algorithm* treats the unidentifiable links "as if they were uncorrelated"
+(each becomes a singleton): their probabilities come out inaccurate but
+the remaining links stay accurate — exactly the effect Figure 4 measures.
+"""
+
+from __future__ import annotations
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.identifiability import structurally_unidentifiable_nodes
+from repro.exceptions import GenerationError
+from repro.model.cluster import make_cluster_model
+from repro.model.common_cause import CommonCauseModel
+from repro.model.network import NetworkCongestionModel
+from repro.topogen.instance import TomographyInstance
+from repro.eval.scenario import (
+    HIGH_CORRELATION_RANGE,
+    CongestionScenario,
+)
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_fraction
+
+__all__ = ["make_unidentifiable_scenario"]
+
+
+def _interior_candidate_nodes(topology) -> list:
+    """Nodes interior to some path, with both ingress and egress links."""
+    in_links: dict[object, set[int]] = {}
+    out_links: dict[object, set[int]] = {}
+    for link in topology.links:
+        out_links.setdefault(link.src, set()).add(link.id)
+        in_links.setdefault(link.dst, set()).add(link.id)
+    interior = set()
+    for path in topology.paths:
+        for link_id in path.link_ids[:-1]:
+            interior.add(topology.links[link_id].dst)
+    return [
+        node
+        for node in interior
+        if in_links.get(node) and out_links.get(node)
+    ]
+
+
+def make_unidentifiable_scenario(
+    instance: TomographyInstance,
+    *,
+    congested_fraction: float = 0.10,
+    unidentifiable_fraction: float = 0.25,
+    per_set_range: tuple[int, int] = HIGH_CORRELATION_RANGE,
+    cause_probability_range: tuple[float, float] = (0.15, 0.6),
+    background_range: tuple[float, float] = (0.02, 0.2),
+    seed=None,
+) -> CongestionScenario:
+    """Build a Figure-4 scenario.
+
+    Args:
+        instance: Base topology + correlation structure.
+        congested_fraction: Total congested-link budget (the paper fixes
+            10% for Figure 4).
+        unidentifiable_fraction: Fraction *of the congested links* that
+            must be unidentifiable (0.25 for Fig. 4(a,c), 0.5 for 4(b,d)).
+        per_set_range / cause_probability_range / background_range: The
+            Figure-3 clustering knobs for the identifiable remainder.
+        seed: RNG seed / generator.
+    """
+    check_fraction(congested_fraction, "congested_fraction")
+    check_fraction(unidentifiable_fraction, "unidentifiable_fraction")
+    rng = as_generator(seed)
+    topology = instance.topology
+    n_links = topology.n_links
+    target_total = max(1, round(congested_fraction * n_links))
+    target_unident = round(unidentifiable_fraction * target_total)
+
+    # ------------------------------------------------------------------
+    # Step 1: absorb interior nodes into single-set clumps.
+    # ------------------------------------------------------------------
+    candidates = _interior_candidate_nodes(topology)
+    rng.shuffle(candidates)
+    node_sets: list[frozenset[int]] = []
+    taken: set[int] = set()
+    incident: dict[object, set[int]] = {}
+    for link in topology.links:
+        incident.setdefault(link.src, set()).add(link.id)
+        incident.setdefault(link.dst, set()).add(link.id)
+    unident_count = 0
+    for node in candidates:
+        if unident_count >= target_unident:
+            break
+        links = incident[node] - taken
+        # All incident links must be free, otherwise the clump would
+        # overlap an earlier one and the partition breaks.
+        if links != incident[node] or len(links) < 2:
+            continue
+        node_sets.append(frozenset(links))
+        taken.update(links)
+        unident_count += len(links)
+    if target_unident > 0 and unident_count == 0:
+        raise GenerationError(
+            "no interior node available to create unidentifiable links"
+        )
+
+    # ------------------------------------------------------------------
+    # Step 2: true correlation structure = old sets minus the taken
+    # links, plus one set per absorbed node.
+    # ------------------------------------------------------------------
+    true_sets: list[set[int]] = []
+    for group in instance.correlation.sets:
+        rest = set(group) - taken
+        if rest:
+            true_sets.append(rest)
+    true_sets.extend(set(s) for s in node_sets)
+    true_correlation = CorrelationStructure(topology, true_sets)
+
+    # ------------------------------------------------------------------
+    # Step 3: congestion ground truth.  Node clumps congest jointly;
+    # the remaining budget clusters inside the surviving sets.
+    # ------------------------------------------------------------------
+    remaining_budget = max(target_total - unident_count, 0)
+    lo, hi = per_set_range
+    set_order = list(range(len(true_sets)))
+    rng.shuffle(set_order)
+    node_set_start = len(true_sets) - len(node_sets)
+    active_by_set: dict[int, frozenset[int]] = {}
+    total = 0
+    for set_index in set_order:
+        if total >= remaining_budget:
+            break
+        if set_index >= node_set_start:
+            continue  # node clumps handled separately
+        members = sorted(true_sets[set_index])
+        count = min(
+            len(members), hi, max(remaining_budget - total, 0)
+        )
+        if len(members) >= lo:
+            count = min(count, int(rng.integers(lo, min(hi, len(members)) + 1)))
+        if count < 1:
+            continue
+        picks = rng.choice(len(members), size=count, replace=False)
+        active_by_set[set_index] = frozenset(members[int(i)] for i in picks)
+        total += count
+
+    models = []
+    congested: set[int] = set()
+    for set_index, group in enumerate(true_correlation.sets):
+        if set_index >= node_set_start:
+            cause = float(rng.uniform(*cause_probability_range))
+            backgrounds = {
+                link_id: float(rng.uniform(*background_range))
+                for link_id in group
+            }
+            models.append(
+                CommonCauseModel(
+                    frozenset(group),
+                    cause_probability=cause,
+                    background=backgrounds,
+                )
+            )
+            congested.update(group)
+            continue
+        active = active_by_set.get(set_index, frozenset())
+        if active:
+            cause = float(rng.uniform(*cause_probability_range))
+            backgrounds = {
+                link_id: float(rng.uniform(*background_range))
+                for link_id in active
+            }
+            models.append(
+                make_cluster_model(
+                    frozenset(group),
+                    active,
+                    cause_probability=cause,
+                    background=backgrounds,
+                )
+            )
+            congested.update(active)
+        else:
+            models.append(
+                make_cluster_model(
+                    frozenset(group),
+                    frozenset(),
+                    cause_probability=0.0,
+                    background=0.0,
+                )
+            )
+    truth = NetworkCongestionModel(true_correlation, models)
+
+    # ------------------------------------------------------------------
+    # Step 4: the algorithm's view — unidentifiable links uncorrelated.
+    # ------------------------------------------------------------------
+    algo_sets: list[set[int]] = [set(s) for s in true_sets[:node_set_start]]
+    for clump in node_sets:
+        for link_id in sorted(clump):
+            algo_sets.append({link_id})
+    algorithm_correlation = CorrelationStructure(topology, algo_sets)
+
+    offenders = structurally_unidentifiable_nodes(topology, true_correlation)
+    return CongestionScenario(
+        truth_model=truth,
+        algorithm_correlation=algorithm_correlation,
+        congested_links=frozenset(congested),
+        metadata={
+            "congested_fraction": congested_fraction,
+            "unidentifiable_fraction": unidentifiable_fraction,
+            "target_total": target_total,
+            "target_unidentifiable": target_unident,
+            "unidentifiable_links": frozenset(taken),
+            "achieved_unidentifiable": unident_count,
+            "achieved_total": unident_count + total,
+            "structural_offender_nodes": len(offenders),
+        },
+    )

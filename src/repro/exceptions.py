@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError`, so callers
+can catch library-specific failures with a single ``except`` clause while
+letting programming errors (``TypeError``, ``ValueError`` from misuse of the
+standard library, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class TopologyError(ReproError):
+    """A topology violates a structural invariant.
+
+    Raised, for example, when a path revisits a link (the paper's model
+    forbids loops), when a path references an unknown link, or when a link
+    participates in no path (the paper's model forbids unused links).
+    """
+
+
+class CorrelationError(ReproError):
+    """A correlation structure is inconsistent with its topology.
+
+    Raised when the proposed correlation sets do not partition the link set,
+    reference unknown links, or contain duplicates.
+    """
+
+
+class IdentifiabilityError(ReproError):
+    """Assumption 4 (identifiability) is violated where it is required.
+
+    The exact theorem algorithm refuses to run on instances where two
+    correlation subsets cover the same set of paths, because its induction
+    is no longer well defined.  The *practical* algorithm never raises this;
+    it degrades gracefully as the paper describes in Section 5.
+    """
+
+    def __init__(self, message: str, colliding_subsets=None):
+        super().__init__(message)
+        #: Pairs of frozensets of link ids found to cover identical path
+        #: sets, when the checker collected them (may be ``None``).
+        self.colliding_subsets = colliding_subsets
+
+
+class MeasurementError(ReproError):
+    """End-to-end measurements are missing or unusable.
+
+    Raised when an estimator is asked for a probability it cannot provide,
+    e.g. a joint path-good probability for paths never observed together.
+    """
+
+
+class SolverError(ReproError):
+    """The linear-system solver failed to produce a usable solution."""
+
+
+class ModelError(ReproError):
+    """A congestion model is mis-specified.
+
+    Raised when probabilities do not sum to one, a subset distribution
+    references links outside its correlation set, or a model cannot
+    enumerate its support but was asked to.
+    """
+
+
+class GenerationError(ReproError):
+    """A topology generator could not satisfy its constraints.
+
+    Raised, for example, when a requested number of paths cannot be realised
+    on the generated graph, or a scenario cannot reach the requested fraction
+    of unidentifiable links.
+    """

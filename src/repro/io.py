@@ -1,0 +1,161 @@
+"""Serialization of tomography instances (JSON).
+
+Generated instances (Brite hierarchies, PlanetLab meshes) are expensive
+to rebuild and impossible to reproduce without the exact generator
+version and seed; persisting them lets experiments pin their inputs.
+The format is deliberately plain JSON — diffable, versioned, and
+readable by other tooling:
+
+.. code-block:: json
+
+    {
+      "format": "repro-instance",
+      "version": 1,
+      "links":  [{"name": "e1", "src": "v3", "dst": "v1"}, ...],
+      "paths":  [{"name": "P1", "links": ["e3", "e1"]}, ...],
+      "correlation_sets": [["e1", "e2"], ["e3"], ["e4"]],
+      "metadata": {...}
+    }
+
+Node identifiers are serialised with ``repr``-free JSON coercion: strings
+and integers round-trip exactly; other hashables are stringified (the
+topology semantics only need equality, which stringified ids preserve
+within one file).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.link import Link, Path
+from repro.core.topology import Topology
+from repro.exceptions import TopologyError
+from repro.topogen.instance import TomographyInstance
+
+__all__ = [
+    "instance_to_dict",
+    "instance_from_dict",
+    "save_instance",
+    "load_instance",
+]
+
+_FORMAT = "repro-instance"
+_VERSION = 1
+
+
+def _coerce_node(node) -> "str | int":
+    if isinstance(node, (str, int)):
+        return node
+    return str(node)
+
+
+def instance_to_dict(instance: TomographyInstance) -> dict:
+    """Convert an instance into the JSON-ready dictionary form."""
+    topology = instance.topology
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "links": [
+            {
+                "name": link.name,
+                "src": _coerce_node(link.src),
+                "dst": _coerce_node(link.dst),
+            }
+            for link in topology.links
+        ],
+        "paths": [
+            {
+                "name": path.name,
+                "links": [
+                    topology.links[k].name for k in path.link_ids
+                ],
+            }
+            for path in topology.paths
+        ],
+        "correlation_sets": [
+            sorted(topology.links[k].name for k in group)
+            for group in instance.correlation.sets
+        ],
+        "metadata": _jsonable_metadata(instance.metadata),
+    }
+
+
+def _jsonable_metadata(metadata: dict) -> dict:
+    """Best-effort metadata coercion: drop entries JSON cannot carry."""
+    cleaned = {}
+    for key, value in metadata.items():
+        try:
+            json.dumps(value)
+        except TypeError:
+            cleaned[str(key)] = str(value)
+        else:
+            cleaned[str(key)] = value
+    return cleaned
+
+
+def instance_from_dict(payload: dict) -> TomographyInstance:
+    """Rebuild an instance from its dictionary form.
+
+    Raises :class:`TopologyError` on format mismatches; structural
+    violations (duplicate names, non-contiguous paths, non-partition
+    correlation sets) surface through the normal constructors.
+    """
+    if payload.get("format") != _FORMAT:
+        raise TopologyError(
+            f"not a {_FORMAT} document (format="
+            f"{payload.get('format')!r})"
+        )
+    if payload.get("version") != _VERSION:
+        raise TopologyError(
+            f"unsupported {_FORMAT} version {payload.get('version')!r}"
+        )
+    links = [
+        Link(
+            id=index,
+            name=entry["name"],
+            src=entry["src"],
+            dst=entry["dst"],
+        )
+        for index, entry in enumerate(payload["links"])
+    ]
+    name_to_id = {link.name: link.id for link in links}
+    paths = [
+        Path(
+            id=index,
+            name=entry["name"],
+            link_ids=tuple(
+                name_to_id[link_name] for link_name in entry["links"]
+            ),
+        )
+        for index, entry in enumerate(payload["paths"])
+    ]
+    topology = Topology(links, paths)
+    correlation = CorrelationStructure(
+        topology,
+        [
+            [name_to_id[name] for name in group]
+            for group in payload["correlation_sets"]
+        ],
+    )
+    return TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_instance(instance: TomographyInstance, path) -> None:
+    """Write an instance to a JSON file."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(instance_to_dict(instance), indent=2, sort_keys=True)
+        + "\n"
+    )
+
+
+def load_instance(path) -> TomographyInstance:
+    """Read an instance from a JSON file."""
+    path = pathlib.Path(path)
+    return instance_from_dict(json.loads(path.read_text()))

@@ -1,0 +1,30 @@
+"""Congestion and loss models — the simulator's ground truth."""
+
+from repro.model.base import SetCongestionModel
+from repro.model.cluster import ActiveSubsetModel, make_cluster_model
+from repro.model.common_cause import CommonCauseModel
+from repro.model.explicit import ExplicitJointModel
+from repro.model.independent import IndependentModel
+from repro.model.loss import (
+    DEFAULT_LINK_THRESHOLD,
+    LossModel,
+    path_threshold,
+)
+from repro.model.markov import MarkovModulatedModel
+from repro.model.network import NetworkCongestionModel
+from repro.model.shared_resource import SharedResourceModel
+
+__all__ = [
+    "SetCongestionModel",
+    "IndependentModel",
+    "ExplicitJointModel",
+    "CommonCauseModel",
+    "SharedResourceModel",
+    "MarkovModulatedModel",
+    "ActiveSubsetModel",
+    "make_cluster_model",
+    "NetworkCongestionModel",
+    "LossModel",
+    "path_threshold",
+    "DEFAULT_LINK_THRESHOLD",
+]

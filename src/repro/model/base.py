@@ -1,0 +1,128 @@
+"""Congestion-model interfaces.
+
+The simulator needs, per correlation set ``Cp``, a *joint* distribution
+over which subset of the set is congested during a snapshot — the random
+set ``Sp`` of the paper.  Ground-truth evaluation additionally needs exact
+marginals ``P(X_ek = 1)`` (the quantity the algorithms are scored on) and,
+for the theorem algorithm's oracle, the full support when it is
+enumerable.
+
+Models implement :class:`SetCongestionModel`; the network-level composite
+lives in :mod:`repro.model.network`.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import ModelError
+
+__all__ = ["SetCongestionModel"]
+
+
+class SetCongestionModel(abc.ABC):
+    """Joint congestion behaviour of one correlation set.
+
+    Subclasses model a single stationary random set ``Sp ⊆ Cp``: each call
+    to :meth:`sample` draws the congested subset for one snapshot,
+    independently across snapshots (Assumption 3, stationarity).
+    """
+
+    def __init__(self, links: frozenset[int]) -> None:
+        if not links:
+            raise ModelError("a congestion model needs at least one link")
+        self._links = frozenset(links)
+
+    @property
+    def links(self) -> frozenset[int]:
+        """The correlation set ``Cp`` this model governs."""
+        return self._links
+
+    @property
+    def member_order(self) -> list[int]:
+        """Member link ids in sorted order — the column order of
+        :meth:`sample_matrix`."""
+        return sorted(self._links)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> frozenset[int]:
+        """Draw the congested subset ``Sp`` for one snapshot."""
+
+    def sample_matrix(
+        self, rng: np.random.Generator, n_snapshots: int
+    ) -> np.ndarray:
+        """Draw ``n_snapshots`` i.i.d. states as a boolean matrix.
+
+        Row ``t`` is snapshot ``t``; columns follow :attr:`member_order`.
+        The base implementation loops over :meth:`sample`; concrete models
+        override it with vectorised draws (the simulator's hot path).
+        """
+        order = self.member_order
+        index = {link_id: column for column, link_id in enumerate(order)}
+        out = np.zeros((n_snapshots, len(order)), dtype=bool)
+        for row in range(n_snapshots):
+            for link_id in self.sample(rng):
+                out[row, index[link_id]] = True
+        return out
+
+    @abc.abstractmethod
+    def marginal(self, link_id: int) -> float:
+        """Exact ``P(X_ek = 1)`` for a member link."""
+
+    @abc.abstractmethod
+    def joint(self, subset: frozenset[int]) -> float:
+        """Exact ``P(all links of subset congested)`` (``subset ⊆ Cp``).
+
+        Note this is the *at least* event, not ``P(Sp = subset)``; the
+        exact-state probability is :meth:`state_probability`.
+        """
+
+    # ------------------------------------------------------------------
+    # Optional exact-support interface (small models only)
+    # ------------------------------------------------------------------
+    @property
+    def enumerable(self) -> bool:
+        """Whether :meth:`support` is available."""
+        return False
+
+    def support(self) -> Iterator[tuple[frozenset[int], float]]:
+        """Yield ``(subset, P(Sp = subset))`` over the whole support.
+
+        Only available when :attr:`enumerable` is True.  Probabilities must
+        sum to 1 (the empty subset carries the remaining mass).
+        """
+        raise ModelError(
+            f"{type(self).__name__} cannot enumerate its support"
+        )
+
+    def state_probability(self, subset: frozenset[int]) -> float:
+        """``P(Sp = subset)`` — exact-state probability.
+
+        Default implementation scans :meth:`support`; models with closed
+        forms override it.
+        """
+        target = frozenset(subset)
+        for state, probability in self.support():
+            if state == target:
+                return probability
+        return 0.0
+
+    # ------------------------------------------------------------------
+    def _check_member(self, link_id: int) -> None:
+        if link_id not in self._links:
+            raise ModelError(
+                f"link {link_id} is not a member of this correlation set"
+            )
+
+    def _check_subset(self, subset: frozenset[int]) -> frozenset[int]:
+        subset = frozenset(subset)
+        if not subset <= self._links:
+            raise ModelError(
+                f"{sorted(subset)} is not a subset of the correlation set "
+                f"{sorted(self._links)}"
+            )
+        return subset

@@ -1,0 +1,125 @@
+"""Explicit joint congestion distribution over a (small) correlation set.
+
+The most direct realisation of the paper's model: the experimenter writes
+down ``P(Sp = A)`` for each subset ``A`` of the set.  Used by the toy
+examples (Section 3.2's walkthrough assigns explicit correlated behaviour
+to ``{e1, e2}``) and by property tests that need arbitrary correlated
+ground truth with exactly known probabilities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.base import SetCongestionModel
+
+__all__ = ["ExplicitJointModel"]
+
+_TOLERANCE = 1e-9
+
+
+class ExplicitJointModel(SetCongestionModel):
+    """A fully tabulated distribution over subsets of the set.
+
+    Args:
+        links: The correlation set ``Cp``.
+        distribution: ``{frozenset(subset): probability}``.  Subsets
+            missing from the mapping have probability 0; if the empty set
+            is missing it receives the leftover mass.  Probabilities must
+            sum to 1 (within tolerance).
+    """
+
+    def __init__(
+        self,
+        links: frozenset[int],
+        distribution: Mapping[frozenset[int], float],
+    ) -> None:
+        super().__init__(frozenset(links))
+        cleaned: dict[frozenset[int], float] = {}
+        total = 0.0
+        for subset, probability in distribution.items():
+            subset = self._check_subset(frozenset(subset))
+            if probability < -_TOLERANCE:
+                raise ModelError(
+                    f"P(Sp = {sorted(subset)}) = {probability} is negative"
+                )
+            probability = max(probability, 0.0)
+            if subset in cleaned:
+                raise ModelError(
+                    f"duplicate subset {sorted(subset)} in distribution"
+                )
+            cleaned[subset] = probability
+            total += probability
+        if frozenset() not in cleaned:
+            if total > 1.0 + _TOLERANCE:
+                raise ModelError(
+                    f"subset probabilities sum to {total} > 1 with no "
+                    "explicit empty-set mass"
+                )
+            cleaned[frozenset()] = max(1.0 - total, 0.0)
+            total = sum(cleaned.values())
+        if not math.isclose(total, 1.0, abs_tol=1e-6):
+            raise ModelError(
+                f"subset probabilities must sum to 1, got {total}"
+            )
+        self._states = sorted(cleaned, key=lambda s: (len(s), sorted(s)))
+        self._probabilities = np.array(
+            [cleaned[state] for state in self._states], dtype=np.float64
+        )
+        # Renormalise away float dust so rng.choice never complains.
+        self._probabilities = self._probabilities / self._probabilities.sum()
+        self._table = dict(zip(self._states, self._probabilities))
+
+    def sample(self, rng: np.random.Generator) -> frozenset[int]:
+        index = rng.choice(len(self._states), p=self._probabilities)
+        return self._states[int(index)]
+
+    def sample_matrix(
+        self, rng: np.random.Generator, n_snapshots: int
+    ) -> np.ndarray:
+        order = self.member_order
+        column_of = {link_id: col for col, link_id in enumerate(order)}
+        indicators = np.zeros((len(self._states), len(order)), dtype=bool)
+        for row, state in enumerate(self._states):
+            for link_id in state:
+                indicators[row, column_of[link_id]] = True
+        draws = rng.choice(
+            len(self._states), size=n_snapshots, p=self._probabilities
+        )
+        return indicators[draws]
+
+    def marginal(self, link_id: int) -> float:
+        self._check_member(link_id)
+        return float(
+            sum(
+                probability
+                for state, probability in self._table.items()
+                if link_id in state
+            )
+        )
+
+    def joint(self, subset: frozenset[int]) -> float:
+        subset = self._check_subset(subset)
+        return float(
+            sum(
+                probability
+                for state, probability in self._table.items()
+                if subset <= state
+            )
+        )
+
+    @property
+    def enumerable(self) -> bool:
+        return True
+
+    def support(self) -> Iterator[tuple[frozenset[int], float]]:
+        for state in self._states:
+            yield state, float(self._table[state])
+
+    def state_probability(self, subset: frozenset[int]) -> float:
+        subset = self._check_subset(subset)
+        return float(self._table.get(subset, 0.0))

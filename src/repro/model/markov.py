@@ -1,0 +1,184 @@
+"""Markov-modulated (bursty) congestion — an Assumption-3 stress test.
+
+The paper's Assumption 3 models each link's congestion as a *stationary*
+process and, implicitly through the estimators, treats snapshots as
+i.i.d.  Real congestion is bursty: a set that is congested now is more
+likely to be congested in the next snapshot.  This model violates the
+i.i.d. reading while keeping the stationary *marginals* intact, so it
+answers the practical question: does temporal correlation break the
+algorithms, or only inflate estimator variance?
+
+Mechanics: a two-state Markov chain per correlation set — ``calm`` and
+``burst`` — switching with probabilities ``p_calm_to_burst`` and
+``p_burst_to_calm`` per snapshot.  Within a state, member links congest
+independently with state-specific probabilities.  The chain starts in
+(and all exact queries use) its stationary distribution
+
+    π_burst = p_calm_to_burst / (p_calm_to_burst + p_burst_to_calm)
+
+so marginals and within-snapshot joints are exact mixtures; consecutive
+*snapshots* are correlated only through :meth:`sample_matrix` (single
+:meth:`sample` calls draw the state fresh from π — i.i.d. by
+construction, preserving the base-class contract).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.base import SetCongestionModel
+from repro.utils.validation import check_probability
+
+__all__ = ["MarkovModulatedModel"]
+
+
+class MarkovModulatedModel(SetCongestionModel):
+    """Two-state (calm/burst) Markov-modulated congestion.
+
+    Args:
+        links: The correlation set.
+        calm: Per-link congestion probabilities in the calm state (a
+            float broadcasts to all links).
+        burst: Per-link congestion probabilities in the burst state.
+        p_calm_to_burst: Per-snapshot transition probability calm→burst
+            (must be positive so the chain is ergodic).
+        p_burst_to_calm: Per-snapshot transition probability burst→calm
+            (must be positive).
+    """
+
+    def __init__(
+        self,
+        links: frozenset[int],
+        *,
+        calm: float | Mapping[int, float],
+        burst: float | Mapping[int, float],
+        p_calm_to_burst: float,
+        p_burst_to_calm: float,
+    ) -> None:
+        super().__init__(frozenset(links))
+        self._calm = self._normalise(calm, "calm")
+        self._burst = self._normalise(burst, "burst")
+        self._to_burst = check_probability(
+            p_calm_to_burst, "p_calm_to_burst"
+        )
+        self._to_calm = check_probability(
+            p_burst_to_calm, "p_burst_to_calm"
+        )
+        if self._to_burst == 0.0 or self._to_calm == 0.0:
+            raise ModelError(
+                "both transition probabilities must be positive so the "
+                "chain is ergodic (stationarity needs a unique π)"
+            )
+        self._order = sorted(self._links)
+        self._calm_vector = np.array(
+            [self._calm[k] for k in self._order], dtype=np.float64
+        )
+        self._burst_vector = np.array(
+            [self._burst[k] for k in self._order], dtype=np.float64
+        )
+
+    def _normalise(self, value, name: str) -> dict[int, float]:
+        if isinstance(value, Mapping):
+            missing = self._links - set(value)
+            if missing:
+                raise ModelError(
+                    f"{name} probabilities missing for links "
+                    f"{sorted(missing)}"
+                )
+            return {
+                k: check_probability(value[k], f"{name}[{k}]")
+                for k in self._links
+            }
+        probability = check_probability(value, name)
+        return {k: probability for k in self._links}
+
+    # ------------------------------------------------------------------
+    @property
+    def stationary_burst_probability(self) -> float:
+        """π_burst of the two-state chain."""
+        return self._to_burst / (self._to_burst + self._to_calm)
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> frozenset[int]:
+        """One snapshot with the state drawn fresh from π (i.i.d.)."""
+        bursting = rng.random() < self.stationary_burst_probability
+        vector = self._burst_vector if bursting else self._calm_vector
+        draws = rng.random(len(self._order)) < vector
+        return frozenset(
+            link_id for link_id, hit in zip(self._order, draws) if hit
+        )
+
+    def sample_matrix(
+        self, rng: np.random.Generator, n_snapshots: int
+    ) -> np.ndarray:
+        """Time-correlated snapshots: the chain actually runs.
+
+        This is where the i.i.d. assumption is deliberately violated —
+        consecutive rows share the hidden state with high probability
+        when transition probabilities are small.
+        """
+        states = np.zeros(n_snapshots, dtype=bool)
+        current = rng.random() < self.stationary_burst_probability
+        switches = rng.random(n_snapshots)
+        for row in range(n_snapshots):
+            states[row] = current
+            threshold = self._to_calm if current else self._to_burst
+            if switches[row] < threshold:
+                current = not current
+        vectors = np.where(
+            states[:, None], self._burst_vector, self._calm_vector
+        )
+        return rng.random((n_snapshots, len(self._order))) < vectors
+
+    # ------------------------------------------------------------------
+    def marginal(self, link_id: int) -> float:
+        self._check_member(link_id)
+        pi = self.stationary_burst_probability
+        return pi * self._burst[link_id] + (1 - pi) * self._calm[link_id]
+
+    def joint(self, subset: frozenset[int]) -> float:
+        subset = self._check_subset(subset)
+        if not subset:
+            return 1.0
+        pi = self.stationary_burst_probability
+        burst_product = math.prod(self._burst[k] for k in subset)
+        calm_product = math.prod(self._calm[k] for k in subset)
+        return pi * burst_product + (1 - pi) * calm_product
+
+    # ------------------------------------------------------------------
+    @property
+    def enumerable(self) -> bool:
+        return len(self._links) <= 20
+
+    def support(self) -> Iterator[tuple[frozenset[int], float]]:
+        if not self.enumerable:
+            raise ModelError(
+                f"markov model over {len(self._links)} links has too "
+                "large a support to enumerate"
+            )
+        for size in range(len(self._order) + 1):
+            for combo in itertools.combinations(self._order, size):
+                state = frozenset(combo)
+                probability = self.state_probability(state)
+                if probability > 0.0:
+                    yield state, probability
+
+    def state_probability(self, subset: frozenset[int]) -> float:
+        subset = self._check_subset(subset)
+        pi = self.stationary_burst_probability
+        total = 0.0
+        for weight, table in (
+            (pi, self._burst),
+            (1 - pi, self._calm),
+        ):
+            product = 1.0
+            for link_id in self._order:
+                p = table[link_id]
+                product *= p if link_id in subset else 1.0 - p
+            total += weight * product
+        return total

@@ -1,0 +1,216 @@
+"""Shared-resource congestion model (hidden physical substrate).
+
+Models the paper's first correlation scenario (Sections 1, 3.3, 5): each
+*logical* link (an edge of the measurement graph) maps to a set of
+underlying *physical resources* — router-level links in the Brite
+experiments, switch fabric in the Figure-2 LAN.  Each resource congests
+independently with its own probability; a logical link is congested
+exactly when at least one of its resources is.  Two logical links are
+correlated iff they share a resource.
+
+Exact quantities (resources independent):
+
+    P(X_k = 1)            = 1 − Π_{r ∈ R_k} (1 − q_r)
+    P(all of A congested) = Σ_{B ⊆ A, B≠∅} (−1)^{|B|+1} Π_{r ∈ ∪R_B}(1−q_r)
+                            ... computed by inclusion–exclusion over the
+                            complement events, see :meth:`joint`.
+
+This is the ground-truth generator for the Brite evaluation: the paper
+assigns congestion probabilities to router-level links and derives the
+AS-level (logical) probabilities — exactly what this class does.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Iterator, Mapping
+
+import numpy as np
+
+from repro.exceptions import ModelError
+from repro.model.base import SetCongestionModel
+from repro.utils.validation import check_probability
+
+__all__ = ["SharedResourceModel"]
+
+
+class SharedResourceModel(SetCongestionModel):
+    """Logical links congested via independently failing shared resources.
+
+    Args:
+        resource_map: ``{link_id: iterable of resource ids}`` — the
+            physical resources each logical link depends on.  Every link
+            needs at least one resource.
+        resource_probabilities: ``{resource_id: P(resource congested)}``.
+    """
+
+    def __init__(
+        self,
+        resource_map: Mapping[int, "frozenset | set | list | tuple"],
+        resource_probabilities: Mapping[object, float],
+    ) -> None:
+        if not resource_map:
+            raise ModelError("resource_map must not be empty")
+        super().__init__(frozenset(resource_map))
+        self._resources_of: dict[int, frozenset] = {}
+        used_resources: set = set()
+        for link_id, resources in resource_map.items():
+            resources = frozenset(resources)
+            if not resources:
+                raise ModelError(
+                    f"link {link_id} depends on no resource; a logical "
+                    "link is a sequence of at least one physical link"
+                )
+            self._resources_of[link_id] = resources
+            used_resources.update(resources)
+        missing = used_resources - set(resource_probabilities)
+        if missing:
+            raise ModelError(
+                f"no probability given for resources {sorted(map(str, missing))}"
+            )
+        self._q: dict[object, float] = {
+            resource: check_probability(
+                resource_probabilities[resource], f"q[{resource}]"
+            )
+            for resource in used_resources
+        }
+        self._resource_order = sorted(used_resources, key=str)
+        self._q_vector = np.array(
+            [self._q[r] for r in self._resource_order], dtype=np.float64
+        )
+        self._link_order = sorted(self._links)
+
+    # ------------------------------------------------------------------
+    @property
+    def resources(self) -> list:
+        """All resource ids, in deterministic order."""
+        return list(self._resource_order)
+
+    def resources_of(self, link_id: int) -> frozenset:
+        self._check_member(link_id)
+        return self._resources_of[link_id]
+
+    def sharing_pairs(self) -> list[tuple[int, int]]:
+        """Pairs of member links that share at least one resource (the
+        pairs the paper labels correlated)."""
+        pairs = []
+        for a, b in itertools.combinations(self._link_order, 2):
+            if self._resources_of[a] & self._resources_of[b]:
+                pairs.append((a, b))
+        return pairs
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> frozenset[int]:
+        failed_draws = rng.random(len(self._resource_order)) < self._q_vector
+        failed = {
+            resource
+            for resource, hit in zip(self._resource_order, failed_draws)
+            if hit
+        }
+        if not failed:
+            return frozenset()
+        return frozenset(
+            link_id
+            for link_id in self._link_order
+            if self._resources_of[link_id] & failed
+        )
+
+    def _incidence(self) -> np.ndarray:
+        """Boolean (n_resources × n_links) dependency matrix, cached."""
+        cached = getattr(self, "_incidence_cache", None)
+        if cached is None:
+            resource_index = {
+                resource: row
+                for row, resource in enumerate(self._resource_order)
+            }
+            cached = np.zeros(
+                (len(self._resource_order), len(self._link_order)),
+                dtype=bool,
+            )
+            for column, link_id in enumerate(self._link_order):
+                for resource in self._resources_of[link_id]:
+                    cached[resource_index[resource], column] = True
+            self._incidence_cache = cached
+        return cached
+
+    def sample_matrix(
+        self, rng: np.random.Generator, n_snapshots: int
+    ) -> np.ndarray:
+        failed = rng.random(
+            (n_snapshots, len(self._resource_order))
+        ) < self._q_vector
+        # A link is congested when any of its resources failed.
+        return (
+            failed.astype(np.uint8) @ self._incidence().astype(np.uint8)
+        ) > 0
+
+    def _all_good(self, resources: frozenset) -> float:
+        """Probability that every resource in the set is good."""
+        return math.prod(1.0 - self._q[r] for r in resources)
+
+    def marginal(self, link_id: int) -> float:
+        self._check_member(link_id)
+        return 1.0 - self._all_good(self._resources_of[link_id])
+
+    def joint(self, subset: frozenset[int]) -> float:
+        """``P(all links of subset congested)`` by inclusion–exclusion.
+
+        ``P(∩_k {X_k=1}) = Σ_{B ⊆ A} (−1)^{|B|} P(∩_{k∈B} {X_k=0})`` and
+        ``P(∩_{k∈B} {X_k=0})`` is the probability that the *union* of B's
+        resources is entirely good.  Exponential in ``|A|``; fine for the
+        joint sizes the experiments query (pairs, small subsets).
+        """
+        subset = self._check_subset(subset)
+        members = sorted(subset)
+        total = 0.0
+        for size in range(len(members) + 1):
+            for combo in itertools.combinations(members, size):
+                union: frozenset = frozenset()
+                for link_id in combo:
+                    union |= self._resources_of[link_id]
+                term = self._all_good(union)
+                total += term if size % 2 == 0 else -term
+        # Float dust can push exact-zero joints slightly negative.
+        return min(max(total, 0.0), 1.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def enumerable(self) -> bool:
+        return len(self._resource_order) <= 20
+
+    def support(self) -> Iterator[tuple[frozenset[int], float]]:
+        """Enumerate over *resource* states and project to link states."""
+        if not self.enumerable:
+            raise ModelError(
+                f"shared-resource model with {len(self._resource_order)} "
+                "resources has too large a support to enumerate"
+            )
+        accumulator: dict[frozenset[int], float] = {}
+        n = len(self._resource_order)
+        for bits in range(1 << n):
+            probability = 1.0
+            failed = set()
+            for index, resource in enumerate(self._resource_order):
+                if bits >> index & 1:
+                    probability *= self._q[resource]
+                    failed.add(resource)
+                else:
+                    probability *= 1.0 - self._q[resource]
+            if probability == 0.0:
+                continue
+            state = frozenset(
+                link_id
+                for link_id in self._link_order
+                if self._resources_of[link_id] & failed
+            )
+            accumulator[state] = accumulator.get(state, 0.0) + probability
+        for state in sorted(accumulator, key=lambda s: (len(s), sorted(s))):
+            yield state, accumulator[state]
+
+    def state_probability(self, subset: frozenset[int]) -> float:
+        subset = self._check_subset(subset)
+        for state, probability in self.support():
+            if state == subset:
+                return probability
+        return 0.0

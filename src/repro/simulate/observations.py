@@ -1,0 +1,154 @@
+"""Empirical estimators over observed path states.
+
+:class:`PathObservations` wraps the snapshot × path boolean matrix of path
+congestion verdicts and implements both measurement protocols:
+
+* :class:`~repro.core.interfaces.PathGoodProvider` — ``log P(Y_i = 0)``
+  and ``log P(Y_i = 0, Y_j = 0)`` as empirical frequencies, feeding the
+  practical algorithm;
+* :class:`~repro.core.interfaces.PathStateProvider` — empirical
+  frequencies of exact congested-path sets, feeding the theorem algorithm.
+
+Zero-count smoothing: an event never observed in ``N`` snapshots gets
+frequency ``1/(2N)`` instead of 0, keeping logarithms finite.  This is the
+usual "half a count" continuity correction; its effect vanishes as ``N``
+grows and is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import MeasurementError
+
+__all__ = ["PathObservations"]
+
+
+class PathObservations:
+    """Observed path congestion verdicts for one experiment.
+
+    Args:
+        path_states: Boolean matrix, ``path_states[t, i]`` true when path
+            ``P_i`` was congested during snapshot ``t``.
+    """
+
+    def __init__(self, path_states: np.ndarray) -> None:
+        states = np.asarray(path_states)
+        if states.ndim != 2:
+            raise MeasurementError(
+                f"path_states must be 2-D (snapshot × path), got shape "
+                f"{states.shape}"
+            )
+        if states.shape[0] < 1:
+            raise MeasurementError("need at least one snapshot")
+        self._states = states.astype(bool)
+        self._n_snapshots, self._n_paths = self._states.shape
+        self._good = ~self._states
+        self._good_counts = self._good.sum(axis=0).astype(np.int64)
+        self._mask_counts: dict[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_snapshots(self) -> int:
+        return self._n_snapshots
+
+    @property
+    def n_paths(self) -> int:
+        return self._n_paths
+
+    @property
+    def path_states(self) -> np.ndarray:
+        """The raw snapshot × path boolean matrix (read-only view)."""
+        view = self._states.view()
+        view.flags.writeable = False
+        return view
+
+    def congestion_frequency(self, path_id: int) -> float:
+        """Observed fraction of snapshots with the path congested."""
+        self._check_path(path_id)
+        return 1.0 - self._good_counts[path_id] / self._n_snapshots
+
+    # ------------------------------------------------------------------
+    # PathGoodProvider protocol
+    # ------------------------------------------------------------------
+    def _smooth(self, count: int) -> float:
+        if count <= 0:
+            return 0.5 / self._n_snapshots
+        if count >= self._n_snapshots:
+            return 1.0 - 0.5 / self._n_snapshots
+        return count / self._n_snapshots
+
+    def p_good(self, path_id: int) -> float:
+        """Smoothed ``P(Y_i = 0)`` estimate."""
+        self._check_path(path_id)
+        return self._smooth(int(self._good_counts[path_id]))
+
+    def log_good(self, path_id: int) -> float:
+        """``y_i = log P(Y_i = 0)`` (paper Eq. 9 left-hand side)."""
+        return math.log(self.p_good(path_id))
+
+    def p_good_pair(self, path_a: int, path_b: int) -> float:
+        """Smoothed ``P(Y_i = 0, Y_j = 0)`` estimate."""
+        self._check_path(path_a)
+        self._check_path(path_b)
+        both = int(np.sum(self._good[:, path_a] & self._good[:, path_b]))
+        return self._smooth(both)
+
+    def log_good_pair(self, path_a: int, path_b: int) -> float:
+        """``y_ij`` (paper Eq. 10 left-hand side)."""
+        return math.log(self.p_good_pair(path_a, path_b))
+
+    # ------------------------------------------------------------------
+    # PathStateProvider protocol
+    # ------------------------------------------------------------------
+    def _ensure_mask_counts(self) -> dict[int, int]:
+        if self._mask_counts is None:
+            counts: dict[int, int] = {}
+            for row in range(self._n_snapshots):
+                mask = 0
+                for path_id in np.flatnonzero(self._states[row]):
+                    mask |= 1 << int(path_id)
+                counts[mask] = counts.get(mask, 0) + 1
+            self._mask_counts = counts
+        return self._mask_counts
+
+    def p_congested_mask(self, mask: int) -> float:
+        """Empirical ``P(ψ(S) = F)`` for the exact path set ``F``.
+
+        Unlike the good-probability estimators this is *not* smoothed: the
+        theorem algorithm sums these over disjoint events, and smoothing
+        every mask would inflate total probability mass.  A never-observed
+        state simply has empirical probability 0.
+        """
+        return self._ensure_mask_counts().get(mask, 0) / self._n_snapshots
+
+    def observed_masks(self) -> dict[int, int]:
+        """``{congested-path mask: count}`` over all snapshots."""
+        return dict(self._ensure_mask_counts())
+
+    # ------------------------------------------------------------------
+    def congested_mask_of_snapshot(self, snapshot: int) -> int:
+        """Bitmask of congested paths during one snapshot (for the
+        localization extension)."""
+        if not 0 <= snapshot < self._n_snapshots:
+            raise MeasurementError(
+                f"snapshot {snapshot} out of range 0..{self._n_snapshots - 1}"
+            )
+        mask = 0
+        for path_id in np.flatnonzero(self._states[snapshot]):
+            mask |= 1 << int(path_id)
+        return mask
+
+    def _check_path(self, path_id: int) -> None:
+        if not 0 <= path_id < self._n_paths:
+            raise MeasurementError(
+                f"path id {path_id} out of range 0..{self._n_paths - 1}"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"PathObservations(n_snapshots={self._n_snapshots}, "
+            f"n_paths={self._n_paths})"
+        )

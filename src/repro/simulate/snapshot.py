@@ -1,0 +1,61 @@
+"""Single-round simulation: the paper's Section-5 round, one snapshot.
+
+Each round (paper Section 5, "Simulator"):
+
+1. decide which links are congested, respecting the individual and joint
+   congestion probabilities fixed at experiment start (the network model);
+2. assign each link a packet-loss rate per the loss model of [13];
+3. send packets along each path, dropping per-link;
+4. measure each path's loss rate and compare against ``t_p``.
+
+:func:`simulate_snapshot` does exactly one round; the bulk driver in
+:mod:`repro.simulate.experiment` runs rounds in vectorised batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.loss import LossModel
+from repro.model.network import NetworkCongestionModel
+from repro.simulate.probes import PathProber
+
+__all__ = ["SnapshotResult", "simulate_snapshot"]
+
+
+@dataclass(frozen=True)
+class SnapshotResult:
+    """One round's ground truth and observations.
+
+    Attributes:
+        link_states: True per congested link (ground truth).
+        loss_rates: Per-link loss rate assigned this round.
+        path_loss: Measured per-path loss rates.
+        path_states: True per congested path (the observation the
+            tomography algorithms are allowed to see).
+    """
+
+    link_states: np.ndarray
+    loss_rates: np.ndarray
+    path_loss: np.ndarray
+    path_states: np.ndarray
+
+
+def simulate_snapshot(
+    network_model: NetworkCongestionModel,
+    loss_model: LossModel,
+    prober: PathProber,
+    rng: np.random.Generator,
+) -> SnapshotResult:
+    """Run one full simulation round."""
+    link_states = network_model.sample_indicator(rng)
+    loss_rates = loss_model.sample_loss_rates(link_states, rng)
+    path_loss, path_states = prober.measure(loss_rates, rng)
+    return SnapshotResult(
+        link_states=link_states,
+        loss_rates=loss_rates,
+        path_loss=path_loss,
+        path_states=path_states,
+    )

@@ -1,0 +1,46 @@
+"""Topology generators: toys, Brite-style hierarchies, PlanetLab meshes."""
+
+from repro.topogen.barabasi_albert import barabasi_albert_graph
+from repro.topogen.brite import BriteScenario, generate_brite
+from repro.topogen.hierarchical import (
+    HierarchicalTopology,
+    generate_hierarchical,
+)
+from repro.topogen.instance import TomographyInstance
+from repro.topogen.planetlab import (
+    contiguous_link_clusters,
+    generate_planetlab,
+)
+from repro.topogen.routing import (
+    dedupe_routes,
+    sample_ordered_pairs,
+    shortest_path_routes,
+)
+from repro.topogen.toy import (
+    HiddenSharingScenario,
+    fig_1a,
+    fig_1b,
+    fig_2a_lan,
+    fig_2b_mpls_domain,
+)
+from repro.topogen.waxman import waxman_graph
+
+__all__ = [
+    "TomographyInstance",
+    "fig_1a",
+    "fig_1b",
+    "fig_2a_lan",
+    "fig_2b_mpls_domain",
+    "HiddenSharingScenario",
+    "waxman_graph",
+    "barabasi_albert_graph",
+    "HierarchicalTopology",
+    "generate_hierarchical",
+    "BriteScenario",
+    "generate_brite",
+    "generate_planetlab",
+    "contiguous_link_clusters",
+    "sample_ordered_pairs",
+    "shortest_path_routes",
+    "dedupe_routes",
+]

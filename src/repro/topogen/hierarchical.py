@@ -1,0 +1,210 @@
+"""BRITE-style top-down hierarchical topologies (AS level over routers).
+
+The paper's Brite experiments use *pairs* of AS-level and router-level
+topologies: the AS-level graph is the measurement topology, while the
+router-level graph determines which AS-level links share physical links
+(and hence are correlated).  BRITE's top-down mode generates exactly this
+pair; we reimplement it:
+
+1. an AS-level graph (Barabási–Albert by default, Waxman optional);
+2. per AS, a small router-level Waxman mesh with a designated *hub*
+   (highest-degree router — where the AS's traffic concentrates);
+3. per AS-level edge, one inter-AS physical link between a border router
+   of each side;
+4. each **directed** AS-level link ``(u → v)`` maps to the router-level
+   link sequence: hub(u) → border_u (intra-u shortest path), the inter-AS
+   physical link, border_v → hub(v) (intra-v shortest path).
+
+Two directed AS links are then correlated exactly when their router-level
+sequences share a physical link — e.g. two links leaving the same AS
+through partially overlapping internal routes, or the two directions of
+one AS adjacency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.exceptions import GenerationError
+from repro.topogen.barabasi_albert import barabasi_albert_graph
+from repro.topogen.waxman import waxman_graph
+from repro.utils.rng import as_generator, spawn_children
+
+__all__ = ["HierarchicalTopology", "generate_hierarchical"]
+
+
+def _canonical(u, v) -> tuple:
+    """Canonical undirected router-edge key."""
+    return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+@dataclass(frozen=True)
+class HierarchicalTopology:
+    """An AS-level graph with its router-level substrate.
+
+    Attributes:
+        as_graph: Undirected AS-level graph (nodes: AS ids ``0..n-1``).
+        router_graph: Undirected router-level graph; node names are
+            ``(as_id, index)`` tuples, each with an ``as_id`` attribute.
+        hubs: Per-AS hub router.
+        as_link_routes: For each *directed* AS pair ``(u, v)`` adjacent in
+            ``as_graph``, the underlying router-level route as a tuple of
+            canonical undirected router-edge keys.
+    """
+
+    as_graph: nx.Graph
+    router_graph: nx.Graph
+    hubs: dict[int, tuple]
+    as_link_routes: dict[tuple[int, int], tuple] = field(default_factory=dict)
+
+    @property
+    def n_ases(self) -> int:
+        return self.as_graph.number_of_nodes()
+
+    @property
+    def n_routers(self) -> int:
+        return self.router_graph.number_of_nodes()
+
+    def shared_resources(
+        self, link_a: tuple[int, int], link_b: tuple[int, int]
+    ) -> frozenset:
+        """Router edges shared by two directed AS links."""
+        return frozenset(self.as_link_routes[link_a]) & frozenset(
+            self.as_link_routes[link_b]
+        )
+
+
+def generate_hierarchical(
+    n_ases: int = 50,
+    routers_per_as: int = 6,
+    *,
+    as_model: str = "ba",
+    as_edges_per_node: int = 2,
+    as_waxman_alpha: float = 0.4,
+    as_waxman_beta: float = 0.2,
+    router_waxman_alpha: float = 0.7,
+    router_waxman_beta: float = 0.4,
+    routing: str = "hub",
+    seed=None,
+) -> HierarchicalTopology:
+    """Generate a BRITE-style two-level topology.
+
+    Args:
+        n_ases: AS-level node count.
+        routers_per_as: Routers inside each AS.
+        as_model: ``"ba"`` (preferential attachment, BRITE's AS default)
+            or ``"waxman"``.
+        as_edges_per_node: BA attachment parameter ``m``.
+        as_waxman_alpha / as_waxman_beta: Waxman parameters when
+            ``as_model="waxman"``.
+        router_waxman_alpha / router_waxman_beta: Intra-AS router mesh
+            Waxman parameters (denser, shorter links than the AS level).
+        routing: Where each AS link's intra-AS leg starts.  ``"hub"``
+            routes every leg from the AS's best-connected router — heavy
+            intra-AS overlap, so the sharing relation chains far (can
+            percolate into one giant correlated component).  ``"anchor"``
+            draws a random anchor router per adjacency — localized
+            overlap, bounded sharing components.
+        seed: RNG seed / generator.
+    """
+    if routers_per_as < 1:
+        raise GenerationError(
+            f"routers_per_as must be >= 1, got {routers_per_as}"
+        )
+    if routing not in ("hub", "anchor"):
+        raise GenerationError(
+            f"routing must be 'hub' or 'anchor', got {routing!r}"
+        )
+    as_rng, router_rng, border_rng = spawn_children(seed, 3)
+
+    if as_model == "ba":
+        as_graph = barabasi_albert_graph(
+            n_ases, as_edges_per_node, seed=as_rng
+        )
+    elif as_model == "waxman":
+        as_graph = waxman_graph(
+            n_ases,
+            alpha=as_waxman_alpha,
+            beta=as_waxman_beta,
+            seed=as_rng,
+        )
+    else:
+        raise GenerationError(
+            f"as_model must be 'ba' or 'waxman', got {as_model!r}"
+        )
+
+    # --- Intra-AS router meshes ---------------------------------------
+    router_graph = nx.Graph()
+    hubs: dict[int, tuple] = {}
+    intra: dict[int, nx.Graph] = {}
+    for as_id in range(n_ases):
+        if routers_per_as == 1:
+            mesh = nx.Graph()
+            mesh.add_node(0)
+        else:
+            mesh = waxman_graph(
+                routers_per_as,
+                alpha=router_waxman_alpha,
+                beta=router_waxman_beta,
+                seed=router_rng,
+            )
+        intra[as_id] = mesh
+        for router in mesh.nodes:
+            router_graph.add_node((as_id, router), as_id=as_id)
+        for u, v in mesh.edges:
+            router_graph.add_edge((as_id, u), (as_id, v))
+        # Hub: the best-connected router (traffic concentration point).
+        hub_router = max(
+            mesh.nodes, key=lambda r: (mesh.degree[r], -r)
+        )
+        hubs[as_id] = (as_id, hub_router)
+
+    # --- Inter-AS physical links and directed AS-link routes -----------
+    as_link_routes: dict[tuple[int, int], tuple] = {}
+    for as_u, as_v in as_graph.edges:
+        border_u = (
+            as_u,
+            int(border_rng.integers(intra[as_u].number_of_nodes())),
+        )
+        border_v = (
+            as_v,
+            int(border_rng.integers(intra[as_v].number_of_nodes())),
+        )
+        router_graph.add_edge(border_u, border_v)
+        if routing == "hub":
+            start_u = hubs[as_u][1]
+            end_v = hubs[as_v][1]
+        else:
+            start_u = int(
+                border_rng.integers(intra[as_u].number_of_nodes())
+            )
+            end_v = int(
+                border_rng.integers(intra[as_v].number_of_nodes())
+            )
+        # Intra-AS legs are routed on the AS's own mesh (local labels) so
+        # they can never stray through another AS's routers.
+        route_u = [
+            (as_u, r)
+            for r in nx.shortest_path(intra[as_u], start_u, border_u[1])
+        ]
+        route_v = [
+            (as_v, r)
+            for r in nx.shortest_path(intra[as_v], border_v[1], end_v)
+        ]
+        forward: list[tuple] = []
+        for a, b in zip(route_u, route_u[1:]):
+            forward.append(_canonical(a, b))
+        forward.append(_canonical(border_u, border_v))
+        for a, b in zip(route_v, route_v[1:]):
+            forward.append(_canonical(a, b))
+        as_link_routes[(as_u, as_v)] = tuple(forward)
+        as_link_routes[(as_v, as_u)] = tuple(reversed(forward))
+
+    return HierarchicalTopology(
+        as_graph=as_graph,
+        router_graph=router_graph,
+        hubs=hubs,
+        as_link_routes=as_link_routes,
+    )

@@ -1,0 +1,36 @@
+"""Common return type of topology generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.topology import Topology
+
+__all__ = ["TomographyInstance"]
+
+
+@dataclass(frozen=True)
+class TomographyInstance:
+    """A topology paired with its (claimed) correlation structure.
+
+    Attributes:
+        topology: The measurement topology.
+        correlation: The correlation sets the *operator knows about* — the
+            structure handed to the inference algorithm.  Ground truth may
+            differ (Figure 5); the ground-truth congestion model carries
+            its own structure.
+        metadata: Generator-specific extras (AS counts, cluster sizes...).
+    """
+
+    topology: Topology
+    correlation: CorrelationStructure
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_links(self) -> int:
+        return self.topology.n_links
+
+    @property
+    def n_paths(self) -> int:
+        return self.topology.n_paths

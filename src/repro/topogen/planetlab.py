@@ -1,0 +1,208 @@
+"""PlanetLab-style evaluation scenario: a traceroute mesh with clustered
+correlation sets.
+
+The paper's PlanetLab topologies come from running traceroute between
+PlanetLab hosts, keeping complete routes, and assigning links to
+correlation sets "such that each correlation set consisted of a contiguous
+cluster of links" (modelling a LAN or administrative domain).  PlanetLab
+is not available offline; we synthesise the same structure:
+
+* an Internet-like router graph (Waxman by default, BA optional);
+* vantage nodes playing the PlanetLab hosts, preferring low-degree
+  (edge-like) nodes;
+* shortest-path routes between sampled vantage pairs (the traceroute
+  mesh), de-duplicated — paths with no route are discarded exactly like
+  the paper's incomplete traceroutes;
+* correlation sets grown as contiguous link clusters: starting from a
+  seed link, a BFS over link adjacency (links sharing an endpoint)
+  absorbs unassigned links up to the cluster size.
+
+The substitution preserves what the algorithms actually consume: a mesh
+of overlapping multi-hop paths whose links are correlated in contiguous
+clumps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.builder import TopologyBuilder
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import GenerationError
+from repro.topogen.barabasi_albert import barabasi_albert_graph
+from repro.topogen.instance import TomographyInstance
+from repro.topogen.routing import (
+    dedupe_routes,
+    sample_ordered_pairs,
+    shortest_path_routes,
+)
+from repro.topogen.waxman import waxman_graph
+from repro.utils.rng import spawn_children
+
+__all__ = ["generate_planetlab", "contiguous_link_clusters"]
+
+
+def contiguous_link_clusters(
+    topology,
+    *,
+    cluster_size_range: tuple[int, int] = (2, 6),
+    cluster_fraction: float = 1.0,
+    seed=None,
+) -> CorrelationStructure:
+    """Partition links into contiguous clusters (plus leftover singletons).
+
+    Args:
+        topology: The topology whose links get clustered.
+        cluster_size_range: Inclusive (min, max) target cluster size; the
+            actual size may fall short when a seed link's neighbourhood is
+            exhausted.
+        cluster_fraction: Fraction of links to place into (multi-link)
+            clusters; the rest become singleton sets (the "otherwise
+            uncorrelated" links that Figure 5's worm later targets).
+        seed: RNG seed / generator.
+    """
+    low, high = cluster_size_range
+    if low < 1 or high < low:
+        raise GenerationError(
+            f"invalid cluster_size_range {cluster_size_range}"
+        )
+    (rng,) = spawn_children(seed, 1)
+
+    # Link adjacency: links touching a common node are neighbours.
+    by_node: dict[object, list[int]] = {}
+    for link in topology.links:
+        by_node.setdefault(link.src, []).append(link.id)
+        by_node.setdefault(link.dst, []).append(link.id)
+    neighbours: list[set[int]] = [set() for _ in range(topology.n_links)]
+    for members in by_node.values():
+        for a in members:
+            for b in members:
+                if a != b:
+                    neighbours[a].add(b)
+
+    unassigned = set(range(topology.n_links))
+    target_clustered = round(cluster_fraction * topology.n_links)
+    clustered = 0
+    sets: list[set[int]] = []
+    order = list(range(topology.n_links))
+    rng.shuffle(order)
+    for seed_link in order:
+        if clustered >= target_clustered:
+            break
+        if seed_link not in unassigned:
+            continue
+        size = int(rng.integers(low, high + 1))
+        cluster = {seed_link}
+        unassigned.discard(seed_link)
+        frontier = deque([seed_link])
+        while frontier and len(cluster) < size:
+            current = frontier.popleft()
+            candidates = sorted(neighbours[current] & unassigned)
+            rng.shuffle(candidates)
+            for nxt in candidates:
+                if len(cluster) >= size:
+                    break
+                cluster.add(nxt)
+                unassigned.discard(nxt)
+                frontier.append(nxt)
+        sets.append(cluster)
+        clustered += len(cluster)
+    for leftover in sorted(unassigned):
+        sets.append({leftover})
+    return CorrelationStructure(topology, sets)
+
+
+def generate_planetlab(
+    n_routers: int = 300,
+    n_vantages: int = 25,
+    n_paths: int = 200,
+    *,
+    graph_model: str = "waxman",
+    waxman_alpha: float = 0.12,
+    waxman_beta: float = 0.3,
+    ba_edges_per_node: int = 2,
+    cluster_size_range: tuple[int, int] = (2, 6),
+    cluster_fraction: float = 0.7,
+    seed=None,
+) -> TomographyInstance:
+    """Generate a PlanetLab-style tomography instance.
+
+    Args:
+        n_routers: Size of the synthetic router graph.
+        n_vantages: PlanetLab-host stand-ins probing each other.
+        n_paths: Target number of kept traceroute paths (paper: 1500 over
+            ~2000 links; defaults are laptop scale).
+        graph_model: ``"waxman"`` or ``"ba"`` router graph.
+        waxman_alpha / waxman_beta: Waxman parameters (sparse defaults so
+            shortest paths are several hops long, like real traceroutes).
+        ba_edges_per_node: BA attachment parameter.
+        cluster_size_range: Correlation-cluster sizes.
+        cluster_fraction: Fraction of links placed in multi-link clusters.
+        seed: RNG seed / generator.
+    """
+    graph_rng, vantage_rng, pair_rng, cluster_rng = spawn_children(seed, 4)
+    if graph_model == "waxman":
+        graph = waxman_graph(
+            n_routers, alpha=waxman_alpha, beta=waxman_beta, seed=graph_rng
+        )
+    elif graph_model == "ba":
+        graph = barabasi_albert_graph(
+            n_routers, ba_edges_per_node, seed=graph_rng
+        )
+    else:
+        raise GenerationError(
+            f"graph_model must be 'waxman' or 'ba', got {graph_model!r}"
+        )
+
+    if n_vantages < 2:
+        raise GenerationError(f"need >= 2 vantages, got {n_vantages}")
+    if n_vantages > n_routers:
+        raise GenerationError(
+            f"cannot place {n_vantages} vantages on {n_routers} routers"
+        )
+    # Prefer low-degree nodes: PlanetLab hosts sit at the network edge.
+    by_degree = sorted(graph.nodes, key=lambda v: (graph.degree[v], v))
+    pool = by_degree[: max(n_vantages * 3, n_vantages)]
+    picks = vantage_rng.choice(len(pool), size=n_vantages, replace=False)
+    vantages = [pool[int(i)] for i in picks]
+
+    capacity = n_vantages * (n_vantages - 1)
+    n_pairs = min(capacity, max(n_paths + n_paths // 4, n_paths + 8))
+    pairs = sample_ordered_pairs(vantages, n_pairs, seed=pair_rng)
+    routes = dedupe_routes(
+        shortest_path_routes(graph, pairs, min_hops=2)
+    )
+    if not routes:
+        raise GenerationError(
+            "no usable routes between vantages; densify the graph"
+        )
+    routes = routes[:n_paths]
+
+    builder = TopologyBuilder()
+    for index, route in enumerate(routes):
+        link_names = []
+        for src, dst in zip(route, route[1:]):
+            link = builder.ensure_link(f"r{src}->r{dst}", src, dst)
+            link_names.append(link.name)
+        builder.add_path(f"P{index + 1}", link_names)
+    topology = builder.build()
+
+    correlation = contiguous_link_clusters(
+        topology,
+        cluster_size_range=cluster_size_range,
+        cluster_fraction=cluster_fraction,
+        seed=cluster_rng,
+    )
+    return TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata={
+            "generator": "planetlab",
+            "n_routers": n_routers,
+            "n_vantages": n_vantages,
+            "requested_paths": n_paths,
+            "graph_model": graph_model,
+            "cluster_size_range": cluster_size_range,
+            "cluster_fraction": cluster_fraction,
+        },
+    )

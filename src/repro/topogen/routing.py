@@ -1,0 +1,91 @@
+"""Routing helpers: vantage selection, shortest paths, path sets.
+
+Measurement paths in both evaluation substrates come from shortest-path
+routing: AS-level routes in the Brite scenario, traceroute-discovered
+router routes in the PlanetLab scenario.  These helpers sample
+source/destination pairs, compute routes, and de-duplicate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import networkx as nx
+
+from repro.exceptions import GenerationError
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "sample_ordered_pairs",
+    "shortest_path_routes",
+    "dedupe_routes",
+]
+
+
+def sample_ordered_pairs(
+    nodes: Sequence[Hashable],
+    n_pairs: int,
+    *,
+    seed=None,
+) -> list[tuple[Hashable, Hashable]]:
+    """Sample distinct ordered (src, dst) pairs without replacement.
+
+    Raises :class:`GenerationError` when more pairs are requested than
+    exist (``n·(n−1)``).
+    """
+    nodes = list(nodes)
+    n = len(nodes)
+    capacity = n * (n - 1)
+    if n_pairs > capacity:
+        raise GenerationError(
+            f"cannot sample {n_pairs} ordered pairs from {n} nodes "
+            f"(max {capacity})"
+        )
+    rng = as_generator(seed)
+    # Sample pair indices in [0, n(n-1)) without replacement and decode.
+    indices = rng.choice(capacity, size=n_pairs, replace=False)
+    pairs = []
+    for code in indices:
+        src_index, rest = divmod(int(code), n - 1)
+        dst_index = rest if rest < src_index else rest + 1
+        pairs.append((nodes[src_index], nodes[dst_index]))
+    return pairs
+
+
+def shortest_path_routes(
+    graph: nx.Graph,
+    pairs: Sequence[tuple[Hashable, Hashable]],
+    *,
+    weight: str | None = None,
+    skip_unreachable: bool = True,
+    min_hops: int = 1,
+) -> list[list[Hashable]]:
+    """Shortest-path node walks for each (src, dst) pair.
+
+    Mirrors the paper's traceroute workflow: pairs with no route (the
+    paper's "incomplete traceroute results") are discarded when
+    ``skip_unreachable`` is set, otherwise raise.
+    """
+    routes = []
+    for src, dst in pairs:
+        try:
+            walk = nx.shortest_path(graph, src, dst, weight=weight)
+        except nx.NetworkXNoPath:
+            if skip_unreachable:
+                continue
+            raise GenerationError(f"no route from {src!r} to {dst!r}") from None
+        if len(walk) - 1 >= min_hops:
+            routes.append(list(walk))
+    return routes
+
+
+def dedupe_routes(routes: Sequence[Sequence[Hashable]]) -> list[list[Hashable]]:
+    """Drop routes whose node walk duplicates an earlier one."""
+    seen: set[tuple] = set()
+    unique = []
+    for route in routes:
+        key = tuple(route)
+        if key not in seen:
+            seen.add(key)
+            unique.append(list(route))
+    return unique

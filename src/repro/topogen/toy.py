@@ -1,0 +1,285 @@
+"""The paper's toy topologies (Figures 1 and 2).
+
+Figure 1(a): four links, three paths, Assumption 4 *holds* — every
+correlation subset covers a distinct path set.  Figure 1(b): three links,
+two paths, Assumption 4 *fails* — ``{e1, e2}`` and ``{e3}`` both cover
+``{P1, P2}``.  These two instances anchor the unit tests (the coverage
+tables of Section 3.1 are asserted verbatim) and the worked example of
+Section 3.2.
+
+Figure 2 sketches why logical links end up correlated: hidden network
+elements (an Ethernet switch, MPLS switches) that traceroute cannot see
+make distinct logical links share physical segments.
+:func:`fig_2a_lan` and :func:`fig_2b_mpls_domain` build concrete
+instances of those sketches, including the physical-resource map that a
+:class:`~repro.model.shared_resource.SharedResourceModel` turns into
+correlated ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.builder import TopologyBuilder
+from repro.core.correlation import CorrelationStructure
+from repro.model.shared_resource import SharedResourceModel
+from repro.topogen.instance import TomographyInstance
+from repro.utils.validation import check_probability
+
+__all__ = [
+    "fig_1a",
+    "fig_1b",
+    "HiddenSharingScenario",
+    "fig_2a_lan",
+    "fig_2b_mpls_domain",
+]
+
+
+def fig_1a() -> TomographyInstance:
+    """Figure 1(a): Assumption 4 holds.
+
+    Links ``E = {e1..e4}``; paths ``P1 = e3·e1``, ``P2 = e3·e2``,
+    ``P3 = e4·e2``; correlation sets ``C = {{e1,e2}, {e3}, {e4}}``.
+    Coverage (paper Section 3.1)::
+
+        ψ({e1}) = {P1}        ψ({e2}) = {P2, P3}
+        ψ({e1,e2}) = {P1,P2,P3}
+        ψ({e3}) = {P1, P2}    ψ({e4}) = {P3}
+    """
+    builder = TopologyBuilder()
+    builder.add_link("e1", "v3", "v1")
+    builder.add_link("e2", "v3", "v2")
+    builder.add_link("e3", "v4", "v3")
+    builder.add_link("e4", "v5", "v3")
+    builder.add_path("P1", ["e3", "e1"])
+    builder.add_path("P2", ["e3", "e2"])
+    builder.add_path("P3", ["e4", "e2"])
+    topology = builder.build()
+    correlation = CorrelationStructure.from_link_names(
+        topology, [["e1", "e2"], ["e3"], ["e4"]]
+    )
+    return TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata={"figure": "1a", "assumption4": True},
+    )
+
+
+def fig_1b() -> TomographyInstance:
+    """Figure 1(b): Assumption 4 fails.
+
+    Links ``E = {e1, e2, e3}``; paths ``P1 = e3·e1``, ``P2 = e3·e2``;
+    correlation sets ``C = {{e1,e2}, {e3}}``.  Correlation subsets
+    ``{e1,e2}`` and ``{e3}`` both cover ``{P1, P2}``: node ``v3`` has all
+    its ingress links (``{e3}``) in one set and all its egress links
+    (``{e1, e2}``) in one set.
+    """
+    builder = TopologyBuilder()
+    builder.add_link("e1", "v3", "v1")
+    builder.add_link("e2", "v3", "v2")
+    builder.add_link("e3", "v4", "v3")
+    builder.add_path("P1", ["e3", "e1"])
+    builder.add_path("P2", ["e3", "e2"])
+    topology = builder.build()
+    correlation = CorrelationStructure.from_link_names(
+        topology, [["e1", "e2"], ["e3"]]
+    )
+    return TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata={"figure": "1b", "assumption4": False},
+    )
+
+
+@dataclass(frozen=True)
+class HiddenSharingScenario:
+    """A Figure-2 style instance with its hidden physical substrate.
+
+    Attributes:
+        instance: Measurement topology + operator-visible correlation.
+        resource_map: ``{link_id: frozenset of physical segment ids}`` —
+            which hidden physical links each logical link traverses.
+        segment_names: Human-readable names of the physical segments.
+    """
+
+    instance: TomographyInstance
+    resource_map: dict[int, frozenset]
+    segment_names: dict = field(default_factory=dict)
+
+    def make_model(
+        self, segment_probabilities: dict
+    ) -> SharedResourceModel:
+        """Ground-truth model: segments congest independently with the
+        given probabilities; logical links inherit congestion from their
+        segments (the Figure-2 correlation mechanism)."""
+        for segment, probability in segment_probabilities.items():
+            check_probability(probability, f"P({segment})")
+        return SharedResourceModel(self.resource_map, segment_probabilities)
+
+
+def fig_2a_lan() -> HiddenSharingScenario:
+    """Figure 2(a): a LAN whose Ethernet switch traceroute cannot see.
+
+    Four IP routers ``r1..r4`` hang off one hidden switch ``sw``.  The
+    operator's graph has *logical* links router→router; physically each
+    logical link crosses two segments (``ri–sw`` up, ``sw–rj`` down).
+    Logical links sharing a segment are correlated, so the whole LAN forms
+    one correlation set.  External vantage hosts ``a`` and ``b`` each
+    reach both ingress routers — two ingress links per router keep the
+    instance identifiable (a single ingress would cover exactly the same
+    paths as the router's pair of egress LAN links, violating
+    Assumption 4; compare Figure 1(b)).
+    """
+    builder = TopologyBuilder()
+    # Access links from vantage hosts into the LAN and out of it.
+    builder.add_link("a->r1", "a", "r1")
+    builder.add_link("a->r2", "a", "r2")
+    builder.add_link("b->r1", "b", "r1")
+    builder.add_link("b->r2", "b", "r2")
+    builder.add_link("r3->c", "r3", "c")
+    builder.add_link("r3->d", "r3", "d")
+    builder.add_link("r4->c", "r4", "c")
+    builder.add_link("r4->d", "r4", "d")
+    # Logical LAN links (through the hidden switch).
+    builder.add_link("r1->r3", "r1", "r3")
+    builder.add_link("r1->r4", "r1", "r4")
+    builder.add_link("r2->r3", "r2", "r3")
+    builder.add_link("r2->r4", "r2", "r4")
+    # Measurement paths: every vantage × ingress × egress × sink combo.
+    index = 1
+    for vantage in ("a", "b"):
+        for ingress in ("r1", "r2"):
+            for egress in ("r3", "r4"):
+                for sink in ("c", "d"):
+                    builder.add_path(
+                        f"P{index}",
+                        [
+                            f"{vantage}->{ingress}",
+                            f"{ingress}->{egress}",
+                            f"{egress}->{sink}",
+                        ],
+                    )
+                    index += 1
+    topology = builder.build()
+    correlation = CorrelationStructure.from_link_names(
+        topology,
+        [
+            ["r1->r3", "r1->r4", "r2->r3", "r2->r4"],  # the LAN
+            ["a->r1"],
+            ["a->r2"],
+            ["b->r1"],
+            ["b->r2"],
+            ["r3->c"],
+            ["r3->d"],
+            ["r4->c"],
+            ["r4->d"],
+        ],
+    )
+    instance = TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata={"figure": "2a", "hidden_element": "ethernet switch"},
+    )
+    # Physical segments: each router's leg to the switch, both directions
+    # collapsed to one shared segment per router (a congested switch port
+    # hits both directions).
+    segments = {f"seg_{r}": f"{r}<->sw" for r in ("r1", "r2", "r3", "r4")}
+    resource_map = {
+        topology.link("r1->r3").id: frozenset({"seg_r1", "seg_r3"}),
+        topology.link("r1->r4").id: frozenset({"seg_r1", "seg_r4"}),
+        topology.link("r2->r3").id: frozenset({"seg_r2", "seg_r3"}),
+        topology.link("r2->r4").id: frozenset({"seg_r2", "seg_r4"}),
+        topology.link("a->r1").id: frozenset({"acc_a1"}),
+        topology.link("a->r2").id: frozenset({"acc_a2"}),
+        topology.link("b->r1").id: frozenset({"acc_b1"}),
+        topology.link("b->r2").id: frozenset({"acc_b2"}),
+        topology.link("r3->c").id: frozenset({"acc_c3"}),
+        topology.link("r3->d").id: frozenset({"acc_d3"}),
+        topology.link("r4->c").id: frozenset({"acc_c4"}),
+        topology.link("r4->d").id: frozenset({"acc_d4"}),
+    }
+    return HiddenSharingScenario(
+        instance=instance,
+        resource_map=resource_map,
+        segment_names=segments,
+    )
+
+
+def fig_2b_mpls_domain() -> HiddenSharingScenario:
+    """Figure 2(b): an MPLS domain opaque to traceroute.
+
+    Border routers ``b1..b4`` of a neighbour domain; internally, label-
+    switched paths cross two hidden MPLS switches ``m1``/``m2`` joined by
+    one trunk.  Domain-level logical links between border routers share
+    the trunk, correlating the whole domain — the paper's SLA-monitoring
+    scenario maps each such domain to one correlation set.
+    """
+    builder = TopologyBuilder()
+    for source in ("s1", "s2"):
+        for ingress in ("b1", "b2"):
+            builder.add_link(f"{source}->{ingress}", source, ingress)
+    for egress in ("b3", "b4"):
+        for sink in ("t1", "t2"):
+            builder.add_link(f"{egress}->{sink}", egress, sink)
+    builder.add_link("b1->b3", "b1", "b3")
+    builder.add_link("b1->b4", "b1", "b4")
+    builder.add_link("b2->b3", "b2", "b3")
+    builder.add_link("b2->b4", "b2", "b4")
+    index = 1
+    for source in ("s1", "s2"):
+        for ingress in ("b1", "b2"):
+            for egress in ("b3", "b4"):
+                for sink in ("t1", "t2"):
+                    builder.add_path(
+                        f"P{index}",
+                        [
+                            f"{source}->{ingress}",
+                            f"{ingress}->{egress}",
+                            f"{egress}->{sink}",
+                        ],
+                    )
+                    index += 1
+    topology = builder.build()
+    access_sets = [
+        [f"{source}->{ingress}"]
+        for source in ("s1", "s2")
+        for ingress in ("b1", "b2")
+    ] + [
+        [f"{egress}->{sink}"]
+        for egress in ("b3", "b4")
+        for sink in ("t1", "t2")
+    ]
+    correlation = CorrelationStructure.from_link_names(
+        topology,
+        [["b1->b3", "b1->b4", "b2->b3", "b2->b4"]] + access_sets,
+    )
+    instance = TomographyInstance(
+        topology=topology,
+        correlation=correlation,
+        metadata={"figure": "2b", "hidden_element": "mpls switches"},
+    )
+    # Hidden substrate: b1/b2 home to m1, b3/b4 to m2; all domain-level
+    # links cross the m1–m2 trunk.
+    resource_map = {
+        topology.link("b1->b3").id: frozenset({"b1-m1", "trunk", "m2-b3"}),
+        topology.link("b1->b4").id: frozenset({"b1-m1", "trunk", "m2-b4"}),
+        topology.link("b2->b3").id: frozenset({"b2-m1", "trunk", "m2-b3"}),
+        topology.link("b2->b4").id: frozenset({"b2-m1", "trunk", "m2-b4"}),
+    }
+    for source in ("s1", "s2"):
+        for ingress in ("b1", "b2"):
+            name = f"{source}->{ingress}"
+            resource_map[topology.link(name).id] = frozenset(
+                {f"acc_{source}_{ingress}"}
+            )
+    for egress in ("b3", "b4"):
+        for sink in ("t1", "t2"):
+            name = f"{egress}->{sink}"
+            resource_map[topology.link(name).id] = frozenset(
+                {f"acc_{egress}_{sink}"}
+            )
+    return HiddenSharingScenario(
+        instance=instance,
+        resource_map=resource_map,
+        segment_names={"trunk": "m1<->m2 trunk"},
+    )

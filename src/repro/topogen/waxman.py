@@ -1,0 +1,100 @@
+"""Waxman random graphs (one of BRITE's flat models).
+
+Waxman's classic model (RFC-era Internet modelling; the default router
+placement model in BRITE): ``n`` nodes placed uniformly in the unit
+square, an edge between ``u`` and ``v`` appearing with probability
+
+    P(u, v) = α · exp( −d(u, v) / (β · L) )
+
+where ``d`` is Euclidean distance and ``L`` the maximum possible distance.
+Larger ``α`` raises overall edge density; larger ``β`` lengthens the
+typical edge.
+
+The raw model can produce disconnected graphs; since measurement paths
+need end-to-end connectivity we repair connectivity by linking each
+stranded component to the closest node of the growing giant component —
+the same pragmatic fix BRITE applies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.exceptions import GenerationError
+from repro.utils.rng import as_generator
+
+__all__ = ["waxman_graph"]
+
+
+def waxman_graph(
+    n_nodes: int,
+    *,
+    alpha: float = 0.4,
+    beta: float = 0.2,
+    seed=None,
+    connect: bool = True,
+) -> nx.Graph:
+    """Generate a Waxman random graph with node positions.
+
+    Args:
+        n_nodes: Number of nodes (labelled ``0..n-1``).
+        alpha: Edge-density parameter, in (0, 1].
+        beta: Edge-length parameter, in (0, 1].
+        seed: RNG seed / generator.
+        connect: Repair disconnected results (default True).
+
+    Returns:
+        An undirected graph whose nodes carry a ``pos`` attribute.
+    """
+    if n_nodes < 2:
+        raise GenerationError(f"need at least 2 nodes, got {n_nodes}")
+    if not 0.0 < alpha <= 1.0:
+        raise GenerationError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 < beta <= 1.0:
+        raise GenerationError(f"beta must be in (0, 1], got {beta}")
+    rng = as_generator(seed)
+
+    graph = nx.Graph()
+    positions = rng.random((n_nodes, 2))
+    for node in range(n_nodes):
+        graph.add_node(node, pos=(float(positions[node, 0]), float(positions[node, 1])))
+
+    scale = math.sqrt(2.0)  # max distance in the unit square
+    for u in range(n_nodes):
+        for v in range(u + 1, n_nodes):
+            dx = positions[u, 0] - positions[v, 0]
+            dy = positions[u, 1] - positions[v, 1]
+            distance = math.hypot(dx, dy)
+            probability = alpha * math.exp(-distance / (beta * scale))
+            if rng.random() < probability:
+                graph.add_edge(u, v, length=distance)
+
+    if connect and n_nodes > 1:
+        _repair_connectivity(graph, positions)
+    return graph
+
+
+def _repair_connectivity(graph: nx.Graph, positions) -> None:
+    """Join components by adding the shortest possible bridging edges."""
+    components = [sorted(c) for c in nx.connected_components(graph)]
+    if len(components) <= 1:
+        return
+    # Grow from the largest component, absorbing the closest outsider.
+    components.sort(key=len, reverse=True)
+    core = set(components[0])
+    pending = [set(c) for c in components[1:]]
+    while pending:
+        best = None
+        for index, component in enumerate(pending):
+            for u in component:
+                for v in core:
+                    dx = positions[u, 0] - positions[v, 0]
+                    dy = positions[u, 1] - positions[v, 1]
+                    distance = math.hypot(dx, dy)
+                    if best is None or distance < best[0]:
+                        best = (distance, u, v, index)
+        distance, u, v, index = best
+        graph.add_edge(u, v, length=distance)
+        core |= pending.pop(index)

@@ -1,0 +1,30 @@
+"""Small shared utilities: bitsets, RNG plumbing, tables, validation."""
+
+from repro.utils.bitset import (
+    bit_count,
+    bits_of,
+    iter_bits,
+    mask_of,
+    subset_of,
+)
+from repro.utils.rng import as_generator, spawn_children
+from repro.utils.tables import format_table
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "bit_count",
+    "bits_of",
+    "iter_bits",
+    "mask_of",
+    "subset_of",
+    "as_generator",
+    "spawn_children",
+    "format_table",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+]

@@ -1,0 +1,52 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component of the library accepts either a seed (``int``),
+``None`` (fresh entropy), or an existing :class:`numpy.random.Generator`.
+Centralising the coercion here keeps experiment scripts reproducible: one
+top-level seed fans out deterministically to every substrate via
+:func:`spawn_children`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_children"]
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Accepts ``None`` (OS entropy), an ``int`` seed, a ``SeedSequence``, or an
+    existing ``Generator`` (returned unchanged so that state is shared with
+    the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.default_rng(seed)
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    raise TypeError(
+        "seed must be None, an int, a numpy SeedSequence or a Generator; "
+        f"got {type(seed).__name__}"
+    )
+
+
+def spawn_children(seed, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from one seed.
+
+    Used by experiment drivers so that, e.g., topology generation and
+    congestion sampling consume independent streams and adding snapshots to
+    one stage never perturbs another.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Spawn through the generator's bit generator seed sequence.
+        children = seed.bit_generator.seed_seq.spawn(count)
+    else:
+        children = np.random.SeedSequence(seed).spawn(count)
+    return [np.random.default_rng(child) for child in children]

@@ -1,0 +1,31 @@
+"""Argument-validation helpers shared across the package.
+
+These raise ``ValueError`` with uniform, descriptive messages; they are for
+caller mistakes, not for violations of the paper's model assumptions (those
+raise :mod:`repro.exceptions` types).
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_probability", "check_fraction", "check_positive"]
+
+
+def check_probability(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+    return float(value)
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that ``value`` lies in [0, 1] and return it (alias wording)."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a fraction in [0, 1], got {value}")
+    return float(value)
+
+
+def check_positive(value, name: str):
+    """Validate that ``value`` is strictly positive and return it."""
+    if value <= 0:
+        raise ValueError(f"{name} must be strictly positive, got {value}")
+    return value

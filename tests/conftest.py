@@ -1,0 +1,92 @@
+"""Shared fixtures: the paper's toy instances and small generated ones.
+
+Expensive generated instances are session-scoped; anything a test mutates
+must be function-scoped or copied.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    ExplicitJointModel,
+    IndependentModel,
+    NetworkCongestionModel,
+)
+from repro.simulate import ExactPathStateDistribution
+from repro.topogen import fig_1a, fig_1b, generate_brite, generate_planetlab
+
+
+@pytest.fixture(scope="session")
+def instance_1a():
+    """Figure 1(a): Assumption 4 holds."""
+    return fig_1a()
+
+
+@pytest.fixture(scope="session")
+def instance_1b():
+    """Figure 1(b): Assumption 4 fails."""
+    return fig_1b()
+
+
+def make_fig1a_model(instance):
+    """The canonical correlated ground truth used across tests.
+
+    ``{e1, e2}`` get an explicit joint with strong positive correlation;
+    ``e3`` and ``e4`` are independent.  Exact marginals:
+    P(e1)=P(e2)=0.25, P(e3)=0.3, P(e4)=0.15, P(e1∧e2)=0.2.
+    """
+    topology = instance.topology
+    e1, e2, e3, e4 = (
+        topology.link(name).id for name in ("e1", "e2", "e3", "e4")
+    )
+    return NetworkCongestionModel(
+        instance.correlation,
+        [
+            ExplicitJointModel(
+                frozenset({e1, e2}),
+                {
+                    frozenset({e1}): 0.05,
+                    frozenset({e2}): 0.05,
+                    frozenset({e1, e2}): 0.20,
+                },
+            ),
+            IndependentModel({e3: 0.3}),
+            IndependentModel({e4: 0.15}),
+        ],
+    )
+
+
+@pytest.fixture(scope="session")
+def model_1a(instance_1a):
+    return make_fig1a_model(instance_1a)
+
+
+@pytest.fixture(scope="session")
+def oracle_1a(instance_1a, model_1a):
+    """Exact path-state distribution of the Fig-1(a) ground truth."""
+    return ExactPathStateDistribution.from_model(
+        instance_1a.topology, model_1a
+    )
+
+
+@pytest.fixture(scope="session")
+def truth_1a(model_1a) -> np.ndarray:
+    return model_1a.link_marginals()
+
+
+@pytest.fixture(scope="session")
+def brite_small():
+    """A small Brite scenario shared by topogen/eval tests."""
+    return generate_brite(
+        n_ases=40, routers_per_as=5, n_paths=120, seed=101
+    )
+
+
+@pytest.fixture(scope="session")
+def planetlab_small():
+    """A small PlanetLab instance shared by topogen/eval tests."""
+    return generate_planetlab(
+        n_routers=120, n_vantages=20, n_paths=120, seed=102
+    )

@@ -1,0 +1,115 @@
+"""Unit tests for TopologyBuilder."""
+
+import pytest
+
+from repro.core.builder import TopologyBuilder
+from repro.exceptions import TopologyError
+
+
+class TestLinks:
+    def test_add_and_lookup(self):
+        builder = TopologyBuilder()
+        link = builder.add_link("e1", "a", "b")
+        assert builder.link("e1") is link
+        assert builder.has_link("e1")
+
+    def test_duplicate_name_rejected(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        with pytest.raises(TopologyError, match="duplicate"):
+            builder.add_link("e1", "b", "c")
+
+    def test_ensure_link_idempotent(self):
+        builder = TopologyBuilder()
+        first = builder.ensure_link("e1", "a", "b")
+        second = builder.ensure_link("e1", "a", "b")
+        assert first is second
+        assert builder.n_links == 1
+
+    def test_ensure_link_endpoint_mismatch_rejected(self):
+        builder = TopologyBuilder()
+        builder.ensure_link("e1", "a", "b")
+        with pytest.raises(TopologyError, match="already exists"):
+            builder.ensure_link("e1", "a", "c")
+
+    def test_missing_link_lookup(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder().link("nope")
+
+
+class TestPaths:
+    def test_add_path_by_link_names(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        builder.add_link("e2", "b", "c")
+        path = builder.add_path("P1", ["e1", "e2"])
+        assert path.link_ids == (0, 1)
+
+    def test_duplicate_path_name_rejected(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        builder.add_path("P1", ["e1"])
+        with pytest.raises(TopologyError, match="duplicate"):
+            builder.add_path("P1", ["e1"])
+
+    def test_add_path_via_nodes(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        builder.add_link("e2", "b", "c")
+        path = builder.add_path_via_nodes("P1", ["a", "b", "c"])
+        assert path.link_ids == (0, 1)
+
+    def test_via_nodes_missing_hop_rejected(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        with pytest.raises(TopologyError, match="no link"):
+            builder.add_path_via_nodes("P1", ["a", "c"])
+
+    def test_via_nodes_ambiguous_hop_rejected(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        builder.add_link("e1bis", "a", "b")
+        with pytest.raises(TopologyError, match="ambiguous"):
+            builder.add_path_via_nodes("P1", ["a", "b"])
+
+    def test_via_nodes_too_short_rejected(self):
+        with pytest.raises(TopologyError, match="at least two"):
+            TopologyBuilder().add_path_via_nodes("P1", ["a"])
+
+
+class TestBuild:
+    def test_build_produces_valid_topology(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        builder.add_path("P1", ["e1"])
+        topology = builder.build()
+        assert topology.n_links == 1
+        assert topology.n_paths == 1
+
+    def test_counters(self):
+        builder = TopologyBuilder()
+        builder.add_link("e1", "a", "b")
+        assert builder.n_links == 1
+        assert builder.n_paths == 0
+
+
+class TestFromPaths:
+    def test_links_shared_across_walks(self):
+        topology = TopologyBuilder.from_paths(
+            [["a", "b", "c"], ["a", "b", "d"]]
+        )
+        # a->b is shared; total links: a->b, b->c, b->d.
+        assert topology.n_links == 3
+        assert topology.n_paths == 2
+
+    def test_link_names_encode_endpoints(self):
+        topology = TopologyBuilder.from_paths([["x", "y"]])
+        assert topology.links[0].name == "x->y"
+
+    def test_short_walk_rejected(self):
+        with pytest.raises(TopologyError):
+            TopologyBuilder.from_paths([["only"]])
+
+    def test_path_prefix(self):
+        topology = TopologyBuilder.from_paths([["a", "b"]], path_prefix="Q")
+        assert topology.paths[0].name == "Q1"

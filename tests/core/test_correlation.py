@@ -1,0 +1,176 @@
+"""Unit tests for CorrelationStructure (sets, subsets, eligibility)."""
+
+import pytest
+
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import CorrelationError
+
+
+class TestPartitionValidation:
+    def test_fig1a_sets(self, instance_1a):
+        correlation = instance_1a.correlation
+        assert correlation.n_sets == 3
+        sizes = sorted(len(s) for s in correlation.sets)
+        assert sizes == [1, 1, 2]
+
+    def test_missing_link_rejected(self, instance_1a):
+        with pytest.raises(CorrelationError, match="cover every link"):
+            CorrelationStructure(instance_1a.topology, [[0, 1], [2]])
+
+    def test_duplicate_link_rejected(self, instance_1a):
+        with pytest.raises(CorrelationError, match="more than one"):
+            CorrelationStructure(
+                instance_1a.topology, [[0, 1], [1, 2], [3]]
+            )
+
+    def test_unknown_link_rejected(self, instance_1a):
+        with pytest.raises(CorrelationError, match="unknown"):
+            CorrelationStructure(
+                instance_1a.topology, [[0, 1], [2], [3], [99]]
+            )
+
+    def test_empty_set_rejected(self, instance_1a):
+        with pytest.raises(CorrelationError, match="empty"):
+            CorrelationStructure(
+                instance_1a.topology, [[0, 1], [2], [3], []]
+            )
+
+
+class TestConstructors:
+    def test_trivial_is_all_singletons(self, instance_1a):
+        trivial = CorrelationStructure.trivial(instance_1a.topology)
+        assert trivial.is_trivial
+        assert trivial.n_sets == instance_1a.topology.n_links
+
+    def test_fig1a_not_trivial(self, instance_1a):
+        assert not instance_1a.correlation.is_trivial
+
+    def test_from_link_names(self, instance_1a):
+        rebuilt = CorrelationStructure.from_link_names(
+            instance_1a.topology, [["e1", "e2"], ["e3"], ["e4"]]
+        )
+        assert rebuilt == instance_1a.correlation
+
+
+class TestMembership:
+    def test_set_of(self, instance_1a):
+        correlation = instance_1a.correlation
+        topology = instance_1a.topology
+        e1, e2 = topology.link("e1").id, topology.link("e2").id
+        assert correlation.set_of(e1) == correlation.set_of(e2)
+
+    def test_same_set(self, instance_1a):
+        topology = instance_1a.topology
+        correlation = instance_1a.correlation
+        e1, e2, e3 = (topology.link(n).id for n in ("e1", "e2", "e3"))
+        assert correlation.same_set(e1, e2)
+        assert not correlation.same_set(e1, e3)
+
+    def test_unknown_link(self, instance_1a):
+        with pytest.raises(CorrelationError):
+            instance_1a.correlation.set_index_of(99)
+
+    def test_largest_set_size(self, instance_1a):
+        assert instance_1a.correlation.largest_set_size == 2
+
+
+class TestSubsets:
+    def test_fig1a_c_tilde(self, instance_1a):
+        """C̃ = {{e1},{e2},{e1,e2},{e3},{e4}} (paper Section 2.1)."""
+        topology = instance_1a.topology
+        names = {
+            frozenset(topology.links[k].name for k in subset)
+            for subset in instance_1a.correlation.iter_subsets()
+        }
+        assert names == {
+            frozenset({"e1"}),
+            frozenset({"e2"}),
+            frozenset({"e1", "e2"}),
+            frozenset({"e3"}),
+            frozenset({"e4"}),
+        }
+
+    def test_n_subsets_arithmetic(self, instance_1a):
+        # |C̃| = (2^2-1) + (2^1-1) + (2^1-1) = 5
+        assert instance_1a.correlation.n_subsets() == 5
+
+    def test_subset_size_cap(self, instance_1a):
+        capped = list(
+            instance_1a.correlation.iter_subsets(max_subset_size=1)
+        )
+        assert all(len(s) == 1 for s in capped)
+        assert len(capped) == 4
+
+    def test_subsets_of_set(self, instance_1a):
+        correlation = instance_1a.correlation
+        big = max(
+            range(correlation.n_sets),
+            key=lambda i: len(correlation.sets[i]),
+        )
+        subsets = list(correlation.subsets_of_set(big))
+        assert len(subsets) == 3  # {e1}, {e2}, {e1,e2}
+
+    def test_huge_set_requires_cap(self, planetlab_small):
+        import repro.core.correlation as module
+
+        # Simulate a huge set by lowering the enumerable bound.
+        original = module._MAX_ENUMERABLE_SET_SIZE
+        module._MAX_ENUMERABLE_SET_SIZE = 1
+        try:
+            with pytest.raises(CorrelationError, match="too large"):
+                list(planetlab_small.correlation.iter_subsets())
+        finally:
+            module._MAX_ENUMERABLE_SET_SIZE = original
+
+
+class TestEligibility:
+    def test_all_fig1a_paths_are_correlation_free(self, instance_1a):
+        correlation = instance_1a.correlation
+        for path in instance_1a.topology.paths:
+            assert correlation.path_is_correlation_free(path.id)
+
+    def test_pair_p2_p3_is_free(self, instance_1a):
+        """The paper's Eq. 7 uses the pair (P2, P3)."""
+        topology = instance_1a.topology
+        correlation = instance_1a.correlation
+        p2, p3 = topology.path("P2").id, topology.path("P3").id
+        assert correlation.pair_is_correlation_free(p2, p3)
+
+    def test_pair_p1_p2_is_not_free(self, instance_1a):
+        """The paper's Eq. 8 discussion: (P1, P2) would introduce x12."""
+        topology = instance_1a.topology
+        correlation = instance_1a.correlation
+        p1, p2 = topology.path("P1").id, topology.path("P2").id
+        assert not correlation.pair_is_correlation_free(p1, p2)
+
+    def test_path_with_two_same_set_links_not_free(self):
+        from repro.core.builder import TopologyBuilder
+
+        builder = TopologyBuilder()
+        builder.add_link("a", "u", "v")
+        builder.add_link("b", "v", "w")
+        builder.add_path("P1", ["a", "b"])
+        topology = builder.build()
+        correlation = CorrelationStructure(topology, [[0, 1]])
+        assert not correlation.path_is_correlation_free(0)
+        assert not correlation.pair_is_correlation_free(0, 0)
+
+    def test_shared_identical_link_is_allowed_in_pairs(self):
+        from repro.core.builder import TopologyBuilder
+
+        builder = TopologyBuilder()
+        builder.add_link("stem", "s", "m")
+        builder.add_link("left", "m", "l")
+        builder.add_link("right", "m", "r")
+        builder.add_path("P1", ["stem", "left"])
+        builder.add_path("P2", ["stem", "right"])
+        topology = builder.build()
+        correlation = CorrelationStructure.trivial(topology)
+        # Sharing the *same* link "stem" is fine: one random variable.
+        assert correlation.pair_is_correlation_free(0, 1)
+
+    def test_touch_map(self, instance_1a):
+        correlation = instance_1a.correlation
+        topology = instance_1a.topology
+        touched = correlation.path_touch_map(topology.path("P1").id)
+        assert len(touched) == 2  # e3's set and {e1,e2}'s set

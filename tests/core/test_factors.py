@@ -1,0 +1,110 @@
+"""Unit tests for congestion factors and the Lemma-3 conversions."""
+
+import math
+
+import pytest
+
+from repro.core.factors import CongestionFactors
+from repro.exceptions import ModelError
+
+
+@pytest.fixture()
+def factors_1a(instance_1a, model_1a):
+    """Exact congestion factors of the Fig-1(a) ground truth.
+
+    With P(S1=∅)=0.7, P(S1={e1})=P(S1={e2})=0.05, P(S1={e1,e2})=0.2:
+    α_{e1} = α_{e2} = 1/14, α_{e1,e2} = 2/7; α_{e3} = 3/7, α_{e4} = 3/17.
+    """
+    topology = instance_1a.topology
+    e1, e2, e3, e4 = (
+        topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+    )
+    return (
+        CongestionFactors(
+            instance_1a.correlation,
+            {
+                frozenset({e1}): 0.05 / 0.7,
+                frozenset({e2}): 0.05 / 0.7,
+                frozenset({e1, e2}): 0.2 / 0.7,
+                frozenset({e3}): 0.3 / 0.7,
+                frozenset({e4}): 0.15 / 0.85,
+            },
+        ),
+        (e1, e2, e3, e4),
+    )
+
+
+class TestValidation:
+    def test_empty_subset_rejected(self, instance_1a):
+        with pytest.raises(ModelError, match="empty"):
+            CongestionFactors(instance_1a.correlation, {frozenset(): 1.0})
+
+    def test_cross_set_subset_rejected(self, instance_1a):
+        topology = instance_1a.topology
+        e1, e3 = topology.link("e1").id, topology.link("e3").id
+        with pytest.raises(ModelError, match="spans"):
+            CongestionFactors(
+                instance_1a.correlation, {frozenset({e1, e3}): 0.5}
+            )
+
+    def test_negative_factor_rejected(self, instance_1a):
+        e1 = instance_1a.topology.link("e1").id
+        with pytest.raises(ModelError, match="negative"):
+            CongestionFactors(
+                instance_1a.correlation, {frozenset({e1}): -0.1}
+            )
+
+
+class TestLemma3:
+    def test_p_set_empty(self, factors_1a):
+        factors, (e1, *_rest) = factors_1a
+        set_index = factors.correlation.set_index_of(e1)
+        assert math.isclose(factors.p_set_empty(set_index), 0.7)
+
+    def test_p_set_equals(self, factors_1a):
+        factors, (e1, e2, *_rest) = factors_1a
+        assert math.isclose(factors.p_set_equals({e1, e2}), 0.2)
+        assert math.isclose(factors.p_set_equals({e1}), 0.05)
+
+    def test_p_set_equals_rejects_empty(self, factors_1a):
+        factors, _ = factors_1a
+        with pytest.raises(ModelError):
+            factors.p_set_equals(frozenset())
+
+    def test_link_marginals_match_ground_truth(self, factors_1a, truth_1a):
+        factors, links = factors_1a
+        marginals = factors.link_marginals()
+        for link_id in links:
+            assert math.isclose(
+                marginals[link_id], truth_1a[link_id], abs_tol=1e-12
+            )
+
+    def test_link_marginal_single(self, factors_1a):
+        factors, (e1, *_rest) = factors_1a
+        assert math.isclose(factors.link_marginal(e1), 0.25)
+
+    def test_joint_within_set(self, factors_1a):
+        factors, (e1, e2, *_rest) = factors_1a
+        assert math.isclose(factors.joint_within_set({e1, e2}), 0.2)
+
+    def test_joint_within_set_rejects_cross_set(self, factors_1a):
+        factors, (e1, _e2, e3, _e4) = factors_1a
+        with pytest.raises(ModelError, match="single correlation set"):
+            factors.joint_within_set({e1, e3})
+
+    def test_joint_cross_set_is_product(self, factors_1a, model_1a):
+        """P(e1∧e3) = P(e1)·P(e3) — paper Section 3.2, Step 4."""
+        factors, (e1, _e2, e3, _e4) = factors_1a
+        assert math.isclose(
+            factors.joint({e1, e3}), model_1a.joint({e1, e3})
+        )
+
+    def test_joint_empty_is_one(self, factors_1a):
+        factors, _ = factors_1a
+        assert factors.joint(frozenset()) == 1.0
+
+    def test_missing_factor_defaults_to_zero(self, instance_1a):
+        e1 = instance_1a.topology.link("e1").id
+        factors = CongestionFactors(instance_1a.correlation, {})
+        assert factors.factor({e1}) == 0.0
+        assert factors.link_marginal(e1) == 0.0

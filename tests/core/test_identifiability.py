@@ -1,0 +1,121 @@
+"""Unit tests for Assumption-4 checking."""
+
+import pytest
+
+from repro.core.builder import TopologyBuilder
+from repro.core.correlation import CorrelationStructure
+from repro.core.identifiability import (
+    check_assumption4,
+    structurally_unidentifiable_nodes,
+    unidentifiable_links_structural,
+)
+
+
+class TestExactCheck:
+    def test_fig1a_holds(self, instance_1a):
+        report = check_assumption4(instance_1a.correlation)
+        assert report.holds
+        assert report.exhaustive
+        assert report.collisions == ()
+        assert report.unidentifiable_links == frozenset()
+
+    def test_fig1b_fails(self, instance_1b):
+        """{e1,e2} and {e3} cover the same paths (paper Section 3.1)."""
+        report = check_assumption4(instance_1b.correlation)
+        assert not report.holds
+        topology = instance_1b.topology
+        collision_names = {
+            frozenset(
+                frozenset(topology.links[k].name for k in side)
+                for side in pair
+            )
+            for pair in report.collisions
+        }
+        assert (
+            frozenset({frozenset({"e1", "e2"}), frozenset({"e3"})})
+            in collision_names
+        )
+
+    def test_fig1b_unidentifiable_links(self, instance_1b):
+        report = check_assumption4(instance_1b.correlation)
+        names = {
+            instance_1b.topology.links[k].name
+            for k in report.unidentifiable_links
+        }
+        assert names == {"e1", "e2", "e3"}
+
+    def test_trivial_structure_on_fig1a_holds(self, instance_1a):
+        trivial = CorrelationStructure.trivial(instance_1a.topology)
+        assert check_assumption4(trivial).holds
+
+    def test_collect_all_finds_every_pair(self):
+        # Three parallel links, all in one set, with identical coverage
+        # via a shared path... build: two links covering the same path.
+        builder = TopologyBuilder()
+        builder.add_link("a", "u", "v")
+        builder.add_link("b", "v", "w")
+        builder.add_path("P1", ["a", "b"])
+        topology = builder.build()
+        correlation = CorrelationStructure(topology, [[0], [1]])
+        report = check_assumption4(correlation, collect_all=True)
+        # ψ({a}) == ψ({b}) == {P1}: one collision pair.
+        assert not report.holds
+        assert len(report.collisions) == 1
+
+    def test_capped_check_is_marked_non_exhaustive(self, instance_1a):
+        report = check_assumption4(
+            instance_1a.correlation, max_subset_size=1
+        )
+        assert report.holds
+        assert not report.exhaustive
+
+    def test_describe_mentions_links(self, instance_1b):
+        report = check_assumption4(instance_1b.correlation)
+        text = report.describe(instance_1b.topology)
+        assert "violated" in text
+        assert "e3" in text
+
+    def test_describe_clean(self, instance_1a):
+        report = check_assumption4(instance_1a.correlation)
+        assert "holds" in report.describe(instance_1a.topology)
+
+
+class TestStructuralCriterion:
+    def test_fig1b_offending_node(self, instance_1b):
+        """v3 has all ingress in {e3} and all egress in {e1,e2}."""
+        nodes = structurally_unidentifiable_nodes(
+            instance_1b.topology, instance_1b.correlation
+        )
+        assert nodes == ["v3"]
+
+    def test_fig1a_no_offender(self, instance_1a):
+        """v3 in Fig 1(a) touches three sets: not an offender."""
+        nodes = structurally_unidentifiable_nodes(
+            instance_1a.topology, instance_1a.correlation
+        )
+        assert nodes == []
+
+    def test_single_set_everything(self, instance_1b):
+        """All links in one set: the intermediate node offends (the
+        paper's 'why not assign all links to one correlation set')."""
+        topology = instance_1b.topology
+        one_set = CorrelationStructure(
+            topology, [list(range(topology.n_links))]
+        )
+        assert structurally_unidentifiable_nodes(topology, one_set) == [
+            "v3"
+        ]
+
+    def test_structural_links(self, instance_1b):
+        links = unidentifiable_links_structural(
+            instance_1b.topology, instance_1b.correlation
+        )
+        names = {instance_1b.topology.links[k].name for k in links}
+        assert names == {"e1", "e2", "e3"}
+
+    def test_structural_agrees_with_exact_on_fig1b(self, instance_1b):
+        exact = check_assumption4(instance_1b.correlation)
+        structural = unidentifiable_links_structural(
+            instance_1b.topology, instance_1b.correlation
+        )
+        assert structural == exact.unidentifiable_links

@@ -1,0 +1,81 @@
+"""Protocol-conformance tests: both measurement sources implement both
+measurement protocols, so any algorithm runs on either."""
+
+import numpy as np
+
+from repro.core.interfaces import PathGoodProvider, PathStateProvider
+from repro.simulate.observations import PathObservations
+
+
+class TestProtocolConformance:
+    def test_observations_implement_both(self):
+        observations = PathObservations(np.zeros((5, 3), dtype=bool))
+        assert isinstance(observations, PathGoodProvider)
+        assert isinstance(observations, PathStateProvider)
+
+    def test_oracle_implements_both(self, oracle_1a):
+        assert isinstance(oracle_1a, PathGoodProvider)
+        assert isinstance(oracle_1a, PathStateProvider)
+
+    def test_algorithms_accept_either_source(
+        self, instance_1a, model_1a, oracle_1a
+    ):
+        """The same calls run on the oracle and on empirical data."""
+        from repro.core import TheoremAlgorithm, infer_congestion
+        from repro.simulate import ExperimentConfig, run_experiment
+
+        run = run_experiment(
+            instance_1a.topology,
+            model_1a,
+            config=ExperimentConfig(n_snapshots=300),
+            seed=81,
+        )
+        for source in (oracle_1a, run.observations):
+            practical = infer_congestion(
+                instance_1a.topology, instance_1a.correlation, source
+            )
+            assert practical.n_links == 4
+            theorem = TheoremAlgorithm(
+                instance_1a.topology, instance_1a.correlation
+            ).identify(source)
+            assert len(theorem.link_marginals) == 4
+
+
+class TestExceptionHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        from repro import exceptions
+
+        for name in (
+            "TopologyError",
+            "CorrelationError",
+            "IdentifiabilityError",
+            "MeasurementError",
+            "SolverError",
+            "ModelError",
+            "GenerationError",
+        ):
+            error_type = getattr(exceptions, name)
+            assert issubclass(error_type, exceptions.ReproError)
+
+    def test_identifiability_error_carries_collisions(self):
+        from repro.exceptions import IdentifiabilityError
+
+        error = IdentifiabilityError(
+            "bad", colliding_subsets=[(frozenset({1}), frozenset({2}))]
+        )
+        assert error.colliding_subsets == [
+            (frozenset({1}), frozenset({2}))
+        ]
+
+    def test_one_catch_covers_everything(self, instance_1b):
+        from repro.core import TheoremAlgorithm
+        from repro.exceptions import ReproError
+
+        try:
+            TheoremAlgorithm(
+                instance_1b.topology, instance_1b.correlation
+            )
+        except ReproError:
+            pass  # IdentifiabilityError is a ReproError
+        else:
+            raise AssertionError("expected a ReproError")

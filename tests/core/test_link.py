@@ -1,0 +1,64 @@
+"""Unit tests for Link and Path value objects."""
+
+import pytest
+
+from repro.core.link import Link, Path
+
+
+class TestLink:
+    def test_construction(self):
+        link = Link(id=0, name="e1", src="a", dst="b")
+        assert link.name == "e1"
+        assert str(link) == "e1(a->b)"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Link(id=-1, name="e1", src="a", dst="b")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Link(id=0, name="", src="a", dst="b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Link(id=0, name="e1", src="a", dst="a")
+
+    def test_immutability(self):
+        link = Link(id=0, name="e1", src="a", dst="b")
+        with pytest.raises(AttributeError):
+            link.name = "e2"
+
+    def test_equality_is_structural(self):
+        assert Link(0, "e1", "a", "b") == Link(0, "e1", "a", "b")
+        assert Link(0, "e1", "a", "b") != Link(1, "e1", "a", "b")
+
+
+class TestPath:
+    def test_construction(self):
+        path = Path(id=0, name="P1", link_ids=(0, 1))
+        assert path.length == 2
+        assert path.traverses(0)
+        assert not path.traverses(2)
+
+    def test_no_links_rejected(self):
+        with pytest.raises(ValueError, match="no links"):
+            Path(id=0, name="P1", link_ids=())
+
+    def test_loop_rejected(self):
+        # A path never crosses a link more than once (paper Section 2.1).
+        with pytest.raises(ValueError, match="more than once"):
+            Path(id=0, name="P1", link_ids=(0, 1, 0))
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Path(id=-2, name="P1", link_ids=(0,))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Path(id=0, name="", link_ids=(0,))
+
+    def test_str_lists_links(self):
+        assert str(Path(id=0, name="P1", link_ids=(2, 5))) == "P1[2,5]"
+
+    def test_length_counts_links(self):
+        assert Path(id=0, name="P", link_ids=(7,)).length == 1

@@ -1,0 +1,55 @@
+"""Unit tests for the InferenceResult container."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import InferenceResult
+
+
+def make_result(probabilities):
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    return InferenceResult(
+        algorithm="correlation",
+        congestion_probabilities=probabilities,
+        log_good=np.log(1.0 - probabilities),
+        uncovered_links=frozenset(),
+        n_single_equations=3,
+        n_pair_equations=1,
+        rank=4,
+        solver="l1",
+    )
+
+
+class TestAccessors:
+    def test_counts(self):
+        result = make_result([0.1, 0.2])
+        assert result.n_links == 2
+        assert result.n_equations == 4
+
+    def test_probability_lookup(self):
+        result = make_result([0.1, 0.2])
+        assert result.probability(1) == pytest.approx(0.2)
+
+    def test_probability_by_name(self, instance_1a):
+        result = make_result([0.1, 0.2, 0.3, 0.4])
+        assert result.probability_by_name(
+            instance_1a.topology, "e3"
+        ) == pytest.approx(0.3)
+
+    def test_as_dict(self, instance_1a):
+        result = make_result([0.1, 0.2, 0.3, 0.4])
+        mapping = result.as_dict(instance_1a.topology)
+        assert mapping["e1"] == pytest.approx(0.1)
+        assert len(mapping) == 4
+
+
+class TestErrors:
+    def test_absolute_errors(self):
+        result = make_result([0.1, 0.6])
+        errors = result.absolute_errors(np.array([0.2, 0.5]))
+        assert np.allclose(errors, [0.1, 0.1])
+
+    def test_shape_mismatch_rejected(self):
+        result = make_result([0.1, 0.6])
+        with pytest.raises(ValueError, match="shape"):
+            result.absolute_errors(np.array([0.2]))

@@ -1,0 +1,81 @@
+"""Unit tests for network-state enumeration (exact covers)."""
+
+from repro.core.state import iter_exact_covers
+from repro.utils.bitset import mask_of
+
+
+def payloads(covers):
+    return [tuple(choice for choice in state) for state in covers]
+
+
+class TestIterExactCovers:
+    def test_single_set_exact_match(self):
+        candidates = [[("empty", 0), ("A", 0b01), ("B", 0b11)]]
+        states = payloads(iter_exact_covers(0b01, candidates))
+        assert states == [("A",)]
+
+    def test_empty_target_selects_all_empty(self):
+        candidates = [
+            [("empty", 0), ("A", 0b1)],
+            [("empty", 0), ("B", 0b10)],
+        ]
+        states = payloads(iter_exact_covers(0, candidates))
+        assert states == [("empty", "empty")]
+
+    def test_candidates_covering_outside_target_are_skipped(self):
+        candidates = [[("empty", 0), ("too-big", 0b110)]]
+        states = payloads(iter_exact_covers(0b010, candidates))
+        assert states == []
+
+    def test_multi_set_combinations(self):
+        """Fig 1(a) Step 2: ψ(S) = ψ({e3}) = {P1,P2} admits exactly the
+        states {e3} and {e1, e3} (paper Section 3.2)."""
+        # Set 1 = {e1,e2}: coverages e1->P1, e2->{P2,P3}, both->all.
+        set1 = [
+            (frozenset(), 0),
+            (frozenset({"e1"}), mask_of([0])),
+            (frozenset({"e2"}), mask_of([1, 2])),
+            (frozenset({"e1", "e2"}), mask_of([0, 1, 2])),
+        ]
+        set2 = [(frozenset(), 0), (frozenset({"e3"}), mask_of([0, 1]))]
+        set3 = [(frozenset(), 0), (frozenset({"e4"}), mask_of([2]))]
+        target = mask_of([0, 1])  # {P1, P2}
+        states = payloads(iter_exact_covers(target, [set1, set2, set3]))
+        as_sets = {
+            frozenset().union(*state) for state in states
+        }
+        assert as_sets == {frozenset({"e3"}), frozenset({"e1", "e3"})}
+
+    def test_all_paths_congested_state_count(self):
+        """Fig 1(a) appendix illustration: ψ(S) = all paths admits
+        exactly 8 states."""
+        set1 = [
+            (frozenset(), 0),
+            (frozenset({"e1"}), mask_of([0])),
+            (frozenset({"e2"}), mask_of([1, 2])),
+            (frozenset({"e1", "e2"}), mask_of([0, 1, 2])),
+        ]
+        set2 = [(frozenset(), 0), (frozenset({"e3"}), mask_of([0, 1]))]
+        set3 = [(frozenset(), 0), (frozenset({"e4"}), mask_of([2]))]
+        states = payloads(
+            iter_exact_covers(mask_of([0, 1, 2]), [set1, set2, set3])
+        )
+        assert len(states) == 8
+
+    def test_unreachable_target_yields_nothing(self):
+        candidates = [[("empty", 0), ("A", 0b1)]]
+        assert payloads(iter_exact_covers(0b100, candidates)) == []
+
+    def test_set_without_admissible_choice_yields_nothing(self):
+        # Second set has no admissible candidate at all (not even empty).
+        candidates = [
+            [("empty", 0), ("A", 0b1)],
+            [("B", 0b1000)],
+        ]
+        assert payloads(iter_exact_covers(0b1, candidates)) == []
+
+    def test_no_sets_empty_target(self):
+        assert payloads(iter_exact_covers(0, [])) == [()]
+
+    def test_no_sets_nonempty_target(self):
+        assert payloads(iter_exact_covers(0b1, [])) == []

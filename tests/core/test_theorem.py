@@ -1,0 +1,179 @@
+"""Unit tests for the exact theorem algorithm (Appendix A)."""
+
+import math
+
+import pytest
+
+from repro.core.correlation import CorrelationStructure
+from repro.core.theorem import TheoremAlgorithm
+from repro.exceptions import (
+    IdentifiabilityError,
+    MeasurementError,
+)
+from repro.model import (
+    ExplicitJointModel,
+    IndependentModel,
+    NetworkCongestionModel,
+)
+from repro.simulate import ExactPathStateDistribution
+
+
+class TestConstruction:
+    def test_ordering_follows_coverage_counts(self, instance_1a):
+        """The paper's Section 3.2 ordering: singletons covering one path
+        first, {e1,e2} (covering all three paths) last."""
+        algorithm = TheoremAlgorithm(
+            instance_1a.topology, instance_1a.correlation
+        )
+        ordered = algorithm.ordered_subsets
+        topology = instance_1a.topology
+        names = [
+            frozenset(topology.links[k].name for k in subset)
+            for subset in ordered
+        ]
+        counts = [
+            len(topology.covered_paths(subset)) for subset in ordered
+        ]
+        assert counts == sorted(counts)
+        assert names[-1] == frozenset({"e1", "e2"})
+        assert set(names[:2]) == {frozenset({"e1"}), frozenset({"e4"})}
+
+    def test_assumption4_violation_rejected(self, instance_1b):
+        with pytest.raises(IdentifiabilityError):
+            TheoremAlgorithm(
+                instance_1b.topology, instance_1b.correlation
+            )
+
+    def test_subset_budget_enforced(self, instance_1a):
+        with pytest.raises(MeasurementError, match="exceeds"):
+            TheoremAlgorithm(
+                instance_1a.topology,
+                instance_1a.correlation,
+                max_subsets=2,
+            )
+
+
+class TestExactIdentification:
+    def test_marginals_recovered_exactly(
+        self, instance_1a, oracle_1a, truth_1a
+    ):
+        """Theorem 1: with exact measurements the link congestion
+        probabilities are identified exactly."""
+        result = TheoremAlgorithm(
+            instance_1a.topology, instance_1a.correlation
+        ).identify(oracle_1a)
+        for link_id, value in result.link_marginals.items():
+            assert math.isclose(value, truth_1a[link_id], abs_tol=1e-9)
+        assert result.clamped_subsets == ()
+
+    def test_joint_recovered_exactly(
+        self, instance_1a, model_1a, oracle_1a
+    ):
+        """Theorem 1's full claim: *any* set of links."""
+        result = TheoremAlgorithm(
+            instance_1a.topology, instance_1a.correlation
+        ).identify(oracle_1a)
+        topology = instance_1a.topology
+        e1, e2, e3, e4 = (
+            topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+        )
+        for subset in (
+            {e1, e2},
+            {e1, e3},
+            {e2, e4},
+            {e1, e2, e3},
+            {e1, e2, e3, e4},
+        ):
+            assert math.isclose(
+                result.joint(subset),
+                model_1a.joint(subset),
+                abs_tol=1e-9,
+            ), subset
+
+    def test_congestion_factors_match_paper_quantities(
+        self, instance_1a, oracle_1a
+    ):
+        """α_{e1} = P(S1={e1}) / P(S1=∅) = 0.05/0.7 etc."""
+        result = TheoremAlgorithm(
+            instance_1a.topology, instance_1a.correlation
+        ).identify(oracle_1a)
+        topology = instance_1a.topology
+        e1, e2 = topology.link("e1").id, topology.link("e2").id
+        e3, e4 = topology.link("e3").id, topology.link("e4").id
+        assert math.isclose(
+            result.factors.factor({e1}), 0.05 / 0.7, abs_tol=1e-9
+        )
+        assert math.isclose(
+            result.factors.factor({e1, e2}), 0.2 / 0.7, abs_tol=1e-9
+        )
+        assert math.isclose(
+            result.factors.factor({e3}), 0.3 / 0.7, abs_tol=1e-9
+        )
+        assert math.isclose(
+            result.factors.factor({e4}), 0.15 / 0.85, abs_tol=1e-9
+        )
+
+    def test_independent_ground_truth_also_recovered(self, instance_1a):
+        """Degenerate case: when links are actually independent the
+        theorem algorithm reduces to classical identification."""
+        topology = instance_1a.topology
+        model = NetworkCongestionModel.independent(
+            instance_1a.correlation,
+            {k: 0.05 + 0.1 * k for k in range(topology.n_links)},
+        )
+        oracle = ExactPathStateDistribution.from_model(topology, model)
+        result = TheoremAlgorithm(
+            topology, instance_1a.correlation
+        ).identify(oracle)
+        truth = model.link_marginals()
+        for link_id, value in result.link_marginals.items():
+            assert math.isclose(value, truth[link_id], abs_tol=1e-9)
+
+    def test_always_good_network(self, instance_1a):
+        """Degenerate: nothing ever congests -> all marginals 0."""
+        topology = instance_1a.topology
+        model = NetworkCongestionModel.independent(
+            instance_1a.correlation, {k: 0.0 for k in range(4)}
+        )
+        oracle = ExactPathStateDistribution.from_model(topology, model)
+        result = TheoremAlgorithm(
+            topology, instance_1a.correlation
+        ).identify(oracle)
+        assert all(v == 0.0 for v in result.link_marginals.values())
+
+    def test_never_good_network_rejected(self, instance_1a):
+        """P(ψ(S)=∅)=0 makes the factors undefined."""
+        topology = instance_1a.topology
+        e3 = topology.link("e3").id
+        model = NetworkCongestionModel.independent(
+            instance_1a.correlation,
+            {k: (1.0 if k == e3 else 0.0) for k in range(4)},
+        )
+        oracle = ExactPathStateDistribution.from_model(topology, model)
+        with pytest.raises(MeasurementError, match="never observed"):
+            TheoremAlgorithm(
+                topology, instance_1a.correlation
+            ).identify(oracle)
+
+
+class TestNoisyMeasurements:
+    def test_empirical_measurements_converge(
+        self, instance_1a, model_1a, truth_1a
+    ):
+        """With many snapshots the empirical path-state frequencies feed
+        the theorem algorithm to approximately correct marginals."""
+        from repro.simulate import ExperimentConfig, run_experiment
+
+        run = run_experiment(
+            instance_1a.topology,
+            model_1a,
+            config=ExperimentConfig(
+                n_snapshots=20_000, packets_per_path=None
+            ),
+            seed=123,
+        )
+        result = TheoremAlgorithm(
+            instance_1a.topology, instance_1a.correlation
+        ).identify(run.observations)
+        for link_id, value in result.link_marginals.items():
+            assert abs(value - truth_1a[link_id]) < 0.05

@@ -1,0 +1,141 @@
+"""Unit tests for the Topology container and the coverage function ψ."""
+
+import numpy as np
+import pytest
+
+from repro.core.link import Link, Path
+from repro.core.topology import Topology
+from repro.exceptions import TopologyError
+
+
+def chain_topology():
+    """a --e0--> b --e1--> c with one end-to-end path."""
+    links = [Link(0, "e0", "a", "b"), Link(1, "e1", "b", "c")]
+    paths = [Path(0, "P1", (0, 1))]
+    return Topology(links, paths)
+
+
+class TestValidation:
+    def test_valid_topology(self):
+        topology = chain_topology()
+        assert topology.n_links == 2
+        assert topology.n_paths == 1
+
+    def test_no_links_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([], [Path(0, "P1", (0,))])
+
+    def test_no_paths_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology([Link(0, "e0", "a", "b")], [])
+
+    def test_sparse_link_ids_rejected(self):
+        links = [Link(1, "e1", "a", "b")]
+        with pytest.raises(TopologyError, match="dense"):
+            Topology(links, [Path(0, "P1", (1,))])
+
+    def test_duplicate_link_names_rejected(self):
+        links = [Link(0, "e", "a", "b"), Link(1, "e", "b", "c")]
+        with pytest.raises(TopologyError, match="unique"):
+            Topology(links, [Path(0, "P1", (0, 1))])
+
+    def test_duplicate_path_names_rejected(self):
+        links = [Link(0, "e0", "a", "b"), Link(1, "e1", "b", "c")]
+        paths = [Path(0, "P", (0,)), Path(1, "P", (1,))]
+        with pytest.raises(TopologyError, match="unique"):
+            Topology(links, paths)
+
+    def test_unknown_link_reference_rejected(self):
+        links = [Link(0, "e0", "a", "b")]
+        with pytest.raises(TopologyError, match="unknown link"):
+            Topology(links, [Path(0, "P1", (0, 5))])
+
+    def test_unused_link_rejected(self):
+        # The paper's model: all links participate in at least one path.
+        links = [Link(0, "e0", "a", "b"), Link(1, "e1", "b", "c")]
+        with pytest.raises(TopologyError, match="unused"):
+            Topology(links, [Path(0, "P1", (0,))])
+
+    def test_unused_link_allowed_when_relaxed(self):
+        links = [Link(0, "e0", "a", "b"), Link(1, "e1", "b", "c")]
+        topology = Topology(
+            links, [Path(0, "P1", (0,))], require_all_links_used=False
+        )
+        assert topology.n_links == 2
+
+    def test_non_contiguous_path_rejected(self):
+        links = [Link(0, "e0", "a", "b"), Link(1, "e1", "c", "d")]
+        with pytest.raises(TopologyError, match="not contiguous"):
+            Topology(links, [Path(0, "P1", (0, 1))])
+
+
+class TestCoverage:
+    def test_fig1a_coverage_table(self, instance_1a):
+        """The ψ(A) table of paper Section 3.1 for Figure 1(a)."""
+        topology = instance_1a.topology
+        expected = {
+            "e1": {"P1"},
+            "e2": {"P2", "P3"},
+            "e3": {"P1", "P2"},
+            "e4": {"P3"},
+        }
+        for name, paths in expected.items():
+            covered = {
+                p.name for p in topology.paths_through(topology.link(name).id)
+            }
+            assert covered == paths
+
+    def test_coverage_of_union(self, instance_1a):
+        """ψ({e1, e2}) = {P1, P2, P3} (paper Section 3.1)."""
+        topology = instance_1a.topology
+        ids = topology.link_ids(["e1", "e2"])
+        assert topology.coverage_of(ids) == topology.all_paths_mask
+
+    def test_coverage_empty_set(self):
+        assert chain_topology().coverage_of([]) == 0
+
+    def test_covered_paths_objects(self, instance_1a):
+        topology = instance_1a.topology
+        paths = topology.covered_paths(topology.link_ids(["e3"]))
+        assert [p.name for p in paths] == ["P1", "P2"]
+
+    def test_all_paths_mask(self):
+        assert chain_topology().all_paths_mask == 0b1
+
+
+class TestAccessors:
+    def test_link_lookup(self):
+        topology = chain_topology()
+        assert topology.link("e0").id == 0
+        with pytest.raises(TopologyError):
+            topology.link("missing")
+
+    def test_path_lookup(self):
+        topology = chain_topology()
+        assert topology.path("P1").id == 0
+        with pytest.raises(TopologyError):
+            topology.path("missing")
+
+    def test_nodes_first_appearance_order(self):
+        assert chain_topology().nodes == ["a", "b", "c"]
+
+    def test_equality_and_hash(self):
+        assert chain_topology() == chain_topology()
+        assert hash(chain_topology()) == hash(chain_topology())
+
+    def test_repr(self):
+        assert "n_links=2" in repr(chain_topology())
+
+
+class TestRoutingMatrix:
+    def test_fig1a_matrix(self, instance_1a):
+        topology = instance_1a.topology
+        matrix = topology.routing_matrix()
+        assert matrix.shape == (3, 4)
+        for path in topology.paths:
+            row = np.zeros(4)
+            row[list(path.link_ids)] = 1.0
+            assert np.array_equal(matrix[path.id], row)
+
+    def test_matrix_is_float(self, instance_1a):
+        assert instance_1a.topology.routing_matrix().dtype == np.float64

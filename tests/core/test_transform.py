@@ -1,0 +1,150 @@
+"""Unit tests for the merge transformations (Section 3.3)."""
+
+import pytest
+
+from repro.core.builder import TopologyBuilder
+from repro.core.correlation import CorrelationStructure
+from repro.core.identifiability import (
+    check_assumption4,
+    structurally_unidentifiable_nodes,
+)
+from repro.core.transform import (
+    merge_correlated_node,
+    merge_indistinguishable_links,
+    transform_until_identifiable,
+)
+from repro.exceptions import TopologyError
+
+
+class TestMergeCorrelatedNode:
+    def test_fig1b_merge_matches_paper(self, instance_1b):
+        """Removing v3 from Fig 1(b) yields two merged links v4->v1 and
+        v4->v2 in a single correlation set (paper Section 3.3)."""
+        result = merge_correlated_node(
+            instance_1b.topology, instance_1b.correlation, "v3"
+        )
+        topology = result.topology
+        assert topology.n_links == 2
+        endpoints = {(l.src, l.dst) for l in topology.links}
+        assert endpoints == {("v4", "v1"), ("v4", "v2")}
+        # Single correlation set containing both merged links.
+        assert result.correlation.n_sets == 1
+        assert len(result.correlation.sets[0]) == 2
+
+    def test_fig1b_merge_restores_assumption4(self, instance_1b):
+        result = merge_correlated_node(
+            instance_1b.topology, instance_1b.correlation, "v3"
+        )
+        assert check_assumption4(result.correlation).holds
+
+    def test_origin_mapping(self, instance_1b):
+        result = merge_correlated_node(
+            instance_1b.topology, instance_1b.correlation, "v3"
+        )
+        old = instance_1b.topology
+        origin_names = {
+            frozenset(old.links[k].name for k in origins)
+            for origins in result.origin.values()
+        }
+        assert origin_names == {
+            frozenset({"e3", "e1"}),
+            frozenset({"e3", "e2"}),
+        }
+
+    def test_paths_preserved(self, instance_1b):
+        result = merge_correlated_node(
+            instance_1b.topology, instance_1b.correlation, "v3"
+        )
+        assert result.topology.n_paths == instance_1b.topology.n_paths
+        for path in result.topology.paths:
+            assert path.length == 1
+
+    def test_merging_path_endpoint_rejected(self, instance_1a):
+        """v1 terminates P1; it cannot be merged away."""
+        with pytest.raises(TopologyError):
+            merge_correlated_node(
+                instance_1a.topology, instance_1a.correlation, "v1"
+            )
+
+    def test_unknown_node_rejected(self, instance_1a):
+        with pytest.raises(TopologyError, match="no incident links"):
+            merge_correlated_node(
+                instance_1a.topology, instance_1a.correlation, "ghost"
+            )
+
+    def test_merged_nodes_recorded(self, instance_1b):
+        result = merge_correlated_node(
+            instance_1b.topology, instance_1b.correlation, "v3"
+        )
+        assert result.merged_nodes == ("v3",)
+
+
+class TestTransformUntilIdentifiable:
+    def test_fig1b_converges_in_one_step(self, instance_1b):
+        result = transform_until_identifiable(
+            instance_1b.topology, instance_1b.correlation
+        )
+        assert result.merged_nodes == ("v3",)
+        assert (
+            structurally_unidentifiable_nodes(
+                result.topology, result.correlation
+            )
+            == []
+        )
+
+    def test_fig1a_untouched(self, instance_1a):
+        result = transform_until_identifiable(
+            instance_1a.topology, instance_1a.correlation
+        )
+        assert result.merged_nodes == ()
+        assert result.topology == instance_1a.topology
+
+    def test_all_links_one_set_merges_to_paths(self, instance_1a):
+        """Paper Section 3.3: assigning all Fig-1(a) links to one set and
+        transforming yields one merged link per end-to-end path."""
+        topology = instance_1a.topology
+        one_set = CorrelationStructure(
+            topology, [list(range(topology.n_links))]
+        )
+        result = transform_until_identifiable(topology, one_set)
+        assert result.topology.n_links == 3  # one per path
+        for path in result.topology.paths:
+            assert path.length == 1
+
+
+class TestMergeIndistinguishableLinks:
+    def test_chain_collapses(self):
+        builder = TopologyBuilder()
+        builder.add_link("a", "u", "v")
+        builder.add_link("b", "v", "w")
+        builder.add_link("c", "w", "x")
+        builder.add_path("P1", ["a", "b", "c"])
+        topology = builder.build()
+        result = merge_indistinguishable_links(topology)
+        assert result.topology.n_links == 1
+        merged = result.topology.links[0]
+        assert (merged.src, merged.dst) == ("u", "x")
+        assert result.origin[0] == frozenset({0, 1, 2})
+
+    def test_branching_preserved(self, instance_1a):
+        """Fig 1(a) has no two links with identical coverage: no merge."""
+        result = merge_indistinguishable_links(instance_1a.topology)
+        assert result.topology.n_links == instance_1a.topology.n_links
+
+    def test_partial_runs(self):
+        builder = TopologyBuilder()
+        builder.add_link("a", "u", "v")
+        builder.add_link("b", "v", "w")
+        builder.add_link("c", "w", "x")
+        builder.add_path("P1", ["a", "b", "c"])
+        builder.add_path("P2", ["b", "c"])
+        topology = builder.build()
+        result = merge_indistinguishable_links(topology)
+        # b and c share coverage {P1,P2} and merge; a stays alone.
+        assert result.topology.n_links == 2
+        names = {link.name for link in result.topology.links}
+        assert names == {"a", "b+c"}
+
+    def test_result_has_trivial_correlation(self, instance_1a):
+        result = merge_indistinguishable_links(instance_1a.topology)
+        assert result.correlation.is_trivial

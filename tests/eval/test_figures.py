@@ -1,0 +1,138 @@
+"""Unit tests for the figure drivers (fast, tiny instances)."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import (
+    SCALES,
+    CdfResult,
+    default_config,
+    default_instance,
+    figure3_cdf,
+    figure3_sweep,
+    figure4_cdf,
+    figure5_cdf,
+)
+from repro.simulate.experiment import ExperimentConfig
+
+FAST = ExperimentConfig(n_snapshots=300, packets_per_path=300)
+
+
+class TestDefaults:
+    def test_scales_have_required_keys(self):
+        for name, preset in SCALES.items():
+            assert "brite" in preset
+            assert "planetlab" in preset
+            assert preset["n_snapshots"] > 0
+
+    def test_default_instance_brite(self, brite_small):
+        # Tiny direct call (not preset sized) to keep tests quick:
+        instance = brite_small.instance
+        assert instance.metadata["generator"] == "brite"
+
+    def test_default_instance_validation(self):
+        with pytest.raises(ValueError):
+            default_instance("nonsense")
+        with pytest.raises(ValueError):
+            default_instance("brite", scale="nonsense")
+
+    def test_default_config(self):
+        config = default_config("small")
+        assert config.n_snapshots == SCALES["small"]["n_snapshots"]
+
+
+class TestFigure3(object):
+    def test_sweep_structure(self, planetlab_small):
+        result = figure3_sweep(
+            instance=planetlab_small,
+            fractions=(0.05, 0.10),
+            config=FAST,
+            seed=1,
+        )
+        assert len(result.points) == 2
+        assert result.points[0].congested_fraction == 0.05
+        for point in result.points:
+            assert point.correlation.n_links > 0
+
+    def test_cdf_structure(self, planetlab_small):
+        result = figure3_cdf(
+            instance=planetlab_small,
+            correlation_level="high",
+            config=FAST,
+            seed=2,
+        )
+        assert isinstance(result, CdfResult)
+        assert set(result.curves) == {"correlation", "independence"}
+        for curve in result.curves.values():
+            assert curve[-1] == 1.0
+            assert all(a <= b for a, b in zip(curve, curve[1:]))
+
+    def test_loose_level(self, planetlab_small):
+        result = figure3_cdf(
+            instance=planetlab_small,
+            correlation_level="loose",
+            config=FAST,
+            seed=3,
+        )
+        assert result.metadata["correlation_level"] == "loose"
+
+    def test_invalid_level_rejected(self, planetlab_small):
+        with pytest.raises(ValueError):
+            figure3_cdf(
+                instance=planetlab_small,
+                correlation_level="medium",
+                config=FAST,
+            )
+
+    def test_trials_pool_links(self, planetlab_small):
+        single = figure3_cdf(
+            instance=planetlab_small, config=FAST, n_trials=1, seed=4
+        )
+        double = figure3_cdf(
+            instance=planetlab_small, config=FAST, n_trials=2, seed=4
+        )
+        assert (
+            double.metadata["n_scored"]["correlation"]
+            > single.metadata["n_scored"]["correlation"]
+        )
+
+
+class TestFigure4And5:
+    def test_figure4(self, planetlab_small):
+        result = figure4_cdf(
+            instance=planetlab_small,
+            unidentifiable_fraction=0.25,
+            config=FAST,
+            seed=5,
+        )
+        assert result.metadata["unidentifiable_fraction"] == 0.25
+        assert np.all(result.curves["correlation"] <= 1.0)
+
+    def test_figure5(self, planetlab_small):
+        result = figure5_cdf(
+            instance=planetlab_small,
+            mislabeled_fraction=0.25,
+            config=FAST,
+            seed=6,
+        )
+        assert result.metadata["mislabeled_fraction"] == 0.25
+        assert result.curves["independence"][-1] == 1.0
+
+
+class TestHeadlineShape:
+    def test_correlation_beats_independence_under_clustering(
+        self, planetlab_small
+    ):
+        """The paper's core claim at small scale: at 10% congestion with
+        high correlation, the correlation algorithm has lower p90 error
+        than the independence baseline."""
+        result = figure3_sweep(
+            instance=planetlab_small,
+            fractions=(0.10,),
+            config=ExperimentConfig(
+                n_snapshots=800, packets_per_path=500
+            ),
+            seed=7,
+        )
+        point = result.points[0]
+        assert point.correlation.p90 <= point.independence.p90

@@ -1,0 +1,114 @@
+"""Unit tests for the localization-accuracy evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.localization_eval import evaluate_localization
+from repro.simulate import ExperimentConfig
+
+
+class TestEvaluateLocalization:
+    @pytest.fixture(scope="class")
+    def scores(self, request):
+        instance = request.getfixturevalue("instance_1a")
+        model = request.getfixturevalue("model_1a")
+        truth = model.link_marginals()
+        return evaluate_localization(
+            instance.topology,
+            model,
+            {
+                "truth": truth,
+                "uninformative": np.full(4, 0.5),
+                "anti-informed": 1.0 - truth,
+            },
+            config=ExperimentConfig(
+                n_snapshots=200, packets_per_path=None
+            ),
+            seed=90,
+        )
+
+    def test_all_methods_scored(self, scores):
+        assert set(scores) == {
+            "truth",
+            "uninformative",
+            "anti-informed",
+        }
+
+    def test_snapshot_counts(self, scores):
+        for score in scores.values():
+            assert score.n_snapshots == 200
+
+    def test_truth_probabilities_detect_well(self, scores):
+        assert scores["truth"].precision > 0.75
+        assert scores["truth"].recall > 0.5
+        assert scores["truth"].f1 > 0.6
+
+    def test_better_probabilities_never_hurt(self, scores):
+        """Ground-truth probabilities should beat anti-informed ones."""
+        assert scores["truth"].f1 >= scores["anti-informed"].f1
+
+    def test_f1_is_harmonic_mean(self, scores):
+        score = scores["truth"]
+        expected = (
+            2
+            * score.precision
+            * score.recall
+            / (score.precision + score.recall)
+        )
+        assert np.isclose(score.f1, expected)
+
+    def test_noise_paths_counted(self, scores):
+        for score in scores.values():
+            assert score.mean_noise_paths >= 0.0
+
+
+class TestInferredProbabilitiesHelpLocalization:
+    def test_correlation_vs_independence_probabilities(
+        self, planetlab_small
+    ):
+        """The extension's point: correlation-aware probability
+        estimates make the localizer at least as good as the
+        baseline's estimates."""
+        from repro.core import (
+            infer_congestion,
+            infer_congestion_independent,
+        )
+        from repro.eval import make_clustered_scenario
+        from repro.simulate import run_experiment
+
+        scenario = make_clustered_scenario(
+            planetlab_small, congested_fraction=0.08, seed=91
+        )
+        train = run_experiment(
+            planetlab_small.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=1000, packets_per_path=800
+            ),
+            seed=92,
+        )
+        correlation_probabilities = infer_congestion(
+            planetlab_small.topology,
+            scenario.algorithm_correlation,
+            train.observations,
+        ).congestion_probabilities
+        independence_probabilities = infer_congestion_independent(
+            planetlab_small.topology, train.observations
+        ).congestion_probabilities
+        scores = evaluate_localization(
+            planetlab_small.topology,
+            scenario.truth_model,
+            {
+                "correlation": correlation_probabilities,
+                "independence": independence_probabilities,
+            },
+            config=ExperimentConfig(
+                n_snapshots=40, packets_per_path=800
+            ),
+            max_nodes=20_000,
+            seed=93,
+        )
+        assert (
+            scores["correlation"].f1
+            >= scores["independence"].f1 - 0.05
+        )

@@ -1,0 +1,85 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+
+from repro.eval.metrics import (
+    DEFAULT_CDF_GRID,
+    absolute_error_stats,
+    error_cdf,
+    potentially_congested_links,
+)
+from repro.simulate.observations import PathObservations
+
+
+class TestPotentiallyCongestedLinks:
+    def test_links_of_congested_paths(self, instance_1a):
+        # Only P1 (links e3, e1) congested at least once.
+        states = np.zeros((4, 3), dtype=bool)
+        states[1, 0] = True
+        observations = PathObservations(states)
+        links = potentially_congested_links(
+            instance_1a.topology, observations
+        )
+        names = {instance_1a.topology.links[k].name for k in links}
+        assert names == {"e1", "e3"}
+
+    def test_nothing_congested(self, instance_1a):
+        observations = PathObservations(np.zeros((3, 3), dtype=bool))
+        links = potentially_congested_links(
+            instance_1a.topology, observations
+        )
+        assert links.size == 0
+
+    def test_everything_congested(self, instance_1a):
+        observations = PathObservations(np.ones((2, 3), dtype=bool))
+        links = potentially_congested_links(
+            instance_1a.topology, observations
+        )
+        assert list(links) == [0, 1, 2, 3]
+
+
+class TestErrorStats:
+    def test_basic(self):
+        stats = absolute_error_stats(np.array([0.0, 0.1, 0.2, 0.3]))
+        assert np.isclose(stats.mean, 0.15)
+        assert np.isclose(stats.p90, np.percentile([0, 0.1, 0.2, 0.3], 90))
+        assert stats.max == 0.3
+        assert stats.n_links == 4
+
+    def test_empty(self):
+        stats = absolute_error_stats(np.array([]))
+        assert stats.mean == 0.0
+        assert stats.n_links == 0
+
+    def test_p90_interpretation(self):
+        """90% of links have error below the p90 value."""
+        errors = np.concatenate([np.zeros(90), np.full(10, 0.5)])
+        stats = absolute_error_stats(errors)
+        assert (errors <= stats.p90 + 1e-12).mean() >= 0.9
+
+
+class TestErrorCdf:
+    def test_monotone(self):
+        errors = np.array([0.0, 0.05, 0.2, 0.9])
+        _, fractions = error_cdf(errors)
+        assert all(
+            a <= b for a, b in zip(fractions, fractions[1:])
+        )
+
+    def test_reaches_one_at_max_level(self):
+        errors = np.array([0.3, 0.5])
+        grid, fractions = error_cdf(errors)
+        assert fractions[-1] == 1.0
+
+    def test_values(self):
+        errors = np.array([0.0, 0.1, 0.4])
+        grid, fractions = error_cdf(errors, grid=(0.05, 0.1, 0.5))
+        assert np.allclose(fractions, [1 / 3, 2 / 3, 1.0])
+
+    def test_empty_is_vacuous_perfect(self):
+        grid, fractions = error_cdf(np.array([]))
+        assert np.all(fractions == 1.0)
+
+    def test_default_grid(self):
+        grid, _ = error_cdf(np.array([0.1]))
+        assert tuple(grid) == DEFAULT_CDF_GRID

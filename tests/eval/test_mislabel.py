@@ -1,0 +1,113 @@
+"""Unit tests for the Figure-5 mislabeled-links scenario."""
+
+import numpy as np
+import pytest
+
+from repro.eval.mislabel import make_mislabeled_scenario
+from repro.exceptions import GenerationError
+
+
+class TestConstruction:
+    def test_flood_links_come_from_singletons(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            mislabeled_fraction=0.5,
+            seed=1,
+        )
+        flood = scenario.metadata["flood_links"]
+        assert flood
+        for link_id in flood:
+            # The operator's view keeps them as singletons.
+            assert len(
+                scenario.algorithm_correlation.set_of(link_id)
+            ) == 1
+
+    def test_truth_fuses_flood_into_one_set(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            mislabeled_fraction=0.5,
+            seed=2,
+        )
+        flood = scenario.metadata["flood_links"]
+        truth_correlation = scenario.truth_model.correlation
+        indices = {
+            truth_correlation.set_index_of(k) for k in flood
+        }
+        assert len(indices) == 1
+
+    def test_flood_links_congest_together(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            mislabeled_fraction=0.5,
+            seed=3,
+        )
+        flood = sorted(scenario.metadata["flood_links"])
+        model = scenario.truth_model
+        marginals = model.link_marginals()
+        joint = model.joint(set(flood[:2]))
+        assert joint > marginals[flood[0]] * marginals[flood[1]]
+
+    def test_algorithm_structure_is_original(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small, mislabeled_fraction=0.25, seed=4
+        )
+        assert (
+            scenario.algorithm_correlation
+            is planetlab_small.correlation
+        )
+
+    def test_flood_size_tracks_fraction(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            mislabeled_fraction=0.5,
+            seed=5,
+        )
+        target_total = scenario.metadata["target_total"]
+        flood = scenario.metadata["flood_links"]
+        assert len(flood) == round(0.5 * target_total) - scenario.metadata[
+            "flood_shortfall"
+        ]
+
+    def test_zero_fraction_means_no_flood(self, planetlab_small):
+        scenario = make_mislabeled_scenario(
+            planetlab_small, mislabeled_fraction=0.0, seed=6
+        )
+        assert scenario.metadata["flood_links"] == frozenset()
+
+    def test_no_singletons_rejected(self, instance_1a):
+        """Fig 1(a) has singleton sets; force the error by clustering
+        everything into one set first."""
+        from repro.core.correlation import CorrelationStructure
+        from repro.topogen.instance import TomographyInstance
+
+        topology = instance_1a.topology
+        fused = TomographyInstance(
+            topology=topology,
+            correlation=CorrelationStructure(
+                topology, [list(range(topology.n_links))]
+            ),
+        )
+        with pytest.raises(GenerationError, match="singleton"):
+            make_mislabeled_scenario(
+                fused,
+                congested_fraction=1.0,
+                mislabeled_fraction=0.5,
+                seed=7,
+            )
+
+    def test_deterministic(self, planetlab_small):
+        a = make_mislabeled_scenario(
+            planetlab_small, mislabeled_fraction=0.25, seed=8
+        )
+        b = make_mislabeled_scenario(
+            planetlab_small, mislabeled_fraction=0.25, seed=8
+        )
+        assert a.congested_links == b.congested_links
+        assert np.allclose(
+            a.truth_model.link_marginals(),
+            b.truth_model.link_marginals(),
+        )

@@ -1,0 +1,52 @@
+"""Unit tests for report rendering."""
+
+import numpy as np
+
+from repro.eval.figures import CdfResult, SweepPoint, SweepResult
+from repro.eval.metrics import ErrorStats
+from repro.eval.report import render_cdf, render_sweep
+
+
+def make_sweep():
+    stats_a = ErrorStats(mean=0.02, p90=0.05, max=0.2, n_links=100)
+    stats_b = ErrorStats(mean=0.08, p90=0.2, max=0.9, n_links=100)
+    return SweepResult(
+        points=(
+            SweepPoint(
+                congested_fraction=0.05,
+                correlation=stats_a,
+                independence=stats_b,
+            ),
+        )
+    )
+
+
+class TestRenderSweep:
+    def test_contains_values(self):
+        text = render_sweep(make_sweep())
+        assert "5%" in text
+        assert "0.0200" in text
+        assert "0.2000" in text
+
+    def test_custom_title(self):
+        text = render_sweep(make_sweep(), title="Custom")
+        assert text.splitlines()[0] == "Custom"
+
+    def test_default_title_mentions_figure(self):
+        assert "Figure 3" in render_sweep(make_sweep())
+
+
+class TestRenderCdf:
+    def test_contains_curves(self):
+        result = CdfResult(
+            label="demo",
+            grid=np.array([0.1, 1.0]),
+            curves={
+                "correlation": np.array([0.9, 1.0]),
+                "independence": np.array([0.5, 1.0]),
+            },
+        )
+        text = render_cdf(result)
+        assert "cdf[correlation]" in text
+        assert "0.9000" in text
+        assert "demo" in text

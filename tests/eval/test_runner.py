@@ -1,0 +1,74 @@
+"""Unit tests for the comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro.eval.runner import run_comparison
+from repro.eval.scenario import make_clustered_scenario
+from repro.simulate.experiment import ExperimentConfig
+
+
+@pytest.fixture(scope="module")
+def comparison(request):
+    planetlab = request.getfixturevalue("planetlab_small")
+    scenario = make_clustered_scenario(
+        planetlab, congested_fraction=0.10, seed=31
+    )
+    return run_comparison(
+        planetlab.topology,
+        scenario,
+        config=ExperimentConfig(n_snapshots=600, packets_per_path=500),
+        seed=32,
+    )
+
+
+class TestRunComparison:
+    def test_both_algorithms_present(self, comparison):
+        assert set(comparison.results) == {
+            "correlation",
+            "independence",
+        }
+        assert set(comparison.errors) == {
+            "correlation",
+            "independence",
+        }
+
+    def test_error_vectors_match_scored_population(self, comparison):
+        n = comparison.scored_links.size
+        assert comparison.errors["correlation"].shape == (n,)
+        assert comparison.errors["independence"].shape == (n,)
+
+    def test_errors_are_absolute(self, comparison):
+        for errors in comparison.errors.values():
+            assert np.all(errors >= 0.0)
+            assert np.all(errors <= 1.0)
+
+    def test_stats_accessor(self, comparison):
+        stats = comparison.stats("correlation")
+        assert 0.0 <= stats.mean <= 1.0
+        assert stats.n_links == comparison.scored_links.size
+
+    def test_cdf_accessor(self, comparison):
+        grid, fractions = comparison.cdf("independence")
+        assert fractions[-1] == 1.0
+        custom_grid, _ = comparison.cdf(
+            "independence", grid=(0.5, 1.0)
+        )
+        assert list(custom_grid) == [0.5, 1.0]
+
+    def test_deterministic_given_seed(self, planetlab_small):
+        scenario = make_clustered_scenario(
+            planetlab_small, congested_fraction=0.10, seed=33
+        )
+        config = ExperimentConfig(
+            n_snapshots=200, packets_per_path=300
+        )
+        a = run_comparison(
+            planetlab_small.topology, scenario, config=config, seed=34
+        )
+        b = run_comparison(
+            planetlab_small.topology, scenario, config=config, seed=34
+        )
+        assert np.allclose(
+            a.errors["correlation"], b.errors["correlation"]
+        )

@@ -1,0 +1,152 @@
+"""Unit tests for the PlanetLab-tomographer emulation."""
+
+import numpy as np
+import pytest
+
+from repro.eval.scenario import make_clustered_scenario
+from repro.eval.tomographer import (
+    indirect_validation,
+    predict_path_congestion,
+    run_tomographer,
+)
+from repro.simulate import ExperimentConfig, run_experiment
+from repro.simulate.observations import PathObservations
+
+
+class TestPredictPathCongestion:
+    def test_independent_composition(self, instance_1a):
+        """P(Y=1) = 1 − Π (1 − p_k) along the path."""
+        topology = instance_1a.topology
+        probabilities = np.array([0.1, 0.2, 0.3, 0.4])
+        predicted = predict_path_congestion(topology, probabilities)
+        for path in topology.paths:
+            expected = 1.0 - np.prod(
+                [1.0 - probabilities[k] for k in path.link_ids]
+            )
+            assert np.isclose(predicted[path.id], expected)
+
+    def test_zero_probabilities(self, instance_1a):
+        predicted = predict_path_congestion(
+            instance_1a.topology, np.zeros(4)
+        )
+        assert np.allclose(predicted, 0.0)
+
+    def test_certain_link_congests_paths(self, instance_1a):
+        topology = instance_1a.topology
+        probabilities = np.zeros(4)
+        probabilities[topology.link("e3").id] = 1.0
+        predicted = predict_path_congestion(topology, probabilities)
+        assert predicted[topology.path("P1").id] > 0.999
+        assert predicted[topology.path("P3").id] == 0.0
+
+
+class TestIndirectValidation:
+    def test_perfect_probabilities_score_well(
+        self, instance_1a, model_1a, truth_1a
+    ):
+        run = run_experiment(
+            instance_1a.topology,
+            model_1a,
+            config=ExperimentConfig(
+                n_snapshots=4000, packets_per_path=None
+            ),
+            seed=71,
+        )
+        report = indirect_validation(
+            instance_1a.topology,
+            truth_1a,
+            run.observations,
+            correlation=instance_1a.correlation,
+        )
+        # Fig 1(a) paths are all correlation-free, so the composition is
+        # exact and only sampling noise remains.
+        assert report.n_correlation_free == report.n_paths
+        assert report.mean_error < 0.03
+
+    def test_bad_probabilities_score_poorly(
+        self, instance_1a, model_1a, truth_1a
+    ):
+        run = run_experiment(
+            instance_1a.topology,
+            model_1a,
+            config=ExperimentConfig(
+                n_snapshots=2000, packets_per_path=None
+            ),
+            seed=72,
+        )
+        good = indirect_validation(
+            instance_1a.topology, truth_1a, run.observations
+        )
+        bad = indirect_validation(
+            instance_1a.topology,
+            np.zeros_like(truth_1a),
+            run.observations,
+        )
+        assert bad.mean_error > good.mean_error + 0.1
+
+    def test_report_shapes(self, instance_1a, truth_1a):
+        states = np.zeros((10, 3), dtype=bool)
+        report = indirect_validation(
+            instance_1a.topology, truth_1a, PathObservations(states)
+        )
+        assert report.per_path_error.shape == (3,)
+        assert report.n_paths == 3
+
+
+class TestRunTomographer:
+    @pytest.fixture(scope="class")
+    def comparison(self, request):
+        planetlab = request.getfixturevalue("planetlab_small")
+        scenario = make_clustered_scenario(
+            planetlab, congested_fraction=0.10, seed=73
+        )
+        training = run_experiment(
+            planetlab.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=1200, packets_per_path=800
+            ),
+            seed=74,
+        )
+        holdout = run_experiment(
+            planetlab.topology,
+            scenario.truth_model,
+            config=ExperimentConfig(
+                n_snapshots=800, packets_per_path=800
+            ),
+            seed=75,
+        )
+        return run_tomographer(
+            planetlab.topology,
+            planetlab.correlation,
+            training.observations,
+            holdout.observations,
+        )
+
+    def test_both_variants_ran(self, comparison):
+        assert (
+            comparison.uncorrelated_result.algorithm
+            == "tomographer-uncorrelated"
+        )
+        assert (
+            comparison.correlated_result.algorithm
+            == "tomographer-correlated"
+        )
+
+    def test_correlated_variant_validates_no_worse(self, comparison):
+        """The paper's hypothesis: accounting for correlation should
+        improve (or at least not hurt) held-out path prediction on the
+        unbiased (correlation-free) population."""
+        assert (
+            comparison.correlated_validation.mean_error_correlation_free
+            <= comparison.uncorrelated_validation.mean_error_correlation_free
+            + 0.01
+        )
+
+    def test_metadata(self, comparison):
+        assert comparison.metadata["n_training_snapshots"] == 1200
+        assert comparison.metadata["n_holdout_snapshots"] == 800
+
+    def test_validation_population_counts(self, comparison):
+        validation = comparison.correlated_validation
+        assert 0 < validation.n_correlation_free <= validation.n_paths

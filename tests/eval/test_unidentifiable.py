@@ -1,0 +1,114 @@
+"""Unit tests for the Figure-4 unidentifiable-links scenario."""
+
+import numpy as np
+import pytest
+
+from repro.core.identifiability import structurally_unidentifiable_nodes
+from repro.eval.unidentifiable import make_unidentifiable_scenario
+
+
+class TestConstruction:
+    def test_unidentifiable_fraction_reached(self, planetlab_small):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.5,
+            seed=1,
+        )
+        meta = scenario.metadata
+        assert meta["achieved_unidentifiable"] >= meta[
+            "target_unidentifiable"
+        ]
+
+    def test_truth_structure_violates_assumption4(self, planetlab_small):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.25,
+            seed=2,
+        )
+        offenders = structurally_unidentifiable_nodes(
+            planetlab_small.topology,
+            scenario.truth_model.correlation,
+        )
+        assert offenders
+
+    def test_algorithm_treats_unidentifiable_as_singletons(
+        self, planetlab_small
+    ):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.25,
+            seed=3,
+        )
+        unidentifiable = scenario.metadata["unidentifiable_links"]
+        for link_id in unidentifiable:
+            assert (
+                len(
+                    scenario.algorithm_correlation.set_of(link_id)
+                )
+                == 1
+            )
+
+    def test_unidentifiable_links_are_congested(self, planetlab_small):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.5,
+            seed=4,
+        )
+        unidentifiable = scenario.metadata["unidentifiable_links"]
+        assert unidentifiable <= scenario.congested_links
+
+    def test_node_clumps_congest_jointly(self, planetlab_small):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.5,
+            seed=5,
+        )
+        truth = scenario.truth_model
+        unidentifiable = sorted(
+            scenario.metadata["unidentifiable_links"]
+        )
+        # Pick two unidentifiable links from the same (true) set.
+        correlation = truth.correlation
+        by_set = {}
+        for link_id in unidentifiable:
+            by_set.setdefault(
+                correlation.set_index_of(link_id), []
+            ).append(link_id)
+        clump = next(
+            links for links in by_set.values() if len(links) >= 2
+        )
+        marginals = truth.link_marginals()
+        joint = truth.joint(set(clump[:2]))
+        assert joint > marginals[clump[0]] * marginals[clump[1]]
+
+    def test_zero_fraction_degenerates_to_clustered(
+        self, planetlab_small
+    ):
+        scenario = make_unidentifiable_scenario(
+            planetlab_small,
+            congested_fraction=0.10,
+            unidentifiable_fraction=0.0,
+            seed=6,
+        )
+        assert scenario.metadata["achieved_unidentifiable"] == 0
+        assert (
+            scenario.metadata["unidentifiable_links"] == frozenset()
+        )
+
+    def test_deterministic(self, planetlab_small):
+        a = make_unidentifiable_scenario(
+            planetlab_small, unidentifiable_fraction=0.25, seed=7
+        )
+        b = make_unidentifiable_scenario(
+            planetlab_small, unidentifiable_fraction=0.25, seed=7
+        )
+        assert a.congested_links == b.congested_links
+        assert np.allclose(
+            a.truth_model.link_marginals(),
+            b.truth_model.link_marginals(),
+        )

@@ -1,0 +1,96 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.command == "demo"
+        assert args.snapshots == 4000
+
+    def test_figure_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "--seed",
+                "7",
+                "figure4",
+                "--topology",
+                "planetlab",
+                "--fraction",
+                "0.5",
+                "--scale",
+                "small",
+            ]
+        )
+        assert args.seed == 7
+        assert args.topology == "planetlab"
+        assert args.fraction == 0.5
+
+    def test_invalid_topology_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["figure4", "--topology", "mesh"]
+            )
+
+
+class TestExecution:
+    def test_demo_runs(self, capsys):
+        exit_code = main(["demo", "--snapshots", "500"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "correlation" in output
+        assert "e1" in output
+
+    @pytest.fixture()
+    def tiny_scales(self, monkeypatch):
+        """Shrink the small preset so CLI tests stay fast."""
+        from repro.eval import figures
+
+        tiny = dict(figures.SCALES)
+        tiny["small"] = {
+            "brite": dict(n_ases=25, routers_per_as=4, n_paths=60),
+            "planetlab": dict(
+                n_routers=80, n_vantages=14, n_paths=60
+            ),
+            "n_snapshots": 200,
+            "packets_per_path": 200,
+        }
+        monkeypatch.setattr(figures, "SCALES", tiny)
+
+    def test_figure3_cdf_runs_small(self, capsys, tiny_scales):
+        exit_code = main(["figure3-cdf", "--level", "high"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "cdf[correlation]" in output
+
+    def test_tomographer_runs_small(self, capsys, tiny_scales):
+        exit_code = main(["tomographer", "--topology", "planetlab"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "indirect validation prefers" in output
+
+    def test_figure3_sweep_runs_small(self, capsys, tiny_scales):
+        exit_code = main(["figure3"])
+        assert exit_code == 0
+        assert "mean[corr]" in capsys.readouterr().out
+
+    def test_figure4_runs_small(self, capsys, tiny_scales):
+        exit_code = main(
+            ["figure4", "--topology", "brite", "--fraction", "0.25"]
+        )
+        assert exit_code == 0
+        assert "cdf[correlation]" in capsys.readouterr().out
+
+    def test_figure5_runs_small(self, capsys, tiny_scales):
+        exit_code = main(
+            ["figure5", "--topology", "planetlab", "--fraction", "0.5"]
+        )
+        assert exit_code == 0
+        assert "cdf[independence]" in capsys.readouterr().out

@@ -1,0 +1,190 @@
+"""End-to-end pipeline tests on generated instances."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    infer_congestion,
+    infer_congestion_independent,
+    localize_map,
+    localize_smallest_set,
+)
+from repro.eval import (
+    make_clustered_scenario,
+    potentially_congested_links,
+    run_comparison,
+)
+from repro.simulate import ExperimentConfig, run_experiment
+
+
+class TestPlanetLabPipeline:
+    @pytest.fixture(scope="class")
+    def comparison(self, request):
+        planetlab = request.getfixturevalue("planetlab_small")
+        scenario = make_clustered_scenario(
+            planetlab, congested_fraction=0.10, seed=41
+        )
+        return scenario, run_comparison(
+            planetlab.topology,
+            scenario,
+            config=ExperimentConfig(
+                n_snapshots=1000, packets_per_path=600
+            ),
+            seed=42,
+        )
+
+    def test_correlation_algorithm_is_accurate(self, comparison):
+        _, result = comparison
+        stats = result.stats("correlation")
+        assert stats.mean < 0.06
+
+    def test_correlation_not_worse_than_independence(self, comparison):
+        _, result = comparison
+        corr = result.stats("correlation")
+        indep = result.stats("independence")
+        assert corr.mean <= indep.mean + 0.01
+
+    def test_zero_probability_links_mostly_correct(self, comparison):
+        scenario, result = comparison
+        truth = result.truth
+        zero_links = [
+            int(k)
+            for k in result.scored_links
+            if truth[int(k)] == 0.0
+        ]
+        probabilities = result.results[
+            "correlation"
+        ].congestion_probabilities
+        wrong = sum(
+            1 for k in zero_links if probabilities[k] > 0.2
+        )
+        assert wrong / max(len(zero_links), 1) < 0.1
+
+
+class TestBritePipeline:
+    def test_full_run(self, brite_small):
+        scenario = make_clustered_scenario(
+            brite_small.instance, congested_fraction=0.10, seed=51
+        )
+        comparison = run_comparison(
+            brite_small.instance.topology,
+            scenario,
+            config=ExperimentConfig(
+                n_snapshots=800, packets_per_path=500
+            ),
+            seed=52,
+        )
+        assert comparison.stats("correlation").mean < 0.08
+
+    def test_organic_ground_truth_pipeline(self, brite_small):
+        """The paper's actual Brite recipe: congestion assigned to
+        router-level links, AS-level behaviour derived."""
+        instance = brite_small.instance
+        model = brite_small.make_organic_model(
+            congested_resource_fraction=0.08, seed=53
+        )
+        run = run_experiment(
+            instance.topology,
+            model,
+            config=ExperimentConfig(
+                n_snapshots=1000, packets_per_path=600
+            ),
+            seed=54,
+        )
+        result = infer_congestion(
+            instance.topology, instance.correlation, run.observations
+        )
+        truth = model.link_marginals()
+        scored = potentially_congested_links(
+            instance.topology, run.observations
+        )
+        errors = np.abs(
+            result.congestion_probabilities - truth
+        )[scored]
+        baseline = infer_congestion_independent(
+            instance.topology, run.observations
+        )
+        baseline_errors = np.abs(
+            baseline.congestion_probabilities - truth
+        )[scored]
+        assert errors.mean() < 0.10
+        assert errors.mean() <= baseline_errors.mean() + 0.02
+
+
+class TestLocalizationPipeline:
+    def test_map_localization_on_simulated_snapshots(self, instance_1a, model_1a):
+        """Future-work extension: per-snapshot congested-set inference
+        using the true probabilities should mostly match ground truth."""
+        topology = instance_1a.topology
+        run = run_experiment(
+            topology,
+            model_1a,
+            config=ExperimentConfig(
+                n_snapshots=300, packets_per_path=None
+            ),
+            seed=61,
+        )
+        truth_probabilities = model_1a.link_marginals()
+        precision_total = 0.0
+        recall_total = 0.0
+        counted = 0
+        for snapshot in range(run.observations.n_snapshots):
+            mask = run.observations.congested_mask_of_snapshot(snapshot)
+            true_links = frozenset(
+                np.flatnonzero(run.link_states[snapshot])
+            )
+            try:
+                result = localize_map(
+                    topology, mask, truth_probabilities
+                )
+            except Exception:
+                continue
+            precision, recall = result.precision_recall(true_links)
+            precision_total += precision
+            recall_total += recall
+            counted += 1
+        assert counted > 250
+        assert precision_total / counted > 0.8
+        assert recall_total / counted > 0.55
+
+    def test_map_vs_smallest_set(self, instance_1a, model_1a):
+        """MAP with informative probabilities should not lose to the
+        smallest-set heuristic on average likelihood."""
+        topology = instance_1a.topology
+        run = run_experiment(
+            topology,
+            model_1a,
+            config=ExperimentConfig(
+                n_snapshots=150, packets_per_path=None
+            ),
+            seed=62,
+        )
+        probabilities = model_1a.link_marginals()
+        better_or_equal = 0
+        total = 0
+        for snapshot in range(run.observations.n_snapshots):
+            mask = run.observations.congested_mask_of_snapshot(snapshot)
+            if mask == 0:
+                continue
+            try:
+                map_result = localize_map(topology, mask, probabilities)
+                greedy = localize_smallest_set(topology, mask)
+            except Exception:
+                continue
+            total += 1
+            import math
+
+            def loglik(links):
+                value = 0.0
+                clipped = np.clip(probabilities, 1e-9, 1 - 1e-9)
+                for k in range(topology.n_links):
+                    p = clipped[k]
+                    value += math.log(p if k in links else 1.0 - p)
+                return value
+
+            if loglik(map_result.congested_links) >= loglik(
+                greedy.congested_links
+            ) - 1e-9:
+                better_or_equal += 1
+        assert total > 0
+        assert better_or_equal == total

@@ -1,0 +1,150 @@
+"""End-to-end test of the Section-3.3 merge workflow.
+
+When Assumption 4 fails and the topology cannot be altered, the paper's
+remaining option is the merge transformation: collapse the offending
+links into merged links, infer at the reduced granularity, and read each
+merged link's probability as "at least one of its originals congested".
+
+Pipeline under test on Figure 1(b):
+
+1. the original instance is unidentifiable (checked);
+2. the ground truth lives on the *original* links (correlated {e1,e2});
+3. measurements are taken on the original topology;
+4. inference runs on the *transformed* topology — the measurement paths
+   are the same end-to-end observations, just re-expressed over merged
+   links — and must recover each merged link's true union-probability;
+5. ``project_probabilities`` maps the estimates back to original-link
+   groups.
+"""
+
+import math
+
+import numpy as np
+
+from repro.core import infer_congestion, transform_until_identifiable
+from repro.core.identifiability import check_assumption4
+from repro.model import (
+    ExplicitJointModel,
+    IndependentModel,
+    NetworkCongestionModel,
+)
+from repro.simulate import (
+    ExactPathStateDistribution,
+    ExperimentConfig,
+    run_experiment,
+)
+
+
+def make_fig1b_truth(instance):
+    topology = instance.topology
+    e1, e2, e3 = (topology.link(n).id for n in ("e1", "e2", "e3"))
+    return (
+        NetworkCongestionModel(
+            instance.correlation,
+            [
+                ExplicitJointModel(
+                    frozenset({e1, e2}),
+                    {
+                        frozenset({e1}): 0.06,
+                        frozenset({e2}): 0.10,
+                        frozenset({e1, e2}): 0.14,
+                    },
+                ),
+                IndependentModel({e3: 0.2}),
+            ],
+        ),
+        (e1, e2, e3),
+    )
+
+
+def true_union_probability(model, links) -> float:
+    """P(at least one of ``links`` congested) by inclusion–exclusion
+    over the (enumerable) network states."""
+    total = 0.0
+    for state, probability in model.iter_states():
+        if state & set(links):
+            total += probability
+    return total
+
+
+class TestMergeWorkflow:
+    def test_full_pipeline_with_oracle(self, instance_1b):
+        truth_model, (e1, e2, e3) = make_fig1b_truth(instance_1b)
+        assert not check_assumption4(instance_1b.correlation).holds
+
+        transformed = transform_until_identifiable(
+            instance_1b.topology, instance_1b.correlation
+        )
+        assert check_assumption4(transformed.correlation).holds
+
+        # The observable process is identical: path P_i is congested iff
+        # any original link on it is congested.  Build the transformed
+        # oracle directly from the original model's path-state law.
+        oracle = ExactPathStateDistribution.from_model(
+            instance_1b.topology, truth_model
+        )
+        result = infer_congestion(
+            transformed.topology, transformed.correlation, oracle
+        )
+
+        projected = transformed.project_probabilities(
+            result.congestion_probabilities
+        )
+        assert set(projected) == {
+            frozenset({e3, e1}),
+            frozenset({e3, e2}),
+        }
+        for originals, estimate in projected.items():
+            expected = true_union_probability(truth_model, originals)
+            assert math.isclose(estimate, expected, abs_tol=1e-9), (
+                originals,
+                estimate,
+                expected,
+            )
+
+    def test_full_pipeline_with_simulation(self, instance_1b):
+        truth_model, _ = make_fig1b_truth(instance_1b)
+        transformed = transform_until_identifiable(
+            instance_1b.topology, instance_1b.correlation
+        )
+        run = run_experiment(
+            instance_1b.topology,
+            truth_model,
+            config=ExperimentConfig(n_snapshots=6000),
+            seed=1331,
+        )
+        # Same path observations, re-read against the merged topology.
+        result = infer_congestion(
+            transformed.topology,
+            transformed.correlation,
+            run.observations,
+        )
+        projected = transformed.project_probabilities(
+            result.congestion_probabilities
+        )
+        for originals, estimate in projected.items():
+            expected = true_union_probability(truth_model, originals)
+            assert abs(estimate - expected) < 0.05
+
+    def test_merged_estimates_bound_original_marginals(
+        self, instance_1b
+    ):
+        """P(any of the group) upper-bounds each member's marginal —
+        the reduced-granularity reading the paper describes."""
+        truth_model, (e1, e2, e3) = make_fig1b_truth(instance_1b)
+        transformed = transform_until_identifiable(
+            instance_1b.topology, instance_1b.correlation
+        )
+        oracle = ExactPathStateDistribution.from_model(
+            instance_1b.topology, truth_model
+        )
+        result = infer_congestion(
+            transformed.topology, transformed.correlation, oracle
+        )
+        projected = transformed.project_probabilities(
+            result.congestion_probabilities
+        )
+        truth = truth_model.link_marginals()
+        for originals, estimate in projected.items():
+            for link_id in originals:
+                assert estimate >= truth[link_id] - 1e-9

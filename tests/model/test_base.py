@@ -1,0 +1,58 @@
+"""Unit tests for the SetCongestionModel base-class defaults."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.base import SetCongestionModel
+from repro.utils.rng import as_generator
+
+
+class _MinimalModel(SetCongestionModel):
+    """Deterministic toy subclass exercising the base defaults."""
+
+    def sample(self, rng):
+        # Always congests the smallest member link.
+        return frozenset({min(self.links)})
+
+    def marginal(self, link_id):
+        self._check_member(link_id)
+        return 1.0 if link_id == min(self.links) else 0.0
+
+    def joint(self, subset):
+        subset = self._check_subset(subset)
+        return 1.0 if subset <= {min(self.links)} else 0.0
+
+
+class TestBaseDefaults:
+    def test_empty_links_rejected(self):
+        with pytest.raises(ModelError):
+            _MinimalModel(frozenset())
+
+    def test_member_order_sorted(self):
+        model = _MinimalModel(frozenset({5, 2, 9}))
+        assert model.member_order == [2, 5, 9]
+
+    def test_default_sample_matrix_loops_over_sample(self):
+        model = _MinimalModel(frozenset({2, 5}))
+        matrix = model.sample_matrix(as_generator(0), 4)
+        assert matrix.shape == (4, 2)
+        # Column 0 corresponds to link 2 (the min): always congested.
+        assert np.all(matrix[:, 0])
+        assert not matrix[:, 1].any()
+
+    def test_support_unavailable_by_default(self):
+        model = _MinimalModel(frozenset({1}))
+        assert not model.enumerable
+        with pytest.raises(ModelError, match="cannot enumerate"):
+            list(model.support())
+
+    def test_state_probability_needs_support(self):
+        model = _MinimalModel(frozenset({1}))
+        with pytest.raises(ModelError):
+            model.state_probability(frozenset({1}))
+
+    def test_check_subset_rejects_foreign_links(self):
+        model = _MinimalModel(frozenset({1, 2}))
+        with pytest.raises(ModelError, match="not a subset"):
+            model.joint(frozenset({3}))

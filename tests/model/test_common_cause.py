@@ -1,0 +1,103 @@
+"""Unit tests for the common-cause (shared fate) model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.common_cause import CommonCauseModel
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def model():
+    return CommonCauseModel(
+        frozenset({0, 1, 2}),
+        cause_probability=0.3,
+        background={0: 0.1, 1: 0.05, 2: 0.0},
+    )
+
+
+class TestValidation:
+    def test_scalar_background_broadcast(self):
+        model = CommonCauseModel(
+            frozenset({0, 1}), cause_probability=0.2, background=0.1
+        )
+        assert model.background_of(0) == 0.1
+        assert model.background_of(1) == 0.1
+
+    def test_missing_background_rejected(self):
+        with pytest.raises(ModelError, match="missing"):
+            CommonCauseModel(
+                frozenset({0, 1}),
+                cause_probability=0.2,
+                background={0: 0.1},
+            )
+
+    def test_bad_cause_probability_rejected(self):
+        with pytest.raises(ValueError):
+            CommonCauseModel(frozenset({0}), cause_probability=1.2)
+
+
+class TestExactQueries:
+    def test_marginal_formula(self, model):
+        """P(X=1) = a + (1-a)·b."""
+        assert math.isclose(model.marginal(0), 0.3 + 0.7 * 0.1)
+        assert math.isclose(model.marginal(2), 0.3)
+
+    def test_joint_formula(self, model):
+        """P(all of A) = a + (1-a)·Π b."""
+        assert math.isclose(
+            model.joint(frozenset({0, 1})), 0.3 + 0.7 * 0.1 * 0.05
+        )
+
+    def test_joint_of_empty(self, model):
+        assert model.joint(frozenset()) == 1.0
+
+    def test_strong_positive_correlation(self, model):
+        joint = model.joint(frozenset({0, 1}))
+        product = model.marginal(0) * model.marginal(1)
+        assert joint > product
+
+    def test_state_probability_full_set_includes_cause(self, model):
+        direct = model.state_probability(frozenset({0, 1, 2}))
+        # Cause-on mass (0.3) plus cause-off backgrounds product
+        # 0.7 * 0.1 * 0.05 * 0.0 = 0.
+        assert math.isclose(direct, 0.3)
+
+    def test_state_probability_partial_excludes_cause(self, model):
+        direct = model.state_probability(frozenset({0}))
+        assert math.isclose(direct, 0.7 * 0.1 * 0.95 * 1.0)
+
+    def test_support_sums_to_one(self, model):
+        assert math.isclose(
+            sum(p for _, p in model.support()), 1.0, abs_tol=1e-9
+        )
+
+    def test_support_consistent_with_marginals(self, model):
+        support = list(model.support())
+        for link_id in model.links:
+            from_support = sum(
+                p for state, p in support if link_id in state
+            )
+            assert math.isclose(from_support, model.marginal(link_id))
+
+
+class TestSampling:
+    def test_cause_congests_everything(self):
+        model = CommonCauseModel(
+            frozenset({0, 1}), cause_probability=1.0, background=0.0
+        )
+        assert model.sample(as_generator(0)) == frozenset({0, 1})
+
+    def test_empirical_joint(self, model):
+        matrix = model.sample_matrix(as_generator(8), 20_000)
+        both = (matrix[:, 0] & matrix[:, 1]).mean()
+        assert abs(both - model.joint(frozenset({0, 1}))) < 0.02
+
+    def test_empirical_marginals(self, model):
+        matrix = model.sample_matrix(as_generator(9), 20_000)
+        for column, link_id in enumerate(model.member_order):
+            assert abs(
+                matrix[:, column].mean() - model.marginal(link_id)
+            ) < 0.02

@@ -1,0 +1,107 @@
+"""Unit tests for the explicit joint congestion model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.explicit import ExplicitJointModel
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def model():
+    """The conftest Fig-1(a) set-1 distribution over {0, 1}."""
+    return ExplicitJointModel(
+        frozenset({0, 1}),
+        {
+            frozenset({0}): 0.05,
+            frozenset({1}): 0.05,
+            frozenset({0, 1}): 0.20,
+        },
+    )
+
+
+class TestValidation:
+    def test_leftover_mass_goes_to_empty_state(self, model):
+        assert math.isclose(
+            model.state_probability(frozenset()), 0.7
+        )
+
+    def test_explicit_empty_state(self):
+        model = ExplicitJointModel(
+            frozenset({0}), {frozenset(): 0.4, frozenset({0}): 0.6}
+        )
+        assert math.isclose(model.marginal(0), 0.6)
+
+    def test_over_unit_mass_rejected(self):
+        with pytest.raises(ModelError):
+            ExplicitJointModel(
+                frozenset({0}), {frozenset({0}): 1.4}
+            )
+
+    def test_bad_sum_with_explicit_empty_rejected(self):
+        with pytest.raises(ModelError, match="sum to 1"):
+            ExplicitJointModel(
+                frozenset({0}),
+                {frozenset(): 0.1, frozenset({0}): 0.1},
+            )
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ModelError, match="negative"):
+            ExplicitJointModel(
+                frozenset({0}), {frozenset({0}): -0.2}
+            )
+
+    def test_foreign_subset_rejected(self):
+        with pytest.raises(ModelError):
+            ExplicitJointModel(
+                frozenset({0}), {frozenset({5}): 0.5}
+            )
+
+
+class TestExactQueries:
+    def test_marginals(self, model):
+        assert math.isclose(model.marginal(0), 0.25)
+        assert math.isclose(model.marginal(1), 0.25)
+
+    def test_joint(self, model):
+        assert math.isclose(model.joint(frozenset({0, 1})), 0.20)
+
+    def test_correlation_is_positive(self, model):
+        # Joint 0.2 >> product 0.0625: strongly positively correlated.
+        assert model.joint(frozenset({0, 1})) > (
+            model.marginal(0) * model.marginal(1)
+        )
+
+    def test_support_is_exact(self, model):
+        support = dict(model.support())
+        assert math.isclose(support[frozenset({0, 1})], 0.2, abs_tol=1e-9)
+        assert math.isclose(
+            sum(support.values()), 1.0, abs_tol=1e-9
+        )
+
+    def test_enumerable(self, model):
+        assert model.enumerable
+
+
+class TestSampling:
+    def test_empirical_state_frequencies(self, model):
+        rng = as_generator(2)
+        counts = {}
+        n = 20_000
+        for _ in range(n):
+            state = model.sample(rng)
+            counts[state] = counts.get(state, 0) + 1
+        assert abs(counts.get(frozenset({0, 1}), 0) / n - 0.2) < 0.02
+        assert abs(counts.get(frozenset(), 0) / n - 0.7) < 0.02
+
+    def test_sample_matrix_marginals(self, model):
+        matrix = model.sample_matrix(as_generator(4), 20_000)
+        assert abs(matrix[:, 0].mean() - 0.25) < 0.02
+        assert abs(matrix[:, 1].mean() - 0.25) < 0.02
+
+    def test_sample_matrix_joint(self, model):
+        matrix = model.sample_matrix(as_generator(5), 20_000)
+        both = (matrix[:, 0] & matrix[:, 1]).mean()
+        assert abs(both - 0.2) < 0.02

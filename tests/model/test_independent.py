@@ -1,0 +1,92 @@
+"""Unit tests for the independent congestion model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.independent import IndependentModel
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def model():
+    return IndependentModel({0: 0.2, 1: 0.5, 2: 0.0})
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            IndependentModel({})
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ValueError):
+            IndependentModel({0: 1.5})
+
+
+class TestExactQueries:
+    def test_marginals(self, model):
+        assert model.marginal(0) == 0.2
+        assert model.marginal(2) == 0.0
+
+    def test_non_member_rejected(self, model):
+        with pytest.raises(ModelError):
+            model.marginal(9)
+
+    def test_joint_is_product(self, model):
+        assert math.isclose(model.joint(frozenset({0, 1})), 0.1)
+
+    def test_joint_with_impossible_link(self, model):
+        assert model.joint(frozenset({0, 2})) == 0.0
+
+    def test_state_probability(self, model):
+        # P(S = {0}) = 0.2 * 0.5 * 1.0
+        assert math.isclose(
+            model.state_probability(frozenset({0})), 0.2 * 0.5
+        )
+
+    def test_support_sums_to_one(self, model):
+        total = sum(p for _, p in model.support())
+        assert math.isclose(total, 1.0)
+
+    def test_support_matches_state_probability(self, model):
+        for state, probability in model.support():
+            assert math.isclose(
+                probability, model.state_probability(state)
+            )
+
+
+class TestSampling:
+    def test_sample_within_links(self, model):
+        rng = as_generator(0)
+        for _ in range(50):
+            assert model.sample(rng) <= model.links
+
+    def test_impossible_link_never_sampled(self, model):
+        rng = as_generator(1)
+        for _ in range(200):
+            assert 2 not in model.sample(rng)
+
+    def test_empirical_marginals(self, model):
+        matrix = model.sample_matrix(as_generator(3), 20_000)
+        order = model.member_order
+        for column, link_id in enumerate(order):
+            assert abs(
+                matrix[:, column].mean() - model.marginal(link_id)
+            ) < 0.02
+
+    def test_sample_matrix_shape(self, model):
+        matrix = model.sample_matrix(as_generator(0), 7)
+        assert matrix.shape == (7, 3)
+        assert matrix.dtype == bool
+
+    def test_matrix_and_scalar_sampling_agree_statistically(self, model):
+        rng = as_generator(5)
+        scalar_hits = sum(
+            0 in model.sample(rng) for _ in range(5000)
+        )
+        matrix_hits = int(
+            model.sample_matrix(as_generator(6), 5000)[:, 0].sum()
+        )
+        assert abs(scalar_hits - matrix_hits) < 300

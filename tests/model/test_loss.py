@@ -1,0 +1,77 @@
+"""Unit tests for the packet-loss-rate model of [13]."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.loss import (
+    DEFAULT_LINK_THRESHOLD,
+    LossModel,
+    path_threshold,
+)
+from repro.utils.rng import as_generator
+
+
+class TestPathThreshold:
+    def test_single_link(self):
+        assert math.isclose(path_threshold(1), DEFAULT_LINK_THRESHOLD)
+
+    def test_formula(self):
+        """t_p = 1 − (1 − t_l)^d."""
+        assert math.isclose(path_threshold(3), 1 - 0.99**3)
+
+    def test_monotone_in_length(self):
+        values = [path_threshold(d) for d in range(1, 10)]
+        assert values == sorted(values)
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            path_threshold(0)
+
+    def test_custom_threshold(self):
+        assert math.isclose(path_threshold(2, 0.5), 0.75)
+
+
+class TestLossModel:
+    def test_default_threshold_is_paper_value(self):
+        assert LossModel().link_threshold == 0.01
+
+    def test_degenerate_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            LossModel(0.0)
+        with pytest.raises(ValueError):
+            LossModel(1.0)
+
+    def test_good_links_below_threshold(self):
+        model = LossModel()
+        congested = np.zeros(1000, dtype=bool)
+        rates = model.sample_loss_rates(congested, as_generator(0))
+        assert np.all(rates <= model.link_threshold)
+        assert np.all(rates >= 0.0)
+
+    def test_congested_links_above_threshold(self):
+        model = LossModel()
+        congested = np.ones(1000, dtype=bool)
+        rates = model.sample_loss_rates(congested, as_generator(1))
+        assert np.all(rates >= model.link_threshold)
+        assert np.all(rates <= 1.0)
+
+    def test_mixed_states(self):
+        model = LossModel()
+        congested = np.array([True, False, True, False])
+        rates = model.sample_loss_rates(congested, as_generator(2))
+        assert rates[0] > model.link_threshold >= rates[1]
+        assert rates[2] > model.link_threshold >= rates[3]
+
+    def test_path_threshold_delegation(self):
+        model = LossModel(0.02)
+        assert math.isclose(model.path_threshold(2), 1 - 0.98**2)
+
+    def test_loss_rates_spread_over_regimes(self):
+        """Congested loss rates should span (t_l, 1], not cluster."""
+        model = LossModel()
+        congested = np.ones(5000, dtype=bool)
+        rates = model.sample_loss_rates(congested, as_generator(3))
+        assert rates.max() > 0.9
+        assert rates.min() < 0.1

@@ -1,0 +1,151 @@
+"""Unit tests for the Markov-modulated (bursty) congestion model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.markov import MarkovModulatedModel
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def model():
+    return MarkovModulatedModel(
+        frozenset({0, 1}),
+        calm=0.02,
+        burst={0: 0.8, 1: 0.6},
+        p_calm_to_burst=0.1,
+        p_burst_to_calm=0.3,
+    )
+
+
+class TestValidation:
+    def test_non_ergodic_rejected(self):
+        with pytest.raises(ModelError, match="ergodic"):
+            MarkovModulatedModel(
+                frozenset({0}),
+                calm=0.1,
+                burst=0.9,
+                p_calm_to_burst=0.0,
+                p_burst_to_calm=0.5,
+            )
+
+    def test_missing_state_probability_rejected(self):
+        with pytest.raises(ModelError, match="missing"):
+            MarkovModulatedModel(
+                frozenset({0, 1}),
+                calm={0: 0.1},
+                burst=0.9,
+                p_calm_to_burst=0.1,
+                p_burst_to_calm=0.1,
+            )
+
+
+class TestExactQueries:
+    def test_stationary_distribution(self, model):
+        assert math.isclose(
+            model.stationary_burst_probability, 0.1 / 0.4
+        )
+
+    def test_marginal_is_mixture(self, model):
+        pi = 0.25
+        assert math.isclose(
+            model.marginal(0), pi * 0.8 + (1 - pi) * 0.02
+        )
+
+    def test_joint_is_mixture_of_products(self, model):
+        pi = 0.25
+        expected = pi * 0.8 * 0.6 + (1 - pi) * 0.02 * 0.02
+        assert math.isclose(model.joint(frozenset({0, 1})), expected)
+
+    def test_hidden_state_creates_positive_correlation(self, model):
+        joint = model.joint(frozenset({0, 1}))
+        assert joint > model.marginal(0) * model.marginal(1)
+
+    def test_support_sums_to_one(self, model):
+        assert math.isclose(
+            sum(p for _, p in model.support()), 1.0, abs_tol=1e-9
+        )
+
+    def test_support_consistent_with_marginals(self, model):
+        support = list(model.support())
+        for link_id in model.links:
+            from_support = sum(
+                p for state, p in support if link_id in state
+            )
+            assert math.isclose(
+                from_support, model.marginal(link_id), abs_tol=1e-9
+            )
+
+
+class TestSampling:
+    def test_iid_sample_respects_marginals(self, model):
+        rng = as_generator(0)
+        hits = sum(0 in model.sample(rng) for _ in range(20_000))
+        assert abs(hits / 20_000 - model.marginal(0)) < 0.02
+
+    def test_chain_sampling_respects_stationary_marginals(self, model):
+        matrix = model.sample_matrix(as_generator(1), 60_000)
+        assert abs(matrix[:, 0].mean() - model.marginal(0)) < 0.02
+
+    def test_chain_sampling_is_time_correlated(self, model):
+        """Consecutive snapshots must be positively correlated — the
+        whole point of the model."""
+        matrix = model.sample_matrix(as_generator(2), 40_000)
+        x = matrix[:-1, 0].astype(float)
+        y = matrix[1:, 0].astype(float)
+        correlation = np.corrcoef(x, y)[0, 1]
+        assert correlation > 0.1
+
+    def test_single_sample_calls_are_iid(self, model):
+        """Scalar sample() draws the state fresh: consecutive calls on
+        one generator carry no memory."""
+        rng = as_generator(3)
+        draws = np.array(
+            [0 in model.sample(rng) for _ in range(40_000)], dtype=float
+        )
+        correlation = np.corrcoef(draws[:-1], draws[1:])[0, 1]
+        assert abs(correlation) < 0.03
+
+
+class TestAssumptionStress:
+    def test_estimates_survive_temporal_correlation(self, instance_1a):
+        """The algorithms consume per-snapshot frequencies; an ergodic
+        chain keeps those consistent, so temporal correlation should
+        cost variance, not correctness."""
+        from repro.core import infer_congestion
+        from repro.model import IndependentModel, NetworkCongestionModel
+        from repro.simulate import ExperimentConfig, run_experiment
+
+        topology = instance_1a.topology
+        e1, e2, e3, e4 = (
+            topology.link(n).id for n in ("e1", "e2", "e3", "e4")
+        )
+        model = NetworkCongestionModel(
+            instance_1a.correlation,
+            [
+                MarkovModulatedModel(
+                    frozenset({e1, e2}),
+                    calm=0.02,
+                    burst=0.8,
+                    p_calm_to_burst=0.05,
+                    p_burst_to_calm=0.25,
+                ),
+                IndependentModel({e3: 0.3}),
+                IndependentModel({e4: 0.15}),
+            ],
+        )
+        truth = model.link_marginals()
+        run = run_experiment(
+            topology,
+            model,
+            config=ExperimentConfig(n_snapshots=12_000),
+            seed=44,
+        )
+        result = infer_congestion(
+            topology, instance_1a.correlation, run.observations
+        )
+        errors = np.abs(result.congestion_probabilities - truth)
+        assert errors.max() < 0.08

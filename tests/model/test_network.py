@@ -1,0 +1,109 @@
+"""Unit tests for the network-level congestion model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.correlation import CorrelationStructure
+from repro.exceptions import ModelError
+from repro.model import (
+    IndependentModel,
+    NetworkCongestionModel,
+)
+from repro.utils.rng import as_generator
+
+
+class TestConstruction:
+    def test_model_count_mismatch_rejected(self, instance_1a):
+        with pytest.raises(ModelError, match="set models"):
+            NetworkCongestionModel(
+                instance_1a.correlation, [IndependentModel({0: 0.1})]
+            )
+
+    def test_link_mismatch_rejected(self, instance_1a):
+        correlation = instance_1a.correlation
+        models = [
+            IndependentModel({k: 0.1 for k in group})
+            for group in correlation.sets
+        ]
+        # Swap two models so their links no longer match their sets.
+        models[0], models[1] = models[1], models[0]
+        with pytest.raises(ModelError, match="governs links"):
+            NetworkCongestionModel(correlation, models)
+
+    def test_independent_constructor(self, instance_1a):
+        model = NetworkCongestionModel.independent(
+            instance_1a.correlation, {0: 0.5, 1: 0.1, 2: 0.2, 3: 0.0}
+        )
+        truth = model.link_marginals()
+        assert truth[0] == 0.5
+        assert truth[3] == 0.0
+
+    def test_independent_from_array(self, instance_1a):
+        model = NetworkCongestionModel.independent(
+            instance_1a.correlation, np.array([0.1, 0.2, 0.3, 0.4])
+        )
+        assert math.isclose(model.link_marginals()[2], 0.3)
+
+
+class TestExactQueries:
+    def test_marginals_match_set_models(self, model_1a, truth_1a):
+        assert np.allclose(model_1a.link_marginals(), truth_1a)
+
+    def test_joint_within_set(self, instance_1a, model_1a):
+        topology = instance_1a.topology
+        e1, e2 = topology.link("e1").id, topology.link("e2").id
+        assert math.isclose(model_1a.joint({e1, e2}), 0.2)
+
+    def test_joint_across_sets_is_product(self, instance_1a, model_1a):
+        topology = instance_1a.topology
+        e1, e3 = topology.link("e1").id, topology.link("e3").id
+        assert math.isclose(model_1a.joint({e1, e3}), 0.25 * 0.3)
+
+    def test_enumerable(self, model_1a):
+        assert model_1a.enumerable
+
+    def test_iter_states_total_probability(self, model_1a):
+        total = sum(p for _, p in model_1a.iter_states())
+        assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+    def test_iter_states_max_guard(self, model_1a):
+        with pytest.raises(ModelError, match="max_states"):
+            list(model_1a.iter_states(max_states=1))
+
+    def test_iter_states_marginal_consistency(self, model_1a, truth_1a):
+        sums = np.zeros(model_1a.n_links)
+        for state, probability in model_1a.iter_states():
+            for link_id in state:
+                sums[link_id] += probability
+        assert np.allclose(sums, truth_1a, atol=1e-9)
+
+
+class TestSampling:
+    def test_sample_indicator_shape(self, model_1a):
+        indicator = model_1a.sample_indicator(as_generator(0))
+        assert indicator.shape == (4,)
+        assert indicator.dtype == bool
+
+    def test_sample_states_marginals(self, model_1a, truth_1a):
+        states = model_1a.sample_states(as_generator(21), 20_000)
+        assert states.shape == (20_000, 4)
+        empirical = states.mean(axis=0)
+        assert np.allclose(empirical, truth_1a, atol=0.02)
+
+    def test_sample_states_joint(self, instance_1a, model_1a):
+        topology = instance_1a.topology
+        e1, e2 = topology.link("e1").id, topology.link("e2").id
+        states = model_1a.sample_states(as_generator(22), 20_000)
+        both = (states[:, e1] & states[:, e2]).mean()
+        assert abs(both - 0.2) < 0.02
+
+    def test_cross_set_independence_in_samples(
+        self, instance_1a, model_1a
+    ):
+        topology = instance_1a.topology
+        e1, e3 = topology.link("e1").id, topology.link("e3").id
+        states = model_1a.sample_states(as_generator(23), 40_000)
+        joint = (states[:, e1] & states[:, e3]).mean()
+        assert abs(joint - 0.25 * 0.3) < 0.01

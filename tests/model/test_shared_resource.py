@@ -1,0 +1,109 @@
+"""Unit tests for the shared-resource (hidden substrate) model."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model.shared_resource import SharedResourceModel
+from repro.utils.rng import as_generator
+
+
+@pytest.fixture()
+def model():
+    """Two logical links sharing resource "t"; one private each."""
+    return SharedResourceModel(
+        {0: {"a", "t"}, 1: {"b", "t"}},
+        {"a": 0.1, "b": 0.2, "t": 0.15},
+    )
+
+
+class TestValidation:
+    def test_empty_map_rejected(self):
+        with pytest.raises(ModelError):
+            SharedResourceModel({}, {})
+
+    def test_link_without_resources_rejected(self):
+        with pytest.raises(ModelError, match="no resource"):
+            SharedResourceModel({0: set()}, {})
+
+    def test_missing_resource_probability_rejected(self):
+        with pytest.raises(ModelError, match="no probability"):
+            SharedResourceModel({0: {"a"}}, {})
+
+
+class TestExactQueries:
+    def test_marginal_formula(self, model):
+        """P(X=1) = 1 − Π (1−q_r) over the link's resources."""
+        assert math.isclose(model.marginal(0), 1 - 0.9 * 0.85)
+        assert math.isclose(model.marginal(1), 1 - 0.8 * 0.85)
+
+    def test_joint_by_inclusion_exclusion(self, model):
+        """P(X0 ∧ X1) = 1 − P(X0=0) − P(X1=0) + P(both good)."""
+        both_good = 0.9 * 0.8 * 0.85  # all three resources good
+        expected = 1 - 0.9 * 0.85 - 0.8 * 0.85 + both_good
+        assert math.isclose(model.joint(frozenset({0, 1})), expected)
+
+    def test_sharing_creates_positive_correlation(self, model):
+        joint = model.joint(frozenset({0, 1}))
+        product = model.marginal(0) * model.marginal(1)
+        assert joint > product
+
+    def test_disjoint_resources_are_independent(self):
+        model = SharedResourceModel(
+            {0: {"a"}, 1: {"b"}}, {"a": 0.3, "b": 0.4}
+        )
+        assert math.isclose(
+            model.joint(frozenset({0, 1})),
+            model.marginal(0) * model.marginal(1),
+        )
+
+    def test_sharing_pairs(self, model):
+        assert model.sharing_pairs() == [(0, 1)]
+
+    def test_support_sums_to_one(self, model):
+        assert math.isclose(
+            sum(p for _, p in model.support()), 1.0, abs_tol=1e-9
+        )
+
+    def test_support_consistent_with_joint(self, model):
+        support = list(model.support())
+        joint_from_support = sum(
+            p for state, p in support if {0, 1} <= state
+        )
+        assert math.isclose(
+            joint_from_support, model.joint(frozenset({0, 1}))
+        )
+
+    def test_state_probability(self, model):
+        """State {0} alone: t good, a failed, b good... but careful —
+        if t fails both links congest, so {0} requires a failed, t good,
+        and b anything that doesn't congest link 1 alone: b good."""
+        expected = 0.1 * 0.8 * 0.85
+        assert math.isclose(
+            model.state_probability(frozenset({0})), expected
+        )
+
+
+class TestSampling:
+    def test_shared_failure_hits_both(self):
+        model = SharedResourceModel(
+            {0: {"t"}, 1: {"t"}}, {"t": 1.0}
+        )
+        assert model.sample(as_generator(0)) == frozenset({0, 1})
+
+    def test_empirical_marginals(self, model):
+        matrix = model.sample_matrix(as_generator(11), 20_000)
+        for column, link_id in enumerate(model.member_order):
+            assert abs(
+                matrix[:, column].mean() - model.marginal(link_id)
+            ) < 0.02
+
+    def test_empirical_joint(self, model):
+        matrix = model.sample_matrix(as_generator(12), 20_000)
+        both = (matrix[:, 0] & matrix[:, 1]).mean()
+        assert abs(both - model.joint(frozenset({0, 1}))) < 0.02
+
+    def test_resources_listing(self, model):
+        assert model.resources == ["a", "b", "t"]
+        assert model.resources_of(0) == frozenset({"a", "t"})

@@ -1,0 +1,96 @@
+"""Hypothesis strategies for random tomography instances.
+
+Random instances are built from random node walks (so paths are always
+contiguous and loop-free), random correlation partitions of the resulting
+links, and random explicit joint congestion models per correlation set —
+everything the exactness properties need, with exactly known ground truth.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.builder import TopologyBuilder
+from repro.core.correlation import CorrelationStructure
+from repro.model.explicit import ExplicitJointModel
+from repro.model.network import NetworkCongestionModel
+
+
+@st.composite
+def topologies(draw, max_nodes: int = 7, max_paths: int = 5):
+    """A random topology built from random distinct-node walks."""
+    n_nodes = draw(st.integers(min_value=3, max_value=max_nodes))
+    nodes = [f"v{i}" for i in range(n_nodes)]
+    n_paths = draw(st.integers(min_value=1, max_value=max_paths))
+    walks = []
+    for _ in range(n_paths):
+        length = draw(st.integers(min_value=2, max_value=min(4, n_nodes)))
+        walk = draw(
+            st.permutations(nodes).map(lambda p, ln=length: list(p[:ln]))
+        )
+        walks.append(walk)
+    builder = TopologyBuilder()
+    for index, walk in enumerate(walks):
+        link_names = []
+        for src, dst in zip(walk, walk[1:]):
+            link = builder.ensure_link(f"{src}->{dst}", src, dst)
+            link_names.append(link.name)
+        builder.add_path(f"P{index + 1}", link_names)
+    return builder.build()
+
+
+@st.composite
+def correlated_instances(draw, max_set_size: int = 3):
+    """(topology, correlation) with a random partition into small sets."""
+    topology = draw(topologies())
+    link_ids = list(range(topology.n_links))
+    order = draw(st.permutations(link_ids))
+    sets = []
+    index = 0
+    while index < len(order):
+        size = draw(st.integers(min_value=1, max_value=max_set_size))
+        group = list(order[index : index + size])
+        sets.append(group)
+        index += size
+    return topology, CorrelationStructure(topology, sets)
+
+
+@st.composite
+def explicit_set_models(draw, links: frozenset):
+    """A random explicit joint distribution over subsets of ``links``."""
+    members = sorted(links)
+    subsets = [frozenset()]
+    # All singletons plus (when applicable) the full set keep the support
+    # small but genuinely correlated.
+    subsets.extend(frozenset({m}) for m in members)
+    if len(members) > 1:
+        subsets.append(frozenset(members))
+    weights = [
+        draw(
+            st.floats(
+                min_value=0.01,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            )
+        )
+        for _ in subsets
+    ]
+    # Give the empty state extra mass so P(all good) stays comfortably
+    # positive (the theorem algorithm divides by it).
+    weights[0] += 2.0
+    total = sum(weights)
+    distribution = {
+        subset: weight / total
+        for subset, weight in zip(subsets, weights)
+    }
+    return ExplicitJointModel(frozenset(links), distribution)
+
+
+@st.composite
+def network_models(draw, correlation: CorrelationStructure):
+    """A random ground-truth model matching a correlation structure."""
+    models = [
+        draw(explicit_set_models(group)) for group in correlation.sets
+    ]
+    return NetworkCongestionModel(correlation, models)

@@ -1,0 +1,41 @@
+"""Property-based tests for bitmask helpers."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.bitset import bit_count, bits_of, mask_of, subset_of
+
+index_sets = st.sets(st.integers(min_value=0, max_value=200), max_size=30)
+
+
+@given(index_sets)
+def test_mask_roundtrip(indices):
+    assert set(bits_of(mask_of(indices))) == indices
+
+
+@given(index_sets, index_sets)
+def test_union_is_or(a, b):
+    assert mask_of(a | b) == mask_of(a) | mask_of(b)
+
+
+@given(index_sets, index_sets)
+def test_intersection_is_and(a, b):
+    assert mask_of(a & b) == mask_of(a) & mask_of(b)
+
+
+@given(index_sets)
+def test_bit_count_matches_cardinality(indices):
+    assert bit_count(mask_of(indices)) == len(indices)
+
+
+@given(index_sets, index_sets)
+def test_subset_of_matches_set_semantics(a, b):
+    assert subset_of(mask_of(a), mask_of(b)) == (a <= b)
+
+
+@given(index_sets, index_sets, index_sets)
+def test_subset_transitivity(a, b, c):
+    small, mid, big = mask_of(a), mask_of(a | b), mask_of(a | b | c)
+    assert subset_of(small, mid)
+    assert subset_of(mid, big)
+    assert subset_of(small, big)

@@ -1,0 +1,68 @@
+"""Property-based tests for the coverage function ψ on random topologies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.bitset import bit_count, subset_of
+from tests.property.strategies import topologies
+
+
+@given(topologies(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_coverage_union_is_or(topology, data):
+    """ψ(A ∪ B) = ψ(A) ∪ ψ(B) — Eq. 1 is a union homomorphism."""
+    links = list(range(topology.n_links))
+    a = data.draw(st.sets(st.sampled_from(links)))
+    b = data.draw(st.sets(st.sampled_from(links)))
+    assert topology.coverage_of(a | b) == (
+        topology.coverage_of(a) | topology.coverage_of(b)
+    )
+
+
+@given(topologies(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_coverage_monotone(topology, data):
+    links = list(range(topology.n_links))
+    a = data.draw(st.sets(st.sampled_from(links)))
+    b = data.draw(st.sets(st.sampled_from(links)))
+    assert subset_of(
+        topology.coverage_of(a), topology.coverage_of(a | b)
+    )
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_all_links_cover_all_paths(topology):
+    """No unused links (model invariant) ⇒ ψ(E) covers every path."""
+    assert (
+        topology.coverage_of(range(topology.n_links))
+        == topology.all_paths_mask
+    )
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_every_link_covers_something(topology):
+    for link_id in range(topology.n_links):
+        assert bit_count(topology.coverage[link_id]) >= 1
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_path_coverage_consistency(topology):
+    """Link k covers path i iff path i traverses link k."""
+    for path in topology.paths:
+        for link_id in range(topology.n_links):
+            covered = bool(topology.coverage[link_id] >> path.id & 1)
+            assert covered == path.traverses(link_id)
+
+
+@given(topologies())
+@settings(max_examples=40, deadline=None)
+def test_routing_matrix_agrees_with_coverage(topology):
+    matrix = topology.routing_matrix()
+    for path in topology.paths:
+        for link_id in range(topology.n_links):
+            assert (matrix[path.id, link_id] == 1.0) == bool(
+                topology.coverage[link_id] >> path.id & 1
+            )

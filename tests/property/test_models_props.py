@@ -1,0 +1,132 @@
+"""Property-based consistency of congestion models' exact queries."""
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.model.common_cause import CommonCauseModel
+from repro.model.shared_resource import SharedResourceModel
+from tests.property.strategies import explicit_set_models
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def common_cause_models(draw):
+    size = draw(st.integers(min_value=1, max_value=4))
+    links = frozenset(range(size))
+    cause = draw(probabilities)
+    background = {link: draw(probabilities) for link in links}
+    return CommonCauseModel(links, cause, background)
+
+
+@st.composite
+def shared_resource_models(draw):
+    n_links = draw(st.integers(min_value=1, max_value=3))
+    n_resources = draw(st.integers(min_value=1, max_value=4))
+    resource_ids = [f"r{i}" for i in range(n_resources)]
+    resource_map = {}
+    for link in range(n_links):
+        owned = draw(
+            st.sets(
+                st.sampled_from(resource_ids),
+                min_size=1,
+                max_size=n_resources,
+            )
+        )
+        resource_map[link] = frozenset(owned)
+    q = {r: draw(probabilities) for r in resource_ids}
+    return SharedResourceModel(resource_map, q)
+
+
+def check_support_consistency(model):
+    support = list(model.support())
+    total = sum(p for _, p in support)
+    assert math.isclose(total, 1.0, abs_tol=1e-9)
+    for link_id in model.links:
+        from_support = sum(
+            p for state, p in support if link_id in state
+        )
+        assert math.isclose(
+            from_support, model.marginal(link_id), abs_tol=1e-9
+        )
+
+
+def check_joint_consistency(model):
+    support = list(model.support())
+    members = sorted(model.links)
+    # joint(A) = Σ P(state ⊇ A) for a few subsets.
+    for size in range(1, min(len(members), 3) + 1):
+        subset = frozenset(members[:size])
+        from_support = sum(
+            p for state, p in support if subset <= state
+        )
+        assert math.isclose(
+            from_support, model.joint(subset), abs_tol=1e-9
+        )
+
+
+@given(common_cause_models())
+@RELAXED
+def test_common_cause_support_consistency(model):
+    check_support_consistency(model)
+
+
+@given(common_cause_models())
+@RELAXED
+def test_common_cause_joint_consistency(model):
+    check_joint_consistency(model)
+
+
+@given(shared_resource_models())
+@RELAXED
+def test_shared_resource_support_consistency(model):
+    check_support_consistency(model)
+
+
+@given(shared_resource_models())
+@RELAXED
+def test_shared_resource_joint_consistency(model):
+    check_joint_consistency(model)
+
+
+@given(st.data())
+@RELAXED
+def test_explicit_model_support_consistency(data):
+    size = data.draw(st.integers(min_value=1, max_value=4))
+    model = data.draw(explicit_set_models(frozenset(range(size))))
+    check_support_consistency(model)
+    check_joint_consistency(model)
+
+
+@given(common_cause_models())
+@RELAXED
+def test_joint_is_monotone_decreasing_in_subset_growth(model):
+    members = sorted(model.links)
+    previous = 1.0
+    for size in range(1, len(members) + 1):
+        current = model.joint(frozenset(members[:size]))
+        assert current <= previous + 1e-12
+        previous = current
+
+
+@given(shared_resource_models())
+@RELAXED
+def test_sharing_never_produces_negative_association(model):
+    """Shared independent resources can only correlate links positively:
+    joint ≥ product of marginals."""
+    members = sorted(model.links)
+    if len(members) < 2:
+        return
+    a, b = members[0], members[1]
+    joint = model.joint(frozenset({a, b}))
+    assert joint >= model.marginal(a) * model.marginal(b) - 1e-9

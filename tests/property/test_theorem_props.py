@@ -1,0 +1,77 @@
+"""Exactness of the theorem algorithm on random identifiable instances.
+
+This is the strongest correctness property in the suite: for *any* random
+topology, random correlation partition, and random correlated ground
+truth, as long as Assumption 4 holds, the theorem algorithm fed with the
+exact path-state distribution must recover every link marginal and every
+within-set joint probability exactly (Theorem 1)."""
+
+import math
+
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.identifiability import check_assumption4
+from repro.core.theorem import TheoremAlgorithm
+from repro.simulate.oracle import ExactPathStateDistribution
+from tests.property.strategies import correlated_instances, network_models
+
+RELAXED = settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.filter_too_much,
+        HealthCheck.data_too_large,
+    ],
+)
+
+
+@given(correlated_instances(), st.data())
+@RELAXED
+def test_theorem_recovers_marginals_exactly(instance, data):
+    topology, correlation = instance
+    assume(check_assumption4(correlation).holds)
+    model = data.draw(network_models(correlation))
+    oracle = ExactPathStateDistribution.from_model(topology, model)
+    result = TheoremAlgorithm(topology, correlation).identify(oracle)
+    truth = model.link_marginals()
+    for link_id, value in result.link_marginals.items():
+        assert math.isclose(value, truth[link_id], abs_tol=1e-7)
+    # Exact inputs must never trigger a genuine clamp (tiny float
+    # cancellations on true-zero factors are zeroed silently).
+    assert result.clamped_subsets == ()
+
+
+@given(correlated_instances(), st.data())
+@RELAXED
+def test_theorem_recovers_set_joints_exactly(instance, data):
+    topology, correlation = instance
+    assume(check_assumption4(correlation).holds)
+    model = data.draw(network_models(correlation))
+    oracle = ExactPathStateDistribution.from_model(topology, model)
+    result = TheoremAlgorithm(topology, correlation).identify(oracle)
+    for group in correlation.sets:
+        members = sorted(group)
+        assert math.isclose(
+            result.joint(members), model.joint(members), abs_tol=1e-7
+        )
+
+
+@given(correlated_instances(), st.data())
+@RELAXED
+def test_theorem_factors_reconstruct_state_probabilities(instance, data):
+    """α_A · P(Sp=∅) must equal the true P(Sp=A) for every subset the
+    ground-truth model can produce."""
+    topology, correlation = instance
+    assume(check_assumption4(correlation).holds)
+    model = data.draw(network_models(correlation))
+    oracle = ExactPathStateDistribution.from_model(topology, model)
+    result = TheoremAlgorithm(topology, correlation).identify(oracle)
+    for set_index, set_model in enumerate(model.models):
+        for state, probability in set_model.support():
+            if not state:
+                recovered = result.factors.p_set_empty(set_index)
+            else:
+                recovered = result.factors.p_set_equals(state)
+            assert math.isclose(recovered, probability, abs_tol=1e-7)

@@ -1,0 +1,86 @@
+"""Property-based invariants of the merge transformations."""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.transform import merge_indistinguishable_links
+from tests.property.strategies import topologies
+
+RELAXED = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@given(topologies())
+@RELAXED
+def test_merge_preserves_path_link_multisets(topology):
+    """Expanding each merged link back to its originals reproduces each
+    path's original link sequence exactly."""
+    result = merge_indistinguishable_links(topology)
+    for old_path, new_path in zip(
+        topology.paths, result.topology.paths
+    ):
+        expanded = []
+        for new_link in new_path.link_ids:
+            expanded.extend(sorted(result.origin[new_link]))
+        # Order within a merged run follows the run's traversal order;
+        # compare as sets per path (each link appears exactly once).
+        assert set(expanded) == set(old_path.link_ids)
+        assert len(expanded) == len(old_path.link_ids)
+
+
+@given(topologies())
+@RELAXED
+def test_merge_origin_partitions_links(topology):
+    """The origins of the new links partition the original link set."""
+    result = merge_indistinguishable_links(topology)
+    seen: set[int] = set()
+    for originals in result.origin.values():
+        assert not originals & seen
+        seen |= originals
+    assert seen == set(range(topology.n_links))
+
+
+@given(topologies())
+@RELAXED
+def test_merge_is_idempotent(topology):
+    """Merging an already-merged topology changes nothing."""
+    once = merge_indistinguishable_links(topology)
+    twice = merge_indistinguishable_links(once.topology)
+    assert twice.topology.n_links == once.topology.n_links
+
+
+@given(topologies())
+@RELAXED
+def test_merged_links_have_distinct_coverage(topology):
+    """After merging, no two links share a coverage *and* appear
+    consecutively (the classical indistinguishability is resolved)."""
+    result = merge_indistinguishable_links(topology)
+    merged = result.topology
+    for path in merged.paths:
+        for a, b in zip(path.link_ids, path.link_ids[1:]):
+            assert merged.coverage[a] != merged.coverage[b]
+
+
+@given(topologies())
+@RELAXED
+def test_coverage_preserved_through_merge(topology):
+    """A merged link covers exactly the paths its originals covered."""
+    result = merge_indistinguishable_links(topology)
+    for new_id, originals in result.origin.items():
+        old_coverage = topology.coverage_of(originals)
+        assert result.topology.coverage[new_id] == old_coverage
+
+
+@given(topologies())
+@RELAXED
+def test_project_probabilities_keys(topology):
+    import numpy as np
+
+    result = merge_indistinguishable_links(topology)
+    probabilities = np.linspace(
+        0.0, 1.0, result.topology.n_links
+    )
+    projected = result.project_probabilities(probabilities)
+    assert set(projected) == set(result.origin.values())

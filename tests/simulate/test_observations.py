@@ -1,0 +1,106 @@
+"""Unit tests for the empirical estimators."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MeasurementError
+from repro.simulate.observations import PathObservations
+
+
+@pytest.fixture()
+def observations():
+    # 4 snapshots × 3 paths.
+    states = np.array(
+        [
+            [True, False, False],
+            [False, False, False],
+            [True, True, False],
+            [False, False, False],
+        ]
+    )
+    return PathObservations(states)
+
+
+class TestValidation:
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(MeasurementError):
+            PathObservations(np.zeros(3))
+
+    def test_empty_rejected(self):
+        with pytest.raises(MeasurementError):
+            PathObservations(np.zeros((0, 3)))
+
+    def test_dimensions(self, observations):
+        assert observations.n_snapshots == 4
+        assert observations.n_paths == 3
+
+
+class TestGoodEstimators:
+    def test_p_good(self, observations):
+        assert observations.p_good(0) == 0.5
+        assert observations.p_good(1) == 0.75
+
+    def test_never_congested_is_smoothed(self, observations):
+        """Path 2 was always good: clamp at 1 − 1/(2N)."""
+        assert observations.p_good(2) == 1.0 - 0.5 / 4
+
+    def test_always_congested_is_smoothed(self):
+        states = np.ones((10, 1), dtype=bool)
+        observations = PathObservations(states)
+        assert observations.p_good(0) == 0.5 / 10
+
+    def test_log_good(self, observations):
+        assert math.isclose(
+            observations.log_good(0), math.log(0.5)
+        )
+
+    def test_pair_estimator(self, observations):
+        # Both 0 and 1 good in snapshots 1 and 3 -> 2/4.
+        assert observations.p_good_pair(0, 1) == 0.5
+        assert math.isclose(
+            observations.log_good_pair(0, 1), math.log(0.5)
+        )
+
+    def test_congestion_frequency(self, observations):
+        assert observations.congestion_frequency(0) == 0.5
+
+    def test_out_of_range_path(self, observations):
+        with pytest.raises(MeasurementError):
+            observations.p_good(5)
+
+
+class TestMaskEstimators:
+    def test_mask_counts(self, observations):
+        masks = observations.observed_masks()
+        assert masks[0] == 2  # two all-good snapshots
+        assert masks[0b001] == 1  # path 0 alone
+        assert masks[0b011] == 1  # paths 0 and 1
+
+    def test_p_congested_mask(self, observations):
+        assert observations.p_congested_mask(0) == 0.5
+        assert observations.p_congested_mask(0b011) == 0.25
+        assert observations.p_congested_mask(0b111) == 0.0
+
+    def test_mask_of_snapshot(self, observations):
+        assert observations.congested_mask_of_snapshot(0) == 0b001
+        assert observations.congested_mask_of_snapshot(1) == 0
+        with pytest.raises(MeasurementError):
+            observations.congested_mask_of_snapshot(99)
+
+    def test_mask_probabilities_sum_to_one(self, observations):
+        total = sum(
+            count for count in observations.observed_masks().values()
+        )
+        assert total == observations.n_snapshots
+
+
+class TestViews:
+    def test_path_states_read_only(self, observations):
+        view = observations.path_states
+        with pytest.raises(ValueError):
+            view[0, 0] = False
+
+    def test_repr(self, observations):
+        assert "n_snapshots=4" in repr(observations)

@@ -1,0 +1,92 @@
+"""Unit tests for the probing model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.loss import path_threshold
+from repro.simulate.probes import PathProber, ProbeConfig
+from repro.utils.rng import as_generator
+
+
+class TestProbeConfig:
+    def test_defaults(self):
+        config = ProbeConfig()
+        assert config.packets_per_path == 1000
+        assert config.link_threshold == 0.01
+
+    def test_invalid_packets_rejected(self):
+        with pytest.raises(ValueError):
+            ProbeConfig(packets_per_path=0)
+
+    def test_none_packets_allowed(self):
+        assert ProbeConfig(packets_per_path=None).packets_per_path is None
+
+
+class TestPathProber:
+    def test_thresholds_match_path_lengths(self, instance_1a):
+        prober = PathProber(instance_1a.topology, ProbeConfig())
+        for path in instance_1a.topology.paths:
+            assert math.isclose(
+                prober.path_thresholds[path.id],
+                path_threshold(path.length),
+            )
+
+    def test_true_path_loss_composition(self, instance_1a):
+        """Path loss = 1 − Π (1 − link loss) over the path's links."""
+        topology = instance_1a.topology
+        prober = PathProber(topology, ProbeConfig())
+        loss = np.array([0.1, 0.2, 0.3, 0.4])
+        path_loss = prober.true_path_loss(loss)
+        for path in topology.paths:
+            expected = 1.0 - math.prod(
+                1.0 - loss[k] for k in path.link_ids
+            )
+            assert math.isclose(
+                path_loss[path.id], expected, abs_tol=1e-9
+            )
+
+    def test_exact_mode_has_no_noise(self, instance_1a):
+        prober = PathProber(
+            instance_1a.topology, ProbeConfig(packets_per_path=None)
+        )
+        loss = np.array([0.5, 0.0, 0.0, 0.0])
+        measured_a, congested_a = prober.measure(loss, as_generator(0))
+        measured_b, congested_b = prober.measure(loss, as_generator(1))
+        assert np.array_equal(measured_a, measured_b)
+        assert np.array_equal(congested_a, congested_b)
+
+    def test_congestion_verdict_uses_tp(self, instance_1a):
+        topology = instance_1a.topology
+        prober = PathProber(topology, ProbeConfig(packets_per_path=None))
+        # e3 congested at 50% loss: P1 and P2 (via e3) congested; P3 good.
+        loss = np.zeros(topology.n_links)
+        loss[topology.link("e3").id] = 0.5
+        _, congested = prober.measure(loss, as_generator(0))
+        assert congested[topology.path("P1").id]
+        assert congested[topology.path("P2").id]
+        assert not congested[topology.path("P3").id]
+
+    def test_all_good_links_never_flag_paths_in_exact_mode(
+        self, instance_1a
+    ):
+        """With loss ≤ t_l on every link, path loss ≤ t_p exactly."""
+        topology = instance_1a.topology
+        prober = PathProber(topology, ProbeConfig(packets_per_path=None))
+        loss = np.full(topology.n_links, 0.01)
+        _, congested = prober.measure(loss, as_generator(0))
+        assert not congested.any()
+
+    def test_binomial_mode_statistics(self, instance_1a):
+        topology = instance_1a.topology
+        prober = PathProber(
+            topology, ProbeConfig(packets_per_path=200)
+        )
+        loss = np.full(topology.n_links, 0.3)
+        rng = as_generator(5)
+        measured = np.array(
+            [prober.measure(loss, rng)[0] for _ in range(300)]
+        )
+        true_loss = prober.true_path_loss(loss)
+        assert np.allclose(measured.mean(axis=0), true_loss, atol=0.02)

@@ -1,0 +1,118 @@
+"""Unit tests for the Brite evaluation scenario."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.topogen.brite import generate_brite
+
+
+class TestInstanceStructure:
+    def test_dimensions(self, brite_small):
+        instance = brite_small.instance
+        assert instance.n_paths <= 120
+        assert instance.n_paths > 50
+        assert instance.n_links > 0
+        assert instance.metadata["generator"] == "brite"
+
+    def test_every_link_has_resources(self, brite_small):
+        for link in brite_small.instance.topology.links:
+            assert brite_small.resource_map[link.id]
+
+    def test_resource_map_matches_hierarchy(self, brite_small):
+        topology = brite_small.instance.topology
+        for link in topology.links:
+            expected = frozenset(
+                brite_small.hierarchy.as_link_routes[(link.src, link.dst)]
+            )
+            assert brite_small.resource_map[link.id] == expected
+
+    def test_paths_are_as_level_walks(self, brite_small):
+        topology = brite_small.instance.topology
+        for path in topology.paths:
+            for link_id in path.link_ids:
+                link = topology.links[link_id]
+                assert brite_small.hierarchy.as_graph.has_edge(
+                    link.src, link.dst
+                )
+
+    def test_deterministic_given_seed(self):
+        a = generate_brite(n_ases=20, routers_per_as=4, n_paths=40, seed=3)
+        b = generate_brite(n_ases=20, routers_per_as=4, n_paths=40, seed=3)
+        assert a.instance.topology == b.instance.topology
+        assert a.instance.correlation == b.instance.correlation
+
+
+class TestCorrelationModes:
+    def test_cluster_mode_bounded_sets(self, brite_small):
+        sizes = [len(s) for s in brite_small.instance.correlation.sets]
+        assert max(sizes) <= 6
+
+    def test_sharing_mode_links_share_resources_within_set(self):
+        scenario = generate_brite(
+            n_ases=20,
+            routers_per_as=4,
+            n_paths=40,
+            correlation_mode="sharing",
+            seed=4,
+        )
+        correlation = scenario.instance.correlation
+        # Links in different sets must share no resources.
+        for link_id in range(scenario.instance.n_links):
+            for other in range(link_id + 1, scenario.instance.n_links):
+                if correlation.same_set(link_id, other):
+                    continue
+                shared = (
+                    scenario.resource_map[link_id]
+                    & scenario.resource_map[other]
+                )
+                assert not shared
+
+    def test_domain_mode_sets_are_node_incident(self):
+        scenario = generate_brite(
+            n_ases=20,
+            routers_per_as=4,
+            n_paths=40,
+            correlation_mode="domain",
+            seed=5,
+        )
+        topology = scenario.instance.topology
+        for group in scenario.instance.correlation.sets:
+            touched = [
+                {topology.links[k].src, topology.links[k].dst}
+                for k in group
+            ]
+            common = set.intersection(*touched)
+            assert common  # all links of a set share an endpoint AS
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_brite(correlation_mode="nope")
+
+
+class TestOrganicModel:
+    def test_marginals_inherit_from_resources(self, brite_small):
+        model = brite_small.make_organic_model(
+            congested_resource_fraction=0.15, seed=6
+        )
+        truth = model.link_marginals()
+        assert truth.shape == (brite_small.instance.n_links,)
+        assert truth.max() > 0.0
+        assert np.all(truth <= 1.0)
+
+    def test_zero_fraction_means_all_good(self, brite_small):
+        model = brite_small.make_organic_model(
+            congested_resource_fraction=0.0, seed=7
+        )
+        assert np.all(model.link_marginals() == 0.0)
+
+    def test_sampling_respects_marginals(self, brite_small):
+        model = brite_small.make_organic_model(
+            congested_resource_fraction=0.2, seed=8
+        )
+        from repro.utils.rng import as_generator
+
+        states = model.sample_states(as_generator(9), 4000)
+        assert np.allclose(
+            states.mean(axis=0), model.link_marginals(), atol=0.05
+        )

@@ -1,0 +1,80 @@
+"""Unit tests for the Waxman and Barabási–Albert generators."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.topogen.barabasi_albert import barabasi_albert_graph
+from repro.topogen.waxman import waxman_graph
+
+
+class TestWaxman:
+    def test_node_count_and_positions(self):
+        graph = waxman_graph(30, seed=0)
+        assert graph.number_of_nodes() == 30
+        for _, data in graph.nodes(data=True):
+            x, y = data["pos"]
+            assert 0.0 <= x <= 1.0
+            assert 0.0 <= y <= 1.0
+
+    def test_connected_by_default(self):
+        for seed in range(5):
+            graph = waxman_graph(40, alpha=0.05, beta=0.1, seed=seed)
+            assert nx.is_connected(graph)
+
+    def test_unconnected_when_repair_disabled(self):
+        # With tiny alpha the raw graph is almost surely disconnected.
+        graph = waxman_graph(
+            60, alpha=0.01, beta=0.05, seed=1, connect=False
+        )
+        assert not nx.is_connected(graph)
+
+    def test_alpha_increases_density(self):
+        sparse = waxman_graph(50, alpha=0.1, beta=0.3, seed=2)
+        dense = waxman_graph(50, alpha=0.9, beta=0.3, seed=2)
+        assert dense.number_of_edges() > sparse.number_of_edges()
+
+    def test_deterministic_given_seed(self):
+        a = waxman_graph(25, seed=7)
+        b = waxman_graph(25, seed=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GenerationError):
+            waxman_graph(1)
+        with pytest.raises(GenerationError):
+            waxman_graph(10, alpha=0.0)
+        with pytest.raises(GenerationError):
+            waxman_graph(10, beta=1.5)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        graph = barabasi_albert_graph(50, 2, seed=0)
+        assert graph.number_of_nodes() == 50
+        # Seed path has m edges; each subsequent node adds exactly m.
+        assert graph.number_of_edges() == 2 + (50 - 3) * 2
+
+    def test_connected(self):
+        for seed in range(5):
+            assert nx.is_connected(
+                barabasi_albert_graph(60, 2, seed=seed)
+            )
+
+    def test_heavy_tail(self):
+        """Preferential attachment produces hubs: the max degree should
+        far exceed the mean degree."""
+        graph = barabasi_albert_graph(300, 2, seed=3)
+        degrees = [d for _, d in graph.degree]
+        assert max(degrees) > 5 * (sum(degrees) / len(degrees))
+
+    def test_deterministic_given_seed(self):
+        a = barabasi_albert_graph(40, 2, seed=11)
+        b = barabasi_albert_graph(40, 2, seed=11)
+        assert set(a.edges) == set(b.edges)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(5, 0)
+        with pytest.raises(GenerationError):
+            barabasi_albert_graph(2, 2)

@@ -1,0 +1,119 @@
+"""Unit tests for the BRITE-style two-level hierarchy."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.topogen.hierarchical import generate_hierarchical
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return generate_hierarchical(20, 5, seed=42)
+
+
+class TestStructure:
+    def test_counts(self, hierarchy):
+        assert hierarchy.n_ases == 20
+        assert hierarchy.n_routers == 100
+
+    def test_router_nodes_tagged_with_as(self, hierarchy):
+        for node, data in hierarchy.router_graph.nodes(data=True):
+            assert data["as_id"] == node[0]
+
+    def test_router_graph_connected(self, hierarchy):
+        assert nx.is_connected(hierarchy.router_graph)
+
+    def test_every_directed_as_link_has_route(self, hierarchy):
+        for as_u, as_v in hierarchy.as_graph.edges:
+            assert (as_u, as_v) in hierarchy.as_link_routes
+            assert (as_v, as_u) in hierarchy.as_link_routes
+
+    def test_routes_are_reversed_pairs(self, hierarchy):
+        for as_u, as_v in hierarchy.as_graph.edges:
+            forward = hierarchy.as_link_routes[(as_u, as_v)]
+            backward = hierarchy.as_link_routes[(as_v, as_u)]
+            assert forward == tuple(reversed(backward))
+
+    def test_routes_use_existing_router_edges(self, hierarchy):
+        for route in hierarchy.as_link_routes.values():
+            for u, v in route:
+                assert hierarchy.router_graph.has_edge(u, v)
+
+    def test_intra_as_legs_stay_inside_their_as(self, hierarchy):
+        """A route for (u, v) may only touch routers of u and v."""
+        for (as_u, as_v), route in hierarchy.as_link_routes.items():
+            for edge in route:
+                for router in edge:
+                    assert router[0] in (as_u, as_v)
+
+    def test_both_directions_of_an_adjacency_share(self, hierarchy):
+        """(u→v) and (v→u) traverse the same physical route reversed, so
+        they always share every resource."""
+        for as_u, as_v in hierarchy.as_graph.edges:
+            assert hierarchy.shared_resources(
+                (as_u, as_v), (as_v, as_u)
+            )
+
+    def test_adjacent_as_links_often_share_resources(self, hierarchy):
+        """Hub routing concentrates intra-AS legs: sibling links out of
+        one AS share resources a substantial fraction of the time — the
+        correlation mechanism of the Brite evaluation."""
+        sharing = 0
+        total = 0
+        for as_u in hierarchy.as_graph.nodes:
+            neighbours = list(hierarchy.as_graph.neighbors(as_u))
+            for i in range(len(neighbours)):
+                for j in range(i + 1, len(neighbours)):
+                    total += 1
+                    if hierarchy.shared_resources(
+                        (as_u, neighbours[i]), (as_u, neighbours[j])
+                    ):
+                        sharing += 1
+        assert total > 0
+        assert sharing / total > 0.1
+
+    def test_single_router_per_as(self):
+        hierarchy = generate_hierarchical(6, 1, seed=1)
+        assert hierarchy.n_routers == 6
+        # Each AS link route is just the border edge.
+        for route in hierarchy.as_link_routes.values():
+            assert len(route) == 1
+
+
+class TestParameters:
+    def test_waxman_as_model(self):
+        hierarchy = generate_hierarchical(
+            12, 3, as_model="waxman", seed=3
+        )
+        assert hierarchy.n_ases == 12
+
+    def test_anchor_routing_mode(self):
+        hierarchy = generate_hierarchical(
+            15, 5, routing="anchor", seed=4
+        )
+        # Anchor routing keeps the structural contracts: routes exist
+        # for both directions and stay inside their endpoint ASes.
+        for (as_u, as_v), route in hierarchy.as_link_routes.items():
+            assert route
+            for edge in route:
+                for router in edge:
+                    assert router[0] in (as_u, as_v)
+
+    def test_invalid_routing_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_hierarchical(10, 3, routing="teleport")
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_hierarchical(10, 3, as_model="nonsense")
+
+    def test_invalid_router_count_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_hierarchical(10, 0)
+
+    def test_deterministic_given_seed(self):
+        a = generate_hierarchical(15, 4, seed=9)
+        b = generate_hierarchical(15, 4, seed=9)
+        assert set(a.as_graph.edges) == set(b.as_graph.edges)
+        assert a.as_link_routes == b.as_link_routes

@@ -1,0 +1,22 @@
+"""Unit tests for the TomographyInstance container."""
+
+from repro.topogen.instance import TomographyInstance
+
+
+class TestTomographyInstance:
+    def test_counts_delegate_to_topology(self, instance_1a):
+        assert instance_1a.n_links == instance_1a.topology.n_links
+        assert instance_1a.n_paths == instance_1a.topology.n_paths
+
+    def test_metadata_defaults_empty(self, instance_1a):
+        bare = TomographyInstance(
+            topology=instance_1a.topology,
+            correlation=instance_1a.correlation,
+        )
+        assert bare.metadata == {}
+
+    def test_frozen(self, instance_1a):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            instance_1a.topology = None

@@ -1,0 +1,112 @@
+"""Unit tests for the PlanetLab-style generator."""
+
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.topogen.planetlab import (
+    contiguous_link_clusters,
+    generate_planetlab,
+)
+
+
+class TestInstance:
+    def test_dimensions(self, planetlab_small):
+        assert planetlab_small.n_paths <= 120
+        assert planetlab_small.n_paths > 40
+        assert planetlab_small.metadata["generator"] == "planetlab"
+
+    def test_paths_have_multiple_hops(self, planetlab_small):
+        for path in planetlab_small.topology.paths:
+            assert path.length >= 2
+
+    def test_deterministic_given_seed(self):
+        a = generate_planetlab(
+            n_routers=80, n_vantages=12, n_paths=40, seed=5
+        )
+        b = generate_planetlab(
+            n_routers=80, n_vantages=12, n_paths=40, seed=5
+        )
+        assert a.topology == b.topology
+        assert a.correlation == b.correlation
+
+    def test_ba_graph_model(self):
+        instance = generate_planetlab(
+            n_routers=80,
+            n_vantages=12,
+            n_paths=40,
+            graph_model="ba",
+            seed=6,
+        )
+        assert instance.n_paths > 0
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_planetlab(graph_model="wrong")
+
+    def test_too_many_vantages_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_planetlab(n_routers=5, n_vantages=10)
+
+    def test_too_few_vantages_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_planetlab(n_vantages=1)
+
+
+class TestClusters:
+    def test_clusters_are_contiguous(self, planetlab_small):
+        """Every multi-link correlation set must be connected in the
+        link-adjacency sense (links sharing an endpoint)."""
+        topology = planetlab_small.topology
+        for group in planetlab_small.correlation.sets:
+            if len(group) == 1:
+                continue
+            members = sorted(group)
+            nodes_of = {
+                k: {topology.links[k].src, topology.links[k].dst}
+                for k in members
+            }
+            # BFS over the group's internal adjacency.
+            reached = {members[0]}
+            frontier = [members[0]]
+            while frontier:
+                current = frontier.pop()
+                for other in members:
+                    if other not in reached and (
+                        nodes_of[current] & nodes_of[other]
+                    ):
+                        reached.add(other)
+                        frontier.append(other)
+            assert reached == set(members)
+
+    def test_cluster_sizes_bounded(self, planetlab_small):
+        low, high = planetlab_small.metadata["cluster_size_range"]
+        for group in planetlab_small.correlation.sets:
+            assert len(group) <= high
+
+    def test_cluster_fraction_leaves_singletons(self):
+        instance = generate_planetlab(
+            n_routers=80,
+            n_vantages=12,
+            n_paths=40,
+            cluster_fraction=0.3,
+            seed=7,
+        )
+        singletons = sum(
+            1 for s in instance.correlation.sets if len(s) == 1
+        )
+        assert singletons > 0
+
+    def test_invalid_range_rejected(self, planetlab_small):
+        with pytest.raises(GenerationError):
+            contiguous_link_clusters(
+                planetlab_small.topology, cluster_size_range=(3, 2)
+            )
+
+    def test_full_clustering(self, planetlab_small):
+        correlation = contiguous_link_clusters(
+            planetlab_small.topology,
+            cluster_size_range=(2, 5),
+            cluster_fraction=1.0,
+            seed=8,
+        )
+        assert correlation.topology is planetlab_small.topology

@@ -1,0 +1,72 @@
+"""Unit tests for routing helpers."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import GenerationError
+from repro.topogen.routing import (
+    dedupe_routes,
+    sample_ordered_pairs,
+    shortest_path_routes,
+)
+
+
+class TestSampleOrderedPairs:
+    def test_no_self_pairs(self):
+        pairs = sample_ordered_pairs(range(10), 50, seed=0)
+        assert all(src != dst for src, dst in pairs)
+
+    def test_no_duplicates(self):
+        pairs = sample_ordered_pairs(range(10), 90, seed=1)
+        assert len(set(pairs)) == 90
+
+    def test_capacity_enforced(self):
+        with pytest.raises(GenerationError):
+            sample_ordered_pairs(range(3), 7, seed=0)
+
+    def test_full_capacity(self):
+        pairs = sample_ordered_pairs(range(3), 6, seed=2)
+        assert set(pairs) == {
+            (a, b) for a in range(3) for b in range(3) if a != b
+        }
+
+    def test_deterministic(self):
+        assert sample_ordered_pairs(
+            range(8), 10, seed=5
+        ) == sample_ordered_pairs(range(8), 10, seed=5)
+
+
+class TestShortestPathRoutes:
+    @pytest.fixture()
+    def graph(self):
+        graph = nx.path_graph(5)  # 0-1-2-3-4
+        graph.add_node(99)  # isolated
+        return graph
+
+    def test_routes_follow_graph(self, graph):
+        routes = shortest_path_routes(graph, [(0, 3)])
+        assert routes == [[0, 1, 2, 3]]
+
+    def test_unreachable_skipped(self, graph):
+        routes = shortest_path_routes(graph, [(0, 99), (0, 2)])
+        assert routes == [[0, 1, 2]]
+
+    def test_unreachable_raises_when_strict(self, graph):
+        with pytest.raises(GenerationError):
+            shortest_path_routes(
+                graph, [(0, 99)], skip_unreachable=False
+            )
+
+    def test_min_hops_filter(self, graph):
+        routes = shortest_path_routes(graph, [(0, 1), (0, 3)], min_hops=2)
+        assert routes == [[0, 1, 2, 3]]
+
+
+class TestDedupeRoutes:
+    def test_duplicates_removed(self):
+        routes = dedupe_routes([[0, 1], [0, 1], [1, 0]])
+        assert routes == [[0, 1], [1, 0]]
+
+    def test_order_preserved(self):
+        routes = dedupe_routes([[2, 3], [0, 1], [2, 3]])
+        assert routes == [[2, 3], [0, 1]]

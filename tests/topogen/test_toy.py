@@ -1,0 +1,167 @@
+"""Unit tests for the paper's toy topologies (Figures 1 and 2)."""
+
+import math
+
+import numpy as np
+
+from repro.core.identifiability import check_assumption4
+from repro.topogen.toy import (
+    fig_1a,
+    fig_1b,
+    fig_2a_lan,
+    fig_2b_mpls_domain,
+)
+
+
+class TestFig1a:
+    def test_dimensions(self):
+        instance = fig_1a()
+        assert instance.n_links == 4
+        assert instance.n_paths == 3
+        assert instance.correlation.n_sets == 3
+
+    def test_section31_coverage_table(self):
+        """The full ψ(A) table for C̃ printed in Section 3.1."""
+        instance = fig_1a()
+        topology = instance.topology
+        table = {
+            frozenset({"e1"}): {"P1"},
+            frozenset({"e2"}): {"P2", "P3"},
+            frozenset({"e1", "e2"}): {"P1", "P2", "P3"},
+            frozenset({"e3"}): {"P1", "P2"},
+            frozenset({"e4"}): {"P3"},
+        }
+        for subset in instance.correlation.iter_subsets():
+            names = frozenset(topology.links[k].name for k in subset)
+            covered = {
+                p.name for p in topology.covered_paths(subset)
+            }
+            assert covered == table[names]
+
+    def test_assumption4_holds(self):
+        instance = fig_1a()
+        assert check_assumption4(instance.correlation).holds
+        assert instance.metadata["assumption4"]
+
+
+class TestFig1b:
+    def test_dimensions(self):
+        instance = fig_1b()
+        assert instance.n_links == 3
+        assert instance.n_paths == 2
+
+    def test_section31_collision_table(self):
+        """{e1,e2} and {e3} cover exactly {P1, P2}."""
+        instance = fig_1b()
+        topology = instance.topology
+        e1e2 = topology.link_ids(["e1", "e2"])
+        e3 = topology.link_ids(["e3"])
+        assert topology.coverage_of(e1e2) == topology.coverage_of(e3)
+
+    def test_assumption4_fails(self):
+        instance = fig_1b()
+        assert not check_assumption4(instance.correlation).holds
+        assert not instance.metadata["assumption4"]
+
+    def test_adding_v5_and_p3_gives_fig1a(self):
+        """The paper: Fig 1(b) + node v5 + path P3 = Fig 1(a)."""
+        a, b = fig_1a(), fig_1b()
+        names_a = {link.name for link in a.topology.links}
+        names_b = {link.name for link in b.topology.links}
+        assert names_a - names_b == {"e4"}
+        assert {p.name for p in a.topology.paths} - {
+            p.name for p in b.topology.paths
+        } == {"P3"}
+
+
+class TestFig2Scenarios:
+    def test_lan_structure(self):
+        scenario = fig_2a_lan()
+        instance = scenario.instance
+        assert instance.n_paths == 16
+        # The LAN forms one 4-link correlation set; access links alone.
+        sizes = sorted(len(s) for s in instance.correlation.sets)
+        assert sizes == [1] * 8 + [4]
+
+    def test_fig2_instances_are_identifiable(self):
+        from repro.core import check_assumption4
+
+        assert check_assumption4(
+            fig_2a_lan().instance.correlation
+        ).holds
+        assert check_assumption4(
+            fig_2b_mpls_domain().instance.correlation
+        ).holds
+
+    def test_lan_sharing_induces_correlation(self):
+        scenario = fig_2a_lan()
+        model = scenario.make_model(
+            {segment: 0.1 for segment in _all_segments(scenario)}
+        )
+        topology = scenario.instance.topology
+        a = topology.link("r1->r3").id
+        b = topology.link("r1->r4").id
+        joint = model.joint(frozenset({a, b}))
+        assert joint > model.marginal(a) * model.marginal(b)
+
+    def test_mpls_trunk_correlates_whole_domain(self):
+        scenario = fig_2b_mpls_domain()
+        model = scenario.make_model(
+            {segment: 0.1 for segment in _all_segments(scenario)}
+        )
+        topology = scenario.instance.topology
+        links = [
+            topology.link(name).id
+            for name in ("b1->b3", "b1->b4", "b2->b3", "b2->b4")
+        ]
+        # The shared trunk makes *all four* congest together often.
+        joint = model.joint(frozenset(links))
+        product = math.prod(model.marginal(k) for k in links)
+        assert joint > 5 * product
+
+    def test_inference_recovers_lan_marginals(self):
+        """End-to-end: the correlation algorithm on the Fig-2(a) LAN."""
+        from repro.core import infer_congestion
+        from repro.model import NetworkCongestionModel
+        from repro.simulate import ExactPathStateDistribution
+
+        scenario = fig_2a_lan()
+        instance = scenario.instance
+        topology = instance.topology
+        probabilities = {
+            segment: 0.08 for segment in _all_segments(scenario)
+        }
+        # Build per-correlation-set models from the resource map.
+        from repro.model import SharedResourceModel
+
+        models = []
+        for group in instance.correlation.sets:
+            resources = {
+                r
+                for link_id in group
+                for r in scenario.resource_map[link_id]
+            }
+            models.append(
+                SharedResourceModel(
+                    {k: scenario.resource_map[k] for k in group},
+                    {r: probabilities[r] for r in resources},
+                )
+            )
+        model = NetworkCongestionModel(instance.correlation, models)
+        oracle = ExactPathStateDistribution.from_model(topology, model)
+        result = infer_congestion(
+            topology, instance.correlation, oracle
+        )
+        truth = model.link_marginals()
+        errors = np.abs(result.congestion_probabilities - truth)
+        # The bipartite LAN instance is fully identifiable: exact
+        # recovery from noise-free measurements.
+        assert errors.max() < 1e-6
+
+
+def _all_segments(scenario):
+    return {
+        segment
+        for resources in scenario.resource_map.values()
+        for segment in resources
+    }

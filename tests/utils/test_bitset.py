@@ -1,0 +1,87 @@
+"""Unit tests for bitmask helpers."""
+
+import pytest
+
+from repro.utils.bitset import bit_count, bits_of, iter_bits, mask_of, subset_of
+
+
+class TestMaskOf:
+    def test_empty(self):
+        assert mask_of([]) == 0
+
+    def test_single_bit(self):
+        assert mask_of([0]) == 1
+        assert mask_of([3]) == 8
+
+    def test_multiple_bits(self):
+        assert mask_of([0, 2]) == 0b101
+
+    def test_duplicates_collapse(self):
+        assert mask_of([1, 1, 1]) == 2
+
+    def test_large_index(self):
+        assert mask_of([1500]) == 1 << 1500
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+
+class TestBitsOf:
+    def test_roundtrip(self):
+        indices = [0, 3, 17, 900]
+        assert bits_of(mask_of(indices)) == indices
+
+    def test_zero(self):
+        assert bits_of(0) == []
+
+    def test_order_is_ascending(self):
+        assert bits_of(0b1011) == [0, 1, 3]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bits_of(-5)
+
+
+class TestIterBits:
+    def test_is_lazy(self):
+        iterator = iter_bits(0b110)
+        assert next(iterator) == 1
+        assert next(iterator) == 2
+
+    def test_matches_bits_of(self):
+        mask = 0b1010101
+        assert list(iter_bits(mask)) == bits_of(mask)
+
+
+class TestBitCount:
+    def test_zero(self):
+        assert bit_count(0) == 0
+
+    def test_full_byte(self):
+        assert bit_count(0xFF) == 8
+
+    def test_sparse(self):
+        assert bit_count(mask_of([5, 500])) == 2
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bit_count(-1)
+
+
+class TestSubsetOf:
+    def test_empty_is_subset_of_everything(self):
+        assert subset_of(0, 0)
+        assert subset_of(0, 0b111)
+
+    def test_proper_subset(self):
+        assert subset_of(0b0101, 0b1101)
+
+    def test_equal_sets(self):
+        assert subset_of(0b11, 0b11)
+
+    def test_not_subset(self):
+        assert not subset_of(0b0011, 0b0101)
+
+    def test_superset_is_not_subset(self):
+        assert not subset_of(0b111, 0b011)

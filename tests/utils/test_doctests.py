@@ -1,0 +1,18 @@
+"""Run the doctests embedded in utility modules."""
+
+import doctest
+
+import repro.utils.bitset
+import repro.utils.tables
+
+
+def test_bitset_doctests():
+    results = doctest.testmod(repro.utils.bitset)
+    assert results.failed == 0
+    assert results.attempted > 0
+
+
+def test_tables_doctests():
+    results = doctest.testmod(repro.utils.tables)
+    assert results.failed == 0
+    assert results.attempted > 0

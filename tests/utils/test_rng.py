@@ -1,0 +1,61 @@
+"""Unit tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, spawn_children
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(42).random(5)
+        b = as_generator(42).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = as_generator(1).random(5)
+        b = as_generator(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passthrough_shares_state(self):
+        rng = np.random.default_rng(0)
+        same = as_generator(rng)
+        assert same is rng
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(as_generator(seq), np.random.Generator)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(TypeError):
+            as_generator("not-a-seed")
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        children = spawn_children(0, 4)
+        assert len(children) == 4
+
+    def test_children_are_independent_streams(self):
+        a, b = spawn_children(0, 2)
+        assert not np.array_equal(a.random(10), b.random(10))
+
+    def test_deterministic_from_seed(self):
+        first = [g.random(3).tolist() for g in spawn_children(9, 2)]
+        second = [g.random(3).tolist() for g in spawn_children(9, 2)]
+        assert first == second
+
+    def test_spawn_from_generator(self):
+        rng = np.random.default_rng(5)
+        children = spawn_children(rng, 2)
+        assert len(children) == 2
+
+    def test_zero_children(self):
+        assert spawn_children(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)

@@ -1,0 +1,39 @@
+"""Unit tests for ASCII table rendering."""
+
+import pytest
+
+from repro.utils.tables import format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        text = format_table(["x", "y"], [[1, 2.0]])
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert "2.0000" in lines[2]
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="My table")
+        assert text.splitlines()[0] == "My table"
+
+    def test_empty_rows(self):
+        text = format_table(["only", "headers"], [])
+        assert "only" in text
+        assert len(text.splitlines()) == 2
+
+    def test_column_widths_accommodate_longest_cell(self):
+        text = format_table(["h"], [["a-very-long-cell"]])
+        header, divider, row = text.splitlines()
+        assert len(divider) == len("a-very-long-cell")
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_strings_pass_through(self):
+        text = format_table(["name"], [["e1"]])
+        assert "e1" in text

@@ -1,0 +1,43 @@
+"""Unit tests for validation helpers."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_valid(self, value):
+        assert check_probability(value, "p") == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 2.0])
+    def test_rejects_invalid(self, value):
+        with pytest.raises(ValueError, match="p must be"):
+            check_probability(value, "p")
+
+    def test_returns_float(self):
+        assert isinstance(check_probability(1, "p"), float)
+
+
+class TestCheckFraction:
+    def test_accepts_boundary(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.5, "f")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(3, "n") == 3
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="n must be"):
+            check_positive(value, "n")
