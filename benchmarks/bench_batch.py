@@ -1,0 +1,413 @@
+"""Batch-vs-scalar pipeline benchmark (the PR-1 refactor headline).
+
+Runs the figure-3 sweep twice over the same instance and seed:
+
+* **reference** — a faithful in-file copy of the pre-refactor pipeline:
+  per-pair estimators called one at a time, the list-of-rows rank
+  tracker with its Python reduction loop, a densified equation system,
+  the per-column bounds loop in the L1 solver, a separate SVD for the
+  baseline's rank, and a strictly serial trial loop;
+* **batch** — the current library path: Gram-matrix estimators, the
+  RREF rank tracker with batch candidate rejection, sparse COO assembly
+  straight into HiGHS, and the parallel scenario engine.
+
+Both paths regenerate the same figure (identical seed discipline), so
+the printed series double as an equivalence eyeball check.  Usage::
+
+    python benchmarks/bench_batch.py --scale medium          # headline
+    python benchmarks/bench_batch.py --quick                 # CI smoke
+    python benchmarks/bench_batch.py --scale medium --workers 4
+
+The headline acceptance number is the medium-scale sweep speedup, which
+must be >= 3x on a single core (parallel workers add on top).
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import math
+import sys
+import time
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.eval.figures import (
+    default_config,
+    default_instance,
+    figure3_sweep,
+)
+from repro.eval.metrics import (
+    absolute_error_stats,
+    potentially_congested_links,
+)
+from repro.eval.scenario import (
+    HIGH_CORRELATION_RANGE,
+    make_clustered_scenario,
+)
+from repro.simulate.experiment import ExperimentConfig
+from repro.utils.rng import as_generator, spawn_children
+
+FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+# ----------------------------------------------------------------------
+# Reference (pre-refactor) pipeline — kept verbatim-in-spirit so the
+# benchmark always measures against the historical scalar/serial path.
+# ----------------------------------------------------------------------
+class _ReferenceObservations:
+    """Scalar estimators: one pairwise count per call, Python mask loop."""
+
+    def __init__(self, path_states: np.ndarray) -> None:
+        self._states = np.asarray(path_states, dtype=bool)
+        self._good = ~self._states
+        self._n_snapshots, self._n_paths = self._states.shape
+        self._good_counts = self._good.sum(axis=0).astype(np.int64)
+
+    @property
+    def path_states(self) -> np.ndarray:
+        return self._states
+
+    @property
+    def n_snapshots(self) -> int:
+        return self._n_snapshots
+
+    def _smooth(self, count: int) -> float:
+        if count <= 0:
+            return 0.5 / self._n_snapshots
+        if count >= self._n_snapshots:
+            return 1.0 - 0.5 / self._n_snapshots
+        return count / self._n_snapshots
+
+    def log_good(self, path_id: int) -> float:
+        return math.log(self._smooth(int(self._good_counts[path_id])))
+
+    def log_good_pair(self, path_a: int, path_b: int) -> float:
+        both = int(np.sum(self._good[:, path_a] & self._good[:, path_b]))
+        return math.log(self._smooth(both))
+
+
+class _ReferenceTracker:
+    """The list-of-rows tracker with the per-row Python reduction loop."""
+
+    def __init__(self, n_cols: int, tol: float = 1e-9) -> None:
+        self._tol = tol
+        self._rows: list[np.ndarray] = []
+        self._pivots: list[int] = []
+
+    @property
+    def rank(self) -> int:
+        return len(self._rows)
+
+    def try_add(self, row: np.ndarray) -> bool:
+        reduced = row.astype(np.float64, copy=True)
+        for pivot, stored in zip(self._pivots, self._rows):
+            coefficient = reduced[pivot]
+            if coefficient != 0.0:
+                reduced -= coefficient * stored
+        pivot = int(np.argmax(np.abs(reduced)))
+        if abs(reduced[pivot]) <= self._tol:
+            return False
+        reduced /= reduced[pivot]
+        self._rows.append(reduced)
+        self._pivots.append(pivot)
+        return True
+
+
+def _reference_build(topology, correlation, measurements):
+    """Seed-era equation builder: scalar eligibility, dense rows."""
+    n_links = topology.n_links
+    tracker = _ReferenceTracker(n_links)
+    rows: list[tuple[frozenset, float]] = []
+    eligible = [
+        path.id
+        for path in topology.paths
+        if correlation.path_is_correlation_free(path.id)
+    ]
+    eligible_set = set(eligible)
+
+    def row_vector(link_ids):
+        row = np.zeros(n_links, dtype=np.float64)
+        row[sorted(link_ids)] = 1.0
+        return row
+
+    for path_id in eligible:
+        link_ids = frozenset(topology.paths[path_id].link_ids)
+        if tracker.try_add(row_vector(link_ids)):
+            rows.append((link_ids, measurements.log_good(path_id)))
+    if tracker.rank < n_links:
+        seen: set[tuple[int, int]] = set()
+        candidates: list[tuple[int, int]] = []
+        for link_id in range(n_links):
+            through = [
+                path.id
+                for path in topology.paths_through(link_id)
+                if path.id in eligible_set
+            ]
+            for a, b in itertools.combinations(through, 2):
+                pair = (a, b) if a < b else (b, a)
+                if pair not in seen:
+                    seen.add(pair)
+                    candidates.append(pair)
+        as_generator(0).shuffle(candidates)
+        for path_a, path_b in candidates:
+            if tracker.rank >= n_links:
+                break
+            if not correlation.pair_is_correlation_free(path_a, path_b):
+                continue
+            link_ids = frozenset(
+                topology.paths[path_a].link_ids
+            ) | frozenset(topology.paths[path_b].link_ids)
+            if tracker.try_add(row_vector(link_ids)):
+                rows.append(
+                    (link_ids, measurements.log_good_pair(path_a, path_b))
+                )
+    matrix = np.zeros((len(rows), n_links), dtype=np.float64)
+    values = np.empty(len(rows), dtype=np.float64)
+    for index, (link_ids, value) in enumerate(rows):
+        matrix[index, sorted(link_ids)] = 1.0
+        values[index] = value
+    return matrix, values
+
+
+def _reference_solve_l1(matrix: np.ndarray, values: np.ndarray):
+    """Seed-era L1 solve: densified input, per-column bounds loop."""
+    n_rows, n_cols = matrix.shape
+    sparse_matrix = sparse.csr_matrix(matrix)
+    identity = sparse.identity(n_rows, format="csr")
+    constraint = sparse.vstack(
+        [
+            sparse.hstack([sparse_matrix, -identity]),
+            sparse.hstack([-sparse_matrix, -identity]),
+        ],
+        format="csr",
+    )
+    rhs = np.concatenate([values, -values])
+    objective = np.concatenate([np.zeros(n_cols), np.ones(n_rows)])
+    covered = np.asarray(np.abs(matrix).sum(axis=0) > 0).ravel()
+    bounds: list[tuple[float | None, float | None]] = []
+    for column in range(n_cols):
+        bounds.append((None, 0.0) if covered[column] else (0.0, 0.0))
+    bounds.extend([(0.0, None)] * n_rows)
+    result = linprog(
+        objective,
+        A_ub=constraint,
+        b_ub=rhs,
+        bounds=bounds,
+        method="highs",
+    )
+    return result.x[:n_cols]
+
+
+def _reference_run_experiment(topology, model, config, seed):
+    """Seed-era simulation loop: np.where + fresh temporaries."""
+    from repro.model.loss import LossModel
+    from repro.simulate.probes import PathProber, ProbeConfig
+
+    rng = as_generator(seed)
+    loss_model = LossModel(config.link_threshold)
+    prober = PathProber(
+        topology,
+        ProbeConfig(
+            packets_per_path=config.packets_per_path,
+            link_threshold=config.link_threshold,
+        ),
+    )
+    routing = sparse.csr_matrix(topology.routing_matrix())
+    thresholds = prober.path_thresholds
+    link_states = np.zeros((config.n_snapshots, topology.n_links), bool)
+    path_states = np.zeros((config.n_snapshots, topology.n_paths), bool)
+    done = 0
+    while done < config.n_snapshots:
+        batch = min(config.batch_size, config.n_snapshots - done)
+        states = model.sample_states(rng, batch)
+        uniforms = rng.random((batch, topology.n_links))
+        loss = np.where(
+            states,
+            loss_model.link_threshold
+            + uniforms * (1.0 - loss_model.link_threshold),
+            uniforms * loss_model.link_threshold,
+        )
+        log_survival = np.log1p(-loss) @ routing.T
+        true_loss = 1.0 - np.exp(log_survival)
+        if config.packets_per_path is None:
+            measured = true_loss
+        else:
+            lost = rng.binomial(config.packets_per_path, true_loss)
+            measured = lost / config.packets_per_path
+        link_states[done : done + batch] = states
+        path_states[done : done + batch] = measured > thresholds
+        done += batch
+    return link_states, path_states
+
+
+def _reference_infer_correlation(topology, correlation, observations):
+    matrix, values = _reference_build(topology, correlation, observations)
+    solution = np.minimum(_reference_solve_l1(matrix, values), 0.0)
+    return np.clip(1.0 - np.exp(solution), 0.0, 1.0)
+
+
+def _reference_infer_independent(topology, observations):
+    matrix = np.asarray(topology.routing_matrix())
+    values = np.array(
+        [observations.log_good(path.id) for path in topology.paths]
+    )
+    solution, *_ = np.linalg.lstsq(matrix, values, rcond=None)
+    int(np.linalg.matrix_rank(matrix))  # the seed's separate rank SVD
+    solution = np.minimum(solution, 0.0)
+    return np.clip(1.0 - np.exp(solution), 0.0, 1.0)
+
+
+def reference_figure3_sweep(instance, fractions, config, n_trials, seed):
+    """The serial pre-refactor sweep loop."""
+    from repro.simulate.observations import PathObservations
+
+    points = []
+    sweep_rngs = spawn_children(seed, len(fractions))
+    for fraction, rng in zip(fractions, sweep_rngs):
+        trial_rngs = spawn_children(rng, 2 * n_trials)
+        pooled: dict[str, list[np.ndarray]] = {}
+        for trial in range(n_trials):
+            scenario = make_clustered_scenario(
+                instance,
+                congested_fraction=fraction,
+                per_set_range=HIGH_CORRELATION_RANGE,
+                seed=trial_rngs[2 * trial],
+            )
+            (sim_rng,) = spawn_children(trial_rngs[2 * trial + 1], 1)
+            _, path_states = _reference_run_experiment(
+                instance.topology, scenario.truth_model, config, sim_rng
+            )
+            observations = _ReferenceObservations(path_states)
+            truth = scenario.truth_model.link_marginals()
+            scored = potentially_congested_links(
+                instance.topology, PathObservations(path_states)
+            )
+            for name, probabilities in (
+                (
+                    "correlation",
+                    _reference_infer_correlation(
+                        instance.topology,
+                        scenario.algorithm_correlation,
+                        observations,
+                    ),
+                ),
+                (
+                    "independence",
+                    _reference_infer_independent(
+                        instance.topology, observations
+                    ),
+                ),
+            ):
+                errors = np.abs(probabilities - truth)[scored]
+                pooled.setdefault(name, []).append(errors)
+        points.append(
+            {
+                name: absolute_error_stats(np.concatenate(chunks))
+                for name, chunks in pooled.items()
+            }
+        )
+    return points
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+def _print_series(label, fractions, stats_per_point):
+    print(f"  {label}:")
+    for fraction, stats in zip(fractions, stats_per_point):
+        corr, ind = stats["correlation"], stats["independence"]
+        print(
+            f"    f={fraction:4.0%}  corr mean={corr.mean:.4f} "
+            f"p90={corr.p90:.4f} | ind mean={ind.mean:.4f} "
+            f"p90={ind.p90:.4f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=("small", "medium", "paper"), default="medium"
+    )
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="workers for the batch path (1 = serial, 0 = all cores)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small instance, short sweep, reduced snapshots",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless the sweep speedup reaches X",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "small" if args.quick else args.scale
+    fractions = FRACTIONS[:2] if args.quick else FRACTIONS
+    instance = default_instance("brite", scale=scale, seed=args.seed)
+    config = default_config(scale)
+    if args.quick:
+        config = ExperimentConfig(n_snapshots=400, packets_per_path=400)
+    print(
+        f"figure-3 sweep benchmark — scale={scale}, "
+        f"{instance.n_links} links / {instance.n_paths} paths, "
+        f"{len(fractions)} fractions × {args.trials} trial(s), "
+        f"{config.n_snapshots} snapshots"
+    )
+
+    t0 = time.perf_counter()
+    reference_points = reference_figure3_sweep(
+        instance, fractions, config, args.trials, args.seed
+    )
+    reference_seconds = time.perf_counter() - t0
+    print(f"reference (scalar/serial): {reference_seconds:7.2f} s")
+    _print_series("reference", fractions, reference_points)
+
+    t0 = time.perf_counter()
+    result = figure3_sweep(
+        instance=instance,
+        fractions=fractions,
+        config=config,
+        n_trials=args.trials,
+        seed=args.seed,
+        options=AlgorithmOptions(),
+        workers=args.workers,
+    )
+    batch_seconds = time.perf_counter() - t0
+    print(f"batch (vectorised{', parallel' if args.workers != 1 else ''}):"
+          f"   {batch_seconds:7.2f} s")
+    _print_series(
+        "batch",
+        fractions,
+        [
+            {"correlation": p.correlation, "independence": p.independence}
+            for p in result.points
+        ],
+    )
+
+    speedup = reference_seconds / batch_seconds
+    print(f"speedup: {speedup:.2f}x")
+    if args.require_speedup is not None and speedup < args.require_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.require_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,12 +1,37 @@
-"""Legacy build shim.
+"""Legacy build shim and project metadata.
 
 The offline build environment ships setuptools without the ``wheel``
 package, so PEP-517 editable installs (which build an editable wheel)
 fail.  This shim lets ``pip install -e .`` fall back to the classic
-``setup.py develop`` path; all project metadata lives in pyproject.toml
-and is read by setuptools >= 61.
+``setup.py develop`` path.
+
+Dependency floors: the batch estimator kernels need
+``numpy.packbits(..., bitorder=...)`` and the ``Generator`` /
+``SeedSequence`` API (numpy >= 1.20), and the L1 solver needs
+``scipy.optimize.linprog(method="highs")`` with sparse constraint
+matrices (scipy >= 1.6).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-tomography",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Network Tomography on Correlated Links' "
+        "(Ghita, Argyraki, Thiran - IMC 2010)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.20",
+        "scipy>=1.6",
+        "networkx>=2.6",
+    ],
+    entry_points={
+        "console_scripts": [
+            "repro-tomography = repro.cli:main",
+        ]
+    },
+)

@@ -46,11 +46,13 @@ def build_parser() -> argparse.ArgumentParser:
         "figure3", help="Figures 3(a,b): error vs congested fraction"
     )
     _common_figure_arguments(fig3)
+    _workers_argument(fig3)
 
     fig3cdf = commands.add_parser(
         "figure3-cdf", help="Figures 3(c,d): error CDF at 10% congestion"
     )
     _common_figure_arguments(fig3cdf)
+    _workers_argument(fig3cdf)
     fig3cdf.add_argument(
         "--level",
         choices=("high", "loose"),
@@ -62,6 +64,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure4", help="Figure 4: unidentifiable links"
     )
     _common_figure_arguments(fig4)
+    _workers_argument(fig4)
     fig4.add_argument(
         "--topology", choices=("brite", "planetlab"), default="brite"
     )
@@ -76,6 +79,7 @@ def build_parser() -> argparse.ArgumentParser:
         "figure5", help="Figure 5: mislabeled links (unknown patterns)"
     )
     _common_figure_arguments(fig5)
+    _workers_argument(fig5)
     fig5.add_argument(
         "--topology", choices=("brite", "planetlab"), default="brite"
     )
@@ -100,6 +104,15 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _worker_count(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"workers must be >= 0 (0 = one per CPU core), got {value}"
+        )
+    return value
+
+
 def _common_figure_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -112,6 +125,21 @@ def _common_figure_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=1,
         help="experiments pooled per data point",
+    )
+
+
+def _workers_argument(parser: argparse.ArgumentParser) -> None:
+    """Only figure commands fan out through the scenario engine; the
+    tomographer runs one fixed pair of experiments."""
+    parser.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "worker processes for the scenario fan-out "
+            "(1 = serial, 0 = one per CPU core); any value reproduces "
+            "the serial results exactly for a given seed"
+        ),
     )
 
 
@@ -195,7 +223,10 @@ def _run_figure3(args) -> int:
     from repro.eval import figure3_sweep, render_sweep
 
     result = figure3_sweep(
-        scale=args.scale, n_trials=args.trials, seed=args.seed
+        scale=args.scale,
+        n_trials=args.trials,
+        seed=args.seed,
+        workers=args.workers,
     )
     print(render_sweep(result))
     return 0
@@ -209,6 +240,7 @@ def _run_figure3_cdf(args) -> int:
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     panel = "3(c)" if args.level == "high" else "3(d)"
     print(render_cdf(result, title=f"Figure {panel} — {args.level}"))
@@ -224,6 +256,7 @@ def _run_figure4(args) -> int:
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     print(
         render_cdf(
@@ -246,6 +279,7 @@ def _run_figure5(args) -> int:
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
+        workers=args.workers,
     )
     print(
         render_cdf(

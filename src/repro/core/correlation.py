@@ -22,6 +22,8 @@ from __future__ import annotations
 import itertools
 from collections.abc import Iterable, Iterator
 
+import numpy as np
+
 from repro.core.topology import Topology
 from repro.exceptions import CorrelationError
 
@@ -56,6 +58,8 @@ class CorrelationStructure:
         for index, group in enumerate(self._sets):
             for link_id in group:
                 self._set_of[link_id] = index
+        self._set_index_array: np.ndarray | None = None
+        self._incidence_cache: tuple | None = None
 
     def _validate(self) -> None:
         n_links = self._topology.n_links
@@ -224,6 +228,74 @@ class CorrelationStructure:
                 return False
             seen.add(set_index)
         return True
+
+    def set_index_array(self) -> np.ndarray:
+        """``set_index_of`` as a cached vectorised lookup table."""
+        if self._set_index_array is None:
+            table = np.empty(self._topology.n_links, dtype=np.int64)
+            for index, group in enumerate(self._sets):
+                table[list(group)] = index
+            table.flags.writeable = False
+            self._set_index_array = table
+        return self._set_index_array
+
+    def _path_incidence(self):
+        """Cached sparse incidences driving the batch eligibility tests.
+
+        Returns ``(links, sets, free)`` where ``links`` is the binary
+        path × link routing matrix, ``sets`` the binary path × set touch
+        matrix, and ``free`` the per-path correlation-free mask.
+        """
+        if self._incidence_cache is None:
+            from scipy import sparse
+
+            topology = self._topology
+            links = topology.routing_matrix_sparse()
+            rows = np.repeat(
+                np.arange(topology.n_paths), np.diff(links.indptr)
+            )
+            cols = self.set_index_array()[links.indices]
+            sets = sparse.coo_matrix(
+                (np.ones(len(rows)), (rows, cols)),
+                shape=(topology.n_paths, self.n_sets),
+            ).tocsr()
+            sets.sum_duplicates()
+            # A path is correlation-free iff its links land in pairwise
+            # distinct sets: #touched sets == #links.
+            free = np.diff(sets.indptr) == np.diff(links.indptr)
+            sets.data = np.ones_like(sets.data)
+            self._incidence_cache = (links, sets, free)
+        return self._incidence_cache
+
+    def path_correlation_free_mask(self) -> np.ndarray:
+        """Per-path :meth:`path_is_correlation_free`, all paths at once."""
+        return self._path_incidence()[2]
+
+    def pairs_correlation_free(self, pairs) -> np.ndarray:
+        """Batch :meth:`pair_is_correlation_free` over ``(m, 2)`` pairs.
+
+        A pair of individually correlation-free paths is eligible iff
+        every correlation set touched by both paths is touched *via the
+        same link*; since each such path touches a set through at most
+        one link, that holds exactly when the number of commonly-touched
+        sets equals the number of shared links.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise CorrelationError(
+                f"pairs must have shape (m, 2), got {pairs.shape}"
+            )
+        if pairs.shape[0] == 0:
+            return np.zeros(0, dtype=bool)
+        links, sets, free = self._path_incidence()
+        eligible = free[pairs[:, 0]] & free[pairs[:, 1]]
+        shared_links = np.asarray(
+            links[pairs[:, 0]].multiply(links[pairs[:, 1]]).sum(axis=1)
+        ).ravel()
+        common_sets = np.asarray(
+            sets[pairs[:, 0]].multiply(sets[pairs[:, 1]]).sum(axis=1)
+        ).ravel()
+        return eligible & (common_sets == shared_links)
 
     def pair_is_correlation_free(self, path_a: int, path_b: int) -> bool:
         """True when the *union* of the two paths' links has no two distinct

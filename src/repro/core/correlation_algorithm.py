@@ -76,7 +76,7 @@ def infer_congestion(
         max_pair_candidates=options.max_pair_candidates,
         pair_order_seed=options.pair_order_seed,
     )
-    matrix, values = system.matrix()
+    matrix, values = system.sparse_matrix()
     solution, solver_used = solve(matrix, values, method=options.solver)
     # Guard the exp() below: solution entries are log-probabilities and the
     # solver already enforces <= 0, but numerical round-off can leave tiny

@@ -27,17 +27,27 @@ Two selection modes:
 * ``"all"``: keep every eligible row and let the solver's L1/L2 objective
   reconcile redundancy — more robust under measurement noise, identical in
   the noise-free consistent case.
+
+The builder is batch-first: candidate pairs are enumerated with array
+operations on the sparse routing matrix, eligibility is decided by
+:meth:`~repro.core.correlation.CorrelationStructure.pairs_correlation_free`
+in one shot, measured values are fetched through the provider's vectorised
+``log_good_all`` / ``log_good_pairs`` APIs when available (falling back to
+the scalar protocol otherwise), and the accepted system is assembled as
+sparse COO triplets — the dense ``|rows| × |E|`` matrix is only
+materialised on explicit request.
 """
 
 from __future__ import annotations
 
-import itertools
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
+from scipy import sparse
 
 from repro.core.correlation import CorrelationStructure
-from repro.core.interfaces import PathGoodProvider
+from repro.core.interfaces import PathGoodProvider, batch_log_good_all
 from repro.core.topology import Topology
 from repro.exceptions import SolverError
 from repro.utils.rng import as_generator
@@ -87,19 +97,35 @@ class EquationSystem:
     eligible_paths: tuple[int, ...] = ()
     uncovered_links: frozenset[int] = frozenset()
 
-    def matrix(self) -> tuple[np.ndarray, np.ndarray]:
-        """Materialise ``(R, y)`` as dense numpy arrays."""
+    def sparse_matrix(self) -> tuple[sparse.csr_matrix, np.ndarray]:
+        """Assemble ``(R, y)`` with ``R`` as a CSR matrix (COO triplets;
+        no dense intermediate)."""
         if not self.rows:
             raise SolverError(
                 "no equations could be formed: every path involves "
                 "correlated links"
             )
-        matrix = np.zeros((len(self.rows), self.n_links), dtype=np.float64)
-        values = np.empty(len(self.rows), dtype=np.float64)
-        for index, row in enumerate(self.rows):
-            matrix[index, sorted(row.link_ids)] = 1.0
-            values[index] = row.value
+        counts = np.array(
+            [len(row.link_ids) for row in self.rows], dtype=np.int64
+        )
+        row_index = np.repeat(np.arange(len(self.rows)), counts)
+        col_index = np.concatenate(
+            [sorted(row.link_ids) for row in self.rows]
+        ).astype(np.int64)
+        matrix = sparse.csr_matrix(
+            (
+                np.ones(col_index.size, dtype=np.float64),
+                (row_index, col_index),
+            ),
+            shape=(len(self.rows), self.n_links),
+        )
+        values = np.array([row.value for row in self.rows], dtype=np.float64)
         return matrix, values
+
+    def matrix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise ``(R, y)`` as dense numpy arrays."""
+        matrix, values = self.sparse_matrix()
+        return matrix.toarray(), values
 
     @property
     def is_fully_determined(self) -> bool:
@@ -110,29 +136,78 @@ class EquationSystem:
 class _RankTracker:
     """Incremental Gaussian elimination over accepted rows.
 
-    Stored rows are kept partially reduced: each is normalised at its pivot
-    and reduced against every earlier stored row, so reducing a candidate
-    against stored rows in insertion order eliminates each pivot exactly
-    once.
+    Stored rows are kept *fully* reduced (reduced row-echelon form): each
+    is normalised at its pivot and has zeros at every other stored pivot.
+    Reducing a candidate therefore needs a single gather of its pivot
+    coefficients plus one small matrix product over the rows with nonzero
+    coefficient — no Python loop over the stored rows.
     """
 
     def __init__(self, n_cols: int, tol: float = 1e-9) -> None:
         self._n_cols = n_cols
         self._tol = tol
-        self._rows: list[np.ndarray] = []
-        self._pivots: list[int] = []
+        self._rows = np.empty((min(n_cols, 64), n_cols), dtype=np.float64)
+        self._pivots = np.empty(n_cols, dtype=np.int64)
+        self._rank = 0
 
     @property
     def rank(self) -> int:
-        return len(self._rows)
+        return self._rank
 
     def residual(self, row: np.ndarray) -> np.ndarray:
         reduced = row.astype(np.float64, copy=True)
-        for pivot, stored in zip(self._pivots, self._rows):
-            coefficient = reduced[pivot]
-            if coefficient != 0.0:
-                reduced -= coefficient * stored
+        if self._rank:
+            pivots = self._pivots[: self._rank]
+            coefficients = reduced[pivots]
+            nonzero = np.flatnonzero(coefficients)
+            if nonzero.size:
+                reduced -= coefficients[nonzero] @ self._rows[nonzero]
         return reduced
+
+    def batch_dependent(self, rows) -> np.ndarray:
+        """True for rows already inside the tracked row space.
+
+        A residual that vanishes at rank ``r`` stays zero as the space
+        only grows, so such rows can never be accepted later — callers
+        use this to discard hopeless candidates in one sparse product
+        instead of examining them one by one.
+        """
+        n_rows = rows.shape[0]
+        if self._rank == 0 or n_rows == 0:
+            return np.zeros(n_rows, dtype=bool)
+        stored = self._rows[: self._rank]
+        pivots = self._pivots[: self._rank]
+        dependent = np.empty(n_rows, dtype=bool)
+        # Chunked so the dense residual block stays bounded regardless
+        # of how many candidates the caller throws at us.
+        chunk = max(1, 8 * 1024 * 1024 // (8 * max(1, self._n_cols)))
+        for start in range(0, n_rows, chunk):
+            block = rows[start : start + chunk]
+            residual = block[:, pivots] @ stored
+            np.negative(residual, out=residual)
+            # Add the sparse candidate entries without densifying them;
+            # CSR entries are unique, so a fancy-indexed add suffices.
+            coo = block.tocoo()
+            residual[coo.row, coo.col] += coo.data
+            dependent[start : start + chunk] = (
+                np.abs(residual).max(axis=1) <= self._tol
+            )
+        return dependent
+
+    def clone(self) -> "_RankTracker":
+        """Independent copy of the current elimination state.
+
+        Lets measurement-independent prefixes of the elimination (the
+        single-path phase, which depends only on topology + correlation)
+        be computed once and reused across measurement batches.
+        """
+        other = _RankTracker.__new__(_RankTracker)
+        other._n_cols = self._n_cols
+        other._tol = self._tol
+        other._rows = self._rows[: self._rank].copy()
+        other._pivots = self._pivots.copy()
+        other._rank = self._rank
+        return other
 
     def try_add(self, row: np.ndarray) -> bool:
         """Add ``row`` if it increases the rank; report whether it did."""
@@ -141,34 +216,153 @@ class _RankTracker:
         if abs(reduced[pivot]) <= self._tol:
             return False
         reduced /= reduced[pivot]
-        self._rows.append(reduced)
-        self._pivots.append(pivot)
+        rank = self._rank
+        if rank == self._rows.shape[0]:
+            grown = np.empty(
+                (min(self._n_cols, max(64, 2 * rank)), self._n_cols),
+                dtype=np.float64,
+            )
+            grown[:rank] = self._rows[:rank]
+            self._rows = grown
+        if rank:
+            # Restore RREF: eliminate the new pivot from stored rows.
+            column = self._rows[:rank, pivot].copy()
+            nonzero = np.flatnonzero(column)
+            if nonzero.size:
+                self._rows[nonzero] -= column[nonzero, None] * reduced
+        self._rows[rank] = reduced
+        self._pivots[rank] = pivot
+        self._rank = rank + 1
         return True
 
 
-def _row_vector(link_ids: frozenset[int], n_links: int) -> np.ndarray:
+def _row_vector(link_ids, n_links: int) -> np.ndarray:
     row = np.zeros(n_links, dtype=np.float64)
     row[sorted(link_ids)] = 1.0
     return row
 
 
-def _iter_shared_link_pairs(
+def _shared_link_pair_candidates(
     topology: Topology,
-    eligible: set[int],
-):
-    """Unique pairs of eligible paths that share at least one link."""
-    seen: set[tuple[int, int]] = set()
+    eligible_mask: np.ndarray,
+) -> np.ndarray:
+    """Unique eligible-path pairs sharing at least one link, as an
+    ``(m, 2)`` array.
+
+    Enumeration order matches the historical generator: scan links in id
+    order, emit the pairs of eligible paths through each link in
+    lexicographic order, and keep the first occurrence of every pair.
+    """
+    routing = topology.routing_matrix_sparse().tocsc()
+    blocks_a: list[np.ndarray] = []
+    blocks_b: list[np.ndarray] = []
     for link_id in range(topology.n_links):
-        through = [
-            path.id
-            for path in topology.paths_through(link_id)
-            if path.id in eligible
+        through = routing.indices[
+            routing.indptr[link_id] : routing.indptr[link_id + 1]
         ]
-        for a, b in itertools.combinations(through, 2):
-            pair = (a, b) if a < b else (b, a)
-            if pair not in seen:
-                seen.add(pair)
-                yield pair
+        through = through[eligible_mask[through]]
+        if through.size < 2:
+            continue
+        first, second = np.triu_indices(through.size, k=1)
+        blocks_a.append(through[first])
+        blocks_b.append(through[second])
+    if not blocks_a:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.stack(
+        [
+            np.concatenate(blocks_a).astype(np.int64),
+            np.concatenate(blocks_b).astype(np.int64),
+        ],
+        axis=1,
+    )
+    codes = pairs[:, 0] * np.int64(topology.n_paths) + pairs[:, 1]
+    _, first_seen = np.unique(codes, return_index=True)
+    return pairs[np.sort(first_seen)]
+
+
+def _single_values(
+    measurements: PathGoodProvider,
+    path_ids: list[int],
+    n_paths: int,
+) -> np.ndarray:
+    """``y_i`` for the eligible paths, batch when the provider allows."""
+    all_values = batch_log_good_all(measurements, n_paths)
+    if all_values is not None:
+        return all_values[np.asarray(path_ids, dtype=np.int64)]
+    return np.array(
+        [measurements.log_good(path_id) for path_id in path_ids],
+        dtype=np.float64,
+    )
+
+
+def _pair_values(
+    measurements: PathGoodProvider,
+    pairs: np.ndarray,
+) -> np.ndarray | None:
+    """``y_ij`` for candidate pairs in one batch call, or ``None`` when
+    the provider only speaks the scalar protocol (values are then fetched
+    lazily, only for accepted rows)."""
+    if pairs.size and hasattr(measurements, "log_good_pairs"):
+        return np.asarray(
+            measurements.log_good_pairs(pairs), dtype=np.float64
+        )
+    return None
+
+
+#: Measurement-independent builder state per correlation structure: the
+#: eligible paths, the single-path elimination (rows + tracker snapshot),
+#: the candidate pairs with their eligibility verdicts, and the lazily
+#: computed dependence mask.  A sweep re-infers against the same
+#: (topology, correlation) for every trial; this prep is computed once.
+_BUILDER_PREP: "weakref.WeakKeyDictionary[CorrelationStructure, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _builder_prep(
+    topology: Topology, correlation: CorrelationStructure
+) -> dict:
+    prep = _BUILDER_PREP.get(correlation)
+    if prep is not None and prep["topology"] is topology:
+        return prep
+    n_links = topology.n_links
+    eligible_mask = correlation.path_correlation_free_mask()
+    eligible = [int(path_id) for path_id in np.flatnonzero(eligible_mask)]
+    tracker = _RankTracker(n_links)
+    singles = []
+    for path_id in eligible:
+        link_ids = frozenset(topology.paths[path_id].link_ids)
+        added = tracker.try_add(_row_vector(link_ids, n_links))
+        singles.append((path_id, link_ids, added))
+    candidates = _shared_link_pair_candidates(topology, eligible_mask)
+    prep = {
+        "topology": topology,
+        "eligible": tuple(eligible),
+        "singles": tuple(singles),
+        "tracker": tracker,
+        "candidates": candidates,
+        "pair_eligible": correlation.pairs_correlation_free(candidates),
+        "dependent_mask": None,
+    }
+    _BUILDER_PREP[correlation] = prep
+    return prep
+
+
+def _dependent_mask(topology: Topology, prep: dict) -> np.ndarray:
+    """Batch dependence verdicts for the cached candidates (lazy).
+
+    Candidates whose union row is already spanned by the single-path
+    rows can never be accepted; dropping them spares the sequential
+    examination.  The mask is order-independent, so it is computed once
+    per correlation structure and permuted alongside the candidates.
+    """
+    if prep["dependent_mask"] is None:
+        candidates = prep["candidates"]
+        links = topology.routing_matrix_sparse()
+        union = links[candidates[:, 0]] + links[candidates[:, 1]]
+        union.data = np.minimum(union.data, 1.0)
+        prep["dependent_mask"] = prep["tracker"].batch_dependent(union)
+    return prep["dependent_mask"]
 
 
 def build_equations(
@@ -202,58 +396,88 @@ def build_equations(
         )
     n_links = topology.n_links
     system = EquationSystem(n_links=n_links)
-    tracker = _RankTracker(n_links)
-
-    eligible = [
-        path.id
-        for path in topology.paths
-        if correlation.path_is_correlation_free(path.id)
-    ]
-    system.eligible_paths = tuple(eligible)
-    eligible_set = set(eligible)
+    prep = _builder_prep(topology, correlation)
+    tracker = prep["tracker"].clone()
+    system.eligible_paths = prep["eligible"]
 
     # --- Single-path rows (Eq. 9) -------------------------------------
-    for path_id in eligible:
-        link_ids = frozenset(topology.paths[path_id].link_ids)
-        row = _row_vector(link_ids, n_links)
-        added = tracker.try_add(row)
+    single_values = _single_values(
+        measurements, list(prep["eligible"]), topology.n_paths
+    )
+    for (path_id, link_ids, added), value in zip(
+        prep["singles"], single_values
+    ):
         if selection == "all" or added:
             system.rows.append(
                 EquationRow(
                     kind="path",
                     paths=(path_id,),
                     link_ids=link_ids,
-                    value=measurements.log_good(path_id),
+                    value=float(value),
                 )
             )
             system.n_single += 1
 
     # --- Pair rows (Eq. 10) -------------------------------------------
     if tracker.rank < n_links or selection == "all":
-        candidates = list(_iter_shared_link_pairs(topology, eligible_set))
+        candidates = prep["candidates"]
+        pair_eligible = prep["pair_eligible"]
+        # Prefilter is skipped when the candidate cap binds (dropped
+        # rows would otherwise still count as "examined") and in "all"
+        # mode, which keeps dependent rows.
+        use_prefilter = (
+            selection == "independent"
+            and 0 < candidates.shape[0] <= max_pair_candidates
+        )
+        keep = (
+            ~_dependent_mask(topology, prep) if use_prefilter else None
+        )
         if pair_order_seed is not None:
-            as_generator(pair_order_seed).shuffle(candidates)
+            # Permute the FULL candidate list — identical RNG use and
+            # examination order to the historical builder — and only
+            # then drop the provably dependent rows (skipping them does
+            # not change the tracker, so acceptance is preserved).
+            order = as_generator(pair_order_seed).permutation(
+                candidates.shape[0]
+            )
+            candidates = candidates[order]
+            pair_eligible = pair_eligible[order]
+            if keep is not None:
+                keep = keep[order]
+        if keep is not None:
+            candidates = candidates[keep]
+            pair_eligible = pair_eligible[keep]
+        pair_values = _pair_values(measurements, candidates)
         examined = 0
-        for path_a, path_b in candidates:
+        for index in range(candidates.shape[0]):
             if examined >= max_pair_candidates:
                 break
             if selection == "independent" and tracker.rank >= n_links:
                 break
             examined += 1
-            if not correlation.pair_is_correlation_free(path_a, path_b):
+            if not pair_eligible[index]:
                 continue
+            path_a, path_b = (
+                int(candidates[index, 0]),
+                int(candidates[index, 1]),
+            )
             link_ids = frozenset(
                 topology.paths[path_a].link_ids
             ) | frozenset(topology.paths[path_b].link_ids)
             row = _row_vector(link_ids, n_links)
             added = tracker.try_add(row)
             if selection == "all" or added:
+                value = (
+                    float(pair_values[index])
+                    if pair_values is not None
+                    else measurements.log_good_pair(path_a, path_b)
+                )
                 system.rows.append(
                     EquationRow(
                         kind="pair",
                         paths=(path_a, path_b),
                         link_ids=link_ids,
-                        value=measurements.log_good_pair(path_a, path_b),
+                        value=value,
                     )
                 )
                 system.n_pair += 1

@@ -21,7 +21,30 @@ from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
 
-__all__ = ["PathGoodProvider", "PathStateProvider"]
+import numpy as np
+
+__all__ = ["PathGoodProvider", "PathStateProvider", "batch_log_good_all"]
+
+
+def batch_log_good_all(measurements, n_paths: int) -> "np.ndarray | None":
+    """All ``log P(Y_i = 0)`` via the provider's batch API, if it has one.
+
+    Batch consumers (the equation builder, the independence baseline)
+    probe for the optional vectorised ``log_good_all`` here so the
+    sniffing — and the handling of a provider returning the wrong shape
+    (always a loud ``ValueError``) — lives in exactly one place.
+    Returns ``None`` for scalar-only providers; callers then fall back
+    to the ``log_good`` protocol loop.
+    """
+    if not hasattr(measurements, "log_good_all"):
+        return None
+    values = np.asarray(measurements.log_good_all(), dtype=np.float64)
+    if values.shape != (n_paths,):
+        raise ValueError(
+            f"log_good_all returned shape {values.shape}, expected "
+            f"({n_paths},)"
+        )
+    return values
 
 
 @runtime_checkable

@@ -11,6 +11,12 @@ program
 solved with scipy's HiGHS backend.  A bounded least-squares alternative is
 provided for ablation (:func:`solve_bounded_least_squares`) along with an
 automatic chooser.
+
+Every solver accepts ``R`` either dense (:class:`numpy.ndarray`) or sparse
+(any :mod:`scipy.sparse` matrix).  Sparse inputs — the native output of
+:meth:`repro.core.equations.EquationSystem.sparse_matrix` — flow into the
+LP without a densify round-trip; bounds are constructed as vectorised
+``(n, 2)`` arrays rather than per-column Python lists.
 """
 
 from __future__ import annotations
@@ -25,13 +31,41 @@ __all__ = [
     "solve_l1",
     "solve_bounded_least_squares",
     "solve_min_norm_least_squares",
+    "min_norm_least_squares_with_rank",
     "solve",
     "SOLVERS",
 ]
 
 
+def _coerce_matrix(matrix, values: np.ndarray):
+    """Validate shapes; return ``(R, y, n_rows, n_cols)`` with ``R`` kept
+    sparse when it came in sparse."""
+    if sparse.issparse(matrix):
+        matrix = matrix.tocsr().astype(np.float64)
+    else:
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise SolverError(f"R must be 2-D, got shape {matrix.shape}")
+    values = np.asarray(values, dtype=np.float64)
+    n_rows, n_cols = matrix.shape
+    if values.shape != (n_rows,):
+        raise SolverError(
+            f"y has shape {values.shape}, expected ({n_rows},)"
+        )
+    return matrix, values, n_rows, n_cols
+
+
+def _covered_columns(matrix) -> np.ndarray:
+    """Boolean mask of columns appearing in at least one equation."""
+    return np.asarray(np.abs(matrix).sum(axis=0)).ravel() > 0
+
+
+def _densify(matrix) -> np.ndarray:
+    return matrix.toarray() if sparse.issparse(matrix) else matrix
+
+
 def solve_l1(
-    matrix: np.ndarray,
+    matrix,
     values: np.ndarray,
     *,
     upper_bound: float = 0.0,
@@ -42,17 +76,11 @@ def solve_l1(
     ``Σ t``.  Columns of ``R`` that are entirely zero (links covered by no
     equation) are pinned to 0 so the LP does not wander on free variables.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
-    if matrix.ndim != 2:
-        raise SolverError(f"R must be 2-D, got shape {matrix.shape}")
-    n_rows, n_cols = matrix.shape
-    if values.shape != (n_rows,):
-        raise SolverError(
-            f"y has shape {values.shape}, expected ({n_rows},)"
-        )
+    matrix, values, n_rows, n_cols = _coerce_matrix(matrix, values)
 
-    sparse_matrix = sparse.csr_matrix(matrix)
+    sparse_matrix = (
+        matrix if sparse.issparse(matrix) else sparse.csr_matrix(matrix)
+    )
     identity = sparse.identity(n_rows, format="csr")
     constraint = sparse.vstack(
         [
@@ -64,14 +92,12 @@ def solve_l1(
     rhs = np.concatenate([values, -values])
     objective = np.concatenate([np.zeros(n_cols), np.ones(n_rows)])
 
-    covered = np.asarray(np.abs(matrix).sum(axis=0) > 0).ravel()
-    bounds: list[tuple[float | None, float | None]] = []
-    for column in range(n_cols):
-        if covered[column]:
-            bounds.append((None, upper_bound))
-        else:
-            bounds.append((0.0, 0.0))
-    bounds.extend([(0.0, None)] * n_rows)
+    covered = _covered_columns(sparse_matrix)
+    bounds = np.empty((n_cols + n_rows, 2), dtype=np.float64)
+    bounds[:n_cols, 0] = np.where(covered, -np.inf, 0.0)
+    bounds[:n_cols, 1] = np.where(covered, upper_bound, 0.0)
+    bounds[n_cols:, 0] = 0.0
+    bounds[n_cols:, 1] = np.inf
 
     result = linprog(
         objective,
@@ -85,8 +111,25 @@ def solve_l1(
     return result.x[:n_cols]
 
 
+def min_norm_least_squares_with_rank(
+    matrix,
+    values: np.ndarray,
+    *,
+    upper_bound: float = 0.0,
+) -> tuple[np.ndarray, int]:
+    """Minimum-norm least squares plus the numerical rank of ``R``.
+
+    The rank comes out of the ``lstsq`` factorisation itself — callers
+    that previously ran a separate ``matrix_rank`` SVD get it for free.
+    """
+    dense = np.asarray(_densify(matrix), dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    solution, _, rank, _ = np.linalg.lstsq(dense, values, rcond=None)
+    return np.minimum(solution, upper_bound), int(rank)
+
+
 def solve_min_norm_least_squares(
-    matrix: np.ndarray,
+    matrix,
     values: np.ndarray,
     *,
     upper_bound: float = 0.0,
@@ -100,14 +143,14 @@ def solve_min_norm_least_squares(
     and inconsistent measurements are spread across the involved links in
     the L2 sense.  The sign constraint is applied by clipping.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
-    solution, *_ = np.linalg.lstsq(matrix, values, rcond=None)
-    return np.minimum(solution, upper_bound)
+    solution, _ = min_norm_least_squares_with_rank(
+        matrix, values, upper_bound=upper_bound
+    )
+    return solution
 
 
 def solve_bounded_least_squares(
-    matrix: np.ndarray,
+    matrix,
     values: np.ndarray,
     *,
     upper_bound: float = 0.0,
@@ -118,14 +161,15 @@ def solve_bounded_least_squares(
     after the solve for parity with the L1 path.  Falls back to the
     clipped minimum-norm solution when the active-set iteration stalls.
     """
-    matrix = np.asarray(matrix, dtype=np.float64)
-    values = np.asarray(values, dtype=np.float64)
-    n_cols = matrix.shape[1]
+    matrix, values, _, n_cols = _coerce_matrix(matrix, values)
+    # BVLS needs a dense operator; TRF works on sparse matrices natively.
+    use_bvls = n_cols <= 400
+    operator = _densify(matrix) if use_bvls else matrix
     result = lsq_linear(
-        matrix,
+        operator,
         values,
         bounds=(np.full(n_cols, -np.inf), np.full(n_cols, upper_bound)),
-        method="bvls" if n_cols <= 400 else "trf",
+        method="bvls" if use_bvls else "trf",
     )
     if result.status < 0 or not np.all(np.isfinite(result.x)):
         solution = solve_min_norm_least_squares(
@@ -133,7 +177,7 @@ def solve_bounded_least_squares(
         )
     else:
         solution = result.x
-    covered = np.abs(matrix).sum(axis=0) > 0
+    covered = _covered_columns(matrix)
     solution = np.where(covered, solution, 0.0)
     return solution
 
@@ -149,7 +193,7 @@ SOLVERS = {
 
 
 def solve(
-    matrix: np.ndarray,
+    matrix,
     values: np.ndarray,
     *,
     method: str = "l1",

@@ -56,6 +56,9 @@ class Topology:
                 coverage[link_id] |= bit
         self._coverage: tuple[int, ...] = tuple(coverage)
         self._all_paths_mask = (1 << len(self._paths)) - 1
+        self._routing_dense: np.ndarray | None = None
+        self._routing_sparse = None
+        self._hash: int | None = None
 
     # ------------------------------------------------------------------
     # Construction-time validation
@@ -201,11 +204,43 @@ class Topology:
         This is the matrix behind the paper's Eq. 9: stacking the rows of
         correlation-free paths gives ``y = R x`` for the log-good
         probabilities ``x_k = log P(X_ek = 0)``.
+
+        The matrix is built once and cached (the topology is immutable);
+        the returned array is marked read-only.
         """
-        matrix = np.zeros((self.n_paths, self.n_links), dtype=np.float64)
-        for path in self._paths:
-            matrix[path.id, list(path.link_ids)] = 1.0
-        return matrix
+        if self._routing_dense is None:
+            matrix = np.asarray(
+                self.routing_matrix_sparse().todense(), dtype=np.float64
+            )
+            matrix.flags.writeable = False
+            self._routing_dense = matrix
+        return self._routing_dense
+
+    def routing_matrix_sparse(self):
+        """The routing matrix as a cached ``scipy.sparse.csr_matrix``.
+
+        Hot paths (bulk simulation, the batch equation builder) consume
+        this directly instead of densifying ``|P| × |E|`` zeros.
+        """
+        if self._routing_sparse is None:
+            from scipy import sparse
+
+            indptr = np.zeros(self.n_paths + 1, dtype=np.int64)
+            indices: list[int] = []
+            for path in self._paths:
+                link_ids = sorted(path.link_ids)
+                indices.extend(link_ids)
+                indptr[path.id + 1] = indptr[path.id] + len(link_ids)
+            matrix = sparse.csr_matrix(
+                (
+                    np.ones(len(indices), dtype=np.float64),
+                    np.asarray(indices, dtype=np.int64),
+                    indptr,
+                ),
+                shape=(self.n_paths, self.n_links),
+            )
+            self._routing_sparse = matrix
+        return self._routing_sparse
 
     # ------------------------------------------------------------------
     # Dunder methods
@@ -222,4 +257,6 @@ class Topology:
         return self._links == other._links and self._paths == other._paths
 
     def __hash__(self) -> int:
-        return hash((self._links, self._paths))
+        if self._hash is None:
+            self._hash = hash((self._links, self._paths))
+        return self._hash

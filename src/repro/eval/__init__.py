@@ -24,6 +24,14 @@ from repro.eval.localization_eval import (
     evaluate_localization,
 )
 from repro.eval.mislabel import make_mislabeled_scenario
+from repro.eval.parallel import (
+    SCENARIO_FACTORIES,
+    ScenarioTask,
+    pool_errors,
+    resolve_workers,
+    run_scenario_tasks,
+    scenario_tasks,
+)
 from repro.eval.report import render_cdf, render_sweep
 from repro.eval.tomographer import (
     TomographerComparison,
@@ -74,4 +82,10 @@ __all__ = [
     "run_tomographer",
     "LocalizationScore",
     "evaluate_localization",
+    "SCENARIO_FACTORIES",
+    "ScenarioTask",
+    "pool_errors",
+    "resolve_workers",
+    "run_scenario_tasks",
+    "scenario_tasks",
 ]

@@ -16,6 +16,11 @@ Each driver regenerates the data series behind one paper figure:
 setups.  The *shape* of the results — the correlation algorithm beating
 the independence algorithm, errors growing with congestion for the
 baseline only — is preserved across scales; see EXPERIMENTS.md.
+
+Every driver accepts ``workers``: trials (and, for the sweep, whole
+x-axis points) fan out through the scenario engine in
+:mod:`repro.eval.parallel`.  Child seeds are spawned before dispatch, so
+any worker count reproduces the serial results exactly.
 """
 
 from __future__ import annotations
@@ -26,14 +31,15 @@ import numpy as np
 
 from repro.core.correlation_algorithm import AlgorithmOptions
 from repro.eval.metrics import DEFAULT_CDF_GRID, ErrorStats, absolute_error_stats
-from repro.eval.mislabel import make_mislabeled_scenario
-from repro.eval.runner import run_comparison
+from repro.eval.parallel import (
+    pool_errors,
+    run_scenario_tasks,
+    scenario_tasks,
+)
 from repro.eval.scenario import (
     HIGH_CORRELATION_RANGE,
     LOOSE_CORRELATION_RANGE,
-    make_clustered_scenario,
 )
-from repro.eval.unidentifiable import make_unidentifiable_scenario
 from repro.simulate.experiment import ExperimentConfig
 from repro.topogen.brite import generate_brite
 from repro.topogen.instance import TomographyInstance
@@ -140,29 +146,32 @@ class CdfResult:
 # ----------------------------------------------------------------------
 def _pooled_errors(
     instance: TomographyInstance,
-    scenario_factory,
+    factory: str,
+    factory_kwargs: dict,
     *,
     config: ExperimentConfig,
     options: AlgorithmOptions | None,
     n_trials: int,
     seed,
+    workers: int | None = None,
 ) -> dict[str, np.ndarray]:
     """Run ``n_trials`` experiments, pooling per-link errors."""
-    rngs = spawn_children(seed, 2 * n_trials)
-    pooled: dict[str, list[np.ndarray]] = {}
-    for trial in range(n_trials):
-        scenario = scenario_factory(rngs[2 * trial])
-        comparison = run_comparison(
-            instance.topology,
-            scenario,
-            config=config,
-            options=options,
-            seed=rngs[2 * trial + 1],
-        )
-        for name, errors in comparison.errors.items():
-            pooled.setdefault(name, []).append(errors)
+    tasks = scenario_tasks(
+        factory, factory_kwargs, n_trials=n_trials, seed=seed
+    )
+    results = run_scenario_tasks(
+        instance, tasks, config=config, options=options, workers=workers
+    )
+    return pool_errors(tasks, results, 1)[0]
+
+
+def _cdf_curves(
+    errors: dict[str, np.ndarray], grid: np.ndarray
+) -> dict[str, np.ndarray]:
+    """Per-algorithm CDF values on the grid, vectorised."""
     return {
-        name: np.concatenate(chunks) for name, chunks in pooled.items()
+        name: np.mean(e[None, :] <= grid[:, None], axis=1)
+        for name, e in errors.items()
     }
 
 
@@ -176,33 +185,43 @@ def figure3_sweep(
     config: ExperimentConfig | None = None,
     options: AlgorithmOptions | None = None,
     seed=0,
+    workers: int | None = None,
 ) -> SweepResult:
-    """Figures 3(a) and 3(b): error statistics vs congested fraction."""
+    """Figures 3(a) and 3(b): error statistics vs congested fraction.
+
+    The whole sweep — every ``(fraction, trial)`` pair — is flattened
+    into one task list before dispatch, so parallelism spans x-axis
+    points as well as trials.
+    """
     instance = instance or default_instance("brite", scale=scale, seed=seed)
     config = config or default_config(scale)
-    points = []
     sweep_rngs = spawn_children(seed, len(fractions))
-    for fraction, rng in zip(fractions, sweep_rngs):
-        errors = _pooled_errors(
-            instance,
-            lambda r, f=fraction: make_clustered_scenario(
-                instance,
-                congested_fraction=f,
-                per_set_range=per_set_range,
-                seed=r,
-            ),
-            config=config,
-            options=options,
-            n_trials=n_trials,
-            seed=rng,
-        )
-        points.append(
-            SweepPoint(
-                congested_fraction=fraction,
-                correlation=absolute_error_stats(errors["correlation"]),
-                independence=absolute_error_stats(errors["independence"]),
+    tasks = []
+    for group, (fraction, rng) in enumerate(zip(fractions, sweep_rngs)):
+        tasks.extend(
+            scenario_tasks(
+                "clustered",
+                dict(
+                    congested_fraction=fraction,
+                    per_set_range=per_set_range,
+                ),
+                n_trials=n_trials,
+                seed=rng,
+                group=group,
             )
         )
+    results = run_scenario_tasks(
+        instance, tasks, config=config, options=options, workers=workers
+    )
+    pooled = pool_errors(tasks, results, len(fractions))
+    points = [
+        SweepPoint(
+            congested_fraction=fraction,
+            correlation=absolute_error_stats(errors["correlation"]),
+            independence=absolute_error_stats(errors["independence"]),
+        )
+        for fraction, errors in zip(fractions, pooled)
+    ]
     return SweepResult(
         points=tuple(points),
         metadata={
@@ -226,6 +245,7 @@ def figure3_cdf(
     options: AlgorithmOptions | None = None,
     grid=DEFAULT_CDF_GRID,
     seed=0,
+    workers: int | None = None,
 ) -> CdfResult:
     """Figure 3(c) (``correlation_level="high"``) / 3(d) (``"loose"``)."""
     if correlation_level == "high":
@@ -241,22 +261,19 @@ def figure3_cdf(
     config = config or default_config(scale)
     errors = _pooled_errors(
         instance,
-        lambda r: make_clustered_scenario(
-            instance,
+        "clustered",
+        dict(
             congested_fraction=congested_fraction,
             per_set_range=per_set_range,
-            seed=r,
         ),
         config=config,
         options=options,
         n_trials=n_trials,
         seed=seed,
+        workers=workers,
     )
     grid = np.asarray(grid, dtype=np.float64)
-    curves = {
-        name: np.array([(e <= x).mean() for x in grid])
-        for name, e in errors.items()
-    }
+    curves = _cdf_curves(errors, grid)
     return CdfResult(
         label=f"fig3-{correlation_level}",
         grid=grid,
@@ -283,28 +300,26 @@ def figure4_cdf(
     options: AlgorithmOptions | None = None,
     grid=DEFAULT_CDF_GRID,
     seed=0,
+    workers: int | None = None,
 ) -> CdfResult:
     """Figure 4: CDFs with a fraction of congested links unidentifiable."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
     config = config or default_config(scale)
     errors = _pooled_errors(
         instance,
-        lambda r: make_unidentifiable_scenario(
-            instance,
+        "unidentifiable",
+        dict(
             congested_fraction=congested_fraction,
             unidentifiable_fraction=unidentifiable_fraction,
-            seed=r,
         ),
         config=config,
         options=options,
         n_trials=n_trials,
         seed=seed,
+        workers=workers,
     )
     grid = np.asarray(grid, dtype=np.float64)
-    curves = {
-        name: np.array([(e <= x).mean() for x in grid])
-        for name, e in errors.items()
-    }
+    curves = _cdf_curves(errors, grid)
     return CdfResult(
         label=f"fig4-{topology}-{unidentifiable_fraction:.0%}",
         grid=grid,
@@ -331,28 +346,26 @@ def figure5_cdf(
     options: AlgorithmOptions | None = None,
     grid=DEFAULT_CDF_GRID,
     seed=0,
+    workers: int | None = None,
 ) -> CdfResult:
     """Figure 5: CDFs with a fraction of congested links mislabeled."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
     config = config or default_config(scale)
     errors = _pooled_errors(
         instance,
-        lambda r: make_mislabeled_scenario(
-            instance,
+        "mislabeled",
+        dict(
             congested_fraction=congested_fraction,
             mislabeled_fraction=mislabeled_fraction,
-            seed=r,
         ),
         config=config,
         options=options,
         n_trials=n_trials,
         seed=seed,
+        workers=workers,
     )
     grid = np.asarray(grid, dtype=np.float64)
-    curves = {
-        name: np.array([(e <= x).mean() for x in grid])
-        for name, e in errors.items()
-    }
+    curves = _cdf_curves(errors, grid)
     return CdfResult(
         label=f"fig5-{topology}-{mislabeled_fraction:.0%}",
         grid=grid,

@@ -98,8 +98,9 @@ def run_experiment(
             link_threshold=config.link_threshold,
         ),
     )
-    routing = sparse.csr_matrix(topology.routing_matrix())
+    routing = topology.routing_matrix_sparse()
     thresholds = prober.path_thresholds
+    threshold = loss_model.link_threshold
 
     link_states = np.zeros(
         (config.n_snapshots, topology.n_links), dtype=bool
@@ -113,23 +114,28 @@ def run_experiment(
         batch = min(config.batch_size, config.n_snapshots - done)
         states = network_model.sample_states(rng, batch)
         # Loss rates: good U(0, t_l], congested U(t_l, 1] — batched form
-        # of LossModel.sample_loss_rates.
+        # of LossModel.sample_loss_rates.  Congested entries are sparse,
+        # so scale everything by t_l in place and rewrite only the
+        # congested positions (bit-identical to the dense np.where form).
         uniforms = rng.random((batch, topology.n_links))
-        loss = np.where(
-            states,
-            loss_model.link_threshold
-            + uniforms * (1.0 - loss_model.link_threshold),
-            uniforms * loss_model.link_threshold,
-        )
-        log_survival = np.log1p(-loss) @ routing.T
-        true_loss = 1.0 - np.exp(log_survival)
+        loss = uniforms * threshold
+        loss[states] = threshold + uniforms[states] * (1.0 - threshold)
+        # log survival per path:  log Π (1 − loss) = Σ log1p(−loss);
+        # reuse the loss buffer for the element-wise stages.
+        np.negative(loss, out=loss)
+        np.log1p(loss, out=loss)
+        log_survival = loss @ routing.T
+        np.exp(log_survival, out=log_survival)
+        true_loss = np.subtract(1.0, log_survival, out=log_survival)
         if config.packets_per_path is None:
             measured = true_loss
         else:
             lost = rng.binomial(config.packets_per_path, true_loss)
             measured = lost / config.packets_per_path
         link_states[done : done + batch] = states
-        path_states[done : done + batch] = measured > thresholds
+        np.greater(
+            measured, thresholds, out=path_states[done : done + batch]
+        )
         done += batch
 
     return SimulationRun(

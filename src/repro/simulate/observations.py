@@ -13,17 +13,34 @@ Zero-count smoothing: an event never observed in ``N`` snapshots gets
 frequency ``1/(2N)`` instead of 0, keeping logarithms finite.  This is the
 usual "half a count" continuity correction; its effect vanishes as ``N``
 grows and is documented in DESIGN.md.
+
+Every estimator is backed by a *batch kernel* — one NumPy operation over
+all paths (or all requested pairs) at once:
+
+* single-path good counts come from one column sum;
+* joint good counts come from the cached Gram matrix ``good.T @ good``
+  (or an indexed gather for small queries), never a per-pair Python loop;
+* exact congested-set counts come from packing each snapshot row into
+  bytes (:func:`numpy.packbits`) and running one ``np.unique`` over the
+  packed rows.
+
+The scalar accessors (``p_good``, ``log_good_pair``, ...) are thin
+wrappers over those kernels, so existing callers keep working while bulk
+consumers (the equation builder, the theorem algorithm) use the batch
+APIs directly.
 """
 
 from __future__ import annotations
-
-import math
 
 import numpy as np
 
 from repro.exceptions import MeasurementError
 
 __all__ = ["PathObservations"]
+
+#: Below this many requested pairs a direct column gather beats building
+#: (and caching) the full path × path Gram matrix.
+_GRAM_QUERY_THRESHOLD = 64
 
 
 class PathObservations:
@@ -48,6 +65,9 @@ class PathObservations:
         self._good = ~self._states
         self._good_counts = self._good.sum(axis=0).astype(np.int64)
         self._mask_counts: dict[int, int] | None = None
+        self._log_good_all: np.ndarray | None = None
+        self._joint_gram: np.ndarray | None = None
+        self._packed_rows: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -71,7 +91,82 @@ class PathObservations:
         return 1.0 - self._good_counts[path_id] / self._n_snapshots
 
     # ------------------------------------------------------------------
-    # PathGoodProvider protocol
+    # Batch kernels
+    # ------------------------------------------------------------------
+    def _smooth_counts(self, counts: np.ndarray) -> np.ndarray:
+        """Vectorised half-count smoothing of event counts."""
+        n = self._n_snapshots
+        return np.where(
+            counts <= 0,
+            0.5 / n,
+            np.where(counts >= n, 1.0 - 0.5 / n, counts / n),
+        )
+
+    def p_good_all(self) -> np.ndarray:
+        """Smoothed ``P(Y_i = 0)`` for every path, in one shot."""
+        return self._smooth_counts(self._good_counts)
+
+    def log_good_all(self) -> np.ndarray:
+        """``y_i = log P(Y_i = 0)`` for every path (cached)."""
+        if self._log_good_all is None:
+            self._log_good_all = np.log(self.p_good_all())
+            self._log_good_all.flags.writeable = False
+        return self._log_good_all
+
+    def joint_good_gram(self) -> np.ndarray:
+        """``G[i, j]`` = number of snapshots with paths i and j both good.
+
+        Computed once as ``good.T @ good`` and cached; the float
+        accumulation is exact because counts are bounded by the snapshot
+        count.
+        """
+        if self._joint_gram is None:
+            # float32 matmul is exact for sums below 2^24 and twice as
+            # fast; fall back to float64 for absurdly long experiments.
+            dtype = np.float32 if self._n_snapshots < 2**24 else np.float64
+            good = self._good.astype(dtype)
+            self._joint_gram = (good.T @ good).astype(np.int64)
+            self._joint_gram.flags.writeable = False
+        return self._joint_gram
+
+    def _check_pairs(self, pairs) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64)
+        if pairs.ndim != 2 or pairs.shape[1] != 2:
+            raise MeasurementError(
+                f"pairs must have shape (m, 2), got {pairs.shape}"
+            )
+        if pairs.size and (
+            pairs.min() < 0 or pairs.max() >= self._n_paths
+        ):
+            raise MeasurementError(
+                f"pair path ids out of range 0..{self._n_paths - 1}"
+            )
+        return pairs
+
+    def joint_good_counts(self, pairs) -> np.ndarray:
+        """Joint good counts for an ``(m, 2)`` array of path-id pairs."""
+        pairs = self._check_pairs(pairs)
+        if pairs.shape[0] == 0:
+            return np.zeros(0, dtype=np.int64)
+        if (
+            self._joint_gram is None
+            and pairs.shape[0] < _GRAM_QUERY_THRESHOLD
+        ):
+            both = self._good[:, pairs[:, 0]] & self._good[:, pairs[:, 1]]
+            return both.sum(axis=0).astype(np.int64)
+        gram = self.joint_good_gram()
+        return gram[pairs[:, 0], pairs[:, 1]]
+
+    def p_good_pairs(self, pairs) -> np.ndarray:
+        """Smoothed ``P(Y_i = 0, Y_j = 0)`` for many pairs at once."""
+        return self._smooth_counts(self.joint_good_counts(pairs))
+
+    def log_good_pairs(self, pairs) -> np.ndarray:
+        """``y_ij`` (paper Eq. 10 left-hand side) for many pairs at once."""
+        return np.log(self.p_good_pairs(pairs))
+
+    # ------------------------------------------------------------------
+    # PathGoodProvider protocol (scalar wrappers over the batch kernels)
     # ------------------------------------------------------------------
     def _smooth(self, count: int) -> float:
         if count <= 0:
@@ -87,31 +182,42 @@ class PathObservations:
 
     def log_good(self, path_id: int) -> float:
         """``y_i = log P(Y_i = 0)`` (paper Eq. 9 left-hand side)."""
-        return math.log(self.p_good(path_id))
+        self._check_path(path_id)
+        return float(self.log_good_all()[path_id])
 
     def p_good_pair(self, path_a: int, path_b: int) -> float:
         """Smoothed ``P(Y_i = 0, Y_j = 0)`` estimate."""
         self._check_path(path_a)
         self._check_path(path_b)
-        both = int(np.sum(self._good[:, path_a] & self._good[:, path_b]))
-        return self._smooth(both)
+        return float(self.p_good_pairs([[path_a, path_b]])[0])
 
     def log_good_pair(self, path_a: int, path_b: int) -> float:
         """``y_ij`` (paper Eq. 10 left-hand side)."""
-        return math.log(self.p_good_pair(path_a, path_b))
+        self._check_path(path_a)
+        self._check_path(path_b)
+        return float(self.log_good_pairs([[path_a, path_b]])[0])
 
     # ------------------------------------------------------------------
     # PathStateProvider protocol
     # ------------------------------------------------------------------
+    def _ensure_packed_rows(self) -> np.ndarray:
+        """Each snapshot row packed into bytes, little-endian bit order,
+        so byte ``k`` bit ``j`` is path ``8k + j`` — the byte sequence of
+        the row *is* the congested-path bitmask."""
+        if self._packed_rows is None:
+            self._packed_rows = np.packbits(
+                self._states, axis=1, bitorder="little"
+            )
+        return self._packed_rows
+
     def _ensure_mask_counts(self) -> dict[int, int]:
         if self._mask_counts is None:
-            counts: dict[int, int] = {}
-            for row in range(self._n_snapshots):
-                mask = 0
-                for path_id in np.flatnonzero(self._states[row]):
-                    mask |= 1 << int(path_id)
-                counts[mask] = counts.get(mask, 0) + 1
-            self._mask_counts = counts
+            packed = self._ensure_packed_rows()
+            unique, counts = np.unique(packed, axis=0, return_counts=True)
+            self._mask_counts = {
+                int.from_bytes(row.tobytes(), "little"): int(count)
+                for row, count in zip(unique, counts)
+            }
         return self._mask_counts
 
     def p_congested_mask(self, mask: int) -> float:
@@ -136,10 +242,8 @@ class PathObservations:
             raise MeasurementError(
                 f"snapshot {snapshot} out of range 0..{self._n_snapshots - 1}"
             )
-        mask = 0
-        for path_id in np.flatnonzero(self._states[snapshot]):
-            mask |= 1 << int(path_id)
-        return mask
+        row = self._ensure_packed_rows()[snapshot]
+        return int.from_bytes(row.tobytes(), "little")
 
     def _check_path(self, path_id: int) -> None:
         if not 0 <= path_id < self._n_paths:

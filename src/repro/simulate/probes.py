@@ -59,7 +59,7 @@ class PathProber:
     def __init__(self, topology: Topology, config: ProbeConfig) -> None:
         self._topology = topology
         self._config = config
-        self._routing = sparse.csr_matrix(topology.routing_matrix())
+        self._routing = topology.routing_matrix_sparse()
         self._thresholds = np.array(
             [
                 path_threshold(path.length, config.link_threshold)

@@ -1,0 +1,92 @@
+"""Sparse-input behaviour of the solver layer."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.core.solvers import (
+    min_norm_least_squares_with_rank,
+    solve,
+    solve_bounded_least_squares,
+    solve_l1,
+    solve_min_norm_least_squares,
+)
+from repro.exceptions import SolverError
+
+
+def random_system(seed, n_rows=30, n_cols=20):
+    rng = np.random.default_rng(seed)
+    matrix = (rng.random((n_rows, n_cols)) < 0.2).astype(np.float64)
+    matrix[0, 0] = 1.0  # ensure at least one covered column
+    values = -rng.random(n_rows)
+    return matrix, values
+
+
+class TestSparseL1:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sparse_and_dense_inputs_agree_exactly(self, seed):
+        matrix, values = random_system(seed)
+        dense = solve_l1(matrix, values)
+        csr = solve_l1(sparse.csr_matrix(matrix), values)
+        coo = solve_l1(sparse.coo_matrix(matrix), values)
+        assert np.array_equal(dense, csr)
+        assert np.array_equal(dense, coo)
+
+    def test_uncovered_columns_pinned_on_sparse_input(self):
+        matrix = sparse.csr_matrix(np.array([[1.0, 0.0]]))
+        solution = solve_l1(matrix, np.array([-1.0]))
+        assert solution[1] == 0.0
+        assert np.isclose(solution[0], -1.0, atol=1e-9)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(SolverError):
+            solve_l1(sparse.csr_matrix(np.eye(2)), np.zeros(3))
+
+
+class TestSparseLeastSquares:
+    @pytest.mark.parametrize("n_cols", [20, 500])
+    def test_sparse_and_dense_agree(self, n_cols):
+        """Covers both the BVLS (dense) and TRF (sparse-native) paths."""
+        matrix, values = random_system(5, n_rows=40, n_cols=n_cols)
+        dense = solve_bounded_least_squares(matrix, values)
+        via_sparse = solve_bounded_least_squares(
+            sparse.csr_matrix(matrix), values
+        )
+        assert np.allclose(dense, via_sparse, atol=1e-8)
+
+    def test_min_norm_accepts_sparse(self):
+        matrix, values = random_system(6)
+        dense = solve_min_norm_least_squares(matrix, values)
+        via_sparse = solve_min_norm_least_squares(
+            sparse.csr_matrix(matrix), values
+        )
+        assert np.array_equal(dense, via_sparse)
+
+
+class TestMinNormRank:
+    def test_rank_matches_matrix_rank(self):
+        matrix, values = random_system(7)
+        _, rank = min_norm_least_squares_with_rank(matrix, values)
+        assert rank == np.linalg.matrix_rank(matrix)
+
+    def test_rank_deficient_system(self):
+        matrix = np.array([[1.0, 1.0], [2.0, 2.0]])
+        solution, rank = min_norm_least_squares_with_rank(
+            matrix, np.array([-1.0, -2.0])
+        )
+        assert rank == 1
+        assert np.allclose(solution, [-0.5, -0.5])
+
+
+class TestDispatch:
+    def test_solve_dispatches_sparse(self):
+        matrix, values = random_system(8)
+        for method in ("l1", "least_squares", "min_norm", "auto"):
+            dense_solution, dense_used = solve(
+                matrix, values, method=method
+            )
+            sparse_solution, sparse_used = solve(
+                sparse.csr_matrix(matrix), values, method=method
+            )
+            assert dense_used == sparse_used
+            assert np.allclose(dense_solution, sparse_solution, atol=1e-8)

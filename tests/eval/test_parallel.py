@@ -1,0 +1,124 @@
+"""The parallel scenario engine: determinism across worker counts."""
+
+import numpy as np
+import pytest
+
+from repro.eval.figures import figure3_sweep, figure5_cdf
+from repro.eval.parallel import (
+    ScenarioTask,
+    pool_errors,
+    resolve_workers,
+    run_scenario_tasks,
+    scenario_tasks,
+)
+from repro.simulate.experiment import ExperimentConfig
+
+FAST = ExperimentConfig(n_snapshots=120, packets_per_path=200)
+
+
+class TestTaskConstruction:
+    def test_task_layout(self):
+        tasks = scenario_tasks(
+            "clustered",
+            {"congested_fraction": 0.1},
+            n_trials=3,
+            seed=5,
+            group=2,
+        )
+        assert len(tasks) == 3
+        assert all(task.group == 2 for task in tasks)
+        assert all(task.factory == "clustered" for task in tasks)
+        # Child generators are pre-spawned and pairwise distinct.
+        states = {
+            id(task.scenario_seed) for task in tasks
+        } | {id(task.run_seed) for task in tasks}
+        assert len(states) == 6
+
+    def test_unknown_factory_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario factory"):
+            scenario_tasks("bogus", {}, n_trials=1, seed=0)
+
+    def test_resolve_workers(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(1) == 1
+        assert resolve_workers(3) == 3
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestEngineDeterminism:
+    def test_serial_and_parallel_results_identical(self, planetlab_small):
+        tasks = scenario_tasks(
+            "clustered",
+            {"congested_fraction": 0.1},
+            n_trials=2,
+            seed=21,
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        parallel = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=2
+        )
+        assert len(serial) == len(parallel) == 2
+        for errors_a, errors_b in zip(serial, parallel):
+            assert set(errors_a) == set(errors_b)
+            for name in errors_a:
+                assert np.array_equal(errors_a[name], errors_b[name])
+
+    def test_figure3_sweep_identical_across_worker_counts(
+        self, planetlab_small
+    ):
+        kwargs = dict(
+            instance=planetlab_small,
+            fractions=(0.05, 0.10),
+            config=FAST,
+            n_trials=2,
+            seed=31,
+        )
+        serial = figure3_sweep(workers=1, **kwargs)
+        parallel = figure3_sweep(workers=4, **kwargs)
+        for point_a, point_b in zip(serial.points, parallel.points):
+            assert point_a.correlation == point_b.correlation
+            assert point_a.independence == point_b.independence
+
+    def test_figure5_identical_across_worker_counts(self, planetlab_small):
+        kwargs = dict(
+            instance=planetlab_small,
+            config=FAST,
+            n_trials=2,
+            seed=32,
+        )
+        serial = figure5_cdf(workers=1, **kwargs)
+        parallel = figure5_cdf(workers=2, **kwargs)
+        for name in serial.curves:
+            assert np.array_equal(serial.curves[name], parallel.curves[name])
+
+    def test_same_seed_reproduces(self, planetlab_small):
+        kwargs = dict(
+            instance=planetlab_small,
+            fractions=(0.10,),
+            config=FAST,
+            seed=33,
+        )
+        first = figure3_sweep(**kwargs)
+        second = figure3_sweep(**kwargs)
+        assert first.points == second.points
+
+
+class TestPooling:
+    def test_pool_errors_groups_in_task_order(self):
+        tasks = [
+            ScenarioTask(group=0, factory="clustered"),
+            ScenarioTask(group=1, factory="clustered"),
+            ScenarioTask(group=0, factory="clustered"),
+        ]
+        results = [
+            {"correlation": np.array([1.0])},
+            {"correlation": np.array([2.0])},
+            {"correlation": np.array([3.0])},
+        ]
+        pooled = pool_errors(tasks, results, 2)
+        assert np.array_equal(pooled[0]["correlation"], [1.0, 3.0])
+        assert np.array_equal(pooled[1]["correlation"], [2.0])

@@ -1,0 +1,144 @@
+"""Equivalence of the batch estimator kernels with the scalar protocol.
+
+The batch APIs (``log_good_all``, ``log_good_pairs``, packed-row mask
+counting) must reproduce the scalar reference semantics bit-for-bit on
+arbitrary observation matrices — they are the same estimators, computed
+in one shot.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.exceptions import MeasurementError
+from repro.simulate.observations import PathObservations
+
+matrices = arrays(
+    dtype=bool,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=12),
+    ),
+)
+
+
+def scalar_smooth(count: int, n: int) -> float:
+    if count <= 0:
+        return 0.5 / n
+    if count >= n:
+        return 1.0 - 0.5 / n
+    return count / n
+
+
+def reference_log(probability: float) -> float:
+    """log() through the same ufunc the kernels use (``math.log`` can
+    differ from ``numpy.log`` in the last ulp)."""
+    return float(np.log(np.array([probability], dtype=np.float64))[0])
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_log_good_all_matches_scalar(states):
+    observations = PathObservations(states)
+    batch = observations.log_good_all()
+    n = states.shape[0]
+    for path_id in range(states.shape[1]):
+        count = int((~states[:, path_id]).sum())
+        expected = reference_log(scalar_smooth(count, n))
+        assert batch[path_id] == expected
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_pair_batch_matches_scalar_reference(states):
+    observations = PathObservations(states)
+    n_snapshots, n_paths = states.shape
+    pairs = np.array(
+        [(a, b) for a in range(n_paths) for b in range(n_paths)],
+        dtype=np.int64,
+    )
+    counts = observations.joint_good_counts(pairs)
+    log_values = observations.log_good_pairs(pairs)
+    good = ~states
+    for (a, b), count, log_value in zip(pairs, counts, log_values):
+        expected_count = int(np.sum(good[:, a] & good[:, b]))
+        assert count == expected_count
+        assert log_value == reference_log(
+            scalar_smooth(expected_count, n_snapshots)
+        )
+        # The scalar protocol is a thin wrapper over the same kernel.
+        assert observations.log_good_pair(int(a), int(b)) == log_value
+
+
+@given(matrices)
+@settings(max_examples=40, deadline=None)
+def test_gram_and_gather_paths_agree(states):
+    """Small queries gather columns; large ones hit the cached Gram —
+    both must return identical counts."""
+    gathered = PathObservations(states)
+    grammed = PathObservations(states)
+    grammed.joint_good_gram()  # force the Gram path
+    n_paths = states.shape[1]
+    pairs = [(a, b) for a in range(n_paths) for b in range(n_paths)][:8]
+    pairs = np.asarray(pairs, dtype=np.int64)
+    assert np.array_equal(
+        gathered.joint_good_counts(pairs), grammed.joint_good_counts(pairs)
+    )
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_mask_counts_match_python_reference(states):
+    observations = PathObservations(states)
+    reference: dict[int, int] = {}
+    for row in range(states.shape[0]):
+        mask = 0
+        for path_id in np.flatnonzero(states[row]):
+            mask |= 1 << int(path_id)
+        reference[mask] = reference.get(mask, 0) + 1
+    assert observations.observed_masks() == reference
+
+
+@given(matrices)
+@settings(max_examples=60, deadline=None)
+def test_snapshot_masks_match_python_reference(states):
+    observations = PathObservations(states)
+    for row in range(states.shape[0]):
+        mask = 0
+        for path_id in np.flatnonzero(states[row]):
+            mask |= 1 << int(path_id)
+        assert observations.congested_mask_of_snapshot(row) == mask
+
+
+def test_wide_matrices_pack_beyond_64_paths():
+    """Masks stay exact past machine-word width (packed bytes → int)."""
+    rng = np.random.default_rng(7)
+    states = rng.random((50, 131)) < 0.3
+    observations = PathObservations(states)
+    for row in (0, 17, 49):
+        expected = 0
+        for path_id in np.flatnonzero(states[row]):
+            expected |= 1 << int(path_id)
+        assert observations.congested_mask_of_snapshot(row) == expected
+    assert sum(observations.observed_masks().values()) == 50
+
+
+class TestPairValidation:
+    def test_bad_shape_rejected(self):
+        observations = PathObservations(np.zeros((3, 2), dtype=bool))
+        with pytest.raises(MeasurementError):
+            observations.joint_good_counts(np.zeros(3, dtype=np.int64))
+
+    def test_out_of_range_rejected(self):
+        observations = PathObservations(np.zeros((3, 2), dtype=bool))
+        with pytest.raises(MeasurementError):
+            observations.joint_good_counts([[0, 5]])
+
+    def test_empty_pairs_allowed(self):
+        observations = PathObservations(np.zeros((3, 2), dtype=bool))
+        counts = observations.joint_good_counts(
+            np.empty((0, 2), dtype=np.int64)
+        )
+        assert counts.shape == (0,)
