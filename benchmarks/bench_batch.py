@@ -34,6 +34,8 @@ import numpy as np
 from scipy import sparse
 from scipy.optimize import linprog
 
+from bench_util import write_bench_json
+
 from repro.core.correlation_algorithm import AlgorithmOptions
 from repro.eval.figures import (
     default_config,
@@ -399,6 +401,23 @@ def main(argv=None) -> int:
 
     speedup = reference_seconds / batch_seconds
     print(f"speedup: {speedup:.2f}x")
+    write_bench_json(
+        "batch",
+        params={
+            "scale": scale,
+            "fractions": list(fractions),
+            "trials": args.trials,
+            "workers": args.workers,
+            "seed": args.seed,
+            "n_snapshots": config.n_snapshots,
+            "quick": args.quick,
+        },
+        timings_s={
+            "reference": reference_seconds,
+            "batch": batch_seconds,
+        },
+        ratios={"speedup": speedup},
+    )
     if args.require_speedup is not None and speedup < args.require_speedup:
         print(
             f"FAIL: speedup {speedup:.2f}x below required "

@@ -1,0 +1,292 @@
+"""Persistent trial-result cache benchmark (the PR-2 perf headline).
+
+Runs the figure-3 sweep four ways over the same instance and seed:
+
+* **serial** — the engine without cache or pool (correctness reference);
+* **pr1-pooled** — the pool path with the PR-1 transport: one task per
+  ``pool.map`` item, one dict-of-arrays pickle back per trial;
+* **cold-cached** — the current pooled path (chunked submission, packed
+  float transport) writing every trial into a fresh cache;
+* **warm-cached** — the same sweep again from the same store: every
+  trial is a cache hit, zero compute.
+
+All four must produce bit-identical figure data (always enforced).  The
+headline gates::
+
+    python benchmarks/bench_cache.py --scale medium \
+        --require-speedup 10 --require-cold-parity 1.15 --require-hits
+
+* warm-cached must be >= 10x faster than cold-cached (``--require-speedup``);
+* cold-cached must be no slower than the PR-1 pooled baseline within a
+  tolerance ratio (``--require-cold-parity``);
+* the warm run must report 100% cache hits (``--require-hits``).
+
+``--quick`` is the CI smoke mode (small instance, short sweep, reduced
+snapshots).  Every run appends a record to ``BENCH_cache.json`` (see
+``benchmarks/bench_util.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+from bench_util import write_bench_json
+
+from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.eval import parallel as engine
+from repro.eval.cache import TrialCache
+from repro.eval.figures import (
+    default_config,
+    default_instance,
+    figure3_sweep,
+    figure3_sweep_tasks,
+)
+from repro.eval.metrics import absolute_error_stats
+from repro.eval.parallel import pool_errors
+from repro.eval.scenario import HIGH_CORRELATION_RANGE
+from repro.simulate.experiment import ExperimentConfig
+
+FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
+
+
+def _pr1_pooled_sweep(instance, tasks, fractions, config, options, workers):
+    """PR-1 transport: per-task submission, per-trial result pickles."""
+    workers = max(1, min(workers, len(tasks)))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=engine._init_worker,
+        initargs=(instance, config, options),
+    ) as pool:
+        results = list(pool.map(engine._run_in_worker, tasks))
+    pooled = pool_errors(tasks, results, len(fractions))
+    return [
+        {
+            "correlation": absolute_error_stats(errors["correlation"]),
+            "independence": absolute_error_stats(errors["independence"]),
+        }
+        for errors in pooled
+    ]
+
+
+def _points_as_dicts(sweep_result):
+    return [
+        {"correlation": p.correlation, "independence": p.independence}
+        for p in sweep_result.points
+    ]
+
+
+def _print_series(label, fractions, stats_per_point):
+    print(f"  {label}:")
+    for fraction, stats in zip(fractions, stats_per_point):
+        corr, ind = stats["correlation"], stats["independence"]
+        print(
+            f"    f={fraction:4.0%}  corr mean={corr.mean:.4f} "
+            f"p90={corr.p90:.4f} | ind mean={ind.mean:.4f} "
+            f"p90={ind.p90:.4f}"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=("small", "medium", "paper"), default="medium"
+    )
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="workers for the pooled paths (0 = all cores)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "persist the store here instead of a temporary directory "
+            "(must be empty: the cold leg needs an unpopulated cache)"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: small instance, short sweep, reduced snapshots",
+    )
+    parser.add_argument(
+        "--require-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit nonzero unless warm-cached is >= X times faster than cold",
+    )
+    parser.add_argument(
+        "--require-cold-parity",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "exit nonzero unless cold-cached time <= R x the PR-1 "
+            "pooled baseline"
+        ),
+    )
+    parser.add_argument(
+        "--require-hits",
+        action="store_true",
+        help="exit nonzero unless the warm run reports 100%% cache hits",
+    )
+    args = parser.parse_args(argv)
+
+    scale = "small" if args.quick else args.scale
+    fractions = FRACTIONS[:2] if args.quick else FRACTIONS
+    instance = default_instance("brite", scale=scale, seed=args.seed)
+    config = default_config(scale)
+    if args.quick:
+        config = ExperimentConfig(n_snapshots=400, packets_per_path=400)
+    options = AlgorithmOptions()
+    workers = engine.resolve_workers(args.workers or 0)
+    n_tasks = len(fractions) * args.trials
+    print(
+        f"trial-cache benchmark — scale={scale}, "
+        f"{instance.n_links} links / {instance.n_paths} paths, "
+        f"{len(fractions)} fractions × {args.trials} trial(s) = "
+        f"{n_tasks} tasks, {config.n_snapshots} snapshots, "
+        f"{workers} workers"
+    )
+
+    sweep_kwargs = dict(
+        instance=instance,
+        fractions=fractions,
+        config=config,
+        n_trials=args.trials,
+        seed=args.seed,
+        options=options,
+    )
+
+    t0 = time.perf_counter()
+    serial = figure3_sweep(workers=1, **sweep_kwargs)
+    t_serial = time.perf_counter() - t0
+    print(f"serial (no cache):          {t_serial:7.2f} s")
+
+    tasks = figure3_sweep_tasks(
+        fractions, HIGH_CORRELATION_RANGE, args.trials, args.seed
+    )
+    t0 = time.perf_counter()
+    pr1_points = _pr1_pooled_sweep(
+        instance, tasks, fractions, config, options, workers
+    )
+    t_pr1 = time.perf_counter() - t0
+    print(f"pr1-pooled (per-task pickles): {t_pr1:7.2f} s")
+
+    with tempfile.TemporaryDirectory() as scratch:
+        store = args.cache_dir or scratch
+        if args.cache_dir and any(pathlib.Path(store).rglob("*.npz")):
+            # A populated store would make the "cold" leg warm: the
+            # speedup gate would fail spuriously and the parity gate
+            # would no longer measure the compute path.
+            print(
+                f"FAIL: --cache-dir {store} already holds entries; "
+                "the cold leg needs an empty store",
+                file=sys.stderr,
+            )
+            return 1
+        cold_cache = TrialCache(store)
+        t0 = time.perf_counter()
+        cold = figure3_sweep(workers=workers, cache=cold_cache, **sweep_kwargs)
+        t_cold = time.perf_counter() - t0
+        print(
+            f"cold-cached pooled:         {t_cold:7.2f} s "
+            f"({cold_cache.stats.render()})"
+        )
+
+        warm_cache = TrialCache(store)
+        t0 = time.perf_counter()
+        warm = figure3_sweep(workers=workers, cache=warm_cache, **sweep_kwargs)
+        t_warm = time.perf_counter() - t0
+        print(
+            f"warm-cached:                {t_warm:7.2f} s "
+            f"({warm_cache.stats.render()})"
+        )
+
+    _print_series("serial", fractions, _points_as_dicts(serial))
+
+    failures = []
+    series = {
+        "pr1-pooled": pr1_points,
+        "cold-cached": _points_as_dicts(cold),
+        "warm-cached": _points_as_dicts(warm),
+    }
+    reference = _points_as_dicts(serial)
+    for label, points in series.items():
+        if points != reference:
+            failures.append(
+                f"{label} figure data differs from the serial reference"
+            )
+    if not failures:
+        print("bit-identical: serial == pr1-pooled == cold == warm")
+
+    warm_speedup = t_cold / t_warm if t_warm > 0 else float("inf")
+    cold_ratio = t_cold / t_pr1 if t_pr1 > 0 else float("inf")
+    hit_rate = warm_cache.stats.hit_rate
+    print(
+        f"warm speedup: {warm_speedup:.2f}x  |  cold vs pr1: "
+        f"{cold_ratio:.2f}x  |  warm run: "
+        f"{100.0 * hit_rate:.1f}% hits"
+    )
+
+    if args.require_speedup is not None and warm_speedup < args.require_speedup:
+        failures.append(
+            f"warm speedup {warm_speedup:.2f}x below required "
+            f"{args.require_speedup:.2f}x"
+        )
+    if (
+        args.require_cold_parity is not None
+        and cold_ratio > args.require_cold_parity
+    ):
+        failures.append(
+            f"cold-cached {cold_ratio:.2f}x the PR-1 baseline exceeds "
+            f"allowed {args.require_cold_parity:.2f}x"
+        )
+    if args.require_hits and (
+        warm_cache.stats.misses or warm_cache.stats.hits != n_tasks
+    ):
+        failures.append(
+            f"warm run not 100% hits: {warm_cache.stats.render()}"
+        )
+
+    write_bench_json(
+        "cache",
+        params={
+            "scale": scale,
+            "fractions": list(fractions),
+            "trials": args.trials,
+            "workers": workers,
+            "seed": args.seed,
+            "n_snapshots": config.n_snapshots,
+            "n_tasks": n_tasks,
+            "quick": args.quick,
+        },
+        timings_s={
+            "serial": t_serial,
+            "pr1_pooled": t_pr1,
+            "cold_cached": t_cold,
+            "warm_cached": t_warm,
+        },
+        ratios={
+            "warm_speedup": warm_speedup,
+            "cold_vs_pr1": cold_ratio,
+            "warm_hit_rate": hit_rate,
+        },
+    )
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,110 @@
+"""Machine-readable benchmark records.
+
+Each gated benchmark appends one run record to ``BENCH_<name>.json`` at
+the repository root (override the directory with the
+``REPRO_BENCH_JSON_DIR`` environment variable).  Records carry the git
+revision, the raw timings, and the derived speedup ratios, so the perf
+trajectory is diffable across PRs; the file keeps the last
+:data:`MAX_RUNS` records.
+
+Schema::
+
+    {
+      "format": "repro-bench",
+      "version": 1,
+      "bench": "<name>",
+      "runs": [
+        {"git_rev": "...", "unix_time": ..., "params": {...},
+         "timings_s": {...}, "ratios": {...}},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Records kept per benchmark file (oldest dropped first).
+MAX_RUNS = 20
+
+_FORMAT = "repro-bench"
+_VERSION = 1
+
+
+def git_revision() -> str:
+    """Current git HEAD, or ``"unknown"`` outside a work tree."""
+    try:
+        output = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return output or "unknown"
+
+
+def write_bench_json(
+    name: str,
+    *,
+    params: dict,
+    timings_s: dict,
+    ratios: dict,
+    out_dir=None,
+) -> pathlib.Path:
+    """Append one run record to ``BENCH_<name>.json`` and return its path."""
+    directory = pathlib.Path(
+        out_dir
+        or os.environ.get("REPRO_BENCH_JSON_DIR", "").strip()
+        or REPO_ROOT
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    runs: list[dict] = []
+    if path.exists():
+        try:
+            document = json.loads(path.read_text())
+            if document.get("format") == _FORMAT:
+                runs = list(document.get("runs", []))
+        except (OSError, ValueError):
+            runs = []
+    runs.append(
+        {
+            "git_rev": git_revision(),
+            "unix_time": time.time(),
+            "params": params,
+            "timings_s": timings_s,
+            "ratios": ratios,
+        }
+    )
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "bench": name,
+        "runs": runs[-MAX_RUNS:],
+    }
+    # Publish atomically: concurrent benchmarks sharing a directory must
+    # never leave a torn file (a torn file reads as runs=[] next time).
+    descriptor, tmp_name = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(descriptor, "w") as handle:
+            handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path

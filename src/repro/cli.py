@@ -7,9 +7,27 @@ Examples::
     repro-tomography figure3-cdf --level loose
     repro-tomography figure4 --topology planetlab --fraction 0.5
     repro-tomography figure5 --topology brite --fraction 0.25
+    repro-tomography figure3 --cache-dir ~/.repro-cache --cache-stats
 
 Every subcommand prints the same rows/series the paper plots (see
 EXPERIMENTS.md for the recorded outputs).
+
+Figure commands support the persistent trial-result cache
+(:mod:`repro.eval.cache`):
+
+* ``--cache-dir PATH`` — store/load per-trial results under ``PATH``;
+  repeated invocations (and overlapping sweeps sharing the store) only
+  compute trials they have not seen.  The ``REPRO_CACHE_DIR``
+  environment variable supplies a default.
+* ``--no-cache`` — disable caching even when ``REPRO_CACHE_DIR`` is set.
+* ``--cache-stats`` — print the hit/miss/store line after the run.
+
+Caching never changes figure data: cached and recomputed runs are
+bit-identical at a fixed seed.
+
+``--workers`` defaults to the ``REPRO_WORKERS`` environment variable
+(``1`` = serial, ``0`` = one worker per CPU core), falling back to
+serial when unset.
 """
 
 from __future__ import annotations
@@ -134,13 +152,53 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--workers",
         type=_worker_count,
-        default=1,
+        default=None,
         help=(
             "worker processes for the scenario fan-out "
-            "(1 = serial, 0 = one per CPU core); any value reproduces "
+            "(1 = serial, 0 = one per CPU core; default: the "
+            "REPRO_WORKERS env var, else serial); any value reproduces "
             "the serial results exactly for a given seed"
         ),
     )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "persistent trial-result cache directory (default: the "
+            "REPRO_CACHE_DIR env var, else caching off); repeated runs "
+            "only compute trials not already stored"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache even if REPRO_CACHE_DIR is set",
+    )
+    parser.add_argument(
+        "--cache-stats",
+        action="store_true",
+        help="print cache hit/miss/store counts after the run",
+    )
+
+
+def _make_cache(args):
+    """Build the TrialCache requested by the cache flags (or None)."""
+    from repro.eval.cache import TrialCache, resolve_cache_dir
+
+    directory = resolve_cache_dir(
+        args.cache_dir, disabled=args.no_cache
+    )
+    return TrialCache(directory) if directory is not None else None
+
+
+def _print_cache_stats(args, cache) -> None:
+    if not args.cache_stats:
+        return
+    if cache is None:
+        print("cache: disabled (no --cache-dir and REPRO_CACHE_DIR unset)")
+    else:
+        print(cache.stats_line())
 
 
 def _run_demo(args) -> int:
@@ -222,34 +280,41 @@ def _run_demo(args) -> int:
 def _run_figure3(args) -> int:
     from repro.eval import figure3_sweep, render_sweep
 
+    cache = _make_cache(args)
     result = figure3_sweep(
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        cache=cache,
     )
     print(render_sweep(result))
+    _print_cache_stats(args, cache)
     return 0
 
 
 def _run_figure3_cdf(args) -> int:
     from repro.eval import figure3_cdf, render_cdf
 
+    cache = _make_cache(args)
     result = figure3_cdf(
         correlation_level=args.level,
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        cache=cache,
     )
     panel = "3(c)" if args.level == "high" else "3(d)"
     print(render_cdf(result, title=f"Figure {panel} — {args.level}"))
+    _print_cache_stats(args, cache)
     return 0
 
 
 def _run_figure4(args) -> int:
     from repro.eval import figure4_cdf, render_cdf
 
+    cache = _make_cache(args)
     result = figure4_cdf(
         topology=args.topology,
         unidentifiable_fraction=args.fraction,
@@ -257,6 +322,7 @@ def _run_figure4(args) -> int:
         n_trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        cache=cache,
     )
     print(
         render_cdf(
@@ -267,12 +333,14 @@ def _run_figure4(args) -> int:
             ),
         )
     )
+    _print_cache_stats(args, cache)
     return 0
 
 
 def _run_figure5(args) -> int:
     from repro.eval import figure5_cdf, render_cdf
 
+    cache = _make_cache(args)
     result = figure5_cdf(
         topology=args.topology,
         mislabeled_fraction=args.fraction,
@@ -280,6 +348,7 @@ def _run_figure5(args) -> int:
         n_trials=args.trials,
         seed=args.seed,
         workers=args.workers,
+        cache=cache,
     )
     print(
         render_cdf(
@@ -290,6 +359,7 @@ def _run_figure5(args) -> int:
             ),
         )
     )
+    _print_cache_stats(args, cache)
     return 0
 
 

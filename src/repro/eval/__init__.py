@@ -1,5 +1,11 @@
 """Evaluation harness: metrics, scenarios, and figure drivers."""
 
+from repro.eval.cache import (
+    CacheStats,
+    TrialCache,
+    resolve_cache_dir,
+    trial_key,
+)
 from repro.eval.figures import (
     SCALES,
     CdfResult,
@@ -88,4 +94,8 @@ __all__ = [
     "resolve_workers",
     "run_scenario_tasks",
     "scenario_tasks",
+    "CacheStats",
+    "TrialCache",
+    "resolve_cache_dir",
+    "trial_key",
 ]

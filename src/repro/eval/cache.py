@@ -1,0 +1,274 @@
+"""Persistent, content-addressed trial-result cache.
+
+The paper's figures are bags of independent simulate→infer→score trials,
+and a trial's result is fully determined by its inputs: the instance,
+the scenario factory and its kwargs, the pristine scenario/run generator
+states, the simulation config, and the algorithm options.  This module
+memoises that function on disk so repeated figure regenerations and
+overlapping sweeps skip every trial they have already paid for.
+
+Key derivation
+    ``sha256(canonical_json(payload))`` where the payload combines
+
+    * the instance fingerprint (:func:`repro.io.instance_fingerprint`);
+    * the scenario factory *name* and kwargs;
+    * the pristine seed states of both task generators — bit-generator
+      state plus the seed-sequence identity (entropy, spawn key,
+      children counter), because :func:`repro.eval.runner.run_comparison`
+      spawns children from the run seed;
+    * the full :class:`ExperimentConfig` and :class:`AlgorithmOptions`
+      (``None`` canonicalises to the dataclass defaults, matching what
+      the trial actually runs with);
+    * a code-version salt (:data:`CODE_SALT`) — bump it whenever the
+      simulate→infer→score semantics change so stale entries can never
+      resurface;
+    * the on-disk format version (:data:`CACHE_VERSION`).
+
+    A task's ``group`` is pooling metadata, not trial input, and is
+    deliberately excluded: the same trial reached through different
+    sweeps shares one entry.
+
+On-disk layout
+    ``<root>/<key[:2]>/<key>.npz`` — two-hex-char shards keep directory
+    listings sane at millions of entries.  Each ``.npz`` stores the
+    per-algorithm error vectors as ``arr_0..arr_{n-1}`` plus a ``names``
+    string array, i.e. *exactly* what the worker returned, so cached and
+    recomputed runs are bit-identical.
+
+Atomicity
+    Writes go to a ``tempfile`` in the destination shard and are
+    published with :func:`os.replace`, so concurrent sweeps sharing one
+    store never observe torn entries; the last writer of identical
+    content wins harmlessly.  Unreadable entries (however produced) are
+    treated as misses and overwritten.
+
+CLI integration (see :mod:`repro.cli`)
+    ``--cache-dir PATH`` points a figure command at a store (the
+    ``REPRO_CACHE_DIR`` environment variable supplies a default),
+    ``--no-cache`` forces caching off even when the variable is set, and
+    ``--cache-stats`` prints the hit/miss/store line after the run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pathlib
+import tempfile
+import zipfile
+
+import numpy as np
+
+from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.io import canonical_json, instance_fingerprint
+from repro.simulate.experiment import ExperimentConfig
+from repro.utils.rng import as_generator
+
+__all__ = [
+    "CACHE_VERSION",
+    "CODE_SALT",
+    "CacheStats",
+    "TrialCache",
+    "seed_fingerprint",
+    "trial_key",
+    "resolve_cache_dir",
+]
+
+#: On-disk format version; stored entries from other versions never match.
+CACHE_VERSION = 1
+
+#: Code-version salt.  Bump whenever the simulate→infer→score pipeline
+#: changes what a trial returns for the same inputs.
+CODE_SALT = "trial-v1"
+
+
+def seed_fingerprint(seed) -> dict | None:
+    """JSON-ready fingerprint of a seed-like value's *pristine* state.
+
+    Captures both the bit-generator state (draw behaviour) and the seed
+    sequence identity (spawn behaviour): two generators drawing the same
+    stream but spawning different children must not share a key.
+    ``None`` stays ``None`` — such tasks are irreproducible and callers
+    should not cache them.
+    """
+    if seed is None:
+        return None
+    generator = as_generator(seed)
+    bit_generator = generator.bit_generator
+    fingerprint = {
+        "bit_generator": type(bit_generator).__name__,
+        "state": bit_generator.state,
+    }
+    seed_seq = getattr(bit_generator, "seed_seq", None)
+    if seed_seq is not None:
+        fingerprint["seed_seq"] = {
+            "entropy": seed_seq.entropy,
+            "spawn_key": list(seed_seq.spawn_key),
+            "pool_size": seed_seq.pool_size,
+            "n_children_spawned": seed_seq.n_children_spawned,
+        }
+    return fingerprint
+
+
+def trial_key(
+    instance_fp: str,
+    task,
+    *,
+    config: ExperimentConfig | None = None,
+    options: AlgorithmOptions | None = None,
+) -> str:
+    """Content hash addressing one trial's result.
+
+    ``task`` is a :class:`repro.eval.parallel.ScenarioTask` (duck-typed:
+    anything with ``factory``, ``factory_kwargs``, ``scenario_seed`` and
+    ``run_seed`` works).  ``config``/``options`` canonicalise to their
+    dataclass defaults, matching the execution path.
+    """
+    payload = {
+        "cache_version": CACHE_VERSION,
+        "salt": CODE_SALT,
+        "instance": instance_fp,
+        "factory": task.factory,
+        "factory_kwargs": task.factory_kwargs,
+        "scenario_seed": seed_fingerprint(task.scenario_seed),
+        "run_seed": seed_fingerprint(task.run_seed),
+        "config": dataclasses.asdict(config or ExperimentConfig()),
+        "options": dataclasses.asdict(options or AlgorithmOptions()),
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`TrialCache` handle."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits as a fraction of lookups (0.0 when nothing was looked up)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def render(self) -> str:
+        return (
+            f"{self.hits} hits / {self.misses} misses "
+            f"({100.0 * self.hit_rate:.1f}% hits), "
+            f"{self.stores} stored"
+        )
+
+
+class TrialCache:
+    """Directory-backed store mapping trial keys → error-vector dicts.
+
+    One handle tracks its own :class:`CacheStats`; several handles (or
+    several processes) may point at the same directory concurrently —
+    write-back is atomic and reads treat unreadable entries as misses.
+    """
+
+    def __init__(self, root) -> None:
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # -- keying --------------------------------------------------------
+    def task_key(
+        self,
+        instance_fp: str,
+        task,
+        *,
+        config: ExperimentConfig | None = None,
+        options: AlgorithmOptions | None = None,
+    ) -> str:
+        return trial_key(
+            instance_fp, task, config=config, options=options
+        )
+
+    # -- storage -------------------------------------------------------
+    def _entry_path(self, key: str) -> pathlib.Path:
+        return self.root / key[:2] / f"{key}.npz"
+
+    def get(self, key: str) -> dict[str, np.ndarray] | None:
+        """Load one entry; ``None`` (a miss) if absent or unreadable."""
+        path = self._entry_path(key)
+        try:
+            with np.load(path) as archive:
+                names = [str(name) for name in archive["names"]]
+                errors = {
+                    name: archive[f"arr_{index}"]
+                    for index, name in enumerate(names)
+                }
+        except (
+            OSError,
+            KeyError,
+            ValueError,
+            EOFError,
+            zipfile.BadZipFile,
+        ):
+            # Missing entry, foreign/zero-byte file, or truncated
+            # archive: a miss (np.load raises BadZipFile/EOFError for
+            # the latter two, not OSError).
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return errors
+
+    def put(self, key: str, errors: dict[str, np.ndarray]) -> None:
+        """Atomically write one entry (publish via ``os.replace``)."""
+        path = self._entry_path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        names = list(errors)
+        arrays = {
+            f"arr_{index}": np.asarray(errors[name])
+            for index, name in enumerate(names)
+        }
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                np.savez(handle, names=np.array(names, dtype=str), **arrays)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # -- reporting -----------------------------------------------------
+    def stats_line(self) -> str:
+        return f"cache: {self.stats.render()} — {self.root}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TrialCache({str(self.root)!r}, {self.stats.render()})"
+
+
+def resolve_cache_dir(
+    explicit=None, *, disabled: bool = False
+) -> pathlib.Path | None:
+    """Pick the cache directory for a CLI/benchmark invocation.
+
+    Precedence: ``disabled`` (``--no-cache``) wins outright; then an
+    explicit ``--cache-dir``; then the ``REPRO_CACHE_DIR`` environment
+    variable; otherwise caching is off (``None``).
+    """
+    if disabled:
+        return None
+    if explicit:
+        return pathlib.Path(explicit)
+    env = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if env:
+        return pathlib.Path(env)
+    return None

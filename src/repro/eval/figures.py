@@ -21,6 +21,12 @@ Every driver accepts ``workers``: trials (and, for the sweep, whole
 x-axis points) fan out through the scenario engine in
 :mod:`repro.eval.parallel`.  Child seeds are spawned before dispatch, so
 any worker count reproduces the serial results exactly.
+
+Every driver also accepts ``cache`` (a
+:class:`repro.eval.cache.TrialCache`): trials whose inputs are already
+stored load from disk instead of executing, making repeated figure
+regenerations and overlapping sweeps incremental.  Cached and
+recomputed runs are bit-identical at a fixed seed.
 """
 
 from __future__ import annotations
@@ -30,7 +36,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.correlation_algorithm import AlgorithmOptions
-from repro.eval.metrics import DEFAULT_CDF_GRID, ErrorStats, absolute_error_stats
+from repro.eval.metrics import (
+    DEFAULT_CDF_GRID,
+    ErrorStats,
+    absolute_error_stats,
+    error_cdf,
+)
 from repro.eval.parallel import (
     pool_errors,
     run_scenario_tasks,
@@ -54,6 +65,7 @@ __all__ = [
     "SweepResult",
     "CdfResult",
     "figure3_sweep",
+    "figure3_sweep_tasks",
     "figure3_cdf",
     "figure4_cdf",
     "figure5_cdf",
@@ -154,13 +166,19 @@ def _pooled_errors(
     n_trials: int,
     seed,
     workers: int | None = None,
+    cache=None,
 ) -> dict[str, np.ndarray]:
     """Run ``n_trials`` experiments, pooling per-link errors."""
     tasks = scenario_tasks(
         factory, factory_kwargs, n_trials=n_trials, seed=seed
     )
     results = run_scenario_tasks(
-        instance, tasks, config=config, options=options, workers=workers
+        instance,
+        tasks,
+        config=config,
+        options=options,
+        workers=workers,
+        cache=cache,
     )
     return pool_errors(tasks, results, 1)[0]
 
@@ -168,33 +186,27 @@ def _pooled_errors(
 def _cdf_curves(
     errors: dict[str, np.ndarray], grid: np.ndarray
 ) -> dict[str, np.ndarray]:
-    """Per-algorithm CDF values on the grid, vectorised."""
-    return {
-        name: np.mean(e[None, :] <= grid[:, None], axis=1)
-        for name, e in errors.items()
-    }
+    """Per-algorithm CDF values on the grid, vectorised.
 
-
-def figure3_sweep(
-    instance: TomographyInstance | None = None,
-    *,
-    fractions=(0.05, 0.10, 0.15, 0.20, 0.25),
-    per_set_range=HIGH_CORRELATION_RANGE,
-    scale: str = "small",
-    n_trials: int = 1,
-    config: ExperimentConfig | None = None,
-    options: AlgorithmOptions | None = None,
-    seed=0,
-    workers: int | None = None,
-) -> SweepResult:
-    """Figures 3(a) and 3(b): error statistics vs congested fraction.
-
-    The whole sweep — every ``(fraction, trial)`` pair — is flattened
-    into one task list before dispatch, so parallelism spans x-axis
-    points as well as trials.
+    Delegates to :func:`repro.eval.metrics.error_cdf` (sort +
+    ``searchsorted``), avoiding the ``grid × errors`` broadcast
+    temporary of the historical form while producing identical values.
     """
-    instance = instance or default_instance("brite", scale=scale, seed=seed)
-    config = config or default_config(scale)
+    return {name: error_cdf(e, grid)[1] for name, e in errors.items()}
+
+
+def figure3_sweep_tasks(
+    fractions,
+    per_set_range,
+    n_trials: int,
+    seed,
+) -> list:
+    """The figure-3 sweep's task list: one group per congested fraction.
+
+    Shared by :func:`figure3_sweep` and the benchmarks that must replay
+    the *exact* same workload (spawn layout, kwargs, grouping) through
+    alternative execution paths.
+    """
     sweep_rngs = spawn_children(seed, len(fractions))
     tasks = []
     for group, (fraction, rng) in enumerate(zip(fractions, sweep_rngs)):
@@ -210,8 +222,38 @@ def figure3_sweep(
                 group=group,
             )
         )
+    return tasks
+
+
+def figure3_sweep(
+    instance: TomographyInstance | None = None,
+    *,
+    fractions=(0.05, 0.10, 0.15, 0.20, 0.25),
+    per_set_range=HIGH_CORRELATION_RANGE,
+    scale: str = "small",
+    n_trials: int = 1,
+    config: ExperimentConfig | None = None,
+    options: AlgorithmOptions | None = None,
+    seed=0,
+    workers: int | None = None,
+    cache=None,
+) -> SweepResult:
+    """Figures 3(a) and 3(b): error statistics vs congested fraction.
+
+    The whole sweep — every ``(fraction, trial)`` pair — is flattened
+    into one task list before dispatch, so parallelism spans x-axis
+    points as well as trials.
+    """
+    instance = instance or default_instance("brite", scale=scale, seed=seed)
+    config = config or default_config(scale)
+    tasks = figure3_sweep_tasks(fractions, per_set_range, n_trials, seed)
     results = run_scenario_tasks(
-        instance, tasks, config=config, options=options, workers=workers
+        instance,
+        tasks,
+        config=config,
+        options=options,
+        workers=workers,
+        cache=cache,
     )
     pooled = pool_errors(tasks, results, len(fractions))
     points = [
@@ -246,6 +288,7 @@ def figure3_cdf(
     grid=DEFAULT_CDF_GRID,
     seed=0,
     workers: int | None = None,
+    cache=None,
 ) -> CdfResult:
     """Figure 3(c) (``correlation_level="high"``) / 3(d) (``"loose"``)."""
     if correlation_level == "high":
@@ -271,6 +314,7 @@ def figure3_cdf(
         n_trials=n_trials,
         seed=seed,
         workers=workers,
+        cache=cache,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -301,6 +345,7 @@ def figure4_cdf(
     grid=DEFAULT_CDF_GRID,
     seed=0,
     workers: int | None = None,
+    cache=None,
 ) -> CdfResult:
     """Figure 4: CDFs with a fraction of congested links unidentifiable."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -317,6 +362,7 @@ def figure4_cdf(
         n_trials=n_trials,
         seed=seed,
         workers=workers,
+        cache=cache,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -347,6 +393,7 @@ def figure5_cdf(
     grid=DEFAULT_CDF_GRID,
     seed=0,
     workers: int | None = None,
+    cache=None,
 ) -> CdfResult:
     """Figure 5: CDFs with a fraction of congested links mislabeled."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -363,6 +410,7 @@ def figure5_cdf(
         n_trials=n_trials,
         seed=seed,
         workers=workers,
+        cache=cache,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)

@@ -85,7 +85,8 @@ def error_cdf(
     errors = np.asarray(errors, dtype=np.float64)
     if errors.size == 0:
         return grid, np.ones_like(grid)
-    fractions = np.array(
-        [(errors <= level).mean() for level in grid], dtype=np.float64
-    )
-    return grid, fractions
+    # One sort + one searchsorted replaces the per-level comparison
+    # loop; count-of-(errors <= level) divided by size is bit-identical
+    # to the mean of the boolean mask.
+    counts = np.searchsorted(np.sort(errors), grid, side="right")
+    return grid, counts / errors.size

@@ -16,13 +16,26 @@ same top-level seed.
 Tasks reference scenario factories *by name* (a registry of module-level
 callables) so they pickle cheaply; the instance, simulation config and
 algorithm options are shipped once per worker via the pool initializer
-rather than once per task.  Workers return only the per-algorithm error
-vectors, keeping result pickles small.
+rather than once per task.  Task batches are submitted as *chunks* and
+workers return each chunk's error vectors as one packed float buffer
+plus a small shape descriptor — one array pickle per chunk instead of
+one object pickle per trial.
+
+:func:`run_scenario_tasks` optionally consults a persistent
+:class:`repro.eval.cache.TrialCache`: the task list is partitioned into
+hits (loaded from disk, zero compute) and misses (executed, then written
+back atomically so concurrent sweeps can share one store).  Cached and
+recomputed trials are bit-identical — the cache stores exactly what the
+worker returned.
+
+``resolve_workers(None)`` honours the ``REPRO_WORKERS`` environment
+variable (same encoding as the ``--workers`` CLI flag: ``1`` = serial,
+``0`` = one worker per CPU core), so CI and benchmarks can steer the
+fan-out without threading a flag through every entry point.
 """
 
 from __future__ import annotations
 
-import copy
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
@@ -34,9 +47,10 @@ from repro.eval.mislabel import make_mislabeled_scenario
 from repro.eval.runner import run_comparison
 from repro.eval.scenario import make_clustered_scenario
 from repro.eval.unidentifiable import make_unidentifiable_scenario
+from repro.io import instance_fingerprint
 from repro.simulate.experiment import ExperimentConfig
 from repro.topogen.instance import TomographyInstance
-from repro.utils.rng import spawn_children
+from repro.utils.rng import clone_generator, spawn_children
 
 __all__ = [
     "SCENARIO_FACTORIES",
@@ -111,11 +125,21 @@ def scenario_tasks(
 def resolve_workers(workers: int | None) -> int:
     """Map the public ``workers`` knob to a process count.
 
-    ``None`` or ``1`` mean serial in-process execution, ``0`` means one
-    worker per CPU, any other positive value is taken literally.
+    ``1`` means serial in-process execution, ``0`` means one worker per
+    CPU, any other positive value is taken literally.  ``None`` defers
+    to the ``REPRO_WORKERS`` environment variable (same encoding),
+    defaulting to serial when it is unset or empty.
     """
     if workers is None:
-        return 1
+        env = os.environ.get("REPRO_WORKERS", "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
     if workers == 0:
@@ -129,12 +153,12 @@ def _execute_task(
     options: AlgorithmOptions | None,
     task: ScenarioTask,
 ) -> dict[str, np.ndarray]:
-    # Generators are stateful: draw from copies so a task list can be
-    # executed more than once (serial and parallel runs then consume
-    # identical states and produce identical results).
+    # Generators are stateful: draw from clones so a task list can be
+    # executed more than once (serial, parallel, and cache-miss runs
+    # then consume identical states and produce identical results).
     scenario = SCENARIO_FACTORIES[task.factory](
         instance,
-        seed=copy.deepcopy(task.scenario_seed),
+        seed=clone_generator(task.scenario_seed),
         **task.factory_kwargs,
     )
     comparison = run_comparison(
@@ -142,12 +166,69 @@ def _execute_task(
         scenario,
         config=config,
         options=options,
-        seed=copy.deepcopy(task.run_seed),
+        seed=clone_generator(task.run_seed),
     )
     return comparison.errors
 
 
-# Worker-process state installed once by the pool initializer.
+# ----------------------------------------------------------------------
+# Packed result transport
+# ----------------------------------------------------------------------
+def _pack_error_dicts(
+    dicts: list[dict[str, np.ndarray]],
+) -> tuple[list[list[tuple[str, int]]], np.ndarray]:
+    """Flatten per-trial error dicts into one float64 buffer + shapes.
+
+    The descriptor records, per trial, the algorithm names and vector
+    lengths in insertion order; the buffer is their concatenation.  One
+    ndarray pickle then carries a whole chunk across the process
+    boundary (pickle protocol 5 ships it as a single byte buffer)
+    instead of one dict-of-arrays pickle per trial.
+
+    Inputs must already be float64: a silent cast here would let the
+    pooled transport diverge from what the serial path (and the cache)
+    returns, so any other dtype fails loudly instead.
+    """
+    descriptor = [
+        [(name, int(vector.size)) for name, vector in errors.items()]
+        for errors in dicts
+    ]
+    vectors = [
+        np.asarray(vector).ravel()
+        for errors in dicts
+        for vector in errors.values()
+    ]
+    for vector in vectors:
+        if vector.dtype != np.float64:
+            raise TypeError(
+                "packed transport requires float64 error vectors, got "
+                f"{vector.dtype}"
+            )
+    if vectors:
+        buffer = np.concatenate(vectors)
+    else:
+        buffer = np.empty(0, dtype=np.float64)
+    return descriptor, buffer
+
+
+def _unpack_error_dicts(
+    descriptor: list[list[tuple[str, int]]], buffer: np.ndarray
+) -> list[dict[str, np.ndarray]]:
+    """Inverse of :func:`_pack_error_dicts` (views into the buffer)."""
+    dicts: list[dict[str, np.ndarray]] = []
+    offset = 0
+    for entry in descriptor:
+        errors: dict[str, np.ndarray] = {}
+        for name, size in entry:
+            errors[name] = buffer[offset : offset + size]
+            offset += size
+        dicts.append(errors)
+    return dicts
+
+
+# Worker-process state installed once by the pool initializer: the
+# instance/config/options triple is shipped a single time per worker and
+# shared read-only by every chunk that worker executes.
 _WORKER_STATE: tuple | None = None
 
 
@@ -157,8 +238,37 @@ def _init_worker(instance, config, options) -> None:
 
 
 def _run_in_worker(task: ScenarioTask) -> dict[str, np.ndarray]:
+    """Single-task entry point (the PR-1 per-trial-pickle transport).
+
+    Kept for benchmark baselines; the engine itself submits chunks.
+    """
     instance, config, options = _WORKER_STATE
     return _execute_task(instance, config, options, task)
+
+
+def _run_chunk_in_worker(
+    chunk: list[ScenarioTask],
+) -> tuple[list[list[tuple[str, int]]], np.ndarray]:
+    instance, config, options = _WORKER_STATE
+    return _pack_error_dicts(
+        [_execute_task(instance, config, options, task) for task in chunk]
+    )
+
+
+def _chunk_tasks(
+    tasks: list[ScenarioTask], n_workers: int
+) -> list[list[ScenarioTask]]:
+    """Split the task list into ~4 contiguous chunks per worker.
+
+    Contiguity preserves task order after concatenating chunk results;
+    several chunks per worker keep the pool load-balanced when trial
+    durations vary.
+    """
+    chunk_size = max(1, -(-len(tasks) // (4 * n_workers)))
+    return [
+        tasks[start : start + chunk_size]
+        for start in range(0, len(tasks), chunk_size)
+    ]
 
 
 def run_scenario_tasks(
@@ -168,25 +278,70 @@ def run_scenario_tasks(
     config: ExperimentConfig | None = None,
     options: AlgorithmOptions | None = None,
     workers: int | None = None,
+    cache=None,
 ) -> list[dict[str, np.ndarray]]:
     """Execute tasks, preserving task order in the result list.
 
     Each result is the per-algorithm absolute-error dict of one trial
     (:attr:`repro.eval.runner.ComparisonResult.errors`).
+
+    With ``cache`` (a :class:`repro.eval.cache.TrialCache`), tasks whose
+    key is already stored load from disk without executing; the rest run
+    (serially or pooled) and are written back atomically.  The cache
+    stores exactly what execution returns, so enabling it never changes
+    figure data.
     """
-    n_workers = resolve_workers(workers)
-    if n_workers <= 1 or len(tasks) <= 1:
-        return [
-            _execute_task(instance, config, options, task)
+    results: list[dict[str, np.ndarray] | None] = [None] * len(tasks)
+    keys: list[str | None] | None = None
+    if cache is not None:
+        fingerprint = instance_fingerprint(instance)
+        # Tasks with a None seed draw fresh entropy on every execution:
+        # they are irreproducible, and distinct trials would collide on
+        # one key, so they bypass the cache entirely.
+        keys = [
+            cache.task_key(
+                fingerprint, task, config=config, options=options
+            )
+            if task.scenario_seed is not None and task.run_seed is not None
+            else None
             for task in tasks
         ]
-    n_workers = min(n_workers, len(tasks))
-    with ProcessPoolExecutor(
-        max_workers=n_workers,
-        initializer=_init_worker,
-        initargs=(instance, config, options),
-    ) as pool:
-        return list(pool.map(_run_in_worker, tasks))
+        miss_indices = []
+        for index, key in enumerate(keys):
+            hit = cache.get(key) if key is not None else None
+            if hit is None:
+                miss_indices.append(index)
+            else:
+                results[index] = hit
+    else:
+        miss_indices = list(range(len(tasks)))
+
+    if miss_indices:
+        miss_tasks = [tasks[index] for index in miss_indices]
+        n_workers = min(resolve_workers(workers), len(miss_tasks))
+        if n_workers <= 1 or len(miss_tasks) <= 1:
+            computed = [
+                _execute_task(instance, config, options, task)
+                for task in miss_tasks
+            ]
+        else:
+            chunks = _chunk_tasks(miss_tasks, n_workers)
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_worker,
+                initargs=(instance, config, options),
+            ) as pool:
+                packed = list(pool.map(_run_chunk_in_worker, chunks))
+            computed = [
+                errors
+                for descriptor, buffer in packed
+                for errors in _unpack_error_dicts(descriptor, buffer)
+            ]
+        for index, errors in zip(miss_indices, computed):
+            results[index] = errors
+            if cache is not None and keys[index] is not None:
+                cache.put(keys[index], errors)
+    return results
 
 
 def pool_errors(
@@ -197,16 +352,48 @@ def pool_errors(
     """Concatenate per-trial error vectors per task group.
 
     Trials pool in task order within each group, matching the historical
-    serial accumulation.
+    serial accumulation: a stable sort by group index yields the
+    group-major trial order, and each algorithm's vectors concatenate
+    once and split at the per-group boundaries — no per-trial Python
+    appends.
     """
-    grouped: list[dict[str, list[np.ndarray]]] = [
-        {} for _ in range(n_groups)
-    ]
-    for task, errors in zip(tasks, results):
-        bucket = grouped[task.group]
-        for name, values in errors.items():
-            bucket.setdefault(name, []).append(values)
-    return [
-        {name: np.concatenate(chunks) for name, chunks in bucket.items()}
-        for bucket in grouped
-    ]
+    pooled: list[dict[str, np.ndarray]] = [{} for _ in range(n_groups)]
+    if not tasks:
+        return pooled
+    groups = np.fromiter(
+        (task.group for task in tasks), dtype=np.int64, count=len(tasks)
+    )
+    order = np.argsort(groups, kind="stable")
+    names: list[str] = []
+    seen: set[str] = set()
+    for errors in results:
+        for name in errors:
+            if name not in seen:
+                seen.add(name)
+                names.append(name)
+    for name in names:
+        indices = np.array(
+            [index for index in order if name in results[index]],
+            dtype=np.int64,
+        )
+        if indices.size == 0:
+            continue
+        lengths = np.fromiter(
+            (results[index][name].size for index in indices),
+            dtype=np.int64,
+            count=indices.size,
+        )
+        per_group = np.bincount(
+            groups[indices], weights=lengths, minlength=n_groups
+        ).astype(np.int64)
+        trials_per_group = np.bincount(
+            groups[indices], minlength=n_groups
+        )
+        values = np.concatenate(
+            [results[index][name] for index in indices]
+        )
+        pieces = np.split(values, np.cumsum(per_group)[:-1])
+        for group, piece in enumerate(pieces):
+            if trials_per_group[group]:
+                pooled[group][name] = piece
+    return pooled

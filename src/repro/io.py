@@ -25,6 +25,7 @@ within one file).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 
@@ -39,6 +40,8 @@ __all__ = [
     "instance_from_dict",
     "save_instance",
     "load_instance",
+    "canonical_json",
+    "instance_fingerprint",
 ]
 
 _FORMAT = "repro-instance"
@@ -159,3 +162,57 @@ def load_instance(path) -> TomographyInstance:
     """Read an instance from a JSON file."""
     path = pathlib.Path(path)
     return instance_from_dict(json.loads(path.read_text()))
+
+
+def _canonical_default(value):
+    """Lossless coercion for the non-native types cache keys carry.
+
+    Anything else raises: a lossy fallback (``str`` elides large numpy
+    arrays, for example) could hash distinct payloads equal, which for a
+    content address is corruption, not convenience.
+    """
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        np = None
+    if np is not None:
+        if isinstance(value, np.ndarray):
+            return value.tolist()
+        if isinstance(value, np.generic):
+            return value.item()
+    raise TypeError(
+        f"canonical_json cannot encode {type(value).__name__} losslessly"
+    )
+
+
+def canonical_json(payload) -> str:
+    """Deterministic, lossless JSON encoding for content addressing.
+
+    Sorted keys, no insignificant whitespace; numpy arrays/scalars
+    convert exactly, and any other non-JSON-native value raises rather
+    than degrading to a possibly-eliding ``str`` — so equal payloads
+    always hash equal and unequal payloads never collide by truncation.
+    Tuples serialise as lists, which is fine for hashing: no caller
+    round-trips this form back into Python objects.
+    """
+    return json.dumps(
+        payload,
+        sort_keys=True,
+        separators=(",", ":"),
+        default=_canonical_default,
+    )
+
+
+def instance_fingerprint(instance: TomographyInstance) -> str:
+    """Stable content hash of an instance (links, paths, correlation).
+
+    Built on :func:`instance_to_dict`, so two instances that serialise
+    identically — regardless of how they were generated — share a
+    fingerprint.  Generator metadata is included: it records the knobs
+    (AS counts, cluster sizes, seeds) that produced the instance, and
+    distinct metadata conservatively yields distinct fingerprints.  The
+    trial-result cache (:mod:`repro.eval.cache`) uses this as the
+    instance component of its keys.
+    """
+    payload = canonical_json(instance_to_dict(instance))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -9,9 +9,11 @@ top-level seed fans out deterministically to every substrate via
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
-__all__ = ["as_generator", "spawn_children"]
+__all__ = ["as_generator", "spawn_children", "clone_generator"]
 
 SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
 
@@ -50,3 +52,22 @@ def spawn_children(seed, count: int) -> list[np.random.Generator]:
     else:
         children = np.random.SeedSequence(seed).spawn(count)
     return [np.random.default_rng(child) for child in children]
+
+
+def clone_generator(seed):
+    """Bit-exact private copy of a seed-like value.
+
+    For a :class:`numpy.random.Generator` the clone must reproduce the
+    original in *both* draw behaviour and spawn behaviour:
+    reconstructing a generator from ``bit_generator.state`` alone would
+    draw identically but attach a fresh ``SeedSequence``, so a later
+    :func:`spawn_children` on the clone would diverge.  ``deepcopy``
+    carries the seed sequence (entropy, spawn key, children counter)
+    along with the state, which is exactly the contract the scenario
+    engine relies on when it re-executes a task list.
+
+    Other seed-likes (``None``, ints, ``SeedSequence``) deep-copy too,
+    so callers can hand any accepted seed form to a consumer that will
+    mutate it without disturbing the original.
+    """
+    return copy.deepcopy(seed)
