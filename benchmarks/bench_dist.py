@@ -1,0 +1,325 @@
+"""Distributed sweep benchmark (the PR-3 tentpole acceptance run).
+
+Runs the figure-3 sweep three ways over the same instance and seed:
+
+* **serial** — the engine in-process (correctness reference);
+* **remote** — two localhost worker processes behind a
+  :class:`repro.eval.dist.RemoteExecutor` coordinator;
+* **remote-kill** — two fresh workers sharing one trial-cache store,
+  with one worker dying mid-sweep: the coordinator requeues its chunks
+  onto the survivor and the sweep completes anyway.
+
+All three must produce bit-identical figure data (always enforced with
+``--require-identical``; always printed).  The kill leg additionally
+checks that the sweep *survives* the death and that the shared store
+retained the chunks completed before it (``--require-survival``).
+
+Kill modes: the headline run SIGKILLs the worker process as soon as the
+shared store shows the sweep is underway; ``--quick`` (the CI smoke)
+instead starts the doomed worker with ``--fail-after-chunks 1`` so the
+death lands after exactly one chunk, deterministically, on runners of
+any speed.
+
+Usage::
+
+    python benchmarks/bench_dist.py --scale medium \
+        --require-identical --require-survival       # headline
+    python benchmarks/bench_dist.py --quick \
+        --require-identical --require-survival       # CI smoke
+
+Every run appends a record to ``BENCH_dist.json`` (see
+``benchmarks/bench_util.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+from bench_util import write_bench_json
+
+from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.eval.dist import RemoteExecutor
+from repro.eval.figures import (
+    default_config,
+    default_instance,
+    figure3_sweep,
+)
+from repro.simulate.experiment import ExperimentConfig
+
+FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+_LISTEN_LINE = re.compile(r"listening on .*:(\d+)\s*$")
+
+
+class _Worker:
+    """One ``repro-tomography worker`` subprocess on an ephemeral port."""
+
+    def __init__(self, *, cache_dir=None, fail_after_chunks=None) -> None:
+        command = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "worker",
+            "--port",
+            "0",
+            "--max-sessions",
+            "1",
+        ]
+        if cache_dir is not None:
+            command += ["--cache-dir", str(cache_dir)]
+        if fail_after_chunks is not None:
+            command += ["--fail-after-chunks", str(fail_after_chunks)]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            command,
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        line = self.process.stdout.readline()
+        match = _LISTEN_LINE.search(line.strip())
+        if not match:
+            self.process.kill()
+            raise RuntimeError(
+                f"worker did not announce its port (got {line!r})"
+            )
+        self.address = f"127.0.0.1:{match.group(1)}"
+        # Drain further log output so the pipe never blocks the worker.
+        threading.Thread(
+            target=self.process.stdout.read, daemon=True
+        ).start()
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+        self.process.wait(timeout=10)
+
+
+def _points_as_dicts(sweep_result):
+    return [
+        {"correlation": p.correlation, "independence": p.independence}
+        for p in sweep_result.points
+    ]
+
+
+def _print_series(label, fractions, stats_per_point):
+    print(f"  {label}:")
+    for fraction, stats in zip(fractions, stats_per_point):
+        corr, ind = stats["correlation"], stats["independence"]
+        print(
+            f"    f={fraction:4.0%}  corr mean={corr.mean:.4f} "
+            f"p90={corr.p90:.4f} | ind mean={ind.mean:.4f} "
+            f"p90={ind.p90:.4f}"
+        )
+
+
+def _kill_when_store_populated(worker, store, landed):
+    """SIGKILL ``worker`` once the shared store proves the sweep started."""
+    store = pathlib.Path(store)
+    while worker.process.poll() is None:
+        if any(store.rglob("*.npz")):
+            worker.process.kill()
+            landed.append(True)
+            return
+        time.sleep(0.02)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=("small", "medium", "paper"), default="medium"
+    )
+    parser.add_argument("--trials", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke: small instance, short sweep, reduced snapshots, "
+            "deterministic fail-after-chunks death instead of SIGKILL"
+        ),
+    )
+    parser.add_argument(
+        "--require-identical",
+        action="store_true",
+        help="exit nonzero unless remote legs match the serial reference",
+    )
+    parser.add_argument(
+        "--require-survival",
+        action="store_true",
+        help=(
+            "exit nonzero unless the kill leg completed after losing a "
+            "worker and the shared store retained completed chunks"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    scale = "small" if args.quick else args.scale
+    fractions = FRACTIONS[:2] if args.quick else FRACTIONS
+    trials = max(args.trials, 2) if args.quick else args.trials
+    instance = default_instance("brite", scale=scale, seed=args.seed)
+    config = default_config(scale)
+    if args.quick:
+        config = ExperimentConfig(n_snapshots=400, packets_per_path=400)
+    options = AlgorithmOptions()
+    n_tasks = len(fractions) * trials
+    print(
+        f"distributed sweep benchmark — scale={scale}, "
+        f"{instance.n_links} links / {instance.n_paths} paths, "
+        f"{len(fractions)} fractions × {trials} trial(s) = "
+        f"{n_tasks} tasks, {config.n_snapshots} snapshots, "
+        f"2 localhost workers"
+    )
+
+    sweep_kwargs = dict(
+        instance=instance,
+        fractions=fractions,
+        config=config,
+        n_trials=trials,
+        seed=args.seed,
+        options=options,
+    )
+
+    t0 = time.perf_counter()
+    serial = figure3_sweep(workers=1, **sweep_kwargs)
+    t_serial = time.perf_counter() - t0
+    print(f"serial:                 {t_serial:7.2f} s")
+
+    workers = [_Worker(), _Worker()]
+    try:
+        t0 = time.perf_counter()
+        remote = figure3_sweep(
+            executor=RemoteExecutor([w.address for w in workers]),
+            **sweep_kwargs,
+        )
+        t_remote = time.perf_counter() - t0
+    finally:
+        for worker in workers:
+            worker.stop()
+    print(f"remote (2 workers):     {t_remote:7.2f} s")
+
+    failures = []
+    kill_landed = False
+    retained_entries = 0
+    with tempfile.TemporaryDirectory() as store:
+        survivor = _Worker(cache_dir=store)
+        if args.quick:
+            doomed = _Worker(cache_dir=store, fail_after_chunks=1)
+            kill_landed = True  # deterministic: dies after one chunk
+            watcher = None
+        else:
+            doomed = _Worker(cache_dir=store)
+            landed: list[bool] = []
+            watcher = threading.Thread(
+                target=_kill_when_store_populated,
+                args=(doomed, store, landed),
+                daemon=True,
+            )
+            watcher.start()
+        try:
+            t0 = time.perf_counter()
+            survived = figure3_sweep(
+                executor=RemoteExecutor(
+                    [survivor.address, doomed.address]
+                ),
+                **sweep_kwargs,
+            )
+            t_kill = time.perf_counter() - t0
+        finally:
+            if watcher is not None:
+                watcher.join(timeout=10)
+                kill_landed = bool(landed)
+            survivor.stop()
+            doomed.stop()
+        retained_entries = len(list(pathlib.Path(store).rglob("*.npz")))
+    print(
+        f"remote, one worker killed: {t_kill:7.2f} s "
+        f"(kill landed mid-sweep: {kill_landed}; store retained "
+        f"{retained_entries} entries)"
+    )
+
+    _print_series("serial", fractions, _points_as_dicts(serial))
+
+    reference = _points_as_dicts(serial)
+    for label, result in (
+        ("remote", remote),
+        ("remote-kill", survived),
+    ):
+        if _points_as_dicts(result) != reference:
+            failures.append(
+                f"{label} figure data differs from the serial reference"
+            )
+    if not failures:
+        print("bit-identical: serial == remote == remote-kill")
+
+    if args.require_survival:
+        if not kill_landed:
+            failures.append(
+                "the sweep finished before the worker could be killed; "
+                "nothing was tested — rerun with a larger workload"
+            )
+        if retained_entries == 0:
+            failures.append(
+                "shared store retained no completed chunks after the kill"
+            )
+
+    speedup = t_serial / t_remote if t_remote > 0 else float("inf")
+    print(f"remote speedup over serial: {speedup:.2f}x")
+    if (os.cpu_count() or 1) < 3:
+        print(
+            "note: localhost workers share "
+            f"{os.cpu_count() or 1} core(s) with the coordinator — "
+            "this run measures correctness and protocol overhead, not "
+            "scale-out; real speedup needs workers on other hosts"
+        )
+    write_bench_json(
+        "dist",
+        params={
+            "scale": scale,
+            "fractions": list(fractions),
+            "trials": trials,
+            "seed": args.seed,
+            "n_snapshots": config.n_snapshots,
+            "n_tasks": n_tasks,
+            "workers": 2,
+            "quick": args.quick,
+            "kill_mode": "fail-after-chunks" if args.quick else "sigkill",
+            "cpu_count": os.cpu_count() or 1,
+        },
+        timings_s={
+            "serial": t_serial,
+            "remote": t_remote,
+            "remote_kill": t_kill,
+        },
+        ratios={
+            "remote_speedup": speedup,
+            "identical": float(not failures),
+            "kill_landed": float(kill_landed),
+            "retained_entries": float(retained_entries),
+        },
+    )
+
+    if not args.require_identical:
+        # Mismatches are always *reported*; only gate when asked.
+        failures = [f for f in failures if "differs" not in f]
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,11 +28,35 @@ bit-identical at a fixed seed.
 ``--workers`` defaults to the ``REPRO_WORKERS`` environment variable
 (``1`` = serial, ``0`` = one worker per CPU core), falling back to
 serial when unset.
+
+Figure commands also pick an execution backend
+(:mod:`repro.eval.dist`):
+
+* ``--backend {serial,local,remote}`` — serial in-process execution, a
+  process pool on this host, or a coordinator fanning chunks out to
+  workers on other machines.  Defaults to serial/local based on
+  ``--workers``; ``--hosts`` alone implies ``remote``.
+* ``--hosts a:7100,b:7100`` — worker endpoints for the remote backend
+  (the ``REPRO_HOSTS`` environment variable supplies a default).
+  Workers are started by hand, by CI, or over SSH::
+
+      ssh host repro-tomography worker --bind 0.0.0.0 --port 7100
+
+Every backend is bit-identical to the serial run at a fixed seed; a
+worker that dies mid-sweep only costs the chunk it was computing (the
+coordinator requeues it on the survivors).
+
+``repro-tomography worker`` runs one worker process: it listens for a
+coordinator, receives the instance/config once per sweep, and serves
+task chunks.  Give workers a shared ``--cache-dir`` (e.g. on NFS) and
+they serve cache hits without compute and persist misses as chunks
+complete.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -108,6 +132,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of congested links targeted by the hidden flood",
     )
 
+    worker = commands.add_parser(
+        "worker",
+        help=(
+            "run a distributed-sweep worker: listen for a coordinator "
+            "(a figure command with --backend remote) and serve task "
+            "chunks"
+        ),
+    )
+    worker.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        metavar="HOST",
+        help=(
+            "interface to listen on (default loopback; use a private "
+            "interface on trusted clusters — the protocol carries "
+            "pickles and must not face untrusted networks)"
+        ),
+    )
+    worker.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (default 0 = ephemeral, printed on startup)",
+    )
+    worker.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trial cache consulted before executing and written back "
+            "as tasks complete (default: REPRO_CACHE_DIR, else off); "
+            "point every worker at one shared store to share results"
+        ),
+    )
+    worker.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache even if REPRO_CACHE_DIR is set",
+    )
+    worker.add_argument(
+        "--max-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N coordinator sessions (default: serve "
+        "forever)",
+    )
+    worker.add_argument(
+        "--fail-after-chunks",
+        type=int,
+        default=None,
+        metavar="N",
+        help=argparse.SUPPRESS,  # fault-injection hook for tests/benchmarks
+    )
+
     tomographer = commands.add_parser(
         "tomographer",
         help=(
@@ -179,6 +258,78 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
         "--cache-stats",
         action="store_true",
         help="print cache hit/miss/store counts after the run",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "local", "remote"),
+        default=None,
+        help=(
+            "execution backend (default: serial or local per --workers; "
+            "--hosts implies remote); all backends produce bit-identical "
+            "figures at a fixed seed"
+        ),
+    )
+    parser.add_argument(
+        "--hosts",
+        default=None,
+        metavar="HOST:PORT[,...]",
+        help=(
+            "worker endpoints for the remote backend, e.g. "
+            "'a:7100,b:7100' (default: the REPRO_HOSTS env var); start "
+            "workers with the 'worker' subcommand"
+        ),
+    )
+    parser.add_argument(
+        "--straggler-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "remote backend only: speculatively re-run a chunk "
+            "outstanding longer than this on an idle worker (first "
+            "result wins; results unchanged)"
+        ),
+    )
+
+
+def _make_executor(args):
+    """Build the executor requested by --backend/--hosts (or None).
+
+    ``None`` defers to the engine's legacy ``workers`` resolution
+    (serial or a local process pool), keeping the historical flags
+    working unchanged.
+    """
+    backend = args.backend
+    hosts = args.hosts or os.environ.get("REPRO_HOSTS", "").strip() or None
+    if backend is None and hosts is not None:
+        backend = "remote"
+    if backend is None:
+        return None
+    if backend == "serial":
+        from repro.eval.parallel import SerialExecutor
+
+        return SerialExecutor()
+    if backend == "local":
+        from repro.eval.parallel import LocalExecutor, resolve_workers
+
+        workers = args.workers
+        if workers is None and not os.environ.get(
+            "REPRO_WORKERS", ""
+        ).strip():
+            # Asking for the pool backend without sizing it means "use
+            # the machine": a 1-process pool would be strictly slower
+            # than serial.
+            workers = 0
+        return LocalExecutor(resolve_workers(workers))
+    if hosts is None:
+        raise SystemExit(
+            "error: --backend remote needs worker endpoints "
+            "(--hosts or REPRO_HOSTS)"
+        )
+    from repro.eval.dist import RemoteExecutor
+
+    return RemoteExecutor(
+        hosts, straggler_timeout=args.straggler_timeout
     )
 
 
@@ -281,12 +432,14 @@ def _run_figure3(args) -> int:
     from repro.eval import figure3_sweep, render_sweep
 
     cache = _make_cache(args)
+    executor = _make_executor(args)
     result = figure3_sweep(
         scale=args.scale,
         n_trials=args.trials,
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        executor=executor,
     )
     print(render_sweep(result))
     _print_cache_stats(args, cache)
@@ -297,6 +450,7 @@ def _run_figure3_cdf(args) -> int:
     from repro.eval import figure3_cdf, render_cdf
 
     cache = _make_cache(args)
+    executor = _make_executor(args)
     result = figure3_cdf(
         correlation_level=args.level,
         scale=args.scale,
@@ -304,6 +458,7 @@ def _run_figure3_cdf(args) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        executor=executor,
     )
     panel = "3(c)" if args.level == "high" else "3(d)"
     print(render_cdf(result, title=f"Figure {panel} — {args.level}"))
@@ -315,6 +470,7 @@ def _run_figure4(args) -> int:
     from repro.eval import figure4_cdf, render_cdf
 
     cache = _make_cache(args)
+    executor = _make_executor(args)
     result = figure4_cdf(
         topology=args.topology,
         unidentifiable_fraction=args.fraction,
@@ -323,6 +479,7 @@ def _run_figure4(args) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        executor=executor,
     )
     print(
         render_cdf(
@@ -341,6 +498,7 @@ def _run_figure5(args) -> int:
     from repro.eval import figure5_cdf, render_cdf
 
     cache = _make_cache(args)
+    executor = _make_executor(args)
     result = figure5_cdf(
         topology=args.topology,
         mislabeled_fraction=args.fraction,
@@ -349,6 +507,7 @@ def _run_figure5(args) -> int:
         seed=args.seed,
         workers=args.workers,
         cache=cache,
+        executor=executor,
     )
     print(
         render_cdf(
@@ -426,6 +585,30 @@ def _run_tomographer(args) -> int:
     return 0
 
 
+def _run_worker(args) -> int:
+    from repro.eval.cache import resolve_cache_dir
+    from repro.eval.dist import WorkerServer
+
+    cache_dir = resolve_cache_dir(args.cache_dir, disabled=args.no_cache)
+    server = WorkerServer(
+        args.bind,
+        args.port,
+        cache_dir=cache_dir,
+        max_sessions=args.max_sessions,
+        fail_after_chunks=args.fail_after_chunks,
+        log=lambda message: print(message, flush=True),
+    )
+    # The "listening on host:port" line is printed (flushed) by the
+    # server itself; launchers parse it to learn ephemeral ports.
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "figure3": _run_figure3,
@@ -433,6 +616,7 @@ _HANDLERS = {
     "figure4": _run_figure4,
     "figure5": _run_figure5,
     "tomographer": _run_tomographer,
+    "worker": _run_worker,
 }
 
 

@@ -32,7 +32,12 @@ from repro.eval.localization_eval import (
 from repro.eval.mislabel import make_mislabeled_scenario
 from repro.eval.parallel import (
     SCENARIO_FACTORIES,
+    ChunkExecutionError,
+    LocalExecutor,
     ScenarioTask,
+    ScenarioTaskError,
+    SerialExecutor,
+    TaskExecutor,
     pool_errors,
     resolve_workers,
     run_scenario_tasks,
@@ -94,6 +99,11 @@ __all__ = [
     "resolve_workers",
     "run_scenario_tasks",
     "scenario_tasks",
+    "TaskExecutor",
+    "SerialExecutor",
+    "LocalExecutor",
+    "ChunkExecutionError",
+    "ScenarioTaskError",
     "CacheStats",
     "TrialCache",
     "resolve_cache_dir",

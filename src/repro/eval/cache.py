@@ -40,7 +40,11 @@ Atomicity
     published with :func:`os.replace`, so concurrent sweeps sharing one
     store never observe torn entries; the last writer of identical
     content wins harmlessly.  Unreadable entries (however produced) are
-    treated as misses and overwritten.
+    treated as misses and overwritten.  A run killed between ``mkstemp``
+    and ``os.replace`` strands its ``*.tmp`` file; opening a cache
+    opportunistically sweeps tmp files older than
+    :data:`PRUNE_TMP_MAX_AGE` (see :meth:`TrialCache.prune_tmp`), so
+    long-lived shared stores do not accrete orphans.
 
 CLI integration (see :mod:`repro.cli`)
     ``--cache-dir PATH`` points a figure command at a store (the
@@ -56,6 +60,7 @@ import hashlib
 import os
 import pathlib
 import tempfile
+import time
 import zipfile
 
 import numpy as np
@@ -68,6 +73,7 @@ from repro.utils.rng import as_generator
 __all__ = [
     "CACHE_VERSION",
     "CODE_SALT",
+    "PRUNE_TMP_MAX_AGE",
     "CacheStats",
     "TrialCache",
     "seed_fingerprint",
@@ -81,6 +87,11 @@ CACHE_VERSION = 1
 #: Code-version salt.  Bump whenever the simulate→infer→score pipeline
 #: changes what a trial returns for the same inputs.
 CODE_SALT = "trial-v1"
+
+#: Age (seconds) past which an orphaned ``*.tmp`` write file is garbage:
+#: no healthy writer keeps one open for an hour, so anything older was
+#: left behind by a killed run.
+PRUNE_TMP_MAX_AGE = 3600.0
 
 
 def seed_fingerprint(seed) -> dict | None:
@@ -180,6 +191,17 @@ class TrialCache:
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        # Opportunistic hygiene: a run killed between ``mkstemp`` and
+        # ``os.replace`` leaks its ``*.tmp`` file forever; sweeping
+        # stale ones on open keeps long-lived shared stores clean
+        # without a separate maintenance job.  Recent tmp files are
+        # in-flight writes from concurrent sweeps and are left alone.
+        # The sweep globs every shard, so it is rate-limited by a
+        # marker file: at most one full sweep per ``PRUNE_TMP_MAX_AGE``
+        # across *all* handles sharing the store (worker sessions,
+        # figure commands, benchmarks), which keeps opens cheap on
+        # large stores over slow filesystems.
+        self._maybe_prune_tmp()
 
     # -- keying --------------------------------------------------------
     def task_key(
@@ -246,6 +268,52 @@ class TrialCache:
                 pass
             raise
         self.stats.stores += 1
+
+    # -- maintenance ---------------------------------------------------
+    def _maybe_prune_tmp(self) -> None:
+        """Run :meth:`prune_tmp` unless another handle recently did.
+
+        The ``.last-prune`` marker's mtime records the last sweep; the
+        marker is touched *before* pruning so a herd of concurrent
+        opens elects a single pruner.  Marker I/O failures (read-only
+        store, races) skip the sweep — pruning is best-effort hygiene.
+        """
+        marker = self.root / ".last-prune"
+        now = time.time()
+        try:
+            if now - marker.stat().st_mtime < PRUNE_TMP_MAX_AGE:
+                return
+            os.utime(marker, (now, now))
+        except FileNotFoundError:
+            try:
+                marker.touch()
+            except OSError:
+                return
+        except OSError:
+            return
+        self.prune_tmp()
+
+    def prune_tmp(self, max_age: float = PRUNE_TMP_MAX_AGE) -> int:
+        """Delete orphaned ``*.tmp`` files older than ``max_age`` seconds.
+
+        Killed runs (and dead remote workers) can die between
+        ``mkstemp`` and ``os.replace``, stranding tmp files in the
+        shards.  Anything older than ``max_age`` is removed; younger
+        files are presumed to be in-flight writes from concurrent
+        sweeps.  Races are benign — a file vanishing mid-sweep (its
+        writer published or another pruner won) is simply skipped.
+        Returns the number of files removed.
+        """
+        cutoff = time.time() - max_age
+        removed = 0
+        for tmp_path in self.root.glob("*/*.tmp"):
+            try:
+                if tmp_path.stat().st_mtime <= cutoff:
+                    os.unlink(tmp_path)
+                    removed += 1
+            except OSError:
+                continue
+        return removed
 
     # -- reporting -----------------------------------------------------
     def stats_line(self) -> str:

@@ -1,0 +1,44 @@
+"""Distributed sweep backend: coordinator, workers, wire protocol.
+
+The eval engine's task lists are explicit and picklable, so scaling a
+sweep beyond one host is a scheduling problem, not an algorithmic one:
+:class:`RemoteExecutor` (the coordinator) plugs into
+:func:`repro.eval.parallel.run_scenario_tasks` exactly like the serial
+and process-pool executors, and :class:`WorkerServer` turns any
+reachable Python process into a worker.  See
+:mod:`repro.eval.dist.protocol` for the framing,
+:mod:`repro.eval.dist.coordinator` for the fault-tolerant scheduler, and
+``docs/ARCHITECTURE.md`` for the full design.
+"""
+
+from repro.eval.dist.coordinator import (
+    RemoteExecutor,
+    RemoteTaskError,
+    parse_hosts,
+)
+from repro.eval.dist.protocol import (
+    MAGIC,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    buffer_payload,
+    payload_to_buffer,
+    recv_message,
+    send_message,
+)
+from repro.eval.dist.worker import WorkerServer
+
+__all__ = [
+    "RemoteExecutor",
+    "RemoteTaskError",
+    "WorkerServer",
+    "parse_hosts",
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "ProtocolError",
+    "ConnectionClosed",
+    "send_message",
+    "recv_message",
+    "buffer_payload",
+    "payload_to_buffer",
+]

@@ -1,0 +1,479 @@
+"""Coordinator side of the distributed sweep backend.
+
+:class:`RemoteExecutor` implements the engine's
+:class:`repro.eval.parallel.TaskExecutor` interface over a set of
+already-listening workers (``host:port`` endpoints — started by hand,
+by CI, or via ``ssh host repro-tomography worker``).  One thread per
+worker drives a synchronous request/response session:
+
+* the (instance, config, options) triple is pickled **once** and shipped
+  in the ``init`` frame of every worker session, never per chunk;
+* each thread claims the next pending chunk, sends it, and blocks on the
+  result frame — chunk results come back as one packed float64 payload
+  (the in-host pool's transport) and are yielded to the engine as they
+  complete, in whatever order they finish;
+* when a worker dies (connection reset, torn frame, handshake failure),
+  its outstanding chunk is requeued at the *front* of the pending queue
+  and the surviving workers absorb it — a death costs at most the one
+  chunk that was in flight;
+* with ``straggler_timeout`` set, an idle worker speculatively re-runs a
+  chunk that has been outstanding longer than the timeout (up to
+  ``max_attempts`` total executions); the first result wins and
+  duplicates are discarded, which is safe because chunks are pure
+  functions of their tasks.
+
+Determinism: the schedule never touches the tasks — every task carries
+its own pre-spawned generators and results are keyed by chunk index —
+so remote execution is bit-identical to serial execution no matter how
+chunks land on workers, how many die, or how many duplicates race.
+
+Failure contract (shared with the serial and local executors): every
+chunk settles before :meth:`RemoteExecutor.map_chunks` raises, so the
+engine writes completed chunks back to the cache even when the sweep
+ultimately fails.  Application errors reported by a worker surface as
+:class:`RemoteTaskError` entries in the
+:class:`repro.eval.parallel.ChunkExecutionError`; losing *all* workers
+surfaces the last transport error.
+"""
+
+from __future__ import annotations
+
+import pickle
+import queue
+import socket
+import threading
+import time
+from collections import deque
+
+from repro.eval.dist.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    payload_to_buffer,
+    recv_message,
+    send_message,
+)
+from repro.eval.parallel import (
+    ChunkExecutionError,
+    TaskExecutor,
+    _chunk_tasks,
+    _unpack_error_dicts,
+)
+
+__all__ = ["RemoteExecutor", "RemoteTaskError", "parse_hosts"]
+
+
+class RemoteTaskError(RuntimeError):
+    """A worker reported an application error while executing a chunk.
+
+    ``remote_traceback`` carries the worker-side traceback text.
+    """
+
+    def __init__(self, message: str, remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_traceback = remote_traceback
+
+
+def parse_hosts(hosts) -> list[tuple[str, int]]:
+    """Normalise a hosts spec into ``(host, port)`` endpoints.
+
+    Accepts a comma-separated string (``"a:7100,b:7100"``), an iterable
+    of ``"host:port"`` strings, or an iterable of ``(host, port)``
+    pairs.  IPv6 literals use brackets: ``"[::1]:7100"``.
+    """
+    if isinstance(hosts, str):
+        hosts = [piece for piece in hosts.split(",") if piece.strip()]
+    endpoints: list[tuple[str, int]] = []
+    for entry in hosts:
+        if isinstance(entry, (tuple, list)):
+            host, port = entry
+        else:
+            text = str(entry).strip()
+            if text.startswith("["):
+                bracket = text.find("]")
+                if bracket < 0 or not text[bracket + 1 :].startswith(":"):
+                    raise ValueError(
+                        f"malformed IPv6 endpoint {text!r}; expected "
+                        "'[addr]:port'"
+                    )
+                host, port = text[1:bracket], text[bracket + 2 :]
+            else:
+                host, _, port = text.rpartition(":")
+                if not host:
+                    raise ValueError(
+                        f"malformed endpoint {text!r}; expected 'host:port'"
+                    )
+        try:
+            port = int(port)
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"malformed endpoint port in {entry!r}"
+            ) from None
+        if not 0 < port < 65536:
+            raise ValueError(f"endpoint port out of range in {entry!r}")
+        endpoints.append((str(host), port))
+    if not endpoints:
+        raise ValueError("at least one worker endpoint is required")
+    return endpoints
+
+
+def _enable_keepalive(sock: socket.socket) -> None:
+    """Arm TCP keepalive so a host that vanishes without a FIN/RST
+    (power loss, network partition) surfaces as a socket error in
+    minutes rather than blocking ``recv`` forever.
+
+    The aggressive probe schedule (idle 60 s, 10 s interval, 3 probes
+    → dead-host detection in ~90 s) uses Linux/BSD option names and is
+    skipped wholesale where unavailable; plain ``SO_KEEPALIVE`` with
+    kernel defaults still bounds the hang.
+    """
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_KEEPALIVE, 1)
+    for name, value in (
+        ("TCP_KEEPIDLE", 60),
+        ("TCP_KEEPINTVL", 10),
+        ("TCP_KEEPCNT", 3),
+    ):
+        option = getattr(socket, name, None)
+        if option is not None:
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, option, value)
+            except OSError:
+                pass
+
+
+class _SweepState:
+    """Thread-shared chunk scheduler state (claim/settle/requeue)."""
+
+    def __init__(self, n_chunks: int, max_attempts: int) -> None:
+        self.condition = threading.Condition()
+        self.pending: deque[int] = deque(range(n_chunks))
+        self.settled: set[int] = set()
+        self.outstanding: dict[int, float] = {}
+        self.attempts: dict[int, int] = {}
+        self.n_chunks = n_chunks
+        self.max_attempts = max_attempts
+        self.live_workers = 0
+        self.aborted = False
+
+    def all_settled(self) -> bool:
+        return len(self.settled) == self.n_chunks
+
+    def claim(self, straggler_timeout: float | None) -> int | None:
+        """Block until a chunk is claimable; ``None`` means no more work.
+
+        Prefers pending chunks; with ``straggler_timeout`` set, an
+        otherwise-idle caller duplicates the longest-outstanding chunk
+        that exceeded the timeout (bounded by ``max_attempts``).
+        """
+        with self.condition:
+            while True:
+                if self.aborted or self.all_settled():
+                    return None
+                while self.pending:
+                    chunk = self.pending.popleft()
+                    if chunk in self.settled:
+                        continue
+                    self.outstanding[chunk] = time.monotonic()
+                    self.attempts[chunk] = self.attempts.get(chunk, 0) + 1
+                    return chunk
+                if straggler_timeout is not None:
+                    now = time.monotonic()
+                    candidates = [
+                        (started, chunk)
+                        for chunk, started in self.outstanding.items()
+                        if chunk not in self.settled
+                        and now - started >= straggler_timeout
+                        and self.attempts.get(chunk, 0)
+                        < self.max_attempts
+                    ]
+                    if candidates:
+                        _, chunk = min(candidates)
+                        self.outstanding[chunk] = now
+                        self.attempts[chunk] += 1
+                        return chunk
+                    # Floor the poll so tiny timeouts cannot busy-spin
+                    # an idle worker thread on the condition.
+                    wait = max(straggler_timeout / 2, 0.05)
+                else:
+                    wait = None
+                self.condition.wait(timeout=wait)
+
+    def settle(self, chunk: int) -> bool:
+        """Mark a chunk done; ``False`` if it already was (duplicate)."""
+        with self.condition:
+            if chunk in self.settled:
+                return False
+            self.settled.add(chunk)
+            self.outstanding.pop(chunk, None)
+            self.condition.notify_all()
+            return True
+
+    def requeue(self, chunk: int) -> None:
+        with self.condition:
+            if chunk in self.settled:
+                return
+            self.outstanding.pop(chunk, None)
+            if chunk not in self.pending:
+                self.pending.appendleft(chunk)
+            self.condition.notify_all()
+
+    def worker_started(self) -> None:
+        with self.condition:
+            self.live_workers += 1
+
+    def worker_stopped(self) -> None:
+        with self.condition:
+            self.live_workers -= 1
+            self.condition.notify_all()
+
+    def abort(self) -> None:
+        with self.condition:
+            self.aborted = True
+            self.condition.notify_all()
+
+
+class RemoteExecutor(TaskExecutor):
+    """Fan chunks out to socket-connected workers on other hosts.
+
+    Parameters:
+        hosts: Worker endpoints (see :func:`parse_hosts`).
+        connect_timeout: Seconds allowed for connect + handshake I/O.
+        io_timeout: Per-frame socket timeout while a chunk is in flight
+            (``None`` = wait forever; rely on ``straggler_timeout`` for
+            hung-but-alive workers).
+        straggler_timeout: Seconds before an idle worker speculatively
+            re-runs an outstanding chunk (``None`` disables).
+        max_attempts: Total executions allowed per chunk across
+            speculative duplicates.
+        chunks_per_worker: Planning granularity — chunks per worker in
+            :meth:`plan`; more chunks mean finer requeue/load-balance
+            units at slightly more framing overhead.
+    """
+
+    def __init__(
+        self,
+        hosts,
+        *,
+        connect_timeout: float = 10.0,
+        io_timeout: float | None = None,
+        straggler_timeout: float | None = None,
+        max_attempts: int = 3,
+        chunks_per_worker: int = 4,
+    ) -> None:
+        self.endpoints = parse_hosts(hosts)
+        self.connect_timeout = connect_timeout
+        self.io_timeout = io_timeout
+        if straggler_timeout is not None and straggler_timeout <= 0:
+            raise ValueError(
+                f"straggler_timeout must be positive or None, got "
+                f"{straggler_timeout}"
+            )
+        self.straggler_timeout = straggler_timeout
+        self.max_attempts = max(1, max_attempts)
+        self.chunks_per_worker = max(1, chunks_per_worker)
+
+    # -- TaskExecutor --------------------------------------------------
+    def plan(self, tasks):
+        return _chunk_tasks(
+            tasks,
+            len(self.endpoints),
+            chunks_per_worker=self.chunks_per_worker,
+        )
+
+    def map_chunks(self, context, chunks):
+        if not chunks:
+            return
+        init_payload = pickle.dumps(
+            context, protocol=pickle.HIGHEST_PROTOCOL
+        )
+        chunk_payloads = [
+            pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
+            for chunk in chunks
+        ]
+        state = _SweepState(len(chunks), self.max_attempts)
+        events: queue.Queue = queue.Queue()
+        sockets: dict[int, socket.socket] = {}
+        socket_lock = threading.Lock()
+        threads = []
+        for worker_id, endpoint in enumerate(self.endpoints):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                args=(
+                    worker_id,
+                    endpoint,
+                    init_payload,
+                    chunk_payloads,
+                    state,
+                    events,
+                    sockets,
+                    socket_lock,
+                ),
+                name=f"remote-sweep-{endpoint[0]}:{endpoint[1]}",
+                daemon=True,
+            )
+            state.worker_started()
+            threads.append(thread)
+        for thread in threads:
+            thread.start()
+
+        yielded: set[int] = set()
+        task_errors: dict[int, RemoteTaskError] = {}
+        last_transport_error: BaseException | None = None
+        try:
+            while len(yielded) + len(task_errors) < len(chunks):
+                with state.condition:
+                    no_workers = state.live_workers == 0
+                if no_workers and events.empty():
+                    break
+                try:
+                    event = events.get(timeout=1.0)
+                except queue.Empty:
+                    continue
+                kind = event[0]
+                if kind == "result":
+                    _, chunk_index, results = event
+                    if chunk_index not in yielded:
+                        yielded.add(chunk_index)
+                        yield chunk_index, results
+                elif kind == "task_error":
+                    _, chunk_index, error = event
+                    task_errors.setdefault(chunk_index, error)
+                elif kind == "down":
+                    _, endpoint, exc = event
+                    last_transport_error = exc
+        finally:
+            state.abort()
+            with socket_lock:
+                # Unblock any thread still parked in recv (e.g. the
+                # original owner of a chunk a speculative duplicate
+                # already settled).
+                for sock in sockets.values():
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+            for thread in threads:
+                thread.join(timeout=5.0)
+
+        failures: list[tuple[int, BaseException]] = sorted(
+            task_errors.items()
+        )
+        lost = [
+            index
+            for index in range(len(chunks))
+            if index not in yielded and index not in task_errors
+        ]
+        for index in lost:
+            failures.append(
+                (
+                    index,
+                    RemoteTaskError(
+                        "chunk never completed: every worker was lost "
+                        f"(last transport error: {last_transport_error!r})"
+                    ),
+                )
+            )
+        if failures:
+            failures.sort(key=lambda entry: entry[0])
+            raise ChunkExecutionError(
+                f"{len(failures)} of {len(chunks)} remote chunks failed",
+                failures,
+            ) from failures[0][1]
+
+    # -- per-worker session thread -------------------------------------
+    def _worker_loop(
+        self,
+        worker_id: int,
+        endpoint: tuple[str, int],
+        init_payload: bytes,
+        chunk_payloads: list[bytes],
+        state: _SweepState,
+        events: queue.Queue,
+        sockets: dict,
+        socket_lock: threading.Lock,
+    ) -> None:
+        try:
+            sock = socket.create_connection(
+                endpoint, timeout=self.connect_timeout
+            )
+            _enable_keepalive(sock)
+        except OSError as exc:
+            # Event first, then the live-count decrement: the main loop
+            # treats "no live workers + empty queue" as terminal, so the
+            # reverse order could drop this error from the report.
+            events.put(("down", endpoint, exc))
+            state.worker_stopped()
+            return
+        current: int | None = None
+        try:
+            send_message(
+                sock,
+                {"type": "init", "protocol": PROTOCOL_VERSION},
+                init_payload,
+            )
+            header, _ = recv_message(sock)
+            if (
+                header.get("type") != "ready"
+                or header.get("protocol") != PROTOCOL_VERSION
+            ):
+                raise ProtocolError(
+                    f"bad handshake from {endpoint[0]}:{endpoint[1]}: "
+                    f"{header}"
+                )
+            sock.settimeout(self.io_timeout)
+            with socket_lock:
+                sockets[worker_id] = sock
+            while True:
+                current = state.claim(self.straggler_timeout)
+                if current is None:
+                    try:
+                        send_message(sock, {"type": "end"})
+                    except (OSError, ProtocolError):
+                        pass
+                    return
+                send_message(
+                    sock,
+                    {"type": "chunk", "chunk": current},
+                    chunk_payloads[current],
+                )
+                header, payload = recv_message(sock)
+                if header["type"] == "result":
+                    if header["chunk"] != current:
+                        raise ProtocolError(
+                            f"worker answered chunk {header['chunk']} "
+                            f"while {current} was in flight"
+                        )
+                    results = _unpack_error_dicts(
+                        header["descriptor"], payload_to_buffer(payload)
+                    )
+                    if state.settle(current):
+                        events.put(("result", current, results))
+                elif header["type"] == "error":
+                    error = RemoteTaskError(
+                        f"worker {endpoint[0]}:{endpoint[1]} failed "
+                        f"chunk {current}: {header.get('message', '')}",
+                        header.get("traceback", ""),
+                    )
+                    if state.settle(current):
+                        events.put(("task_error", current, error))
+                else:
+                    raise ProtocolError(
+                        f"unexpected frame type {header['type']!r}"
+                    )
+                current = None
+        except Exception as exc:
+            # Any escape — transport errors, torn frames, but also
+            # malformed headers from a version-skewed worker — must
+            # requeue the in-flight chunk and report the worker down;
+            # a silently dead thread would leave claimers blocked and
+            # hang the sweep.
+            if current is not None:
+                state.requeue(current)
+            events.put(("down", endpoint, exc))
+        finally:
+            state.worker_stopped()
+            with socket_lock:
+                sockets.pop(worker_id, None)
+            try:
+                sock.close()
+            except OSError:
+                pass

@@ -1,0 +1,149 @@
+"""Length-prefixed socket framing for the distributed sweep backend.
+
+Every message is one frame::
+
+    MAGIC (4 bytes) | header length (u64 BE) | payload length (u64 BE)
+    | pickled header dict | raw payload bytes
+
+The header is a small pickled ``dict`` with at least a ``"type"`` key;
+the payload is an opaque byte string whose meaning the header declares.
+Chunk results reuse the engine's packed float64 transport
+(:func:`repro.eval.parallel._pack_error_dicts`): the descriptor rides in
+the header and the concatenated error vectors ride as the raw payload —
+one contiguous buffer per chunk, no per-trial pickling, and
+:func:`payload_to_buffer` rewraps it on the other side without an extra
+copy.
+
+Sanity limits (:data:`MAX_HEADER_BYTES`, :data:`MAX_PAYLOAD_BYTES`) make
+a corrupt or foreign stream fail fast with :class:`ProtocolError`
+instead of attempting a multi-terabyte allocation.  A connection that
+closes *between* frames raises :class:`ConnectionClosed` (a clean
+end-of-session); one that closes *inside* a frame raises the plain
+:class:`ProtocolError` (a torn transfer).
+
+Trust model: frames carry pickles, so the protocol is for trusted
+clusters only — run workers on machines you control, reachable only
+from the coordinator (bind to loopback or a private interface).
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+
+import numpy as np
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "ProtocolError",
+    "ConnectionClosed",
+    "send_message",
+    "recv_message",
+    "buffer_payload",
+    "payload_to_buffer",
+]
+
+#: Handshake version; coordinator and worker must agree exactly.
+PROTOCOL_VERSION = 1
+
+MAGIC = b"RTD1"
+_FRAME = struct.Struct("!4sQQ")
+
+#: Header pickles are task lists at most; 64 MiB is generous.
+MAX_HEADER_BYTES = 64 * 1024 * 1024
+#: Result buffers scale with chunk size; 4 GiB is far beyond any sweep.
+MAX_PAYLOAD_BYTES = 4 * 1024 * 1024 * 1024
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream is not a well-formed frame sequence."""
+
+
+class ConnectionClosed(ProtocolError):
+    """The peer closed the connection cleanly at a frame boundary."""
+
+
+def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
+    """Read exactly ``n`` bytes or raise.
+
+    ``at_boundary`` marks the read that starts a frame: a clean close
+    there is :class:`ConnectionClosed`, anywhere else it is a torn frame.
+    """
+    if n == 0:
+        return b""
+    pieces = bytearray()
+    while len(pieces) < n:
+        piece = sock.recv(min(n - len(pieces), 1 << 20))
+        if not piece:
+            if at_boundary and not pieces:
+                raise ConnectionClosed("peer closed the connection")
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(pieces)}/{n} bytes)"
+            )
+        pieces += piece
+    return bytes(pieces)
+
+
+def send_message(sock: socket.socket, header: dict, payload=b"") -> None:
+    """Send one frame.  ``payload`` is any bytes-like object."""
+    header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
+    payload_view = memoryview(payload).cast("B")
+    sock.sendall(
+        _FRAME.pack(MAGIC, len(header_bytes), len(payload_view))
+    )
+    sock.sendall(header_bytes)
+    if len(payload_view):
+        sock.sendall(payload_view)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, bytes]:
+    """Receive one frame; returns ``(header, payload)``."""
+    prefix = _recv_exact(sock, _FRAME.size, at_boundary=True)
+    magic, header_len, payload_len = _FRAME.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r})"
+        )
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"header length {header_len} exceeds {MAX_HEADER_BYTES}"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload length {payload_len} exceeds {MAX_PAYLOAD_BYTES}"
+        )
+    header_bytes = _recv_exact(sock, header_len, at_boundary=False)
+    try:
+        header = pickle.loads(header_bytes)
+    except Exception as exc:
+        raise ProtocolError(f"unpicklable frame header: {exc!r}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(
+            f"frame header must be a dict with a 'type' key, got "
+            f"{type(header).__name__}"
+        )
+    payload = _recv_exact(sock, payload_len, at_boundary=False)
+    return header, payload
+
+
+def buffer_payload(buffer: np.ndarray):
+    """Wrap a packed float64 buffer for :func:`send_message` (zero-copy).
+
+    Canonicalises to little-endian so heterogeneous hosts interoperate;
+    on the (little-endian) common case this is a no-copy view.
+    """
+    return memoryview(np.ascontiguousarray(buffer, dtype="<f8")).cast("B")
+
+
+def payload_to_buffer(payload: bytes) -> np.ndarray:
+    """Rewrap a received result payload as the packed float64 buffer."""
+    if len(payload) % 8:
+        raise ProtocolError(
+            f"result payload of {len(payload)} bytes is not a whole "
+            "number of float64 values"
+        )
+    return np.frombuffer(payload, dtype="<f8")

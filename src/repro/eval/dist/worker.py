@@ -1,0 +1,263 @@
+"""Worker side of the distributed sweep backend.
+
+A :class:`WorkerServer` listens on one TCP port and serves coordinator
+sessions sequentially: each accepted connection is one sweep session.
+The coordinator ships the (instance, config, options) triple exactly
+once per session in the ``init`` frame; every subsequent ``chunk`` frame
+is just a pickled list of :class:`repro.eval.parallel.ScenarioTask`
+records, and the worker answers with the chunk's error vectors as one
+packed float64 payload (the same transport the in-host pool uses).
+
+Cache semantics: when the worker is given a cache directory (its own
+``--cache-dir`` flag or ``REPRO_CACHE_DIR``; typically a store shared
+across workers via a network filesystem), each task is looked up before
+executing — hits are served without compute — and each miss is written
+back *as the task completes*, not after the sweep.  A worker killed
+mid-chunk therefore still leaves every finished trial in the store, and
+the retry only pays for what was genuinely lost.
+
+Fault injection: ``fail_after_chunks=N`` makes the worker serve ``N``
+chunks and then drop the connection without replying to the next one,
+which is exactly what a worker killed mid-chunk looks like to the
+coordinator.  The deterministic requeue tests and the distributed
+benchmark's kill leg are built on it.
+
+Run a worker from the CLI::
+
+    repro-tomography worker --port 7100 --cache-dir /shared/store
+
+or over SSH (the coordinator connects to ``host:7100``)::
+
+    ssh host repro-tomography worker --bind 0.0.0.0 --port 7100
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import threading
+import traceback
+
+from repro.eval.dist.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    buffer_payload,
+    recv_message,
+    send_message,
+)
+from repro.eval.parallel import _execute_task, _pack_error_dicts
+from repro.io import instance_fingerprint
+
+__all__ = ["WorkerServer"]
+
+
+class WorkerServer:
+    """Serve sweep sessions on ``host:port`` (``port=0`` → ephemeral).
+
+    Parameters:
+        cache_dir: Optional :class:`repro.eval.cache.TrialCache` root;
+            tasks are looked up before executing and written back as
+            they complete.
+        max_sessions: Stop accepting after this many sessions (``None``
+            = serve forever).  CI and tests use it to bound lifetime.
+        fail_after_chunks: Fault-injection hook — serve this many chunks
+            per session, then drop the connection without replying.
+        log: Callable for one-line status messages (``None`` = silent).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        cache_dir=None,
+        max_sessions: int | None = None,
+        fail_after_chunks: int | None = None,
+        log=None,
+    ) -> None:
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()[:2]
+        self._cache_dir = cache_dir
+        self._max_sessions = max_sessions
+        self._fail_after_chunks = fail_after_chunks
+        self._log = log or (lambda message: None)
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._server.close()
+        except OSError:
+            pass
+
+    def serve_forever(self) -> int:
+        """Accept sessions until ``max_sessions`` or :meth:`close`.
+
+        Sessions run concurrently, one thread each, so a worker busy
+        with a long sweep still handshakes a second coordinator
+        immediately (two overlapping sweeps sharing a worker fleet is
+        the documented shared-cache deployment).  Active sessions are
+        joined before returning, so ``max_sessions=N`` never cuts a
+        running sweep short.
+        """
+        sessions = 0
+        threads: list[threading.Thread] = []
+        self._log(f"worker listening on {self.address}")
+        try:
+            while (
+                self._max_sessions is None
+                or sessions < self._max_sessions
+            ):
+                try:
+                    connection, peer = self._server.accept()
+                except OSError:
+                    break  # closed from another thread
+                sessions += 1
+                self._log(f"session {sessions} from {peer[0]}:{peer[1]}")
+                thread = threading.Thread(
+                    target=self._session_thread,
+                    args=(connection,),
+                    name=f"worker-session-{sessions}",
+                )
+                thread.start()
+                threads.append(thread)
+        finally:
+            for thread in threads:
+                thread.join()
+            self.close()
+        return sessions
+
+    def _session_thread(self, connection: socket.socket) -> None:
+        with connection:
+            try:
+                self._serve_session(connection)
+            except Exception as exc:
+                # A torn session never takes the worker down — not just
+                # transport errors but anything a mismatched coordinator
+                # can provoke (unpicklable payloads, malformed headers):
+                # log and keep serving other sessions.
+                self._log(f"session aborted: {exc!r}")
+
+    # -- one session ---------------------------------------------------
+    def _open_cache(self):
+        if self._cache_dir is None:
+            return None
+        from repro.eval.cache import TrialCache
+
+        return TrialCache(self._cache_dir)
+
+    def _serve_session(self, connection: socket.socket) -> None:
+        header, payload = recv_message(connection)
+        if header["type"] != "init":
+            raise ProtocolError(
+                f"expected an init frame, got {header['type']!r}"
+            )
+        if header.get("protocol") != PROTOCOL_VERSION:
+            send_message(
+                connection,
+                {
+                    "type": "error",
+                    "chunk": None,
+                    "message": (
+                        f"protocol mismatch: worker speaks "
+                        f"{PROTOCOL_VERSION}, coordinator sent "
+                        f"{header.get('protocol')!r}"
+                    ),
+                    "traceback": "",
+                },
+            )
+            return
+        instance, config, options = pickle.loads(payload)
+        cache = self._open_cache()
+        fingerprint = (
+            instance_fingerprint(instance) if cache is not None else None
+        )
+        send_message(
+            connection,
+            {
+                "type": "ready",
+                "protocol": PROTOCOL_VERSION,
+                "host": socket.gethostname(),
+            },
+        )
+        chunks_served = 0
+        while True:
+            try:
+                header, payload = recv_message(connection)
+            except ConnectionClosed:
+                return
+            if header["type"] == "end":
+                if cache is not None:
+                    self._log(f"session done — {cache.stats.render()}")
+                return
+            if header["type"] != "chunk":
+                raise ProtocolError(
+                    f"expected a chunk frame, got {header['type']!r}"
+                )
+            if (
+                self._fail_after_chunks is not None
+                and chunks_served >= self._fail_after_chunks
+            ):
+                # Fault injection: vanish mid-chunk, exactly like a
+                # worker killed while computing.
+                self._log(
+                    f"fault injection: dropping connection before "
+                    f"chunk {header['chunk']}"
+                )
+                return
+            chunk_id = header["chunk"]
+            tasks = pickle.loads(payload)
+            try:
+                results = [
+                    self._run_task(
+                        instance, config, options, task, cache, fingerprint
+                    )
+                    for task in tasks
+                ]
+                descriptor, buffer = _pack_error_dicts(results)
+            except Exception as exc:
+                send_message(
+                    connection,
+                    {
+                        "type": "error",
+                        "chunk": chunk_id,
+                        "message": repr(exc),
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            else:
+                send_message(
+                    connection,
+                    {
+                        "type": "result",
+                        "chunk": chunk_id,
+                        "descriptor": descriptor,
+                    },
+                    buffer_payload(buffer),
+                )
+            chunks_served += 1
+
+    @staticmethod
+    def _run_task(instance, config, options, task, cache, fingerprint):
+        key = None
+        if (
+            cache is not None
+            and task.scenario_seed is not None
+            and task.run_seed is not None
+        ):
+            key = cache.task_key(
+                fingerprint, task, config=config, options=options
+            )
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+        errors = _execute_task(instance, config, options, task)
+        if key is not None:
+            cache.put(key, errors)
+        return errors

@@ -20,7 +20,10 @@ baseline only — is preserved across scales; see EXPERIMENTS.md.
 Every driver accepts ``workers``: trials (and, for the sweep, whole
 x-axis points) fan out through the scenario engine in
 :mod:`repro.eval.parallel`.  Child seeds are spawned before dispatch, so
-any worker count reproduces the serial results exactly.
+any worker count reproduces the serial results exactly.  ``executor``
+overrides the backend outright — pass a
+:class:`repro.eval.dist.RemoteExecutor` to fan the same task list out
+across hosts, still bit-identical to the serial run.
 
 Every driver also accepts ``cache`` (a
 :class:`repro.eval.cache.TrialCache`): trials whose inputs are already
@@ -167,6 +170,7 @@ def _pooled_errors(
     seed,
     workers: int | None = None,
     cache=None,
+    executor=None,
 ) -> dict[str, np.ndarray]:
     """Run ``n_trials`` experiments, pooling per-link errors."""
     tasks = scenario_tasks(
@@ -179,6 +183,7 @@ def _pooled_errors(
         options=options,
         workers=workers,
         cache=cache,
+        executor=executor,
     )
     return pool_errors(tasks, results, 1)[0]
 
@@ -237,6 +242,7 @@ def figure3_sweep(
     seed=0,
     workers: int | None = None,
     cache=None,
+    executor=None,
 ) -> SweepResult:
     """Figures 3(a) and 3(b): error statistics vs congested fraction.
 
@@ -254,6 +260,7 @@ def figure3_sweep(
         options=options,
         workers=workers,
         cache=cache,
+        executor=executor,
     )
     pooled = pool_errors(tasks, results, len(fractions))
     points = [
@@ -289,6 +296,7 @@ def figure3_cdf(
     seed=0,
     workers: int | None = None,
     cache=None,
+    executor=None,
 ) -> CdfResult:
     """Figure 3(c) (``correlation_level="high"``) / 3(d) (``"loose"``)."""
     if correlation_level == "high":
@@ -315,6 +323,7 @@ def figure3_cdf(
         seed=seed,
         workers=workers,
         cache=cache,
+        executor=executor,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -346,6 +355,7 @@ def figure4_cdf(
     seed=0,
     workers: int | None = None,
     cache=None,
+    executor=None,
 ) -> CdfResult:
     """Figure 4: CDFs with a fraction of congested links unidentifiable."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -363,6 +373,7 @@ def figure4_cdf(
         seed=seed,
         workers=workers,
         cache=cache,
+        executor=executor,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -394,6 +405,7 @@ def figure5_cdf(
     seed=0,
     workers: int | None = None,
     cache=None,
+    executor=None,
 ) -> CdfResult:
     """Figure 5: CDFs with a fraction of congested links mislabeled."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -411,6 +423,7 @@ def figure5_cdf(
         seed=seed,
         workers=workers,
         cache=cache,
+        executor=executor,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)

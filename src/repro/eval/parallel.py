@@ -4,7 +4,14 @@ The paper's evaluation (Figures 3–5) is a bag of *independent*
 experiments: each trial draws a scenario, simulates snapshots, runs both
 inference algorithms, and scores them.  This module turns that bag into
 an explicit work list of :class:`ScenarioTask` records and executes it
-either serially or on a :class:`concurrent.futures.ProcessPoolExecutor`.
+through a pluggable :class:`TaskExecutor`: :class:`SerialExecutor`
+(in-process), :class:`LocalExecutor` (a
+:class:`concurrent.futures.ProcessPoolExecutor` on this host), or
+:class:`repro.eval.dist.RemoteExecutor` (a coordinator fanning chunks
+out to socket-connected workers on other hosts).  Executors yield
+chunks as they complete and settle every chunk before raising, so a
+failed sweep keeps (and caches) everything that finished and reports
+exactly which task indices were lost (:class:`ScenarioTaskError`).
 
 Determinism is seed-structural, not schedule-structural: every task
 carries its own pre-spawned child generators
@@ -37,7 +44,7 @@ fan-out without threading a flag through every entry point.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +66,11 @@ __all__ = [
     "resolve_workers",
     "run_scenario_tasks",
     "pool_errors",
+    "TaskExecutor",
+    "SerialExecutor",
+    "LocalExecutor",
+    "ChunkExecutionError",
+    "ScenarioTaskError",
 ]
 
 #: Picklable scenario constructors addressable from worker processes.
@@ -212,15 +224,27 @@ def _pack_error_dicts(
 
 
 def _unpack_error_dicts(
-    descriptor: list[list[tuple[str, int]]], buffer: np.ndarray
+    descriptor: list[list[tuple[str, int]]],
+    buffer: np.ndarray,
+    *,
+    copy: bool = True,
 ) -> list[dict[str, np.ndarray]]:
-    """Inverse of :func:`_pack_error_dicts` (views into the buffer)."""
+    """Inverse of :func:`_pack_error_dicts`.
+
+    Per-trial vectors are copied out of the chunk buffer by default: a
+    view would pin the whole chunk transport buffer in memory for the
+    lifetime of every result that references it (and read-only buffers,
+    e.g. ones wrapped from socket bytes, would leak their immutability
+    into the results).  Pass ``copy=False`` only when the results are
+    consumed before the buffer is dropped.
+    """
     dicts: list[dict[str, np.ndarray]] = []
     offset = 0
     for entry in descriptor:
         errors: dict[str, np.ndarray] = {}
         for name, size in entry:
-            errors[name] = buffer[offset : offset + size]
+            vector = buffer[offset : offset + size]
+            errors[name] = vector.copy() if copy else vector
             offset += size
         dicts.append(errors)
     return dicts
@@ -256,19 +280,163 @@ def _run_chunk_in_worker(
 
 
 def _chunk_tasks(
-    tasks: list[ScenarioTask], n_workers: int
+    tasks: list[ScenarioTask],
+    n_workers: int,
+    *,
+    chunks_per_worker: int = 4,
 ) -> list[list[ScenarioTask]]:
-    """Split the task list into ~4 contiguous chunks per worker.
+    """Split the task list into contiguous chunks (~4 per worker).
 
     Contiguity preserves task order after concatenating chunk results;
     several chunks per worker keep the pool load-balanced when trial
-    durations vary.
+    durations vary (and bound what a dead remote worker can lose).
     """
-    chunk_size = max(1, -(-len(tasks) // (4 * n_workers)))
+    chunk_size = max(1, -(-len(tasks) // (chunks_per_worker * n_workers)))
     return [
         tasks[start : start + chunk_size]
         for start in range(0, len(tasks), chunk_size)
     ]
+
+
+# ----------------------------------------------------------------------
+# Executor interface
+# ----------------------------------------------------------------------
+class ChunkExecutionError(RuntimeError):
+    """One or more chunks failed after every chunk settled.
+
+    Raised by an executor's :meth:`TaskExecutor.map_chunks` *after* all
+    successful chunks have been yielded, so callers keep (and cache)
+    every completed chunk.  ``failures`` maps each failed chunk index to
+    the exception (or exception description) that killed it.
+    """
+
+    def __init__(
+        self, message: str, failures: list[tuple[int, BaseException]]
+    ) -> None:
+        super().__init__(message)
+        self.failures = failures
+
+    @property
+    def chunk_indices(self) -> list[int]:
+        return [index for index, _ in self.failures]
+
+
+class ScenarioTaskError(RuntimeError):
+    """A sweep lost tasks; ``task_indices`` names them.
+
+    Raised by :func:`run_scenario_tasks` once every chunk has settled:
+    results for every *other* chunk were already written back to the
+    cache (when one is attached), so a crashed sweep loses at most the
+    failing chunks — rerunning it recomputes only those.
+    """
+
+    def __init__(self, message: str, task_indices: list[int]) -> None:
+        super().__init__(message)
+        self.task_indices = task_indices
+
+
+class TaskExecutor:
+    """Strategy for executing chunks of :class:`ScenarioTask` lists.
+
+    ``plan`` splits a task list into the chunks the backend wants to
+    schedule.  Chunks must be **contiguous, in-order slices** of the
+    input (``chunks[0] + chunks[1] + ... == tasks``): the engine maps
+    chunk results back to task indices positionally, so a plan that
+    reorders or rebalances tasks would silently mis-assign results
+    (``run_scenario_tasks`` verifies the slicing and raises otherwise).
+    ``map_chunks`` executes the chunks and yields
+    ``(chunk_index, results)`` pairs *as chunks complete*, in any order.
+    Implementations must settle every chunk before raising, and raise
+    :class:`ChunkExecutionError` listing the chunks that failed — this
+    is what lets :func:`run_scenario_tasks` write completed chunks back
+    to the cache even when the sweep ultimately errors.
+    """
+
+    def plan(self, tasks: list[ScenarioTask]) -> list[list[ScenarioTask]]:
+        raise NotImplementedError
+
+    def map_chunks(self, context: tuple, chunks: list[list[ScenarioTask]]):
+        raise NotImplementedError
+
+
+class SerialExecutor(TaskExecutor):
+    """In-process execution, one task per chunk (finest write-back)."""
+
+    def plan(self, tasks):
+        return [[task] for task in tasks]
+
+    def map_chunks(self, context, chunks):
+        instance, config, options = context
+        failures: list[tuple[int, BaseException]] = []
+        for index, chunk in enumerate(chunks):
+            try:
+                computed = [
+                    _execute_task(instance, config, options, task)
+                    for task in chunk
+                ]
+            except Exception as exc:
+                failures.append((index, exc))
+                continue
+            yield index, computed
+        if failures:
+            raise ChunkExecutionError(
+                f"{len(failures)} of {len(chunks)} serial chunks failed",
+                failures,
+            ) from failures[0][1]
+
+
+class LocalExecutor(TaskExecutor):
+    """:class:`ProcessPoolExecutor`-backed execution on this host.
+
+    Chunks are submitted as individual futures and yielded as they
+    complete (not in submission order), so the caller can write each
+    chunk's cache entries back while others are still running; a chunk
+    that raises — or a worker process that dies, which breaks the pool
+    and fails every still-pending future — costs only the chunks that
+    had not completed.
+    """
+
+    def __init__(self, n_workers: int) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def plan(self, tasks):
+        return _chunk_tasks(tasks, self.n_workers)
+
+    def map_chunks(self, context, chunks):
+        failures: list[tuple[int, BaseException]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(self.n_workers, len(chunks)),
+            initializer=_init_worker,
+            initargs=context,
+        ) as pool:
+            futures = {
+                pool.submit(_run_chunk_in_worker, chunk): index
+                for index, chunk in enumerate(chunks)
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                try:
+                    descriptor, buffer = future.result()
+                except Exception as exc:
+                    failures.append((index, exc))
+                else:
+                    yield index, _unpack_error_dicts(descriptor, buffer)
+        if failures:
+            failures.sort(key=lambda entry: entry[0])
+            raise ChunkExecutionError(
+                f"{len(failures)} of {len(chunks)} pooled chunks failed",
+                failures,
+            ) from failures[0][1]
+
+
+def _default_executor(workers: int | None, n_tasks: int) -> TaskExecutor:
+    """Map the legacy ``workers`` knob onto an executor."""
+    n_workers = min(resolve_workers(workers), n_tasks)
+    if n_workers <= 1 or n_tasks <= 1:
+        return SerialExecutor()
+    return LocalExecutor(n_workers)
 
 
 def run_scenario_tasks(
@@ -279,17 +447,27 @@ def run_scenario_tasks(
     options: AlgorithmOptions | None = None,
     workers: int | None = None,
     cache=None,
+    executor: TaskExecutor | None = None,
 ) -> list[dict[str, np.ndarray]]:
     """Execute tasks, preserving task order in the result list.
 
     Each result is the per-algorithm absolute-error dict of one trial
     (:attr:`repro.eval.runner.ComparisonResult.errors`).
 
+    ``executor`` picks the backend: :class:`SerialExecutor`,
+    :class:`LocalExecutor`, or
+    :class:`repro.eval.dist.RemoteExecutor`.  When omitted, the legacy
+    ``workers`` knob resolves to serial or local execution.  Executors
+    only change *where* chunks run, never what they return: results are
+    bit-identical across backends for the same task list.
+
     With ``cache`` (a :class:`repro.eval.cache.TrialCache`), tasks whose
     key is already stored load from disk without executing; the rest run
-    (serially or pooled) and are written back atomically.  The cache
-    stores exactly what execution returns, so enabling it never changes
-    figure data.
+    and are written back atomically *as each chunk completes*, so a
+    sweep that dies mid-flight keeps everything it finished.  When a
+    chunk fails, the remaining chunks still settle (and are cached)
+    before a :class:`ScenarioTaskError` naming the lost task indices is
+    raised.
     """
     results: list[dict[str, np.ndarray] | None] = [None] * len(tasks)
     keys: list[str | None] | None = None
@@ -318,29 +496,60 @@ def run_scenario_tasks(
 
     if miss_indices:
         miss_tasks = [tasks[index] for index in miss_indices]
-        n_workers = min(resolve_workers(workers), len(miss_tasks))
-        if n_workers <= 1 or len(miss_tasks) <= 1:
-            computed = [
-                _execute_task(instance, config, options, task)
-                for task in miss_tasks
-            ]
-        else:
-            chunks = _chunk_tasks(miss_tasks, n_workers)
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_init_worker,
-                initargs=(instance, config, options),
-            ) as pool:
-                packed = list(pool.map(_run_chunk_in_worker, chunks))
-            computed = [
-                errors
-                for descriptor, buffer in packed
-                for errors in _unpack_error_dicts(descriptor, buffer)
-            ]
-        for index, errors in zip(miss_indices, computed):
-            results[index] = errors
-            if cache is not None and keys[index] is not None:
-                cache.put(keys[index], errors)
+        if executor is None:
+            executor = _default_executor(workers, len(miss_tasks))
+        chunks = executor.plan(miss_tasks)
+        # Chunks must be contiguous in-order slices of miss_tasks; the
+        # positional mapping below silently mis-assigns results for any
+        # other plan shape, so verify task identity per chunk.
+        chunk_to_indices: list[list[int]] = []
+        cursor = 0
+        for chunk in chunks:
+            if any(
+                cursor + offset >= len(miss_tasks)
+                or chunk[offset] is not miss_tasks[cursor + offset]
+                for offset in range(len(chunk))
+            ):
+                raise ValueError(
+                    "executor.plan() must return contiguous in-order "
+                    "slices of the task list"
+                )
+            chunk_to_indices.append(
+                miss_indices[cursor : cursor + len(chunk)]
+            )
+            cursor += len(chunk)
+        if cursor != len(miss_tasks):
+            raise ValueError(
+                "executor.plan() must partition the task list"
+            )
+
+        def _settle(chunk_index: int, errors_list) -> None:
+            for index, errors in zip(
+                chunk_to_indices[chunk_index], errors_list
+            ):
+                results[index] = errors
+                if cache is not None and keys[index] is not None:
+                    cache.put(keys[index], errors)
+
+        context = (instance, config, options)
+        try:
+            for chunk_index, errors_list in executor.map_chunks(
+                context, chunks
+            ):
+                _settle(chunk_index, errors_list)
+        except ChunkExecutionError as exc:
+            lost = sorted(
+                index
+                for chunk_index in exc.chunk_indices
+                for index in chunk_to_indices[chunk_index]
+            )
+            raise ScenarioTaskError(
+                f"sweep lost {len(lost)} of {len(tasks)} tasks "
+                f"(indices {lost}); completed chunks were retained"
+                + (" in the cache" if cache is not None else "")
+                + f": {exc}",
+                lost,
+            ) from exc
     return results
 
 
@@ -357,12 +566,25 @@ def pool_errors(
     once and split at the per-group boundaries — no per-trial Python
     appends.
     """
+    if n_groups < 0:
+        raise ValueError(f"n_groups must be >= 0, got {n_groups}")
     pooled: list[dict[str, np.ndarray]] = [{} for _ in range(n_groups)]
     if not tasks:
         return pooled
     groups = np.fromiter(
         (task.group for task in tasks), dtype=np.int64, count=len(tasks)
     )
+    # Out-of-range groups would either crash deep inside the bincount /
+    # split plumbing (negative) or silently drop trials past the last
+    # group (>= n_groups); reject them up front with the offending
+    # values named.
+    out_of_range = (groups < 0) | (groups >= n_groups)
+    if out_of_range.any():
+        bad = sorted(set(groups[out_of_range].tolist()))
+        raise ValueError(
+            f"task group indices must lie in [0, {n_groups}); "
+            f"got out-of-range group(s) {bad}"
+        )
     order = np.argsort(groups, kind="stable")
     names: list[str] = []
     seen: set[str] = set()

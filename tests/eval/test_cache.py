@@ -224,6 +224,80 @@ class TestStore:
         assert leftovers == []
 
 
+class TestPruneTmp:
+    @staticmethod
+    def _plant_tmp(cache, name, age_s):
+        import os
+        import time
+
+        shard = cache.root / "ab"
+        shard.mkdir(exist_ok=True)
+        path = shard / name
+        path.write_bytes(b"torn write")
+        stamp = time.time() - age_s
+        os.utime(path, (stamp, stamp))
+        return path
+
+    def test_prune_removes_stale_keeps_fresh_and_entries(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        key = "ab" + "0" * 62
+        cache.put(key, {"correlation": np.ones(3)})
+        stale = self._plant_tmp(cache, "stale.tmp", age_s=7200)
+        fresh = self._plant_tmp(cache, "fresh.tmp", age_s=10)
+        assert cache.prune_tmp(max_age=3600) == 1
+        assert not stale.exists()
+        assert fresh.exists()  # an in-flight concurrent write
+        assert cache.get(key) is not None  # entries untouched
+
+    @staticmethod
+    def _age_marker(root, age_s=7200):
+        import os
+        import time
+
+        marker = root / ".last-prune"
+        stamp = time.time() - age_s
+        os.utime(marker, (stamp, stamp))
+
+    def test_open_prunes_opportunistically(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        stale = self._plant_tmp(cache, "orphan.tmp", age_s=7200)
+        self._age_marker(tmp_path)  # pretend the last sweep was old
+        TrialCache(tmp_path)  # a second handle on the same store
+        assert not stale.exists()
+
+    def test_open_rate_limits_the_sweep(self, tmp_path):
+        cache = TrialCache(tmp_path)
+        stale = self._plant_tmp(cache, "orphan.tmp", age_s=7200)
+        TrialCache(tmp_path)  # marker is fresh: no sweep this time
+        assert stale.exists()
+
+    def test_killed_writer_orphan_is_recovered(self, tmp_path, monkeypatch):
+        """A put() that dies after mkstemp leaves a tmp a later open reaps."""
+        import os
+
+        cache = TrialCache(tmp_path)
+        real_replace = os.replace
+
+        def dying_replace(src, dst):
+            raise KeyboardInterrupt("killed mid-publish")
+
+        real_unlink = os.unlink
+        monkeypatch.setattr(os, "replace", dying_replace)
+        # Simulate SIGKILL: even put()'s own unlink cleanup never runs.
+        monkeypatch.setattr(os, "unlink", lambda path: None)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("ab" + "0" * 62, {"correlation": np.zeros(2)})
+        monkeypatch.setattr(os, "replace", real_replace)
+        monkeypatch.setattr(os, "unlink", real_unlink)
+        orphans = list(cache.root.glob("*/*.tmp"))
+        assert len(orphans) == 1
+        stamp = __import__("time").time() - 7200
+        os.utime(orphans[0], (stamp, stamp))
+        self._age_marker(tmp_path)
+        TrialCache(tmp_path)
+        assert not orphans[0].exists()
+
+
 class TestEngineIntegration:
     def test_hit_miss_partitioning(self, planetlab_small, tmp_path):
         cache = TrialCache(tmp_path)

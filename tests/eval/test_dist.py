@@ -1,0 +1,423 @@
+"""Distributed sweep backend: framing, fault tolerance, bit-identity."""
+
+import contextlib
+import pickle
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.eval.dist import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    ProtocolError,
+    RemoteExecutor,
+    WorkerServer,
+    buffer_payload,
+    parse_hosts,
+    payload_to_buffer,
+    recv_message,
+    send_message,
+)
+from repro.eval.cache import TrialCache
+from repro.eval.parallel import (
+    SCENARIO_FACTORIES,
+    ScenarioTaskError,
+    _pack_error_dicts,
+    _unpack_error_dicts,
+    run_scenario_tasks,
+    scenario_tasks,
+)
+from repro.simulate.experiment import ExperimentConfig
+
+FAST = ExperimentConfig(n_snapshots=120, packets_per_path=200)
+
+
+# ----------------------------------------------------------------------
+# Protocol framing
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def _pipe():
+    left, right = socket.socketpair()
+    try:
+        yield left, right
+    finally:
+        left.close()
+        right.close()
+
+
+class TestFraming:
+    def test_round_trip_header_and_payload(self):
+        with _pipe() as (left, right):
+            payload = bytes(range(256)) * 100
+            send_message(
+                left, {"type": "chunk", "chunk": 7, "extra": [1, 2]}, payload
+            )
+            header, received = recv_message(right)
+        assert header == {"type": "chunk", "chunk": 7, "extra": [1, 2]}
+        assert received == payload
+
+    def test_round_trip_empty_payload(self):
+        with _pipe() as (left, right):
+            send_message(left, {"type": "end"})
+            header, received = recv_message(right)
+        assert header["type"] == "end"
+        assert received == b""
+
+    def test_multiple_frames_in_sequence(self):
+        with _pipe() as (left, right):
+            for index in range(5):
+                send_message(left, {"type": "chunk", "chunk": index})
+            got = [recv_message(right)[0]["chunk"] for _ in range(5)]
+        assert got == list(range(5))
+
+    def test_clean_close_raises_connection_closed(self):
+        with _pipe() as (left, right):
+            left.close()
+            with pytest.raises(ConnectionClosed):
+                recv_message(right)
+
+    def test_mid_frame_close_is_not_clean(self):
+        with _pipe() as (left, right):
+            send_message(left, {"type": "chunk"}, b"x" * 64)
+            # Retransmit a truncated copy: send only part of the frame.
+            left.close()
+            recv_message(right)  # the full frame arrives fine
+        with _pipe() as (left, right):
+            left.sendall(b"RTD1")  # magic only, then vanish
+            left.close()
+            with pytest.raises(ProtocolError) as excinfo:
+                recv_message(right)
+            assert not isinstance(excinfo.value, ConnectionClosed)
+
+    def test_bad_magic_rejected(self):
+        with _pipe() as (left, right):
+            left.sendall(b"BOGUS!!!" + bytes(16))
+            with pytest.raises(ProtocolError, match="magic"):
+                recv_message(right)
+
+    def test_oversized_lengths_rejected(self):
+        import struct
+
+        with _pipe() as (left, right):
+            left.sendall(struct.pack("!4sQQ", b"RTD1", 1 << 60, 0))
+            with pytest.raises(ProtocolError, match="header length"):
+                recv_message(right)
+
+    def test_non_dict_header_rejected(self):
+        import struct
+
+        blob = pickle.dumps(["not", "a", "dict"])
+        with _pipe() as (left, right):
+            left.sendall(struct.pack("!4sQQ", b"RTD1", len(blob), 0) + blob)
+            with pytest.raises(ProtocolError, match="dict"):
+                recv_message(right)
+
+    def test_packed_buffer_round_trip(self):
+        dicts = [
+            {"correlation": np.array([0.1, 0.2]), "independence": np.array([0.3])},
+            {"correlation": np.array([], dtype=np.float64)},
+        ]
+        descriptor, buffer = _pack_error_dicts(dicts)
+        payload = bytes(buffer_payload(buffer))
+        restored = _unpack_error_dicts(
+            descriptor, payload_to_buffer(payload)
+        )
+        assert len(restored) == 2
+        assert np.array_equal(restored[0]["correlation"], [0.1, 0.2])
+        assert np.array_equal(restored[0]["independence"], [0.3])
+        assert restored[1]["correlation"].size == 0
+        # Copies, not views into the read-only socket buffer.
+        assert restored[0]["correlation"].flags.writeable
+
+    def test_ragged_payload_rejected(self):
+        with pytest.raises(ProtocolError, match="float64"):
+            payload_to_buffer(b"12345")
+
+
+class TestParseHosts:
+    def test_comma_separated_string(self):
+        assert parse_hosts("a:7100, b:7200") == [("a", 7100), ("b", 7200)]
+
+    def test_iterables_and_tuples(self):
+        assert parse_hosts([("a", 1), "b:2"]) == [("a", 1), ("b", 2)]
+
+    def test_ipv6_brackets(self):
+        assert parse_hosts("[::1]:7100") == [("::1", 7100)]
+
+    @pytest.mark.parametrize(
+        "spec", ["", "hostonly", "a:notaport", "a:0", "[::1]7100"]
+    )
+    def test_malformed_specs_rejected(self, spec):
+        with pytest.raises(ValueError):
+            parse_hosts(spec)
+
+
+# ----------------------------------------------------------------------
+# Remote execution
+# ----------------------------------------------------------------------
+@contextlib.contextmanager
+def worker_fleet(count=2, /, **kwargs):
+    """Run ``count`` in-thread workers; yields the server objects."""
+    kwargs.setdefault("max_sessions", 1)
+    servers = [WorkerServer(**kwargs) for _ in range(count)]
+    threads = [
+        threading.Thread(target=server.serve_forever, daemon=True)
+        for server in servers
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.close()
+        for thread in threads:
+            thread.join(timeout=10)
+
+
+def _assert_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for errors_a, errors_b in zip(reference, candidate):
+        assert set(errors_a) == set(errors_b)
+        for name in errors_a:
+            assert np.array_equal(errors_a[name], errors_b[name])
+
+
+def _boom_factory(instance, seed=None, **kwargs):
+    raise RuntimeError("injected failure")
+
+
+class TestRemoteExecution:
+    def test_remote_matches_serial_bit_identical(self, planetlab_small):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=21
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [server.address for server in servers]
+                ),
+            )
+        _assert_identical(serial, remote)
+
+    def test_worker_death_requeues_deterministically(self, planetlab_small):
+        """One worker drops mid-chunk; survivors absorb the requeue."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=22
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1) as good:
+            with worker_fleet(1, fail_after_chunks=1) as flaky:
+                remote = run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [good[0].address, flaky[0].address]
+                    ),
+                )
+        _assert_identical(serial, remote)
+
+    def test_all_workers_lost_raises_with_task_indices(
+        self, planetlab_small
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=23
+        )
+        with worker_fleet(2, fail_after_chunks=0) as servers:
+            with pytest.raises(ScenarioTaskError) as excinfo:
+                run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [server.address for server in servers]
+                    ),
+                )
+        assert excinfo.value.task_indices == [0, 1, 2]
+
+    def test_unreachable_endpoint_does_not_kill_sweep(
+        self, planetlab_small
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=24
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        # Reserve a port nothing listens on.
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead_address = "{}:{}".format(*probe.getsockname()[:2])
+        probe.close()
+        with worker_fleet(1) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [servers[0].address, dead_address],
+                    connect_timeout=2.0,
+                ),
+            )
+        _assert_identical(serial, remote)
+
+    def test_remote_task_error_settles_other_chunks(
+        self, planetlab_small, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(SCENARIO_FACTORIES, "boom", _boom_factory)
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=25
+        )
+        bad = tasks[1]
+        tasks[1] = type(bad)(
+            group=bad.group,
+            factory="boom",
+            factory_kwargs={},
+            scenario_seed=bad.scenario_seed,
+            run_seed=bad.run_seed,
+        )
+        cache = TrialCache(tmp_path / "store")
+        with worker_fleet(2) as servers:
+            with pytest.raises(ScenarioTaskError) as excinfo:
+                run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    cache=cache,
+                    executor=RemoteExecutor(
+                        [server.address for server in servers]
+                    ),
+                )
+        assert excinfo.value.task_indices == [1]
+        # The two healthy chunks were written back despite the failure.
+        assert cache.stats.stores == 2
+
+    def test_worker_side_cache_serves_hits_without_compute(
+        self, planetlab_small, monkeypatch, tmp_path
+    ):
+        """A populated worker cache answers even when compute would fail."""
+        store = tmp_path / "shared-store"
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=26
+        )
+        serial = run_scenario_tasks(
+            planetlab_small,
+            tasks,
+            config=FAST,
+            workers=1,
+            cache=TrialCache(store),
+        )
+        entries = len(list(store.rglob("*.npz")))
+        assert entries == 2
+        # Break the factory: only cache hits can answer now.
+        monkeypatch.setitem(
+            SCENARIO_FACTORIES, "clustered", _boom_factory
+        )
+        with worker_fleet(2, cache_dir=store) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [server.address for server in servers]
+                ),
+            )
+        _assert_identical(serial, remote)
+        assert len(list(store.rglob("*.npz"))) == entries
+
+    def test_worker_writes_cache_as_chunks_complete(
+        self, planetlab_small, tmp_path
+    ):
+        """A worker killed after one chunk has persisted that chunk."""
+        store = tmp_path / "store"
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=27
+        )
+        with worker_fleet(
+            1, cache_dir=store, fail_after_chunks=1
+        ) as servers:
+            with pytest.raises(ScenarioTaskError):
+                run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor([servers[0].address]),
+                )
+        # The chunk served before the crash reached the shared store.
+        assert len(list(store.rglob("*.npz"))) >= 1
+
+    def test_straggler_duplication_keeps_results_identical(
+        self, planetlab_small
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=28
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [server.address for server in servers],
+                    # Aggressive timeout: every chunk is eligible for
+                    # speculative duplication almost immediately.
+                    straggler_timeout=0.01,
+                ),
+            )
+        _assert_identical(serial, remote)
+
+    def test_concurrent_sessions_on_one_worker(self, planetlab_small):
+        """A worker mid-sweep still serves a second coordinator."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=29
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, max_sessions=2) as servers:
+            executor = RemoteExecutor([servers[0].address])
+            outcomes = {}
+
+            def sweep(label):
+                outcomes[label] = run_scenario_tasks(
+                    planetlab_small, tasks, config=FAST, executor=executor
+                )
+
+            first = threading.Thread(target=sweep, args=("first",))
+            second = threading.Thread(target=sweep, args=("second",))
+            first.start()
+            second.start()
+            first.join(timeout=60)
+            second.join(timeout=60)
+        _assert_identical(serial, outcomes["first"])
+        _assert_identical(serial, outcomes["second"])
+
+    def test_protocol_version_mismatch_reported(self):
+        with worker_fleet(1) as servers:
+            sock = socket.create_connection(
+                (servers[0].host, servers[0].port), timeout=5
+            )
+            try:
+                send_message(
+                    sock,
+                    {"type": "init", "protocol": PROTOCOL_VERSION + 1},
+                    pickle.dumps((None, None, None)),
+                )
+                header, _ = recv_message(sock)
+            finally:
+                sock.close()
+        assert header["type"] == "error"
+        assert "protocol mismatch" in header["message"]

@@ -3,9 +3,16 @@
 import numpy as np
 import pytest
 
+from repro.eval.cache import TrialCache
 from repro.eval.figures import figure3_sweep, figure5_cdf
 from repro.eval.parallel import (
+    SCENARIO_FACTORIES,
+    LocalExecutor,
     ScenarioTask,
+    ScenarioTaskError,
+    SerialExecutor,
+    _pack_error_dicts,
+    _unpack_error_dicts,
     pool_errors,
     resolve_workers,
     run_scenario_tasks,
@@ -14,6 +21,24 @@ from repro.eval.parallel import (
 from repro.simulate.experiment import ExperimentConfig
 
 FAST = ExperimentConfig(n_snapshots=120, packets_per_path=200)
+
+
+def _boom_factory(instance, seed=None, **kwargs):
+    raise RuntimeError("injected failure")
+
+
+def _with_boom(tasks, index):
+    """Swap task ``index``'s factory for the failing one."""
+    bad = tasks[index]
+    tasks = list(tasks)
+    tasks[index] = ScenarioTask(
+        group=bad.group,
+        factory="boom",
+        factory_kwargs={},
+        scenario_seed=bad.scenario_seed,
+        run_seed=bad.run_seed,
+    )
+    return tasks
 
 
 class TestTaskConstruction:
@@ -107,7 +132,128 @@ class TestEngineDeterminism:
         assert first.points == second.points
 
 
+class TestTransport:
+    def test_unpacked_vectors_are_independent_copies(self):
+        dicts = [
+            {"correlation": np.array([1.0, 2.0]), "independence": np.array([3.0])},
+            {"correlation": np.array([4.0])},
+        ]
+        descriptor, buffer = _pack_error_dicts(dicts)
+        restored = _unpack_error_dicts(descriptor, buffer)
+        # Copies own their memory: dropping one trial must not pin the
+        # whole chunk buffer, and mutating the buffer must not alias.
+        for errors in restored:
+            for vector in errors.values():
+                assert vector.base is None
+                assert vector.flags.writeable
+        buffer[:] = -1.0
+        assert np.array_equal(restored[0]["correlation"], [1.0, 2.0])
+
+    def test_unpack_views_on_request(self):
+        dicts = [{"correlation": np.array([1.0, 2.0])}]
+        descriptor, buffer = _pack_error_dicts(dicts)
+        restored = _unpack_error_dicts(descriptor, buffer, copy=False)
+        assert restored[0]["correlation"].base is buffer
+
+
+class TestFailureSemantics:
+    def test_serial_failure_reports_indices_and_keeps_cache(
+        self, planetlab_small, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(SCENARIO_FACTORIES, "boom", _boom_factory)
+        tasks = _with_boom(
+            scenario_tasks(
+                "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=41
+            ),
+            1,
+        )
+        cache = TrialCache(tmp_path / "store")
+        with pytest.raises(ScenarioTaskError) as excinfo:
+            run_scenario_tasks(
+                planetlab_small, tasks, config=FAST, cache=cache
+            )
+        assert excinfo.value.task_indices == [1]
+        # Every healthy task was written back before the raise, so a
+        # rerun with a fixed factory recomputes only the lost one.
+        assert cache.stats.stores == 2
+
+    def test_local_failure_reports_indices_and_keeps_cache(
+        self, planetlab_small, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(SCENARIO_FACTORIES, "boom", _boom_factory)
+        tasks = _with_boom(
+            scenario_tasks(
+                "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=42
+            ),
+            2,
+        )
+        cache = TrialCache(tmp_path / "store")
+        with pytest.raises(ScenarioTaskError) as excinfo:
+            run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                cache=cache,
+                executor=LocalExecutor(2),
+            )
+        assert excinfo.value.task_indices == [2]
+        assert cache.stats.stores == 3
+
+    def test_failed_sweep_resumes_from_cache(
+        self, planetlab_small, monkeypatch, tmp_path
+    ):
+        monkeypatch.setitem(SCENARIO_FACTORIES, "boom", _boom_factory)
+        healthy = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=43
+        )
+        broken = _with_boom(healthy, 0)
+        store = tmp_path / "store"
+        with pytest.raises(ScenarioTaskError):
+            run_scenario_tasks(
+                planetlab_small,
+                broken,
+                config=FAST,
+                cache=TrialCache(store),
+            )
+        retry_cache = TrialCache(store)
+        results = run_scenario_tasks(
+            planetlab_small, healthy, config=FAST, cache=retry_cache
+        )
+        assert len(results) == 3
+        # Only the lost task recomputes.
+        assert retry_cache.stats.hits == 2
+        assert retry_cache.stats.stores == 1
+
+    def test_executor_results_identical_across_backends(
+        self, planetlab_small
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=44
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, executor=SerialExecutor()
+        )
+        local = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, executor=LocalExecutor(2)
+        )
+        for errors_a, errors_b in zip(serial, local):
+            assert set(errors_a) == set(errors_b)
+            for name in errors_a:
+                assert np.array_equal(errors_a[name], errors_b[name])
+
+
 class TestPooling:
+    def test_pool_errors_rejects_out_of_range_groups(self):
+        results = [{"correlation": np.array([1.0])}]
+        for group in (-1, 2, 5):
+            tasks = [ScenarioTask(group=group, factory="clustered")]
+            with pytest.raises(ValueError, match=r"\[0, 2\)"):
+                pool_errors(tasks, results, 2)
+
+    def test_pool_errors_rejects_negative_n_groups(self):
+        with pytest.raises(ValueError, match="n_groups"):
+            pool_errors([], [], -1)
+
     def test_pool_errors_groups_in_task_order(self):
         tasks = [
             ScenarioTask(group=0, factory="clustered"),
