@@ -1,18 +1,33 @@
-"""Distributed sweep benchmark (the PR-3 tentpole acceptance run).
+"""Distributed sweep benchmark (PR-3 + elastic-sweep acceptance run).
 
-Runs the figure-3 sweep three ways over the same instance and seed:
+Runs the figure-3 sweep several ways over the same instance and seed:
 
 * **serial** — the engine in-process (correctness reference);
 * **remote** — two localhost worker processes behind a
   :class:`repro.eval.dist.RemoteExecutor` coordinator;
 * **remote-kill** — two fresh workers sharing one trial-cache store,
   with one worker dying mid-sweep: the coordinator requeues its chunks
-  onto the survivor and the sweep completes anyway.
+  onto the survivor and the sweep completes anyway;
+* **elastic-uniform / elastic-aware** — the heterogeneous-capacity
+  scenario: two *autolaunched* workers with capacities 1 and 2 and
+  identical injected per-task latency (``--throttle`` sleeps instead
+  of burning CPU, so the capacity-2 worker genuinely overlaps two
+  chunks even on a one-core box), swept once with capacity
+  advertisements ignored (the PR-3 uniform schedule: one chunk in
+  flight per worker) and once capacity-aware (the capacity-2 worker
+  keeps two chunks in flight).  The capacity-aware schedule must beat
+  uniform chunking on wall-clock (``--require-capacity-gain``, on in
+  CI too — the latency injection makes the gain reproducible on any
+  machine).
 
-All three must produce bit-identical figure data (always enforced with
-``--require-identical``; always printed).  The kill leg additionally
-checks that the sweep *survives* the death and that the shared store
-retained the chunks completed before it (``--require-survival``).
+All sweep legs must produce bit-identical figure data (always enforced
+with ``--require-identical``; always printed).  ``--require-survival``
+additionally gates the kill leg (sweep survives, shared store retained
+the chunks completed before the death) and the **orphan check**: a
+separate coordinator process autolaunches a fleet, is SIGKILLed
+mid-sweep — so no teardown code ever runs — and every autolaunched
+worker must still exit (the stdin lifeline) instead of living on as an
+orphan.
 
 Kill modes: the headline run SIGKILLs the worker process as soon as the
 shared store shows the sweep is underway; ``--quick`` (the CI smoke)
@@ -23,7 +38,8 @@ any speed.
 Usage::
 
     python benchmarks/bench_dist.py --scale medium \
-        --require-identical --require-survival       # headline
+        --require-identical --require-survival \
+        --require-capacity-gain                      # headline
     python benchmarks/bench_dist.py --quick \
         --require-identical --require-survival       # CI smoke
 
@@ -36,7 +52,6 @@ from __future__ import annotations
 import argparse
 import os
 import pathlib
-import re
 import subprocess
 import sys
 import tempfile
@@ -46,7 +61,8 @@ import time
 from bench_util import write_bench_json
 
 from repro.core.correlation_algorithm import AlgorithmOptions
-from repro.eval.dist import RemoteExecutor
+from repro.eval.dist import LocalLauncher, RemoteExecutor
+from repro.eval.dist.launch import LaunchedWorker, worker_environment
 from repro.eval.figures import (
     default_config,
     default_instance,
@@ -57,11 +73,15 @@ from repro.simulate.experiment import ExperimentConfig
 FRACTIONS = (0.05, 0.10, 0.15, 0.20, 0.25)
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-_LISTEN_LINE = re.compile(r"listening on .*:(\d+)\s*$")
-
 
 class _Worker:
-    """One ``repro-tomography worker`` subprocess on an ephemeral port."""
+    """One ``repro-tomography worker`` subprocess on an ephemeral port.
+
+    A thin harness over :class:`repro.eval.dist.launch.LaunchedWorker`
+    (which owns the readiness wait and stdout drain) for the legs that
+    need per-worker flags a homogeneous launcher does not model:
+    ``--max-sessions 1`` and fault injection on one specific worker.
+    """
 
     def __init__(self, *, cache_dir=None, fail_after_chunks=None) -> None:
         command = [
@@ -73,35 +93,33 @@ class _Worker:
             "0",
             "--max-sessions",
             "1",
+            # Pinned: these legs measure distribution, and their
+            # timings are compared against the PR-3 records in
+            # BENCH_dist.json; the CLI's capacity default (CPU count)
+            # would add in-host pooling to what they measure.
+            "--capacity",
+            "1",
         ]
         if cache_dir is not None:
             command += ["--cache-dir", str(cache_dir)]
         if fail_after_chunks is not None:
             command += ["--fail-after-chunks", str(fail_after_chunks)]
-        env = dict(os.environ)
-        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
-            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
-        )
-        self.process = subprocess.Popen(
+        process = subprocess.Popen(
             command,
             cwd=REPO_ROOT,
-            env=env,
+            env=worker_environment(),
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
         )
-        line = self.process.stdout.readline()
-        match = _LISTEN_LINE.search(line.strip())
-        if not match:
-            self.process.kill()
-            raise RuntimeError(
-                f"worker did not announce its port (got {line!r})"
-            )
-        self.address = f"127.0.0.1:{match.group(1)}"
-        # Drain further log output so the pipe never blocks the worker.
-        threading.Thread(
-            target=self.process.stdout.read, daemon=True
-        ).start()
+        self.launched = LaunchedWorker(process, "bench-worker")
+        self.process = process
+        try:
+            port = self.launched.await_ready(time.monotonic() + 30.0)
+        except BaseException:
+            self.stop()  # no lifeline on bench workers: reap explicitly
+            raise
+        self.address = f"127.0.0.1:{port}"
 
     def stop(self) -> None:
         if self.process.poll() is None:
@@ -138,6 +156,87 @@ def _kill_when_store_populated(worker, store, landed):
         time.sleep(0.02)
 
 
+def _run_orphan_child(args) -> int:
+    """Child mode: autolaunch a fleet, announce it, sweep until killed.
+
+    The parent SIGKILLs this process mid-sweep, so the launcher's
+    ``shutdown()`` never runs — worker teardown must come entirely from
+    the stdin lifeline each worker holds on us.
+    """
+    launcher = LocalLauncher(2, capacities=[1, 2])
+    specs = launcher.launch()
+    for worker in launcher.workers:
+        print(f"worker-pid {worker.pid}", flush=True)
+    print("sweep-start", flush=True)
+    instance = default_instance("brite", scale="small", seed=args.seed)
+    figure3_sweep(
+        instance=instance,
+        fractions=FRACTIONS,
+        config=ExperimentConfig(n_snapshots=2000, packets_per_path=400),
+        n_trials=4,
+        seed=args.seed,
+        options=AlgorithmOptions(),
+        executor=RemoteExecutor(specs),
+    )
+    launcher.shutdown()  # only reached if the parent failed to kill us
+    return 0
+
+
+def _check_orphan_teardown() -> tuple[bool, str]:
+    """SIGKILL a live coordinator; its autolaunched workers must die."""
+    process = subprocess.Popen(
+        [sys.executable, __file__, "--orphan-child"],
+        cwd=REPO_ROOT,
+        env=worker_environment(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    pids: list[int] = []
+    try:
+        for line in process.stdout:
+            line = line.strip()
+            if line.startswith("worker-pid "):
+                pids.append(int(line.split()[1]))
+            elif line == "sweep-start":
+                break
+        else:
+            process.wait(timeout=10)
+            return False, (
+                "orphan check: coordinator never reached its sweep "
+                f"(exit status {process.returncode})"
+            )
+        process.kill()  # SIGKILL mid-sweep: no teardown code runs
+        process.wait(timeout=10)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+    if not pids:
+        return False, "orphan check: coordinator announced no workers"
+    deadline = time.monotonic() + 30.0
+    for pid in pids:
+        while True:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            if time.monotonic() > deadline:
+                try:  # do not leak the orphan we just proved exists
+                    os.kill(pid, 9)
+                except ProcessLookupError:
+                    pass
+                return False, (
+                    f"orphan check: worker {pid} outlived its "
+                    "SIGKILLed coordinator"
+                )
+            time.sleep(0.05)
+    return True, (
+        f"orphan check: all {len(pids)} autolaunched workers exited "
+        "after the coordinator was SIGKILLed mid-sweep"
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -163,10 +262,28 @@ def main(argv=None) -> int:
         action="store_true",
         help=(
             "exit nonzero unless the kill leg completed after losing a "
-            "worker and the shared store retained completed chunks"
+            "worker and the shared store retained completed chunks, "
+            "and the orphan check found no worker outliving a "
+            "SIGKILLed coordinator"
         ),
     )
+    parser.add_argument(
+        "--require-capacity-gain",
+        action="store_true",
+        help=(
+            "exit nonzero unless the capacity-aware schedule beats "
+            "uniform chunking on wall-clock in the heterogeneous "
+            "(capacity 1 vs 2, latency-injected) scenario"
+        ),
+    )
+    parser.add_argument(
+        "--orphan-child",
+        action="store_true",
+        help=argparse.SUPPRESS,  # internal: coordinator-to-be-killed
+    )
     args = parser.parse_args(argv)
+    if args.orphan_child:
+        return _run_orphan_child(args)
 
     scale = "small" if args.quick else args.scale
     fractions = FRACTIONS[:2] if args.quick else FRACTIONS
@@ -199,8 +316,12 @@ def main(argv=None) -> int:
     t_serial = time.perf_counter() - t0
     print(f"serial:                 {t_serial:7.2f} s")
 
-    workers = [_Worker(), _Worker()]
+    workers = []
     try:
+        # Construct one at a time inside the try: a failed second
+        # spawn must still reap the first.
+        workers.append(_Worker())
+        workers.append(_Worker())
         t0 = time.perf_counter()
         remote = figure3_sweep(
             executor=RemoteExecutor([w.address for w in workers]),
@@ -216,21 +337,23 @@ def main(argv=None) -> int:
     kill_landed = False
     retained_entries = 0
     with tempfile.TemporaryDirectory() as store:
-        survivor = _Worker(cache_dir=store)
-        if args.quick:
-            doomed = _Worker(cache_dir=store, fail_after_chunks=1)
-            kill_landed = True  # deterministic: dies after one chunk
-            watcher = None
-        else:
-            doomed = _Worker(cache_dir=store)
-            landed: list[bool] = []
-            watcher = threading.Thread(
-                target=_kill_when_store_populated,
-                args=(doomed, store, landed),
-                daemon=True,
-            )
-            watcher.start()
+        survivor = None
+        doomed = None
+        watcher = None
         try:
+            survivor = _Worker(cache_dir=store)
+            if args.quick:
+                doomed = _Worker(cache_dir=store, fail_after_chunks=1)
+                kill_landed = True  # deterministic: dies after one chunk
+            else:
+                doomed = _Worker(cache_dir=store)
+                landed: list[bool] = []
+                watcher = threading.Thread(
+                    target=_kill_when_store_populated,
+                    args=(doomed, store, landed),
+                    daemon=True,
+                )
+                watcher.start()
             t0 = time.perf_counter()
             survived = figure3_sweep(
                 executor=RemoteExecutor(
@@ -243,8 +366,10 @@ def main(argv=None) -> int:
             if watcher is not None:
                 watcher.join(timeout=10)
                 kill_landed = bool(landed)
-            survivor.stop()
-            doomed.stop()
+            if survivor is not None:
+                survivor.stop()
+            if doomed is not None:
+                doomed.stop()
         retained_entries = len(list(pathlib.Path(store).rglob("*.npz")))
     print(
         f"remote, one worker killed: {t_kill:7.2f} s "
@@ -252,19 +377,77 @@ def main(argv=None) -> int:
         f"{retained_entries} entries)"
     )
 
+    # Heterogeneous capacity: one autolaunched fleet per leg — a
+    # capacity-1 and a capacity-2 worker with identical per-task
+    # latency injected (`--throttle`: sleep, not CPU, so the
+    # capacity-2 worker genuinely runs two chunks at once even on a
+    # one-core box) — swept capacity-blind and capacity-aware.  Both
+    # legs pay identical launch + pool-spawn + throttle overhead; the
+    # wall-clock difference is purely the schedule keeping the wide
+    # worker's extra slot busy.  More trials than the headline legs so
+    # the chunk count gives the scheduler granularity to exploit.
+    hetero_trials = max(2 * trials, 8)
+    hetero_kwargs = dict(sweep_kwargs, n_trials=hetero_trials)
+    hetero_throttle = 1.5
+    hetero_serial = figure3_sweep(workers=1, **hetero_kwargs)
+    t0 = time.perf_counter()
+    uniform = figure3_sweep(
+        executor=RemoteExecutor(
+            launcher=LocalLauncher(
+                2,
+                capacities=[1, 2],
+                throttles=hetero_throttle,
+            ),
+            capacity_aware=False,
+        ),
+        **hetero_kwargs,
+    )
+    t_uniform = time.perf_counter() - t0
+    print(
+        f"elastic hetero ({len(fractions) * hetero_trials} tasks, "
+        f"{hetero_throttle}s/task latency), uniform:        "
+        f"{t_uniform:7.2f} s"
+    )
+    t0 = time.perf_counter()
+    aware = figure3_sweep(
+        executor=RemoteExecutor(
+            launcher=LocalLauncher(
+                2,
+                capacities=[1, 2],
+                throttles=hetero_throttle,
+            ),
+        ),
+        **hetero_kwargs,
+    )
+    t_aware = time.perf_counter() - t0
+    capacity_gain = t_uniform / t_aware if t_aware > 0 else float("inf")
+    print(
+        f"elastic hetero, capacity-aware:                   "
+        f"{t_aware:7.2f} s ({capacity_gain:.2f}x vs uniform)"
+    )
+
+    orphan_ok, orphan_detail = _check_orphan_teardown()
+    print(orphan_detail)
+
     _print_series("serial", fractions, _points_as_dicts(serial))
 
     reference = _points_as_dicts(serial)
-    for label, result in (
-        ("remote", remote),
-        ("remote-kill", survived),
+    hetero_reference = _points_as_dicts(hetero_serial)
+    for label, result, expected in (
+        ("remote", remote, reference),
+        ("remote-kill", survived, reference),
+        ("elastic-uniform", uniform, hetero_reference),
+        ("elastic-aware", aware, hetero_reference),
     ):
-        if _points_as_dicts(result) != reference:
+        if _points_as_dicts(result) != expected:
             failures.append(
                 f"{label} figure data differs from the serial reference"
             )
     if not failures:
-        print("bit-identical: serial == remote == remote-kill")
+        print(
+            "bit-identical: serial == remote == remote-kill and "
+            "serial == elastic-uniform == elastic-aware"
+        )
 
     if args.require_survival:
         if not kill_landed:
@@ -276,6 +459,13 @@ def main(argv=None) -> int:
             failures.append(
                 "shared store retained no completed chunks after the kill"
             )
+        if not orphan_ok:
+            failures.append(orphan_detail)
+    if args.require_capacity_gain and capacity_gain <= 1.0:
+        failures.append(
+            f"capacity-aware schedule did not beat uniform chunking "
+            f"({capacity_gain:.2f}x)"
+        )
 
     speedup = t_serial / t_remote if t_remote > 0 else float("inf")
     print(f"remote speedup over serial: {speedup:.2f}x")
@@ -299,17 +489,23 @@ def main(argv=None) -> int:
             "quick": args.quick,
             "kill_mode": "fail-after-chunks" if args.quick else "sigkill",
             "cpu_count": os.cpu_count() or 1,
+            "hetero_trials": hetero_trials,
+            "hetero_throttle_s": hetero_throttle,
         },
         timings_s={
             "serial": t_serial,
             "remote": t_remote,
             "remote_kill": t_kill,
+            "elastic_uniform": t_uniform,
+            "elastic_aware": t_aware,
         },
         ratios={
             "remote_speedup": speedup,
+            "capacity_gain": capacity_gain,
             "identical": float(not failures),
             "kill_landed": float(kill_landed),
             "retained_entries": float(retained_entries),
+            "orphan_teardown_ok": float(orphan_ok),
         },
     )
 

@@ -35,16 +35,31 @@ Figure commands also pick an execution backend
 * ``--backend {serial,local,remote}`` — serial in-process execution, a
   process pool on this host, or a coordinator fanning chunks out to
   workers on other machines.  Defaults to serial/local based on
-  ``--workers``; ``--hosts`` alone implies ``remote``.
-* ``--hosts a:7100,b:7100`` — worker endpoints for the remote backend
-  (the ``REPRO_HOSTS`` environment variable supplies a default).
-  Workers are started by hand, by CI, or over SSH::
+  ``--workers``; ``--hosts`` or ``--launch`` alone implies ``remote``.
+* ``--hosts [user@]a:7100,b:7100`` — worker endpoints for the remote
+  backend (the ``REPRO_HOSTS`` environment variable supplies a
+  default).  Workers are started by hand, by CI, over SSH, or — see
+  ``--launch`` — by the coordinator itself::
 
       ssh host repro-tomography worker --bind 0.0.0.0 --port 7100
 
+* ``--launch {local,ssh}`` — the coordinator launches its own workers
+  and tears them down when the sweep ends (even on failure; a killed
+  coordinator takes its workers with it via a stdin lifeline).
+  ``local`` spawns ``--launch-workers`` subprocesses on this host
+  (single-host fan-out, no hand-starting); ``ssh`` runs one worker per
+  ``--hosts`` entry over SSH.  ``--launch-capacity`` sets the
+  capacities the launched workers advertise.
+
+Workers advertise a *capacity* (parallel chunk slots, CPU count by
+default for the CLI worker; ``--capacity`` overrides) during the
+protocol handshake, and the coordinator sizes each worker's chunk
+pipeline proportionally, so a fast 8-core box pulls more of the sweep
+than a 2-core one instead of the slowest host gating every figure.
+
 Every backend is bit-identical to the serial run at a fixed seed; a
-worker that dies mid-sweep only costs the chunk it was computing (the
-coordinator requeues it on the survivors).
+worker that dies mid-sweep only costs the chunks it was computing (the
+coordinator requeues them on the survivors).
 
 ``repro-tomography worker`` runs one worker process: it listens for a
 coordinator, receives the instance/config once per sweep, and serves
@@ -152,9 +167,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     worker.add_argument(
         "--port",
-        type=int,
+        type=_port_number,
         default=0,
         help="TCP port (default 0 = ephemeral, printed on startup)",
+    )
+    worker.add_argument(
+        "--capacity",
+        type=_worker_capacity,
+        default=0,
+        metavar="N",
+        help=(
+            "parallel chunk slots advertised to the coordinator; "
+            "chunks execute on a process pool of this size "
+            "(default 0 = one slot per CPU core)"
+        ),
+    )
+    worker.add_argument(
+        "--exit-on-stdin-close",
+        action="store_true",
+        help=(
+            "exit when stdin reaches EOF — launchers hold a pipe to "
+            "the worker as a lifeline, so a dead coordinator (even "
+            "SIGKILLed) takes its autolaunched workers with it"
+        ),
     )
     worker.add_argument(
         "--cache-dir",
@@ -186,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help=argparse.SUPPRESS,  # fault-injection hook for tests/benchmarks
     )
+    worker.add_argument(
+        "--throttle",
+        type=_throttle_seconds,
+        default=0.0,
+        metavar="SECONDS",
+        help=argparse.SUPPRESS,  # latency-injection hook for benchmarks
+    )
 
     tomographer = commands.add_parser(
         "tomographer",
@@ -201,13 +243,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _worker_count(text: str) -> int:
-    value = int(text)
-    if value < 0:
-        raise argparse.ArgumentTypeError(
-            f"workers must be >= 0 (0 = one per CPU core), got {value}"
-        )
-    return value
+def _numeric_flag(name, parse, *, minimum=None, maximum=None, hint):
+    """Build an argparse validator for a bounded numeric flag."""
+
+    def validate(text: str):
+        try:
+            value = parse(text)
+        except ValueError:
+            kind = "an integer" if parse is int else "a number"
+            raise argparse.ArgumentTypeError(
+                f"{name} must be {kind}, got {text!r}"
+            ) from None
+        if (minimum is not None and value < minimum) or (
+            maximum is not None and value > maximum
+        ):
+            raise argparse.ArgumentTypeError(
+                f"{name} must be {hint}, got {value}"
+            )
+        return value
+
+    return validate
+
+
+_worker_count = _numeric_flag(
+    "workers", int, minimum=0, hint=">= 0 (0 = one per CPU core)"
+)
+_port_number = _numeric_flag(
+    "port",
+    int,
+    minimum=0,
+    maximum=65535,
+    hint="in [0, 65535] (0 = ephemeral)",
+)
+_worker_capacity = _numeric_flag(
+    "capacity", int, minimum=0, hint=">= 0 (0 = one slot per CPU core)"
+)
+_throttle_seconds = _numeric_flag(
+    "throttle", float, minimum=0, hint=">= 0 seconds"
+)
 
 
 def _common_figure_arguments(parser: argparse.ArgumentParser) -> None:
@@ -272,11 +345,12 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--hosts",
         default=None,
-        metavar="HOST:PORT[,...]",
+        metavar="[USER@]HOST:PORT[,...]",
         help=(
             "worker endpoints for the remote backend, e.g. "
             "'a:7100,b:7100' (default: the REPRO_HOSTS env var); start "
-            "workers with the 'worker' subcommand"
+            "workers with the 'worker' subcommand or let the "
+            "coordinator start them with --launch ssh"
         ),
     )
     parser.add_argument(
@@ -290,10 +364,67 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
             "result wins; results unchanged)"
         ),
     )
+    parser.add_argument(
+        "--launch",
+        choices=("local", "ssh"),
+        default=None,
+        help=(
+            "remote backend only: autolaunch the workers and tear them "
+            "down when the sweep ends — 'local' spawns "
+            "--launch-workers subprocesses on this host, 'ssh' runs "
+            "one worker per --hosts entry over SSH"
+        ),
+    )
+    parser.add_argument(
+        "--launch-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "number of workers --launch local spawns (default 2; "
+            "the --launch ssh fleet comes from --hosts instead)"
+        ),
+    )
+    parser.add_argument(
+        "--launch-capacity",
+        default=None,
+        metavar="C[,C...]",
+        help=(
+            "capacities for autolaunched workers (one value per "
+            "worker, or a single value for all; default: 1 each for "
+            "--launch local, the remote CPU count for --launch ssh)"
+        ),
+    )
+
+
+def _parse_launch_capacities(text):
+    """Split --launch-capacity into ints; launchers validate the rest.
+
+    The broadcast / one-per-worker / ``>= 1`` rules live in the
+    launcher constructors (the single source of those semantics); a
+    single value is passed as a scalar so they broadcast it.
+    """
+    if text is None:
+        return None
+    try:
+        values = [
+            int(piece) for piece in str(text).split(",") if piece.strip()
+        ]
+    except ValueError:
+        raise SystemExit(
+            f"error: --launch-capacity must be a comma-separated list "
+            f"of integers, got {text!r}"
+        ) from None
+    if not values:
+        raise SystemExit(
+            f"error: --launch-capacity must name at least one "
+            f"capacity, got {text!r}"
+        )
+    return values[0] if len(values) == 1 else values
 
 
 def _make_executor(args):
-    """Build the executor requested by --backend/--hosts (or None).
+    """Build the executor requested by --backend/--hosts/--launch.
 
     ``None`` defers to the engine's legacy ``workers`` resolution
     (serial or a local process pool), keeping the historical flags
@@ -301,8 +432,25 @@ def _make_executor(args):
     """
     backend = args.backend
     hosts = args.hosts or os.environ.get("REPRO_HOSTS", "").strip() or None
-    if backend is None and hosts is not None:
+    launch = getattr(args, "launch", None)
+    if backend is None and (hosts is not None or launch is not None):
         backend = "remote"
+    if launch is not None and backend != "remote":
+        raise SystemExit(
+            f"error: --launch only applies to --backend remote "
+            f"(got --backend {backend})"
+        )
+    if launch is None and (
+        getattr(args, "launch_workers", None) is not None
+        or getattr(args, "launch_capacity", None) is not None
+    ):
+        # These flags configure the autolaunched fleet; accepting them
+        # without --launch would silently hand the user the workers'
+        # own defaults instead.
+        raise SystemExit(
+            "error: --launch-workers/--launch-capacity require "
+            "--launch {local,ssh}"
+        )
     if backend is None:
         return None
     if backend == "serial":
@@ -321,16 +469,96 @@ def _make_executor(args):
             # than serial.
             workers = 0
         return LocalExecutor(resolve_workers(workers))
-    if hosts is None:
-        raise SystemExit(
-            "error: --backend remote needs worker endpoints "
-            "(--hosts or REPRO_HOSTS)"
-        )
+    from repro.eval.cache import resolve_cache_dir
     from repro.eval.dist import RemoteExecutor
 
+    if launch is None:
+        if hosts is None:
+            raise SystemExit(
+                "error: --backend remote needs worker endpoints "
+                "(--hosts or REPRO_HOSTS) or --launch"
+            )
+        return RemoteExecutor(
+            _parse_hosts_or_exit(hosts),
+            straggler_timeout=args.straggler_timeout,
+        )
+    # Launched workers share the figure's trial store (for ssh, a path
+    # valid on the remote hosts, e.g. NFS), so a killed sweep keeps
+    # every trial any worker finished.
+    cache_dir = resolve_cache_dir(args.cache_dir, disabled=args.no_cache)
+    if launch == "local":
+        from repro.eval.dist import LocalLauncher
+
+        if hosts is not None:
+            # Catch the env-supplied form too: REPRO_HOSTS configures a
+            # fleet, and silently sweeping on localhost subprocesses
+            # instead would be a surprising place to lose it.
+            source = (
+                "--hosts" if args.hosts is not None else "REPRO_HOSTS"
+            )
+            raise SystemExit(
+                f"error: --launch local spawns its own workers on this "
+                f"host; drop {source} (or use --launch ssh to start "
+                f"workers on those hosts)"
+            )
+        n_workers = (
+            args.launch_workers if args.launch_workers is not None else 2
+        )
+        if n_workers < 1:
+            raise SystemExit(
+                f"error: --launch-workers must be >= 1, got {n_workers}"
+            )
+        try:
+            launcher = LocalLauncher(
+                n_workers,
+                capacities=_parse_launch_capacities(args.launch_capacity),
+                cache_dir=cache_dir,
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: --launch-capacity/--launch-workers: {exc}"
+            ) from None
+    else:  # launch == "ssh"
+        from repro.eval.dist import SshLauncher
+
+        if hosts is None:
+            raise SystemExit(
+                "error: --launch ssh needs the hosts to launch on "
+                "(--hosts or REPRO_HOSTS)"
+            )
+        if args.launch_workers is not None:
+            # Reject rather than silently launch a different fleet
+            # size than the user asked for.
+            raise SystemExit(
+                "error: --launch-workers only applies to --launch "
+                "local; the --launch ssh fleet is one worker per "
+                "--hosts entry"
+            )
+        specs = _parse_hosts_or_exit(hosts)
+        try:
+            launcher = SshLauncher(
+                specs,
+                capacities=_parse_launch_capacities(args.launch_capacity),
+                cache_dir=cache_dir,
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"error: --launch-capacity: {exc}"
+            ) from None
     return RemoteExecutor(
-        hosts, straggler_timeout=args.straggler_timeout
+        launcher=launcher,
+        straggler_timeout=args.straggler_timeout,
     )
+
+
+def _parse_hosts_or_exit(hosts):
+    """Validate a hosts spec early, as a CLI error rather than a trace."""
+    from repro.eval.dist import parse_hosts
+
+    try:
+        return parse_hosts(hosts)
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
 
 
 def _make_cache(args):
@@ -585,19 +813,50 @@ def _run_tomographer(args) -> int:
     return 0
 
 
+def _stdin_lifeline(server) -> None:
+    """Block until stdin hits EOF, then shut the worker down.
+
+    The launcher (or `ssh`) holds our stdin pipe open for as long as
+    the coordinator lives — including a coordinator that is SIGKILLed
+    and never runs its teardown.  EOF therefore means "coordinator
+    gone": stop accepting, let active sessions drain to their broken
+    sockets, and hard-exit after a grace period so no orphan worker
+    (or its process pool) outlives the sweep.
+    """
+    import time
+
+    try:
+        while sys.stdin.buffer.read(4096):
+            pass
+    except (OSError, ValueError):
+        pass
+    server.close()
+    time.sleep(15.0)
+    os._exit(0)
+
+
 def _run_worker(args) -> int:
+    import threading
+
     from repro.eval.cache import resolve_cache_dir
     from repro.eval.dist import WorkerServer
 
     cache_dir = resolve_cache_dir(args.cache_dir, disabled=args.no_cache)
+    capacity = args.capacity or (os.cpu_count() or 1)
     server = WorkerServer(
         args.bind,
         args.port,
+        capacity=capacity,
         cache_dir=cache_dir,
         max_sessions=args.max_sessions,
         fail_after_chunks=args.fail_after_chunks,
+        throttle=args.throttle,
         log=lambda message: print(message, flush=True),
     )
+    if args.exit_on_stdin_close:
+        threading.Thread(
+            target=_stdin_lifeline, args=(server,), daemon=True
+        ).start()
     # The "listening on host:port" line is printed (flushed) by the
     # server itself; launchers parse it to learn ephemeral ports.
     try:

@@ -273,25 +273,81 @@ class TrialCache:
     def _maybe_prune_tmp(self) -> None:
         """Run :meth:`prune_tmp` unless another handle recently did.
 
-        The ``.last-prune`` marker's mtime records the last sweep; the
-        marker is touched *before* pruning so a herd of concurrent
-        opens elects a single pruner.  Marker I/O failures (read-only
-        store, races) skip the sweep — pruning is best-effort hygiene.
+        The ``.last-prune`` marker's mtime records the last sweep.  A
+        herd of concurrent opens observing a stale (or missing) marker
+        elects exactly one pruner through an atomic ``O_EXCL`` create
+        of a ``.last-prune.claim`` file — a stat-then-touch sequence
+        here would let several openers see the stale marker and all run
+        the sweep.  The winner republishes a fresh marker *before*
+        sweeping (so late openers skip on mtime alone) and removes the
+        claim afterwards; a claim stranded by a killed pruner ages out
+        after :data:`PRUNE_TMP_MAX_AGE` so pruning can resume.  Marker
+        I/O failures (read-only store) skip the sweep — pruning is
+        best-effort hygiene.
         """
         marker = self.root / ".last-prune"
+        claim = self.root / ".last-prune.claim"
         now = time.time()
         try:
             if now - marker.stat().st_mtime < PRUNE_TMP_MAX_AGE:
                 return
-            os.utime(marker, (now, now))
         except FileNotFoundError:
-            try:
-                marker.touch()
-            except OSError:
-                return
+            pass  # first open of this store: fall through to the claim
         except OSError:
             return
-        self.prune_tmp()
+        try:
+            descriptor = os.open(
+                claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            # Another handle is pruning right now — unless it was
+            # killed mid-sweep and stranded its claim; age that out so
+            # a later open can re-elect.  Recovery is best-effort: the
+            # unlink re-checks the claim's identity so it only reaps
+            # the hour-old file it statted, not a fresh claim that
+            # replaced it in between (and if that sliver of a race is
+            # ever lost, the worst case is a second sweep — prune_tmp
+            # is explicitly race-tolerant).
+            try:
+                first = claim.stat()
+                if now - first.st_mtime >= PRUNE_TMP_MAX_AGE:
+                    second = claim.stat()
+                    if (second.st_ino, second.st_mtime_ns) == (
+                        first.st_ino,
+                        first.st_mtime_ns,
+                    ):
+                        os.unlink(claim)
+            except OSError:
+                pass
+            return
+        except OSError:
+            return
+        os.close(descriptor)
+        try:
+            # Re-check under the claim: a slow opener can win the
+            # O_EXCL *after* an earlier claimant already swept and
+            # refreshed the marker — the fresh mtime tells it so.
+            try:
+                if (
+                    time.time() - marker.stat().st_mtime
+                    < PRUNE_TMP_MAX_AGE
+                ):
+                    return
+            except OSError:
+                pass
+            try:
+                marker.touch()  # publishes a current mtime
+            except OSError:
+                # Cannot republish the marker (e.g. it belongs to
+                # another user on a shared store): skip the sweep
+                # rather than fail the open — hygiene is best-effort.
+                return
+            self.prune_tmp()
+        finally:
+            try:
+                os.unlink(claim)
+            except OSError:
+                pass
 
     def prune_tmp(self, max_age: float = PRUNE_TMP_MAX_AGE) -> int:
         """Delete orphaned ``*.tmp`` files older than ``max_age`` seconds.

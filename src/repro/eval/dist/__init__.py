@@ -12,16 +12,28 @@ reachable Python process into a worker.  See
 """
 
 from repro.eval.dist.coordinator import (
+    ChunkBoard,
+    HostSpec,
     RemoteExecutor,
     RemoteTaskError,
     parse_hosts,
 )
+from repro.eval.dist.launch import (
+    LaunchedWorker,
+    LaunchError,
+    LocalLauncher,
+    SshLauncher,
+    WorkerLauncher,
+)
 from repro.eval.dist.protocol import (
+    CAPACITY_PROTOCOL_VERSION,
     MAGIC,
+    PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
     buffer_payload,
+    negotiate_version,
     payload_to_buffer,
     recv_message,
     send_message,
@@ -32,11 +44,21 @@ __all__ = [
     "RemoteExecutor",
     "RemoteTaskError",
     "WorkerServer",
+    "ChunkBoard",
+    "HostSpec",
     "parse_hosts",
+    "WorkerLauncher",
+    "LocalLauncher",
+    "SshLauncher",
+    "LaunchedWorker",
+    "LaunchError",
     "PROTOCOL_VERSION",
+    "PROTOCOL_BASE_VERSION",
+    "CAPACITY_PROTOCOL_VERSION",
     "MAGIC",
     "ProtocolError",
     "ConnectionClosed",
+    "negotiate_version",
     "send_message",
     "recv_message",
     "buffer_payload",

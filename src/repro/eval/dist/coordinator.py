@@ -2,25 +2,34 @@
 
 :class:`RemoteExecutor` implements the engine's
 :class:`repro.eval.parallel.TaskExecutor` interface over a set of
-already-listening workers (``host:port`` endpoints — started by hand,
-by CI, or via ``ssh host repro-tomography worker``).  One thread per
-worker drives a synchronous request/response session:
+workers — either already-listening ``host:port`` endpoints (started by
+hand, by CI, or via ``ssh host repro-tomography worker``) or a fleet it
+launches itself through a :mod:`repro.eval.dist.launch` launcher and
+tears down when the sweep ends.  One thread per worker drives a
+request/response session:
 
 * the (instance, config, options) triple is pickled **once** and shipped
   in the ``init`` frame of every worker session, never per chunk;
-* each thread claims the next pending chunk, sends it, and blocks on the
-  result frame — chunk results come back as one packed float64 payload
-  (the in-host pool's transport) and are yielded to the engine as they
-  complete, in whatever order they finish;
+* the handshake negotiates a protocol version
+  (:func:`repro.eval.dist.protocol.negotiate_version`); version-2
+  workers advertise a *capacity* (parallel chunk slots, CPU count by
+  default) and the session thread keeps up to that many chunks in
+  flight, so a capacity-2 host computes two chunks while a capacity-1
+  host computes one — claims are sized proportionally to capacity;
+* each thread claims chunks from the shared :class:`ChunkBoard`, sends
+  them, and settles results as they come back — chunk results are one
+  packed float64 payload (the in-host pool's transport) and are yielded
+  to the engine as they complete, in whatever order they finish;
 * when a worker dies (connection reset, torn frame, handshake failure),
-  its outstanding chunk is requeued at the *front* of the pending queue
-  and the surviving workers absorb it — a death costs at most the one
-  chunk that was in flight;
+  its outstanding chunks are requeued at the *front* of the pending
+  queue and the surviving workers absorb them — a death costs at most
+  the chunks that were in flight;
 * with ``straggler_timeout`` set, an idle worker speculatively re-runs a
   chunk that has been outstanding longer than the timeout (up to
-  ``max_attempts`` total executions); the first result wins and
-  duplicates are discarded, which is safe because chunks are pure
-  functions of their tasks.
+  ``max_attempts`` total executions); the board steers the duplicate
+  toward the fastest idle worker, the first result wins, and duplicates
+  are discarded, which is safe because chunks are pure functions of
+  their tasks.
 
 Determinism: the schedule never touches the tasks — every task carries
 its own pre-spawned generators and results are keyed by chunk index —
@@ -44,8 +53,11 @@ import socket
 import threading
 import time
 from collections import deque
+from typing import NamedTuple
 
 from repro.eval.dist.protocol import (
+    CAPACITY_PROTOCOL_VERSION,
+    PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     payload_to_buffer,
@@ -59,7 +71,13 @@ from repro.eval.parallel import (
     _unpack_error_dicts,
 )
 
-__all__ = ["RemoteExecutor", "RemoteTaskError", "parse_hosts"]
+__all__ = [
+    "ChunkBoard",
+    "HostSpec",
+    "RemoteExecutor",
+    "RemoteTaskError",
+    "parse_hosts",
+]
 
 
 class RemoteTaskError(RuntimeError):
@@ -73,21 +91,57 @@ class RemoteTaskError(RuntimeError):
         self.remote_traceback = remote_traceback
 
 
-def parse_hosts(hosts) -> list[tuple[str, int]]:
-    """Normalise a hosts spec into ``(host, port)`` endpoints.
+class HostSpec(NamedTuple):
+    """One worker host: connect endpoint plus an optional SSH login."""
+
+    host: str
+    port: int
+    user: str | None = None
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The ``(host, port)`` pair sockets connect to."""
+        return (self.host, self.port)
+
+    @property
+    def ssh_target(self) -> str:
+        """The ``[user@]host`` argument an SSH launcher logs in with."""
+        if self.user is None:
+            return self.host
+        return f"{self.user}@{self.host}"
+
+    @property
+    def address(self) -> str:
+        host = f"[{self.host}]" if ":" in self.host else self.host
+        return f"{host}:{self.port}"
+
+
+def parse_hosts(hosts) -> list[HostSpec]:
+    """Normalise a hosts spec into :class:`HostSpec` entries.
 
     Accepts a comma-separated string (``"a:7100,b:7100"``), an iterable
-    of ``"host:port"`` strings, or an iterable of ``(host, port)``
-    pairs.  IPv6 literals use brackets: ``"[::1]:7100"``.
+    of ``"[user@]host:port"`` strings, or an iterable of ``(host, port)``
+    pairs / :class:`HostSpec` records.  IPv6 literals use brackets:
+    ``"[::1]:7100"``; the optional ``user@`` prefix is carried for SSH
+    launchers and ignored when connecting.  Duplicate ``host:port``
+    endpoints and out-of-range ports are rejected up front — a duplicate
+    would silently double-assign the same worker, and a bad port would
+    only surface later as an opaque socket error.
     """
     if isinstance(hosts, str):
         hosts = [piece for piece in hosts.split(",") if piece.strip()]
-    endpoints: list[tuple[str, int]] = []
+    specs: list[HostSpec] = []
     for entry in hosts:
-        if isinstance(entry, (tuple, list)):
+        user = None
+        if isinstance(entry, HostSpec):
+            host, port, user = entry
+        elif isinstance(entry, (tuple, list)):
             host, port = entry
         else:
             text = str(entry).strip()
+            if "@" in text:
+                user, _, text = text.partition("@")
+                user = user.strip() or None
             if text.startswith("["):
                 bracket = text.find("]")
                 if bracket < 0 or not text[bracket + 1 :].startswith(":"):
@@ -109,11 +163,20 @@ def parse_hosts(hosts) -> list[tuple[str, int]]:
                 f"malformed endpoint port in {entry!r}"
             ) from None
         if not 0 < port < 65536:
-            raise ValueError(f"endpoint port out of range in {entry!r}")
-        endpoints.append((str(host), port))
-    if not endpoints:
+            raise ValueError(
+                f"endpoint port out of range in {entry!r}: port must be "
+                f"in [1, 65535], got {port}"
+            )
+        spec = HostSpec(str(host), port, user)
+        if any(other.endpoint == spec.endpoint for other in specs):
+            raise ValueError(
+                f"duplicate worker endpoint {spec.address} in hosts "
+                "spec; every worker must be listed exactly once"
+            )
+        specs.append(spec)
+    if not specs:
         raise ValueError("at least one worker endpoint is required")
-    return endpoints
+    return specs
 
 
 def _enable_keepalive(sock: socket.socket) -> None:
@@ -140,8 +203,23 @@ def _enable_keepalive(sock: socket.socket) -> None:
                 pass
 
 
-class _SweepState:
-    """Thread-shared chunk scheduler state (claim/settle/requeue)."""
+#: How long a claimer that is deferring a ripe straggler duplicate to a
+#: faster idle peer sleeps between checks.  The faster peer normally
+#: takes the chunk (or stops being idle) within one notify, so this
+#: only bounds the rare window where its wakeup is delayed.
+_DEFER_GRACE = 0.05
+
+
+class ChunkBoard:
+    """Thread-shared chunk scheduler (claim/settle/requeue).
+
+    The board hands pending chunks to claiming worker threads, sizes a
+    worker's pipeline by its advertised capacity (the session thread
+    calls :meth:`claim` until it holds ``capacity`` chunks), and — once
+    the pending queue drains — speculatively duplicates the
+    longest-outstanding chunk onto *idle* workers, steering the
+    duplicate toward the fastest idle claimer.
+    """
 
     def __init__(self, n_chunks: int, max_attempts: int) -> None:
         self.condition = threading.Condition()
@@ -153,49 +231,147 @@ class _SweepState:
         self.max_attempts = max_attempts
         self.live_workers = 0
         self.aborted = False
+        # Capacities of claimers currently blocked in claim(), keyed by
+        # a per-wait token: straggler duplicates are granted only to the
+        # fastest idle claimer.
+        self._idle: dict[object, int] = {}
 
     def all_settled(self) -> bool:
         return len(self.settled) == self.n_chunks
 
-    def claim(self, straggler_timeout: float | None) -> int | None:
-        """Block until a chunk is claimable; ``None`` means no more work.
+    # -- internals (callers hold self.condition) ------------------------
+    def _fastest_idle_capacity(self) -> int:
+        return max(self._idle.values(), default=0)
 
-        Prefers pending chunks; with ``straggler_timeout`` set, an
-        otherwise-idle caller duplicates the longest-outstanding chunk
-        that exceeded the timeout (bounded by ``max_attempts``).
+    def _speculation_eligible(self, holding=()) -> list[tuple[float, int]]:
+        """(started, chunk) pairs this caller could ever duplicate.
+
+        The single definition of speculation eligibility — not
+        settled, under the attempts budget, and not already held by
+        the caller — shared by the ripeness check and the wait
+        computation so "when do we duplicate" and "when do we wake"
+        can never drift apart.
+        """
+        return [
+            (started, chunk)
+            for chunk, started in self.outstanding.items()
+            if chunk not in self.settled
+            and chunk not in holding
+            and self.attempts.get(chunk, 0) < self.max_attempts
+        ]
+
+    def _speculation_candidates(
+        self, now: float, straggler_timeout: float, holding=()
+    ) -> list[tuple[float, int]]:
+        """(started, chunk) pairs ripe for a speculative duplicate."""
+        return [
+            (started, chunk)
+            for started, chunk in self._speculation_eligible(holding)
+            if now - started >= straggler_timeout
+        ]
+
+    def _speculation_wait(
+        self, now: float, straggler_timeout: float, holding=()
+    ) -> float | None:
+        """Seconds until the oldest in-flight chunk becomes ripe.
+
+        ``None`` when no running chunk can ever become a speculation
+        candidate *for this caller* (nothing outstanding, every
+        outstanding chunk has exhausted its attempts, or the caller
+        itself holds them) — the claimer then sleeps until a
+        settle/requeue/claim notification instead of polling.  Without
+        the ``holding`` filter, a blocking claimer holding the only
+        ripe chunk would be handed a zero wait and spin.
+        """
+        starts = [
+            started
+            for started, _ in self._speculation_eligible(holding)
+        ]
+        if not starts:
+            return None
+        return max(min(starts) + straggler_timeout - now, 0.0)
+
+    # -- worker-thread API ----------------------------------------------
+    def claim(
+        self,
+        straggler_timeout: float | None = None,
+        *,
+        capacity: int = 1,
+        block: bool = True,
+        holding=(),
+    ) -> int | None:
+        """Claim the next chunk; ``None`` means nothing (more) to do.
+
+        Pending chunks are handed out first.  ``holding`` is the set of
+        chunks the caller already has in flight: those are never handed
+        back to it — a requeued duplicate of a chunk the caller is
+        still computing stays on the queue (uncharged) for *another*
+        worker to pick up, instead of being double-sent or burning a
+        phantom attempt.  With ``block=False`` the call returns
+        ``None`` as soon as nothing claimable is immediately pending —
+        worker threads with chunks already in flight use this to top up
+        their pipeline without stalling on the straggler clock.  A
+        blocking claimer that finds the queue empty waits for work;
+        with ``straggler_timeout`` set it wakes exactly when the oldest
+        in-flight chunk crosses the timeout (not on a fixed poll), and
+        duplicates it if no faster claimer is idle — bounded by
+        ``max_attempts`` total executions per chunk.  A blocking
+        ``None`` means the sweep is complete (or aborted).
         """
         with self.condition:
             while True:
                 if self.aborted or self.all_settled():
                     return None
+                granted = None
+                skipped: list[int] = []
                 while self.pending:
                     chunk = self.pending.popleft()
                     if chunk in self.settled:
                         continue
-                    self.outstanding[chunk] = time.monotonic()
-                    self.attempts[chunk] = self.attempts.get(chunk, 0) + 1
-                    return chunk
+                    if chunk in holding:
+                        skipped.append(chunk)
+                        continue
+                    granted = chunk
+                    break
+                for chunk in reversed(skipped):
+                    self.pending.appendleft(chunk)
+                if granted is not None:
+                    self.outstanding[granted] = time.monotonic()
+                    self.attempts[granted] = (
+                        self.attempts.get(granted, 0) + 1
+                    )
+                    # A new in-flight chunk moves the straggler clock:
+                    # wake waiters so they recompute their deadline.
+                    self.condition.notify_all()
+                    return granted
+                if not block:
+                    return None
+                wait = None
                 if straggler_timeout is not None:
                     now = time.monotonic()
-                    candidates = [
-                        (started, chunk)
-                        for chunk, started in self.outstanding.items()
-                        if chunk not in self.settled
-                        and now - started >= straggler_timeout
-                        and self.attempts.get(chunk, 0)
-                        < self.max_attempts
-                    ]
-                    if candidates:
-                        _, chunk = min(candidates)
-                        self.outstanding[chunk] = now
-                        self.attempts[chunk] += 1
-                        return chunk
-                    # Floor the poll so tiny timeouts cannot busy-spin
-                    # an idle worker thread on the condition.
-                    wait = max(straggler_timeout / 2, 0.05)
-                else:
-                    wait = None
-                self.condition.wait(timeout=wait)
+                    ripe = self._speculation_candidates(
+                        now, straggler_timeout, holding
+                    )
+                    if ripe:
+                        if capacity >= self._fastest_idle_capacity():
+                            _, chunk = min(ripe)
+                            self.outstanding[chunk] = now
+                            self.attempts[chunk] += 1
+                            self.condition.notify_all()
+                            return chunk
+                        # A faster worker is idle right now; give it a
+                        # moment to take the duplicate instead.
+                        wait = _DEFER_GRACE
+                    else:
+                        wait = self._speculation_wait(
+                            now, straggler_timeout, holding
+                        )
+                token = object()
+                self._idle[token] = capacity
+                try:
+                    self.condition.wait(timeout=wait)
+                finally:
+                    del self._idle[token]
 
     def settle(self, chunk: int) -> bool:
         """Mark a chunk done; ``False`` if it already was (duplicate)."""
@@ -235,7 +411,11 @@ class RemoteExecutor(TaskExecutor):
     """Fan chunks out to socket-connected workers on other hosts.
 
     Parameters:
-        hosts: Worker endpoints (see :func:`parse_hosts`).
+        hosts: Worker endpoints (see :func:`parse_hosts`).  Mutually
+            exclusive with ``launcher``.
+        launcher: A :class:`repro.eval.dist.launch.WorkerLauncher` that
+            starts the worker fleet when the sweep begins and tears it
+            down (even on failure) when it ends.
         connect_timeout: Seconds allowed for connect + handshake I/O.
         io_timeout: Per-frame socket timeout while a chunk is in flight
             (``None`` = wait forever; rely on ``straggler_timeout`` for
@@ -244,22 +424,34 @@ class RemoteExecutor(TaskExecutor):
             re-runs an outstanding chunk (``None`` disables).
         max_attempts: Total executions allowed per chunk across
             speculative duplicates.
-        chunks_per_worker: Planning granularity — chunks per worker in
-            :meth:`plan`; more chunks mean finer requeue/load-balance
-            units at slightly more framing overhead.
+        chunks_per_worker: Planning granularity — chunks per worker
+            *slot* in :meth:`plan`; more chunks mean finer
+            requeue/load-balance units at slightly more framing
+            overhead.
+        capacity_aware: When ``False``, ignore worker capacity
+            advertisements and keep one chunk in flight per worker (the
+            version-1 schedule); the benchmark uses this as the uniform
+            baseline.
     """
 
     def __init__(
         self,
-        hosts,
+        hosts=None,
         *,
+        launcher=None,
         connect_timeout: float = 10.0,
         io_timeout: float | None = None,
         straggler_timeout: float | None = None,
         max_attempts: int = 3,
         chunks_per_worker: int = 4,
+        capacity_aware: bool = True,
     ) -> None:
-        self.endpoints = parse_hosts(hosts)
+        if (hosts is None) == (launcher is None):
+            raise ValueError(
+                "exactly one of hosts= and launcher= is required"
+            )
+        self.endpoints = parse_hosts(hosts) if hosts is not None else None
+        self.launcher = launcher
         self.connect_timeout = connect_timeout
         self.io_timeout = io_timeout
         if straggler_timeout is not None and straggler_timeout <= 0:
@@ -270,18 +462,42 @@ class RemoteExecutor(TaskExecutor):
         self.straggler_timeout = straggler_timeout
         self.max_attempts = max(1, max_attempts)
         self.chunks_per_worker = max(1, chunks_per_worker)
+        self.capacity_aware = capacity_aware
 
     # -- TaskExecutor --------------------------------------------------
+    def _worker_slots(self) -> int:
+        """Parallel chunk slots the fleet is expected to offer.
+
+        Static endpoints count one slot per worker (capacities are only
+        learned at handshake); a launcher knows the capacities it will
+        ask for, so planning granularity scales with the fleet's total
+        capacity and a capacity-2 worker has enough chunks to fill its
+        pipeline.
+        """
+        if self.endpoints is not None:
+            return len(self.endpoints)
+        return max(1, self.launcher.worker_slots)
+
     def plan(self, tasks):
         return _chunk_tasks(
             tasks,
-            len(self.endpoints),
+            self._worker_slots(),
             chunks_per_worker=self.chunks_per_worker,
         )
 
     def map_chunks(self, context, chunks):
         if not chunks:
             return
+        if self.launcher is None:
+            yield from self._run_sweep(self.endpoints, context, chunks)
+            return
+        specs = self.launcher.launch()
+        try:
+            yield from self._run_sweep(specs, context, chunks)
+        finally:
+            self.launcher.shutdown()
+
+    def _run_sweep(self, specs, context, chunks):
         init_payload = pickle.dumps(
             context, protocol=pickle.HIGHEST_PROTOCOL
         )
@@ -289,28 +505,28 @@ class RemoteExecutor(TaskExecutor):
             pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
             for chunk in chunks
         ]
-        state = _SweepState(len(chunks), self.max_attempts)
+        board = ChunkBoard(len(chunks), self.max_attempts)
         events: queue.Queue = queue.Queue()
         sockets: dict[int, socket.socket] = {}
         socket_lock = threading.Lock()
         threads = []
-        for worker_id, endpoint in enumerate(self.endpoints):
+        for worker_id, spec in enumerate(specs):
             thread = threading.Thread(
                 target=self._worker_loop,
                 args=(
                     worker_id,
-                    endpoint,
+                    spec,
                     init_payload,
                     chunk_payloads,
-                    state,
+                    board,
                     events,
                     sockets,
                     socket_lock,
                 ),
-                name=f"remote-sweep-{endpoint[0]}:{endpoint[1]}",
+                name=f"remote-sweep-{spec.address}",
                 daemon=True,
             )
-            state.worker_started()
+            board.worker_started()
             threads.append(thread)
         for thread in threads:
             thread.start()
@@ -320,8 +536,8 @@ class RemoteExecutor(TaskExecutor):
         last_transport_error: BaseException | None = None
         try:
             while len(yielded) + len(task_errors) < len(chunks):
-                with state.condition:
-                    no_workers = state.live_workers == 0
+                with board.condition:
+                    no_workers = board.live_workers == 0
                 if no_workers and events.empty():
                     break
                 try:
@@ -338,10 +554,10 @@ class RemoteExecutor(TaskExecutor):
                     _, chunk_index, error = event
                     task_errors.setdefault(chunk_index, error)
                 elif kind == "down":
-                    _, endpoint, exc = event
+                    _, spec, exc = event
                     last_transport_error = exc
         finally:
-            state.abort()
+            board.abort()
             with socket_lock:
                 # Unblock any thread still parked in recv (e.g. the
                 # original owner of a chunk a speculative duplicate
@@ -383,94 +599,141 @@ class RemoteExecutor(TaskExecutor):
     def _worker_loop(
         self,
         worker_id: int,
-        endpoint: tuple[str, int],
+        spec: HostSpec,
         init_payload: bytes,
         chunk_payloads: list[bytes],
-        state: _SweepState,
+        board: ChunkBoard,
         events: queue.Queue,
         sockets: dict,
         socket_lock: threading.Lock,
     ) -> None:
         try:
             sock = socket.create_connection(
-                endpoint, timeout=self.connect_timeout
+                spec.endpoint, timeout=self.connect_timeout
             )
             _enable_keepalive(sock)
         except OSError as exc:
             # Event first, then the live-count decrement: the main loop
             # treats "no live workers + empty queue" as terminal, so the
             # reverse order could drop this error from the report.
-            events.put(("down", endpoint, exc))
-            state.worker_stopped()
+            events.put(("down", spec, exc))
+            board.worker_stopped()
             return
-        current: int | None = None
+        inflight: set[int] = set()
         try:
             send_message(
                 sock,
-                {"type": "init", "protocol": PROTOCOL_VERSION},
+                {
+                    "type": "init",
+                    "protocol": PROTOCOL_BASE_VERSION,
+                    "protocol_max": PROTOCOL_VERSION,
+                },
                 init_payload,
             )
             header, _ = recv_message(sock)
+            version = header.get("protocol")
             if (
                 header.get("type") != "ready"
-                or header.get("protocol") != PROTOCOL_VERSION
+                or not isinstance(version, int)
+                or not (
+                    PROTOCOL_BASE_VERSION <= version <= PROTOCOL_VERSION
+                )
             ):
                 raise ProtocolError(
-                    f"bad handshake from {endpoint[0]}:{endpoint[1]}: "
-                    f"{header}"
+                    f"bad handshake from {spec.address}: {header}"
                 )
+            capacity = 1
+            if (
+                self.capacity_aware
+                and version >= CAPACITY_PROTOCOL_VERSION
+            ):
+                try:
+                    capacity = max(1, int(header.get("capacity", 1)))
+                except (TypeError, ValueError):
+                    raise ProtocolError(
+                        f"bad capacity in ready frame from "
+                        f"{spec.address}: {header.get('capacity')!r}"
+                    ) from None
             sock.settimeout(self.io_timeout)
             with socket_lock:
                 sockets[worker_id] = sock
             while True:
-                current = state.claim(self.straggler_timeout)
-                if current is None:
+                # Top up the pipeline: claims are sized by the worker's
+                # advertised capacity.  Only a fully-idle worker blocks
+                # (and is then eligible for straggler duplicates).
+                while len(inflight) < capacity:
+                    # holding=inflight: a requeued duplicate of a chunk
+                    # this worker is still computing must not be handed
+                    # back to it (double-send → ProtocolError); the
+                    # token stays queued for another worker.
+                    chunk = board.claim(
+                        self.straggler_timeout,
+                        capacity=capacity,
+                        block=not inflight,
+                        holding=inflight,
+                    )
+                    if chunk is None:
+                        break
+                    # Register the claim *before* sending: a dead peer
+                    # (RST) makes send_message raise, and a chunk that
+                    # was claimed but not yet tracked would never be
+                    # requeued — permanently hanging the sweep.
+                    inflight.add(chunk)
+                    send_message(
+                        sock,
+                        {"type": "chunk", "chunk": chunk},
+                        chunk_payloads[chunk],
+                    )
+                if not inflight:
                     try:
                         send_message(sock, {"type": "end"})
                     except (OSError, ProtocolError):
                         pass
                     return
-                send_message(
-                    sock,
-                    {"type": "chunk", "chunk": current},
-                    chunk_payloads[current],
-                )
                 header, payload = recv_message(sock)
                 if header["type"] == "result":
-                    if header["chunk"] != current:
+                    chunk_id = header["chunk"]
+                    if chunk_id not in inflight:
                         raise ProtocolError(
-                            f"worker answered chunk {header['chunk']} "
-                            f"while {current} was in flight"
+                            f"worker answered chunk {chunk_id} which "
+                            f"was not in flight ({sorted(inflight)})"
                         )
+                    inflight.discard(chunk_id)
                     results = _unpack_error_dicts(
                         header["descriptor"], payload_to_buffer(payload)
                     )
-                    if state.settle(current):
-                        events.put(("result", current, results))
+                    if board.settle(chunk_id):
+                        events.put(("result", chunk_id, results))
                 elif header["type"] == "error":
+                    chunk_id = header.get("chunk")
+                    if chunk_id not in inflight:
+                        raise ProtocolError(
+                            f"worker reported an error for chunk "
+                            f"{chunk_id} which was not in flight"
+                        )
+                    inflight.discard(chunk_id)
                     error = RemoteTaskError(
-                        f"worker {endpoint[0]}:{endpoint[1]} failed "
-                        f"chunk {current}: {header.get('message', '')}",
+                        f"worker {spec.address} failed chunk "
+                        f"{chunk_id}: {header.get('message', '')}",
                         header.get("traceback", ""),
                     )
-                    if state.settle(current):
-                        events.put(("task_error", current, error))
+                    if board.settle(chunk_id):
+                        events.put(("task_error", chunk_id, error))
                 else:
                     raise ProtocolError(
                         f"unexpected frame type {header['type']!r}"
                     )
-                current = None
         except Exception as exc:
             # Any escape — transport errors, torn frames, but also
             # malformed headers from a version-skewed worker — must
-            # requeue the in-flight chunk and report the worker down;
+            # requeue the in-flight chunks and report the worker down;
             # a silently dead thread would leave claimers blocked and
             # hang the sweep.
-            if current is not None:
-                state.requeue(current)
-            events.put(("down", endpoint, exc))
+            for chunk in sorted(inflight, reverse=True):
+                board.requeue(chunk)
+            events.put(("down", spec, exc))
         finally:
-            state.worker_stopped()
+            board.worker_stopped()
             with socket_lock:
                 sockets.pop(worker_id, None)
             try:

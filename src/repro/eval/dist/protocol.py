@@ -21,6 +21,24 @@ closes *between* frames raises :class:`ConnectionClosed` (a clean
 end-of-session); one that closes *inside* a frame raises the plain
 :class:`ProtocolError` (a torn transfer).
 
+Version negotiation (compatible with version-1 peers on the wire):
+
+* the coordinator's ``init`` frame carries ``protocol`` — always
+  :data:`PROTOCOL_BASE_VERSION`, the baseline every peer speaks, which
+  is exactly what a version-1 worker expects to see — plus
+  ``protocol_max``, the highest version the coordinator understands
+  (a version-1 worker ignores the unknown key);
+* the worker replies ``ready`` with ``protocol`` set to
+  ``min(worker_max, coordinator_max)`` (:func:`negotiate_version`); a
+  version-1 worker, which never saw ``protocol_max``, replies ``1``;
+* features gate on the *negotiated* version: at
+  :data:`CAPACITY_PROTOCOL_VERSION` and above the ``ready`` frame also
+  advertises ``capacity`` (parallel chunk slots) and the coordinator
+  may pipeline up to that many chunk frames before blocking on
+  results.  Against a version-1 peer both sides fall back to the
+  strict one-chunk-in-flight request/response loop, so mixed fleets
+  keep working during a rolling upgrade.
+
 Trust model: frames carry pickles, so the protocol is for trusted
 clusters only — run workers on machines you control, reachable only
 from the coordinator (bind to loopback or a private interface).
@@ -36,19 +54,30 @@ import numpy as np
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_BASE_VERSION",
+    "CAPACITY_PROTOCOL_VERSION",
     "MAGIC",
     "MAX_HEADER_BYTES",
     "MAX_PAYLOAD_BYTES",
     "ProtocolError",
     "ConnectionClosed",
+    "negotiate_version",
     "send_message",
     "recv_message",
     "buffer_payload",
     "payload_to_buffer",
 ]
 
-#: Handshake version; coordinator and worker must agree exactly.
-PROTOCOL_VERSION = 1
+#: Wire baseline every peer speaks; ``init`` frames always carry it in
+#: the ``protocol`` key so version-1 workers accept the handshake.
+PROTOCOL_BASE_VERSION = 1
+
+#: Highest protocol version this build understands.
+PROTOCOL_VERSION = 2
+
+#: First version whose ``ready`` frame advertises a worker capacity and
+#: whose sessions may have several chunks in flight at once.
+CAPACITY_PROTOCOL_VERSION = 2
 
 MAGIC = b"RTD1"
 _FRAME = struct.Struct("!4sQQ")
@@ -65,6 +94,32 @@ class ProtocolError(RuntimeError):
 
 class ConnectionClosed(ProtocolError):
     """The peer closed the connection cleanly at a frame boundary."""
+
+
+def negotiate_version(init_header: dict) -> int:
+    """Pick the session version from a coordinator's ``init`` header.
+
+    ``protocol`` is the baseline the coordinator requires and
+    ``protocol_max`` (absent from version-1 coordinators, defaulting to
+    the baseline) the highest it understands; the session runs at
+    ``min(ours, theirs)``.  Raises :class:`ProtocolError` when there is
+    no common version — the caller reports the mismatch to the peer.
+    """
+    base = init_header.get("protocol")
+    offered_max = init_header.get("protocol_max", base)
+    if (
+        not isinstance(base, int)
+        or not isinstance(offered_max, int)
+        or offered_max < base
+        or base > PROTOCOL_VERSION
+        or offered_max < PROTOCOL_BASE_VERSION
+    ):
+        raise ProtocolError(
+            f"protocol mismatch: this side speaks versions "
+            f"{PROTOCOL_BASE_VERSION}..{PROTOCOL_VERSION}, peer sent "
+            f"{base!r}..{offered_max!r}"
+        )
+    return min(PROTOCOL_VERSION, offered_max)
 
 
 def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:

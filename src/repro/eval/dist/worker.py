@@ -1,12 +1,22 @@
 """Worker side of the distributed sweep backend.
 
 A :class:`WorkerServer` listens on one TCP port and serves coordinator
-sessions sequentially: each accepted connection is one sweep session.
-The coordinator ships the (instance, config, options) triple exactly
-once per session in the ``init`` frame; every subsequent ``chunk`` frame
-is just a pickled list of :class:`repro.eval.parallel.ScenarioTask`
+sessions: each accepted connection is one sweep session.  The
+coordinator ships the (instance, config, options) triple exactly once
+per session in the ``init`` frame; every subsequent ``chunk`` frame is
+just a pickled list of :class:`repro.eval.parallel.ScenarioTask`
 records, and the worker answers with the chunk's error vectors as one
 packed float64 payload (the same transport the in-host pool uses).
+
+Capacity: the handshake negotiates a protocol version
+(:func:`repro.eval.dist.protocol.negotiate_version`); at version 2 the
+``ready`` frame advertises the worker's *capacity* — how many chunks it
+can compute at once (``repro-tomography worker`` defaults to the CPU
+count; ``--capacity`` overrides).  A capacity-``C`` session executes up
+to ``C`` in-flight chunks concurrently on a process pool (results may
+return out of order; the coordinator keys them by chunk index), while a
+version-1 coordinator — which never pipelines — gets the strict
+sequential request/response loop regardless of capacity.
 
 Cache semantics: when the worker is given a cache directory (its own
 ``--cache-dir`` flag or ``REPRO_CACHE_DIR``; typically a store shared
@@ -16,11 +26,15 @@ back *as the task completes*, not after the sweep.  A worker killed
 mid-chunk therefore still leaves every finished trial in the store, and
 the retry only pays for what was genuinely lost.
 
-Fault injection: ``fail_after_chunks=N`` makes the worker serve ``N``
+Fault injection: ``fail_after_chunks=N`` makes the worker accept ``N``
 chunks and then drop the connection without replying to the next one,
 which is exactly what a worker killed mid-chunk looks like to the
 coordinator.  The deterministic requeue tests and the distributed
-benchmark's kill leg are built on it.
+benchmark's kill leg are built on it.  ``throttle=S`` sleeps ``S``
+seconds before each task — latency injection that simulates a slower
+or I/O-bound host without burning CPU, so the benchmark's
+heterogeneous-capacity scenario reproduces on any machine; results are
+delayed, never changed.
 
 Run a worker from the CLI::
 
@@ -33,16 +47,21 @@ or over SSH (the coordinator connects to ``host:7100``)::
 
 from __future__ import annotations
 
+import multiprocessing
 import pickle
 import socket
 import threading
+import time
 import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 
 from repro.eval.dist.protocol import (
-    PROTOCOL_VERSION,
+    CAPACITY_PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
     buffer_payload,
+    negotiate_version,
     recv_message,
     send_message,
 )
@@ -52,17 +71,81 @@ from repro.io import instance_fingerprint
 __all__ = ["WorkerServer"]
 
 
+# Pool-process state installed once by the initializer: each process
+# opens its own cache handle so write-back happens task-by-task inside
+# the process that computed the task, exactly like the sequential path.
+_POOL_STATE: tuple | None = None
+
+
+def _pool_initializer(instance, config, options, cache_dir, throttle) -> None:
+    global _POOL_STATE
+    cache = None
+    fingerprint = None
+    if cache_dir is not None:
+        from repro.eval.cache import TrialCache
+
+        cache = TrialCache(cache_dir)
+        fingerprint = instance_fingerprint(instance)
+    _POOL_STATE = (instance, config, options, cache, fingerprint, throttle)
+
+
+def _run_chunk_tasks(
+    tasks, instance, config, options, cache, fingerprint, throttle
+):
+    """Execute one chunk's tasks (cache-aware, throttle-aware), packed.
+
+    The single definition of per-task semantics — the sequential
+    session path and the pool path must never diverge on e.g. where
+    the throttle sleeps relative to the cache lookup.
+    """
+    results = []
+    for task in tasks:
+        if throttle:
+            time.sleep(throttle)
+        results.append(
+            WorkerServer._run_task(
+                instance, config, options, task, cache, fingerprint
+            )
+        )
+    return _pack_error_dicts(results)
+
+
+def _pool_run_chunk(payload: bytes):
+    # The chunk's task list crosses the pool boundary as the raw frame
+    # payload and is unpickled here, in the child — unpickling in the
+    # session thread would just re-pickle the tasks for the submit.
+    tasks = pickle.loads(payload)
+    instance, config, options, cache, fingerprint, throttle = _POOL_STATE
+    return _run_chunk_tasks(
+        tasks, instance, config, options, cache, fingerprint, throttle
+    )
+
+
 class WorkerServer:
     """Serve sweep sessions on ``host:port`` (``port=0`` → ephemeral).
 
     Parameters:
+        capacity: Parallel chunk slots advertised to version-2
+            coordinators; sessions with ``capacity > 1`` execute their
+            in-flight chunks on a process pool of that size.  Defaults
+            to 1 (the sequential version-1 behaviour); the CLI worker
+            defaults to the CPU count instead.  The pool (and the
+            advertisement) is per *session*: a worker shared by two
+            overlapping sweeps runs up to ``2 × capacity`` compute
+            processes, so size ``--capacity`` for the share of the
+            host each concurrent sweep should get on shared-fleet
+            deployments.
         cache_dir: Optional :class:`repro.eval.cache.TrialCache` root;
             tasks are looked up before executing and written back as
             they complete.
         max_sessions: Stop accepting after this many sessions (``None``
             = serve forever).  CI and tests use it to bound lifetime.
-        fail_after_chunks: Fault-injection hook — serve this many chunks
-            per session, then drop the connection without replying.
+        fail_after_chunks: Fault-injection hook — accept this many
+            chunks per session, then drop the connection without
+            replying.
+        throttle: Latency-injection hook — sleep this many seconds
+            before each task (a simulated slower host; results are
+            delayed, never changed).
         log: Callable for one-line status messages (``None`` = silent).
     """
 
@@ -71,16 +154,24 @@ class WorkerServer:
         host: str = "127.0.0.1",
         port: int = 0,
         *,
+        capacity: int = 1,
         cache_dir=None,
         max_sessions: int | None = None,
         fail_after_chunks: int | None = None,
+        throttle: float = 0.0,
         log=None,
     ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if throttle < 0:
+            raise ValueError(f"throttle must be >= 0, got {throttle}")
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
+        self.capacity = capacity
         self._cache_dir = cache_dir
         self._max_sessions = max_sessions
         self._fail_after_chunks = fail_after_chunks
+        self._throttle = throttle
         self._log = log or (lambda message: None)
         self._closed = False
 
@@ -158,35 +249,42 @@ class WorkerServer:
             raise ProtocolError(
                 f"expected an init frame, got {header['type']!r}"
             )
-        if header.get("protocol") != PROTOCOL_VERSION:
+        try:
+            version = negotiate_version(header)
+        except ProtocolError as exc:
             send_message(
                 connection,
                 {
                     "type": "error",
                     "chunk": None,
-                    "message": (
-                        f"protocol mismatch: worker speaks "
-                        f"{PROTOCOL_VERSION}, coordinator sent "
-                        f"{header.get('protocol')!r}"
-                    ),
+                    "message": str(exc),
                     "traceback": "",
                 },
             )
             return
         instance, config, options = pickle.loads(payload)
+        ready = {
+            "type": "ready",
+            "protocol": version,
+            "host": socket.gethostname(),
+        }
+        if version >= CAPACITY_PROTOCOL_VERSION:
+            ready["capacity"] = self.capacity
+        send_message(connection, ready)
+        if version >= CAPACITY_PROTOCOL_VERSION and self.capacity > 1:
+            self._serve_concurrent(connection, instance, config, options)
+        else:
+            self._serve_sequential(connection, instance, config, options)
+
+    def _serve_sequential(
+        self, connection, instance, config, options
+    ) -> None:
+        """One chunk in flight, computed in the session thread."""
         cache = self._open_cache()
         fingerprint = (
             instance_fingerprint(instance) if cache is not None else None
         )
-        send_message(
-            connection,
-            {
-                "type": "ready",
-                "protocol": PROTOCOL_VERSION,
-                "host": socket.gethostname(),
-            },
-        )
-        chunks_served = 0
+        chunks_accepted = 0
         while True:
             try:
                 header, payload = recv_message(connection)
@@ -202,7 +300,7 @@ class WorkerServer:
                 )
             if (
                 self._fail_after_chunks is not None
-                and chunks_served >= self._fail_after_chunks
+                and chunks_accepted >= self._fail_after_chunks
             ):
                 # Fault injection: vanish mid-chunk, exactly like a
                 # worker killed while computing.
@@ -214,13 +312,15 @@ class WorkerServer:
             chunk_id = header["chunk"]
             tasks = pickle.loads(payload)
             try:
-                results = [
-                    self._run_task(
-                        instance, config, options, task, cache, fingerprint
-                    )
-                    for task in tasks
-                ]
-                descriptor, buffer = _pack_error_dicts(results)
+                descriptor, buffer = _run_chunk_tasks(
+                    tasks,
+                    instance,
+                    config,
+                    options,
+                    cache,
+                    fingerprint,
+                    self._throttle,
+                )
             except Exception as exc:
                 send_message(
                     connection,
@@ -241,7 +341,131 @@ class WorkerServer:
                     },
                     buffer_payload(buffer),
                 )
-            chunks_served += 1
+            chunks_accepted += 1
+
+    def _serve_concurrent(
+        self, connection, instance, config, options
+    ) -> None:
+        """Up to ``capacity`` in-flight chunks on a process pool.
+
+        The session thread only receives frames and submits chunks;
+        pool completion callbacks send each result as it finishes, so
+        replies may be out of chunk order (the coordinator keys them by
+        chunk index).  The ``spawn`` start method keeps the fork-free
+        even though the server is multi-threaded.
+        """
+        pool = ProcessPoolExecutor(
+            max_workers=self.capacity,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_pool_initializer,
+            initargs=(
+                instance,
+                config,
+                options,
+                self._cache_dir,
+                self._throttle,
+            ),
+        )
+        send_lock = threading.Lock()
+        chunks_accepted = 0
+        try:
+            while True:
+                try:
+                    header, payload = recv_message(connection)
+                except ConnectionClosed:
+                    return
+                if header["type"] == "end":
+                    # The coordinator only sends "end" after it has
+                    # received every in-flight result, so nothing is
+                    # computing for this session any more.
+                    self._log("session done")
+                    return
+                if header["type"] != "chunk":
+                    raise ProtocolError(
+                        f"expected a chunk frame, got {header['type']!r}"
+                    )
+                if (
+                    self._fail_after_chunks is not None
+                    and chunks_accepted >= self._fail_after_chunks
+                ):
+                    self._log(
+                        f"fault injection: dropping connection before "
+                        f"chunk {header['chunk']}"
+                    )
+                    return
+                chunk_id = header["chunk"]
+                future = pool.submit(_pool_run_chunk, payload)
+                future.add_done_callback(
+                    lambda done, chunk=chunk_id: self._send_chunk_result(
+                        connection, send_lock, chunk, done
+                    )
+                )
+                chunks_accepted += 1
+        finally:
+            # Abandon rather than join: on a fault-injected (or torn)
+            # session the in-flight chunks are already requeued on the
+            # coordinator; their pool processes finish their current
+            # task, write it back to the cache, and exit.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def _send_chunk_result(
+        self, connection, send_lock, chunk_id, future
+    ) -> None:
+        """Completion callback: ship one chunk's result or error.
+
+        Task exceptions become ``error`` frames (they would fail
+        identically anywhere, so the coordinator must not retry them).
+        A *broken pool* — a child OOM-killed or segfaulted — is
+        infrastructure death, not a task error: drop the session
+        without replying, so the coordinator sees this worker as down
+        and requeues the chunk on survivors, exactly like a sequential
+        worker process dying.
+        """
+        try:
+            try:
+                descriptor, buffer = future.result()
+            except BrokenProcessPool as exc:
+                self._log(
+                    f"process pool broke on chunk {chunk_id}: {exc!r}"
+                )
+                try:
+                    connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                return
+            except Exception as exc:
+                with send_lock:
+                    send_message(
+                        connection,
+                        {
+                            "type": "error",
+                            "chunk": chunk_id,
+                            "message": repr(exc),
+                            "traceback": "".join(
+                                traceback.format_exception(exc)
+                            ),
+                        },
+                    )
+            else:
+                with send_lock:
+                    send_message(
+                        connection,
+                        {
+                            "type": "result",
+                            "chunk": chunk_id,
+                            "descriptor": descriptor,
+                        },
+                        buffer_payload(buffer),
+                    )
+        except BaseException as exc:
+            # The session is gone (connection closed mid-send) or the
+            # future was cancelled by a tearing-down pool; either way
+            # the coordinator requeues the chunk elsewhere.
+            self._log(f"result send failed for chunk {chunk_id}: {exc!r}")
 
     @staticmethod
     def _run_task(instance, config, options, task, cache, fingerprint):

@@ -141,8 +141,14 @@ def resolve_workers(workers: int | None) -> int:
     CPU, any other positive value is taken literally.  ``None`` defers
     to the ``REPRO_WORKERS`` environment variable (same encoding),
     defaulting to serial when it is unset or empty.
+
+    Negative values — from either source — are rejected here with the
+    source named, instead of surfacing later as an opaque
+    ``ProcessPoolExecutor`` error deep inside the sweep.
     """
+    source = "workers"
     if workers is None:
+        source = "the REPRO_WORKERS environment variable"
         env = os.environ.get("REPRO_WORKERS", "").strip()
         if not env:
             return 1
@@ -153,7 +159,10 @@ def resolve_workers(workers: int | None) -> int:
                 f"REPRO_WORKERS must be an integer, got {env!r}"
             ) from None
     if workers < 0:
-        raise ValueError(f"workers must be >= 0, got {workers}")
+        raise ValueError(
+            f"{source} must be >= 0 (0 = one worker per CPU core), "
+            f"got {workers}"
+        )
     if workers == 0:
         return os.cpu_count() or 1
     return workers

@@ -271,6 +271,92 @@ class TestPruneTmp:
         TrialCache(tmp_path)  # marker is fresh: no sweep this time
         assert stale.exists()
 
+    def test_concurrent_opens_elect_exactly_one_pruner(
+        self, tmp_path, monkeypatch
+    ):
+        """The `.last-prune` claim is atomic: a herd of simultaneous
+        opens observing one stale marker runs one sweep, not many."""
+        import threading
+
+        TrialCache(tmp_path)  # create the store and its marker
+        self._age_marker(tmp_path)
+        sweeps = []
+        monkeypatch.setattr(
+            TrialCache,
+            "prune_tmp",
+            lambda self, *args, **kwargs: sweeps.append(1) or 0,
+        )
+        barrier = threading.Barrier(8)
+
+        def open_store():
+            barrier.wait()
+            TrialCache(tmp_path)
+
+        threads = [
+            threading.Thread(target=open_store) for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(sweeps) == 1
+        # The winner removed its claim and refreshed the marker, so a
+        # later open neither sweeps again nor finds a stale claim.
+        assert not (tmp_path / ".last-prune.claim").exists()
+        TrialCache(tmp_path)
+        assert len(sweeps) == 1
+
+    def test_stranded_claim_ages_out(self, tmp_path, monkeypatch):
+        """A pruner killed mid-sweep must not block pruning forever."""
+        import os
+        import time
+
+        TrialCache(tmp_path)
+        self._age_marker(tmp_path)
+        claim = tmp_path / ".last-prune.claim"
+        claim.touch()
+        stamp = time.time() - 7200
+        os.utime(claim, (stamp, stamp))
+        sweeps = []
+        monkeypatch.setattr(
+            TrialCache,
+            "prune_tmp",
+            lambda self, *args, **kwargs: sweeps.append(1) or 0,
+        )
+        TrialCache(tmp_path)  # sees the dead claim: removes it, skips
+        assert sweeps == []
+        assert not claim.exists()
+        TrialCache(tmp_path)  # re-elects and sweeps
+        assert len(sweeps) == 1
+
+    def test_unwritable_marker_skips_sweep_instead_of_crashing(
+        self, tmp_path, monkeypatch
+    ):
+        """Shared store, marker owned by someone else: the open must
+        skip the sweep (best-effort hygiene), not raise."""
+        import pathlib
+
+        TrialCache(tmp_path)
+        self._age_marker(tmp_path)
+        sweeps = []
+        monkeypatch.setattr(
+            TrialCache,
+            "prune_tmp",
+            lambda self, *args, **kwargs: sweeps.append(1) or 0,
+        )
+        real_touch = pathlib.Path.touch
+
+        def deny_marker_touch(self, *args, **kwargs):
+            if self.name == ".last-prune":
+                raise PermissionError("someone else's marker")
+            return real_touch(self, *args, **kwargs)
+
+        monkeypatch.setattr(pathlib.Path, "touch", deny_marker_touch)
+        TrialCache(tmp_path)  # must not raise
+        assert sweeps == []
+        # The claim was released, so a later (writable) open prunes.
+        assert not (tmp_path / ".last-prune.claim").exists()
+
     def test_killed_writer_orphan_is_recovered(self, tmp_path, monkeypatch):
         """A put() that dies after mkstemp leaves a tmp a later open reaps."""
         import os

@@ -4,17 +4,23 @@ import contextlib
 import pickle
 import socket
 import threading
+import time
 
 import numpy as np
 import pytest
 
 from repro.eval.dist import (
+    CAPACITY_PROTOCOL_VERSION,
+    PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
+    ChunkBoard,
     ConnectionClosed,
+    HostSpec,
     ProtocolError,
     RemoteExecutor,
     WorkerServer,
     buffer_payload,
+    negotiate_version,
     parse_hosts,
     payload_to_buffer,
     recv_message,
@@ -138,13 +144,34 @@ class TestFraming:
 
 class TestParseHosts:
     def test_comma_separated_string(self):
-        assert parse_hosts("a:7100, b:7200") == [("a", 7100), ("b", 7200)]
+        assert [spec.endpoint for spec in parse_hosts("a:7100, b:7200")] == [
+            ("a", 7100),
+            ("b", 7200),
+        ]
 
     def test_iterables_and_tuples(self):
-        assert parse_hosts([("a", 1), "b:2"]) == [("a", 1), ("b", 2)]
+        specs = parse_hosts([("a", 1), "b:2"])
+        assert [spec.endpoint for spec in specs] == [("a", 1), ("b", 2)]
 
     def test_ipv6_brackets(self):
-        assert parse_hosts("[::1]:7100") == [("::1", 7100)]
+        (spec,) = parse_hosts("[::1]:7100")
+        assert spec.endpoint == ("::1", 7100)
+        assert spec.address == "[::1]:7100"
+
+    def test_user_prefix_carried_for_ssh(self):
+        specs = parse_hosts("alice@a:7100, b:7200")
+        assert specs[0] == HostSpec("a", 7100, "alice")
+        assert specs[0].ssh_target == "alice@a"
+        assert specs[0].endpoint == ("a", 7100)  # user never connects
+        assert specs[1].ssh_target == "b"
+
+    def test_user_prefix_with_ipv6(self):
+        (spec,) = parse_hosts("bob@[::1]:7100")
+        assert spec == HostSpec("::1", 7100, "bob")
+
+    def test_host_spec_entries_pass_through(self):
+        spec = HostSpec("a", 7100, "carol")
+        assert parse_hosts([spec]) == [spec]
 
     @pytest.mark.parametrize(
         "spec", ["", "hostonly", "a:notaport", "a:0", "[::1]7100"]
@@ -152,6 +179,20 @@ class TestParseHosts:
     def test_malformed_specs_rejected(self, spec):
         with pytest.raises(ValueError):
             parse_hosts(spec)
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 1 << 20])
+    def test_out_of_range_ports_rejected(self, port):
+        with pytest.raises(ValueError, match="out of range"):
+            parse_hosts([("a", port)])
+
+    def test_duplicate_endpoints_rejected(self):
+        with pytest.raises(ValueError, match="duplicate worker endpoint"):
+            parse_hosts("a:7100,b:7200,a:7100")
+
+    def test_duplicate_detection_ignores_user(self):
+        # Two logins to one endpoint is still one worker socket.
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_hosts("alice@a:7100,bob@a:7100")
 
 
 # ----------------------------------------------------------------------
@@ -224,6 +265,92 @@ class TestRemoteExecution:
                     config=FAST,
                     executor=RemoteExecutor(
                         [good[0].address, flaky[0].address]
+                    ),
+                )
+        _assert_identical(serial, remote)
+
+    def test_death_during_send_requeues_the_claimed_chunk(
+        self, planetlab_small, monkeypatch
+    ):
+        """A worker that dies with RST makes the *send* fail.
+
+        The chunk was already claimed from the board at that point; it
+        must be requeued (not leaked) or the sweep hangs forever —
+        regression test for the SIGKILL-mid-sweep hang.
+        """
+        from repro.eval.dist import coordinator as coordinator_module
+
+        real_send = coordinator_module.send_message
+        tripped = []
+
+        def flaky_send(sock, header, payload=b""):
+            if header.get("type") == "chunk" and not tripped:
+                tripped.append(header["chunk"])
+                raise OSError("simulated connection reset")
+            return real_send(sock, header, payload)
+
+        monkeypatch.setattr(
+            coordinator_module, "send_message", flaky_send
+        )
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=30
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        outcome = {}
+
+        def sweep():
+            with worker_fleet(2) as servers:
+                outcome["remote"] = run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [server.address for server in servers]
+                    ),
+                )
+
+        # Drive the sweep from a daemon thread so a reintroduced leak
+        # fails the test instead of hanging the whole session.
+        thread = threading.Thread(target=sweep, daemon=True)
+        thread.start()
+        thread.join(timeout=120)
+        assert not thread.is_alive(), (
+            "sweep hung: a chunk claimed by the dead worker was never "
+            "requeued"
+        )
+        assert tripped  # the failure injection actually fired
+        _assert_identical(serial, outcome["remote"])
+
+    def test_requeued_duplicate_of_own_inflight_chunk_is_absorbed(
+        self, planetlab_small
+    ):
+        """A dead duplicator requeues a chunk its victim still runs.
+
+        The victim's pipeline top-up then claims a chunk it already
+        has in flight; that token must collapse into the running
+        execution — re-sending it would produce a second result frame
+        and a ProtocolError that kills the healthy worker.  The
+        interleaving is timing-dependent, but the sweep must complete
+        bit-identically on every schedule this race can produce.
+        """
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=34
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, capacity=2) as wide:
+            with worker_fleet(1, fail_after_chunks=0) as doomed:
+                remote = run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [wide[0].address, doomed[0].address],
+                        straggler_timeout=0.05,
+                        max_attempts=5,
                     ),
                 )
         _assert_identical(serial, remote)
@@ -405,6 +532,34 @@ class TestRemoteExecution:
         _assert_identical(serial, outcomes["first"])
         _assert_identical(serial, outcomes["second"])
 
+    def test_broken_pool_drops_session_instead_of_task_error(self):
+        """A pool child dying (OOM, segfault) is infrastructure death:
+        the worker must hang up — so the coordinator requeues the
+        chunk on survivors — not report a never-retried task error."""
+        from concurrent.futures import Future
+        from concurrent.futures.process import BrokenProcessPool
+
+        server = WorkerServer(capacity=2)
+        try:
+            left, right = socket.socketpair()
+            try:
+                future: Future = Future()
+                future.set_exception(
+                    BrokenProcessPool("child was OOM-killed")
+                )
+                server._send_chunk_result(
+                    left, threading.Lock(), 7, future
+                )
+                # No error frame was sent; the peer sees a clean close
+                # (the worker-down signal that triggers a requeue).
+                with pytest.raises(ConnectionClosed):
+                    recv_message(right)
+            finally:
+                left.close()
+                right.close()
+        finally:
+            server.close()
+
     def test_protocol_version_mismatch_reported(self):
         with worker_fleet(1) as servers:
             sock = socket.create_connection(
@@ -421,3 +576,311 @@ class TestRemoteExecution:
                 sock.close()
         assert header["type"] == "error"
         assert "protocol mismatch" in header["message"]
+
+
+# ----------------------------------------------------------------------
+# Version negotiation and the capacity HELLO
+# ----------------------------------------------------------------------
+class TestNegotiation:
+    def test_negotiate_version_rules(self):
+        # Version-1 coordinator (no protocol_max key) → version 1.
+        assert negotiate_version({"protocol": 1}) == 1
+        # Current coordinator → the highest version both speak.
+        assert (
+            negotiate_version({"protocol": 1, "protocol_max": 2}) == 2
+        )
+        # A future coordinator caps at what this build understands.
+        assert (
+            negotiate_version({"protocol": 1, "protocol_max": 99})
+            == PROTOCOL_VERSION
+        )
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            {"protocol": PROTOCOL_VERSION + 1},  # baseline too new
+            {"protocol": None},
+            {"protocol": "1"},
+            {},
+            {"protocol": 1, "protocol_max": 0},  # max below baseline
+            {"protocol": 2, "protocol_max": 1},  # inverted range
+        ],
+    )
+    def test_negotiate_version_rejects(self, header):
+        with pytest.raises(ProtocolError, match="protocol mismatch"):
+            negotiate_version(header)
+
+    def _handshake(self, server, init_header):
+        sock = socket.create_connection(
+            (server.host, server.port), timeout=5
+        )
+        try:
+            send_message(
+                sock, init_header, pickle.dumps((None, None, None))
+            )
+            header, _ = recv_message(sock)
+            send_message(sock, {"type": "end"})
+        finally:
+            sock.close()
+        return header
+
+    def test_v1_coordinator_gets_v1_ready_without_capacity(self):
+        """A PR-3 coordinator sees exactly the wire it expects."""
+        with worker_fleet(1, capacity=4) as servers:
+            header = self._handshake(
+                servers[0],
+                {"type": "init", "protocol": PROTOCOL_BASE_VERSION},
+            )
+        assert header["type"] == "ready"
+        assert header["protocol"] == PROTOCOL_BASE_VERSION
+        assert "capacity" not in header
+
+    def test_v2_coordinator_learns_capacity(self):
+        with worker_fleet(1, capacity=4) as servers:
+            header = self._handshake(
+                servers[0],
+                {
+                    "type": "init",
+                    "protocol": PROTOCOL_BASE_VERSION,
+                    "protocol_max": PROTOCOL_VERSION,
+                },
+            )
+        assert header["type"] == "ready"
+        assert header["protocol"] == CAPACITY_PROTOCOL_VERSION
+        assert header["capacity"] == 4
+
+    def test_executor_tolerates_v1_worker(self, planetlab_small):
+        """A coordinator sweeping a fleet that still runs PR-3 code.
+
+        The fake worker speaks strict version 1: it rejects any init
+        whose ``protocol`` key is not exactly 1 (ignoring unknown keys,
+        as the PR-3 code did) and answers one chunk at a time.
+        """
+        from repro.eval.parallel import _execute_task
+
+        ready = threading.Event()
+        bound = {}
+
+        def v1_worker():
+            server = socket.create_server(("127.0.0.1", 0))
+            bound["port"] = server.getsockname()[1]
+            ready.set()
+            connection, _ = server.accept()
+            with connection, server:
+                header, payload = recv_message(connection)
+                assert header["protocol"] == 1  # baseline on the wire
+                instance, config, options = pickle.loads(payload)
+                send_message(
+                    connection, {"type": "ready", "protocol": 1}
+                )
+                while True:
+                    try:
+                        header, payload = recv_message(connection)
+                    except ConnectionClosed:
+                        return  # coordinator hung up: end of session
+                    if header["type"] == "end":
+                        return
+                    tasks = pickle.loads(payload)
+                    descriptor, buffer = _pack_error_dicts(
+                        [
+                            _execute_task(
+                                instance, config, options, task
+                            )
+                            for task in tasks
+                        ]
+                    )
+                    send_message(
+                        connection,
+                        {
+                            "type": "result",
+                            "chunk": header["chunk"],
+                            "descriptor": descriptor,
+                        },
+                        buffer_payload(buffer),
+                    )
+
+        thread = threading.Thread(target=v1_worker, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=10)
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=31
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        remote = run_scenario_tasks(
+            planetlab_small,
+            tasks,
+            config=FAST,
+            executor=RemoteExecutor([f"127.0.0.1:{bound['port']}"]),
+        )
+        thread.join(timeout=10)
+        _assert_identical(serial, remote)
+
+    def test_capacity_worker_matches_serial_bit_identical(
+        self, planetlab_small
+    ):
+        """Concurrent (process-pool) chunk execution changes nothing."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=32
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, capacity=2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor([servers[0].address]),
+            )
+        _assert_identical(serial, remote)
+
+    def test_capacity_blind_executor_stays_sequential(
+        self, planetlab_small
+    ):
+        """capacity_aware=False is the uniform (PR-3) schedule."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=33
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, capacity=2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [servers[0].address], capacity_aware=False
+                ),
+            )
+        _assert_identical(serial, remote)
+
+
+# ----------------------------------------------------------------------
+# ChunkBoard scheduling
+# ----------------------------------------------------------------------
+class TestChunkBoard:
+    def test_claims_drain_pending_in_order(self):
+        board = ChunkBoard(3, max_attempts=3)
+        assert [board.claim() for _ in range(3)] == [0, 1, 2]
+
+    def test_nonblocking_claim_returns_none_when_queue_empty(self):
+        board = ChunkBoard(1, max_attempts=3)
+        assert board.claim() == 0
+        # Chunk 0 is outstanding, not settled: a pipelining worker must
+        # not stall here waiting for the straggler clock.
+        assert board.claim(10.0, block=False) is None
+
+    def test_speculation_wait_tracks_oldest_inflight_chunk(self):
+        """The idle wait is computed, not a fixed timeout/2 poll."""
+        board = ChunkBoard(2, max_attempts=3)
+        assert board.claim() == 0
+        import time as time_module
+
+        now = time_module.monotonic()
+        started = board.outstanding[0]
+        wait = board._speculation_wait(now, 10.0)
+        # Chunk 0 just started: the wait runs to its eligibility, not
+        # to a generic poll interval.
+        assert wait == pytest.approx(started + 10.0 - now, abs=0.05)
+        # No eligible in-flight chunk → sleep until notified.
+        board.claim()  # chunk 1 outstanding too
+        board.attempts[0] = board.max_attempts
+        board.attempts[1] = board.max_attempts
+        assert board._speculation_wait(now, 10.0) is None
+
+    def test_settle_wakes_blocked_claimers(self):
+        board = ChunkBoard(1, max_attempts=3)
+        assert board.claim() == 0
+        results = []
+
+        def idle_claim():
+            results.append(board.claim(straggler_timeout=30.0))
+
+        thread = threading.Thread(target=idle_claim)
+        thread.start()
+        time.sleep(0.1)
+        board.settle(0)  # wakes the claimer immediately: all settled
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert results == [None]
+
+    @staticmethod
+    def _await_idle(board, count, timeout=10.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with board.condition:
+                if len(board._idle) >= count:
+                    return
+            time.sleep(0.005)
+        raise AssertionError(f"{count} idle claimer(s) never parked")
+
+    def test_straggler_duplicate_steers_to_fastest_idle_worker(self):
+        # max_attempts=2: after the duplicate is granted the chunk can
+        # never ripen again, so the slow claimer provably stays idle
+        # because of *steering*, not because it ran out of attempts.
+        board = ChunkBoard(1, max_attempts=2)
+        assert board.claim(capacity=1) == 0  # now outstanding
+        claims = {}
+
+        def claimer(name, capacity):
+            claims[name] = board.claim(
+                straggler_timeout=0.3, capacity=capacity
+            )
+
+        # Park the fast claimer first and *wait until it is registered
+        # idle* before starting the slow one, so the slow claimer can
+        # never observe an empty idle set and grab the duplicate
+        # itself — the ripeness race would otherwise flake on a loaded
+        # machine.
+        fast = threading.Thread(target=claimer, args=("fast", 4))
+        fast.start()
+        self._await_idle(board, 1)
+        slow = threading.Thread(target=claimer, args=("slow", 1))
+        slow.start()
+        self._await_idle(board, 2)
+        deadline = time.monotonic() + 10.0
+        while "fast" not in claims and time.monotonic() < deadline:
+            time.sleep(0.01)  # chunk ripens ~0.3 s after its claim
+        assert claims.get("fast") == 0
+        assert "slow" not in claims  # still deferring
+        board.settle(0)
+        slow.join(timeout=5)
+        fast.join(timeout=5)
+        assert claims["slow"] is None
+
+    def test_duplicates_bounded_by_max_attempts(self):
+        board = ChunkBoard(1, max_attempts=2)
+        assert board.claim(0.01, capacity=1) == 0
+        with board.condition:
+            board.outstanding[0] -= 1.0
+        # Second (and last allowed) attempt is granted...
+        assert board.claim(0.01, capacity=1, block=True) == 0
+        # ...after which the chunk is never duplicated again: the next
+        # idle claim waits for a settle instead of a third grant.
+        settled = threading.Timer(0.3, board.settle, args=(0,))
+        settled.start()
+        assert board.claim(0.01, capacity=1) is None
+        settled.join()
+
+    def test_holding_skips_own_inflight_chunk_without_charging(self):
+        board = ChunkBoard(2, max_attempts=3)
+        assert board.claim() == 0
+        board.requeue(0)  # a dead duplicate holder put it back
+        # The holder's own top-up must not get chunk 0 again — and the
+        # skipped token must stay queued (uncharged) for other workers.
+        assert board.claim(block=False, holding={0}) == 1
+        assert board.claim(block=False, holding={0, 1}) is None
+        assert board.attempts[0] == 1  # no phantom attempt
+        assert board.claim(block=False) == 0  # another worker takes it
+        assert board.attempts[0] == 2
+
+    def test_requeue_puts_chunk_at_front(self):
+        board = ChunkBoard(3, max_attempts=3)
+        assert board.claim() == 0
+        assert board.claim() == 1
+        board.requeue(1)
+        assert board.claim() == 1  # ahead of chunk 2
+        assert board.claim() == 2

@@ -1,0 +1,259 @@
+"""Worker autolaunch: lifecycle, readiness, lifeline, SSH command shape."""
+
+import os
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.eval.dist import (
+    HostSpec,
+    LaunchError,
+    LocalLauncher,
+    RemoteExecutor,
+    SshLauncher,
+)
+from repro.eval.parallel import run_scenario_tasks, scenario_tasks
+from repro.simulate.experiment import ExperimentConfig
+
+FAST = ExperimentConfig(n_snapshots=120, packets_per_path=200)
+
+
+def _assert_gone(pids, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    for pid in pids:
+        while True:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            if time.monotonic() > deadline:
+                pytest.fail(f"worker process {pid} still alive")
+            time.sleep(0.05)
+
+
+def _assert_identical(reference, candidate):
+    import numpy as np
+
+    assert len(reference) == len(candidate)
+    for errors_a, errors_b in zip(reference, candidate):
+        assert set(errors_a) == set(errors_b)
+        for name in errors_a:
+            assert np.array_equal(errors_a[name], errors_b[name])
+
+
+class TestLocalLauncher:
+    def test_launch_and_teardown_lifecycle(self):
+        launcher = LocalLauncher(2, capacities=[1, 2])
+        specs = launcher.launch()
+        pids = [worker.pid for worker in launcher.workers]
+        try:
+            assert len(specs) == 2
+            assert launcher.worker_slots == 3
+            # Every announced endpoint is actually connectable.
+            for spec in specs:
+                socket.create_connection(spec.endpoint, timeout=5).close()
+        finally:
+            launcher.shutdown()
+        assert launcher.workers == []
+        _assert_gone(pids)
+        launcher.shutdown()  # idempotent
+
+    def test_spawn_failure_raises_launch_error(self):
+        launcher = LocalLauncher(1, python="/nonexistent-interpreter")
+        with pytest.raises(LaunchError, match="failed to spawn"):
+            launcher.launch()
+        assert launcher.workers == []
+
+    def test_startup_failure_reports_output_and_cleans_up(self):
+        # /bin/sleep rejects the worker argv immediately: the launcher
+        # must surface the exit (not hang) and tear down anything it
+        # already started.
+        launcher = LocalLauncher(
+            1, python="/bin/sleep", startup_timeout=10.0
+        )
+        with pytest.raises(LaunchError, match="exited with status"):
+            launcher.launch()
+        assert launcher.workers == []
+
+    def test_double_launch_is_rejected_not_clobbered(self):
+        """A second launch() on a live fleet must raise: silently
+        replacing the workers list would let one sweep's shutdown kill
+        another sweep's fleet."""
+        launcher = LocalLauncher(1)
+        launcher.launch()
+        try:
+            with pytest.raises(LaunchError, match="live fleet"):
+                launcher.launch()
+        finally:
+            launcher.shutdown()
+        launcher.launch()  # fine again after shutdown
+        launcher.shutdown()
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError, match="capacities must be >= 1"):
+            LocalLauncher(2, capacities=[1, 0])
+        with pytest.raises(ValueError, match="one value per worker"):
+            LocalLauncher(2, capacities=[1, 2, 3])
+        with pytest.raises(ValueError, match="n_workers"):
+            LocalLauncher(0)
+
+    def test_autolaunched_sweep_matches_serial_and_tears_down(
+        self, planetlab_small
+    ):
+        """The tentpole end-to-end: elastic sweep, bit-identical, no
+        orphans once the executor is done."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=41
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        launcher = LocalLauncher(2, capacities=[1, 2])
+        remote = run_scenario_tasks(
+            planetlab_small,
+            tasks,
+            config=FAST,
+            executor=RemoteExecutor(launcher=launcher),
+        )
+        _assert_identical(serial, remote)
+        # map_chunks' finally tore the fleet down even though nothing
+        # failed; the launcher owns no processes any more.
+        assert launcher.workers == []
+
+
+class TestLifeline:
+    def test_worker_exits_when_stdin_closes(self):
+        import pathlib
+
+        import repro
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(
+            pathlib.Path(repro.__file__).resolve().parent.parent
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "worker",
+                "--bind",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--capacity",
+                "1",
+                "--exit-on-stdin-close",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            line = process.stdout.readline()
+            assert "worker listening on" in line
+            process.stdin.close()  # the coordinator "dies"
+            assert process.wait(timeout=20) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+
+class TestSshLauncher:
+    @pytest.fixture()
+    def fake_ssh(self, tmp_path):
+        """A stand-in `ssh` that runs the remote command locally.
+
+        Receives ``<target> repro-tomography worker ...`` exactly like
+        a real SSH client and execs the worker through this
+        interpreter, relaying stdio — which is all the launcher's
+        lifecycle logic can observe.
+        """
+        import pathlib
+
+        import repro
+
+        package_root = pathlib.Path(repro.__file__).resolve().parent.parent
+        script = tmp_path / "fake-ssh.py"
+        script.write_text(
+            "import os, subprocess, sys\n"
+            "args = sys.argv[1:]\n"
+            "target = args.pop(0)\n"
+            "assert args.pop(0) == 'repro-tomography'\n"
+            "env = dict(os.environ)\n"
+            f"env['PYTHONPATH'] = {str(package_root)!r}\n"
+            f"sys.exit(subprocess.call([{sys.executable!r}, '-m',"
+            " 'repro.cli', *args], env=env))\n"
+        )
+        return [sys.executable, str(script)]
+
+    @staticmethod
+    def _free_port():
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_ssh_launch_lifecycle(self, fake_ssh):
+        port = self._free_port()
+        launcher = SshLauncher(
+            f"alice@127.0.0.1:{port}",
+            capacities=1,
+            ssh_command=fake_ssh,
+        )
+        specs = launcher.launch()
+        try:
+            assert specs == [HostSpec("127.0.0.1", port, "alice")]
+            socket.create_connection(specs[0].endpoint, timeout=5).close()
+        finally:
+            pids = [worker.pid for worker in launcher.workers]
+            launcher.shutdown()
+        _assert_gone(pids)
+
+    def test_ssh_command_shape(self):
+        """The argv handed to SSH is exactly the documented invocation."""
+        launcher = SshLauncher(
+            "alice@hostA:7100,hostB:7200",
+            capacities=[2, None],
+            cache_dir="/shared/store",
+        )
+        recorded = []
+        launcher._spawn = lambda argv, describe, env=None: recorded.append(
+            argv
+        )
+        launcher._spawn_all()
+        assert recorded[0] == [
+            "ssh",
+            "-o",
+            "BatchMode=yes",
+            "alice@hostA",
+            "repro-tomography",
+            "worker",
+            "--bind",
+            "0.0.0.0",
+            "--port",
+            "7100",
+            "--exit-on-stdin-close",
+            "--capacity",
+            "2",
+            "--cache-dir",
+            "/shared/store",
+        ]
+        assert recorded[1][3] == "hostB"  # no user prefix
+        assert "--capacity" not in recorded[1]  # remote CPU default
+
+    def test_worker_slots_counts_capacities(self):
+        from repro.eval.dist.launch import ASSUMED_REMOTE_SLOTS
+
+        launcher = SshLauncher(
+            "a:7100,b:7200", capacities=[2, None]
+        )
+        # None = remote CPU default, planned with assumed granularity
+        # so the advertised pipeline can actually be filled.
+        assert launcher.worker_slots == 2 + ASSUMED_REMOTE_SLOTS

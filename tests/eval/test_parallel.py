@@ -71,6 +71,26 @@ class TestTaskConstruction:
         with pytest.raises(ValueError):
             resolve_workers(-1)
 
+    def test_negative_argument_names_the_source(self):
+        """Bad values fail here with their origin named, not later
+        inside ProcessPoolExecutor."""
+        with pytest.raises(ValueError, match="workers must be >= 0"):
+            resolve_workers(-2)
+
+    def test_negative_env_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-3")
+        with pytest.raises(
+            ValueError, match="REPRO_WORKERS.*must be >= 0"
+        ):
+            resolve_workers(None)
+
+    def test_env_honoured_and_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(None) == 3
+        monkeypatch.setenv("REPRO_WORKERS", "nope")
+        with pytest.raises(ValueError, match="REPRO_WORKERS"):
+            resolve_workers(None)
+
 
 class TestEngineDeterminism:
     def test_serial_and_parallel_results_identical(self, planetlab_small):

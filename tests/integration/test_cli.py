@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _make_executor, build_parser, main
 
 
 class TestParser:
@@ -37,6 +37,216 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(
                 ["figure4", "--topology", "mesh"]
+            )
+
+
+class TestDistributedFlags:
+    """Backend/hosts/launch precedence and the documented error paths."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HOSTS", raising=False)
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+
+    @staticmethod
+    def _executor(argv):
+        return _make_executor(build_parser().parse_args(argv))
+
+    def test_hosts_flag_beats_repro_hosts_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTS", "env-host:7100")
+        executor = self._executor(
+            ["figure3", "--hosts", "flag-host:7200"]
+        )
+        assert [spec.endpoint for spec in executor.endpoints] == [
+            ("flag-host", 7200)
+        ]
+
+    def test_repro_hosts_env_implies_remote_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HOSTS", "env-host:7100,other:7101")
+        executor = self._executor(["figure3"])
+        assert [spec.endpoint for spec in executor.endpoints] == [
+            ("env-host", 7100),
+            ("other", 7101),
+        ]
+
+    def test_remote_backend_without_hosts_exits_with_message(self):
+        with pytest.raises(SystemExit) as excinfo:
+            self._executor(["figure3", "--backend", "remote"])
+        assert "--hosts or REPRO_HOSTS" in str(excinfo.value)
+
+    def test_malformed_hosts_exit_as_cli_error(self):
+        with pytest.raises(SystemExit, match="duplicate"):
+            self._executor(
+                ["figure3", "--hosts", "a:7100,a:7100"]
+            )
+
+    def test_launch_local_builds_launcher_executor(self):
+        executor = self._executor(
+            [
+                "figure3",
+                "--launch",
+                "local",
+                "--launch-workers",
+                "2",
+                "--launch-capacity",
+                "1,2",
+            ]
+        )
+        assert executor.launcher is not None
+        assert executor.launcher.capacities == [1, 2]
+        assert executor.endpoints is None
+
+    def test_launch_requires_remote_backend(self):
+        with pytest.raises(SystemExit, match="--backend remote"):
+            self._executor(
+                ["figure3", "--backend", "serial", "--launch", "local"]
+            )
+
+    def test_launch_local_rejects_hosts(self):
+        with pytest.raises(SystemExit, match="drop --hosts"):
+            self._executor(
+                [
+                    "figure3",
+                    "--launch",
+                    "local",
+                    "--hosts",
+                    "a:7100",
+                ]
+            )
+
+    def test_launch_local_rejects_env_hosts_too(self, monkeypatch):
+        """REPRO_HOSTS must conflict the same way the flag does, not
+        be silently dropped in favour of localhost subprocesses."""
+        monkeypatch.setenv("REPRO_HOSTS", "a:7100")
+        with pytest.raises(SystemExit, match="drop REPRO_HOSTS"):
+            self._executor(["figure3", "--launch", "local"])
+
+    def test_launch_ssh_needs_hosts(self):
+        with pytest.raises(SystemExit, match="--launch ssh needs"):
+            self._executor(["figure3", "--launch", "ssh"])
+
+    def test_launch_ssh_rejects_launch_workers(self):
+        """The ssh fleet size comes from --hosts; a conflicting
+        --launch-workers must error, not silently launch 1 worker."""
+        with pytest.raises(
+            SystemExit, match="--launch-workers only applies"
+        ):
+            self._executor(
+                [
+                    "figure3",
+                    "--launch",
+                    "ssh",
+                    "--hosts",
+                    "a:7100",
+                    "--launch-workers",
+                    "4",
+                ]
+            )
+
+    def test_launch_ssh_builds_launcher_from_hosts(self):
+        executor = self._executor(
+            [
+                "figure3",
+                "--launch",
+                "ssh",
+                "--hosts",
+                "alice@a:7100,b:7200",
+                "--launch-capacity",
+                "4",
+            ]
+        )
+        assert executor.launcher is not None
+        targets = [spec.ssh_target for spec in executor.launcher.specs]
+        assert targets == ["alice@a", "b"]
+        assert executor.launcher.capacities == [4, 4]
+
+    def test_launch_ssh_forwards_cache_dir_to_workers(self):
+        """The figure's store doubles as the workers' shared store, so
+        a killed sweep keeps every trial any worker finished."""
+        executor = self._executor(
+            [
+                "figure3",
+                "--launch",
+                "ssh",
+                "--hosts",
+                "a:7100",
+                "--cache-dir",
+                "/shared/store",
+            ]
+        )
+        assert str(executor.launcher.cache_dir) == "/shared/store"
+
+    def test_launch_local_forwards_cache_dir_to_workers(self):
+        executor = self._executor(
+            [
+                "figure3",
+                "--launch",
+                "local",
+                "--cache-dir",
+                "/tmp/store",
+            ]
+        )
+        assert str(executor.launcher.cache_dir) == "/tmp/store"
+
+    def test_launch_flags_without_launch_are_rejected(self):
+        """Fleet-shape flags must not be silently ignored just because
+        --launch was forgotten."""
+        with pytest.raises(SystemExit, match="require\\s+--launch"):
+            self._executor(
+                [
+                    "figure3",
+                    "--hosts",
+                    "a:7100",
+                    "--launch-capacity",
+                    "8",
+                ]
+            )
+        with pytest.raises(SystemExit, match="require\\s+--launch"):
+            self._executor(
+                ["figure3", "--backend", "serial", "--launch-workers", "4"]
+            )
+
+    @pytest.mark.parametrize("value", ["0", "1,-2", "nope", "1,2,3"])
+    def test_bad_launch_capacity_rejected(self, value):
+        with pytest.raises(SystemExit, match="--launch-capacity"):
+            self._executor(
+                [
+                    "figure3",
+                    "--launch",
+                    "local",
+                    "--launch-workers",
+                    "2",
+                    "--launch-capacity",
+                    value,
+                ]
+            )
+
+
+class TestWorkerSubcommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["worker"])
+        assert args.port == 0
+        assert args.capacity == 0  # auto: one slot per CPU core
+        assert not args.exit_on_stdin_close
+
+    @pytest.mark.parametrize("port", ["-1", "65536", "notaport"])
+    def test_bad_ports_rejected(self, port):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "--port", port])
+
+    @pytest.mark.parametrize("capacity", ["-2", "nope"])
+    def test_bad_capacities_rejected(self, capacity):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["worker", "--capacity", capacity]
+            )
+
+    @pytest.mark.parametrize("throttle", ["-1", "nope"])
+    def test_bad_throttle_rejected(self, throttle):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["worker", "--throttle", throttle]
             )
 
 
