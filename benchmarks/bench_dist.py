@@ -20,6 +20,16 @@ Runs the figure-3 sweep several ways over the same instance and seed:
   CI too — the latency injection makes the gain reproducible on any
   machine).
 
+* **plain-autolaunch / secure-autolaunch** — the wire-security
+  acceptance pair: the same two-worker autolaunched fleet swept over a
+  trusted socket and again with TLS plus the shared-secret (protocol
+  v3) handshake.  Identical launch and compute on both sides, so the
+  ratio isolates the security layer's cost; ``--require-secure-overhead
+  [RATIO]`` (default 1.15) gates it, and the **fail-closed checks**
+  (``--require-fail-closed``) prove a wrong-secret and a no-secret
+  connection are both refused before the worker deserializes a single
+  object.
+
 All sweep legs must produce bit-identical figure data (always enforced
 with ``--require-identical``; always printed).  ``--require-survival``
 additionally gates the kill leg (sweep survives, shared store retained
@@ -156,6 +166,108 @@ def _kill_when_store_populated(worker, store, landed):
         time.sleep(0.02)
 
 
+def _check_fail_closed(tls_paths, secret, sweep_kwargs) -> dict:
+    """Prove refused connections deserialize nothing on the worker.
+
+    Runs one TLS + secret worker in-process with ``pickle`` swapped
+    for a counting proxy in *both* unpickle sites a session touches —
+    the worker module (init triple, chunk task lists) and the protocol
+    module (every frame header inside ``recv_message``) — then
+    attempts a sweep with a wrong secret and one with no secret at
+    all.  Both must raise :class:`DistSecurityError`, and the counter
+    must show the worker-side session threads unpickled zero objects:
+    the refusal landed before anything was deserialized (the
+    pickle-over-socket RCE surface stays closed).  Counting is
+    attributed by thread name because the coordinator shares this
+    process and legitimately unpickles the worker's refusal header.
+    """
+    import types
+
+    import repro.eval.dist.protocol as protocol_module
+    import repro.eval.dist.worker as worker_module
+    from repro.eval.dist import (
+        DistSecurityError,
+        WorkerServer,
+        client_context,
+        server_context,
+    )
+
+    loads_calls: list[int] = []
+    real_pickle = worker_module.pickle
+
+    def counting_loads(data):
+        if threading.current_thread().name.startswith("worker-session"):
+            loads_calls.append(1)
+        return real_pickle.loads(data)
+
+    counting = types.SimpleNamespace(
+        loads=counting_loads,
+        dumps=real_pickle.dumps,
+        HIGHEST_PROTOCOL=real_pickle.HIGHEST_PROTOCOL,
+    )
+    server = WorkerServer(
+        secret=secret,
+        ssl_context=server_context(tls_paths.cert, tls_paths.key),
+    )
+    server_thread = threading.Thread(
+        target=server.serve_forever, daemon=True
+    )
+    server_thread.start()
+    checks: dict[str, tuple[bool, str]] = {}
+    attempts = (
+        (
+            "wrong_secret",
+            dict(
+                secret="definitely-not-the-secret",
+                ssl_context=client_context(cafile=tls_paths.cert),
+            ),
+        ),
+        (
+            "no_secret",
+            dict(ssl_context=client_context(cafile=tls_paths.cert)),
+        ),
+    )
+    worker_module.pickle = counting
+    protocol_module.pickle = counting
+    try:
+        # Sanity: the instrumentation actually counts (from a thread
+        # named like a worker session, as real counts will be).
+        probe = threading.Thread(
+            target=lambda: counting.loads(real_pickle.dumps(1)),
+            name="worker-session-probe",
+        )
+        probe.start()
+        probe.join()
+        assert loads_calls, "fail-closed instrumentation is inert"
+        loads_calls.clear()
+        for label, security in attempts:
+            before = len(loads_calls)
+            try:
+                figure3_sweep(
+                    executor=RemoteExecutor([server.address], **security),
+                    **sweep_kwargs,
+                )
+                checks[label] = (False, "sweep unexpectedly succeeded")
+            except DistSecurityError as exc:
+                deserialized = len(loads_calls) - before
+                checks[label] = (
+                    deserialized == 0,
+                    f"refused cleanly; worker deserialized "
+                    f"{deserialized} objects ({str(exc)[:90]})",
+                )
+            except Exception as exc:  # noqa: BLE001 - report, don't die
+                checks[label] = (
+                    False,
+                    f"failed with {type(exc).__name__} instead of "
+                    f"DistSecurityError: {exc}",
+                )
+    finally:
+        worker_module.pickle = real_pickle
+        protocol_module.pickle = real_pickle
+        server.close()
+    return checks
+
+
 def _run_orphan_child(args) -> int:
     """Child mode: autolaunch a fleet, announce it, sweep until killed.
 
@@ -274,6 +386,28 @@ def main(argv=None) -> int:
             "exit nonzero unless the capacity-aware schedule beats "
             "uniform chunking on wall-clock in the heterogeneous "
             "(capacity 1 vs 2, latency-injected) scenario"
+        ),
+    )
+    parser.add_argument(
+        "--require-secure-overhead",
+        nargs="?",
+        const=1.15,
+        default=None,
+        type=float,
+        metavar="RATIO",
+        help=(
+            "exit nonzero unless the secured (TLS + shared-secret, "
+            "autolaunched) sweep stays within RATIO (default 1.15) of "
+            "the plain autolaunched sweep's wall-clock"
+        ),
+    )
+    parser.add_argument(
+        "--require-fail-closed",
+        action="store_true",
+        help=(
+            "exit nonzero unless wrong-secret and no-secret "
+            "connections to a secured worker are refused before any "
+            "payload is deserialized"
         ),
     )
     parser.add_argument(
@@ -426,6 +560,59 @@ def main(argv=None) -> int:
         f"{t_aware:7.2f} s ({capacity_gain:.2f}x vs uniform)"
     )
 
+    # Wire security: the same autolaunched fleet shape swept plain and
+    # secured (TLS + shared secret).  Both legs pay identical launch,
+    # connect, and compute costs, so the wall-clock ratio isolates what
+    # the HMAC handshake plus the TLS record layer actually cost; each
+    # leg runs twice and keeps its best time to damp runner noise.
+    from repro.eval.dist import client_context, generate_self_signed
+
+    secure_secret = "bench-dist-fleet-token"
+    with tempfile.TemporaryDirectory() as tls_dir:
+        tls_paths = generate_self_signed(tls_dir)
+
+        def _autolaunch_leg(secured: bool):
+            if secured:
+                executor = RemoteExecutor(
+                    launcher=LocalLauncher(
+                        2,
+                        secret=secure_secret,
+                        tls_cert=tls_paths.cert,
+                        tls_key=tls_paths.key,
+                    ),
+                    secret=secure_secret,
+                    ssl_context=client_context(cafile=tls_paths.cert),
+                )
+            else:
+                executor = RemoteExecutor(launcher=LocalLauncher(2))
+            t0 = time.perf_counter()
+            result = figure3_sweep(executor=executor, **sweep_kwargs)
+            return time.perf_counter() - t0, result
+
+        t_plain, plain_autolaunch = _autolaunch_leg(False)
+        t_plain = min(t_plain, _autolaunch_leg(False)[0])
+        t_secure, secure_autolaunch = _autolaunch_leg(True)
+        t_secure = min(t_secure, _autolaunch_leg(True)[0])
+        secure_overhead = (
+            t_secure / t_plain if t_plain > 0 else float("inf")
+        )
+        print(
+            f"autolaunch (2 workers), plain:       {t_plain:7.2f} s"
+        )
+        print(
+            f"autolaunch, TLS + shared secret:     {t_secure:7.2f} s "
+            f"({secure_overhead:.2f}x vs plain)"
+        )
+
+        fail_closed = _check_fail_closed(
+            tls_paths, secure_secret, sweep_kwargs
+        )
+        for label, (ok, detail) in fail_closed.items():
+            print(
+                f"fail-closed [{label}]: "
+                f"{'OK' if ok else 'FAILED'} — {detail}"
+            )
+
     orphan_ok, orphan_detail = _check_orphan_teardown()
     print(orphan_detail)
 
@@ -438,6 +625,8 @@ def main(argv=None) -> int:
         ("remote-kill", survived, reference),
         ("elastic-uniform", uniform, hetero_reference),
         ("elastic-aware", aware, hetero_reference),
+        ("plain-autolaunch", plain_autolaunch, reference),
+        ("secure-autolaunch", secure_autolaunch, reference),
     ):
         if _points_as_dicts(result) != expected:
             failures.append(
@@ -445,7 +634,8 @@ def main(argv=None) -> int:
             )
     if not failures:
         print(
-            "bit-identical: serial == remote == remote-kill and "
+            "bit-identical: serial == remote == remote-kill == "
+            "plain-autolaunch == secure-autolaunch and "
             "serial == elastic-uniform == elastic-aware"
         )
 
@@ -466,6 +656,19 @@ def main(argv=None) -> int:
             f"capacity-aware schedule did not beat uniform chunking "
             f"({capacity_gain:.2f}x)"
         )
+    if (
+        args.require_secure_overhead is not None
+        and secure_overhead > args.require_secure_overhead
+    ):
+        failures.append(
+            f"secured autolaunch sweep cost {secure_overhead:.2f}x the "
+            f"plain autolaunch wall-clock (budget "
+            f"{args.require_secure_overhead:.2f}x)"
+        )
+    if args.require_fail_closed:
+        for label, (ok, detail) in fail_closed.items():
+            if not ok:
+                failures.append(f"fail-closed [{label}]: {detail}")
 
     speedup = t_serial / t_remote if t_remote > 0 else float("inf")
     print(f"remote speedup over serial: {speedup:.2f}x")
@@ -498,14 +701,21 @@ def main(argv=None) -> int:
             "remote_kill": t_kill,
             "elastic_uniform": t_uniform,
             "elastic_aware": t_aware,
+            "plain_autolaunch": t_plain,
+            "secure_autolaunch": t_secure,
         },
         ratios={
             "remote_speedup": speedup,
             "capacity_gain": capacity_gain,
+            "secure_overhead": secure_overhead,
             "identical": float(not failures),
             "kill_landed": float(kill_landed),
             "retained_entries": float(retained_entries),
             "orphan_teardown_ok": float(orphan_ok),
+            "fail_closed_wrong_secret": float(
+                fail_closed["wrong_secret"][0]
+            ),
+            "fail_closed_no_secret": float(fail_closed["no_secret"][0]),
         },
     )
 

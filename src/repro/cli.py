@@ -66,6 +66,25 @@ coordinator, receives the instance/config once per sweep, and serves
 task chunks.  Give workers a shared ``--cache-dir`` (e.g. on NFS) and
 they serve cache hits without compute and persist misses as chunks
 complete.
+
+Wire security (both the ``worker`` and the figure commands):
+
+* ``--secret-file PATH`` (or ``REPRO_DIST_SECRET``) arms the protocol
+  v3 shared-secret handshake: every connection must prove knowledge of
+  the token (HMAC challenge/response, mutual, replay-proof) before any
+  payload byte is read, and unauthenticated peers are refused with a
+  clean error.  There is deliberately no ``--secret VALUE`` flag —
+  argv is world-readable.  Workers launched over SSH read the token
+  from stdin (``--secret-stdin``).
+* ``--tls-cert/--tls-key/--tls-ca`` (or ``REPRO_DIST_TLS_*``) wrap the
+  wire in TLS: workers serve their cert/key (``--tls-ca`` on a worker
+  additionally demands client certificates), coordinators verify
+  workers against ``--tls-ca``.  ``repro.eval.dist.certs.
+  generate_self_signed()`` mints a development/CI cert whose
+  ``cert.pem`` doubles as the CA file.
+
+Security never changes figure data: secured sweeps stay bit-identical
+to serial runs at a fixed seed.
 """
 
 from __future__ import annotations
@@ -75,6 +94,8 @@ import os
 import sys
 
 import numpy as np
+
+from repro.exceptions import DistSecurityError
 
 __all__ = ["main", "build_parser"]
 
@@ -227,6 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help=argparse.SUPPRESS,  # latency-injection hook for benchmarks
+    )
+    _add_security_arguments(worker, role="worker")
+    worker.add_argument(
+        "--secret-stdin",
+        action="store_true",
+        help=(
+            "read the shared secret as the first line of stdin — how "
+            "SSH launchers deliver the token without exposing it on "
+            "any command line"
+        ),
     )
 
     tomographer = commands.add_parser(
@@ -395,6 +426,67 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
             "--launch local, the remote CPU count for --launch ssh)"
         ),
     )
+    _add_security_arguments(parser, role="coordinator")
+
+
+def _add_security_arguments(parser, *, role: str) -> None:
+    """Wire-security flags shared by the worker and figure commands.
+
+    The secret is taken from a *file* (or the ``REPRO_DIST_SECRET``
+    environment variable) — never a bare ``--secret VALUE`` flag, which
+    would put the token in the process table and shell history.
+    """
+    if role == "worker":
+        cert_help = (
+            "serve TLS with this certificate (PEM; needs --tls-key); "
+            "plaintext coordinators are refused"
+        )
+        ca_help = (
+            "require coordinator client certificates chaining to this "
+            "CA (mutual TLS)"
+        )
+    else:
+        cert_help = (
+            "client certificate presented to mutual-TLS workers "
+            "(PEM; needs --tls-key); with --launch, also the "
+            "certificate the autolaunched workers serve"
+        )
+        ca_help = (
+            "CA file the workers' TLS certificates must chain to "
+            "(for a self-signed fleet, the cert.pem itself)"
+        )
+    parser.add_argument(
+        "--secret-file",
+        default=None,
+        metavar="PATH",
+        help=(
+            "file holding the shared secret (first line) for the "
+            "authenticated (v3) wire protocol; default: the "
+            "REPRO_DIST_SECRET environment variable, else "
+            "authentication off"
+        ),
+    )
+    parser.add_argument(
+        "--tls-cert",
+        default=None,
+        metavar="PEM",
+        help=cert_help + " (default: REPRO_DIST_TLS_CERT)",
+    )
+    parser.add_argument(
+        "--tls-key",
+        default=None,
+        metavar="PEM",
+        help=(
+            "private key for --tls-cert "
+            "(default: REPRO_DIST_TLS_KEY)"
+        ),
+    )
+    parser.add_argument(
+        "--tls-ca",
+        default=None,
+        metavar="PEM",
+        help=ca_help + " (default: REPRO_DIST_TLS_CA)",
+    )
 
 
 def _parse_launch_capacities(text):
@@ -421,6 +513,73 @@ def _parse_launch_capacities(text):
             f"capacity, got {text!r}"
         )
     return values[0] if len(values) == 1 else values
+
+
+def _resolve_tls_paths(args):
+    """(cert, key, ca) from flags with REPRO_DIST_TLS_* env fallback."""
+    cert = (
+        args.tls_cert
+        or os.environ.get("REPRO_DIST_TLS_CERT", "").strip()
+        or None
+    )
+    key = (
+        args.tls_key
+        or os.environ.get("REPRO_DIST_TLS_KEY", "").strip()
+        or None
+    )
+    ca = (
+        args.tls_ca
+        or os.environ.get("REPRO_DIST_TLS_CA", "").strip()
+        or None
+    )
+    if (cert is None) != (key is None):
+        raise SystemExit(
+            "error: --tls-cert and --tls-key must be given together"
+        )
+    return cert, key, ca
+
+
+def _resolve_secret_or_exit(args, *, stdin_secret=None):
+    from repro.eval.dist.auth import resolve_secret
+
+    if stdin_secret is not None:
+        return stdin_secret
+    try:
+        return resolve_secret(args.secret_file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from None
+
+
+def _security_flags_requested(args) -> bool:
+    """Did the user *explicitly* ask for wire security on this run?
+
+    Environment variables are ambient fleet configuration and are
+    ignored by non-remote backends; explicit flags on a backend that
+    cannot honour them are an error, not a silent no-op.
+    """
+    return any(
+        getattr(args, name, None) is not None
+        for name in ("secret_file", "tls_cert", "tls_key", "tls_ca")
+    )
+
+
+def _make_client_security(args):
+    """(secret, cert, key, ca, ssl_context) for a remote coordinator."""
+    cert, key, ca = _resolve_tls_paths(args)
+    secret = _resolve_secret_or_exit(args)
+    ssl_context = None
+    if cert is not None or ca is not None:
+        from repro.eval.dist.certs import client_context
+
+        try:
+            ssl_context = client_context(
+                cafile=ca, certfile=cert, keyfile=key
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot load TLS material: {exc}"
+            ) from None
+    return secret, cert, key, ca, ssl_context
 
 
 def _make_executor(args):
@@ -451,6 +610,14 @@ def _make_executor(args):
             "error: --launch-workers/--launch-capacity require "
             "--launch {local,ssh}"
         )
+    if backend != "remote" and _security_flags_requested(args):
+        # Serial and pooled execution never cross a network; asking
+        # for wire security there is a configuration mistake the user
+        # should hear about, not a silent no-op.
+        raise SystemExit(
+            "error: --secret-file/--tls-cert/--tls-key/--tls-ca only "
+            "apply to --backend remote"
+        )
     if backend is None:
         return None
     if backend == "serial":
@@ -472,6 +639,9 @@ def _make_executor(args):
     from repro.eval.cache import resolve_cache_dir
     from repro.eval.dist import RemoteExecutor
 
+    secret, tls_cert, tls_key, tls_ca, ssl_context = (
+        _make_client_security(args)
+    )
     if launch is None:
         if hosts is None:
             raise SystemExit(
@@ -481,6 +651,15 @@ def _make_executor(args):
         return RemoteExecutor(
             _parse_hosts_or_exit(hosts),
             straggler_timeout=args.straggler_timeout,
+            secret=secret,
+            ssl_context=ssl_context,
+        )
+    if tls_ca is not None and tls_cert is None:
+        # The coordinator would demand TLS from workers launched
+        # without any TLS material: guaranteed mutual refusal.
+        raise SystemExit(
+            "error: --launch with --tls-ca needs --tls-cert/--tls-key "
+            "for the launched workers to serve"
         )
     # Launched workers share the figure's trial store (for ssh, a path
     # valid on the remote hosts, e.g. NFS), so a killed sweep keeps
@@ -513,6 +692,9 @@ def _make_executor(args):
                 n_workers,
                 capacities=_parse_launch_capacities(args.launch_capacity),
                 cache_dir=cache_dir,
+                secret=secret,
+                tls_cert=tls_cert,
+                tls_key=tls_key,
             )
         except ValueError as exc:
             raise SystemExit(
@@ -540,6 +722,9 @@ def _make_executor(args):
                 specs,
                 capacities=_parse_launch_capacities(args.launch_capacity),
                 cache_dir=cache_dir,
+                secret=secret,
+                tls_cert=tls_cert,
+                tls_key=tls_key,
             )
         except ValueError as exc:
             raise SystemExit(
@@ -548,6 +733,8 @@ def _make_executor(args):
     return RemoteExecutor(
         launcher=launcher,
         straggler_timeout=args.straggler_timeout,
+        secret=secret,
+        ssl_context=ssl_context,
     )
 
 
@@ -835,12 +1022,51 @@ def _stdin_lifeline(server) -> None:
     os._exit(0)
 
 
+def _read_stdin_secret():
+    """Consume the first stdin line as the secret (``--secret-stdin``).
+
+    Must run before the lifeline thread starts draining stdin.  The
+    rest of the stream stays open — it *is* the lifeline.
+    """
+    from repro.eval.dist.auth import normalize_secret
+
+    line = sys.stdin.buffer.readline()
+    try:
+        return normalize_secret(line)
+    except ValueError:
+        raise SystemExit(
+            "error: --secret-stdin expected the shared secret as the "
+            "first line of stdin, got an empty line (or EOF)"
+        ) from None
+
+
 def _run_worker(args) -> int:
     import threading
 
     from repro.eval.cache import resolve_cache_dir
     from repro.eval.dist import WorkerServer
 
+    stdin_secret = _read_stdin_secret() if args.secret_stdin else None
+    secret = _resolve_secret_or_exit(args, stdin_secret=stdin_secret)
+    tls_cert, tls_key, tls_ca = _resolve_tls_paths(args)
+    ssl_context = None
+    if tls_cert is not None:
+        from repro.eval.dist.certs import server_context
+
+        try:
+            ssl_context = server_context(
+                tls_cert, tls_key, cafile=tls_ca
+            )
+        except (OSError, ValueError) as exc:
+            raise SystemExit(
+                f"error: cannot load TLS material: {exc}"
+            ) from None
+    elif tls_ca is not None:
+        raise SystemExit(
+            "error: --tls-ca on a worker requires --tls-cert/--tls-key "
+            "(a worker cannot demand client certificates without "
+            "serving TLS itself)"
+        )
     cache_dir = resolve_cache_dir(args.cache_dir, disabled=args.no_cache)
     capacity = args.capacity or (os.cpu_count() or 1)
     server = WorkerServer(
@@ -851,6 +1077,8 @@ def _run_worker(args) -> int:
         max_sessions=args.max_sessions,
         fail_after_chunks=args.fail_after_chunks,
         throttle=args.throttle,
+        secret=secret,
+        ssl_context=ssl_context,
         log=lambda message: print(message, flush=True),
     )
     if args.exit_on_stdin_close:
@@ -883,7 +1111,14 @@ def main(argv=None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     np.set_printoptions(precision=4, suppress=True)
-    return _HANDLERS[args.command](args)
+    try:
+        return _HANDLERS[args.command](args)
+    except DistSecurityError as exc:
+        # Fail-closed security refusals (wrong secret, one-sided
+        # secret, TLS/plaintext mismatch) are operator guidance, not
+        # bugs: one clean line instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

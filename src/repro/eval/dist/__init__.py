@@ -11,6 +11,21 @@ reachable Python process into a worker.  See
 ``docs/ARCHITECTURE.md`` for the full design.
 """
 
+from repro.eval.dist.auth import (
+    AUTH_MAGIC,
+    AuthError,
+    DistSecurityError,
+    client_handshake,
+    normalize_secret,
+    resolve_secret,
+    server_handshake,
+)
+from repro.eval.dist.certs import (
+    CertPaths,
+    client_context,
+    generate_self_signed,
+    server_context,
+)
 from repro.eval.dist.coordinator import (
     ChunkBoard,
     HostSpec,
@@ -26,15 +41,18 @@ from repro.eval.dist.launch import (
     WorkerLauncher,
 )
 from repro.eval.dist.protocol import (
+    AUTH_PROTOCOL_VERSION,
     CAPACITY_PROTOCOL_VERSION,
     MAGIC,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
+    TlsMismatchError,
     buffer_payload,
     negotiate_version,
     payload_to_buffer,
+    read_magic,
     recv_message,
     send_message,
 )
@@ -55,12 +73,26 @@ __all__ = [
     "PROTOCOL_VERSION",
     "PROTOCOL_BASE_VERSION",
     "CAPACITY_PROTOCOL_VERSION",
+    "AUTH_PROTOCOL_VERSION",
     "MAGIC",
+    "AUTH_MAGIC",
     "ProtocolError",
     "ConnectionClosed",
+    "TlsMismatchError",
+    "DistSecurityError",
+    "AuthError",
     "negotiate_version",
+    "read_magic",
     "send_message",
     "recv_message",
     "buffer_payload",
     "payload_to_buffer",
+    "client_handshake",
+    "server_handshake",
+    "resolve_secret",
+    "normalize_secret",
+    "CertPaths",
+    "generate_self_signed",
+    "server_context",
+    "client_context",
 ]

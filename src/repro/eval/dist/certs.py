@@ -1,0 +1,225 @@
+"""TLS material and contexts for the distributed sweep wire.
+
+Authentication (:mod:`repro.eval.dist.auth`) proves *who* is on the
+other end; TLS additionally encrypts the stream so task payloads and
+results cannot be read or tampered with in transit.  This module
+builds the :class:`ssl.SSLContext` pair the worker listener and the
+coordinator sockets wrap with, plus a self-signed certificate helper
+so tests, CI, and single-operator fleets need no PKI:
+
+* :func:`generate_self_signed` — write ``cert.pem``/``key.pem`` into a
+  directory (EC P-256, SAN entries for the given hosts).  Prefers the
+  ``cryptography`` package and falls back to the ``openssl`` binary,
+  so at least one path exists on any realistic host.
+* :func:`server_context` — worker side: present ``cert``/``key``;
+  with ``cafile`` also *require* client certificates (mutual TLS).
+* :func:`client_context` — coordinator side: verify the worker against
+  ``cafile`` (hostname checking stays off — fleets are addressed by
+  IP/port, and the trust anchor is the operator-distributed CA file,
+  not a public name hierarchy); optionally present a client cert.
+
+For a self-signed single-cert fleet, the cert file doubles as the CA
+file: workers get ``--tls-cert/--tls-key``, the coordinator gets
+``--tls-ca`` pointing at the same ``cert.pem``.
+"""
+
+from __future__ import annotations
+
+import datetime
+import ipaddress
+import os
+import pathlib
+import ssl
+import subprocess
+from typing import NamedTuple
+
+__all__ = [
+    "CertPaths",
+    "generate_self_signed",
+    "server_context",
+    "client_context",
+]
+
+
+class CertPaths(NamedTuple):
+    """Where :func:`generate_self_signed` wrote the PEM files."""
+
+    cert: pathlib.Path
+    key: pathlib.Path
+
+
+def _split_hosts(hosts) -> tuple[list, list]:
+    """Partition SAN hosts into (dns_names, ip_addresses)."""
+    dns_names, ips = [], []
+    for host in hosts:
+        try:
+            ips.append(ipaddress.ip_address(host))
+        except ValueError:
+            dns_names.append(str(host))
+    return dns_names, ips
+
+
+def _generate_with_cryptography(
+    cert_path, key_path, common_name, hosts, valid_days
+) -> None:
+    from cryptography import x509
+    from cryptography.hazmat.primitives import hashes, serialization
+    from cryptography.hazmat.primitives.asymmetric import ec
+    from cryptography.x509.oid import NameOID
+
+    key = ec.generate_private_key(ec.SECP256R1())
+    name = x509.Name(
+        [x509.NameAttribute(NameOID.COMMON_NAME, common_name)]
+    )
+    dns_names, ips = _split_hosts(hosts)
+    san = x509.SubjectAlternativeName(
+        [x509.DNSName(item) for item in dns_names]
+        + [x509.IPAddress(item) for item in ips]
+    )
+    now = datetime.datetime.now(datetime.timezone.utc)
+    certificate = (
+        x509.CertificateBuilder()
+        .subject_name(name)
+        .issuer_name(name)
+        .public_key(key.public_key())
+        .serial_number(x509.random_serial_number())
+        # Back-dated a day so clock skew inside a fleet cannot make a
+        # freshly minted cert "not yet valid".
+        .not_valid_before(now - datetime.timedelta(days=1))
+        .not_valid_after(now + datetime.timedelta(days=valid_days))
+        .add_extension(san, critical=False)
+        .add_extension(
+            x509.BasicConstraints(ca=True, path_length=None),
+            critical=True,
+        )
+        .sign(key, hashes.SHA256())
+    )
+    key_path.write_bytes(
+        key.private_bytes(
+            serialization.Encoding.PEM,
+            serialization.PrivateFormat.PKCS8,
+            serialization.NoEncryption(),
+        )
+    )
+    cert_path.write_bytes(
+        certificate.public_bytes(serialization.Encoding.PEM)
+    )
+
+
+def _generate_with_openssl(
+    cert_path, key_path, common_name, hosts, valid_days
+) -> None:
+    dns_names, ips = _split_hosts(hosts)
+    san = ",".join(
+        [f"DNS:{name}" for name in dns_names]
+        + [f"IP:{ip}" for ip in ips]
+    )
+    subprocess.run(
+        [
+            "openssl",
+            "req",
+            "-x509",
+            "-newkey",
+            "ec",
+            "-pkeyopt",
+            "ec_paramgen_curve:prime256v1",
+            "-keyout",
+            str(key_path),
+            "-out",
+            str(cert_path),
+            "-days",
+            str(valid_days),
+            "-nodes",
+            "-subj",
+            f"/CN={common_name}",
+            "-addext",
+            f"subjectAltName={san}",
+        ],
+        check=True,
+        capture_output=True,
+    )
+
+
+def generate_self_signed(
+    directory,
+    *,
+    common_name: str = "repro-dist",
+    hosts=("127.0.0.1", "localhost"),
+    valid_days: int = 365,
+) -> CertPaths:
+    """Write a self-signed cert/key pair under ``directory``.
+
+    Returns the :class:`CertPaths`; the key file is chmodded to owner
+    read/write only.  ``hosts`` become SAN entries (IP literals are
+    detected), so contexts with hostname checking enabled still match.
+    Raises :class:`RuntimeError` when neither the ``cryptography``
+    package nor an ``openssl`` binary is available.
+    """
+    directory = pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    cert_path = directory / "cert.pem"
+    key_path = directory / "key.pem"
+    try:
+        _generate_with_cryptography(
+            cert_path, key_path, common_name, hosts, valid_days
+        )
+    except ImportError:
+        try:
+            _generate_with_openssl(
+                cert_path, key_path, common_name, hosts, valid_days
+            )
+        except (OSError, subprocess.CalledProcessError) as exc:
+            raise RuntimeError(
+                "generating a self-signed certificate needs either the "
+                "'cryptography' package or an 'openssl' binary; neither "
+                f"worked ({exc})"
+            ) from exc
+    os.chmod(key_path, 0o600)
+    return CertPaths(cert_path, key_path)
+
+
+def server_context(
+    certfile, keyfile, *, cafile=None
+) -> ssl.SSLContext:
+    """TLS context for the worker listener.
+
+    Presents ``certfile``/``keyfile`` to connecting coordinators; with
+    ``cafile`` set, clients must additionally present a certificate
+    that chains to it (mutual TLS).  TLS 1.2 is the floor.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_SERVER)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.load_cert_chain(certfile=str(certfile), keyfile=str(keyfile))
+    if cafile is not None:
+        context.load_verify_locations(cafile=str(cafile))
+        context.verify_mode = ssl.CERT_REQUIRED
+    return context
+
+
+def client_context(
+    *, cafile=None, certfile=None, keyfile=None
+) -> ssl.SSLContext:
+    """TLS context for coordinator sockets.
+
+    With ``cafile`` the worker's certificate must chain to it (the
+    normal configuration; hostname checking stays off because fleet
+    endpoints are IPs and the CA file *is* the trust statement).
+    Without ``cafile`` the stream is encrypted but the worker is not
+    verified — accepted so a fleet can be brought up before its CA
+    file is distributed, but pair it with a shared secret.  With
+    ``certfile``/``keyfile`` the coordinator presents a client
+    certificate for mutual-TLS workers.
+    """
+    context = ssl.SSLContext(ssl.PROTOCOL_TLS_CLIENT)
+    context.minimum_version = ssl.TLSVersion.TLSv1_2
+    context.check_hostname = False
+    if cafile is not None:
+        context.load_verify_locations(cafile=str(cafile))
+        context.verify_mode = ssl.CERT_REQUIRED
+    else:
+        context.verify_mode = ssl.CERT_NONE
+    if certfile is not None:
+        context.load_cert_chain(
+            certfile=str(certfile), keyfile=str(keyfile)
+        )
+    return context

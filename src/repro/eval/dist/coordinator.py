@@ -36,6 +36,17 @@ its own pre-spawned generators and results are keyed by chunk index —
 so remote execution is bit-identical to serial execution no matter how
 chunks land on workers, how many die, or how many duplicates race.
 
+Wire security (protocol v3): ``secret=`` arms the mutual HMAC
+handshake of :mod:`repro.eval.dist.auth` — run before the pickled init
+payload is sent and before anything a worker says is unpickled — and
+``ssl_context=`` TLS-wraps every worker socket
+(:func:`repro.eval.dist.certs.client_context`).  A sweep whose *every*
+worker is refused on security grounds raises
+:class:`~repro.exceptions.DistSecurityError` with the refusal reason
+instead of the generic lost-chunks error: a misconfigured secret
+refuses identically on every retry, so it must fail closed and
+loudly.
+
 Failure contract (shared with the serial and local executors): every
 chunk settles before :meth:`RemoteExecutor.map_chunks` raises, so the
 engine writes completed chunks back to the cache even when the sweep
@@ -50,16 +61,23 @@ from __future__ import annotations
 import pickle
 import queue
 import socket
+import ssl
 import threading
 import time
 from collections import deque
 from typing import NamedTuple
 
+from repro.eval.dist.auth import (
+    AuthError,
+    client_handshake,
+    normalize_secret,
+)
 from repro.eval.dist.protocol import (
     CAPACITY_PROTOCOL_VERSION,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
+    TlsMismatchError,
     payload_to_buffer,
     recv_message,
     send_message,
@@ -70,6 +88,7 @@ from repro.eval.parallel import (
     _chunk_tasks,
     _unpack_error_dicts,
 )
+from repro.exceptions import DistSecurityError
 
 __all__ = [
     "ChunkBoard",
@@ -78,6 +97,17 @@ __all__ = [
     "RemoteTaskError",
     "parse_hosts",
 ]
+
+
+def _is_security_failure(exc: BaseException) -> bool:
+    """Does this worker-down error mean a security misconfiguration?
+
+    Auth refusals and TLS failures are configuration problems that will
+    refuse identically on every retry, so a sweep that loses *all* its
+    workers to them fails closed with operator guidance instead of the
+    generic lost-chunks report.
+    """
+    return isinstance(exc, (DistSecurityError, ssl.SSLError))
 
 
 class RemoteTaskError(RuntimeError):
@@ -432,6 +462,17 @@ class RemoteExecutor(TaskExecutor):
             advertisements and keep one chunk in flight per worker (the
             version-1 schedule); the benchmark uses this as the uniform
             baseline.
+        secret: Shared secret (str or bytes) for the v3 HMAC handshake
+            (:mod:`repro.eval.dist.auth`).  When set, every worker must
+            prove knowledge of the same secret before the coordinator
+            ships it the (pickled) sweep payload; a sweep whose every
+            worker fails the handshake raises
+            :class:`~repro.exceptions.DistSecurityError` instead of the
+            generic lost-chunks error.
+        ssl_context: Optional client-side :class:`ssl.SSLContext`
+            (see :func:`repro.eval.dist.certs.client_context`); worker
+            sockets are TLS-wrapped right after connecting, before any
+            frame is exchanged.
     """
 
     def __init__(
@@ -445,6 +486,8 @@ class RemoteExecutor(TaskExecutor):
         max_attempts: int = 3,
         chunks_per_worker: int = 4,
         capacity_aware: bool = True,
+        secret=None,
+        ssl_context: ssl.SSLContext | None = None,
     ) -> None:
         if (hosts is None) == (launcher is None):
             raise ValueError(
@@ -463,6 +506,8 @@ class RemoteExecutor(TaskExecutor):
         self.max_attempts = max(1, max_attempts)
         self.chunks_per_worker = max(1, chunks_per_worker)
         self.capacity_aware = capacity_aware
+        self.secret = normalize_secret(secret)
+        self.ssl_context = ssl_context
 
     # -- TaskExecutor --------------------------------------------------
     def _worker_slots(self) -> int:
@@ -534,6 +579,8 @@ class RemoteExecutor(TaskExecutor):
         yielded: set[int] = set()
         task_errors: dict[int, RemoteTaskError] = {}
         last_transport_error: BaseException | None = None
+        down_events = 0
+        security_failures: list[tuple[HostSpec, BaseException]] = []
         try:
             while len(yielded) + len(task_errors) < len(chunks):
                 with board.condition:
@@ -556,6 +603,9 @@ class RemoteExecutor(TaskExecutor):
                 elif kind == "down":
                     _, spec, exc = event
                     last_transport_error = exc
+                    down_events += 1
+                    if _is_security_failure(exc):
+                        security_failures.append((spec, exc))
         finally:
             board.abort()
             with socket_lock:
@@ -578,6 +628,23 @@ class RemoteExecutor(TaskExecutor):
             for index in range(len(chunks))
             if index not in yielded and index not in task_errors
         ]
+        if (
+            lost
+            and not yielded
+            and not task_errors
+            and security_failures
+            and len(security_failures) == down_events
+        ):
+            # Nothing executed and every worker was refused on security
+            # grounds: this is a configuration problem, not a flaky
+            # fleet.  Fail closed with the refusal reason — retrying
+            # would refuse identically, and nothing was deserialized.
+            spec, exc = security_failures[0]
+            raise DistSecurityError(
+                f"sweep aborted: no worker passed the security "
+                f"handshake ({len(security_failures)} of {len(specs)} "
+                f"refused; first: {spec.address}: {exc})"
+            ) from exc
         for index in lost:
             failures.append(
                 (
@@ -619,8 +686,37 @@ class RemoteExecutor(TaskExecutor):
             events.put(("down", spec, exc))
             board.worker_stopped()
             return
+        raw_sock = sock
         inflight: set[int] = set()
         try:
+            if self.ssl_context is not None:
+                # Wrap before any frame: the TLS handshake runs under
+                # the connect timeout still armed on the socket, so a
+                # plaintext worker surfaces as a bounded error, not a
+                # hang.  ``server_hostname`` feeds SNI (and matching,
+                # for contexts that enable hostname checks).  Both an
+                # SSL-layer failure and a reset mid-handshake mean the
+                # endpoint is not the TLS worker we were configured
+                # for — classify as a security misconfiguration so the
+                # sweep fails closed with guidance.
+                try:
+                    sock = self.ssl_context.wrap_socket(
+                        sock, server_hostname=spec.host
+                    )
+                except (ssl.SSLError, ConnectionError) as exc:
+                    raise TlsMismatchError(
+                        f"TLS handshake with worker {spec.address} "
+                        f"failed ({exc}); is the worker serving TLS "
+                        f"with a certificate the configured CA signs?"
+                    ) from exc
+            authenticated_version = None
+            if self.secret is not None:
+                # Prove the secret both ways before the (pickled) init
+                # payload leaves this process; nothing the worker sends
+                # before its own proof is ever unpickled here.
+                authenticated_version = client_handshake(
+                    sock, self.secret
+                )
             send_message(
                 sock,
                 {
@@ -631,6 +727,23 @@ class RemoteExecutor(TaskExecutor):
                 init_payload,
             )
             header, _ = recv_message(sock)
+            if header.get("type") == "error" and header.get("error") in (
+                "auth-required",
+                "tls-required",
+            ):
+                # A secured worker refusing our plain session (no
+                # secret, or no TLS): surface operator guidance, fail
+                # closed.
+                refusal = header.get("error")
+                exc_type = (
+                    AuthError
+                    if refusal == "auth-required"
+                    else TlsMismatchError
+                )
+                raise exc_type(
+                    f"worker {spec.address} refused the connection: "
+                    f"{header.get('message', refusal)}"
+                )
             version = header.get("protocol")
             if (
                 header.get("type") != "ready"
@@ -641,6 +754,16 @@ class RemoteExecutor(TaskExecutor):
             ):
                 raise ProtocolError(
                     f"bad handshake from {spec.address}: {header}"
+                )
+            if (
+                authenticated_version is not None
+                and version != authenticated_version
+            ):
+                raise ProtocolError(
+                    f"worker {spec.address} negotiated version "
+                    f"{version} but the authenticated handshake bound "
+                    f"version {authenticated_version}; refusing the "
+                    f"downgrade"
                 )
             capacity = 1
             if (
@@ -736,7 +859,8 @@ class RemoteExecutor(TaskExecutor):
             board.worker_stopped()
             with socket_lock:
                 sockets.pop(worker_id, None)
-            try:
-                sock.close()
-            except OSError:
-                pass
+            for stale in (sock, raw_sock):
+                try:
+                    stale.close()
+                except OSError:
+                    pass

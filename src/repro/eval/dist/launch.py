@@ -28,6 +28,16 @@ process as a *lifeline*: when the coordinator dies — gracefully or not
 worker exits.  No orphan processes, no leaked ports
 (``benchmarks/bench_dist.py`` kills a live coordinator and asserts
 exactly this).
+
+Security provisioning: both launchers accept ``secret=`` and TLS
+material paths and hand them to the workers **without ever putting the
+token on a command line** (argv is world-readable in the process
+table).  :class:`LocalLauncher` exports ``REPRO_DIST_SECRET`` into the
+child's environment; :class:`SshLauncher` cannot carry environment
+across a default ``sshd`` config, so it starts the remote worker with
+``--secret-stdin`` and writes the token as the first line of the SSH
+channel — the same pipe that then serves as the lifeline.  TLS
+cert/key *paths* are not secrets and ride on argv.
 """
 
 from __future__ import annotations
@@ -66,6 +76,31 @@ ASSUMED_REMOTE_SLOTS = 4
 
 class LaunchError(RuntimeError):
     """A worker failed to launch or announce readiness in time."""
+
+
+def _normalize_launch_secret(secret) -> str | None:
+    """Coerce a launcher's secret to the text a child will re-read."""
+    if secret is None:
+        return None
+    from repro.eval.dist.auth import normalize_secret
+
+    return normalize_secret(secret).decode("utf-8")
+
+
+def _validate_tls_pair(tls_cert, tls_key):
+    """Certificate and key only travel as a pair."""
+    if (tls_cert is None) != (tls_key is None):
+        raise ValueError(
+            "tls_cert and tls_key must be given together (got "
+            f"cert={tls_cert!r}, key={tls_key!r})"
+        )
+    return tls_cert, tls_key
+
+
+def _tls_arguments(tls_cert, tls_key) -> list[str]:
+    if tls_cert is None:
+        return []
+    return ["--tls-cert", str(tls_cert), "--tls-key", str(tls_key)]
 
 
 class _OutputWatcher(threading.Thread):
@@ -113,28 +148,50 @@ class LaunchedWorker:
     def pid(self) -> int:
         return self.process.pid
 
-    def await_ready(self, deadline: float) -> int:
-        """Block until the listen line appears; returns the bound port."""
-        remaining = max(deadline - time.monotonic(), 0.0)
-        self.watcher.ready.wait(timeout=remaining)
-        if self.watcher.port is None:
-            try:
-                # Stdout EOF races process exit; give the reaper a
-                # moment so a dead worker reports its status rather
-                # than a generic timeout.
-                status = self.process.wait(timeout=1.0)
-            except subprocess.TimeoutExpired:
-                status = None
-            detail = (
-                f"exited with status {status}"
-                if status is not None
-                else "did not announce its port in time"
-            )
-            output = "\n".join(self.watcher.lines) or "<no output>"
-            raise LaunchError(
-                f"worker {self.describe} {detail}; output:\n{output}"
-            )
-        return self.watcher.port
+    def await_ready(self, deadline: float, *, poll: float = 0.25) -> int:
+        """Block until the listen line appears; returns the bound port.
+
+        The wait polls the process between event checks, so a worker
+        that *dies* before announcing its port — a bad TLS key path, a
+        malformed secret file, any startup misconfiguration — surfaces
+        immediately as a :class:`LaunchError` carrying the exit status
+        and the captured output (stderr is merged into stdout at
+        spawn), instead of burning the whole ``startup_timeout``.
+        Waiting for stdout EOF alone is not enough: a grandchild that
+        inherited the pipe (an SSH multiplexer, a wrapper script's own
+        child) can hold it open long after the worker is gone.
+        """
+        while True:
+            remaining = deadline - time.monotonic()
+            if self.watcher.ready.wait(
+                timeout=min(poll, max(remaining, 0.0))
+            ):
+                if self.watcher.port is not None:
+                    return self.watcher.port
+                break  # stdout EOF without a listen line: worker died
+            if self.process.poll() is not None:
+                # Dead before readiness.  Give the drain thread a
+                # moment to collect the last (usually most diagnostic)
+                # lines, but do not wait for an EOF that an inherited
+                # pipe fd may never deliver.
+                self.watcher.ready.wait(timeout=1.0)
+                break
+            if remaining <= 0:
+                break
+        try:
+            status = self.process.wait(timeout=1.0)
+        except subprocess.TimeoutExpired:
+            status = None
+        detail = (
+            f"exited with status {status}"
+            if status is not None
+            else "did not announce its port in time"
+        )
+        output = "\n".join(self.watcher.lines) or "<no output>"
+        raise LaunchError(
+            f"worker {self.describe} {detail}; "
+            f"output (stdout+stderr):\n{output}"
+        )
 
     def terminate(self, grace: float = 5.0) -> None:
         """Close the lifeline, then escalate terminate → kill."""
@@ -213,7 +270,9 @@ class WorkerLauncher:
         raise NotImplementedError
 
     # -- shared plumbing -----------------------------------------------
-    def _spawn(self, argv: list[str], describe: str, env=None) -> None:
+    def _spawn(
+        self, argv: list[str], describe: str, env=None, *, stdin_line=None
+    ) -> None:
         try:
             process = subprocess.Popen(
                 argv,
@@ -227,6 +286,17 @@ class WorkerLauncher:
             raise LaunchError(
                 f"failed to spawn worker {describe}: {exc}"
             ) from exc
+        if stdin_line is not None:
+            # Private delivery (the shared-secret token for
+            # ``--secret-stdin`` workers): first line down the pipe,
+            # which then stays open as the lifeline.  A worker that
+            # died instantly breaks the pipe here; swallow it and let
+            # ``await_ready`` report the death with its output.
+            try:
+                process.stdin.write(stdin_line + "\n")
+                process.stdin.flush()
+            except (OSError, ValueError):
+                pass
         self.workers.append(LaunchedWorker(process, describe))
 
 
@@ -262,6 +332,14 @@ class LocalLauncher(WorkerLauncher):
             for simulating hosts of unequal speed on one machine.
         cache_dir: Optional shared trial-cache root passed to every
             worker.
+        secret: Shared secret handed to every worker through the child
+            environment (``REPRO_DIST_SECRET``) — never argv — so the
+            autolaunched fleet demands the same token the coordinator
+            authenticates with.
+        tls_cert / tls_key: TLS material paths passed to every worker
+            (``--tls-cert``/``--tls-key``); the workers then refuse
+            plaintext coordinators.  Paths, not secrets, so argv is
+            fine.
         python: Interpreter for the workers (default: this one).
         startup_timeout: Seconds allowed for all workers to announce
             readiness.
@@ -274,6 +352,9 @@ class LocalLauncher(WorkerLauncher):
         capacities=None,
         throttles=None,
         cache_dir=None,
+        secret=None,
+        tls_cert=None,
+        tls_key=None,
         python: str | None = None,
         startup_timeout: float = 30.0,
     ) -> None:
@@ -312,11 +393,17 @@ class LocalLauncher(WorkerLauncher):
         self.capacities = capacities
         self.throttles = throttles
         self.cache_dir = cache_dir
+        self.secret = _normalize_launch_secret(secret)
+        self.tls_cert, self.tls_key = _validate_tls_pair(tls_cert, tls_key)
         self.python = python or sys.executable
         self.worker_slots = sum(capacities)
 
     def _spawn_all(self) -> None:
         env = worker_environment()
+        if self.secret is not None:
+            # Environment, never argv: `ps` shows argv to every local
+            # user, while the child environment stays private.
+            env["REPRO_DIST_SECRET"] = self.secret
         for index, (capacity, throttle) in enumerate(
             zip(self.capacities, self.throttles)
         ):
@@ -337,6 +424,7 @@ class LocalLauncher(WorkerLauncher):
                 argv += ["--throttle", str(throttle)]
             if self.cache_dir is not None:
                 argv += ["--cache-dir", str(self.cache_dir)]
+            argv += _tls_arguments(self.tls_cert, self.tls_key)
             self._spawn(argv, f"local[{index}] (capacity {capacity})", env)
 
     def _spec_for(self, worker: LaunchedWorker, port: int) -> HostSpec:
@@ -364,9 +452,18 @@ class SshLauncher(WorkerLauncher):
         remote_command: How to run the CLI on the remote host.
         bind: Interface the remote worker binds (default all — the
             coordinator connects over the network; keep it a private
-            one, the protocol carries pickles).
+            one, or secure the wire with ``secret``/TLS: the protocol
+            carries pickles).
         cache_dir: Optional *remote* trial-cache root (a shared
             filesystem path) passed to every worker.
+        secret: Shared secret delivered as the first line of the SSH
+            channel's stdin (the worker runs with ``--secret-stdin``)
+            — SSH does not carry environment without server-side
+            ``AcceptEnv``, and argv would leak the token to ``ps`` on
+            the coordinator host.
+        tls_cert / tls_key: *Remote* paths to the workers' TLS
+            material, passed as ``--tls-cert``/``--tls-key``; they
+            must be valid on every launched host.
     """
 
     def __init__(
@@ -378,6 +475,9 @@ class SshLauncher(WorkerLauncher):
         remote_command=("repro-tomography",),
         bind: str = "0.0.0.0",
         cache_dir=None,
+        secret=None,
+        tls_cert=None,
+        tls_key=None,
         startup_timeout: float = 30.0,
     ) -> None:
         super().__init__(startup_timeout=startup_timeout)
@@ -403,6 +503,8 @@ class SshLauncher(WorkerLauncher):
         self.remote_command = list(remote_command)
         self.bind = bind
         self.cache_dir = cache_dir
+        self.secret = _normalize_launch_secret(secret)
+        self.tls_cert, self.tls_key = _validate_tls_pair(tls_cert, tls_key)
         # Unknown (remote-CPU-default) capacities still need chunk
         # granularity to fill the pipeline they will advertise.
         self.worker_slots = sum(
@@ -427,7 +529,16 @@ class SshLauncher(WorkerLauncher):
                 argv += ["--capacity", str(capacity)]
             if self.cache_dir is not None:
                 argv += ["--cache-dir", str(self.cache_dir)]
-            self._spawn(argv, f"ssh:{spec.ssh_target}:{spec.port}")
+            argv += _tls_arguments(self.tls_cert, self.tls_key)
+            if self.secret is not None:
+                # The token itself rides stdin (see _spawn), never the
+                # SSH command line.
+                argv += ["--secret-stdin"]
+            self._spawn(
+                argv,
+                f"ssh:{spec.ssh_target}:{spec.port}",
+                stdin_line=self.secret,
+            )
 
     def _spec_for(self, worker: LaunchedWorker, port: int) -> HostSpec:
         # The remote worker may have bound an ephemeral port (--port 0

@@ -39,9 +39,15 @@ Version negotiation (compatible with version-1 peers on the wire):
   strict one-chunk-in-flight request/response loop, so mixed fleets
   keep working during a rolling upgrade.
 
-Trust model: frames carry pickles, so the protocol is for trusted
-clusters only — run workers on machines you control, reachable only
-from the coordinator (bind to loopback or a private interface).
+Trust model: frames carry pickles, so an unsecured session is for
+trusted clusters only — run workers on machines you control, reachable
+only from the coordinator (bind to loopback or a private interface).
+Version 3 (:data:`AUTH_PROTOCOL_VERSION`) adds a wire-security layer
+for everything else: a shared-secret HMAC handshake that runs *before*
+any pickled byte is read (see :mod:`repro.eval.dist.auth`) and optional
+TLS on the socket itself (see :mod:`repro.eval.dist.certs`).  A worker
+with a secret configured refuses v1/v2 (and unauthenticated v3) peers
+at the magic bytes — before reading, let alone unpickling, a header.
 """
 
 from __future__ import annotations
@@ -52,16 +58,22 @@ import struct
 
 import numpy as np
 
+from repro.exceptions import DistSecurityError
+
 __all__ = [
     "PROTOCOL_VERSION",
     "PROTOCOL_BASE_VERSION",
     "CAPACITY_PROTOCOL_VERSION",
+    "AUTH_PROTOCOL_VERSION",
     "MAGIC",
     "MAX_HEADER_BYTES",
     "MAX_PAYLOAD_BYTES",
     "ProtocolError",
     "ConnectionClosed",
+    "TlsMismatchError",
+    "bad_magic_error",
     "negotiate_version",
+    "read_magic",
     "send_message",
     "recv_message",
     "buffer_payload",
@@ -73,14 +85,21 @@ __all__ = [
 PROTOCOL_BASE_VERSION = 1
 
 #: Highest protocol version this build understands.
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: First version whose ``ready`` frame advertises a worker capacity and
 #: whose sessions may have several chunks in flight at once.
 CAPACITY_PROTOCOL_VERSION = 2
 
+#: First version that supports the shared-secret auth handshake
+#: (:mod:`repro.eval.dist.auth`).  Authenticated sessions are always
+#: negotiated at this version or above; a peer that cannot speak it is
+#: refused whenever a secret is configured.
+AUTH_PROTOCOL_VERSION = 3
+
 MAGIC = b"RTD1"
 _FRAME = struct.Struct("!4sQQ")
+_FRAME_REST = struct.Struct("!QQ")  # the two lengths after the magic
 
 #: Header pickles are task lists at most; 64 MiB is generous.
 MAX_HEADER_BYTES = 64 * 1024 * 1024
@@ -143,6 +162,54 @@ def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
     return bytes(pieces)
 
 
+def _looks_like_tls(magic: bytes) -> bool:
+    """True when 4 magic bytes look like a TLS record header.
+
+    A TLS record starts ``content-type (0x14..0x17) | 0x03 | minor``;
+    a peer answering our plaintext frame with one of these is a TLS
+    endpoint we are talking past, which deserves a pointed message (and
+    a fail-closed :class:`~repro.exceptions.DistSecurityError`) instead
+    of a generic bad-magic complaint.
+    """
+    return len(magic) >= 2 and 0x14 <= magic[0] <= 0x17 and magic[1] == 0x03
+
+
+def bad_magic_error(magic: bytes, expected: str) -> ProtocolError:
+    """Build the error for an unexpected leading 4 bytes.
+
+    TLS-looking bytes get a :class:`TlsMismatchError` so the security
+    misconfiguration fails closed with operator guidance rather than a
+    framing complaint.
+    """
+    if _looks_like_tls(magic):
+        return TlsMismatchError(
+            "peer answered with what looks like a TLS record "
+            f"({magic!r}): this side is speaking plaintext to a TLS "
+            "endpoint — configure TLS (--tls-ca / --tls-cert / "
+            "--tls-key) on both sides or neither"
+        )
+    return ProtocolError(
+        f"bad frame magic {magic!r} (expected {expected})"
+    )
+
+
+class TlsMismatchError(DistSecurityError, ProtocolError):
+    """A plaintext endpoint received TLS record bytes (or vice versa)."""
+
+
+def read_magic(sock: socket.socket) -> bytes:
+    """Read the 4 magic bytes that start the connection's next frame.
+
+    Lets a server dispatch between the pickled-header framing
+    (:data:`MAGIC`) and the pre-auth binary framing
+    (:data:`repro.eval.dist.auth.AUTH_MAGIC`) *before* any pickled byte
+    is consumed; pass the result to :func:`recv_message` (or
+    ``auth`` receive helpers) as ``preread_magic``.  A clean close here
+    raises :class:`ConnectionClosed`.
+    """
+    return _recv_exact(sock, 4, at_boundary=True)
+
+
 def send_message(sock: socket.socket, header: dict, payload=b"") -> None:
     """Send one frame.  ``payload`` is any bytes-like object."""
     header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
@@ -155,14 +222,23 @@ def send_message(sock: socket.socket, header: dict, payload=b"") -> None:
         sock.sendall(payload_view)
 
 
-def recv_message(sock: socket.socket) -> tuple[dict, bytes]:
-    """Receive one frame; returns ``(header, payload)``."""
-    prefix = _recv_exact(sock, _FRAME.size, at_boundary=True)
-    magic, header_len, payload_len = _FRAME.unpack(prefix)
+def recv_message(
+    sock: socket.socket, *, preread_magic: bytes | None = None
+) -> tuple[dict, bytes]:
+    """Receive one frame; returns ``(header, payload)``.
+
+    ``preread_magic`` hands over 4 magic bytes already consumed by
+    :func:`read_magic` (server-side dispatch between frame families).
+    """
+    if preread_magic is None:
+        magic = _recv_exact(sock, 4, at_boundary=True)
+    else:
+        magic = preread_magic
     if magic != MAGIC:
-        raise ProtocolError(
-            f"bad frame magic {magic!r} (expected {MAGIC!r})"
-        )
+        raise bad_magic_error(magic, repr(MAGIC))
+    header_len, payload_len = _FRAME_REST.unpack(
+        _recv_exact(sock, _FRAME_REST.size, at_boundary=False)
+    )
     if header_len > MAX_HEADER_BYTES:
         raise ProtocolError(
             f"header length {header_len} exceeds {MAX_HEADER_BYTES}"

@@ -50,21 +50,33 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import socket
+import ssl
 import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 
+from repro.eval.dist.auth import (
+    AUTH_MAGIC,
+    AuthError,
+    normalize_secret,
+    server_handshake,
+)
 from repro.eval.dist.protocol import (
     CAPACITY_PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
+    _FRAME_REST,
+    _recv_exact,
+    bad_magic_error,
     buffer_payload,
     negotiate_version,
+    read_magic,
     recv_message,
     send_message,
 )
+from repro.eval.dist.protocol import MAGIC as FRAME_MAGIC
 from repro.eval.parallel import _execute_task, _pack_error_dicts
 from repro.io import instance_fingerprint
 
@@ -75,6 +87,46 @@ __all__ = ["WorkerServer"]
 # opens its own cache handle so write-back happens task-by-task inside
 # the process that computed the task, exactly like the sequential path.
 _POOL_STATE: tuple | None = None
+
+
+#: How many frame bytes a refusal will read-and-discard so its error
+#: message survives.  Closing a socket with unread inbound data sends
+#: RST, which can destroy the refusal frame mid-flight — so the worker
+#: drains (never parses) the refused frame first.  A peer whose frame
+#: exceeds the cap still fails closed; it just gets a reset instead of
+#: the message.
+_REFUSAL_DRAIN_CAP = 256 * 1024 * 1024
+
+
+def _drain_refused_frame(connection, magic: bytes) -> None:
+    """Consume — never parse — the frame a refused peer already sent.
+
+    Only the plain-integer length fields are interpreted; header and
+    payload bytes go straight to the bit bucket, so nothing a rejected
+    peer sends is ever unpickled.
+    """
+    try:
+        if magic == FRAME_MAGIC:
+            header_len, payload_len = _FRAME_REST.unpack(
+                _recv_exact(
+                    connection, _FRAME_REST.size, at_boundary=False
+                )
+            )
+            pending = header_len + payload_len
+        elif magic == AUTH_MAGIC:
+            # kind (u8) | body length (u32): auth bodies are tiny.
+            rest = _recv_exact(connection, 5, at_boundary=False)
+            pending = int.from_bytes(rest[1:], "big")
+        else:
+            return
+        pending = min(pending, _REFUSAL_DRAIN_CAP)
+        while pending:
+            piece = connection.recv(min(1 << 16, pending))
+            if not piece:
+                return
+            pending -= len(piece)
+    except (OSError, ProtocolError):
+        pass
 
 
 def _pool_initializer(instance, config, options, cache_dir, throttle) -> None:
@@ -146,6 +198,20 @@ class WorkerServer:
         throttle: Latency-injection hook — sleep this many seconds
             before each task (a simulated slower host; results are
             delayed, never changed).
+        secret: Shared secret (str or bytes).  When set, every session
+            must complete the v3 HMAC handshake
+            (:func:`repro.eval.dist.auth.server_handshake`) before the
+            worker reads — let alone unpickles — any payload frame;
+            v1/v2 and unauthenticated peers are refused at the magic
+            bytes.  ``None`` keeps the historical trust-the-network
+            behaviour.
+        ssl_context: Optional server-side :class:`ssl.SSLContext`
+            (see :func:`repro.eval.dist.certs.server_context`); every
+            accepted connection is TLS-wrapped before any frame is
+            read, and a plaintext peer is dropped at the TLS handshake.
+        handshake_timeout: Seconds a new connection gets to finish
+            TLS + auth + ``init``; a half-open or stalling peer is
+            dropped instead of pinning a session thread forever.
         log: Callable for one-line status messages (``None`` = silent).
     """
 
@@ -159,12 +225,20 @@ class WorkerServer:
         max_sessions: int | None = None,
         fail_after_chunks: int | None = None,
         throttle: float = 0.0,
+        secret=None,
+        ssl_context: ssl.SSLContext | None = None,
+        handshake_timeout: float = 30.0,
         log=None,
     ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if throttle < 0:
             raise ValueError(f"throttle must be >= 0, got {throttle}")
+        if handshake_timeout <= 0:
+            raise ValueError(
+                f"handshake_timeout must be positive, got "
+                f"{handshake_timeout}"
+            )
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
         self.capacity = capacity
@@ -172,6 +246,9 @@ class WorkerServer:
         self._max_sessions = max_sessions
         self._fail_after_chunks = fail_after_chunks
         self._throttle = throttle
+        self._secret = normalize_secret(secret)
+        self._ssl_context = ssl_context
+        self._handshake_timeout = handshake_timeout
         self._log = log or (lambda message: None)
         self._closed = False
 
@@ -200,6 +277,10 @@ class WorkerServer:
         sessions = 0
         threads: list[threading.Thread] = []
         self._log(f"worker listening on {self.address}")
+        if self._secret is not None or self._ssl_context is not None:
+            tls = "on" if self._ssl_context is not None else "off"
+            secret = "configured" if self._secret is not None else "off"
+            self._log(f"worker security: tls={tls} secret={secret}")
         try:
             while (
                 self._max_sessions is None
@@ -224,16 +305,101 @@ class WorkerServer:
             self.close()
         return sessions
 
-    def _session_thread(self, connection: socket.socket) -> None:
-        with connection:
+    def _refuse_plaintext(self, raw: socket.socket) -> None:
+        """Tell a plaintext peer it hit a TLS listener, then hang up.
+
+        Sent *instead of* attempting the TLS accept (which would
+        consume the peer's frame as a garbled ClientHello and close
+        without a word), so the coordinator can render a configuration
+        error rather than a bare connection reset.
+        """
+        try:
+            send_message(
+                raw,
+                {
+                    "type": "error",
+                    "error": "tls-required",
+                    "chunk": None,
+                    "message": (
+                        "this worker serves TLS; configure --tls-ca "
+                        "(and --tls-cert/--tls-key for mutual TLS) on "
+                        "the coordinator"
+                    ),
+                    "traceback": "",
+                },
+            )
+        except OSError:
+            pass
+        self._log(
+            "refused plaintext session on the TLS listener; no payload "
+            "was read"
+        )
+
+    def _session_thread(self, raw: socket.socket) -> None:
+        wrapped = None
+        live = [raw]
+        handshake_done = threading.Event()
+
+        def _reap_stalled_handshake() -> None:
+            # The per-recv socket timeout alone is not a deadline: a
+            # peer dripping one byte per interval restarts it forever.
+            # This timer enforces the absolute window — close the
+            # socket(s), and whatever recv the session thread is
+            # parked in raises.
+            if not handshake_done.is_set():
+                for sock in list(live):
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
+
+        reaper = threading.Timer(
+            self._handshake_timeout, _reap_stalled_handshake
+        )
+        reaper.daemon = True
+        reaper.start()
+        try:
             try:
-                self._serve_session(connection)
+                # A bounded handshake window: a half-open peer (or a
+                # plaintext client staring at a TLS listener) is
+                # dropped instead of pinning this thread forever.  The
+                # session switches to blocking mode once it is up.
+                raw.settimeout(self._handshake_timeout)
+                if self._ssl_context is not None:
+                    # Sniff (without consuming) the first bytes: our
+                    # own plaintext magics mean a peer that forgot TLS
+                    # and deserves a readable refusal.
+                    first = raw.recv(4, socket.MSG_PEEK)
+                    if first and first in (
+                        FRAME_MAGIC[: len(first)],
+                        AUTH_MAGIC[: len(first)],
+                    ):
+                        _drain_refused_frame(raw, read_magic(raw))
+                        self._refuse_plaintext(raw)
+                        return
+                    wrapped = self._ssl_context.wrap_socket(
+                        raw, server_side=True
+                    )
+                    live.append(wrapped)
+                self._serve_session(
+                    wrapped if wrapped is not None else raw,
+                    handshake_done,
+                )
             except Exception as exc:
                 # A torn session never takes the worker down — not just
                 # transport errors but anything a mismatched coordinator
-                # can provoke (unpicklable payloads, malformed headers):
-                # log and keep serving other sessions.
+                # can provoke (unpicklable payloads, malformed headers,
+                # failed TLS or auth handshakes): log and keep serving
+                # other sessions.
                 self._log(f"session aborted: {exc!r}")
+        finally:
+            reaper.cancel()
+            for sock in (wrapped, raw):
+                if sock is not None:
+                    try:
+                        sock.close()
+                    except OSError:
+                        pass
 
     # -- one session ---------------------------------------------------
     def _open_cache(self):
@@ -243,8 +409,58 @@ class WorkerServer:
 
         return TrialCache(self._cache_dir)
 
-    def _serve_session(self, connection: socket.socket) -> None:
-        header, payload = recv_message(connection)
+    def _serve_session(
+        self, connection: socket.socket, handshake_done=None
+    ) -> None:
+        # Dispatch on the first 4 bytes so the secured path decides
+        # before any pickled byte — header included — is consumed.
+        magic = read_magic(connection)
+        authenticated_version = None
+        if magic == AUTH_MAGIC:
+            try:
+                authenticated_version = server_handshake(
+                    connection, self._secret, preread_magic=magic
+                )
+            except AuthError as exc:
+                # The rejection frame is already on the wire; log and
+                # drop without ever touching a payload.
+                self._log(f"auth refused: {exc}")
+                return
+            header, payload = recv_message(connection)
+        elif magic == FRAME_MAGIC:
+            if self._secret is not None:
+                # Refuse legacy/unauthenticated peers at the magic
+                # bytes: the init frame's pickled header and payload
+                # are never parsed — only drained, so the refusal
+                # below is not destroyed by a reset.  The reply uses
+                # the legacy error framing so v1/v2 coordinators can
+                # render it.
+                _drain_refused_frame(connection, magic)
+                send_message(
+                    connection,
+                    {
+                        "type": "error",
+                        "error": "auth-required",
+                        "chunk": None,
+                        "message": (
+                            "this worker requires shared-secret "
+                            "authentication (protocol v3); configure "
+                            "the same secret on the coordinator "
+                            "(REPRO_DIST_SECRET or --secret-file)"
+                        ),
+                        "traceback": "",
+                    },
+                )
+                self._log(
+                    "refused unauthenticated session (shared secret "
+                    "required); no payload was read"
+                )
+                return
+            header, payload = recv_message(
+                connection, preread_magic=magic
+            )
+        else:
+            raise bad_magic_error(magic, "an init or auth frame")
         if header["type"] != "init":
             raise ProtocolError(
                 f"expected an init frame, got {header['type']!r}"
@@ -262,6 +478,17 @@ class WorkerServer:
                 },
             )
             return
+        if (
+            authenticated_version is not None
+            and version != authenticated_version
+        ):
+            # The HMAC bound the negotiated version; an init that
+            # negotiates anything else is a downgrade attempt.
+            raise ProtocolError(
+                f"init negotiated version {version} but the "
+                f"authenticated handshake bound version "
+                f"{authenticated_version}; refusing the downgrade"
+            )
         instance, config, options = pickle.loads(payload)
         ready = {
             "type": "ready",
@@ -271,6 +498,9 @@ class WorkerServer:
         if version >= CAPACITY_PROTOCOL_VERSION:
             ready["capacity"] = self.capacity
         send_message(connection, ready)
+        if handshake_done is not None:
+            handshake_done.set()  # disarm the stalled-handshake reaper
+        connection.settimeout(None)  # handshake done: blocking session
         if version >= CAPACITY_PROTOCOL_VERSION and self.capacity > 1:
             self._serve_concurrent(connection, instance, config, options)
         else:

@@ -74,3 +74,19 @@ class GenerationError(ReproError):
     on the generated graph, or a scenario cannot reach the requested fraction
     of unidentifiable links.
     """
+
+
+class DistSecurityError(ReproError):
+    """A distributed-sweep connection was refused on security grounds.
+
+    Raised when the wire-security layer of :mod:`repro.eval.dist` fails
+    closed: a shared-secret handshake that does not verify, a secret
+    configured on only one side of a connection, or a TLS/plaintext
+    mismatch between coordinator and worker.  The message is operator
+    guidance, not a stack of transport internals — the CLI prints it as
+    a one-line error instead of a traceback.
+
+    Defined here (rather than in :mod:`repro.eval.dist`) so the CLI can
+    catch it without importing the distributed backend and its heavy
+    dependencies up front.
+    """

@@ -636,6 +636,21 @@ class TestNegotiation:
         assert "capacity" not in header
 
     def test_v2_coordinator_learns_capacity(self):
+        """A capacity-era (PR-4) coordinator pins the session at v2."""
+        with worker_fleet(1, capacity=4) as servers:
+            header = self._handshake(
+                servers[0],
+                {
+                    "type": "init",
+                    "protocol": PROTOCOL_BASE_VERSION,
+                    "protocol_max": CAPACITY_PROTOCOL_VERSION,
+                },
+            )
+        assert header["type"] == "ready"
+        assert header["protocol"] == CAPACITY_PROTOCOL_VERSION
+        assert header["capacity"] == 4
+
+    def test_current_coordinator_negotiates_latest_version(self):
         with worker_fleet(1, capacity=4) as servers:
             header = self._handshake(
                 servers[0],
@@ -646,7 +661,7 @@ class TestNegotiation:
                 },
             )
         assert header["type"] == "ready"
-        assert header["protocol"] == CAPACITY_PROTOCOL_VERSION
+        assert header["protocol"] == PROTOCOL_VERSION
         assert header["capacity"] == 4
 
     def test_executor_tolerates_v1_worker(self, planetlab_small):

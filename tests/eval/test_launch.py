@@ -224,8 +224,8 @@ class TestSshLauncher:
             cache_dir="/shared/store",
         )
         recorded = []
-        launcher._spawn = lambda argv, describe, env=None: recorded.append(
-            argv
+        launcher._spawn = (
+            lambda argv, describe, env=None, **kwargs: recorded.append(argv)
         )
         launcher._spawn_all()
         assert recorded[0] == [
@@ -257,3 +257,145 @@ class TestSshLauncher:
         # None = remote CPU default, planned with assumed granularity
         # so the advertised pipeline can actually be filled.
         assert launcher.worker_slots == 2 + ASSUMED_REMOTE_SLOTS
+
+    def test_secret_rides_stdin_never_argv(self):
+        """The SSH command line must not leak the token: the worker is
+        started with --secret-stdin and the value travels the pipe."""
+        launcher = SshLauncher(
+            "hostA:7100",
+            secret="hunter2-token",
+            tls_cert="/remote/cert.pem",
+            tls_key="/remote/key.pem",
+        )
+        recorded = []
+
+        def record(argv, describe, env=None, **kwargs):
+            recorded.append((argv, kwargs))
+
+        launcher._spawn = record
+        launcher._spawn_all()
+        argv, kwargs = recorded[0]
+        assert "--secret-stdin" in argv
+        assert all("hunter2-token" not in piece for piece in argv)
+        assert kwargs["stdin_line"] == "hunter2-token"
+        assert argv[argv.index("--tls-cert") + 1] == "/remote/cert.pem"
+        assert argv[argv.index("--tls-key") + 1] == "/remote/key.pem"
+
+    def test_stdin_secret_delivery_end_to_end(self, fake_ssh):
+        """A fake-SSH worker really reads the token off the channel."""
+        from repro.eval.dist import client_handshake
+
+        port = self._free_port()
+        launcher = SshLauncher(
+            f"127.0.0.1:{port}",
+            capacities=1,
+            ssh_command=fake_ssh,
+            secret="stdin-delivered-token",
+        )
+        specs = launcher.launch()
+        try:
+            sock = socket.create_connection(specs[0].endpoint, timeout=5)
+            try:
+                version = client_handshake(sock, b"stdin-delivered-token")
+            finally:
+                sock.close()
+            assert version >= 3
+        finally:
+            launcher.shutdown()
+
+    def test_tls_material_must_pair(self):
+        with pytest.raises(ValueError, match="together"):
+            SshLauncher("a:7100", tls_cert="/cert.pem")
+        with pytest.raises(ValueError, match="together"):
+            LocalLauncher(1, tls_key="/key.pem")
+
+
+class TestLocalLauncherSecurity:
+    def test_secret_rides_environment_never_argv(self):
+        launcher = LocalLauncher(1, secret="local-fleet-token")
+        recorded = []
+
+        def record(argv, describe, env=None, **kwargs):
+            recorded.append((argv, env, kwargs))
+
+        launcher._spawn = record
+        launcher._spawn_all()
+        argv, env, kwargs = recorded[0]
+        assert all("local-fleet-token" not in piece for piece in argv)
+        assert env["REPRO_DIST_SECRET"] == "local-fleet-token"
+        assert kwargs.get("stdin_line") is None
+
+    def test_env_secret_sweep_bit_identical(self, planetlab_small):
+        """Autolaunched local fleet + coordinator secret, end to end."""
+        from repro.eval.dist import RemoteExecutor as Executor
+
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=71
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        launcher = LocalLauncher(2, secret="env-fleet-token")
+        remote = run_scenario_tasks(
+            planetlab_small,
+            tasks,
+            config=FAST,
+            executor=Executor(
+                launcher=launcher, secret="env-fleet-token"
+            ),
+        )
+        _assert_identical(serial, remote)
+        assert launcher.workers == []
+
+
+class TestReadinessDeath:
+    def test_misconfigured_tls_surfaces_stderr_promptly(self):
+        """A worker dying on a bad TLS path must raise LaunchError with
+        the worker's own error output, well before startup_timeout."""
+        launcher = LocalLauncher(
+            1,
+            tls_cert="/nonexistent/cert.pem",
+            tls_key="/nonexistent/key.pem",
+            startup_timeout=60.0,
+        )
+        start = time.monotonic()
+        with pytest.raises(LaunchError) as excinfo:
+            launcher.launch()
+        elapsed = time.monotonic() - start
+        assert elapsed < 30, (
+            f"death took {elapsed:.1f}s to surface — the readiness "
+            "wait timed out instead of noticing the exit"
+        )
+        message = str(excinfo.value)
+        assert "exited with status" in message
+        assert "TLS" in message or "tls" in message
+        assert launcher.workers == []
+
+    def test_dead_worker_with_held_pipe_surfaces_promptly(self, tmp_path):
+        """EOF never arrives when a grandchild inherits stdout; the
+        poll on the process itself must surface the death anyway."""
+        wrapper = tmp_path / "die-but-hold-pipe.py"
+        wrapper.write_text(
+            "import subprocess, sys\n"
+            # A grandchild that inherits our stdout and outlives us.
+            "subprocess.Popen([sys.executable, '-c',"
+            " 'import time; time.sleep(45)'])\n"
+            "print('worker failed: injected startup error',"
+            " flush=True)\n"
+            "sys.exit(3)\n"
+        )
+        launcher = LocalLauncher(1, startup_timeout=60.0)
+        real_argv = [sys.executable, str(wrapper)]
+        original_spawn = launcher._spawn
+        launcher._spawn = (
+            lambda argv, describe, env=None, **kwargs: original_spawn(
+                real_argv, describe, env, **kwargs
+            )
+        )
+        start = time.monotonic()
+        with pytest.raises(LaunchError) as excinfo:
+            launcher.launch()
+        elapsed = time.monotonic() - start
+        assert elapsed < 30
+        assert "exited with status 3" in str(excinfo.value)
+        assert "injected startup error" in str(excinfo.value)

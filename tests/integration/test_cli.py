@@ -223,6 +223,156 @@ class TestDistributedFlags:
             )
 
 
+class TestSecurityFlags:
+    """--secret-file/--tls-* resolution, guards, and executor wiring."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        for name in (
+            "REPRO_HOSTS",
+            "REPRO_WORKERS",
+            "REPRO_CACHE_DIR",
+            "REPRO_DIST_SECRET",
+            "REPRO_DIST_TLS_CERT",
+            "REPRO_DIST_TLS_KEY",
+            "REPRO_DIST_TLS_CA",
+        ):
+            monkeypatch.delenv(name, raising=False)
+
+    @staticmethod
+    def _executor(argv):
+        return _make_executor(build_parser().parse_args(argv))
+
+    @pytest.fixture()
+    def secret_file(self, tmp_path):
+        path = tmp_path / "secret"
+        path.write_text("cli-test-token\n")
+        return str(path)
+
+    def test_secret_file_reaches_executor(self, secret_file):
+        executor = self._executor(
+            [
+                "figure3",
+                "--hosts",
+                "a:7100",
+                "--secret-file",
+                secret_file,
+            ]
+        )
+        assert executor.secret == b"cli-test-token"
+        assert executor.ssl_context is None
+
+    def test_env_secret_reaches_executor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DIST_SECRET", "env-token")
+        executor = self._executor(["figure3", "--hosts", "a:7100"])
+        assert executor.secret == b"env-token"
+
+    def test_security_flags_rejected_off_remote(self, secret_file):
+        with pytest.raises(SystemExit, match="only\\s+apply"):
+            self._executor(
+                [
+                    "figure3",
+                    "--backend",
+                    "serial",
+                    "--secret-file",
+                    secret_file,
+                ]
+            )
+        with pytest.raises(SystemExit, match="only\\s+apply"):
+            self._executor(
+                ["figure3", "--tls-ca", "/ca.pem"]
+            )  # no backend at all resolves to serial/local
+
+    def test_tls_cert_without_key_rejected(self):
+        with pytest.raises(SystemExit, match="together"):
+            self._executor(
+                [
+                    "figure3",
+                    "--hosts",
+                    "a:7100",
+                    "--tls-cert",
+                    "/cert.pem",
+                ]
+            )
+
+    def test_missing_secret_file_is_clean_error(self):
+        with pytest.raises(SystemExit, match="error"):
+            self._executor(
+                [
+                    "figure3",
+                    "--hosts",
+                    "a:7100",
+                    "--secret-file",
+                    "/nonexistent/secret",
+                ]
+            )
+
+    def test_launch_with_ca_only_rejected(self, tmp_path):
+        from repro.eval.dist.certs import generate_self_signed
+
+        paths = generate_self_signed(tmp_path / "tls")
+        with pytest.raises(SystemExit, match="--tls-cert"):
+            self._executor(
+                [
+                    "figure3",
+                    "--launch",
+                    "local",
+                    "--tls-ca",
+                    str(paths.cert),
+                ]
+            )
+
+    def test_launch_local_threads_secret_and_tls(
+        self, secret_file, tmp_path
+    ):
+        from repro.eval.dist.certs import generate_self_signed
+
+        paths = generate_self_signed(tmp_path / "tls")
+        executor = self._executor(
+            [
+                "figure3",
+                "--launch",
+                "local",
+                "--secret-file",
+                secret_file,
+                "--tls-cert",
+                str(paths.cert),
+                "--tls-key",
+                str(paths.key),
+                "--tls-ca",
+                str(paths.cert),
+            ]
+        )
+        assert executor.secret == b"cli-test-token"
+        assert executor.ssl_context is not None
+        assert executor.launcher.secret == "cli-test-token"
+        assert executor.launcher.tls_cert == str(paths.cert)
+        assert executor.launcher.tls_key == str(paths.key)
+
+    def test_worker_tls_ca_without_cert_rejected(self):
+        from repro.cli import main as cli_main
+
+        with pytest.raises(SystemExit, match="--tls-cert"):
+            cli_main(["worker", "--tls-ca", "/ca.pem"])
+
+    def test_worker_parses_security_flags(self):
+        args = build_parser().parse_args(
+            [
+                "worker",
+                "--secret-file",
+                "/secret",
+                "--tls-cert",
+                "/cert.pem",
+                "--tls-key",
+                "/key.pem",
+                "--secret-stdin",
+            ]
+        )
+        assert args.secret_file == "/secret"
+        assert args.secret_stdin is True
+        assert args.tls_cert == "/cert.pem"
+
+
 class TestWorkerSubcommand:
     def test_defaults(self):
         args = build_parser().parse_args(["worker"])
