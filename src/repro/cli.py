@@ -61,6 +61,13 @@ Every backend is bit-identical to the serial run at a fixed seed; a
 worker that dies mid-sweep only costs the chunks it was computing (the
 coordinator requeues them on the survivors).
 
+Wire generations: current coordinators and workers negotiate the
+protocol-v4 schema'd binary codec (pickle-free in both directions) and,
+for same-host sessions, a shared-memory data plane; ``--wire-version``
+pins the generation and ``--transport`` the data plane, while older
+peers interoperate automatically on the legacy pickled frames
+(``worker --protocol-max 3`` serves exactly the pre-v4 wire).
+
 ``repro-tomography worker`` runs one worker process: it listens for a
 coordinator, receives the instance/config once per sweep, and serves
 task chunks.  Give workers a shared ``--cache-dir`` (e.g. on NFS) and
@@ -201,6 +208,17 @@ def build_parser() -> argparse.ArgumentParser:
             "parallel chunk slots advertised to the coordinator; "
             "chunks execute on a process pool of this size "
             "(default 0 = one slot per CPU core)"
+        ),
+    )
+    worker.add_argument(
+        "--protocol-max",
+        type=int,
+        default=None,
+        metavar="V",
+        help=(
+            "highest wire protocol version to negotiate (default: the "
+            "library's latest); pin to 3 to serve the legacy pickled "
+            "wire in mixed-version fleets"
         ),
     )
     worker.add_argument(
@@ -393,6 +411,29 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
             "remote backend only: speculatively re-run a chunk "
             "outstanding longer than this on an idle worker (first "
             "result wins; results unchanged)"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "socket"),
+        default="auto",
+        help=(
+            "remote backend only: data plane for protocol-v4 sessions "
+            "— 'auto' (default) uses shared memory for same-host "
+            "workers and the socket elsewhere, 'shm' offers shared "
+            "memory to every v4 worker, 'socket' never does; results "
+            "are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--wire-version",
+        type=int,
+        choices=(3, 4),
+        default=None,
+        help=(
+            "remote backend only: pin the wire generation — 3 forces "
+            "the legacy pickled frames, 4 requires the schema'd "
+            "binary codec (default: negotiate the best per worker)"
         ),
     )
     parser.add_argument(
@@ -653,6 +694,8 @@ def _make_executor(args):
             straggler_timeout=args.straggler_timeout,
             secret=secret,
             ssl_context=ssl_context,
+            wire_version=getattr(args, "wire_version", None),
+            transport=getattr(args, "transport", "auto"),
         )
     if tls_ca is not None and tls_cert is None:
         # The coordinator would demand TLS from workers launched
@@ -735,6 +778,8 @@ def _make_executor(args):
         straggler_timeout=args.straggler_timeout,
         secret=secret,
         ssl_context=ssl_context,
+        wire_version=getattr(args, "wire_version", None),
+        transport=getattr(args, "transport", "auto"),
     )
 
 
@@ -1079,6 +1124,7 @@ def _run_worker(args) -> int:
         throttle=args.throttle,
         secret=secret,
         ssl_context=ssl_context,
+        protocol_max=args.protocol_max,
         log=lambda message: print(message, flush=True),
     )
     if args.exit_on_stdin_close:

@@ -26,6 +26,13 @@ from repro.eval.dist.certs import (
     generate_self_signed,
     server_context,
 )
+from repro.eval.dist.codec import (
+    CodecError,
+    decode_context,
+    decode_tasks,
+    encode_context,
+    encode_tasks,
+)
 from repro.eval.dist.coordinator import (
     ChunkBoard,
     HostSpec,
@@ -43,7 +50,9 @@ from repro.eval.dist.launch import (
 from repro.eval.dist.protocol import (
     AUTH_PROTOCOL_VERSION,
     CAPACITY_PROTOCOL_VERSION,
+    CODEC_PROTOCOL_VERSION,
     MAGIC,
+    MAGIC_V4,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ConnectionClosed,
@@ -53,8 +62,18 @@ from repro.eval.dist.protocol import (
     negotiate_version,
     payload_to_buffer,
     read_magic,
+    recv_json_message,
     recv_message,
+    send_json_message,
     send_message,
+)
+from repro.eval.dist.shm import (
+    SHM_PREFIX,
+    ShmError,
+    ShmRing,
+    attach_ring,
+    create_ring,
+    host_is_loopback,
 )
 from repro.eval.dist.worker import WorkerServer
 
@@ -74,19 +93,34 @@ __all__ = [
     "PROTOCOL_BASE_VERSION",
     "CAPACITY_PROTOCOL_VERSION",
     "AUTH_PROTOCOL_VERSION",
+    "CODEC_PROTOCOL_VERSION",
     "MAGIC",
+    "MAGIC_V4",
     "AUTH_MAGIC",
     "ProtocolError",
     "ConnectionClosed",
     "TlsMismatchError",
     "DistSecurityError",
     "AuthError",
+    "CodecError",
     "negotiate_version",
     "read_magic",
     "send_message",
     "recv_message",
+    "send_json_message",
+    "recv_json_message",
     "buffer_payload",
     "payload_to_buffer",
+    "encode_context",
+    "decode_context",
+    "encode_tasks",
+    "decode_tasks",
+    "ShmRing",
+    "ShmError",
+    "SHM_PREFIX",
+    "create_ring",
+    "attach_ring",
+    "host_is_loopback",
     "client_handshake",
     "server_handshake",
     "resolve_secret",

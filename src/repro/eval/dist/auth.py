@@ -193,9 +193,9 @@ def _unpack_hello_body(kind: int, body: bytes) -> tuple[bytes, int]:
     return nonce, protocol_max
 
 
-def _auth_version(peer_max: int) -> int:
+def _auth_version(peer_max: int, local_max: int) -> int:
     """Session version an authenticated connection will run at."""
-    version = min(PROTOCOL_VERSION, peer_max)
+    version = min(local_max, peer_max)
     if version < AUTH_PROTOCOL_VERSION:
         raise AuthError(
             f"peer's highest protocol version ({peer_max}) predates "
@@ -205,16 +205,28 @@ def _auth_version(peer_max: int) -> int:
     return version
 
 
-def client_handshake(sock, secret: bytes) -> int:
+def _clamp_local_max(protocol_max: int | None) -> int:
+    if protocol_max is None:
+        return PROTOCOL_VERSION
+    return min(PROTOCOL_VERSION, protocol_max)
+
+
+def client_handshake(
+    sock, secret: bytes, *, protocol_max: int | None = None
+) -> int:
     """Run the coordinator side of the handshake; returns the version.
 
     Raises :class:`AuthError` on refusal/mismatch and
     :class:`ProtocolError` on a malformed exchange.  Nothing pickled is
     read at any point; the caller only sends the ``init`` payload after
     this returns (i.e. after the worker proved secret knowledge).
+    ``protocol_max`` pins the advertised maximum below this build's
+    (wire-version pinning); the MAC then binds the pinned version — the
+    same one the subsequent ``init`` will offer — so the downgrade check
+    stays sound under pinning.
     """
     try:
-        return _client_handshake(sock, secret)
+        return _client_handshake(sock, secret, _clamp_local_max(protocol_max))
     except (ConnectionResetError, BrokenPipeError) as exc:
         # A worker that chokes on the auth magic closes with our hello
         # bytes unread, which surfaces here as a reset rather than a
@@ -226,9 +238,9 @@ def client_handshake(sock, secret: bytes) -> int:
         ) from exc
 
 
-def _client_handshake(sock, secret: bytes) -> int:
+def _client_handshake(sock, secret: bytes, local_max: int) -> int:
     nonce_c = os.urandom(NONCE_BYTES)
-    _send_auth(sock, _HELLO, _HELLO_BODY.pack(nonce_c, PROTOCOL_VERSION))
+    _send_auth(sock, _HELLO, _HELLO_BODY.pack(nonce_c, local_max))
     try:
         kind, body = _recv_auth(sock)
     except ConnectionClosed:
@@ -247,7 +259,7 @@ def _client_handshake(sock, secret: bytes) -> int:
             f"{_KIND_NAMES.get(kind, kind)!r}"
         )
     nonce_w, worker_max = _unpack_hello_body(kind, body)
-    version = _auth_version(worker_max)
+    version = _auth_version(worker_max, local_max)
     _send_auth(
         sock, _PROVE, compute_mac(secret, b"C", nonce_c, nonce_w, version)
     )
@@ -278,15 +290,22 @@ def _client_handshake(sock, secret: bytes) -> int:
 
 
 def server_handshake(
-    sock, secret: bytes | None, *, preread_magic: bytes | None = None
+    sock,
+    secret: bytes | None,
+    *,
+    preread_magic: bytes | None = None,
+    protocol_max: int | None = None,
 ) -> int:
     """Run the worker side of the handshake; returns the version.
 
     ``secret=None`` (a coordinator demanding auth from a secretless
     worker) rejects with a reason instead of hanging the peer.  A wrong
     proof is rejected with a deliberately symmetric message, before any
-    payload frame is read.
+    payload frame is read.  ``protocol_max`` pins the advertised
+    maximum below this build's, mirroring
+    :func:`client_handshake`'s pinning semantics.
     """
+    local_max = _clamp_local_max(protocol_max)
     kind, body = _recv_auth(sock, preread_magic=preread_magic)
     if kind != _HELLO:
         raise ProtocolError(
@@ -304,10 +323,10 @@ def server_handshake(
             "no shared secret configured"
         )
     nonce_c, coordinator_max = _unpack_hello_body(kind, body)
-    version = _auth_version(coordinator_max)
+    version = _auth_version(coordinator_max, local_max)
     nonce_w = os.urandom(NONCE_BYTES)
     _send_auth(
-        sock, _CHALLENGE, _HELLO_BODY.pack(nonce_w, PROTOCOL_VERSION)
+        sock, _CHALLENGE, _HELLO_BODY.pack(nonce_w, local_max)
     )
     kind, body = _recv_auth(sock)
     if kind != _PROVE:

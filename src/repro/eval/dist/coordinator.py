@@ -8,8 +8,16 @@ launches itself through a :mod:`repro.eval.dist.launch` launcher and
 tears down when the sweep ends.  One thread per worker drives a
 request/response session:
 
-* the (instance, config, options) triple is pickled **once** and shipped
-  in the ``init`` frame of every worker session, never per chunk;
+* the (instance, config, options) triple is shipped **once** per worker
+  session, never per chunk — as the pickled ``init`` payload on legacy
+  (v1–v3) sessions, and as a canonical-JSON ``context`` frame on
+  protocol-v4 sessions (:mod:`repro.eval.dist.codec`), which are
+  pickle-free in both directions;
+* v4 sessions with a same-host worker (loopback endpoint, or a
+  ``LocalLauncher`` fleet) can further move chunk and result payloads
+  through shared-memory rings (:mod:`repro.eval.dist.shm`) — frames
+  then carry ``slot``/``size`` references while the bytes skip the
+  socket entirely (``transport=`` selects; ``"auto"`` detects);
 * the handshake negotiates a protocol version
   (:func:`repro.eval.dist.protocol.negotiate_version`); version-2
   workers advertise a *capacity* (parallel chunk slots, CPU count by
@@ -72,15 +80,27 @@ from repro.eval.dist.auth import (
     client_handshake,
     normalize_secret,
 )
+from repro.eval.dist.codec import CodecError, encode_context, encode_tasks
 from repro.eval.dist.protocol import (
     CAPACITY_PROTOCOL_VERSION,
+    CODEC_PROTOCOL_VERSION,
+    MAGIC_V4,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ProtocolError,
     TlsMismatchError,
+    disable_nagle,
     payload_to_buffer,
+    read_magic,
+    recv_json_message,
     recv_message,
+    send_json_message,
     send_message,
+)
+from repro.eval.dist.shm import (
+    ShmError,
+    create_ring,
+    host_is_loopback,
 )
 from repro.eval.parallel import (
     ChunkExecutionError,
@@ -231,6 +251,8 @@ def _enable_keepalive(sock: socket.socket) -> None:
                 sock.setsockopt(socket.IPPROTO_TCP, option, value)
             except OSError:
                 pass
+
+
 
 
 #: How long a claimer that is deferring a ripe straggler duplicate to a
@@ -437,6 +459,53 @@ class ChunkBoard:
             self.condition.notify_all()
 
 
+class _ChunkEncodings:
+    """Per-wire-generation chunk payloads, encoded once per sweep.
+
+    A mixed fleet needs the same chunk in both encodings: v4 workers
+    read struct-codec records, v3 workers read the legacy pickle.  v4
+    encodings are computed eagerly when the sweep offers v4 — the shm
+    chunk ring is sized to the largest one before any session starts —
+    while legacy pickles are produced lazily (and memoized) only for
+    the sessions that actually negotiate down.
+    """
+
+    def __init__(self, chunks, *, with_v4: bool) -> None:
+        self._chunks = chunks
+        self._lock = threading.Lock()
+        self._legacy: list[bytes | None] = [None] * len(chunks)
+        self._v4: list[bytes] | None = None
+        if with_v4:
+            self._v4 = [encode_tasks(chunk) for chunk in chunks]
+
+    @property
+    def max_v4_size(self) -> int:
+        return max((len(data) for data in self._v4), default=0)
+
+    def get(self, version: int, index: int) -> bytes:
+        if version >= CODEC_PROTOCOL_VERSION:
+            return self._v4[index]
+        data = self._legacy[index]
+        if data is None:
+            encoded = pickle.dumps(
+                self._chunks[index], protocol=pickle.HIGHEST_PROTOCOL
+            )
+            with self._lock:
+                if self._legacy[index] is None:
+                    self._legacy[index] = encoded
+                data = self._legacy[index]
+        return data
+
+
+class _SweepWire(NamedTuple):
+    """Everything a session thread needs to speak its peer's wire."""
+
+    offer: int  # highest protocol version this sweep offers
+    init_payload: bytes  # pickled context for legacy (v1–v3) sessions
+    context_v4: bytes | None  # codec'd context for v4 sessions
+    encodings: _ChunkEncodings
+
+
 class RemoteExecutor(TaskExecutor):
     """Fan chunks out to socket-connected workers on other hosts.
 
@@ -473,6 +542,25 @@ class RemoteExecutor(TaskExecutor):
             (see :func:`repro.eval.dist.certs.client_context`); worker
             sockets are TLS-wrapped right after connecting, before any
             frame is exchanged.
+        wire_version: Wire-generation pin.  ``None`` (default) offers
+            the library's best (v4) and serves whatever each worker
+            negotiates; a sweep whose payloads the v4 codec cannot
+            express falls back to offering v3 for the whole sweep.
+            ``3`` forces the legacy pickled wire (the benchmark's
+            baseline); ``4`` *requires* the pickle-free wire — a worker
+            that cannot speak it, or a payload the codec rejects, fails
+            the session/sweep instead of downgrading.
+        transport: Data-plane selection for v4 sessions.  ``"auto"``
+            (default) uses shared-memory rings for workers on this host
+            (loopback endpoints, or a launcher with ``same_host=True``)
+            and the socket elsewhere; ``"shm"`` offers rings to every
+            v4 worker (a worker that cannot attach nacks back to the
+            socket); ``"socket"`` never offers rings.  Legacy sessions
+            always use the socket.
+        shm_slot_bytes: Result-ring slot size for shm sessions.  Slots
+            are virtual memory — untouched pages cost nothing — so the
+            default (16 MiB) is generous; a result that outgrows its
+            slot simply arrives inline on the socket.
     """
 
     def __init__(
@@ -488,6 +576,9 @@ class RemoteExecutor(TaskExecutor):
         capacity_aware: bool = True,
         secret=None,
         ssl_context: ssl.SSLContext | None = None,
+        wire_version: int | None = None,
+        transport: str = "auto",
+        shm_slot_bytes: int = 16 << 20,
     ) -> None:
         if (hosts is None) == (launcher is None):
             raise ValueError(
@@ -508,6 +599,25 @@ class RemoteExecutor(TaskExecutor):
         self.capacity_aware = capacity_aware
         self.secret = normalize_secret(secret)
         self.ssl_context = ssl_context
+        if wire_version not in (None, CODEC_PROTOCOL_VERSION - 1,
+                                CODEC_PROTOCOL_VERSION):
+            raise ValueError(
+                f"wire_version must be None, "
+                f"{CODEC_PROTOCOL_VERSION - 1} or "
+                f"{CODEC_PROTOCOL_VERSION}, got {wire_version!r}"
+            )
+        if transport not in ("auto", "shm", "socket"):
+            raise ValueError(
+                f"transport must be 'auto', 'shm' or 'socket', got "
+                f"{transport!r}"
+            )
+        if shm_slot_bytes < 1:
+            raise ValueError(
+                f"shm_slot_bytes must be positive, got {shm_slot_bytes}"
+            )
+        self.wire_version = wire_version
+        self.transport = transport
+        self.shm_slot_bytes = shm_slot_bytes
 
     # -- TaskExecutor --------------------------------------------------
     def _worker_slots(self) -> int:
@@ -542,14 +652,41 @@ class RemoteExecutor(TaskExecutor):
         finally:
             self.launcher.shutdown()
 
-    def _run_sweep(self, specs, context, chunks):
+    def _build_wire(self, context, chunks) -> _SweepWire:
+        """Choose the sweep's offered wire generation and encode for it.
+
+        Offering v4 requires the whole sweep to be expressible in the
+        codec (context *and* every chunk): a payload the codec rejects
+        downgrades the offer to v3 up front — never mid-sweep, so a
+        fleet can't end up split across generations by accident — unless
+        ``wire_version=4`` pinned the codec wire, in which case the
+        :class:`~repro.eval.dist.codec.CodecError` propagates.
+        """
+        offer = (
+            PROTOCOL_VERSION
+            if self.wire_version is None
+            else self.wire_version
+        )
+        context_v4 = None
+        encodings = None
+        if offer >= CODEC_PROTOCOL_VERSION:
+            try:
+                context_v4 = encode_context(context)
+                encodings = _ChunkEncodings(chunks, with_v4=True)
+            except CodecError:
+                if self.wire_version is not None:
+                    raise
+                offer = CODEC_PROTOCOL_VERSION - 1
+                context_v4 = None
+        if encodings is None:
+            encodings = _ChunkEncodings(chunks, with_v4=False)
         init_payload = pickle.dumps(
             context, protocol=pickle.HIGHEST_PROTOCOL
         )
-        chunk_payloads = [
-            pickle.dumps(chunk, protocol=pickle.HIGHEST_PROTOCOL)
-            for chunk in chunks
-        ]
+        return _SweepWire(offer, init_payload, context_v4, encodings)
+
+    def _run_sweep(self, specs, context, chunks):
+        wire = self._build_wire(context, chunks)
         board = ChunkBoard(len(chunks), self.max_attempts)
         events: queue.Queue = queue.Queue()
         sockets: dict[int, socket.socket] = {}
@@ -561,8 +698,7 @@ class RemoteExecutor(TaskExecutor):
                 args=(
                     worker_id,
                     spec,
-                    init_payload,
-                    chunk_payloads,
+                    wire,
                     board,
                     events,
                     sockets,
@@ -663,12 +799,63 @@ class RemoteExecutor(TaskExecutor):
             ) from failures[0][1]
 
     # -- per-worker session thread -------------------------------------
+    def _offer_shm(self, sock, spec, wire, capacity):
+        """Create and offer this session's shm rings where they apply.
+
+        Returns ``(chunk_ring, result_ring)``, or ``(None, None)``
+        whenever the session stays on socket payloads: transport policy
+        says so, the worker is not on this host (``"auto"``), the rings
+        cannot be created, or the worker nacks the attach (e.g. a
+        loopback-looking endpoint that is really an SSH tunnel).
+        """
+        if self.transport == "socket":
+            return None, None
+        if self.transport == "auto":
+            same_host = host_is_loopback(spec.host) or (
+                self.launcher is not None
+                and getattr(self.launcher, "same_host", False)
+            )
+            if not same_host:
+                return None, None
+        chunk_ring = result_ring = None
+        try:
+            # One spare chunk slot beyond the pipeline depth: a slot is
+            # reclaimed when its chunk is answered, so capacity + 1
+            # guarantees a free slot at every send without an ack
+            # protocol in that direction.
+            chunk_ring = create_ring(
+                capacity + 1, max(1, wire.encodings.max_v4_size)
+            )
+            result_ring = create_ring(capacity + 2, self.shm_slot_bytes)
+        except ShmError:
+            if chunk_ring is not None:
+                chunk_ring.close()
+            return None, None
+        send_json_message(
+            sock,
+            {
+                "type": "shm",
+                "chunk_ring": chunk_ring.describe(),
+                "result_ring": result_ring.describe(),
+            },
+        )
+        header, _ = recv_json_message(sock)
+        if header["type"] == "shm-ok":
+            return chunk_ring, result_ring
+        chunk_ring.close()
+        result_ring.close()
+        if header["type"] != "shm-nack":
+            raise ProtocolError(
+                f"expected shm-ok or shm-nack from {spec.address}, "
+                f"got {header['type']!r}"
+            )
+        return None, None
+
     def _worker_loop(
         self,
         worker_id: int,
         spec: HostSpec,
-        init_payload: bytes,
-        chunk_payloads: list[bytes],
+        wire: _SweepWire,
         board: ChunkBoard,
         events: queue.Queue,
         sockets: dict,
@@ -679,6 +866,7 @@ class RemoteExecutor(TaskExecutor):
                 spec.endpoint, timeout=self.connect_timeout
             )
             _enable_keepalive(sock)
+            disable_nagle(sock)
         except OSError as exc:
             # Event first, then the live-count decrement: the main loop
             # treats "no live workers + empty queue" as terminal, so the
@@ -688,6 +876,8 @@ class RemoteExecutor(TaskExecutor):
             return
         raw_sock = sock
         inflight: set[int] = set()
+        chunk_ring = None
+        result_ring = None
         try:
             if self.ssl_context is not None:
                 # Wrap before any frame: the TLS handshake runs under
@@ -711,22 +901,45 @@ class RemoteExecutor(TaskExecutor):
                     ) from exc
             authenticated_version = None
             if self.secret is not None:
-                # Prove the secret both ways before the (pickled) init
-                # payload leaves this process; nothing the worker sends
-                # before its own proof is ever unpickled here.
+                # Prove the secret both ways before any sweep payload
+                # leaves this process; nothing the worker sends before
+                # its own proof is ever deserialized here.
                 authenticated_version = client_handshake(
-                    sock, self.secret
+                    sock, self.secret, protocol_max=wire.offer
                 )
-            send_message(
-                sock,
-                {
-                    "type": "init",
-                    "protocol": PROTOCOL_BASE_VERSION,
-                    "protocol_max": PROTOCOL_VERSION,
-                },
-                init_payload,
-            )
-            header, _ = recv_message(sock)
+            session_v4 = False
+            if (
+                authenticated_version is not None
+                and authenticated_version >= CODEC_PROTOCOL_VERSION
+            ):
+                # The handshake bound a pickle-free version for both
+                # sides, so the legacy init frame (whose payload exists
+                # only for pre-v4 workers) is skipped entirely: the
+                # worker's v4 ready frame comes first.
+                header, _ = recv_json_message(sock)
+                session_v4 = True
+            else:
+                send_message(
+                    sock,
+                    {
+                        "type": "init",
+                        "protocol": PROTOCOL_BASE_VERSION,
+                        "protocol_max": wire.offer,
+                    },
+                    wire.init_payload,
+                )
+                magic = read_magic(sock)
+                if magic == MAGIC_V4:
+                    # A v4-capable worker answers the legacy init with
+                    # a v4-framed ready (discarding the pickled payload
+                    # unparsed); the reply's magic is what moves the
+                    # session onto the new wire.
+                    header, _ = recv_json_message(
+                        sock, preread_magic=magic
+                    )
+                    session_v4 = True
+                else:
+                    header, _ = recv_message(sock, preread_magic=magic)
             if header.get("type") == "error" and header.get("error") in (
                 "auth-required",
                 "tls-required",
@@ -748,12 +961,24 @@ class RemoteExecutor(TaskExecutor):
             if (
                 header.get("type") != "ready"
                 or not isinstance(version, int)
-                or not (
-                    PROTOCOL_BASE_VERSION <= version <= PROTOCOL_VERSION
-                )
+                or not (PROTOCOL_BASE_VERSION <= version <= wire.offer)
             ):
                 raise ProtocolError(
                     f"bad handshake from {spec.address}: {header}"
+                )
+            if session_v4 != (version >= CODEC_PROTOCOL_VERSION):
+                raise ProtocolError(
+                    f"worker {spec.address} framed its ready frame for "
+                    f"the wrong wire generation (protocol {version})"
+                )
+            if (
+                self.wire_version is not None
+                and version < self.wire_version
+            ):
+                raise ProtocolError(
+                    f"worker {spec.address} only speaks protocol "
+                    f"{version} but wire_version={self.wire_version} "
+                    f"was pinned"
                 )
             if (
                 authenticated_version is not None
@@ -778,8 +1003,79 @@ class RemoteExecutor(TaskExecutor):
                         f"{spec.address}: {header.get('capacity')!r}"
                     ) from None
             sock.settimeout(self.io_timeout)
+            if session_v4:
+                # Uniform v4 order regardless of entry path: worker
+                # ready (just parsed) → coordinator context → chunks.
+                # The protocol echo lets the worker cross-check the
+                # negotiated version against what its handshake bound.
+                send_json_message(
+                    sock,
+                    {"type": "context", "protocol": version},
+                    wire.context_v4,
+                )
+                chunk_ring, result_ring = self._offer_shm(
+                    sock, spec, wire, capacity
+                )
             with socket_lock:
                 sockets[worker_id] = sock
+
+            chunk_slots = (
+                list(range(chunk_ring.n_slots))
+                if chunk_ring is not None
+                else []
+            )
+            slot_of_chunk: dict[int, int] = {}
+            pending_acks: list[int] = []
+
+            def _send_chunk(chunk: int) -> None:
+                payload = wire.encodings.get(version, chunk)
+                if not session_v4:
+                    send_message(
+                        sock, {"type": "chunk", "chunk": chunk}, payload
+                    )
+                    return
+                frame = {"type": "chunk", "chunk": chunk}
+                if pending_acks:
+                    # Piggyback result-ring acknowledgements on the
+                    # next outbound frame; a dedicated ack frame per
+                    # result would cost a round of syscalls for
+                    # bookkeeping the worker only needs eventually.
+                    frame["ack"] = pending_acks.copy()
+                    pending_acks.clear()
+                if chunk_ring is not None and chunk_slots:
+                    slot = chunk_slots.pop()
+                    chunk_ring.write(slot, payload)
+                    slot_of_chunk[chunk] = slot
+                    frame["slot"] = slot
+                    frame["size"] = len(payload)
+                    send_json_message(sock, frame)
+                else:
+                    send_json_message(sock, frame, payload)
+
+            def _release_chunk_slot(chunk: int) -> None:
+                slot = slot_of_chunk.pop(chunk, None)
+                if slot is not None:
+                    chunk_slots.append(slot)
+
+            def _resolve_result_payload(frame: dict, payload: bytes):
+                if "slot" not in frame:
+                    return payload
+                if result_ring is None:
+                    raise ProtocolError(
+                        "result frame references a shm slot but the "
+                        "session has no shared-memory rings"
+                    )
+                slot = int(frame["slot"])
+                view = result_ring.read(slot, int(frame["size"]))
+                try:
+                    # Copied out before the slot is acked: the worker
+                    # may rewrite the slot the moment it gets it back.
+                    data = bytes(view)
+                finally:
+                    view.release()
+                pending_acks.append(slot)
+                return data
+
             while True:
                 # Top up the pipeline: claims are sized by the worker's
                 # advertised capacity.  Only a fully-idle worker blocks
@@ -798,22 +1094,29 @@ class RemoteExecutor(TaskExecutor):
                     if chunk is None:
                         break
                     # Register the claim *before* sending: a dead peer
-                    # (RST) makes send_message raise, and a chunk that
-                    # was claimed but not yet tracked would never be
+                    # (RST) makes the send raise, and a chunk that was
+                    # claimed but not yet tracked would never be
                     # requeued — permanently hanging the sweep.
                     inflight.add(chunk)
-                    send_message(
-                        sock,
-                        {"type": "chunk", "chunk": chunk},
-                        chunk_payloads[chunk],
-                    )
+                    _send_chunk(chunk)
                 if not inflight:
                     try:
-                        send_message(sock, {"type": "end"})
+                        if session_v4:
+                            end = {"type": "end"}
+                            if pending_acks:
+                                end["ack"] = pending_acks.copy()
+                                pending_acks.clear()
+                            send_json_message(sock, end)
+                        else:
+                            send_message(sock, {"type": "end"})
                     except (OSError, ProtocolError):
                         pass
                     return
-                header, payload = recv_message(sock)
+                header, payload = (
+                    recv_json_message(sock)
+                    if session_v4
+                    else recv_message(sock)
+                )
                 if header["type"] == "result":
                     chunk_id = header["chunk"]
                     if chunk_id not in inflight:
@@ -822,8 +1125,12 @@ class RemoteExecutor(TaskExecutor):
                             f"was not in flight ({sorted(inflight)})"
                         )
                     inflight.discard(chunk_id)
+                    _release_chunk_slot(chunk_id)
                     results = _unpack_error_dicts(
-                        header["descriptor"], payload_to_buffer(payload)
+                        header["descriptor"],
+                        payload_to_buffer(
+                            _resolve_result_payload(header, payload)
+                        ),
                     )
                     if board.settle(chunk_id):
                         events.put(("result", chunk_id, results))
@@ -835,6 +1142,7 @@ class RemoteExecutor(TaskExecutor):
                             f"{chunk_id} which was not in flight"
                         )
                     inflight.discard(chunk_id)
+                    _release_chunk_slot(chunk_id)
                     error = RemoteTaskError(
                         f"worker {spec.address} failed chunk "
                         f"{chunk_id}: {header.get('message', '')}",
@@ -864,3 +1172,8 @@ class RemoteExecutor(TaskExecutor):
                     stale.close()
                 except OSError:
                     pass
+            # This side created the rings, so this side unlinks them —
+            # on every exit path, success or torn session.
+            for ring in (chunk_ring, result_ring):
+                if ring is not None:
+                    ring.close()

@@ -228,6 +228,13 @@ class WorkerLauncher:
     #: Overridden by concrete launchers.
     worker_slots: int = 1
 
+    #: Does this launcher's fleet run on the coordinator's own host?
+    #: The coordinator's ``transport="auto"`` shm detection trusts this
+    #: (a :class:`LocalLauncher` fleet shares ``/dev/shm`` by
+    #: construction); launchers that reach other machines leave it
+    #: False and rely on per-endpoint loopback detection instead.
+    same_host: bool = False
+
     def __init__(self, *, startup_timeout: float = 30.0) -> None:
         self.startup_timeout = startup_timeout
         self.workers: list[LaunchedWorker] = []
@@ -343,7 +350,13 @@ class LocalLauncher(WorkerLauncher):
         python: Interpreter for the workers (default: this one).
         startup_timeout: Seconds allowed for all workers to announce
             readiness.
+
+    The fleet runs on this host (``same_host = True``), so a v4-capable
+    coordinator with ``transport="auto"`` moves chunk/result payloads
+    through shared memory instead of the loopback socket.
     """
+
+    same_host = True
 
     def __init__(
         self,

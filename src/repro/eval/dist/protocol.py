@@ -39,19 +39,34 @@ Version negotiation (compatible with version-1 peers on the wire):
   strict one-chunk-in-flight request/response loop, so mixed fleets
   keep working during a rolling upgrade.
 
-Trust model: frames carry pickles, so an unsecured session is for
-trusted clusters only — run workers on machines you control, reachable
-only from the coordinator (bind to loopback or a private interface).
-Version 3 (:data:`AUTH_PROTOCOL_VERSION`) adds a wire-security layer
-for everything else: a shared-secret HMAC handshake that runs *before*
-any pickled byte is read (see :mod:`repro.eval.dist.auth`) and optional
-TLS on the socket itself (see :mod:`repro.eval.dist.certs`).  A worker
-with a secret configured refuses v1/v2 (and unauthenticated v3) peers
-at the magic bytes — before reading, let alone unpickling, a header.
+Trust model: legacy (v1–v3) frames carry pickles, so an unsecured
+legacy session is for trusted clusters only — run workers on machines
+you control, reachable only from the coordinator (bind to loopback or a
+private interface).  Version 3 (:data:`AUTH_PROTOCOL_VERSION`) adds a
+wire-security layer for everything else: a shared-secret HMAC handshake
+that runs *before* any pickled byte is read (see
+:mod:`repro.eval.dist.auth`) and optional TLS on the socket itself
+(see :mod:`repro.eval.dist.certs`).  A worker with a secret configured
+refuses v1/v2 (and unauthenticated v3) peers at the magic bytes —
+before reading, let alone unpickling, a header.
+
+Version 4 (:data:`CODEC_PROTOCOL_VERSION`) removes pickle from the
+session entirely: v4 frames (:data:`MAGIC_V4`) carry a canonical-JSON
+header and a schema'd binary payload (:mod:`repro.eval.dist.codec`), so
+an authenticated v4 session deserializes **zero** pickles in either
+direction.  Negotiation stays bidirectional: a v4 coordinator opens
+with the legacy pickled ``init`` frame (real payload, ``protocol_max``
+4); a v4 worker negotiates 4, discards that pickled payload *unparsed*,
+and answers with a v4 ``ready`` frame — the frame family itself is the
+acknowledgement — while a v1–v3 worker answers with a legacy ``ready``
+and the session continues exactly as before.  Authenticated sessions
+know the HMAC-bound version before any frame, so a bound-v4 session is
+pickle-free from the first byte.
 """
 
 from __future__ import annotations
 
+import json
 import pickle
 import socket
 import struct
@@ -65,17 +80,22 @@ __all__ = [
     "PROTOCOL_BASE_VERSION",
     "CAPACITY_PROTOCOL_VERSION",
     "AUTH_PROTOCOL_VERSION",
+    "CODEC_PROTOCOL_VERSION",
     "MAGIC",
+    "MAGIC_V4",
     "MAX_HEADER_BYTES",
     "MAX_PAYLOAD_BYTES",
     "ProtocolError",
     "ConnectionClosed",
     "TlsMismatchError",
     "bad_magic_error",
+    "disable_nagle",
     "negotiate_version",
     "read_magic",
     "send_message",
     "recv_message",
+    "send_json_message",
+    "recv_json_message",
     "buffer_payload",
     "payload_to_buffer",
 ]
@@ -85,7 +105,7 @@ __all__ = [
 PROTOCOL_BASE_VERSION = 1
 
 #: Highest protocol version this build understands.
-PROTOCOL_VERSION = 3
+PROTOCOL_VERSION = 4
 
 #: First version whose ``ready`` frame advertises a worker capacity and
 #: whose sessions may have several chunks in flight at once.
@@ -97,7 +117,17 @@ CAPACITY_PROTOCOL_VERSION = 2
 #: refused whenever a secret is configured.
 AUTH_PROTOCOL_VERSION = 3
 
+#: First version whose session frames are pickle-free: JSON headers on
+#: the :data:`MAGIC_V4` framing and schema'd binary payloads
+#: (:mod:`repro.eval.dist.codec`).  Sessions below this version use the
+#: legacy pickled-header framing on :data:`MAGIC`.
+CODEC_PROTOCOL_VERSION = 4
+
 MAGIC = b"RTD1"
+#: Frame magic of the v4 (JSON-header) frame family.  Distinct from the
+#: legacy magic so the first reply frame of a session identifies the
+#: family without any out-of-band signal.
+MAGIC_V4 = b"RTD4"
 _FRAME = struct.Struct("!4sQQ")
 _FRAME_REST = struct.Struct("!QQ")  # the two lengths after the magic
 
@@ -115,30 +145,52 @@ class ConnectionClosed(ProtocolError):
     """The peer closed the connection cleanly at a frame boundary."""
 
 
-def negotiate_version(init_header: dict) -> int:
+def negotiate_version(init_header: dict, *, limit: int | None = None) -> int:
     """Pick the session version from a coordinator's ``init`` header.
 
     ``protocol`` is the baseline the coordinator requires and
     ``protocol_max`` (absent from version-1 coordinators, defaulting to
     the baseline) the highest it understands; the session runs at
-    ``min(ours, theirs)``.  Raises :class:`ProtocolError` when there is
-    no common version — the caller reports the mismatch to the peer.
+    ``min(ours, theirs)``.  ``limit`` lowers "ours" below
+    :data:`PROTOCOL_VERSION` — rolling-upgrade fleets pin workers to the
+    old wire until every coordinator has moved.  Raises
+    :class:`ProtocolError` when there is no common version — the caller
+    reports the mismatch to the peer.
     """
+    ours = PROTOCOL_VERSION if limit is None else min(PROTOCOL_VERSION, limit)
     base = init_header.get("protocol")
     offered_max = init_header.get("protocol_max", base)
     if (
         not isinstance(base, int)
         or not isinstance(offered_max, int)
         or offered_max < base
-        or base > PROTOCOL_VERSION
+        or base > ours
         or offered_max < PROTOCOL_BASE_VERSION
     ):
         raise ProtocolError(
             f"protocol mismatch: this side speaks versions "
-            f"{PROTOCOL_BASE_VERSION}..{PROTOCOL_VERSION}, peer sent "
+            f"{PROTOCOL_BASE_VERSION}..{ours}, peer sent "
             f"{base!r}..{offered_max!r}"
         )
-    return min(PROTOCOL_VERSION, offered_max)
+    return min(ours, offered_max)
+
+
+def disable_nagle(sock) -> None:
+    """Turn off Nagle batching on a session socket.
+
+    Session frames are latency-sensitive and written as single
+    ``sendall`` calls, and under the v4 shared-memory data plane the
+    socket carries *only* small control frames (chunk announcements,
+    slot acks) — exactly the traffic Nagle's delayed coalescing
+    penalises, stacking up to a delayed-ACK round trip (~40ms) per
+    exchange.  Tolerates non-TCP peers (tests and the in-host pool
+    drive sessions over ``socketpair``), where the option is absent
+    or meaningless.
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except OSError:
+        pass
 
 
 def _recv_exact(sock: socket.socket, n: int, *, at_boundary: bool) -> bytes:
@@ -256,6 +308,67 @@ def recv_message(
         raise ProtocolError(
             f"frame header must be a dict with a 'type' key, got "
             f"{type(header).__name__}"
+        )
+    payload = _recv_exact(sock, payload_len, at_boundary=False)
+    return header, payload
+
+
+def send_json_message(sock: socket.socket, header: dict, payload=b"") -> None:
+    """Send one v4 frame: JSON header, opaque binary payload.
+
+    The layout matches the legacy frame exactly except for the magic and
+    the header encoding — ``MAGIC_V4 | header len (u64 BE) | payload len
+    (u64 BE) | UTF-8 JSON header | payload`` — so both families share
+    the length-sanity machinery.  Headers must be JSON-native dicts
+    (type tags, chunk indices, descriptors, shm slot references); a
+    non-encodable header is a programming error and raises
+    :class:`TypeError` before any byte is sent.
+    """
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    payload_view = memoryview(payload).cast("B")
+    sock.sendall(_FRAME.pack(MAGIC_V4, len(header_bytes), len(payload_view)))
+    sock.sendall(header_bytes)
+    if len(payload_view):
+        sock.sendall(payload_view)
+
+
+def recv_json_message(
+    sock: socket.socket, *, preread_magic: bytes | None = None
+) -> tuple[dict, bytes]:
+    """Receive one v4 frame; returns ``(header, payload)``.
+
+    Nothing on this path is ever unpickled: the header is JSON and must
+    decode to a dict with a ``"type"`` key, and the payload is returned
+    as raw bytes for the caller's codec.  A legacy magic here is a
+    protocol violation (the peer fell back mid-session), not a dispatch
+    case — sessions never mix frame families after negotiation.
+    """
+    if preread_magic is None:
+        magic = _recv_exact(sock, 4, at_boundary=True)
+    else:
+        magic = preread_magic
+    if magic != MAGIC_V4:
+        raise bad_magic_error(magic, repr(MAGIC_V4))
+    header_len, payload_len = _FRAME_REST.unpack(
+        _recv_exact(sock, _FRAME_REST.size, at_boundary=False)
+    )
+    if header_len > MAX_HEADER_BYTES:
+        raise ProtocolError(
+            f"header length {header_len} exceeds {MAX_HEADER_BYTES}"
+        )
+    if payload_len > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"payload length {payload_len} exceeds {MAX_PAYLOAD_BYTES}"
+        )
+    header_bytes = _recv_exact(sock, header_len, at_boundary=False)
+    try:
+        header = json.loads(header_bytes)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed v4 frame header: {exc}") from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(
+            f"v4 frame header must be a JSON object with a 'type' key, "
+            f"got {type(header).__name__}"
         )
     payload = _recv_exact(sock, payload_len, at_boundary=False)
     return header, payload

@@ -3,10 +3,22 @@
 A :class:`WorkerServer` listens on one TCP port and serves coordinator
 sessions: each accepted connection is one sweep session.  The
 coordinator ships the (instance, config, options) triple exactly once
-per session in the ``init`` frame; every subsequent ``chunk`` frame is
-just a pickled list of :class:`repro.eval.parallel.ScenarioTask`
-records, and the worker answers with the chunk's error vectors as one
-packed float64 payload (the same transport the in-host pool uses).
+per session; every subsequent ``chunk`` frame carries a list of
+:class:`repro.eval.parallel.ScenarioTask` records, and the worker
+answers with the chunk's error vectors as one packed float64 payload
+(the same transport the in-host pool uses).
+
+Wire generations: sessions that negotiate protocol v4
+(:data:`repro.eval.dist.protocol.CODEC_PROTOCOL_VERSION`) are
+pickle-free — the context arrives as a canonical-JSON frame and chunks
+as fixed-width struct records (:mod:`repro.eval.dist.codec`), framed by
+:func:`repro.eval.dist.protocol.recv_json_message`.  v1–v3 sessions
+keep the legacy pickled frames end to end.  A v4 session may
+additionally move its chunk and result payloads through same-host
+shared-memory rings (:mod:`repro.eval.dist.shm`): the coordinator
+offers the rings in a ``shm`` frame, the worker attaches (or nacks back
+to inline socket payloads), and from then on data-plane frames carry
+``slot``/``size`` references instead of bytes.
 
 Capacity: the handshake negotiates a protocol version
 (:func:`repro.eval.dist.protocol.negotiate_version`); at version 2 the
@@ -63,20 +75,28 @@ from repro.eval.dist.auth import (
     normalize_secret,
     server_handshake,
 )
+from repro.eval.dist.codec import decode_context, decode_tasks
 from repro.eval.dist.protocol import (
     CAPACITY_PROTOCOL_VERSION,
+    CODEC_PROTOCOL_VERSION,
+    MAGIC_V4,
+    PROTOCOL_VERSION,
     ConnectionClosed,
     ProtocolError,
     _FRAME_REST,
     _recv_exact,
     bad_magic_error,
     buffer_payload,
+    disable_nagle,
     negotiate_version,
     read_magic,
+    recv_json_message,
     recv_message,
+    send_json_message,
     send_message,
 )
 from repro.eval.dist.protocol import MAGIC as FRAME_MAGIC
+from repro.eval.dist.shm import ShmError, attach_ring
 from repro.eval.parallel import _execute_task, _pack_error_dicts
 from repro.io import instance_fingerprint
 
@@ -106,7 +126,7 @@ def _drain_refused_frame(connection, magic: bytes) -> None:
     peer sends is ever unpickled.
     """
     try:
-        if magic == FRAME_MAGIC:
+        if magic in (FRAME_MAGIC, MAGIC_V4):
             header_len, payload_len = _FRAME_REST.unpack(
                 _recv_exact(
                     connection, _FRAME_REST.size, at_boundary=False
@@ -129,15 +149,20 @@ def _drain_refused_frame(connection, magic: bytes) -> None:
         pass
 
 
-def _pool_initializer(instance, config, options, cache_dir, throttle) -> None:
+def _pool_initializer(
+    instance, config, options, cache_dir, throttle, fingerprint=None
+) -> None:
+    # v4 sessions pass the coordinator's shipped fingerprint so remote
+    # cache keys are byte-for-byte the keys the coordinator would
+    # compute; legacy sessions derive it from the unpickled instance.
     global _POOL_STATE
     cache = None
-    fingerprint = None
     if cache_dir is not None:
         from repro.eval.cache import TrialCache
 
         cache = TrialCache(cache_dir)
-        fingerprint = instance_fingerprint(instance)
+        if fingerprint is None:
+            fingerprint = instance_fingerprint(instance)
     _POOL_STATE = (instance, config, options, cache, fingerprint, throttle)
 
 
@@ -171,6 +196,141 @@ def _pool_run_chunk(payload: bytes):
     return _run_chunk_tasks(
         tasks, instance, config, options, cache, fingerprint, throttle
     )
+
+
+def _pool_run_chunk_v4(payload: bytes):
+    # v4 twin of :func:`_pool_run_chunk`: the payload is struct-codec
+    # task records, decoded in the child so the session thread stays a
+    # pure frame pump (and never touches pickle for wire data).
+    tasks = decode_tasks(payload)
+    instance, config, options, cache, fingerprint, throttle = _POOL_STATE
+    return _run_chunk_tasks(
+        tasks, instance, config, options, cache, fingerprint, throttle
+    )
+
+
+class _V4Transport:
+    """One v4 session's data plane: inline socket bytes, or shm rings.
+
+    Starts inline; an accepted ``shm`` frame attaches the
+    coordinator-created rings, after which chunk payloads are read from
+    ``slot``/``size`` references and results are written into the
+    result ring whenever a free slot fits them (inline fallback
+    otherwise — shm is an optimisation, never a correctness
+    dependency).  The worker owns the result ring's free list; the
+    coordinator returns consumed slots in the ``ack`` field of its
+    chunk/end frames.
+    """
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+        self._chunk_ring = None
+        self._result_ring = None
+        self._free_slots: list[int] = []
+        self._free_lock = threading.Lock()
+
+    @property
+    def using_shm(self) -> bool:
+        return self._chunk_ring is not None
+
+    def open(self, header: dict) -> dict:
+        """Attach the offered rings; returns the shm-ok/shm-nack reply."""
+        if self.using_shm:
+            return {
+                "type": "shm-nack",
+                "message": "session already has shared-memory rings",
+            }
+        chunk_ring = None
+        try:
+            chunk_spec = header["chunk_ring"]
+            result_spec = header["result_ring"]
+            chunk_ring = attach_ring(
+                chunk_spec["name"],
+                int(chunk_spec["slots"]),
+                int(chunk_spec["slot_size"]),
+            )
+            result_ring = attach_ring(
+                result_spec["name"],
+                int(result_spec["slots"]),
+                int(result_spec["slot_size"]),
+            )
+        except (ShmError, KeyError, TypeError, ValueError) as exc:
+            if chunk_ring is not None:
+                chunk_ring.close()
+            return {"type": "shm-nack", "message": str(exc)}
+        self._chunk_ring = chunk_ring
+        self._result_ring = result_ring
+        self._free_slots = list(range(result_ring.n_slots))
+        return {"type": "shm-ok"}
+
+    def collect_acks(self, header: dict) -> None:
+        """Return coordinator-consumed result slots to the free list."""
+        slots = header.get("ack")
+        if not slots:
+            return
+        with self._free_lock:
+            self._free_slots.extend(int(slot) for slot in slots)
+
+    def chunk_payload(self, header: dict, payload: bytes) -> bytes:
+        """The chunk's encoded tasks, wherever the frame put them.
+
+        Shm slots are copied out immediately: the coordinator reuses a
+        chunk slot as soon as this chunk is answered, and the
+        concurrent path answers from pool callbacks long after this
+        read.
+        """
+        if "slot" not in header:
+            return payload
+        if self._chunk_ring is None:
+            raise ProtocolError(
+                "chunk frame references a shm slot but the session "
+                "has no shared-memory rings"
+            )
+        view = self._chunk_ring.read(
+            int(header["slot"]), int(header["size"])
+        )
+        try:
+            return bytes(view)
+        finally:
+            view.release()
+
+    def send_result(self, header: dict, buffer) -> None:
+        """Ship one result: via a free shm slot if it fits, else inline.
+
+        The caller serializes sends (session thread or ``send_lock``);
+        only the free list needs its own lock, because acks return
+        slots from the session thread while pool callbacks claim them.
+        """
+        payload = buffer_payload(buffer)
+        size = len(payload)
+        slot = None
+        if (
+            self._result_ring is not None
+            and size <= self._result_ring.slot_size
+        ):
+            with self._free_lock:
+                if self._free_slots:
+                    slot = self._free_slots.pop()
+        if slot is None:
+            send_json_message(self._connection, header, payload)
+            return
+        try:
+            self._result_ring.write(slot, payload)
+        except ShmError:
+            with self._free_lock:
+                self._free_slots.append(slot)
+            send_json_message(self._connection, header, payload)
+            return
+        send_json_message(
+            self._connection, dict(header, slot=slot, size=size)
+        )
+
+    def close(self) -> None:
+        for ring in (self._chunk_ring, self._result_ring):
+            if ring is not None:
+                ring.close()
+        self._chunk_ring = None
+        self._result_ring = None
 
 
 class WorkerServer:
@@ -212,7 +372,18 @@ class WorkerServer:
         handshake_timeout: Seconds a new connection gets to finish
             TLS + auth + ``init``; a half-open or stalling peer is
             dropped instead of pinning a session thread forever.
+        protocol_max: Highest protocol version this worker will
+            negotiate (clamped to the library's
+            :data:`repro.eval.dist.protocol.PROTOCOL_VERSION`).
+            ``protocol_max=3`` makes a current worker behave exactly
+            like a pre-v4 deployment — the mixed-fleet tests and the
+            benchmark's wire-generation baselines are built on it.
         log: Callable for one-line status messages (``None`` = silent).
+
+    Attributes:
+        negotiated_versions: Protocol version of each served session,
+            in acceptance order (diagnostic; the interop tests assert
+            mixed fleets really split across wire generations).
     """
 
     def __init__(
@@ -228,6 +399,7 @@ class WorkerServer:
         secret=None,
         ssl_context: ssl.SSLContext | None = None,
         handshake_timeout: float = 30.0,
+        protocol_max: int | None = None,
         log=None,
     ) -> None:
         if capacity < 1:
@@ -239,6 +411,10 @@ class WorkerServer:
                 f"handshake_timeout must be positive, got "
                 f"{handshake_timeout}"
             )
+        if protocol_max is not None and protocol_max < 1:
+            raise ValueError(
+                f"protocol_max must be >= 1, got {protocol_max}"
+            )
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()[:2]
         self.capacity = capacity
@@ -249,8 +425,14 @@ class WorkerServer:
         self._secret = normalize_secret(secret)
         self._ssl_context = ssl_context
         self._handshake_timeout = handshake_timeout
+        self._protocol_max = (
+            PROTOCOL_VERSION
+            if protocol_max is None
+            else min(PROTOCOL_VERSION, protocol_max)
+        )
         self._log = log or (lambda message: None)
         self._closed = False
+        self.negotiated_versions: list[int] = []
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -336,6 +518,7 @@ class WorkerServer:
         )
 
     def _session_thread(self, raw: socket.socket) -> None:
+        disable_nagle(raw)
         wrapped = None
         live = [raw]
         handshake_done = threading.Event()
@@ -372,6 +555,7 @@ class WorkerServer:
                     first = raw.recv(4, socket.MSG_PEEK)
                     if first and first in (
                         FRAME_MAGIC[: len(first)],
+                        MAGIC_V4[: len(first)],
                         AUTH_MAGIC[: len(first)],
                     ):
                         _drain_refused_frame(raw, read_magic(raw))
@@ -416,15 +600,28 @@ class WorkerServer:
         # before any pickled byte — header included — is consumed.
         magic = read_magic(connection)
         authenticated_version = None
+        payload = b""
         if magic == AUTH_MAGIC:
             try:
                 authenticated_version = server_handshake(
-                    connection, self._secret, preread_magic=magic
+                    connection,
+                    self._secret,
+                    preread_magic=magic,
+                    protocol_max=self._protocol_max,
                 )
             except AuthError as exc:
                 # The rejection frame is already on the wire; log and
                 # drop without ever touching a payload.
                 self._log(f"auth refused: {exc}")
+                return
+            if authenticated_version >= CODEC_PROTOCOL_VERSION:
+                # The handshake already bound a pickle-free version for
+                # both sides; no legacy init frame exists on this
+                # session, so go straight to the v4 exchange.
+                self.negotiated_versions.append(authenticated_version)
+                self._serve_v4(
+                    connection, authenticated_version, handshake_done
+                )
                 return
             header, payload = recv_message(connection)
         elif magic == FRAME_MAGIC:
@@ -466,7 +663,7 @@ class WorkerServer:
                 f"expected an init frame, got {header['type']!r}"
             )
         try:
-            version = negotiate_version(header)
+            version = negotiate_version(header, limit=self._protocol_max)
         except ProtocolError as exc:
             send_message(
                 connection,
@@ -489,6 +686,15 @@ class WorkerServer:
                 f"authenticated handshake bound version "
                 f"{authenticated_version}; refusing the downgrade"
             )
+        self.negotiated_versions.append(version)
+        if version >= CODEC_PROTOCOL_VERSION:
+            # The init frame's pickled payload is a compatibility
+            # vehicle for older workers; this one negotiated the
+            # pickle-free wire, so the bytes are discarded *unparsed*
+            # and the context arrives again as a v4 JSON frame.
+            del payload
+            self._serve_v4(connection, version, handshake_done)
+            return
         instance, config, options = pickle.loads(payload)
         ready = {
             "type": "ready",
@@ -505,6 +711,242 @@ class WorkerServer:
             self._serve_concurrent(connection, instance, config, options)
         else:
             self._serve_sequential(connection, instance, config, options)
+
+    # -- protocol v4 sessions ------------------------------------------
+    def _serve_v4(self, connection, version, handshake_done) -> None:
+        """The pickle-free session: v4 ready, context frame, then serve.
+
+        Frame order is uniform across the auth and legacy-init entry
+        paths: the worker's v4 ``ready`` goes first (its magic is what
+        tells the coordinator the reply is v4), the coordinator answers
+        with the codec'd ``context`` frame, and only then does the
+        chunk loop start.
+        """
+        send_json_message(
+            connection,
+            {
+                "type": "ready",
+                "protocol": version,
+                "host": socket.gethostname(),
+                "capacity": self.capacity,
+            },
+        )
+        header, payload = recv_json_message(connection)
+        if header["type"] != "context":
+            raise ProtocolError(
+                f"expected a context frame, got {header['type']!r}"
+            )
+        if header.get("protocol") != version:
+            raise ProtocolError(
+                f"context frame claims protocol "
+                f"{header.get('protocol')!r} on a version-{version} "
+                f"session; refusing the mismatch"
+            )
+        (instance, config, options), fingerprint = decode_context(payload)
+        if handshake_done is not None:
+            handshake_done.set()  # disarm the stalled-handshake reaper
+        connection.settimeout(None)  # handshake done: blocking session
+        if self.capacity > 1:
+            self._serve_concurrent_v4(
+                connection, instance, config, options, fingerprint
+            )
+        else:
+            self._serve_sequential_v4(
+                connection, instance, config, options, fingerprint
+            )
+
+    def _serve_sequential_v4(
+        self, connection, instance, config, options, fingerprint
+    ) -> None:
+        """v4 twin of :meth:`_serve_sequential` (one chunk in flight)."""
+        cache = self._open_cache()
+        transport = _V4Transport(connection)
+        chunks_accepted = 0
+        try:
+            while True:
+                try:
+                    header, payload = recv_json_message(connection)
+                except ConnectionClosed:
+                    return
+                kind = header["type"]
+                if kind == "shm":
+                    send_json_message(connection, transport.open(header))
+                    continue
+                if kind == "end":
+                    transport.collect_acks(header)
+                    if cache is not None:
+                        self._log(
+                            f"session done — {cache.stats.render()}"
+                        )
+                    return
+                if kind != "chunk":
+                    raise ProtocolError(
+                        f"expected a chunk frame, got {kind!r}"
+                    )
+                transport.collect_acks(header)
+                if (
+                    self._fail_after_chunks is not None
+                    and chunks_accepted >= self._fail_after_chunks
+                ):
+                    self._log(
+                        f"fault injection: dropping connection before "
+                        f"chunk {header['chunk']}"
+                    )
+                    return
+                chunk_id = header["chunk"]
+                tasks = decode_tasks(
+                    transport.chunk_payload(header, payload)
+                )
+                try:
+                    descriptor, buffer = _run_chunk_tasks(
+                        tasks,
+                        instance,
+                        config,
+                        options,
+                        cache,
+                        fingerprint if cache is not None else None,
+                        self._throttle,
+                    )
+                except Exception as exc:
+                    send_json_message(
+                        connection,
+                        {
+                            "type": "error",
+                            "chunk": chunk_id,
+                            "message": repr(exc),
+                            "traceback": traceback.format_exc(),
+                        },
+                    )
+                else:
+                    transport.send_result(
+                        {
+                            "type": "result",
+                            "chunk": chunk_id,
+                            "descriptor": descriptor,
+                        },
+                        buffer,
+                    )
+                chunks_accepted += 1
+        finally:
+            transport.close()
+
+    def _serve_concurrent_v4(
+        self, connection, instance, config, options, fingerprint
+    ) -> None:
+        """v4 twin of :meth:`_serve_concurrent` (pooled chunk slots)."""
+        pool = ProcessPoolExecutor(
+            max_workers=self.capacity,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_pool_initializer,
+            initargs=(
+                instance,
+                config,
+                options,
+                self._cache_dir,
+                self._throttle,
+                fingerprint,
+            ),
+        )
+        transport = _V4Transport(connection)
+        send_lock = threading.Lock()
+        chunks_accepted = 0
+        try:
+            while True:
+                try:
+                    header, payload = recv_json_message(connection)
+                except ConnectionClosed:
+                    return
+                kind = header["type"]
+                if kind == "shm":
+                    with send_lock:
+                        send_json_message(
+                            connection, transport.open(header)
+                        )
+                    continue
+                if kind == "end":
+                    transport.collect_acks(header)
+                    self._log("session done")
+                    return
+                if kind != "chunk":
+                    raise ProtocolError(
+                        f"expected a chunk frame, got {kind!r}"
+                    )
+                transport.collect_acks(header)
+                if (
+                    self._fail_after_chunks is not None
+                    and chunks_accepted >= self._fail_after_chunks
+                ):
+                    self._log(
+                        f"fault injection: dropping connection before "
+                        f"chunk {header['chunk']}"
+                    )
+                    return
+                chunk_id = header["chunk"]
+                data = transport.chunk_payload(header, payload)
+                future = pool.submit(_pool_run_chunk_v4, data)
+                future.add_done_callback(
+                    lambda done, chunk=chunk_id: (
+                        self._send_chunk_result_v4(
+                            connection, send_lock, transport, chunk, done
+                        )
+                    )
+                )
+                chunks_accepted += 1
+        finally:
+            # Abandon rather than join (see _serve_concurrent); close
+            # the transport only after the pool can no longer call back
+            # into it.
+            pool.shutdown(wait=False, cancel_futures=True)
+            transport.close()
+
+    def _send_chunk_result_v4(
+        self, connection, send_lock, transport, chunk_id, future
+    ) -> None:
+        """v4 twin of :meth:`_send_chunk_result` (same failure policy)."""
+        try:
+            try:
+                descriptor, buffer = future.result()
+            except BrokenProcessPool as exc:
+                self._log(
+                    f"process pool broke on chunk {chunk_id}: {exc!r}"
+                )
+                try:
+                    connection.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    connection.close()
+                except OSError:
+                    pass
+                return
+            except Exception as exc:
+                with send_lock:
+                    send_json_message(
+                        connection,
+                        {
+                            "type": "error",
+                            "chunk": chunk_id,
+                            "message": repr(exc),
+                            "traceback": "".join(
+                                traceback.format_exception(exc)
+                            ),
+                        },
+                    )
+            else:
+                with send_lock:
+                    transport.send_result(
+                        {
+                            "type": "result",
+                            "chunk": chunk_id,
+                            "descriptor": descriptor,
+                        },
+                        buffer,
+                    )
+        except BaseException as exc:
+            # The session is gone (connection closed mid-send) or the
+            # future was cancelled by a tearing-down pool; either way
+            # the coordinator requeues the chunk elsewhere.
+            self._log(f"result send failed for chunk {chunk_id}: {exc!r}")
 
     def _serve_sequential(
         self, connection, instance, config, options

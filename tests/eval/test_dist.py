@@ -1,6 +1,7 @@
 """Distributed sweep backend: framing, fault tolerance, bit-identity."""
 
 import contextlib
+import pathlib
 import pickle
 import socket
 import threading
@@ -11,6 +12,8 @@ import pytest
 
 from repro.eval.dist import (
     CAPACITY_PROTOCOL_VERSION,
+    CODEC_PROTOCOL_VERSION,
+    MAGIC_V4,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
     ChunkBoard,
@@ -18,11 +21,15 @@ from repro.eval.dist import (
     HostSpec,
     ProtocolError,
     RemoteExecutor,
+    SHM_PREFIX,
+    ShmError,
     WorkerServer,
     buffer_payload,
     negotiate_version,
     parse_hosts,
     payload_to_buffer,
+    read_magic,
+    recv_json_message,
     recv_message,
     send_message,
 )
@@ -280,17 +287,29 @@ class TestRemoteExecution:
         """
         from repro.eval.dist import coordinator as coordinator_module
 
-        real_send = coordinator_module.send_message
+        # Trip whichever wire the session negotiated: legacy chunk
+        # frames go through send_message, v4 ones through
+        # send_json_message.
         tripped = []
 
-        def flaky_send(sock, header, payload=b""):
-            if header.get("type") == "chunk" and not tripped:
-                tripped.append(header["chunk"])
-                raise OSError("simulated connection reset")
-            return real_send(sock, header, payload)
+        def _flaky(real):
+            def flaky_send(sock, header, payload=b""):
+                if header.get("type") == "chunk" and not tripped:
+                    tripped.append(header["chunk"])
+                    raise OSError("simulated connection reset")
+                return real(sock, header, payload)
+
+            return flaky_send
 
         monkeypatch.setattr(
-            coordinator_module, "send_message", flaky_send
+            coordinator_module,
+            "send_message",
+            _flaky(coordinator_module.send_message),
+        )
+        monkeypatch.setattr(
+            coordinator_module,
+            "send_json_message",
+            _flaky(coordinator_module.send_json_message),
         )
         tasks = scenario_tasks(
             "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=30
@@ -618,8 +637,16 @@ class TestNegotiation:
             send_message(
                 sock, init_header, pickle.dumps((None, None, None))
             )
-            header, _ = recv_message(sock)
-            send_message(sock, {"type": "end"})
+            # A worker that negotiated v4 answers with a v4-framed
+            # ready (and then expects a context frame — closing the
+            # socket ends the session); older negotiations answer with
+            # the legacy pickled frame and take a legacy "end".
+            magic = read_magic(sock)
+            if magic == MAGIC_V4:
+                header, _ = recv_json_message(sock, preread_magic=magic)
+            else:
+                header, _ = recv_message(sock, preread_magic=magic)
+                send_message(sock, {"type": "end"})
         finally:
             sock.close()
         return header
@@ -771,6 +798,348 @@ class TestNegotiation:
                 ),
             )
         _assert_identical(serial, remote)
+
+
+# ----------------------------------------------------------------------
+# Protocol v4: pinned wires, mixed fleets, the zero-pickle guarantee
+# ----------------------------------------------------------------------
+class _CountingPickle:
+    """Proxy that counts deserializations; everything else passes through."""
+
+    def __init__(self, real):
+        self._real = real
+        self.loads_count = 0
+
+    def loads(self, *args, **kwargs):
+        self.loads_count += 1
+        return self._real.loads(*args, **kwargs)
+
+    def __getattr__(self, name):
+        return getattr(self._real, name)
+
+
+class TestV4Wire:
+    def test_v4_pinned_wire_matches_serial(self, planetlab_small):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=41
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [server.address for server in servers],
+                    wire_version=CODEC_PROTOCOL_VERSION,
+                ),
+            )
+            assert all(
+                server.negotiated_versions == [CODEC_PROTOCOL_VERSION]
+                for server in servers
+            )
+        _assert_identical(serial, remote)
+
+    def test_v3_pinned_wire_matches_serial(self, planetlab_small):
+        """wire_version=3 serves exactly the legacy pickled session."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=42
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2) as servers:
+            remote = run_scenario_tasks(
+                planetlab_small,
+                tasks,
+                config=FAST,
+                executor=RemoteExecutor(
+                    [server.address for server in servers],
+                    wire_version=CODEC_PROTOCOL_VERSION - 1,
+                ),
+            )
+            assert all(
+                server.negotiated_versions
+                == [CODEC_PROTOCOL_VERSION - 1]
+                for server in servers
+            )
+        _assert_identical(serial, remote)
+
+    def test_mixed_version_fleet_bit_identical(self, planetlab_small):
+        """One pre-v4 worker and one current worker share a sweep.
+
+        Each session gets its own codec — pickled frames to the pinned
+        worker, v4 frames to the other — and the merged results are
+        still bit-identical to serial.
+        """
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=43
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, protocol_max=3) as legacy:
+            with worker_fleet(1) as modern:
+                remote = run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [legacy[0].address, modern[0].address]
+                    ),
+                )
+                assert legacy[0].negotiated_versions == [3]
+                assert modern[0].negotiated_versions == [
+                    CODEC_PROTOCOL_VERSION
+                ]
+        _assert_identical(serial, remote)
+
+    def test_wire_pin_refuses_legacy_fleet(self, planetlab_small):
+        """wire_version=4 + a fleet that can only speak v3 fails fast."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=44
+        )
+        with worker_fleet(2, protocol_max=3) as servers:
+            with pytest.raises(ScenarioTaskError):
+                run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [server.address for server in servers],
+                        wire_version=CODEC_PROTOCOL_VERSION,
+                    ),
+                )
+
+    def test_v4_session_deserializes_zero_pickles(
+        self, planetlab_small, monkeypatch
+    ):
+        """The tentpole guarantee, counter-asserted on live sweeps.
+
+        Both wire modules get a counting ``pickle`` proxy.  A v3-pinned
+        sweep proves the counter observes the legacy wire (loads > 0);
+        an authenticated v4 sweep over the same fleet then runs with
+        **zero** ``pickle.loads`` calls anywhere in the process — the
+        worker never deserializes a pickled byte, fail-closed rather
+        than by convention.
+        """
+        from repro.eval.dist import protocol as protocol_module
+        from repro.eval.dist import worker as worker_module
+
+        secret = b"zero-pickle-proof"
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=45
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+
+        def counted_sweep(wire_version):
+            counters = [
+                _CountingPickle(pickle),
+                _CountingPickle(pickle),
+            ]
+            monkeypatch.setattr(protocol_module, "pickle", counters[0])
+            monkeypatch.setattr(worker_module, "pickle", counters[1])
+            try:
+                with worker_fleet(2, secret=secret) as servers:
+                    remote = run_scenario_tasks(
+                        planetlab_small,
+                        tasks,
+                        config=FAST,
+                        executor=RemoteExecutor(
+                            [server.address for server in servers],
+                            secret=secret,
+                            wire_version=wire_version,
+                        ),
+                    )
+                    versions = [
+                        version
+                        for server in servers
+                        for version in server.negotiated_versions
+                    ]
+            finally:
+                monkeypatch.setattr(
+                    protocol_module, "pickle", pickle
+                )
+                monkeypatch.setattr(worker_module, "pickle", pickle)
+            loads = sum(counter.loads_count for counter in counters)
+            return remote, versions, loads
+
+        # Control: the pinned legacy wire visibly unpickles.
+        remote, versions, loads = counted_sweep(
+            CODEC_PROTOCOL_VERSION - 1
+        )
+        _assert_identical(serial, remote)
+        assert set(versions) == {CODEC_PROTOCOL_VERSION - 1}
+        assert loads > 0
+
+        # The v4 wire: same sweep, zero deserialized pickles.
+        remote, versions, loads = counted_sweep(CODEC_PROTOCOL_VERSION)
+        _assert_identical(serial, remote)
+        assert set(versions) == {CODEC_PROTOCOL_VERSION}
+        assert loads == 0
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+def _shm_segments():
+    return sorted(pathlib.Path("/dev/shm").glob(f"{SHM_PREFIX}*"))
+
+
+@pytest.fixture
+def ring_spy(monkeypatch):
+    """Record every ring the coordinator creates (and its name)."""
+    from repro.eval.dist import coordinator as coordinator_module
+
+    created = []
+    real_create = coordinator_module.create_ring
+
+    def spy(n_slots, slot_size):
+        ring = real_create(n_slots, slot_size)
+        created.append(ring.name)
+        return ring
+
+    monkeypatch.setattr(coordinator_module, "create_ring", spy)
+    return created
+
+
+@pytest.mark.skipif(
+    not pathlib.Path("/dev/shm").is_dir(),
+    reason="POSIX shared memory not mounted",
+)
+class TestShmTransport:
+    def _sweep(self, instance, tasks, servers, **executor_kwargs):
+        return run_scenario_tasks(
+            instance,
+            tasks,
+            config=FAST,
+            executor=RemoteExecutor(
+                [server.address for server in servers],
+                **executor_kwargs,
+            ),
+        )
+
+    def test_shm_sweep_bit_identical_and_rings_unlinked(
+        self, planetlab_small, ring_spy
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=46
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2, capacity=2) as servers:
+            remote = self._sweep(
+                planetlab_small, tasks, servers, transport="shm"
+            )
+        _assert_identical(serial, remote)
+        # Two rings per session actually moved the payloads...
+        assert len(ring_spy) == 4
+        # ...and every segment was unlinked at teardown.
+        assert not _shm_segments()
+
+    def test_auto_transport_detects_loopback(
+        self, planetlab_small, ring_spy
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=47
+        )
+        with worker_fleet(1) as servers:
+            self._sweep(planetlab_small, tasks, servers)  # transport="auto"
+        assert len(ring_spy) == 2
+        assert not _shm_segments()
+
+    def test_socket_transport_never_creates_rings(
+        self, planetlab_small, ring_spy
+    ):
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=2, seed=48
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1) as servers:
+            remote = self._sweep(
+                planetlab_small, tasks, servers, transport="socket"
+            )
+        _assert_identical(serial, remote)
+        assert ring_spy == []
+
+    def test_attach_failure_nacks_and_falls_back_inline(
+        self, planetlab_small, ring_spy, monkeypatch
+    ):
+        """A worker that cannot map the rings keeps the sweep alive.
+
+        The worker nacks the shm offer (e.g. a loopback-looking address
+        that is really a tunnel to another host); the coordinator
+        unlinks its rings and the session completes on inline socket
+        payloads — shm is an optimisation, never a correctness
+        dependency.
+        """
+        from repro.eval.dist import worker as worker_module
+
+        def refuse(name, n_slots, slot_size):
+            raise ShmError(f"injected attach failure for {name}")
+
+        monkeypatch.setattr(worker_module, "attach_ring", refuse)
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=49
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2) as servers:
+            remote = self._sweep(
+                planetlab_small, tasks, servers, transport="shm"
+            )
+        _assert_identical(serial, remote)
+        assert len(ring_spy) == 4  # offered, nacked...
+        assert not _shm_segments()  # ...and unlinked on the nack
+
+    def test_tiny_result_slots_fall_back_inline(self, planetlab_small):
+        """Results that outgrow their ring slot ship inline instead."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=50
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, capacity=2) as servers:
+            remote = self._sweep(
+                planetlab_small,
+                tasks,
+                servers,
+                transport="shm",
+                shm_slot_bytes=8,
+            )
+        _assert_identical(serial, remote)
+        assert not _shm_segments()
+
+    def test_worker_death_with_shm_requeues(self, planetlab_small):
+        """The SIGKILL-requeue guarantee holds on the shm data plane."""
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=4, seed=51
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1) as good:
+            with worker_fleet(1, fail_after_chunks=1) as flaky:
+                remote = run_scenario_tasks(
+                    planetlab_small,
+                    tasks,
+                    config=FAST,
+                    executor=RemoteExecutor(
+                        [good[0].address, flaky[0].address],
+                        transport="shm",
+                    ),
+                )
+        _assert_identical(serial, remote)
+        assert not _shm_segments()
 
 
 # ----------------------------------------------------------------------
