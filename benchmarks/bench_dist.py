@@ -33,6 +33,15 @@ Runs the figure-3 sweep several ways over the same instance and seed:
   at result-buffer payload sizes, receiver in a separate process both
   ways;
 
+* **remote-chaos** — the fault-matrix leg: two fresh workers whose
+  ``REPRO_CHAOS`` environment arms one to corrupt a result frame and
+  the other to SIGSTOP itself on its first chunk.  The corruption is
+  caught by frame validation, the hang by the PING/PONG heartbeat
+  clock, and — both bench workers being single-session — the sweep
+  finishes through the ``on_fleet_loss="serial"`` in-process fallback,
+  still bit-identical.  ``--require-chaos`` gates detection (a
+  recorded heartbeat timeout and worker loss) and the fallback;
+
 * **plain-autolaunch / secure-autolaunch** — the wire-security
   acceptance pair: the same two-worker autolaunched fleet swept over a
   trusted socket and again with TLS plus the shared-secret (protocol
@@ -69,6 +78,8 @@ Usage::
     python benchmarks/bench_dist.py --quick \
         --require-identical --require-survival \
         --require-wire-gain --require-shm-gain       # CI smoke
+    python benchmarks/bench_dist.py --quick \
+        --require-identical --require-chaos          # CI chaos smoke
 
 Every run appends a record to ``BENCH_dist.json`` (see
 ``benchmarks/bench_util.py``).
@@ -110,7 +121,9 @@ class _Worker:
     ``--max-sessions 1`` and fault injection on one specific worker.
     """
 
-    def __init__(self, *, cache_dir=None, fail_after_chunks=None) -> None:
+    def __init__(
+        self, *, cache_dir=None, fail_after_chunks=None, chaos=None
+    ) -> None:
         command = [
             sys.executable,
             "-m",
@@ -131,10 +144,16 @@ class _Worker:
             command += ["--cache-dir", str(cache_dir)]
         if fail_after_chunks is not None:
             command += ["--fail-after-chunks", str(fail_after_chunks)]
+        env = worker_environment()
+        if chaos is not None:
+            # Chaos rides the environment exactly as it would in a real
+            # deployment (REPRO_CHAOS on the worker host), and the spec
+            # may include process faults — this is a dedicated process.
+            env["REPRO_CHAOS"] = chaos
         process = subprocess.Popen(
             command,
             cwd=REPO_ROOT,
-            env=worker_environment(),
+            env=env,
             stdout=subprocess.PIPE,
             stderr=subprocess.STDOUT,
             text=True,
@@ -688,6 +707,16 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--require-chaos",
+        action="store_true",
+        help=(
+            "exit nonzero unless the chaos leg — one worker corrupting "
+            "a result frame, one SIGSTOPping itself mid-sweep — is "
+            "detected (heartbeat), survived (serial fallback), and "
+            "bit-identical"
+        ),
+    )
+    parser.add_argument(
         "--orphan-child",
         action="store_true",
         help=argparse.SUPPRESS,  # internal: coordinator-to-be-killed
@@ -852,6 +881,44 @@ def main(argv=None) -> int:
         f"{retained_entries} entries)"
     )
 
+    # Chaos leg: two fault classes at once, injected through the
+    # workers' environment exactly as on a real fleet.  Worker A
+    # corrupts its second result frame (detected at the coordinator's
+    # frame validation, session dropped, chunk requeued); worker B
+    # SIGSTOPs itself on its first chunk — hung but connected, so only
+    # the heartbeat clock can see it.  Both bench workers pin
+    # --max-sessions 1, so once both faults land the fleet is gone and
+    # the serial fallback finishes the remaining chunks in-process.
+    # The figure data must come out bit-identical regardless.
+    chaos_workers = []
+    try:
+        chaos_workers.append(
+            _Worker(chaos="frame-corrupt:type=result:nth=2")
+        )
+        chaos_workers.append(_Worker(chaos="worker-sigstop:chunk=1"))
+        chaos_executor = RemoteExecutor(
+            [w.address for w in chaos_workers],
+            transport="shm",
+            heartbeat_interval=2.0,
+            connect_attempts=4,
+            on_fleet_loss="serial",
+        )
+        t0 = time.perf_counter()
+        chaos_result = figure3_sweep(
+            executor=chaos_executor, **sweep_kwargs
+        )
+        t_chaos = time.perf_counter() - t0
+    finally:
+        for worker in chaos_workers:
+            worker.stop()
+    chaos_stats = chaos_executor.last_sweep_stats
+    print(
+        f"remote, chaos (corrupt result + SIGSTOP): {t_chaos:7.2f} s "
+        f"({chaos_stats.heartbeat_timeouts} heartbeat timeout(s), "
+        f"{chaos_stats.requeued_chunks} chunk(s) requeued, "
+        f"{chaos_stats.serial_fallback_chunks} finished in-process)"
+    )
+
     # Heterogeneous capacity: one autolaunched fleet per leg — a
     # capacity-1 and a capacity-2 worker with identical per-task
     # latency injected (`--throttle`: sleep, not CPU, so the
@@ -966,6 +1033,7 @@ def main(argv=None) -> int:
         ("remote-v3", remote_v3, reference),
         ("remote-socket", remote_socket, reference),
         ("remote-kill", survived, reference),
+        ("remote-chaos", chaos_result, reference),
         ("elastic-uniform", uniform, hetero_reference),
         ("elastic-aware", aware, hetero_reference),
         ("plain-autolaunch", plain_autolaunch, reference),
@@ -978,8 +1046,8 @@ def main(argv=None) -> int:
     if not failures:
         print(
             "bit-identical: serial == remote == remote-v3 == "
-            "remote-socket == remote-kill == plain-autolaunch == "
-            "secure-autolaunch and "
+            "remote-socket == remote-kill == remote-chaos == "
+            "plain-autolaunch == secure-autolaunch and "
             "serial == elastic-uniform == elastic-aware"
         )
 
@@ -995,6 +1063,21 @@ def main(argv=None) -> int:
             )
         if not orphan_ok:
             failures.append(orphan_detail)
+    if args.require_chaos:
+        if chaos_stats.heartbeat_timeouts < 1:
+            failures.append(
+                "chaos leg: the SIGSTOP'd worker was never detected by "
+                "the heartbeat clock"
+            )
+        if chaos_stats.worker_losses < 1:
+            failures.append(
+                "chaos leg: no worker loss was recorded despite the "
+                "injected faults"
+            )
+        if chaos_stats.serial_fallback_chunks < 1:
+            failures.append(
+                "chaos leg: the serial fleet-loss fallback never ran"
+            )
     if args.require_capacity_gain and capacity_gain <= 1.0:
         failures.append(
             f"capacity-aware schedule did not beat uniform chunking "
@@ -1072,6 +1155,7 @@ def main(argv=None) -> int:
             "remote_v3": t_remote_v3,
             "remote_socket": t_remote_socket,
             "remote_kill": t_kill,
+            "remote_chaos": t_chaos,
             "elastic_uniform": t_uniform,
             "elastic_aware": t_aware,
             "plain_autolaunch": t_plain,
@@ -1090,6 +1174,13 @@ def main(argv=None) -> int:
             "secure_overhead": secure_overhead,
             "identical": float(not failures),
             "kill_landed": float(kill_landed),
+            "chaos_heartbeat_timeouts": float(
+                chaos_stats.heartbeat_timeouts
+            ),
+            "chaos_requeued_chunks": float(chaos_stats.requeued_chunks),
+            "chaos_serial_fallback_chunks": float(
+                chaos_stats.serial_fallback_chunks
+            ),
             "retained_entries": float(retained_entries),
             "orphan_teardown_ok": float(orphan_ok),
             "fail_closed_wrong_secret": float(

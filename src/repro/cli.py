@@ -68,6 +68,17 @@ pins the generation and ``--transport`` the data plane, while older
 peers interoperate automatically on the legacy pickled frames
 (``worker --protocol-max 3`` serves exactly the pre-v4 wire).
 
+Fault tolerance (remote backend): connects retry with jittered
+exponential backoff (``--connect-attempts``); hung-but-connected
+workers are detected by heartbeat (``--heartbeat-interval``) or a hard
+per-chunk budget (``--chunk-deadline``) and their chunks requeued; and
+``--on-fleet-loss serial`` finishes a sweep in-process when every
+worker is gone.  ``--journal PATH`` appends each settled chunk to a
+crash-safe journal so a coordinator killed mid-sweep completes with
+``--resume`` without recomputing settled work; ``--dist-stats`` prints
+the sweep's fault/transport counters.  None of this changes figure
+data — every recovery path is bit-identical at a fixed seed.
+
 ``repro-tomography worker`` runs one worker process: it listens for a
 coordinator, receives the instance/config once per sweep, and serves
 task chunks.  Give workers a shared ``--cache-dir`` (e.g. on NFS) and
@@ -102,6 +113,7 @@ import sys
 
 import numpy as np
 
+from repro.eval.dist.journal import JournalError
 from repro.exceptions import DistSecurityError
 
 __all__ = ["main", "build_parser"]
@@ -267,6 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help=argparse.SUPPRESS,  # latency-injection hook for benchmarks
     )
+    worker.add_argument(
+        "--chaos",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "chaos-injection plan for this worker process, e.g. "
+            "'frame-corrupt:type=result:nth=2,worker-kill:chunk=5' "
+            "(default: the REPRO_CHAOS env var, else off); see "
+            "repro.eval.dist.faults for the fault vocabulary — every "
+            "fault is detected or fatal, never silently wrong results"
+        ),
+    )
     _add_security_arguments(worker, role="worker")
     worker.add_argument(
         "--secret-stdin",
@@ -329,6 +353,21 @@ _worker_capacity = _numeric_flag(
 )
 _throttle_seconds = _numeric_flag(
     "throttle", float, minimum=0, hint=">= 0 seconds"
+)
+_heartbeat_seconds = _numeric_flag(
+    "heartbeat-interval",
+    float,
+    minimum=0,
+    hint=">= 0 seconds (0 = disabled)",
+)
+_deadline_seconds = _numeric_flag(
+    "chunk-deadline",
+    float,
+    minimum=0,
+    hint=">= 0 seconds (0 = no deadline)",
+)
+_connect_attempts = _numeric_flag(
+    "connect-attempts", int, minimum=1, hint=">= 1"
 )
 
 
@@ -465,6 +504,83 @@ def _workers_argument(parser: argparse.ArgumentParser) -> None:
             "capacities for autolaunched workers (one value per "
             "worker, or a single value for all; default: 1 each for "
             "--launch local, the remote CPU count for --launch ssh)"
+        ),
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help=(
+            "append each settled chunk to a crash-safe sweep journal "
+            "at PATH (fsync'd per chunk); a run killed mid-sweep can "
+            "be completed with --resume without recomputing settled "
+            "work"
+        ),
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help=(
+            "replay settled chunks from --journal before computing "
+            "(refused if the journal belongs to a different sweep); "
+            "the finished figure is bit-identical to an uninterrupted "
+            "run"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=_heartbeat_seconds,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "remote backend only: liveness heartbeat interval — a "
+            "worker silent for 1.5x this is declared unresponsive and "
+            "its chunks requeued (detection within 2x; default 15, "
+            "0 disables)"
+        ),
+    )
+    parser.add_argument(
+        "--chunk-deadline",
+        type=_deadline_seconds,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "remote backend only: hard per-chunk budget — a worker "
+            "that keeps heartbeating but never finishes a chunk "
+            "within this is dropped and its chunks requeued "
+            "(default: no deadline)"
+        ),
+    )
+    parser.add_argument(
+        "--connect-attempts",
+        type=_connect_attempts,
+        default=None,
+        metavar="N",
+        help=(
+            "remote backend only: connect/handshake attempts per "
+            "worker with jittered exponential backoff between them "
+            "(default 3; security refusals never retry)"
+        ),
+    )
+    parser.add_argument(
+        "--on-fleet-loss",
+        choices=("fail", "serial"),
+        default=None,
+        help=(
+            "remote backend only: when every worker is lost mid-sweep, "
+            "'fail' (default) reports the losses, 'serial' finishes "
+            "the remaining chunks in-process (bit-identical, just "
+            "slower)"
+        ),
+    )
+    parser.add_argument(
+        "--dist-stats",
+        action="store_true",
+        help=(
+            "remote backend only: print the sweep's fault/transport "
+            "counters (sessions, retries, losses, heartbeat/deadline "
+            "timeouts, requeued chunks, shm inline fallbacks) after "
+            "the run"
         ),
     )
     _add_security_arguments(parser, role="coordinator")
@@ -604,6 +720,70 @@ def _security_flags_requested(args) -> bool:
     )
 
 
+def _robustness_flags_requested(args) -> bool:
+    """Did the user set any remote-only robustness flag explicitly?"""
+    if getattr(args, "dist_stats", False):
+        return True
+    return any(
+        getattr(args, name, None) is not None
+        for name in (
+            "heartbeat_interval",
+            "chunk_deadline",
+            "connect_attempts",
+            "on_fleet_loss",
+        )
+    )
+
+
+def _robustness_kwargs(args) -> dict:
+    """RemoteExecutor kwargs from the fault-tolerance flags.
+
+    Unset flags are omitted so the executor's own defaults (15 s
+    heartbeat, no deadline, 3 connect attempts, fail on fleet loss)
+    stay the single source of truth; explicit zeros disable the
+    corresponding timer.
+    """
+    kwargs: dict = {}
+    heartbeat = getattr(args, "heartbeat_interval", None)
+    if heartbeat is not None:
+        kwargs["heartbeat_interval"] = heartbeat or None
+    deadline = getattr(args, "chunk_deadline", None)
+    if deadline is not None:
+        kwargs["chunk_deadline"] = deadline or None
+    attempts = getattr(args, "connect_attempts", None)
+    if attempts is not None:
+        kwargs["connect_attempts"] = attempts
+    on_fleet_loss = getattr(args, "on_fleet_loss", None)
+    if on_fleet_loss is not None:
+        kwargs["on_fleet_loss"] = on_fleet_loss
+    return kwargs
+
+
+def _make_journal(args):
+    """Build the SweepJournal requested by --journal/--resume (or None)."""
+    path = getattr(args, "journal", None)
+    if path is None:
+        if getattr(args, "resume", False):
+            raise SystemExit(
+                "error: --resume needs --journal PATH (the journal the "
+                "interrupted run was writing)"
+            )
+        return None
+    from repro.eval.dist.journal import SweepJournal
+
+    return SweepJournal(path, resume=getattr(args, "resume", False))
+
+
+def _print_dist_stats(args, executor) -> None:
+    if not getattr(args, "dist_stats", False):
+        return
+    stats = getattr(executor, "last_sweep_stats", None)
+    if stats is None:
+        print("dist: no remote sweep ran")
+    else:
+        print(stats.render())
+
+
 def _make_client_security(args):
     """(secret, cert, key, ca, ssl_context) for a remote coordinator."""
     cert, key, ca = _resolve_tls_paths(args)
@@ -659,6 +839,14 @@ def _make_executor(args):
             "error: --secret-file/--tls-cert/--tls-key/--tls-ca only "
             "apply to --backend remote"
         )
+    if backend != "remote" and _robustness_flags_requested(args):
+        # Same policy: these tune a worker fleet that does not exist
+        # on serial/pooled backends.
+        raise SystemExit(
+            "error: --heartbeat-interval/--chunk-deadline/"
+            "--connect-attempts/--on-fleet-loss/--dist-stats only "
+            "apply to --backend remote"
+        )
     if backend is None:
         return None
     if backend == "serial":
@@ -696,6 +884,7 @@ def _make_executor(args):
             ssl_context=ssl_context,
             wire_version=getattr(args, "wire_version", None),
             transport=getattr(args, "transport", "auto"),
+            **_robustness_kwargs(args),
         )
     if tls_ca is not None and tls_cert is None:
         # The coordinator would demand TLS from workers launched
@@ -780,6 +969,7 @@ def _make_executor(args):
         ssl_context=ssl_context,
         wire_version=getattr(args, "wire_version", None),
         transport=getattr(args, "transport", "auto"),
+        **_robustness_kwargs(args),
     )
 
 
@@ -900,9 +1090,11 @@ def _run_figure3(args) -> int:
         workers=args.workers,
         cache=cache,
         executor=executor,
+        journal=_make_journal(args),
     )
     print(render_sweep(result))
     _print_cache_stats(args, cache)
+    _print_dist_stats(args, executor)
     return 0
 
 
@@ -919,10 +1111,12 @@ def _run_figure3_cdf(args) -> int:
         workers=args.workers,
         cache=cache,
         executor=executor,
+        journal=_make_journal(args),
     )
     panel = "3(c)" if args.level == "high" else "3(d)"
     print(render_cdf(result, title=f"Figure {panel} — {args.level}"))
     _print_cache_stats(args, cache)
+    _print_dist_stats(args, executor)
     return 0
 
 
@@ -940,6 +1134,7 @@ def _run_figure4(args) -> int:
         workers=args.workers,
         cache=cache,
         executor=executor,
+        journal=_make_journal(args),
     )
     print(
         render_cdf(
@@ -951,6 +1146,7 @@ def _run_figure4(args) -> int:
         )
     )
     _print_cache_stats(args, cache)
+    _print_dist_stats(args, executor)
     return 0
 
 
@@ -968,6 +1164,7 @@ def _run_figure5(args) -> int:
         workers=args.workers,
         cache=cache,
         executor=executor,
+        journal=_make_journal(args),
     )
     print(
         render_cdf(
@@ -979,6 +1176,7 @@ def _run_figure5(args) -> int:
         )
     )
     _print_cache_stats(args, cache)
+    _print_dist_stats(args, executor)
     return 0
 
 
@@ -1112,6 +1310,29 @@ def _run_worker(args) -> int:
             "(a worker cannot demand client certificates without "
             "serving TLS itself)"
         )
+    # Chaos is installed only here — in the dedicated worker process —
+    # with process faults allowed: a worker may kill or SIGSTOP itself.
+    # Figure commands never install from the environment, so REPRO_CHAOS
+    # set on a coordinator host lands in its autolaunched workers (which
+    # inherit the environment), not in the coordinator itself.
+    from repro.eval.dist import faults
+
+    try:
+        if args.chaos is not None:
+            seed_text = os.environ.get(faults.CHAOS_SEED_ENV, "").strip()
+            faults.install(
+                faults.FaultPlan.parse(
+                    args.chaos,
+                    seed=int(seed_text) if seed_text else 0,
+                    allow_process_faults=True,
+                )
+            )
+        else:
+            plan = faults.plan_from_env(allow_process_faults=True)
+            if plan is not None:
+                faults.install(plan)
+    except faults.FaultSpecError as exc:
+        raise SystemExit(f"error: --chaos: {exc}") from None
     cache_dir = resolve_cache_dir(args.cache_dir, disabled=args.no_cache)
     capacity = args.capacity or (os.cpu_count() or 1)
     server = WorkerServer(
@@ -1163,6 +1384,12 @@ def main(argv=None) -> int:
         # Fail-closed security refusals (wrong secret, one-sided
         # secret, TLS/plaintext mismatch) are operator guidance, not
         # bugs: one clean line instead of a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except JournalError as exc:
+        # Likewise: a journal that belongs to a different sweep (or a
+        # file that is not a journal) is an operator mistake with a
+        # clear remedy, not a stack trace.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -33,12 +33,28 @@ from repro.eval.dist.codec import (
     encode_context,
     encode_tasks,
 )
+from repro.eval.dist import faults
 from repro.eval.dist.coordinator import (
     ChunkBoard,
+    ChunkDeadlineExceeded,
     HostSpec,
     RemoteExecutor,
     RemoteTaskError,
+    SweepStats,
+    WorkerUnresponsiveError,
     parse_hosts,
+)
+from repro.eval.dist.faults import (
+    FaultPlan,
+    FaultSpecError,
+    active_plan,
+    plan_from_env,
+)
+from repro.eval.dist.journal import (
+    JournalError,
+    JournalMismatchError,
+    SweepJournal,
+    sweep_fingerprint,
 )
 from repro.eval.dist.launch import (
     LaunchedWorker,
@@ -68,6 +84,7 @@ from repro.eval.dist.protocol import (
     send_message,
 )
 from repro.eval.dist.shm import (
+    CRC_LAYOUT,
     SHM_PREFIX,
     ShmError,
     ShmRing,
@@ -84,6 +101,18 @@ __all__ = [
     "ChunkBoard",
     "HostSpec",
     "parse_hosts",
+    "SweepStats",
+    "WorkerUnresponsiveError",
+    "ChunkDeadlineExceeded",
+    "SweepJournal",
+    "JournalError",
+    "JournalMismatchError",
+    "sweep_fingerprint",
+    "faults",
+    "FaultPlan",
+    "FaultSpecError",
+    "active_plan",
+    "plan_from_env",
     "WorkerLauncher",
     "LocalLauncher",
     "SshLauncher",
@@ -118,6 +147,7 @@ __all__ = [
     "ShmRing",
     "ShmError",
     "SHM_PREFIX",
+    "CRC_LAYOUT",
     "create_ring",
     "attach_ring",
     "host_is_loopback",

@@ -66,8 +66,11 @@ surfaces the last transport error.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import queue
+import random
+import select
 import socket
 import ssl
 import threading
@@ -87,6 +90,7 @@ from repro.eval.dist.protocol import (
     MAGIC_V4,
     PROTOCOL_BASE_VERSION,
     PROTOCOL_VERSION,
+    ConnectionClosed,
     ProtocolError,
     TlsMismatchError,
     disable_nagle,
@@ -106,15 +110,19 @@ from repro.eval.parallel import (
     ChunkExecutionError,
     TaskExecutor,
     _chunk_tasks,
+    _execute_task,
     _unpack_error_dicts,
 )
 from repro.exceptions import DistSecurityError
 
 __all__ = [
     "ChunkBoard",
+    "ChunkDeadlineExceeded",
     "HostSpec",
     "RemoteExecutor",
     "RemoteTaskError",
+    "SweepStats",
+    "WorkerUnresponsiveError",
     "parse_hosts",
 ]
 
@@ -139,6 +147,148 @@ class RemoteTaskError(RuntimeError):
     def __init__(self, message: str, remote_traceback: str = "") -> None:
         super().__init__(message)
         self.remote_traceback = remote_traceback
+
+
+class WorkerUnresponsiveError(RuntimeError):
+    """A heartbeat-armed worker went silent past the liveness budget.
+
+    The socket is still connected — a SIGSTOP'd process, a hung VM, or
+    a worker wedged inside a stalled shm ring all keep their TCP
+    session alive — but no frame (result, pong, anything) has arrived
+    within the silence threshold.  The session is torn down and its
+    chunks requeued exactly like a socket death.
+    """
+
+
+class ChunkDeadlineExceeded(RuntimeError):
+    """An in-flight chunk outlived the per-chunk deadline budget.
+
+    Distinct from heartbeat silence: the worker may be demonstrably
+    alive (pongs flowing) yet never able to finish — e.g. its data
+    plane is stalled while its control thread beats.  The deadline is
+    the per-session hard bound; cross-worker speculation
+    (``straggler_timeout``) stays the soft one.
+    """
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Fault-tolerance and transport counters for one sweep.
+
+    Collected by :meth:`RemoteExecutor.map_chunks` (one fresh object
+    per sweep, exposed as ``executor.last_sweep_stats``) so silent
+    degradation — shm sessions quietly falling back to inline socket
+    payloads, retried connects, requeued chunks — is visible instead of
+    being inferred from wall-clock anomalies.  Increments take the
+    stats lock: session threads report concurrently.
+    """
+
+    workers: int = 0
+    sessions: int = 0
+    shm_sessions: int = 0
+    #: Result frames that arrived inline on a session that *had* shm
+    #: rings (slot exhausted or payload outgrew the slot) — the
+    #: degradation satellite counter, also broken out per session in
+    #: :attr:`inline_by_session`.
+    shm_inline_results: int = 0
+    #: Chunk payloads sent inline on an shm session (chunk ring full).
+    shm_inline_chunks: int = 0
+    connect_retries: int = 0
+    worker_losses: int = 0
+    heartbeat_timeouts: int = 0
+    deadline_timeouts: int = 0
+    requeued_chunks: int = 0
+    serial_fallback_chunks: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        #: ``address → inline fallback frames`` for shm sessions.
+        self.inline_by_session: dict[str, int] = {}
+
+    def count(self, field: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + amount)
+
+    def note_inline(self, address: str, *, kind: str = "result") -> None:
+        with self._lock:
+            if kind == "result":
+                self.shm_inline_results += 1
+            else:
+                self.shm_inline_chunks += 1
+            self.inline_by_session[address] = (
+                self.inline_by_session.get(address, 0) + 1
+            )
+
+    def render(self) -> str:
+        lines = [
+            f"{self.workers} workers, {self.sessions} sessions "
+            f"({self.shm_sessions} shm), "
+            f"{self.connect_retries} connect retries, "
+            f"{self.worker_losses} worker losses",
+            f"{self.heartbeat_timeouts} heartbeat timeouts, "
+            f"{self.deadline_timeouts} deadline timeouts, "
+            f"{self.requeued_chunks} chunks requeued, "
+            f"{self.serial_fallback_chunks} chunks finished in-process",
+        ]
+        inline = self.shm_inline_results + self.shm_inline_chunks
+        if self.shm_sessions or inline:
+            per_session = ", ".join(
+                f"{address}: {count}"
+                for address, count in sorted(self.inline_by_session.items())
+            )
+            lines.append(
+                f"shm inline fallbacks: {self.shm_inline_results} "
+                f"results, {self.shm_inline_chunks} chunks"
+                + (f" ({per_session})" if per_session else "")
+            )
+        return "\n".join(lines)
+
+
+def _backoff_delays(
+    attempts: int,
+    *,
+    base: float = 0.5,
+    cap: float = 8.0,
+    jitter: float = 0.5,
+    rng: random.Random | None = None,
+):
+    """Exponential backoff delays with jitter for ``attempts`` tries.
+
+    Yields ``attempts - 1`` sleep durations (there is no sleep after
+    the final failure): ``base * 2^i`` capped at ``cap``, scaled by a
+    uniform ±``jitter`` factor so a fleet of session threads retrying a
+    rebooting worker doesn't reconnect in lockstep.  Jitter affects
+    timing only — never results — so it needs no seeding for
+    determinism.
+    """
+    rng = rng if rng is not None else random
+    for attempt in range(max(0, attempts - 1)):
+        delay = min(cap, base * (2.0 ** attempt))
+        yield delay * (1.0 + jitter * (2.0 * rng.random() - 1.0))
+
+
+def _wait_readable(sock, timeout: float) -> bool:
+    """Bounded wait for the next frame byte, TLS-buffer aware.
+
+    An ``SSLSocket`` may hold already-decrypted frames in its internal
+    buffer while the underlying fd shows nothing readable — a plain
+    ``select`` there would idle until the *next* TLS record and
+    misdiagnose a healthy session as silent — so buffered TLS data
+    short-circuits the poll.  Errors report "readable" so the actual
+    ``recv`` raises the real, classified exception.
+    """
+    pending = getattr(sock, "pending", None)
+    if pending is not None:
+        try:
+            if pending():
+                return True
+        except (OSError, ValueError):
+            return True
+    try:
+        readable, _, _ = select.select([sock], [], [], timeout)
+    except (OSError, ValueError):
+        return True
+    return bool(readable)
 
 
 class HostSpec(NamedTuple):
@@ -506,6 +656,24 @@ class _SweepWire(NamedTuple):
     encodings: _ChunkEncodings
 
 
+class _Session(NamedTuple):
+    """A connected, handshaken worker session (no chunks sent yet).
+
+    Splitting the connect/handshake prologue from the chunk pipeline is
+    what makes connect retry safe: everything up to here is
+    side-effect-free with respect to the sweep (no chunk has been
+    claimed or sent), so a failed attempt can be thrown away and redone
+    on a fresh socket.
+    """
+
+    sock: socket.socket
+    raw_sock: socket.socket
+    version: int
+    session_v4: bool
+    capacity: int
+    features: tuple  # worker feature advertisement from its ready frame
+
+
 class RemoteExecutor(TaskExecutor):
     """Fan chunks out to socket-connected workers on other hosts.
 
@@ -561,6 +729,35 @@ class RemoteExecutor(TaskExecutor):
             are virtual memory — untouched pages cost nothing — so the
             default (16 MiB) is generous; a result that outgrows its
             slot simply arrives inline on the socket.
+        heartbeat_interval: Liveness budget (seconds) for v4 workers
+            that advertise the ``heartbeat`` feature: such workers emit
+            unsolicited pong frames twice per interval, the coordinator
+            pings once a silence exceeds one interval, and a session
+            silent past 1.5× the interval is torn down
+            (:class:`WorkerUnresponsiveError`) with its chunks
+            requeued — so a hung-but-connected worker (SIGSTOP, wedged
+            VM) is detected within 2× the interval instead of hanging
+            the sweep.  ``None`` disables liveness and restores the
+            pure blocking-recv behaviour.
+        chunk_deadline: Hard per-chunk wall-clock budget (seconds) on a
+            session.  A chunk still unanswered past the deadline fails
+            the session (:class:`ChunkDeadlineExceeded`) and requeues
+            its chunks — catching workers that are demonstrably alive
+            (heartbeats flowing) yet never able to finish, e.g. a
+            stalled shm ring.  ``None`` (default) disables; set it
+            comfortably above the slowest expected chunk.
+        connect_attempts: Total connect/handshake attempts per worker
+            session (default 3) with exponential backoff + jitter
+            between them.  Only transient transport errors are
+            retried; security refusals (bad secret, TLS mismatch) and
+            deterministic protocol errors still fail closed on the
+            first attempt.
+        on_fleet_loss: What to do with chunks no worker completed
+            because the entire fleet was lost.  ``"fail"`` (default)
+            raises the usual lost-chunks error; ``"serial"`` finishes
+            the remaining chunks in-process — the sweep degrades to
+            serial speed instead of discarding its settled work, and
+            stays bit-identical.
     """
 
     def __init__(
@@ -579,6 +776,10 @@ class RemoteExecutor(TaskExecutor):
         wire_version: int | None = None,
         transport: str = "auto",
         shm_slot_bytes: int = 16 << 20,
+        heartbeat_interval: float | None = 15.0,
+        chunk_deadline: float | None = None,
+        connect_attempts: int = 3,
+        on_fleet_loss: str = "fail",
     ) -> None:
         if (hosts is None) == (launcher is None):
             raise ValueError(
@@ -618,6 +819,28 @@ class RemoteExecutor(TaskExecutor):
         self.wire_version = wire_version
         self.transport = transport
         self.shm_slot_bytes = shm_slot_bytes
+        if heartbeat_interval is not None and heartbeat_interval <= 0:
+            raise ValueError(
+                f"heartbeat_interval must be positive or None, got "
+                f"{heartbeat_interval}"
+            )
+        if chunk_deadline is not None and chunk_deadline <= 0:
+            raise ValueError(
+                f"chunk_deadline must be positive or None, got "
+                f"{chunk_deadline}"
+            )
+        if on_fleet_loss not in ("fail", "serial"):
+            raise ValueError(
+                f"on_fleet_loss must be 'fail' or 'serial', got "
+                f"{on_fleet_loss!r}"
+            )
+        self.heartbeat_interval = heartbeat_interval
+        self.chunk_deadline = chunk_deadline
+        self.connect_attempts = max(1, int(connect_attempts))
+        self.on_fleet_loss = on_fleet_loss
+        #: :class:`SweepStats` of the most recent sweep (one fresh
+        #: object per :meth:`map_chunks` call).
+        self.last_sweep_stats: SweepStats | None = None
 
     # -- TaskExecutor --------------------------------------------------
     def _worker_slots(self) -> int:
@@ -688,6 +911,8 @@ class RemoteExecutor(TaskExecutor):
     def _run_sweep(self, specs, context, chunks):
         wire = self._build_wire(context, chunks)
         board = ChunkBoard(len(chunks), self.max_attempts)
+        stats = SweepStats(workers=len(specs))
+        self.last_sweep_stats = stats
         events: queue.Queue = queue.Queue()
         sockets: dict[int, socket.socket] = {}
         socket_lock = threading.Lock()
@@ -703,6 +928,7 @@ class RemoteExecutor(TaskExecutor):
                     events,
                     sockets,
                     socket_lock,
+                    stats,
                 ),
                 name=f"remote-sweep-{spec.address}",
                 daemon=True,
@@ -740,6 +966,7 @@ class RemoteExecutor(TaskExecutor):
                     _, spec, exc = event
                     last_transport_error = exc
                     down_events += 1
+                    stats.count("worker_losses")
                     if _is_security_failure(exc):
                         security_failures.append((spec, exc))
         finally:
@@ -781,6 +1008,34 @@ class RemoteExecutor(TaskExecutor):
                 f"handshake ({len(security_failures)} of {len(specs)} "
                 f"refused; first: {spec.address}: {exc})"
             ) from exc
+        if lost and self.on_fleet_loss == "serial":
+            # Graceful degradation: the whole fleet is gone, but the
+            # context and the chunks are right here.  Finish the
+            # remaining chunks in-process — serial speed, identical
+            # results — instead of throwing away the settled work.
+            # (The security fail-closed path above still wins: a
+            # misconfigured secret should be fixed, not absorbed.)
+            instance, config, options = context
+            for index in lost:
+                try:
+                    computed = [
+                        _execute_task(instance, config, options, task)
+                        for task in chunks[index]
+                    ]
+                except Exception as exc:
+                    task_errors.setdefault(
+                        index,
+                        RemoteTaskError(
+                            f"chunk {index} failed during in-process "
+                            f"fleet-loss fallback: {exc}"
+                        ),
+                    )
+                    continue
+                stats.count("serial_fallback_chunks")
+                yielded.add(index)
+                yield index, computed
+            failures = sorted(task_errors.items())
+            lost = []
         for index in lost:
             failures.append(
                 (
@@ -799,14 +1054,17 @@ class RemoteExecutor(TaskExecutor):
             ) from failures[0][1]
 
     # -- per-worker session thread -------------------------------------
-    def _offer_shm(self, sock, spec, wire, capacity):
+    def _offer_shm(self, sock, spec, wire, capacity, *, checksum=False):
         """Create and offer this session's shm rings where they apply.
 
         Returns ``(chunk_ring, result_ring)``, or ``(None, None)``
         whenever the session stays on socket payloads: transport policy
         says so, the worker is not on this host (``"auto"``), the rings
-        cannot be created, or the worker nacks the attach (e.g. a
-        loopback-looking endpoint that is really an SSH tunnel).
+        cannot be created (e.g. ``/dev/shm`` exhausted), or the worker
+        nacks the attach (e.g. a loopback-looking endpoint that is
+        really an SSH tunnel).  ``checksum`` selects the CRC32 slot
+        layout — only offered to workers advertising the ``shm-crc``
+        feature, so pre-checksum peers keep the plain geometry.
         """
         if self.transport == "socket":
             return None, None
@@ -824,9 +1082,13 @@ class RemoteExecutor(TaskExecutor):
             # guarantees a free slot at every send without an ack
             # protocol in that direction.
             chunk_ring = create_ring(
-                capacity + 1, max(1, wire.encodings.max_v4_size)
+                capacity + 1,
+                max(1, wire.encodings.max_v4_size),
+                checksum=checksum,
             )
-            result_ring = create_ring(capacity + 2, self.shm_slot_bytes)
+            result_ring = create_ring(
+                capacity + 2, self.shm_slot_bytes, checksum=checksum
+            )
         except ShmError:
             if chunk_ring is not None:
                 chunk_ring.close()
@@ -851,34 +1113,20 @@ class RemoteExecutor(TaskExecutor):
             )
         return None, None
 
-    def _worker_loop(
-        self,
-        worker_id: int,
-        spec: HostSpec,
-        wire: _SweepWire,
-        board: ChunkBoard,
-        events: queue.Queue,
-        sockets: dict,
-        socket_lock: threading.Lock,
-    ) -> None:
+    def _open_session(self, spec: HostSpec, wire: _SweepWire) -> _Session:
+        """Connect and handshake one worker session (no chunks yet).
+
+        Raises with both sockets closed on any failure; the caller
+        classifies the exception and decides whether another attempt
+        (fresh socket, backoff) is worthwhile.
+        """
+        sock = socket.create_connection(
+            spec.endpoint, timeout=self.connect_timeout
+        )
+        raw_sock = sock
         try:
-            sock = socket.create_connection(
-                spec.endpoint, timeout=self.connect_timeout
-            )
             _enable_keepalive(sock)
             disable_nagle(sock)
-        except OSError as exc:
-            # Event first, then the live-count decrement: the main loop
-            # treats "no live workers + empty queue" as terminal, so the
-            # reverse order could drop this error from the report.
-            events.put(("down", spec, exc))
-            board.worker_stopped()
-            return
-        raw_sock = sock
-        inflight: set[int] = set()
-        chunk_ring = None
-        result_ring = None
-        try:
             if self.ssl_context is not None:
                 # Wrap before any frame: the TLS handshake runs under
                 # the connect timeout still armed on the socket, so a
@@ -1002,20 +1250,116 @@ class RemoteExecutor(TaskExecutor):
                         f"bad capacity in ready frame from "
                         f"{spec.address}: {header.get('capacity')!r}"
                     ) from None
+            features = header.get("features")
+            if not isinstance(features, (list, tuple)):
+                features = ()
             sock.settimeout(self.io_timeout)
+            return _Session(
+                sock,
+                raw_sock,
+                version,
+                session_v4,
+                capacity,
+                tuple(str(feature) for feature in features),
+            )
+        except BaseException:
+            for stale in (sock, raw_sock):
+                try:
+                    stale.close()
+                except OSError:
+                    pass
+            raise
+
+    def _worker_loop(
+        self,
+        worker_id: int,
+        spec: HostSpec,
+        wire: _SweepWire,
+        board: ChunkBoard,
+        events: queue.Queue,
+        sockets: dict,
+        socket_lock: threading.Lock,
+        stats: SweepStats,
+    ) -> None:
+        # -- connect + handshake, with bounded jittered retry ----------
+        delays = _backoff_delays(self.connect_attempts)
+        attempt = 0
+        session = None
+        while session is None:
+            attempt += 1
+            try:
+                session = self._open_session(spec, wire)
+            except Exception as exc:
+                # Security refusals (wrong secret, TLS mismatch) and
+                # deterministic protocol errors refuse identically on
+                # every retry — those fail closed immediately.
+                # Transient transport failures (refused or reset
+                # connects, timeouts, a listener that closed us
+                # mid-handshake) get another attempt on a fresh socket
+                # after a jittered exponential backoff.
+                retriable = isinstance(
+                    exc, (OSError, ConnectionClosed)
+                ) and not _is_security_failure(exc)
+                with board.condition:
+                    halted = board.aborted or board.all_settled()
+                if (
+                    retriable
+                    and not halted
+                    and attempt < self.connect_attempts
+                ):
+                    stats.count("connect_retries")
+                    time.sleep(next(delays, 0.0))
+                    continue
+                # Event first, then the live-count decrement: the main
+                # loop treats "no live workers + empty queue" as
+                # terminal, so the reverse order could drop this error
+                # from the report.
+                events.put(("down", spec, exc))
+                board.worker_stopped()
+                return
+        stats.count("sessions")
+        sock = session.sock
+        raw_sock = session.raw_sock
+        version = session.version
+        session_v4 = session.session_v4
+        capacity = session.capacity
+        # Liveness is negotiated per session: armed only when this
+        # executor wants it *and* the worker advertised the heartbeat
+        # feature, so mixed fleets with pre-heartbeat workers keep
+        # working (those sessions just keep the old blocking recv).
+        heartbeat = None
+        if (
+            session_v4
+            and self.heartbeat_interval is not None
+            and "heartbeat" in session.features
+        ):
+            heartbeat = float(self.heartbeat_interval)
+        inflight: set[int] = set()
+        sent_at: dict[int, float] = {}
+        chunk_ring = None
+        result_ring = None
+        try:
             if session_v4:
                 # Uniform v4 order regardless of entry path: worker
                 # ready (just parsed) → coordinator context → chunks.
                 # The protocol echo lets the worker cross-check the
                 # negotiated version against what its handshake bound.
-                send_json_message(
-                    sock,
-                    {"type": "context", "protocol": version},
-                    wire.context_v4,
-                )
+                context_frame = {"type": "context", "protocol": version}
+                if heartbeat is not None:
+                    # Arms the worker's unsolicited heartbeat sender; a
+                    # worker that never sees this key never beats, and
+                    # pre-heartbeat coordinators never send it.
+                    context_frame["heartbeat"] = heartbeat
+                send_json_message(sock, context_frame, wire.context_v4)
                 chunk_ring, result_ring = self._offer_shm(
-                    sock, spec, wire, capacity
+                    sock,
+                    spec,
+                    wire,
+                    capacity,
+                    checksum="shm-crc" in session.features,
                 )
+                if result_ring is not None:
+                    stats.count("shm_sessions")
             with socket_lock:
                 sockets[worker_id] = sock
 
@@ -1050,6 +1394,8 @@ class RemoteExecutor(TaskExecutor):
                     frame["size"] = len(payload)
                     send_json_message(sock, frame)
                 else:
+                    if chunk_ring is not None:
+                        stats.note_inline(spec.address, kind="chunk")
                     send_json_message(sock, frame, payload)
 
             def _release_chunk_slot(chunk: int) -> None:
@@ -1059,6 +1405,13 @@ class RemoteExecutor(TaskExecutor):
 
             def _resolve_result_payload(frame: dict, payload: bytes):
                 if "slot" not in frame:
+                    if result_ring is not None:
+                        # The worker fell back to inline socket bytes
+                        # for this result (slots exhausted, or the
+                        # payload outgrew its slot): correct but
+                        # slower, so count it instead of degrading
+                        # silently.
+                        stats.note_inline(spec.address, kind="result")
                     return payload
                 if result_ring is None:
                     raise ProtocolError(
@@ -1075,6 +1428,76 @@ class RemoteExecutor(TaskExecutor):
                     view.release()
                 pending_acks.append(slot)
                 return data
+
+            # Liveness bookkeeping.  ``last_rx`` is any frame from the
+            # worker (results, pongs); ``last_ping`` rate-limits our
+            # explicit pings to one per silent interval.  The tick is
+            # the poll granularity of the bounded-recv loop below —
+            # fine enough that a silent worker is detected within 2×
+            # the heartbeat interval (threshold 1.5×, tick ≤ 0.25×).
+            last_rx = [time.monotonic()]
+            last_ping = [0.0]
+            tick_candidates = [
+                interval / 4.0
+                for interval in (heartbeat, self.chunk_deadline)
+                if interval is not None
+            ]
+            tick = max(0.02, min(tick_candidates, default=1.0))
+
+            def _recv_frame():
+                if heartbeat is None and self.chunk_deadline is None:
+                    return (
+                        recv_json_message(sock)
+                        if session_v4
+                        else recv_message(sock)
+                    )
+                while True:
+                    if _wait_readable(sock, tick):
+                        header, payload = (
+                            recv_json_message(sock)
+                            if session_v4
+                            else recv_message(sock)
+                        )
+                        last_rx[0] = time.monotonic()
+                        if header.get("type") == "pong":
+                            continue  # liveness only; not a result
+                        return header, payload
+                    now = time.monotonic()
+                    if heartbeat is not None:
+                        silence = now - last_rx[0]
+                        if silence >= 1.5 * heartbeat:
+                            stats.count("heartbeat_timeouts")
+                            raise WorkerUnresponsiveError(
+                                f"worker {spec.address} has been "
+                                f"silent for {silence:.1f}s (heartbeat "
+                                f"interval {heartbeat:g}s); presumed "
+                                f"hung — requeueing its chunks"
+                            )
+                        if (
+                            silence >= heartbeat
+                            and now - last_ping[0] >= heartbeat
+                        ):
+                            # One explicit ping per silent window: a
+                            # live-but-quiet worker answers from its
+                            # recv loop even when its own beat thread
+                            # is wedged.
+                            send_json_message(sock, {"type": "ping"})
+                            last_ping[0] = now
+                    if self.chunk_deadline is not None:
+                        overdue = [
+                            chunk
+                            for chunk, started in sent_at.items()
+                            if now - started >= self.chunk_deadline
+                            and chunk not in board.settled
+                        ]
+                        if overdue:
+                            stats.count("deadline_timeouts")
+                            raise ChunkDeadlineExceeded(
+                                f"worker {spec.address} exceeded the "
+                                f"{self.chunk_deadline:g}s chunk "
+                                f"deadline on chunk(s) "
+                                f"{sorted(overdue)}; requeueing"
+                            )
 
             while True:
                 # Top up the pipeline: claims are sized by the worker's
@@ -1098,6 +1521,7 @@ class RemoteExecutor(TaskExecutor):
                     # claimed but not yet tracked would never be
                     # requeued — permanently hanging the sweep.
                     inflight.add(chunk)
+                    sent_at[chunk] = time.monotonic()
                     _send_chunk(chunk)
                 if not inflight:
                     try:
@@ -1112,11 +1536,7 @@ class RemoteExecutor(TaskExecutor):
                     except (OSError, ProtocolError):
                         pass
                     return
-                header, payload = (
-                    recv_json_message(sock)
-                    if session_v4
-                    else recv_message(sock)
-                )
+                header, payload = _recv_frame()
                 if header["type"] == "result":
                     chunk_id = header["chunk"]
                     if chunk_id not in inflight:
@@ -1125,6 +1545,7 @@ class RemoteExecutor(TaskExecutor):
                             f"was not in flight ({sorted(inflight)})"
                         )
                     inflight.discard(chunk_id)
+                    sent_at.pop(chunk_id, None)
                     _release_chunk_slot(chunk_id)
                     results = _unpack_error_dicts(
                         header["descriptor"],
@@ -1142,6 +1563,7 @@ class RemoteExecutor(TaskExecutor):
                             f"{chunk_id} which was not in flight"
                         )
                     inflight.discard(chunk_id)
+                    sent_at.pop(chunk_id, None)
                     _release_chunk_slot(chunk_id)
                     error = RemoteTaskError(
                         f"worker {spec.address} failed chunk "
@@ -1160,8 +1582,11 @@ class RemoteExecutor(TaskExecutor):
             # requeue the in-flight chunks and report the worker down;
             # a silently dead thread would leave claimers blocked and
             # hang the sweep.
-            for chunk in sorted(inflight, reverse=True):
+            requeued = sorted(inflight, reverse=True)
+            for chunk in requeued:
                 board.requeue(chunk)
+            if requeued:
+                stats.count("requeued_chunks", len(requeued))
             events.put(("down", spec, exc))
         finally:
             board.worker_stopped()

@@ -1,0 +1,314 @@
+"""Crash-safe sweep journal: settle once, survive any coordinator death.
+
+A long Monte-Carlo sweep that loses its coordinator (SIGKILL, OOM, a
+rebooted laptop) currently loses every settled chunk that was not also
+cached.  The journal closes that hole: the engine appends one fsync'd
+record per settled chunk, and a rerun with ``--resume`` replays those
+records as if they were cache hits — completed work is never recomputed
+and the final figure is bit-identical to an uninterrupted run.
+
+On-disk format (append-only, one file per sweep)::
+
+    record := MAGIC(4) | header_len u32 | payload_len u64 | crc32 u32
+              | header JSON | payload
+    crc32  := zlib.crc32(header JSON + payload)
+
+The first record identifies the sweep::
+
+    {"kind": "sweep", "version": 1, "fingerprint": ..., "n_tasks": N}
+
+and every subsequent record carries one settled chunk::
+
+    {"kind": "chunk", "tasks": [global task indices], "descriptor": ...}
+
+with the payload holding the chunk's packed little-endian float64
+error buffer — exactly the representation the wire and the cache use,
+so replay is lossless.
+
+Robustness properties:
+
+* **Torn tails heal.**  A record cut short by the crash (or damaged on
+  disk) fails its length/CRC check; replay keeps every record before
+  it, truncates the file at the last valid boundary, and the resumed
+  sweep appends from there.
+* **Wrong journals fail loudly.**  The sweep fingerprint hashes the
+  per-task :func:`repro.eval.cache.trial_key` — instance, scenario
+  factory, seeds, config, options and cache salt — so resuming against
+  a journal from a different sweep raises :class:`JournalMismatchError`
+  instead of silently splicing foreign results.
+* **Settled means durable.**  Each append flushes and ``fsync``\\ s
+  before the engine reports the chunk settled.
+
+The journal lives beside the dist backend because crash-safety matters
+most for long remote sweeps, but it attaches at the engine level
+(:func:`repro.eval.parallel.run_scenario_tasks`), so serial and local
+sweeps are exactly as resumable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import threading
+import zlib
+
+import numpy as np
+
+__all__ = [
+    "JOURNAL_VERSION",
+    "JournalError",
+    "JournalMismatchError",
+    "SweepJournal",
+    "sweep_fingerprint",
+]
+
+MAGIC = b"RJL1"
+JOURNAL_VERSION = 1
+
+#: magic, header length, payload length, crc32(header + payload).
+_RECORD = struct.Struct("!4sIQI")
+
+#: Caps keep a corrupted length field from allocating the disk: sweep
+#: headers are small JSON and chunk payloads are float64 error vectors.
+MAX_HEADER_BYTES = 64 * 1024 * 1024
+MAX_PAYLOAD_BYTES = 4 * 1024 * 1024 * 1024
+
+
+class JournalError(RuntimeError):
+    """A sweep journal could not be read or written."""
+
+
+class JournalMismatchError(JournalError):
+    """``--resume`` pointed at a journal from a different sweep."""
+
+
+def sweep_fingerprint(instance, tasks, *, config=None, options=None) -> str:
+    """Content hash identifying one sweep for resume purposes.
+
+    Built from the per-task trial keys, so it moves with everything
+    result-affecting (instance, factories, seeds, config, options, and
+    the cache code salt) and nothing else — worker counts, transports
+    and chunking may all differ between the crashed and resumed runs.
+    """
+    import hashlib
+
+    from repro.eval.cache import trial_key
+    from repro.io import instance_fingerprint
+
+    instance_fp = instance_fingerprint(instance)
+    digest = hashlib.sha256()
+    digest.update(instance_fp.encode("ascii"))
+    for task in tasks:
+        key = trial_key(instance_fp, task, config=config, options=options)
+        digest.update(key.encode("ascii"))
+    return digest.hexdigest()
+
+
+def _read_record(handle, offset: int):
+    """Read one record at ``offset``; return ``(header, payload, end)``.
+
+    Returns ``None`` on a clean end-of-file at the record boundary and
+    raises :class:`JournalError` on anything torn or corrupt — the
+    caller turns that into "truncate here and keep going".
+    """
+    prefix = handle.read(_RECORD.size)
+    if not prefix:
+        return None
+    if len(prefix) < _RECORD.size:
+        raise JournalError(f"torn record prefix at offset {offset}")
+    magic, header_len, payload_len, crc = _RECORD.unpack(prefix)
+    if magic != MAGIC:
+        raise JournalError(
+            f"bad journal magic {magic!r} at offset {offset}"
+        )
+    if header_len > MAX_HEADER_BYTES or payload_len > MAX_PAYLOAD_BYTES:
+        raise JournalError(f"implausible record lengths at offset {offset}")
+    body = handle.read(header_len + payload_len)
+    if len(body) < header_len + payload_len:
+        raise JournalError(f"torn record body at offset {offset}")
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise JournalError(f"record checksum mismatch at offset {offset}")
+    try:
+        header = json.loads(body[:header_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise JournalError(
+            f"undecodable record header at offset {offset}: {exc}"
+        ) from None
+    if not isinstance(header, dict) or "kind" not in header:
+        raise JournalError(f"malformed record header at offset {offset}")
+    end = offset + _RECORD.size + header_len + payload_len
+    return header, body[header_len:], end
+
+
+class SweepJournal:
+    """Append-only journal of settled chunks for one sweep.
+
+    Construct with just a path (cheap; no I/O), then let
+    :func:`repro.eval.parallel.run_scenario_tasks` call :meth:`open`
+    once it knows the sweep's identity.  ``resume=False`` (the default)
+    starts a fresh journal, overwriting whatever the path held;
+    ``resume=True`` replays an existing journal first and refuses one
+    whose fingerprint does not match.
+    """
+
+    def __init__(self, path, *, resume: bool = False) -> None:
+        self.path = pathlib.Path(path)
+        self.resume = resume
+        self._handle = None
+        self._lock = threading.Lock()
+        #: Chunk records replayed from disk (task index → errors dict);
+        #: populated by :meth:`open` when resuming.
+        self.replayed: dict[int, dict[str, np.ndarray]] = {}
+        #: Records appended by this run (diagnostics / tests).
+        self.recorded_chunks = 0
+
+    # -- lifecycle -----------------------------------------------------
+    def open(self, instance, tasks, *, config=None, options=None) -> dict:
+        """Bind to a sweep; return replayed ``{task index: errors}``.
+
+        Idempotent per instance — the engine calls it exactly once.
+        """
+        if self._handle is not None:
+            raise JournalError("journal is already open")
+        fingerprint = sweep_fingerprint(
+            instance, tasks, config=config, options=options
+        )
+        self.fingerprint = fingerprint
+        self.n_tasks = len(tasks)
+        if self.resume and self.path.exists():
+            keep = self._replay(fingerprint, len(tasks))
+        else:
+            keep = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if keep:
+            # Heal a torn tail in place, then append after the last
+            # valid record.
+            handle = open(self.path, "r+b")
+            handle.truncate(keep)
+            handle.seek(keep)
+        else:
+            handle = open(self.path, "wb")
+            self.replayed = {}
+        self._handle = handle
+        if keep == 0:
+            self._append(
+                {
+                    "kind": "sweep",
+                    "version": JOURNAL_VERSION,
+                    "fingerprint": fingerprint,
+                    "n_tasks": len(tasks),
+                },
+                b"",
+            )
+        return dict(self.replayed)
+
+    def close(self) -> None:
+        with self._lock:
+            handle, self._handle = self._handle, None
+            if handle is not None:
+                handle.close()
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- replay --------------------------------------------------------
+    def _replay(self, fingerprint: str, n_tasks: int) -> int:
+        """Load valid records; return the offset of the valid prefix."""
+        from repro.eval.parallel import _unpack_error_dicts
+
+        replayed: dict[int, dict[str, np.ndarray]] = {}
+        offset = 0
+        with open(self.path, "rb") as handle:
+            first = True
+            while True:
+                try:
+                    record = _read_record(handle, offset)
+                except JournalError:
+                    if first:
+                        # Not even a valid sweep header: whatever this
+                        # file is, it is not a journal we can extend.
+                        raise JournalMismatchError(
+                            f"{self.path} is not a sweep journal"
+                        ) from None
+                    break  # torn/corrupt tail: keep the prefix
+                if record is None:
+                    break  # clean end of file
+                header, payload, end = record
+                if first:
+                    if (
+                        header.get("kind") != "sweep"
+                        or header.get("version") != JOURNAL_VERSION
+                    ):
+                        raise JournalMismatchError(
+                            f"{self.path} is not a version-"
+                            f"{JOURNAL_VERSION} sweep journal"
+                        )
+                    if (
+                        header.get("fingerprint") != fingerprint
+                        or header.get("n_tasks") != n_tasks
+                    ):
+                        raise JournalMismatchError(
+                            f"journal {self.path} records a different "
+                            "sweep (instance, seeds, config or trial "
+                            "count changed); refusing to splice its "
+                            "results"
+                        )
+                    first = False
+                elif header.get("kind") == "chunk":
+                    try:
+                        buffer = np.frombuffer(payload, dtype="<f8")
+                        errors = _unpack_error_dicts(
+                            header["descriptor"], buffer
+                        )
+                        indices = [int(i) for i in header["tasks"]]
+                    except Exception:
+                        break  # damaged record: keep the prefix
+                    if len(indices) != len(errors) or any(
+                        not 0 <= index < n_tasks for index in indices
+                    ):
+                        break
+                    for index, trial in zip(indices, errors):
+                        replayed[index] = trial
+                offset = end
+        self.replayed = replayed
+        return offset
+
+    # -- append --------------------------------------------------------
+    def _append(self, header: dict, payload: bytes) -> None:
+        header_bytes = json.dumps(
+            header, separators=(",", ":"), sort_keys=True
+        ).encode("utf-8")
+        crc = zlib.crc32(header_bytes)
+        crc = zlib.crc32(payload, crc) & 0xFFFFFFFF
+        with self._lock:
+            if self._handle is None:
+                raise JournalError("journal is closed")
+            self._handle.write(
+                _RECORD.pack(MAGIC, len(header_bytes), len(payload), crc)
+            )
+            self._handle.write(header_bytes)
+            self._handle.write(payload)
+            # A chunk is only "settled" once it would survive a crash.
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def record(self, task_indices, errors_list) -> None:
+        """Append one settled chunk (global task indices + results)."""
+        from repro.eval.parallel import _pack_error_dicts
+
+        descriptor, buffer = _pack_error_dicts(list(errors_list))
+        payload = np.ascontiguousarray(buffer, dtype="<f8").tobytes()
+        self._append(
+            {
+                "kind": "chunk",
+                "tasks": [int(index) for index in task_indices],
+                "descriptor": descriptor,
+            },
+            payload,
+        )
+        self.recorded_chunks += 1

@@ -29,6 +29,19 @@ worker exits.  No orphan processes, no leaked ports
 (``benchmarks/bench_dist.py`` kills a live coordinator and asserts
 exactly this).
 
+The lifeline alone is not sufficient for a *misbehaving* worker,
+though: a process that is stopped (SIGSTOP), wedged in non-Python
+code, or simply ignoring the watchdog never reacts to EOF.  Explicit
+teardown therefore escalates — lifeline EOF, then SIGCONT + SIGTERM
+(a stopped process never sees SIGTERM until continued), then SIGKILL
+(which ends even a stopped process) — with a bounded wait at each
+stage, and :meth:`WorkerLauncher.shutdown` runs the stages across the
+whole fleet in parallel so the worst-case teardown cost is one grace
+period, not one per worker.  Launch is hardened symmetrically: a
+worker that dies before announcing readiness is respawned with the
+same argv/env (``launch_attempts``), so one crash-on-startup flake
+does not abort a whole sweep.
+
 Security provisioning: both launchers accept ``secret=`` and TLS
 material paths and hand them to the workers **without ever putting the
 token on a command line** (argv is world-readable in the process
@@ -45,6 +58,7 @@ from __future__ import annotations
 import os
 import pathlib
 import re
+import signal
 import subprocess
 import sys
 import threading
@@ -138,11 +152,17 @@ class _OutputWatcher(threading.Thread):
 class LaunchedWorker:
     """One spawned worker process and its readiness state."""
 
-    def __init__(self, process: subprocess.Popen, describe: str) -> None:
+    def __init__(
+        self, process: subprocess.Popen, describe: str, *, spawn=None
+    ) -> None:
         self.process = process
         self.describe = describe
         self.watcher = _OutputWatcher(process.stdout)
         self.spec: HostSpec | None = None
+        #: ``(argv, env, stdin_line)`` recorded at spawn time, so a
+        #: worker that dies before readiness can be relaunched
+        #: identically (``None`` for hand-constructed workers).
+        self.spawn = spawn
 
     @property
     def pid(self) -> int:
@@ -193,25 +213,62 @@ class LaunchedWorker:
             f"output (stdout+stderr):\n{output}"
         )
 
-    def terminate(self, grace: float = 5.0) -> None:
-        """Close the lifeline, then escalate terminate → kill."""
+    # -- staged teardown ----------------------------------------------
+    # Each stage is its own method so ``WorkerLauncher.shutdown`` can
+    # run a stage across the whole fleet before waiting, instead of
+    # paying a full escalation sequentially per worker.
+
+    def close_lifeline(self) -> None:
+        """Stage 1: EOF the stdin pipe (normally ends the worker)."""
         if self.process.stdin is not None:
             try:
                 self.process.stdin.close()
             except OSError:
                 pass
+
+    def signal_terminate(self) -> None:
+        """Stage 2: SIGCONT + SIGTERM.
+
+        The SIGCONT matters: a stopped (SIGSTOP'd) worker never
+        observes the lifeline EOF and holds SIGTERM pending forever —
+        it must be continued before any catchable signal can end it.
+        """
+        if hasattr(signal, "SIGCONT"):
+            try:
+                os.kill(self.process.pid, signal.SIGCONT)
+            except OSError:
+                pass
         try:
-            # Lifeline EOF normally ends the worker within a moment.
-            self.process.wait(timeout=min(grace, 2.0))
-            return
-        except subprocess.TimeoutExpired:
+            self.process.terminate()
+        except OSError:
             pass
-        self.process.terminate()
+
+    def signal_kill(self) -> None:
+        """Stage 3: SIGKILL (ends even a stopped process)."""
         try:
-            self.process.wait(timeout=grace)
-        except subprocess.TimeoutExpired:
             self.process.kill()
-            self.process.wait()
+        except OSError:
+            pass
+
+    def wait(self, timeout: float) -> bool:
+        """Did the process exit within ``timeout`` seconds?"""
+        try:
+            self.process.wait(timeout=max(timeout, 0.0))
+            return True
+        except subprocess.TimeoutExpired:
+            return False
+
+    def terminate(self, grace: float = 5.0) -> None:
+        """Close the lifeline, then escalate SIGTERM → SIGKILL."""
+        self.close_lifeline()
+        # Lifeline EOF normally ends the worker within a moment.
+        if self.wait(min(grace, 2.0)):
+            return
+        self.signal_terminate()
+        if self.wait(grace):
+            return
+        self.signal_kill()
+        self.process.wait()
 
 
 class WorkerLauncher:
@@ -235,8 +292,20 @@ class WorkerLauncher:
     #: False and rely on per-endpoint loopback detection instead.
     same_host: bool = False
 
-    def __init__(self, *, startup_timeout: float = 30.0) -> None:
+    def __init__(
+        self,
+        *,
+        startup_timeout: float = 30.0,
+        launch_attempts: int = 2,
+    ) -> None:
         self.startup_timeout = startup_timeout
+        #: Spawn attempts per worker before ``launch()`` gives up: a
+        #: worker that dies before announcing readiness is relaunched
+        #: with the same argv/env, so one crash-on-startup flake (a
+        #: transiently busy port, an interpreter OOM) does not abort
+        #: the sweep.  A deterministically broken worker still fails,
+        #: carrying its last captured output.
+        self.launch_attempts = max(1, int(launch_attempts))
         self.workers: list[LaunchedWorker] = []
 
     def launch(self) -> list[HostSpec]:
@@ -250,18 +319,73 @@ class WorkerLauncher:
         try:
             self._spawn_all()
             deadline = time.monotonic() + self.startup_timeout
-            for worker in self.workers:
-                port = worker.await_ready(deadline)
+            for index in range(len(self.workers)):
+                attempt = 1
+                while True:
+                    worker = self.workers[index]
+                    try:
+                        port = worker.await_ready(deadline)
+                        break
+                    except LaunchError:
+                        if (
+                            attempt >= self.launch_attempts
+                            or worker.spawn is None
+                        ):
+                            raise
+                        attempt += 1
+                        worker.terminate(grace=1.0)
+                        argv, env, stdin_line = worker.spawn
+                        self.workers[index] = self._start(
+                            argv,
+                            worker.describe,
+                            env,
+                            stdin_line=stdin_line,
+                        )
+                        # The respawn gets its own readiness window.
+                        deadline = max(
+                            deadline,
+                            time.monotonic() + self.startup_timeout,
+                        )
                 worker.spec = self._spec_for(worker, port)
         except BaseException:
             self.shutdown()
             raise
         return [worker.spec for worker in self.workers]
 
-    def shutdown(self) -> None:
+    def shutdown(self, grace: float = 5.0) -> None:
+        """Tear the whole fleet down, escalating in parallel stages.
+
+        Lifeline EOF for everyone, one shared wait; SIGCONT + SIGTERM
+        for the stragglers, one shared wait; SIGKILL for whatever is
+        left.  The worst-case wall-clock cost is a single grace period
+        regardless of fleet size, and even a SIGSTOP'd worker is
+        reliably reaped.  Safe to call repeatedly.
+        """
         workers, self.workers = self.workers, []
+        if not workers:
+            return
         for worker in workers:
-            worker.terminate()
+            worker.close_lifeline()
+        deadline = time.monotonic() + min(grace, 2.0)
+        stragglers = [
+            worker
+            for worker in workers
+            if not worker.wait(deadline - time.monotonic())
+        ]
+        if not stragglers:
+            return
+        for worker in stragglers:
+            worker.signal_terminate()
+        deadline = time.monotonic() + grace
+        stubborn = [
+            worker
+            for worker in stragglers
+            if not worker.wait(deadline - time.monotonic())
+        ]
+        for worker in stubborn:
+            worker.signal_kill()
+        for worker in stubborn:
+            worker.process.wait()
 
     def __enter__(self) -> "WorkerLauncher":
         return self
@@ -280,6 +404,13 @@ class WorkerLauncher:
     def _spawn(
         self, argv: list[str], describe: str, env=None, *, stdin_line=None
     ) -> None:
+        self.workers.append(
+            self._start(argv, describe, env, stdin_line=stdin_line)
+        )
+
+    def _start(
+        self, argv: list[str], describe: str, env=None, *, stdin_line=None
+    ) -> LaunchedWorker:
         try:
             process = subprocess.Popen(
                 argv,
@@ -304,7 +435,9 @@ class WorkerLauncher:
                 process.stdin.flush()
             except (OSError, ValueError):
                 pass
-        self.workers.append(LaunchedWorker(process, describe))
+        return LaunchedWorker(
+            process, describe, spawn=(list(argv), env, stdin_line)
+        )
 
 
 def worker_environment() -> dict[str, str]:
@@ -370,8 +503,12 @@ class LocalLauncher(WorkerLauncher):
         tls_key=None,
         python: str | None = None,
         startup_timeout: float = 30.0,
+        launch_attempts: int = 2,
     ) -> None:
-        super().__init__(startup_timeout=startup_timeout)
+        super().__init__(
+            startup_timeout=startup_timeout,
+            launch_attempts=launch_attempts,
+        )
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         if capacities is None:
@@ -492,8 +629,12 @@ class SshLauncher(WorkerLauncher):
         tls_cert=None,
         tls_key=None,
         startup_timeout: float = 30.0,
+        launch_attempts: int = 2,
     ) -> None:
-        super().__init__(startup_timeout=startup_timeout)
+        super().__init__(
+            startup_timeout=startup_timeout,
+            launch_attempts=launch_attempts,
+        )
         self.specs = parse_hosts(hosts)
         if capacities is None:
             capacities = [None] * len(self.specs)

@@ -73,6 +73,7 @@ import struct
 
 import numpy as np
 
+from repro.eval.dist.faults import active_plan
 from repro.exceptions import DistSecurityError
 
 __all__ = [
@@ -262,16 +263,40 @@ def read_magic(sock: socket.socket) -> bytes:
     return _recv_exact(sock, 4, at_boundary=True)
 
 
+def _send_frame(sock, magic: bytes, header: dict, header_bytes: bytes,
+                payload_view) -> None:
+    """Write one frame, consulting the chaos plan (when one is armed).
+
+    The chaos actions model distinct failure shapes: **drop** sends
+    nothing (a hung-but-connected peer — only heartbeats or deadlines
+    notice), **corrupt** scrambles the magic so the receiver fails fast
+    at the framing layer (a detected, retriable fault), **truncate**
+    tears the frame mid-body and aborts the sender's session.  Payload
+    bytes are never altered: frames either arrive intact or detectably
+    broken, which is what keeps chaos runs bit-identical.
+    """
+    plan = active_plan()
+    action = plan.frame_send_action(header) if plan is not None else None
+    if action == "drop":
+        return
+    if action == "corrupt":
+        magic = b"RTDX"
+    sock.sendall(_FRAME.pack(magic, len(header_bytes), len(payload_view)))
+    if action == "truncate":
+        sock.sendall(header_bytes[: max(1, len(header_bytes) // 2)])
+        raise ProtocolError(
+            f"chaos: truncated outbound {header.get('type')!r} frame"
+        )
+    sock.sendall(header_bytes)
+    if len(payload_view):
+        sock.sendall(payload_view)
+
+
 def send_message(sock: socket.socket, header: dict, payload=b"") -> None:
     """Send one frame.  ``payload`` is any bytes-like object."""
     header_bytes = pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL)
     payload_view = memoryview(payload).cast("B")
-    sock.sendall(
-        _FRAME.pack(MAGIC, len(header_bytes), len(payload_view))
-    )
-    sock.sendall(header_bytes)
-    if len(payload_view):
-        sock.sendall(payload_view)
+    _send_frame(sock, MAGIC, header, header_bytes, payload_view)
 
 
 def recv_message(
@@ -326,10 +351,7 @@ def send_json_message(sock: socket.socket, header: dict, payload=b"") -> None:
     """
     header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
     payload_view = memoryview(payload).cast("B")
-    sock.sendall(_FRAME.pack(MAGIC_V4, len(header_bytes), len(payload_view)))
-    sock.sendall(header_bytes)
-    if len(payload_view):
-        sock.sendall(payload_view)
+    _send_frame(sock, MAGIC_V4, header, header_bytes, payload_view)
 
 
 def recv_json_message(

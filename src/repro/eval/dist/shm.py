@@ -44,9 +44,14 @@ from __future__ import annotations
 
 import os
 import secrets
+import struct
+import zlib
 from multiprocessing import resource_tracker, shared_memory
 
+from repro.eval.dist.faults import active_plan
+
 __all__ = [
+    "CRC_LAYOUT",
     "SHM_PREFIX",
     "ShmError",
     "ShmRing",
@@ -57,6 +62,19 @@ __all__ = [
 
 #: Leading tag of every segment name this module creates.
 SHM_PREFIX = "repro-dist-"
+
+#: Wire name of the checksummed slot layout (``describe()["layout"]``).
+#: Each slot is prefixed with a CRC32 of its payload, so a corrupted or
+#: torn slot read becomes a detected :class:`ShmError` — and therefore a
+#: retriable session failure — instead of silently wrong results.  The
+#: layout is negotiated: coordinators only create checksummed rings for
+#: workers that advertise the ``shm-crc`` feature, and a plain ring
+#: (no ``layout`` key) keeps the exact pre-checksum geometry, so rolling
+#: upgrades interoperate in both directions.
+CRC_LAYOUT = "crc32"
+
+#: Per-slot checksum prefix: CRC32 of the slot's payload bytes.
+_SLOT_CRC = struct.Struct("!I")
 
 #: Segment names created (and still owned) by *this* process.  The
 #: resource tracker keys registrations per process, so an in-process
@@ -106,10 +124,16 @@ class ShmRing:
         slot_size: int,
         *,
         owner: bool,
+        checksum: bool = False,
     ) -> None:
         self._segment = segment
         self.n_slots = n_slots
         self.slot_size = slot_size
+        self.checksum = checksum
+        # ``slot_size`` is always the usable payload capacity; the
+        # checksum prefix extends the physical stride so negotiating the
+        # layout never shrinks what a slot can carry.
+        self._stride = slot_size + (_SLOT_CRC.size if checksum else 0)
         self._owner = owner
         self._closed = False
 
@@ -120,11 +144,14 @@ class ShmRing:
 
     def describe(self) -> dict:
         """The ring's wire description for the ``shm-open`` frame."""
-        return {
+        description = {
             "name": self.name,
             "slots": self.n_slots,
             "slot_size": self.slot_size,
         }
+        if self.checksum:
+            description["layout"] = CRC_LAYOUT
+        return description
 
     def _bounds(self, slot: int, size: int) -> int:
         if not 0 <= slot < self.n_slots:
@@ -136,13 +163,24 @@ class ShmRing:
                 f"shm payload of {size} bytes exceeds the "
                 f"{self.slot_size}-byte slot"
             )
-        return slot * self.slot_size
+        return slot * self._stride
 
     def write(self, slot: int, data) -> int:
         """Copy ``data`` into ``slot``; returns the byte count."""
         view = memoryview(data).cast("B")
         offset = self._bounds(slot, len(view))
+        plan = active_plan()
+        action = plan.shm_fault("write") if plan is not None else None
+        if self.checksum:
+            crc = zlib.crc32(view) & 0xFFFFFFFF
+            _SLOT_CRC.pack_into(self._segment.buf, offset, crc)
+            offset += _SLOT_CRC.size
         self._segment.buf[offset : offset + len(view)] = view
+        if action == "corrupt" and len(view):
+            # Damage the stored copy *after* the checksum was taken, so
+            # a CRC ring detects it and a plain ring demonstrates why
+            # checksums exist.
+            self._segment.buf[offset] = self._segment.buf[offset] ^ 0xFF
         return len(view)
 
     def read(self, slot: int, size: int) -> memoryview:
@@ -150,9 +188,30 @@ class ShmRing:
 
         The view aliases the shared segment: the peer may overwrite the
         slot once it is released, so consume (or copy) before releasing.
+        On checksummed rings the slot's CRC32 is verified here; a
+        mismatch raises :class:`ShmError` and tears the session down —
+        corruption is a retriable failure, never silent data.
         """
         offset = self._bounds(slot, size)
-        return self._segment.buf[offset : offset + size]
+        plan = active_plan()
+        if plan is not None:
+            plan.shm_fault("read")
+        if not self.checksum:
+            return self._segment.buf[offset : offset + size]
+        (expected,) = _SLOT_CRC.unpack_from(self._segment.buf, offset)
+        offset += _SLOT_CRC.size
+        view = self._segment.buf[offset : offset + size]
+        if zlib.crc32(view) & 0xFFFFFFFF != expected:
+            # Release before raising: the exception (and its traceback,
+            # which pins this frame) outlives the session teardown, and
+            # a still-exported view would keep the segment's mmap from
+            # ever closing.
+            view.release()
+            raise ShmError(
+                f"shm slot {slot} checksum mismatch "
+                f"({size} bytes): ring corrupted in flight"
+            )
+        return view
 
     def close(self) -> None:
         """Detach; the creating side also unlinks the segment.
@@ -177,24 +236,36 @@ class ShmRing:
                 pass
 
 
-def create_ring(n_slots: int, slot_size: int) -> ShmRing:
+def create_ring(
+    n_slots: int, slot_size: int, *, checksum: bool = False
+) -> ShmRing:
     """Create (and own) a ring; the segment name is fresh and tagged."""
     if n_slots < 1 or slot_size < 1:
         raise ShmError(
             f"ring needs positive geometry, got {n_slots}×{slot_size}"
         )
+    plan = active_plan()
+    if plan is not None and plan.shm_create_fault():
+        raise ShmError(
+            "cannot create shared memory ring: "
+            "[Errno 28] No space left on device (chaos)"
+        )
+    stride = slot_size + (_SLOT_CRC.size if checksum else 0)
     name = f"{SHM_PREFIX}{os.getpid()}-{secrets.token_hex(4)}"
     try:
         segment = shared_memory.SharedMemory(
-            name=name, create=True, size=n_slots * slot_size
+            name=name, create=True, size=n_slots * stride
         )
     except OSError as exc:
         raise ShmError(f"cannot create shared memory ring: {exc}") from exc
     _OWNED_NAMES.add(segment.name)
-    return ShmRing(segment, n_slots, slot_size, owner=True)
+    return ShmRing(segment, n_slots, slot_size, owner=True,
+                   checksum=checksum)
 
 
-def attach_ring(name: str, n_slots: int, slot_size: int) -> ShmRing:
+def attach_ring(
+    name: str, n_slots: int, slot_size: int, *, layout=None
+) -> ShmRing:
     """Attach to a coordinator-created ring by name.
 
     Only :data:`SHM_PREFIX`-tagged names are accepted — a session frame
@@ -209,6 +280,12 @@ def attach_ring(name: str, n_slots: int, slot_size: int) -> ShmRing:
             f"refusing to attach segment {name!r}: not a "
             f"{SHM_PREFIX}* session segment"
         )
+    if layout is not None and layout != CRC_LAYOUT:
+        # An unknown layout means a newer peer: nack back to inline
+        # payloads rather than misinterpret the slot geometry.
+        raise ShmError(f"unknown shm slot layout {layout!r}")
+    checksum = layout == CRC_LAYOUT
+    stride = slot_size + (_SLOT_CRC.size if checksum else 0)
     try:
         segment = shared_memory.SharedMemory(name=name)
     except OSError as exc:
@@ -220,7 +297,7 @@ def attach_ring(name: str, n_slots: int, slot_size: int) -> ShmRing:
             resource_tracker.unregister(segment._name, "shared_memory")
         except Exception:  # pragma: no cover - tracker internals vary
             pass
-    if segment.size < n_slots * slot_size:
+    if segment.size < n_slots * stride:
         try:
             segment.close()
         except OSError:
@@ -229,4 +306,5 @@ def attach_ring(name: str, n_slots: int, slot_size: int) -> ShmRing:
             f"segment {name!r} is {segment.size} bytes, smaller than "
             f"the advertised {n_slots}×{slot_size} geometry"
         )
-    return ShmRing(segment, n_slots, slot_size, owner=False)
+    return ShmRing(segment, n_slots, slot_size, owner=False,
+                   checksum=checksum)

@@ -60,7 +60,9 @@ or over SSH (the coordinator connects to ``host:7100``)::
 from __future__ import annotations
 
 import multiprocessing
+import os
 import pickle
+import signal
 import socket
 import ssl
 import threading
@@ -96,6 +98,7 @@ from repro.eval.dist.protocol import (
     send_message,
 )
 from repro.eval.dist.protocol import MAGIC as FRAME_MAGIC
+from repro.eval.dist.faults import active_plan
 from repro.eval.dist.shm import ShmError, attach_ring
 from repro.eval.parallel import _execute_task, _pack_error_dicts
 from repro.io import instance_fingerprint
@@ -209,6 +212,74 @@ def _pool_run_chunk_v4(payload: bytes):
     )
 
 
+#: Optional capabilities this worker advertises in its v4 ``ready``
+#: frame.  Unknown-key tolerance makes the list forward-compatible:
+#: old coordinators ignore it, new coordinators only use what both
+#: sides understand (``heartbeat`` liveness pongs, CRC32-checksummed
+#: shm slots).
+WORKER_FEATURES = ("heartbeat", "shm-crc")
+
+
+class _HeartbeatSender:
+    """Unsolicited liveness pongs, one per half heartbeat interval.
+
+    Armed when the coordinator's context frame carries a ``heartbeat``
+    key: a daemon thread sends ``{"type": "pong"}`` frames every
+    ``interval / 2`` under the session's send lock, so the coordinator
+    observes traffic at least twice per interval from a healthy worker
+    no matter how long a chunk computes.  A worker that is stopped
+    (SIGSTOP), swapped to death, or wedged in a non-Python stall stops
+    beating — which is the whole point: silence, not a closed socket,
+    is what the coordinator's liveness monitor detects.
+
+    ``freeze`` suppresses the beats for a bounded window (the chaos
+    plane's in-process SIGSTOP lookalike).  Send failures end the
+    thread quietly; the serve loop notices the dead session on its own.
+    """
+
+    def __init__(self, connection, send_lock, interval, log) -> None:
+        self._connection = connection
+        self._send_lock = send_lock
+        self._interval = float(interval)
+        self._log = log
+        self._stop = threading.Event()
+        self._frozen = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name="worker-heartbeat", daemon=True
+        )
+
+    def start(self) -> None:
+        self._log(
+            f"heartbeat armed: pong every {self._interval / 2.0:g}s"
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        beat = 0
+        while not self._stop.wait(self._interval / 2.0):
+            if self._frozen.is_set():
+                continue
+            beat += 1
+            try:
+                with self._send_lock:
+                    send_json_message(
+                        self._connection, {"type": "pong", "beat": beat}
+                    )
+            except (OSError, ProtocolError):
+                return  # session is gone; the serve loop handles it
+
+    def freeze(self, seconds: float) -> None:
+        """Suppress beats for ``seconds`` (caller's thread sleeps too)."""
+        self._frozen.set()
+        try:
+            time.sleep(seconds)
+        finally:
+            self._frozen.clear()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
 class _V4Transport:
     """One v4 session's data plane: inline socket bytes, or shm rings.
 
@@ -222,8 +293,14 @@ class _V4Transport:
     chunk/end frames.
     """
 
-    def __init__(self, connection) -> None:
+    def __init__(self, connection, send_lock=None) -> None:
         self._connection = connection
+        # All session sends — results, errors, control replies, and the
+        # heartbeat sender's pongs — serialize on this one lock so
+        # frames never interleave on the socket.
+        self._send_lock = (
+            send_lock if send_lock is not None else threading.Lock()
+        )
         self._chunk_ring = None
         self._result_ring = None
         self._free_slots: list[int] = []
@@ -248,11 +325,13 @@ class _V4Transport:
                 chunk_spec["name"],
                 int(chunk_spec["slots"]),
                 int(chunk_spec["slot_size"]),
+                layout=chunk_spec.get("layout"),
             )
             result_ring = attach_ring(
                 result_spec["name"],
                 int(result_spec["slots"]),
                 int(result_spec["slot_size"]),
+                layout=result_spec.get("layout"),
             )
         except (ShmError, KeyError, TypeError, ValueError) as exc:
             if chunk_ring is not None:
@@ -294,12 +373,18 @@ class _V4Transport:
         finally:
             view.release()
 
+    def send(self, header: dict, payload: bytes = b"") -> None:
+        """Send one control frame under the session's send lock."""
+        with self._send_lock:
+            send_json_message(self._connection, header, payload)
+
     def send_result(self, header: dict, buffer) -> None:
         """Ship one result: via a free shm slot if it fits, else inline.
 
-        The caller serializes sends (session thread or ``send_lock``);
-        only the free list needs its own lock, because acks return
-        slots from the session thread while pool callbacks claim them.
+        Socket sends hold the session's send lock (pool callbacks and
+        the heartbeat sender share the socket); the free list has its
+        own lock because acks return slots from the session thread
+        while callbacks claim them.
         """
         payload = buffer_payload(buffer)
         size = len(payload)
@@ -312,18 +397,16 @@ class _V4Transport:
                 if self._free_slots:
                     slot = self._free_slots.pop()
         if slot is None:
-            send_json_message(self._connection, header, payload)
+            self.send(header, payload)
             return
         try:
             self._result_ring.write(slot, payload)
         except ShmError:
             with self._free_lock:
                 self._free_slots.append(slot)
-            send_json_message(self._connection, header, payload)
+            self.send(header, payload)
             return
-        send_json_message(
-            self._connection, dict(header, slot=slot, size=size)
-        )
+        self.send(dict(header, slot=slot, size=size))
 
     def close(self) -> None:
         for ring in (self._chunk_ring, self._result_ring):
@@ -472,6 +555,21 @@ class WorkerServer:
                     connection, peer = self._server.accept()
                 except OSError:
                     break  # closed from another thread
+                plan = active_plan()
+                if plan is not None and plan.refuse_connect():
+                    # Chaos: look exactly like a crashed listener —
+                    # accept then reset, no frame ever sent.  Does not
+                    # count against max_sessions, so the retried
+                    # connect still finds a session slot.
+                    self._log(
+                        f"chaos: refusing connection from "
+                        f"{peer[0]}:{peer[1]}"
+                    )
+                    try:
+                        connection.close()
+                    except OSError:
+                        pass
+                    continue
                 sessions += 1
                 self._log(f"session {sessions} from {peer[0]}:{peer[1]}")
                 thread = threading.Thread(
@@ -729,6 +827,7 @@ class WorkerServer:
                 "protocol": version,
                 "host": socket.gethostname(),
                 "capacity": self.capacity,
+                "features": list(WORKER_FEATURES),
             },
         )
         header, payload = recv_json_message(connection)
@@ -746,21 +845,106 @@ class WorkerServer:
         if handshake_done is not None:
             handshake_done.set()  # disarm the stalled-handshake reaper
         connection.settimeout(None)  # handshake done: blocking session
-        if self.capacity > 1:
-            self._serve_concurrent_v4(
-                connection, instance, config, options, fingerprint
+        send_lock = threading.Lock()
+        heartbeat = None
+        interval = header.get("heartbeat")
+        if isinstance(interval, (int, float)) and interval > 0:
+            # The coordinator armed liveness for this session: beat
+            # unsolicited pongs so long chunks never read as silence.
+            heartbeat = _HeartbeatSender(
+                connection, send_lock, interval, self._log
             )
-        else:
-            self._serve_sequential_v4(
-                connection, instance, config, options, fingerprint
+            heartbeat.start()
+        try:
+            if self.capacity > 1:
+                self._serve_concurrent_v4(
+                    connection,
+                    instance,
+                    config,
+                    options,
+                    fingerprint,
+                    send_lock,
+                    heartbeat,
+                )
+            else:
+                self._serve_sequential_v4(
+                    connection,
+                    instance,
+                    config,
+                    options,
+                    fingerprint,
+                    send_lock,
+                    heartbeat,
+                )
+        finally:
+            if heartbeat is not None:
+                heartbeat.stop()
+
+    def _apply_chunk_fault(self, ordinal: int, heartbeat) -> bool:
+        """Chaos hook at chunk arrival; ``True`` = drop the session.
+
+        ``worker-kill`` and ``worker-sigstop`` act on the whole process
+        only when the installed plan has ``allow_process_faults`` (the
+        worker CLI grants it); an in-process plan — a coordinator-side
+        test that also reaches this code — degrades them to a dropped
+        session, which exercises the same requeue path without killing
+        the test runner.
+        """
+        plan = active_plan()
+        if plan is None:
+            return False
+        fault = plan.chunk_fault(ordinal)
+        if fault is None:
+            return False
+        kind = fault[0]
+        if kind == "kill":
+            if plan.allow_process_faults:
+                self._log(f"chaos: killing process at chunk {ordinal}")
+                os._exit(23)
+            self._log(f"chaos: dropping session at chunk {ordinal}")
+            return True
+        if kind == "sigstop":
+            if plan.allow_process_faults:
+                self._log(f"chaos: SIGSTOP at chunk {ordinal}")
+                os.kill(os.getpid(), signal.SIGSTOP)
+                # Resumes here on SIGCONT; the session continues if the
+                # coordinator has not already torn it down.
+                return False
+            self._log(f"chaos: dropping session at chunk {ordinal}")
+            return True
+        if kind == "freeze":
+            # SIGSTOP lookalike scoped to this session: heartbeats are
+            # suppressed and the serve loop sleeps, so the coordinator
+            # sees total silence for the window.
+            self._log(
+                f"chaos: freezing for {fault[1]:g}s at chunk {ordinal}"
             )
+            if heartbeat is not None:
+                heartbeat.freeze(fault[1])
+            else:
+                time.sleep(fault[1])
+            return False
+        # "stall": compute takes forever but the worker stays live —
+        # heartbeats keep flowing; only a chunk deadline catches this.
+        self._log(
+            f"chaos: stalling {fault[1]:g}s at chunk {ordinal}"
+        )
+        time.sleep(fault[1])
+        return False
 
     def _serve_sequential_v4(
-        self, connection, instance, config, options, fingerprint
+        self,
+        connection,
+        instance,
+        config,
+        options,
+        fingerprint,
+        send_lock,
+        heartbeat,
     ) -> None:
         """v4 twin of :meth:`_serve_sequential` (one chunk in flight)."""
         cache = self._open_cache()
-        transport = _V4Transport(connection)
+        transport = _V4Transport(connection, send_lock)
         chunks_accepted = 0
         try:
             while True:
@@ -769,8 +953,13 @@ class WorkerServer:
                 except ConnectionClosed:
                     return
                 kind = header["type"]
+                if kind == "ping":
+                    # Coordinator liveness probe: answer immediately,
+                    # even between heartbeat beats.
+                    transport.send({"type": "pong"})
+                    continue
                 if kind == "shm":
-                    send_json_message(connection, transport.open(header))
+                    transport.send(transport.open(header))
                     continue
                 if kind == "end":
                     transport.collect_acks(header)
@@ -793,6 +982,8 @@ class WorkerServer:
                         f"chunk {header['chunk']}"
                     )
                     return
+                if self._apply_chunk_fault(chunks_accepted + 1, heartbeat):
+                    return
                 chunk_id = header["chunk"]
                 tasks = decode_tasks(
                     transport.chunk_payload(header, payload)
@@ -808,8 +999,7 @@ class WorkerServer:
                         self._throttle,
                     )
                 except Exception as exc:
-                    send_json_message(
-                        connection,
+                    transport.send(
                         {
                             "type": "error",
                             "chunk": chunk_id,
@@ -831,7 +1021,14 @@ class WorkerServer:
             transport.close()
 
     def _serve_concurrent_v4(
-        self, connection, instance, config, options, fingerprint
+        self,
+        connection,
+        instance,
+        config,
+        options,
+        fingerprint,
+        send_lock,
+        heartbeat,
     ) -> None:
         """v4 twin of :meth:`_serve_concurrent` (pooled chunk slots)."""
         pool = ProcessPoolExecutor(
@@ -847,8 +1044,7 @@ class WorkerServer:
                 fingerprint,
             ),
         )
-        transport = _V4Transport(connection)
-        send_lock = threading.Lock()
+        transport = _V4Transport(connection, send_lock)
         chunks_accepted = 0
         try:
             while True:
@@ -857,11 +1053,11 @@ class WorkerServer:
                 except ConnectionClosed:
                     return
                 kind = header["type"]
+                if kind == "ping":
+                    transport.send({"type": "pong"})
+                    continue
                 if kind == "shm":
-                    with send_lock:
-                        send_json_message(
-                            connection, transport.open(header)
-                        )
+                    transport.send(transport.open(header))
                     continue
                 if kind == "end":
                     transport.collect_acks(header)
@@ -881,13 +1077,15 @@ class WorkerServer:
                         f"chunk {header['chunk']}"
                     )
                     return
+                if self._apply_chunk_fault(chunks_accepted + 1, heartbeat):
+                    return
                 chunk_id = header["chunk"]
                 data = transport.chunk_payload(header, payload)
                 future = pool.submit(_pool_run_chunk_v4, data)
                 future.add_done_callback(
                     lambda done, chunk=chunk_id: (
                         self._send_chunk_result_v4(
-                            connection, send_lock, transport, chunk, done
+                            connection, transport, chunk, done
                         )
                     )
                 )
@@ -900,9 +1098,13 @@ class WorkerServer:
             transport.close()
 
     def _send_chunk_result_v4(
-        self, connection, send_lock, transport, chunk_id, future
+        self, connection, transport, chunk_id, future
     ) -> None:
-        """v4 twin of :meth:`_send_chunk_result` (same failure policy)."""
+        """v4 twin of :meth:`_send_chunk_result` (same failure policy).
+
+        The transport serializes its own sends (one lock shared with
+        the session thread and the heartbeat sender).
+        """
         try:
             try:
                 descriptor, buffer = future.result()
@@ -920,28 +1122,25 @@ class WorkerServer:
                     pass
                 return
             except Exception as exc:
-                with send_lock:
-                    send_json_message(
-                        connection,
-                        {
-                            "type": "error",
-                            "chunk": chunk_id,
-                            "message": repr(exc),
-                            "traceback": "".join(
-                                traceback.format_exception(exc)
-                            ),
-                        },
-                    )
+                transport.send(
+                    {
+                        "type": "error",
+                        "chunk": chunk_id,
+                        "message": repr(exc),
+                        "traceback": "".join(
+                            traceback.format_exception(exc)
+                        ),
+                    },
+                )
             else:
-                with send_lock:
-                    transport.send_result(
-                        {
-                            "type": "result",
-                            "chunk": chunk_id,
-                            "descriptor": descriptor,
-                        },
-                        buffer,
-                    )
+                transport.send_result(
+                    {
+                        "type": "result",
+                        "chunk": chunk_id,
+                        "descriptor": descriptor,
+                    },
+                    buffer,
+                )
         except BaseException as exc:
             # The session is gone (connection closed mid-send) or the
             # future was cancelled by a tearing-down pool; either way

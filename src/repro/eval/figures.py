@@ -171,6 +171,7 @@ def _pooled_errors(
     workers: int | None = None,
     cache=None,
     executor=None,
+    journal=None,
 ) -> dict[str, np.ndarray]:
     """Run ``n_trials`` experiments, pooling per-link errors."""
     tasks = scenario_tasks(
@@ -184,6 +185,7 @@ def _pooled_errors(
         workers=workers,
         cache=cache,
         executor=executor,
+        journal=journal,
     )
     return pool_errors(tasks, results, 1)[0]
 
@@ -243,12 +245,15 @@ def figure3_sweep(
     workers: int | None = None,
     cache=None,
     executor=None,
+    journal=None,
 ) -> SweepResult:
     """Figures 3(a) and 3(b): error statistics vs congested fraction.
 
     The whole sweep — every ``(fraction, trial)`` pair — is flattened
     into one task list before dispatch, so parallelism spans x-axis
-    points as well as trials.
+    points as well as trials.  ``journal`` (a
+    :class:`repro.eval.dist.journal.SweepJournal`) makes settled chunks
+    crash-durable and resumable.
     """
     instance = instance or default_instance("brite", scale=scale, seed=seed)
     config = config or default_config(scale)
@@ -261,6 +266,7 @@ def figure3_sweep(
         workers=workers,
         cache=cache,
         executor=executor,
+        journal=journal,
     )
     pooled = pool_errors(tasks, results, len(fractions))
     points = [
@@ -297,6 +303,7 @@ def figure3_cdf(
     workers: int | None = None,
     cache=None,
     executor=None,
+    journal=None,
 ) -> CdfResult:
     """Figure 3(c) (``correlation_level="high"``) / 3(d) (``"loose"``)."""
     if correlation_level == "high":
@@ -324,6 +331,7 @@ def figure3_cdf(
         workers=workers,
         cache=cache,
         executor=executor,
+        journal=journal,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -356,6 +364,7 @@ def figure4_cdf(
     workers: int | None = None,
     cache=None,
     executor=None,
+    journal=None,
 ) -> CdfResult:
     """Figure 4: CDFs with a fraction of congested links unidentifiable."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -374,6 +383,7 @@ def figure4_cdf(
         workers=workers,
         cache=cache,
         executor=executor,
+        journal=journal,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -406,6 +416,7 @@ def figure5_cdf(
     workers: int | None = None,
     cache=None,
     executor=None,
+    journal=None,
 ) -> CdfResult:
     """Figure 5: CDFs with a fraction of congested links mislabeled."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -424,6 +435,7 @@ def figure5_cdf(
         workers=workers,
         cache=cache,
         executor=executor,
+        journal=journal,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)

@@ -457,6 +457,7 @@ def run_scenario_tasks(
     workers: int | None = None,
     cache=None,
     executor: TaskExecutor | None = None,
+    journal=None,
 ) -> list[dict[str, np.ndarray]]:
     """Execute tasks, preserving task order in the result list.
 
@@ -477,6 +478,13 @@ def run_scenario_tasks(
     chunk fails, the remaining chunks still settle (and are cached)
     before a :class:`ScenarioTaskError` naming the lost task indices is
     raised.
+
+    With ``journal`` (a :class:`repro.eval.dist.journal.SweepJournal`),
+    every settled chunk is additionally appended — fsync'd — to an
+    append-only journal file; a journal opened with ``resume=True``
+    replays its settled chunks first, exactly like cache hits, so a run
+    whose *coordinator* died mid-sweep (SIGKILL, OOM) restarts without
+    recomputing settled work and finishes bit-identically.
     """
     results: list[dict[str, np.ndarray] | None] = [None] * len(tasks)
     keys: list[str | None] | None = None
@@ -502,6 +510,20 @@ def run_scenario_tasks(
                 results[index] = hit
     else:
         miss_indices = list(range(len(tasks)))
+
+    if journal is not None:
+        # Journaled tasks replay like cache hits: a settled chunk from
+        # a crashed run (resume) — or an earlier settle of this run —
+        # never executes twice.  The journal validates its sweep
+        # fingerprint here and fails loudly on a mismatch.
+        for index, errors in journal.open(
+            instance, tasks, config=config, options=options
+        ).items():
+            if results[index] is None:
+                results[index] = errors
+        miss_indices = [
+            index for index in miss_indices if results[index] is None
+        ]
 
     if miss_indices:
         miss_tasks = [tasks[index] for index in miss_indices]
@@ -539,6 +561,10 @@ def run_scenario_tasks(
                 results[index] = errors
                 if cache is not None and keys[index] is not None:
                     cache.put(keys[index], errors)
+            if journal is not None:
+                # Durable before "settled": the record hits disk
+                # (fsync) before the engine counts the chunk done.
+                journal.record(chunk_to_indices[chunk_index], errors_list)
 
         context = (instance, config, options)
         try:
@@ -559,6 +585,11 @@ def run_scenario_tasks(
                 + f": {exc}",
                 lost,
             ) from exc
+        finally:
+            if journal is not None:
+                journal.close()
+    elif journal is not None:
+        journal.close()
     return results
 
 

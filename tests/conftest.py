@@ -6,6 +6,9 @@ must be function-scoped or copied.
 
 from __future__ import annotations
 
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -16,6 +19,63 @@ from repro.model import (
 )
 from repro.simulate import ExactPathStateDistribution
 from repro.topogen import fig_1a, fig_1b, generate_brite, generate_planetlab
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the budget "
+        "(SIGALRM-based; deferred to the pytest-timeout plugin when it is "
+        "installed)",
+    )
+
+
+def _timeout_budget(item) -> float | None:
+    """The effective ``timeout`` budget for *item*, or None."""
+    marker = item.get_closest_marker("timeout")
+    if marker is None:
+        return None
+    if marker.args:
+        seconds = marker.args[0]
+    else:
+        seconds = marker.kwargs.get("seconds")
+    if seconds is None:
+        return None
+    seconds = float(seconds)
+    return seconds if seconds > 0 else None
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` without the plugin.
+
+    The container does not ship pytest-timeout, so the dist suite's hang
+    protection is implemented here with a real-time SIGALRM.  When the
+    actual plugin is present it wins: this hook becomes a pass-through so
+    the two implementations never race over the same signal.
+    """
+    seconds = _timeout_budget(item)
+    can_alarm = (
+        seconds is not None
+        and not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "setitimer")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not can_alarm:
+        return (yield)
+
+    def _expired(signum, frame):
+        pytest.fail(
+            f"test exceeded its {seconds:g}s timeout budget", pytrace=False
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture(scope="session")

@@ -18,6 +18,7 @@ from repro.eval.dist import (
     PROTOCOL_VERSION,
     ChunkBoard,
     ConnectionClosed,
+    FaultPlan,
     HostSpec,
     ProtocolError,
     RemoteExecutor,
@@ -45,6 +46,10 @@ from repro.eval.parallel import (
 from repro.simulate.experiment import ExperimentConfig
 
 FAST = ExperimentConfig(n_snapshots=120, packets_per_path=200)
+
+# Hang protection for the whole dist suite: a deadlocked coordinator or
+# worker thread should fail a single test, not stall the entire run.
+pytestmark = pytest.mark.timeout(120)
 
 
 # ----------------------------------------------------------------------
@@ -998,8 +1003,8 @@ def ring_spy(monkeypatch):
     created = []
     real_create = coordinator_module.create_ring
 
-    def spy(n_slots, slot_size):
-        ring = real_create(n_slots, slot_size)
+    def spy(n_slots, slot_size, **kwargs):
+        ring = real_create(n_slots, slot_size, **kwargs)
         created.append(ring.name)
         return ring
 
@@ -1268,3 +1273,104 @@ class TestChunkBoard:
         board.requeue(1)
         assert board.claim() == 1  # ahead of chunk 2
         assert board.claim() == 2
+
+
+# ----------------------------------------------------------------------
+# Robustness surfaces: heartbeat gating, degradation stats (S2), ENOSPC
+# fallback (S3)
+# ----------------------------------------------------------------------
+class TestRobustnessSurfaces:
+    def test_v3_worker_gates_heartbeat_off_and_stays_identical(
+        self, planetlab_small
+    ):
+        """Heartbeats are feature-negotiated, never assumed.
+
+        A pre-v4 worker (``protocol_max=3``) cannot speak control
+        frames; a coordinator configured with an aggressive heartbeat
+        interval must leave liveness unarmed for that session rather
+        than time it out — and the sweep stays bit-identical.
+        """
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=61
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(2, protocol_max=3) as servers:
+            executor = RemoteExecutor(
+                [server.address for server in servers],
+                heartbeat_interval=0.2,
+            )
+            remote = run_scenario_tasks(
+                planetlab_small, tasks, config=FAST, executor=executor
+            )
+        _assert_identical(serial, remote)
+        stats = executor.last_sweep_stats
+        assert stats.heartbeat_timeouts == 0
+        assert stats.worker_losses == 0
+
+    @pytest.mark.skipif(
+        not pathlib.Path("/dev/shm").is_dir(),
+        reason="POSIX shared memory not mounted",
+    )
+    def test_inline_fallbacks_surface_in_sweep_stats(self, planetlab_small):
+        """S2: shm→inline degradation is counted, not silent.
+
+        Result slots far too small for any payload force every result
+        onto the inline socket path; the sweep stats must say so.
+        """
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=62
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1, capacity=2) as servers:
+            executor = RemoteExecutor(
+                [server.address for server in servers],
+                transport="shm",
+                shm_slot_bytes=8,
+            )
+            remote = run_scenario_tasks(
+                planetlab_small, tasks, config=FAST, executor=executor
+            )
+        _assert_identical(serial, remote)
+        stats = executor.last_sweep_stats
+        assert stats.shm_sessions == 1
+        assert stats.shm_inline_results > 0
+        assert sum(stats.inline_by_session.values()) > 0
+        assert "inline" in stats.render()
+
+    @pytest.mark.skipif(
+        not pathlib.Path("/dev/shm").is_dir(),
+        reason="POSIX shared memory not mounted",
+    )
+    def test_shm_enospc_falls_back_to_socket_bit_identical(
+        self, planetlab_small, ring_spy
+    ):
+        """S3: an exhausted /dev/shm degrades to sockets, not failure.
+
+        The ``shm-enospc`` chaos fault makes every ring creation fail
+        exactly as a full tmpfs would (``ENOSPC`` inside
+        ``create_ring``); the session must proceed on inline socket
+        payloads with no segments left behind.
+        """
+        from repro.eval.dist import faults
+
+        tasks = scenario_tasks(
+            "clustered", {"congested_fraction": 0.1}, n_trials=3, seed=63
+        )
+        serial = run_scenario_tasks(
+            planetlab_small, tasks, config=FAST, workers=1
+        )
+        with worker_fleet(1) as servers:
+            executor = RemoteExecutor(
+                [server.address for server in servers], transport="shm"
+            )
+            with faults.installed(FaultPlan.parse("shm-enospc")):
+                remote = run_scenario_tasks(
+                    planetlab_small, tasks, config=FAST, executor=executor
+                )
+        _assert_identical(serial, remote)
+        assert executor.last_sweep_stats.shm_sessions == 0
+        assert not _shm_segments()

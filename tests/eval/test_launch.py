@@ -399,3 +399,136 @@ class TestReadinessDeath:
         assert elapsed < 30
         assert "exited with status 3" in str(excinfo.value)
         assert "injected startup error" in str(excinfo.value)
+
+
+class TestStagedTeardown:
+    """S1: lifeline EOF → SIGCONT+SIGTERM → SIGKILL, bounded and total."""
+
+    @staticmethod
+    def _stub_worker(body):
+        process = subprocess.Popen(
+            [sys.executable, "-c", body],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        from repro.eval.dist import LaunchedWorker
+
+        worker = LaunchedWorker(process, "stub")
+        worker.watcher.ready.wait(timeout=20)
+        return worker
+
+    def test_sigterm_immune_worker_is_sigkilled(self):
+        """A worker that ignores both the lifeline and SIGTERM still
+        dies — the escalation must bottom out in SIGKILL."""
+        worker = self._stub_worker(
+            "import signal, time\n"
+            "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+            "print('worker listening on 127.0.0.1:1', flush=True)\n"
+            "while True:\n"
+            "    time.sleep(1)\n"
+        )
+        start = time.monotonic()
+        worker.terminate(grace=1.0)
+        elapsed = time.monotonic() - start
+        assert worker.process.poll() == -9
+        assert elapsed < 15
+
+    def test_sigstopped_worker_is_continued_then_reaped(self):
+        """A stopped process sees neither the lifeline EOF nor a
+        pending SIGTERM; the SIGCONT stage is what makes graceful
+        termination reachable at all."""
+        import signal as signal_module
+
+        from repro.eval.dist.launch import WorkerLauncher
+
+        worker = self._stub_worker(
+            "import time\n"
+            "print('worker listening on 127.0.0.1:1', flush=True)\n"
+            "time.sleep(600)\n"
+        )
+        os.kill(worker.pid, signal_module.SIGSTOP)
+        launcher = WorkerLauncher()
+        launcher.workers = [worker]
+        start = time.monotonic()
+        launcher.shutdown(grace=2.0)
+        elapsed = time.monotonic() - start
+        # Reaped by SIGTERM after the SIGCONT — SIGKILL never needed.
+        assert worker.process.poll() == -signal_module.SIGTERM
+        assert elapsed < 15
+        assert launcher.workers == []
+
+    def test_fleet_shutdown_escalates_in_parallel(self):
+        """Escalation cost is one grace period for the fleet, not one
+        per worker."""
+        from repro.eval.dist.launch import WorkerLauncher
+
+        body = (
+            "import signal, time\n"
+            "signal.signal(signal.SIGTERM, signal.SIG_IGN)\n"
+            "print('worker listening on 127.0.0.1:1', flush=True)\n"
+            "while True:\n"
+            "    time.sleep(1)\n"
+        )
+        workers = [self._stub_worker(body) for _ in range(3)]
+        launcher = WorkerLauncher()
+        launcher.workers = list(workers)
+        start = time.monotonic()
+        launcher.shutdown(grace=2.0)
+        elapsed = time.monotonic() - start
+        for worker in workers:
+            assert worker.process.poll() == -9
+        # Sequential escalation would cost ~3 × (2 + 2)s; the parallel
+        # stages keep the whole fleet inside ~one escalation budget.
+        assert elapsed < 10
+
+
+class TestLaunchRetry:
+    @staticmethod
+    def _flaky_interpreter(tmp_path, fail_times):
+        """A python wrapper that fails its first ``fail_times`` spawns,
+        then execs the real interpreter — a crash-on-startup flake."""
+        counter = tmp_path / "attempts"
+        script = tmp_path / "flaky-python"
+        script.write_text(
+            "#!/bin/sh\n"
+            f'count=$(cat "{counter}" 2>/dev/null || echo 0)\n'
+            f'echo $((count + 1)) > "{counter}"\n'
+            f"if [ \"$count\" -lt {fail_times} ]; then\n"
+            "  echo 'worker failed: transient spawn flake'\n"
+            "  exit 7\n"
+            "fi\n"
+            f'exec "{sys.executable}" "$@"\n'
+        )
+        script.chmod(0o755)
+        return str(script)
+
+    def test_transient_startup_flake_is_relaunched(self, tmp_path):
+        launcher = LocalLauncher(
+            1,
+            python=self._flaky_interpreter(tmp_path, fail_times=1),
+            launch_attempts=2,
+        )
+        specs = launcher.launch()
+        try:
+            assert len(specs) == 1
+            socket.create_connection(specs[0].endpoint, timeout=5).close()
+        finally:
+            launcher.shutdown()
+
+    def test_retry_budget_is_bounded(self, tmp_path):
+        """A deterministically broken worker still fails, with its
+        output, after exactly launch_attempts tries."""
+        counter_dir = tmp_path / "always"
+        counter_dir.mkdir()
+        launcher = LocalLauncher(
+            1,
+            python=self._flaky_interpreter(counter_dir, fail_times=99),
+            launch_attempts=2,
+        )
+        with pytest.raises(LaunchError, match="transient spawn flake"):
+            launcher.launch()
+        assert launcher.workers == []
+        attempts = int((counter_dir / "attempts").read_text())
+        assert attempts == 2
