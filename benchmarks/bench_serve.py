@@ -1,0 +1,338 @@
+"""Resident tomography service vs cold batch CLI (the PR-8 headline).
+
+Measures the thing tomography-as-a-service exists for: once a topology
+is loaded and its measurement-independent equation prep is warm, a
+localization query costs simulation + inference only — no interpreter
+start-up, no imports, no topology generation, no prep rebuild.
+
+Three legs over the same generator spec and query:
+
+* **warm service** — closed-loop sequential queries against a resident
+  ``repro-tomography serve`` process (p50/p99 latency), plus a
+  multi-client burst for throughput (QPS);
+* **cold CLI** — ``repro-tomography localize`` subprocesses, one per
+  query, each paying the full batch start-up;
+* **bit-identity** — always enforced: the warm service answer for the
+  gate seed must equal the cold CLI answer byte for byte.
+
+The headline gate::
+
+    python benchmarks/bench_serve.py --require-warm-gain 20
+
+asserts ``cold CLI p50 / warm service p50 >= 20``.  ``--quick`` is the
+CI smoke mode (tiny instance, fewer queries).  Every run appends a
+record to ``BENCH_serve.json`` (see ``benchmarks/bench_util.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+from bench_util import write_bench_json
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+PROFILES = {
+    "quick": {
+        "generator": {
+            "kind": "brite",
+            "n_ases": 12,
+            "routers_per_as": 3,
+            "n_paths": 30,
+            "seed": 7,
+        },
+        "query": {
+            "n_snapshots": 30,
+            "packets_per_path": 200,
+            "loc_snapshots": 2,
+        },
+        "warm_queries": 10,
+        "burst_clients": 4,
+        "burst_queries": 12,
+        "cold_runs": 2,
+    },
+    "full": {
+        "generator": {
+            "kind": "brite",
+            "n_ases": 40,
+            "routers_per_as": 5,
+            "n_paths": 120,
+            "seed": 7,
+        },
+        "query": {
+            "n_snapshots": 60,
+            "packets_per_path": 400,
+            "loc_snapshots": 4,
+        },
+        "warm_queries": 20,
+        "burst_clients": 6,
+        "burst_queries": 24,
+        "cold_runs": 3,
+    },
+}
+
+GATE_SEED = 3
+
+
+def _percentile(samples, fraction):
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+def _cli_env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        part
+        for part in (
+            os.path.join(REPO_ROOT, "src"),
+            env.get("PYTHONPATH", ""),
+        )
+        if part
+    )
+    return env
+
+
+def _localize_command(profile, seed):
+    query = profile["query"]
+    return [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "localize",
+        "--generator",
+        json.dumps(profile["generator"]),
+        "--seed",
+        str(seed),
+        "--n-snapshots",
+        str(query["n_snapshots"]),
+        "--packets-per-path",
+        str(query["packets_per_path"]),
+        "--loc-snapshots",
+        str(query["loc_snapshots"]),
+        "--no-cache",
+    ]
+
+
+def _run_cold_cli(profile, seed):
+    """One full batch invocation; returns (wall seconds, result JSON)."""
+    start = time.perf_counter()
+    completed = subprocess.run(
+        _localize_command(profile, seed),
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_cli_env(),
+        check=False,
+    )
+    elapsed = time.perf_counter() - start
+    if completed.returncode != 0:
+        raise RuntimeError(
+            f"cold CLI failed (rc={completed.returncode}):\n"
+            f"{completed.stderr[-2000:]}"
+        )
+    return elapsed, json.loads(completed.stdout)["result"]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: tiny instance, fewer queries",
+    )
+    parser.add_argument(
+        "--require-warm-gain",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help=(
+            "fail unless cold-CLI p50 / warm-service p50 is at least "
+            "this ratio"
+        ),
+    )
+    parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="write BENCH_serve.json here (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    profile = PROFILES["quick" if args.quick else "full"]
+    query = dict(profile["query"], kind="localization")
+
+    # Late imports: the service client is part of the measured package.
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.serve.client import ServiceClient
+
+    print(f"== bench_serve ({'quick' if args.quick else 'full'}) ==")
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--port",
+            "0",
+            "--no-cache",
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        cwd=REPO_ROOT,
+        env=_cli_env(),
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        if not banner.startswith("serving on "):
+            raise RuntimeError(f"unexpected service banner: {banner!r}")
+        port = int(banner.rsplit(":", 1)[1])
+
+        with ServiceClient(port=port, timeout=600) as client:
+            load_start = time.perf_counter()
+            fingerprint = client.load_topology(
+                generator=profile["generator"], name="bench"
+            )
+            load_s = time.perf_counter() - load_start
+            print(f"  loaded {fingerprint[:12]} in {load_s:.3f}s")
+
+            # Warm-up: first query pays any lazy-import / allocator
+            # costs inside the resident process.
+            client.query(fingerprint, dict(query, seed=GATE_SEED))
+
+            # Closed-loop warm latency.
+            warm_s = []
+            gate_answer = None
+            for index in range(profile["warm_queries"]):
+                seed = GATE_SEED + index
+                start = time.perf_counter()
+                answer = client.query(fingerprint, dict(query, seed=seed))
+                warm_s.append(time.perf_counter() - start)
+                if seed == GATE_SEED:
+                    gate_answer = answer
+
+            # Multi-client burst for throughput.
+            burst_errors = []
+            burst_lock = threading.Lock()
+            counter = iter(range(profile["burst_queries"]))
+
+            def burst_worker():
+                try:
+                    with ServiceClient(port=port, timeout=600) as own:
+                        while True:
+                            with burst_lock:
+                                try:
+                                    index = next(counter)
+                                except StopIteration:
+                                    return
+                            own.query(
+                                fingerprint,
+                                dict(query, seed=1000 + index),
+                            )
+                except Exception as exc:  # noqa: BLE001 - surfaced below
+                    burst_errors.append(exc)
+
+            threads = [
+                threading.Thread(target=burst_worker)
+                for _ in range(profile["burst_clients"])
+            ]
+            burst_start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            burst_s = time.perf_counter() - burst_start
+            if burst_errors:
+                raise RuntimeError(f"burst failed: {burst_errors[0]}")
+            stats = client.stats()
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+
+    # Cold CLI leg + bit-identity check on the gate seed.
+    cold_s = []
+    cold_reference = None
+    for _ in range(profile["cold_runs"]):
+        elapsed, result = _run_cold_cli(profile, GATE_SEED)
+        cold_s.append(elapsed)
+        cold_reference = result
+
+    from repro.serve.queries import decode_vectors, encode_vectors
+
+    reference = decode_vectors(cold_reference)
+    served = gate_answer
+    mismatched = [
+        name
+        for name in reference
+        if encode_vectors({name: served[name]})[name]
+        != encode_vectors({name: reference[name]})[name]
+    ]
+    if set(served) != set(reference) or mismatched:
+        raise SystemExit(
+            f"BIT-IDENTITY FAILED: service != cold CLI on {mismatched}"
+        )
+    print("  bit-identity: service == cold CLI (gate seed)")
+
+    warm_p50 = statistics.median(warm_s)
+    warm_p99 = _percentile(warm_s, 0.99)
+    cold_p50 = statistics.median(cold_s)
+    qps = profile["burst_queries"] / burst_s
+    warm_gain = cold_p50 / warm_p50
+    batcher = next(iter(stats["batchers"].values()))
+
+    print(
+        f"  warm service : p50={warm_p50 * 1000:8.1f}ms  "
+        f"p99={warm_p99 * 1000:8.1f}ms  ({len(warm_s)} queries)"
+    )
+    print(
+        f"  burst        : {qps:8.1f} QPS  "
+        f"({profile['burst_clients']} clients, "
+        f"max batch {batcher['max_batch']})"
+    )
+    print(
+        f"  cold CLI     : p50={cold_p50 * 1000:8.1f}ms  "
+        f"({len(cold_s)} runs)"
+    )
+    print(f"  warm gain    : {warm_gain:8.1f}x")
+
+    write_bench_json(
+        "serve",
+        params={
+            "quick": bool(args.quick),
+            "generator": profile["generator"],
+            "query": query,
+            "warm_queries": profile["warm_queries"],
+            "burst_clients": profile["burst_clients"],
+            "burst_queries": profile["burst_queries"],
+            "cold_runs": profile["cold_runs"],
+        },
+        timings_s={
+            "topology_load": load_s,
+            "warm_p50": warm_p50,
+            "warm_p99": warm_p99,
+            "cold_cli_p50": cold_p50,
+            "burst_wall": burst_s,
+        },
+        ratios={"warm_gain": warm_gain, "qps": qps},
+        out_dir=args.json_dir,
+    )
+
+    if args.require_warm_gain is not None and warm_gain < args.require_warm_gain:
+        print(
+            f"GATE FAILED: warm gain {warm_gain:.1f}x < "
+            f"required {args.require_warm_gain:.1f}x",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -313,6 +313,192 @@ def build_parser() -> argparse.ArgumentParser:
     tomographer.add_argument(
         "--topology", choices=("brite", "planetlab"), default="planetlab"
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help=(
+            "run the resident tomography service: load topologies once, "
+            "answer localization/identifiability queries over HTTP with "
+            "warm equation prep and per-topology request batching"
+        ),
+    )
+    serve.add_argument(
+        "--bind",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="interface to listen on (default loopback)",
+    )
+    serve.add_argument(
+        "--port",
+        type=_port_number,
+        default=0,
+        help="TCP port (default 0 = ephemeral, printed on startup)",
+    )
+    serve.add_argument(
+        "--max-topologies",
+        type=_numeric_flag("max-topologies", int, minimum=1, hint=">= 1"),
+        default=4,
+        metavar="N",
+        help="topology-store capacity (loads beyond it return 409)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=1,
+        help=(
+            "engine workers per query batch (1 = in-process serial, "
+            "0 = one per CPU core via a local pool)"
+        ),
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=_numeric_flag("batch-max", int, minimum=1, hint=">= 1"),
+        default=8,
+        metavar="N",
+        help="largest coalesced query batch per topology",
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=_numeric_flag(
+            "flush-interval", float, minimum=0, hint=">= 0 seconds"
+        ),
+        default=0.005,
+        metavar="SECONDS",
+        help="how long a non-full batch waits for stragglers",
+    )
+    serve.add_argument(
+        "--max-pending",
+        type=_numeric_flag("max-pending", int, minimum=1, hint=">= 1"),
+        default=64,
+        metavar="N",
+        help=(
+            "bounded per-topology queue; submissions beyond it are shed "
+            "with 429 (backpressure)"
+        ),
+    )
+    serve.add_argument(
+        "--preload",
+        action="append",
+        default=None,
+        metavar="JSON",
+        help=(
+            "generator spec to load before accepting traffic, e.g. "
+            "\'{\"kind\": \"brite\", \"n_ases\": 40, \"seed\": 7}\' "
+            "(repeatable)"
+        ),
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help=(
+            "trial cache shared with batch runs (default: REPRO_CACHE_DIR, "
+            "else off); repeated identical queries then load from disk"
+        ),
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache even if REPRO_CACHE_DIR is set",
+    )
+
+    localize = commands.add_parser(
+        "localize",
+        help=(
+            "run one localization/identifiability query as a cold batch "
+            "job and print its canonical JSON result — the reference the "
+            "service must match bit for bit"
+        ),
+    )
+    localize.add_argument(
+        "--topology", choices=("brite", "planetlab"), default="brite"
+    )
+    localize.add_argument(
+        "--scale",
+        choices=("small", "medium", "paper"),
+        default="small",
+        help="instance size preset",
+    )
+    localize.add_argument(
+        "--instance-seed",
+        type=int,
+        default=0,
+        help="seed of the generated instance (not of the query)",
+    )
+    localize.add_argument(
+        "--generator",
+        default=None,
+        metavar="JSON",
+        help=(
+            "explicit generator spec overriding --topology/--scale/"
+            "--instance-seed; the same JSON a service client posts, so "
+            "both sides provably query the identical instance"
+        ),
+    )
+    localize.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="query seed (overrides the top-level --seed)",
+    )
+    localize.add_argument(
+        "--kind",
+        choices=("localization", "identifiability"),
+        default="localization",
+    )
+    localize.add_argument(
+        "--congested-fraction", type=float, default=0.10
+    )
+    localize.add_argument(
+        "--per-set-range",
+        choices=("high", "loose"),
+        default="high",
+        help="congestion clustering preset (Figure-3 vocabulary)",
+    )
+    localize.add_argument(
+        "--n-snapshots", type=int, default=120, help="simulated rounds"
+    )
+    localize.add_argument(
+        "--packets-per-path",
+        type=int,
+        default=400,
+        help="probe budget per path per round (0 = infinite traffic)",
+    )
+    localize.add_argument(
+        "--loc-snapshots",
+        type=int,
+        default=8,
+        help="snapshots localized and scored",
+    )
+    localize.add_argument(
+        "--max-nodes",
+        type=int,
+        default=20_000,
+        help="branch-and-bound budget per snapshot",
+    )
+    localize.add_argument(
+        "--max-subset-size",
+        type=int,
+        default=2,
+        help="identifiability queries: subset enumeration bound",
+    )
+    localize.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        help="engine workers (1 = serial; default REPRO_WORKERS)",
+    )
+    localize.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="trial cache (default: REPRO_CACHE_DIR, else off)",
+    )
+    localize.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache even if REPRO_CACHE_DIR is set",
+    )
     return parser
 
 
@@ -1363,6 +1549,96 @@ def _run_worker(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    import json
+
+    from repro.serve.registry import instance_from_payload
+    from repro.serve.server import TomographyService, serve_forever
+
+    preloads = []
+    for spec in args.preload or ():
+        try:
+            payload = json.loads(spec)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"error: --preload: invalid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise SystemExit("error: --preload must be a JSON object")
+        preloads.append(payload)
+    service = TomographyService(
+        host=args.bind,
+        port=args.port,
+        max_topologies=args.max_topologies,
+        workers=args.workers,
+        batch_max=args.batch_max,
+        flush_interval=args.flush_interval,
+        max_pending=args.max_pending,
+        cache=_make_cache(args),
+    )
+
+    def banner(svc) -> None:
+        for payload in preloads:
+            entry, _ = svc.store.load(
+                instance_from_payload({"generator": payload}),
+                name=payload.get("name"),
+                make_batcher=svc._make_batcher,
+            )
+            print(f"preloaded {entry.fingerprint}", flush=True)
+        # Machine-parseable, like the dist worker's "listening on" line:
+        # launchers read it to learn ephemeral ports.
+        print(f"serving on {svc.host}:{svc.port}", flush=True)
+
+    try:
+        serve_forever(service, banner=banner)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_localize(args) -> int:
+    import json
+
+    from repro.io import canonical_json
+    from repro.serve.queries import encode_vectors, run_query
+    from repro.serve.registry import instance_from_payload
+
+    if args.generator is not None:
+        try:
+            generator = json.loads(args.generator)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(
+                f"error: --generator: invalid JSON: {exc}"
+            ) from None
+        try:
+            instance = instance_from_payload({"generator": generator})
+        except ValueError as exc:
+            raise SystemExit(f"error: --generator: {exc}") from None
+    else:
+        from repro.eval.figures import default_instance
+
+        instance = default_instance(
+            args.topology, scale=args.scale, seed=args.instance_seed
+        )
+    query: dict = {"kind": args.kind, "seed": args.seed}
+    if args.kind == "localization":
+        query.update(
+            congested_fraction=args.congested_fraction,
+            per_set_range=args.per_set_range,
+            n_snapshots=args.n_snapshots,
+            packets_per_path=(
+                None if args.packets_per_path == 0 else args.packets_per_path
+            ),
+            loc_snapshots=args.loc_snapshots,
+            max_nodes=args.max_nodes,
+        )
+    else:
+        query["max_subset_size"] = args.max_subset_size
+    result = run_query(
+        instance, query, workers=args.workers, cache=_make_cache(args)
+    )
+    print(canonical_json({"result": encode_vectors(result)}))
+    return 0
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "figure3": _run_figure3,
@@ -1371,6 +1647,8 @@ _HANDLERS = {
     "figure5": _run_figure5,
     "tomographer": _run_tomographer,
     "worker": _run_worker,
+    "serve": _run_serve,
+    "localize": _run_localize,
 }
 
 

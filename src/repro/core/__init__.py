@@ -36,6 +36,13 @@ from repro.core.localization import (
     localize_smallest_set,
 )
 from repro.core.nguyen_thiran import infer_congestion_single_path
+from repro.core.prepared import (
+    DEFAULT_REGISTRY,
+    PreparedRegistry,
+    PreparedTopology,
+    get_prepared,
+    use_registry,
+)
 from repro.core.results import InferenceResult
 from repro.core.solvers import solve, solve_bounded_least_squares, solve_l1
 from repro.core.theorem import TheoremAlgorithm, TheoremResult
@@ -67,6 +74,11 @@ __all__ = [
     "EquationRow",
     "EquationSystem",
     "build_equations",
+    "PreparedTopology",
+    "PreparedRegistry",
+    "DEFAULT_REGISTRY",
+    "get_prepared",
+    "use_registry",
     "solve",
     "solve_l1",
     "solve_bounded_least_squares",

@@ -20,6 +20,7 @@ import numpy as np
 from repro.core.correlation import CorrelationStructure
 from repro.core.equations import build_equations
 from repro.core.interfaces import PathGoodProvider
+from repro.core.prepared import PreparedRegistry, PreparedTopology, get_prepared
 from repro.core.results import InferenceResult
 from repro.core.solvers import solve
 from repro.core.topology import Topology
@@ -53,6 +54,8 @@ def infer_congestion(
     *,
     options: AlgorithmOptions | None = None,
     algorithm_label: str = "correlation",
+    prepared: PreparedTopology | None = None,
+    registry: PreparedRegistry | None = None,
 ) -> InferenceResult:
     """Run the Section-4 algorithm end to end.
 
@@ -66,6 +69,10 @@ def infer_congestion(
             or exact oracle).
         options: Algorithm knobs; defaults follow the paper.
         algorithm_label: Recorded in the result for reporting.
+        prepared: Pre-built measurement-independent state (skips the
+            registry lookup entirely).
+        registry: Prepared-state registry to resolve against; ``None``
+            uses the ambient/default registry.
     """
     options = options or AlgorithmOptions()
     system = build_equations(
@@ -75,6 +82,8 @@ def infer_congestion(
         selection=options.selection,
         max_pair_candidates=options.max_pair_candidates,
         pair_order_seed=options.pair_order_seed,
+        prepared=prepared,
+        registry=registry,
     )
     matrix, values = system.sparse_matrix()
     solution, solver_used = solve(matrix, values, method=options.solver)
@@ -118,6 +127,7 @@ class CorrelationTomography:
         self._topology = topology
         self._correlation = correlation
         self._options = options or AlgorithmOptions()
+        self._prepared: PreparedTopology | None = None
 
     @property
     def topology(self) -> Topology:
@@ -127,6 +137,12 @@ class CorrelationTomography:
     def correlation(self) -> CorrelationStructure:
         return self._correlation
 
+    def prepare(self) -> PreparedTopology:
+        """Warm (and pin) the measurement-independent prepared state."""
+        if self._prepared is None:
+            self._prepared = get_prepared(self._topology, self._correlation)
+        return self._prepared
+
     def infer(self, measurements: PathGoodProvider) -> InferenceResult:
         """Infer congestion probabilities from one measurement batch."""
         return infer_congestion(
@@ -134,4 +150,5 @@ class CorrelationTomography:
             self._correlation,
             measurements,
             options=self._options,
+            prepared=self.prepare(),
         )

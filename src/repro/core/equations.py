@@ -40,7 +40,6 @@ materialised on explicit request.
 
 from __future__ import annotations
 
-import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -48,6 +47,14 @@ from scipy import sparse
 
 from repro.core.correlation import CorrelationStructure
 from repro.core.interfaces import PathGoodProvider, batch_log_good_all
+from repro.core.prepared import (  # noqa: F401  (re-exported for compat)
+    PreparedRegistry,
+    PreparedTopology,
+    _RankTracker,
+    _row_vector,
+    _shared_link_pair_candidates,
+    get_prepared,
+)
 from repro.core.topology import Topology
 from repro.exceptions import SolverError
 from repro.utils.rng import as_generator
@@ -133,153 +140,6 @@ class EquationSystem:
         return self.rank >= self.n_links
 
 
-class _RankTracker:
-    """Incremental Gaussian elimination over accepted rows.
-
-    Stored rows are kept *fully* reduced (reduced row-echelon form): each
-    is normalised at its pivot and has zeros at every other stored pivot.
-    Reducing a candidate therefore needs a single gather of its pivot
-    coefficients plus one small matrix product over the rows with nonzero
-    coefficient — no Python loop over the stored rows.
-    """
-
-    def __init__(self, n_cols: int, tol: float = 1e-9) -> None:
-        self._n_cols = n_cols
-        self._tol = tol
-        self._rows = np.empty((min(n_cols, 64), n_cols), dtype=np.float64)
-        self._pivots = np.empty(n_cols, dtype=np.int64)
-        self._rank = 0
-
-    @property
-    def rank(self) -> int:
-        return self._rank
-
-    def residual(self, row: np.ndarray) -> np.ndarray:
-        reduced = row.astype(np.float64, copy=True)
-        if self._rank:
-            pivots = self._pivots[: self._rank]
-            coefficients = reduced[pivots]
-            nonzero = np.flatnonzero(coefficients)
-            if nonzero.size:
-                reduced -= coefficients[nonzero] @ self._rows[nonzero]
-        return reduced
-
-    def batch_dependent(self, rows) -> np.ndarray:
-        """True for rows already inside the tracked row space.
-
-        A residual that vanishes at rank ``r`` stays zero as the space
-        only grows, so such rows can never be accepted later — callers
-        use this to discard hopeless candidates in one sparse product
-        instead of examining them one by one.
-        """
-        n_rows = rows.shape[0]
-        if self._rank == 0 or n_rows == 0:
-            return np.zeros(n_rows, dtype=bool)
-        stored = self._rows[: self._rank]
-        pivots = self._pivots[: self._rank]
-        dependent = np.empty(n_rows, dtype=bool)
-        # Chunked so the dense residual block stays bounded regardless
-        # of how many candidates the caller throws at us.
-        chunk = max(1, 8 * 1024 * 1024 // (8 * max(1, self._n_cols)))
-        for start in range(0, n_rows, chunk):
-            block = rows[start : start + chunk]
-            residual = block[:, pivots] @ stored
-            np.negative(residual, out=residual)
-            # Add the sparse candidate entries without densifying them;
-            # CSR entries are unique, so a fancy-indexed add suffices.
-            coo = block.tocoo()
-            residual[coo.row, coo.col] += coo.data
-            dependent[start : start + chunk] = (
-                np.abs(residual).max(axis=1) <= self._tol
-            )
-        return dependent
-
-    def clone(self) -> "_RankTracker":
-        """Independent copy of the current elimination state.
-
-        Lets measurement-independent prefixes of the elimination (the
-        single-path phase, which depends only on topology + correlation)
-        be computed once and reused across measurement batches.
-        """
-        other = _RankTracker.__new__(_RankTracker)
-        other._n_cols = self._n_cols
-        other._tol = self._tol
-        other._rows = self._rows[: self._rank].copy()
-        other._pivots = self._pivots.copy()
-        other._rank = self._rank
-        return other
-
-    def try_add(self, row: np.ndarray) -> bool:
-        """Add ``row`` if it increases the rank; report whether it did."""
-        reduced = self.residual(row)
-        pivot = int(np.argmax(np.abs(reduced)))
-        if abs(reduced[pivot]) <= self._tol:
-            return False
-        reduced /= reduced[pivot]
-        rank = self._rank
-        if rank == self._rows.shape[0]:
-            grown = np.empty(
-                (min(self._n_cols, max(64, 2 * rank)), self._n_cols),
-                dtype=np.float64,
-            )
-            grown[:rank] = self._rows[:rank]
-            self._rows = grown
-        if rank:
-            # Restore RREF: eliminate the new pivot from stored rows.
-            column = self._rows[:rank, pivot].copy()
-            nonzero = np.flatnonzero(column)
-            if nonzero.size:
-                self._rows[nonzero] -= column[nonzero, None] * reduced
-        self._rows[rank] = reduced
-        self._pivots[rank] = pivot
-        self._rank = rank + 1
-        return True
-
-
-def _row_vector(link_ids, n_links: int) -> np.ndarray:
-    row = np.zeros(n_links, dtype=np.float64)
-    row[sorted(link_ids)] = 1.0
-    return row
-
-
-def _shared_link_pair_candidates(
-    topology: Topology,
-    eligible_mask: np.ndarray,
-) -> np.ndarray:
-    """Unique eligible-path pairs sharing at least one link, as an
-    ``(m, 2)`` array.
-
-    Enumeration order matches the historical generator: scan links in id
-    order, emit the pairs of eligible paths through each link in
-    lexicographic order, and keep the first occurrence of every pair.
-    """
-    routing = topology.routing_matrix_sparse().tocsc()
-    blocks_a: list[np.ndarray] = []
-    blocks_b: list[np.ndarray] = []
-    for link_id in range(topology.n_links):
-        through = routing.indices[
-            routing.indptr[link_id] : routing.indptr[link_id + 1]
-        ]
-        through = through[eligible_mask[through]]
-        if through.size < 2:
-            continue
-        first, second = np.triu_indices(through.size, k=1)
-        blocks_a.append(through[first])
-        blocks_b.append(through[second])
-    if not blocks_a:
-        return np.empty((0, 2), dtype=np.int64)
-    pairs = np.stack(
-        [
-            np.concatenate(blocks_a).astype(np.int64),
-            np.concatenate(blocks_b).astype(np.int64),
-        ],
-        axis=1,
-    )
-    codes = pairs[:, 0] * np.int64(topology.n_paths) + pairs[:, 1]
-    _, first_seen = np.unique(codes, return_index=True)
-    return pairs[np.sort(first_seen)]
-
-
 def _single_values(
     measurements: PathGoodProvider,
     path_ids: list[int],
@@ -309,62 +169,6 @@ def _pair_values(
     return None
 
 
-#: Measurement-independent builder state per correlation structure: the
-#: eligible paths, the single-path elimination (rows + tracker snapshot),
-#: the candidate pairs with their eligibility verdicts, and the lazily
-#: computed dependence mask.  A sweep re-infers against the same
-#: (topology, correlation) for every trial; this prep is computed once.
-_BUILDER_PREP: "weakref.WeakKeyDictionary[CorrelationStructure, dict]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
-def _builder_prep(
-    topology: Topology, correlation: CorrelationStructure
-) -> dict:
-    prep = _BUILDER_PREP.get(correlation)
-    if prep is not None and prep["topology"] is topology:
-        return prep
-    n_links = topology.n_links
-    eligible_mask = correlation.path_correlation_free_mask()
-    eligible = [int(path_id) for path_id in np.flatnonzero(eligible_mask)]
-    tracker = _RankTracker(n_links)
-    singles = []
-    for path_id in eligible:
-        link_ids = frozenset(topology.paths[path_id].link_ids)
-        added = tracker.try_add(_row_vector(link_ids, n_links))
-        singles.append((path_id, link_ids, added))
-    candidates = _shared_link_pair_candidates(topology, eligible_mask)
-    prep = {
-        "topology": topology,
-        "eligible": tuple(eligible),
-        "singles": tuple(singles),
-        "tracker": tracker,
-        "candidates": candidates,
-        "pair_eligible": correlation.pairs_correlation_free(candidates),
-        "dependent_mask": None,
-    }
-    _BUILDER_PREP[correlation] = prep
-    return prep
-
-
-def _dependent_mask(topology: Topology, prep: dict) -> np.ndarray:
-    """Batch dependence verdicts for the cached candidates (lazy).
-
-    Candidates whose union row is already spanned by the single-path
-    rows can never be accepted; dropping them spares the sequential
-    examination.  The mask is order-independent, so it is computed once
-    per correlation structure and permuted alongside the candidates.
-    """
-    if prep["dependent_mask"] is None:
-        candidates = prep["candidates"]
-        links = topology.routing_matrix_sparse()
-        union = links[candidates[:, 0]] + links[candidates[:, 1]]
-        union.data = np.minimum(union.data, 1.0)
-        prep["dependent_mask"] = prep["tracker"].batch_dependent(union)
-    return prep["dependent_mask"]
-
-
 def build_equations(
     topology: Topology,
     correlation: CorrelationStructure,
@@ -373,6 +177,8 @@ def build_equations(
     selection: str = "independent",
     max_pair_candidates: int = 200_000,
     pair_order_seed=0,
+    prepared: PreparedTopology | None = None,
+    registry: PreparedRegistry | None = None,
 ) -> EquationSystem:
     """Assemble the Section-4 equation system.
 
@@ -389,6 +195,11 @@ def build_equations(
         pair_order_seed: Seed for shuffling pair candidates so truncation
             is not biased toward low-id links; ``None`` keeps generation
             order.
+        prepared: Pre-built measurement-independent state for this
+            ``(topology, correlation)`` pair; skips the registry lookup.
+        registry: Registry to resolve/cache the prepared state in;
+            defaults to the ambient registry (see
+            :func:`repro.core.prepared.use_registry`).
     """
     if selection not in ("independent", "all"):
         raise ValueError(
@@ -396,16 +207,18 @@ def build_equations(
         )
     n_links = topology.n_links
     system = EquationSystem(n_links=n_links)
-    prep = _builder_prep(topology, correlation)
-    tracker = prep["tracker"].clone()
-    system.eligible_paths = prep["eligible"]
+    prep = get_prepared(
+        topology, correlation, registry=registry, prepared=prepared
+    )
+    tracker = prep.clone_tracker()
+    system.eligible_paths = prep.eligible
 
     # --- Single-path rows (Eq. 9) -------------------------------------
     single_values = _single_values(
-        measurements, list(prep["eligible"]), topology.n_paths
+        measurements, list(prep.eligible), topology.n_paths
     )
     for (path_id, link_ids, added), value in zip(
-        prep["singles"], single_values
+        prep.singles, single_values
     ):
         if selection == "all" or added:
             system.rows.append(
@@ -420,8 +233,8 @@ def build_equations(
 
     # --- Pair rows (Eq. 10) -------------------------------------------
     if tracker.rank < n_links or selection == "all":
-        candidates = prep["candidates"]
-        pair_eligible = prep["pair_eligible"]
+        candidates = prep.candidates
+        pair_eligible = prep.pair_eligible
         # Prefilter is skipped when the candidate cap binds (dropped
         # rows would otherwise still count as "examined") and in "all"
         # mode, which keeps dependent rows.
@@ -429,9 +242,7 @@ def build_equations(
             selection == "independent"
             and 0 < candidates.shape[0] <= max_pair_candidates
         )
-        keep = (
-            ~_dependent_mask(topology, prep) if use_prefilter else None
-        )
+        keep = ~prep.dependent_mask() if use_prefilter else None
         if pair_order_seed is not None:
             # Permute the FULL candidate list — identical RNG use and
             # examination order to the historical builder — and only

@@ -32,6 +32,7 @@ from repro.eval.localization_eval import (
 from repro.eval.mislabel import make_mislabeled_scenario
 from repro.eval.parallel import (
     SCENARIO_FACTORIES,
+    TASK_RUNNERS,
     ChunkExecutionError,
     LocalExecutor,
     ScenarioTask,
@@ -57,6 +58,7 @@ from repro.eval.scenario import (
     LOOSE_CORRELATION_RANGE,
     CongestionScenario,
     make_clustered_scenario,
+    resolve_per_set_range,
 )
 from repro.eval.unidentifiable import make_unidentifiable_scenario
 

@@ -30,6 +30,11 @@ Every driver also accepts ``cache`` (a
 stored load from disk instead of executing, making repeated figure
 regenerations and overlapping sweeps incremental.  Cached and
 recomputed runs are bit-identical at a fixed seed.
+
+``registry`` (a :class:`repro.core.prepared.PreparedRegistry`) scopes
+where the measurement-independent equation prep is cached for
+in-process execution — resident callers (the service layer) pass their
+own registry so batch sweeps and service queries share warmed prep.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.core.prepared import PreparedRegistry
 from repro.eval.metrics import (
     DEFAULT_CDF_GRID,
     ErrorStats,
@@ -172,6 +178,7 @@ def _pooled_errors(
     cache=None,
     executor=None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> dict[str, np.ndarray]:
     """Run ``n_trials`` experiments, pooling per-link errors."""
     tasks = scenario_tasks(
@@ -186,6 +193,7 @@ def _pooled_errors(
         cache=cache,
         executor=executor,
         journal=journal,
+        registry=registry,
     )
     return pool_errors(tasks, results, 1)[0]
 
@@ -246,6 +254,7 @@ def figure3_sweep(
     cache=None,
     executor=None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> SweepResult:
     """Figures 3(a) and 3(b): error statistics vs congested fraction.
 
@@ -267,6 +276,7 @@ def figure3_sweep(
         cache=cache,
         executor=executor,
         journal=journal,
+        registry=registry,
     )
     pooled = pool_errors(tasks, results, len(fractions))
     points = [
@@ -304,6 +314,7 @@ def figure3_cdf(
     cache=None,
     executor=None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> CdfResult:
     """Figure 3(c) (``correlation_level="high"``) / 3(d) (``"loose"``)."""
     if correlation_level == "high":
@@ -332,6 +343,7 @@ def figure3_cdf(
         cache=cache,
         executor=executor,
         journal=journal,
+        registry=registry,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -365,6 +377,7 @@ def figure4_cdf(
     cache=None,
     executor=None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> CdfResult:
     """Figure 4: CDFs with a fraction of congested links unidentifiable."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -384,6 +397,7 @@ def figure4_cdf(
         cache=cache,
         executor=executor,
         journal=journal,
+        registry=registry,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)
@@ -417,6 +431,7 @@ def figure5_cdf(
     cache=None,
     executor=None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> CdfResult:
     """Figure 5: CDFs with a fraction of congested links mislabeled."""
     instance = instance or default_instance(topology, scale=scale, seed=seed)
@@ -436,6 +451,7 @@ def figure5_cdf(
         cache=cache,
         executor=executor,
         journal=journal,
+        registry=registry,
     )
     grid = np.asarray(grid, dtype=np.float64)
     curves = _cdf_curves(errors, grid)

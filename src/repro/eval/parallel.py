@@ -43,6 +43,7 @@ fan-out without threading a flag through every entry point.
 
 from __future__ import annotations
 
+import importlib
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
@@ -50,6 +51,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.core.prepared import PreparedRegistry, use_registry
 from repro.eval.mislabel import make_mislabeled_scenario
 from repro.eval.runner import run_comparison
 from repro.eval.scenario import make_clustered_scenario
@@ -61,6 +63,8 @@ from repro.utils.rng import clone_generator, spawn_children
 
 __all__ = [
     "SCENARIO_FACTORIES",
+    "TASK_RUNNERS",
+    "register_task_runner",
     "ScenarioTask",
     "scenario_tasks",
     "resolve_workers",
@@ -79,6 +83,58 @@ SCENARIO_FACTORIES = {
     "unidentifiable": make_unidentifiable_scenario,
     "mislabeled": make_mislabeled_scenario,
 }
+
+#: Generalised task runners, addressable by name from worker processes.
+#: A runner owns the *whole* trial — signature
+#: ``runner(instance, config, options, task) -> dict[str, np.ndarray]``
+#: with float64 vectors only (the packed chunk transport refuses other
+#: dtypes) — whereas a scenario factory only builds the scenario for the
+#: standard simulate→infer→score flow.  Names containing ``:`` are
+#: dotted ``"module:attribute"`` specs resolved lazily on first use, so
+#: they work unchanged in freshly spawned pool workers and remote dist
+#: workers (the name carries its own import path) and ship through the
+#: dist codec as ordinary factory strings.
+TASK_RUNNERS: dict = {}
+
+
+def register_task_runner(name: str, runner) -> None:
+    """Register *runner* under *name* for :class:`ScenarioTask` dispatch.
+
+    Explicit registration only helps in-process executors; prefer dotted
+    ``"module:attribute"`` names for anything that crosses a process
+    boundary.
+    """
+    if name in SCENARIO_FACTORIES:
+        raise ValueError(f"{name!r} is already a scenario factory")
+    if not callable(runner):
+        raise TypeError(f"task runner {name!r} must be callable")
+    TASK_RUNNERS[name] = runner
+
+
+def _resolve_task_runner(name: str):
+    runner = TASK_RUNNERS.get(name)
+    if runner is not None:
+        return runner
+    module_name, separator, attribute = name.partition(":")
+    if not separator or not module_name or not attribute:
+        raise ValueError(
+            f"unknown scenario factory {name!r}; available: "
+            f"{sorted(SCENARIO_FACTORIES)}, a registered task runner "
+            f"({sorted(TASK_RUNNERS)}), or a dotted 'module:attribute' "
+            "runner spec"
+        )
+    module = importlib.import_module(module_name)
+    try:
+        runner = getattr(module, attribute)
+    except AttributeError:
+        raise ValueError(
+            f"module {module_name!r} has no attribute {attribute!r} "
+            f"(from task-runner spec {name!r})"
+        ) from None
+    if not callable(runner):
+        raise ValueError(f"task-runner spec {name!r} is not callable")
+    TASK_RUNNERS[name] = runner
+    return runner
 
 
 @dataclass(frozen=True)
@@ -117,10 +173,9 @@ def scenario_tasks(
     regenerated through the engine reproduce the serial results exactly.
     """
     if factory not in SCENARIO_FACTORIES:
-        raise ValueError(
-            f"unknown scenario factory {factory!r}; "
-            f"available: {sorted(SCENARIO_FACTORIES)}"
-        )
+        # Raises ValueError (with the available names listed) for
+        # anything that is neither a factory nor a resolvable runner.
+        _resolve_task_runner(factory)
     rngs = spawn_children(seed, 2 * n_trials)
     return [
         ScenarioTask(
@@ -174,6 +229,10 @@ def _execute_task(
     options: AlgorithmOptions | None,
     task: ScenarioTask,
 ) -> dict[str, np.ndarray]:
+    if task.factory not in SCENARIO_FACTORIES:
+        return _resolve_task_runner(task.factory)(
+            instance, config, options, task
+        )
     # Generators are stateful: draw from clones so a task list can be
     # executed more than once (serial, parallel, and cache-miss runs
     # then consume identical states and produce identical results).
@@ -458,6 +517,7 @@ def run_scenario_tasks(
     cache=None,
     executor: TaskExecutor | None = None,
     journal=None,
+    registry: PreparedRegistry | None = None,
 ) -> list[dict[str, np.ndarray]]:
     """Execute tasks, preserving task order in the result list.
 
@@ -485,6 +545,12 @@ def run_scenario_tasks(
     replays its settled chunks first, exactly like cache hits, so a run
     whose *coordinator* died mid-sweep (SIGKILL, OOM) restarts without
     recomputing settled work and finishes bit-identically.
+
+    ``registry`` scopes the prepared-state registry the equation builder
+    resolves against for in-process execution (serial chunks); pool and
+    dist workers keep their own per-process default registry.  Either
+    way results are bit-identical — the registry only changes where the
+    measurement-independent prep is cached.
     """
     results: list[dict[str, np.ndarray] | None] = [None] * len(tasks)
     keys: list[str | None] | None = None
@@ -568,10 +634,11 @@ def run_scenario_tasks(
 
         context = (instance, config, options)
         try:
-            for chunk_index, errors_list in executor.map_chunks(
-                context, chunks
-            ):
-                _settle(chunk_index, errors_list)
+            with use_registry(registry):
+                for chunk_index, errors_list in executor.map_chunks(
+                    context, chunks
+                ):
+                    _settle(chunk_index, errors_list)
         except ChunkExecutionError as exc:
             lost = sorted(
                 index

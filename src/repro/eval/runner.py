@@ -18,6 +18,7 @@ from repro.core.correlation_algorithm import (
     infer_congestion,
 )
 from repro.core.independence_algorithm import infer_congestion_independent
+from repro.core.prepared import PreparedRegistry
 from repro.core.results import InferenceResult
 from repro.core.topology import Topology
 from repro.eval.metrics import (
@@ -73,6 +74,7 @@ def run_comparison(
     config: ExperimentConfig | None = None,
     options: AlgorithmOptions | None = None,
     seed=None,
+    registry: PreparedRegistry | None = None,
 ) -> ComparisonResult:
     """Simulate one experiment and score both algorithms.
 
@@ -83,6 +85,8 @@ def run_comparison(
         options: Algorithm knobs (shared by both algorithms).
         seed: RNG seed / generator; the simulation consumes a child
             stream, so identical seeds reproduce identical experiments.
+        registry: Prepared-state registry for the equation builder;
+            ``None`` uses the ambient/default registry.
     """
     (sim_rng,) = spawn_children(seed, 1)
     run = run_experiment(
@@ -97,6 +101,7 @@ def run_comparison(
             scenario.algorithm_correlation,
             run.observations,
             options=options,
+            registry=registry,
         ),
         "independence": infer_congestion_independent(
             topology, run.observations, options=options

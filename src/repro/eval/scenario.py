@@ -29,14 +29,48 @@ from repro.utils.validation import check_fraction
 __all__ = [
     "CongestionScenario",
     "make_clustered_scenario",
+    "resolve_per_set_range",
     "HIGH_CORRELATION_RANGE",
     "LOOSE_CORRELATION_RANGE",
+    "PER_SET_RANGES",
 ]
 
 #: "more than 2 congested links per correlation set" (Figure 3(a–c)).
 HIGH_CORRELATION_RANGE = (3, 6)
 #: "up to 2 congested links per correlation set" (Figure 3(d)).
 LOOSE_CORRELATION_RANGE = (1, 2)
+
+#: Named clustering presets accepted wherever a per-set range is
+#: configured by string (CLI flags, service payloads).
+PER_SET_RANGES: dict[str, tuple[int, int]] = {
+    "high": HIGH_CORRELATION_RANGE,
+    "loose": LOOSE_CORRELATION_RANGE,
+}
+
+
+def resolve_per_set_range(value) -> tuple[int, int]:
+    """Normalise a per-set-range spec to an inclusive ``(lo, hi)`` tuple.
+
+    Accepts the preset names ``"high"`` / ``"loose"`` or any two-element
+    sequence (lists round-trip through JSON codecs and caches, so they
+    must be accepted alongside tuples).
+    """
+    if isinstance(value, str):
+        try:
+            return PER_SET_RANGES[value]
+        except KeyError:
+            raise GenerationError(
+                f"unknown per-set-range preset {value!r}; expected one of "
+                f"{sorted(PER_SET_RANGES)}"
+            ) from None
+    try:
+        lo, hi = value
+    except (TypeError, ValueError):
+        raise GenerationError(
+            f"per_set_range must be 'high', 'loose', or a (lo, hi) pair; "
+            f"got {value!r}"
+        ) from None
+    return (int(lo), int(hi))
 
 
 @dataclass(frozen=True)

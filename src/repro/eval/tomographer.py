@@ -32,6 +32,7 @@ from repro.core.correlation_algorithm import (
     AlgorithmOptions,
     infer_congestion,
 )
+from repro.core.prepared import PreparedRegistry
 from repro.core.results import InferenceResult
 from repro.core.topology import Topology
 from repro.simulate.observations import PathObservations
@@ -168,6 +169,7 @@ def run_tomographer(
     holdout: PathObservations,
     *,
     options: AlgorithmOptions | None = None,
+    registry: PreparedRegistry | None = None,
 ) -> TomographerComparison:
     """Run both tomographer variants and validate on the holdout.
 
@@ -178,6 +180,8 @@ def run_tomographer(
         training: Snapshots used for inference.
         holdout: Snapshots used only for indirect validation.
         options: Algorithm knobs shared by both runs.
+        registry: Prepared-state registry shared by both runs; ``None``
+            uses the ambient/default registry.
     """
     uncorrelated_result = infer_congestion(
         topology,
@@ -185,6 +189,7 @@ def run_tomographer(
         training,
         options=options,
         algorithm_label="tomographer-uncorrelated",
+        registry=registry,
     )
     correlated_result = infer_congestion(
         topology,
@@ -192,6 +197,7 @@ def run_tomographer(
         training,
         options=options,
         algorithm_label="tomographer-correlated",
+        registry=registry,
     )
     uncorrelated_validation = indirect_validation(
         topology,

@@ -1,0 +1,50 @@
+"""Tomography-as-a-service: a resident async query engine.
+
+The batch CLI rebuilds the instance, routing, and measurement-independent
+equation prep on every invocation.  This package keeps all of that warm
+in a long-lived process instead: topologies are loaded once into a
+bounded registry (with their :class:`repro.core.prepared.PreparedTopology`
+state), and localization / identifiability queries are answered over
+HTTP, coalesced per topology into chunks that run through the existing
+:class:`repro.eval.parallel.TaskExecutor` backends.
+
+Layers (stdlib only — the server is hand-built on :mod:`asyncio`, in the
+same spirit as the hand-built dist wire):
+
+* :mod:`repro.serve.queries` — query normalisation and the task runners;
+  the *same* code path the batch CLI uses, so service answers are
+  bit-identical to batch answers for identical seeds.
+* :mod:`repro.serve.batching` — per-topology coalescing with a bounded
+  queue (backpressure: full queue ⇒ shed).
+* :mod:`repro.serve.registry` — the bounded topology store.
+* :mod:`repro.serve.server` — the asyncio HTTP/1.1 front end.
+* :mod:`repro.serve.client` — a small blocking client for tests,
+  benchmarks, and examples.
+"""
+
+from repro.serve.batching import BatcherClosed, BatcherFull, QueryBatcher
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.queries import (
+    decode_vectors,
+    encode_vectors,
+    normalize_query,
+    query_tasks,
+    run_query,
+)
+from repro.serve.registry import TopologyStore
+from repro.serve.server import TomographyService
+
+__all__ = [
+    "QueryBatcher",
+    "BatcherFull",
+    "BatcherClosed",
+    "ServiceClient",
+    "ServiceError",
+    "normalize_query",
+    "query_tasks",
+    "run_query",
+    "encode_vectors",
+    "decode_vectors",
+    "TopologyStore",
+    "TomographyService",
+]

@@ -1,0 +1,142 @@
+"""Blocking HTTP client for the tomography service.
+
+Stdlib :mod:`http.client` with a persistent keep-alive connection —
+the shape SNIPPETS' long-lived predictor clients use: connect once,
+load the topology once, then issue many cheap queries.  Used by the
+integration tests, the service benchmark, and the examples.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.serve.queries import decode_vectors
+
+__all__ = ["ServiceError", "ServiceClient"]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response.
+
+    Attributes:
+        status: HTTP status code (e.g. 429 when shed by backpressure).
+        payload: Decoded JSON error body (``{"error": ...}``).
+    """
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(
+            f"service returned {status}: "
+            f"{payload.get('error', payload) if isinstance(payload, dict) else payload}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to a :class:`repro.serve.server.TomographyService`."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8077, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None):
+        """One JSON round trip; raises :class:`ServiceError` on non-2xx.
+
+        The keep-alive connection is re-established once if the server
+        closed it between requests (idle timeout, restart).
+        """
+        body = None if payload is None else json.dumps(payload).encode()
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            connection = self._connect()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": raw.decode("utf-8", "replace")}
+        if response.status >= 300:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return self.request("GET", "/health")
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def topologies(self) -> list[dict]:
+        return self.request("GET", "/topologies")["topologies"]
+
+    def load_topology(
+        self,
+        *,
+        generator: dict | None = None,
+        instance: dict | None = None,
+        name: str | None = None,
+    ) -> str:
+        """Load a topology; returns its fingerprint (idempotent)."""
+        payload: dict = {}
+        if generator is not None:
+            payload["generator"] = generator
+        if instance is not None:
+            payload["instance"] = instance
+        if name is not None:
+            payload["name"] = name
+        return self.request("POST", "/topologies", payload)["fingerprint"]
+
+    def evict(self, fingerprint: str) -> None:
+        self.request("DELETE", f"/topologies/{fingerprint}")
+
+    def query(self, fingerprint: str, query: dict) -> dict:
+        """Run one query; returns decoded float64 result vectors."""
+        response = self.request(
+            "POST", f"/topologies/{fingerprint}/query", query
+        )
+        return decode_vectors(response["result"])
+
+    def localize(self, fingerprint: str, **params) -> dict:
+        return self.query(fingerprint, dict(params, kind="localization"))
+
+    def identifiability(self, fingerprint: str, **params) -> dict:
+        return self.query(fingerprint, dict(params, kind="identifiability"))

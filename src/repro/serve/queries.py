@@ -1,0 +1,318 @@
+"""Service queries: normalisation, task construction, and runners.
+
+A query is a plain JSON dict (``kind`` plus parameters).  It is turned
+into :class:`repro.eval.parallel.ScenarioTask` records whose ``factory``
+is a dotted ``"module:attribute"`` task-runner spec, so the *identical*
+code executes whether the query arrives over HTTP (dispatched through
+the service's batcher and executor), through the batch CLI's ``localize``
+command, or inside a pool/dist worker process.  Seeds are pre-spawned
+per task exactly like the figure sweeps, which is what makes service
+answers bit-identical to batch answers for the same seed.
+
+Results are ``dict[str, float64 ndarray]`` — the one shape every
+executor transport and the trial cache already speak.  Variable-length
+set results (per-snapshot congested links) are encoded as a counts
+vector plus a flattened ids vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.identifiability import (
+    check_assumption4,
+    unidentifiable_links_structural,
+)
+from repro.core.localization import localize_map
+from repro.eval.parallel import ScenarioTask, scenario_tasks
+from repro.eval.runner import run_comparison
+from repro.eval.scenario import make_clustered_scenario, resolve_per_set_range
+from repro.simulate.experiment import ExperimentConfig
+from repro.utils.bitset import bit_count
+from repro.utils.rng import clone_generator
+
+__all__ = [
+    "LOCALIZATION_RUNNER",
+    "IDENTIFIABILITY_RUNNER",
+    "QUERY_KINDS",
+    "normalize_query",
+    "query_tasks",
+    "run_query",
+    "encode_vectors",
+    "decode_vectors",
+    "run_localization_task",
+    "run_identifiability_task",
+]
+
+#: Dotted runner specs — resolvable by name in any worker process.
+LOCALIZATION_RUNNER = "repro.serve.queries:run_localization_task"
+IDENTIFIABILITY_RUNNER = "repro.serve.queries:run_identifiability_task"
+
+#: Query kind → (runner spec, parameter defaults).  ``None`` defaults
+#: are passed through untouched (e.g. infinite-traffic probing).
+QUERY_KINDS: dict[str, tuple[str, dict]] = {
+    "localization": (
+        LOCALIZATION_RUNNER,
+        {
+            "congested_fraction": 0.10,
+            "per_set_range": "high",
+            "n_snapshots": 120,
+            "packets_per_path": 400,
+            "loc_snapshots": 8,
+            "max_nodes": 20_000,
+        },
+    ),
+    "identifiability": (
+        IDENTIFIABILITY_RUNNER,
+        {"max_subset_size": 2},
+    ),
+}
+
+
+def normalize_query(query: dict) -> tuple[str, dict, int]:
+    """Validate a raw query dict into ``(runner, kwargs, seed)``.
+
+    Unknown kinds and unknown parameters fail loudly (they would
+    otherwise silently change the cache key without changing the
+    computation, or vice versa).  ``per_set_range`` is resolved to its
+    canonical tuple here so the service, the CLI, and round-trips
+    through JSON codecs all produce the same task kwargs.
+    """
+    if not isinstance(query, dict):
+        raise ValueError(f"query must be an object, got {type(query).__name__}")
+    query = dict(query)
+    kind = query.pop("kind", "localization")
+    if kind not in QUERY_KINDS:
+        raise ValueError(
+            f"unknown query kind {kind!r}; expected one of "
+            f"{sorted(QUERY_KINDS)}"
+        )
+    seed = query.pop("seed", 0)
+    if not isinstance(seed, int):
+        raise ValueError(f"seed must be an integer, got {seed!r}")
+    runner, defaults = QUERY_KINDS[kind]
+    unknown = sorted(set(query) - set(defaults))
+    if unknown:
+        raise ValueError(
+            f"unknown {kind} query parameter(s) {unknown}; "
+            f"accepted: {sorted(defaults)} (plus 'kind' and 'seed')"
+        )
+    kwargs = {**defaults, **query}
+    if "per_set_range" in kwargs:
+        kwargs["per_set_range"] = resolve_per_set_range(
+            kwargs["per_set_range"]
+        )
+    return runner, kwargs, seed
+
+
+def query_tasks(query: dict, *, group: int = 0) -> list[ScenarioTask]:
+    """The (single-element) task list for one query.
+
+    Child-seed layout is the engine's standard ``n_trials=1`` spawn, so
+    the task — and therefore its cache key and its result — is a pure
+    function of the normalised query.
+    """
+    runner, kwargs, seed = normalize_query(query)
+    return scenario_tasks(runner, kwargs, n_trials=1, seed=seed, group=group)
+
+
+def run_query(
+    instance,
+    query: dict,
+    *,
+    options=None,
+    workers=None,
+    cache=None,
+    executor=None,
+    registry=None,
+) -> dict[str, np.ndarray]:
+    """Execute one query end to end through the scenario engine.
+
+    This is the batch-mode entry point (the ``localize`` CLI command);
+    the service runs the very same tasks, merely coalescing several
+    queries into one engine call.
+    """
+    from repro.eval.parallel import run_scenario_tasks
+
+    tasks = query_tasks(query)
+    results = run_scenario_tasks(
+        instance,
+        tasks,
+        config=None,
+        options=options,
+        workers=workers,
+        cache=cache,
+        executor=executor,
+        registry=registry,
+    )
+    return results[0]
+
+
+# ----------------------------------------------------------------------
+# JSON transport for float64 result vectors
+# ----------------------------------------------------------------------
+def encode_vectors(vectors: dict[str, np.ndarray]) -> dict[str, list]:
+    """JSON-safe encoding of a result dict.
+
+    Python floats round-trip losslessly through ``repr`` (shortest
+    round-trip serialisation), so decoding recovers bit-identical
+    float64 vectors.
+    """
+    return {
+        name: np.asarray(vector, dtype=np.float64).ravel().tolist()
+        for name, vector in vectors.items()
+    }
+
+
+def decode_vectors(payload: dict) -> dict[str, np.ndarray]:
+    """Inverse of :func:`encode_vectors`."""
+    return {
+        name: np.asarray(values, dtype=np.float64)
+        for name, values in payload.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# Task runners (executed inside whatever worker the executor picks)
+# ----------------------------------------------------------------------
+def _flatten_link_sets(
+    link_sets: list[frozenset[int]],
+) -> tuple[np.ndarray, np.ndarray]:
+    counts = np.array([len(links) for links in link_sets], dtype=np.float64)
+    flat = np.array(
+        [link for links in link_sets for link in sorted(links)],
+        dtype=np.float64,
+    )
+    return counts, flat
+
+
+def run_localization_task(instance, config, options, task) -> dict:
+    """One localization query: simulate, infer, localize, score.
+
+    The simulation window is part of the query (``n_snapshots``,
+    ``packets_per_path``), so the context ``config`` is ignored — the
+    cache key carries the window through ``factory_kwargs`` instead.
+
+    Returns float64 vectors only (executor-transport requirement):
+    inferred probabilities for both algorithms, the standard per-link
+    absolute-error vectors, and per-snapshot localization outcomes for
+    the first ``loc_snapshots`` snapshots (precision, recall, exactness,
+    trimmed noise paths, log-likelihood, and the inferred / true
+    congested link sets as counts + flattened ids).
+    """
+    kwargs = dict(task.factory_kwargs)
+    congested_fraction = float(kwargs.pop("congested_fraction"))
+    per_set_range = resolve_per_set_range(kwargs.pop("per_set_range"))
+    n_snapshots = int(kwargs.pop("n_snapshots"))
+    packets = kwargs.pop("packets_per_path")
+    packets = None if packets is None else int(packets)
+    loc_snapshots = int(kwargs.pop("loc_snapshots"))
+    max_nodes = int(kwargs.pop("max_nodes"))
+    if kwargs:
+        raise ValueError(
+            f"unexpected localization task parameters {sorted(kwargs)}"
+        )
+
+    scenario = make_clustered_scenario(
+        instance,
+        congested_fraction=congested_fraction,
+        per_set_range=per_set_range,
+        seed=clone_generator(task.scenario_seed),
+    )
+    comparison = run_comparison(
+        instance.topology,
+        scenario,
+        config=ExperimentConfig(
+            n_snapshots=n_snapshots, packets_per_path=packets
+        ),
+        options=options,
+        seed=clone_generator(task.run_seed),
+    )
+    probabilities = comparison.results[
+        "correlation"
+    ].congestion_probabilities
+    run = comparison.run
+
+    window = min(loc_snapshots, run.observations.n_snapshots)
+    precision = np.empty(window, dtype=np.float64)
+    recall = np.empty(window, dtype=np.float64)
+    exact = np.empty(window, dtype=np.float64)
+    noise = np.empty(window, dtype=np.float64)
+    log_likelihood = np.empty(window, dtype=np.float64)
+    found_sets: list[frozenset[int]] = []
+    true_sets: list[frozenset[int]] = []
+    for snapshot in range(window):
+        mask = run.observations.congested_mask_of_snapshot(snapshot)
+        true_links = frozenset(
+            int(link) for link in np.flatnonzero(run.link_states[snapshot])
+        )
+        result = localize_map(
+            instance.topology,
+            mask,
+            probabilities,
+            max_nodes=max_nodes,
+            on_infeasible="trim",
+        )
+        precision[snapshot], recall[snapshot] = result.precision_recall(
+            true_links
+        )
+        exact[snapshot] = float(result.exact)
+        noise[snapshot] = float(bit_count(result.noise_paths))
+        log_likelihood[snapshot] = float(result.log_likelihood)
+        found_sets.append(result.congested_links)
+        true_sets.append(true_links)
+
+    loc_counts, loc_links = _flatten_link_sets(found_sets)
+    true_counts, true_links_flat = _flatten_link_sets(true_sets)
+    return {
+        "probabilities": probabilities.astype(np.float64, copy=False),
+        "independence_probabilities": comparison.results[
+            "independence"
+        ].congestion_probabilities.astype(np.float64, copy=False),
+        "err_correlation": comparison.errors["correlation"],
+        "err_independence": comparison.errors["independence"],
+        "loc_precision": precision,
+        "loc_recall": recall,
+        "loc_exact": exact,
+        "loc_noise_paths": noise,
+        "loc_log_likelihood": log_likelihood,
+        "loc_link_counts": loc_counts,
+        "loc_links": loc_links,
+        "true_link_counts": true_counts,
+        "true_links": true_links_flat,
+    }
+
+
+def run_identifiability_task(instance, config, options, task) -> dict:
+    """One identifiability query: Assumption-4 check + structural holes.
+
+    Deterministic — the task seeds are ignored.  Encoded as float64
+    scalars/vectors so the result rides the same transports (and cache)
+    as every other trial.
+    """
+    kwargs = dict(task.factory_kwargs)
+    max_subset_size = kwargs.pop("max_subset_size")
+    max_subset_size = (
+        None if max_subset_size is None else int(max_subset_size)
+    )
+    if kwargs:
+        raise ValueError(
+            f"unexpected identifiability task parameters {sorted(kwargs)}"
+        )
+    report = check_assumption4(
+        instance.correlation, max_subset_size=max_subset_size
+    )
+    structural = unidentifiable_links_structural(
+        instance.topology, instance.correlation
+    )
+    return {
+        "holds": np.array([float(report.holds)]),
+        "exhaustive": np.array([float(report.exhaustive)]),
+        "n_collisions": np.array([float(len(report.collisions))]),
+        "unidentifiable_links": np.array(
+            sorted(report.unidentifiable_links), dtype=np.float64
+        ),
+        "structural_unidentifiable_links": np.array(
+            sorted(structural), dtype=np.float64
+        ),
+    }
