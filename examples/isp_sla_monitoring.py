@@ -20,6 +20,14 @@ correlation structure is measured, not generator-expressible), and the
 recurring SLA checks become cheap warm queries against the loaded
 topology — the deployment shape for continuous monitoring, where the
 topology changes rarely but questions arrive all day.
+
+With ``--stream``, monitoring becomes *online*: probe windows flow to
+the service's ``/stream`` endpoint as they are collected, and the
+operator watches per-window verdict deltas (onsets / clears) instead of
+re-running batch inference.  A congestion onset is scripted partway
+through the stream so the detection actually happens on screen, and the
+final full-history answer is checked byte-for-byte against a local
+batch inference — streaming changes *when* you learn, never *what*.
 """
 
 import numpy as np
@@ -216,10 +224,151 @@ def service_mode() -> None:
     print("Service shut down cleanly.")
 
 
+def stream_mode() -> None:
+    """Online monitoring: probe windows through the /stream endpoint."""
+    import subprocess
+    import sys
+    import time
+
+    from repro.eval.scenario import make_clustered_scenario
+    from repro.model.loss import LossModel
+    from repro.serve.client import ServiceClient
+    from repro.serve.queries import decode_vectors
+    from repro.simulate.observations import PathObservations
+    from repro.simulate.probes import PathProber, ProbeConfig
+    from repro.simulate.stream import (
+        LinkStateTimeline,
+        SnapshotStream,
+        StreamEvent,
+    )
+
+    generator = {
+        "kind": "brite",
+        "n_ases": 40,
+        "routers_per_as": 5,
+        "n_paths": 120,
+        "seed": 7,
+    }
+    print("Generating the monitored topology...")
+    scenario = generate_brite(
+        n_ases=generator["n_ases"],
+        routers_per_as=generator["routers_per_as"],
+        n_paths=generator["n_paths"],
+        seed=generator["seed"],
+    )
+    instance = scenario.instance
+
+    # A quiet background scenario, then a scripted congestion onset on
+    # two background-quiet links one third of the way in: the event the
+    # operator is waiting to catch.
+    background = make_clustered_scenario(
+        instance, congested_fraction=0.04, seed=21
+    )
+    quiet = sorted(
+        set(range(instance.topology.n_links))
+        - background.congested_links
+    )
+    onset_links = (quiet[3], quiet[11])
+    window_size, n_windows, onset_window = 60, 9, 3
+    timeline = LinkStateTimeline(
+        [
+            StreamEvent(
+                kind="onset",
+                at=onset_window * window_size,
+                links=onset_links,
+            )
+        ]
+    )
+    stream = SnapshotStream(
+        background.truth_model,
+        LossModel(),
+        PathProber(
+            instance.topology, ProbeConfig(packets_per_path=800)
+        ),
+        window_size=window_size,
+        timeline=timeline,
+        rng=99,
+    )
+    windows = [w.path_states for w in stream.windows(n_windows)]
+
+    print("Starting the resident tomography service...")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        port = int(banner.rsplit(":", 1)[1])
+        with ServiceClient(port=port, timeout=600) as client:
+            fingerprint = client.load_topology(
+                generator=generator, name="neighbour-slas-stream"
+            )
+            print(
+                f"  loaded {fingerprint[:12]}; streaming "
+                f"{n_windows} windows x {window_size} snapshots "
+                f"(scripted onset on links {list(onset_links)} at "
+                f"window {onset_window})"
+            )
+            final = None
+            start = time.perf_counter()
+            for delta in client.stream(fingerprint, windows):
+                if "final" in delta:
+                    final = delta["final"]
+                    continue
+                marks = []
+                if delta["onsets"]:
+                    marks.append(f"ONSET {delta['onsets']}")
+                if delta["clears"]:
+                    marks.append(f"clear {delta['clears']}")
+                caught = set(delta["onsets"]) & set(onset_links)
+                if caught and delta["window"] >= onset_window:
+                    lag = delta["window"] - onset_window + 1
+                    marks.append(
+                        f"<- scripted event caught, latency "
+                        f"{lag} window(s)"
+                    )
+                print(
+                    f"  window {delta['window']}: "
+                    f"{delta['n_congested']:3d} links over threshold"
+                    + ("  " + "; ".join(marks) if marks else "")
+                )
+            elapsed = time.perf_counter() - start
+            print(
+                f"  streamed {n_windows} verdicts in "
+                f"{elapsed * 1000:.0f}ms"
+            )
+
+        # The streaming contract: the final full-history estimates are
+        # byte-equal to a local batch inference over the same rows.
+        batch = infer_congestion(
+            instance.topology,
+            instance.correlation,
+            PathObservations(np.concatenate(windows, axis=0)),
+        )
+        streamed = decode_vectors(final["result"])
+        identical = (
+            streamed["probabilities"].tobytes()
+            == batch.congestion_probabilities.tobytes()
+        )
+        print(
+            "  final answer vs local batch inference: "
+            + ("BIT-IDENTICAL" if identical else "MISMATCH")
+        )
+        if not identical:
+            raise SystemExit(1)
+    finally:
+        process.terminate()
+        process.wait(timeout=30)
+    print("Service shut down cleanly.")
+
+
 if __name__ == "__main__":
     import sys
 
-    if "--serve" in sys.argv[1:]:
+    if "--stream" in sys.argv[1:]:
+        stream_mode()
+    elif "--serve" in sys.argv[1:]:
         service_mode()
     else:
         main()

@@ -12,11 +12,24 @@ Dependency floors: the batch estimator kernels need
 matrices (scipy >= 1.6).
 """
 
+import pathlib
+import re
+
 from setuptools import find_packages, setup
+
+# Single source of truth for the version: repro.__version__ (also what
+# `repro-tomography --version` prints).  Read textually — importing the
+# package from setup.py would need its dependencies installed first.
+_version = re.search(
+    r'^__version__ = "([^"]+)"',
+    (pathlib.Path(__file__).parent / "src" / "repro" / "__init__.py")
+    .read_text(encoding="utf-8"),
+    re.MULTILINE,
+).group(1)
 
 setup(
     name="repro-tomography",
-    version="0.2.0",
+    version=_version,
     description=(
         "Reproduction of 'Network Tomography on Correlated Links' "
         "(Ghita, Argyraki, Thiran - IMC 2010)"

@@ -35,10 +35,12 @@ from repro.core import (
     InferenceResult,
     Link,
     Path,
+    StreamingTomography,
     TheoremAlgorithm,
     TheoremResult,
     Topology,
     TopologyBuilder,
+    WindowVerdict,
     check_assumption4,
     infer_congestion,
     infer_congestion_independent,
@@ -67,8 +69,12 @@ from repro.io import (
 from repro.simulate import (
     ExactPathStateDistribution,
     ExperimentConfig,
+    LinkStateTimeline,
     PathObservations,
+    ProbeWindow,
     SimulationRun,
+    SnapshotStream,
+    StreamEvent,
     run_experiment,
 )
 
@@ -97,6 +103,8 @@ __all__ = [
     "infer_congestion_independent",
     "infer_congestion_single_path",
     "InferenceResult",
+    "StreamingTomography",
+    "WindowVerdict",
     "localize_map",
     "localize_smallest_set",
     # simulation
@@ -105,6 +113,10 @@ __all__ = [
     "run_experiment",
     "PathObservations",
     "ExactPathStateDistribution",
+    "SnapshotStream",
+    "ProbeWindow",
+    "StreamEvent",
+    "LinkStateTimeline",
     # io
     "instance_to_dict",
     "instance_from_dict",

@@ -8,6 +8,21 @@ Examples::
     repro-tomography figure4 --topology planetlab --fraction 0.5
     repro-tomography figure5 --topology brite --fraction 0.25
     repro-tomography figure3 --cache-dir ~/.repro-cache --cache-stats
+    repro-tomography stream --simulate --n-windows 10 --window-size 40
+    repro-tomography --version
+
+``stream`` drives the incremental windowed engine
+(:mod:`repro.core.streaming`) over probe windows read from a JSONL
+file/stdin or generated on the fly (``--simulate``, optionally with a
+scripted ``--events`` timeline).  Each window prints one verdict-delta
+line (onsets/clears vs the previous window); the last line is the
+full-history result, bit-identical to ``--mode batch`` — one cold
+inference over the same concatenated snapshots — so
+
+    diff <(repro-tomography stream ... | tail -n 1) \\
+         <(repro-tomography stream ... --mode batch)
+
+is the streaming correctness check.
 
 Every subcommand prints the same rows/series the paper plots (see
 EXPERIMENTS.md for the recorded outputs).
@@ -119,6 +134,24 @@ from repro.exceptions import DistSecurityError
 __all__ = ["main", "build_parser"]
 
 
+def _version_string() -> str:
+    """Package, wire-protocol, and journal-format versions in one line.
+
+    Operators pin fleets by these: mixed-version coordinators/workers
+    negotiate by the wire protocol number, and ``--resume`` refuses
+    journals written by a different journal format.
+    """
+    from repro import __version__
+    from repro.eval.dist.journal import JOURNAL_VERSION, MAGIC
+    from repro.eval.dist.protocol import PROTOCOL_VERSION
+
+    return (
+        f"repro-tomography {__version__} "
+        f"(wire protocol v{PROTOCOL_VERSION}, "
+        f"journal format v{JOURNAL_VERSION} [{MAGIC.decode('ascii')}])"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-tomography",
@@ -129,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="top-level RNG seed"
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=_version_string(),
+        help="print package, wire-protocol, and journal-format versions",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -410,31 +449,7 @@ def build_parser() -> argparse.ArgumentParser:
             "service must match bit for bit"
         ),
     )
-    localize.add_argument(
-        "--topology", choices=("brite", "planetlab"), default="brite"
-    )
-    localize.add_argument(
-        "--scale",
-        choices=("small", "medium", "paper"),
-        default="small",
-        help="instance size preset",
-    )
-    localize.add_argument(
-        "--instance-seed",
-        type=int,
-        default=0,
-        help="seed of the generated instance (not of the query)",
-    )
-    localize.add_argument(
-        "--generator",
-        default=None,
-        metavar="JSON",
-        help=(
-            "explicit generator spec overriding --topology/--scale/"
-            "--instance-seed; the same JSON a service client posts, so "
-            "both sides provably query the identical instance"
-        ),
-    )
+    _instance_arguments(localize)
     localize.add_argument(
         "--seed",
         type=int,
@@ -499,7 +514,152 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the trial cache even if REPRO_CACHE_DIR is set",
     )
+
+    stream = commands.add_parser(
+        "stream",
+        help=(
+            "run the incremental windowed estimator over a stream of "
+            "probe windows (JSONL file, stdin, or a simulated stream); "
+            "prints one verdict-delta line per window, then the "
+            "full-history final line — bit-identical to --mode batch "
+            "over the same snapshots"
+        ),
+    )
+    _instance_arguments(stream)
+    source = stream.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--windows",
+        default=None,
+        metavar="PATH",
+        help=(
+            "JSONL window source: one window per line, each a "
+            "snapshot × path matrix of 0/1 path verdicts ('-' = stdin)"
+        ),
+    )
+    source.add_argument(
+        "--simulate",
+        action="store_true",
+        help=(
+            "generate the window stream instead of reading it: a "
+            "clustered congestion scenario driven through "
+            "SnapshotStream (see --n-windows/--window-size/--events)"
+        ),
+    )
+    stream.add_argument(
+        "--mode",
+        choices=("incremental", "batch"),
+        default="incremental",
+        help=(
+            "incremental = per-window updates through the streaming "
+            "engine; batch = one cold inference over the concatenated "
+            "windows; both print the identical final line"
+        ),
+    )
+    stream.add_argument(
+        "--threshold",
+        type=_numeric_flag(
+            "threshold", float, minimum=0.0, maximum=1.0, hint="in [0, 1]"
+        ),
+        default=0.5,
+        help="congestion-probability verdict threshold",
+    )
+    stream.add_argument(
+        "--max-window",
+        type=_numeric_flag("max-window", int, minimum=1, hint=">= 1"),
+        default=None,
+        metavar="N",
+        help=(
+            "incremental only: bound the sliding window to the last N "
+            "snapshots (older rows are evicted; the final line then "
+            "covers the surviving rows, not full history)"
+        ),
+    )
+    stream.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-window delta lines; print only the final line",
+    )
+    stream.add_argument(
+        "--n-windows",
+        type=_numeric_flag("n-windows", int, minimum=1, hint=">= 1"),
+        default=10,
+        metavar="N",
+        help="--simulate: windows to generate",
+    )
+    stream.add_argument(
+        "--window-size",
+        type=_numeric_flag("window-size", int, minimum=1, hint=">= 1"),
+        default=50,
+        metavar="N",
+        help="--simulate: snapshots per window (the probe rate)",
+    )
+    stream.add_argument(
+        "--packets-per-path",
+        type=int,
+        default=400,
+        help=(
+            "--simulate: probe budget per path per snapshot "
+            "(0 = infinite traffic)"
+        ),
+    )
+    stream.add_argument(
+        "--congested-fraction",
+        type=float,
+        default=0.10,
+        help="--simulate: fraction of links congested in the scenario",
+    )
+    stream.add_argument(
+        "--per-set-range",
+        choices=("high", "loose"),
+        default="high",
+        help="--simulate: congestion clustering preset",
+    )
+    stream.add_argument(
+        "--events",
+        default=None,
+        metavar="JSON",
+        help=(
+            "--simulate: scripted link-state timeline, e.g. "
+            "'[{\"kind\": \"onset\", \"at\": 100, \"links\": [3]}]' "
+            "(kinds: onset, clear, flap)"
+        ),
+    )
+    stream.add_argument(
+        "--save-windows",
+        default=None,
+        metavar="PATH",
+        help="also write the consumed windows as JSONL (for replay)",
+    )
     return parser
+
+
+def _instance_arguments(parser: argparse.ArgumentParser) -> None:
+    """Instance-selection flags shared by ``localize`` and ``stream``."""
+    parser.add_argument(
+        "--topology", choices=("brite", "planetlab"), default="brite"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("small", "medium", "paper"),
+        default="small",
+        help="instance size preset",
+    )
+    parser.add_argument(
+        "--instance-seed",
+        type=int,
+        default=0,
+        help="seed of the generated instance (not of the query/stream)",
+    )
+    parser.add_argument(
+        "--generator",
+        default=None,
+        metavar="JSON",
+        help=(
+            "explicit generator spec overriding --topology/--scale/"
+            "--instance-seed; the same JSON a service client posts, so "
+            "both sides provably query the identical instance"
+        ),
+    )
 
 
 def _numeric_flag(name, parse, *, minimum=None, maximum=None, hint):
@@ -1594,11 +1754,10 @@ def _run_serve(args) -> int:
     return 0
 
 
-def _run_localize(args) -> int:
+def _instance_from_flags(args):
+    """Resolve the instance named by the ``_instance_arguments`` flags."""
     import json
 
-    from repro.io import canonical_json
-    from repro.serve.queries import encode_vectors, run_query
     from repro.serve.registry import instance_from_payload
 
     if args.generator is not None:
@@ -1609,15 +1768,21 @@ def _run_localize(args) -> int:
                 f"error: --generator: invalid JSON: {exc}"
             ) from None
         try:
-            instance = instance_from_payload({"generator": generator})
+            return instance_from_payload({"generator": generator})
         except ValueError as exc:
             raise SystemExit(f"error: --generator: {exc}") from None
-    else:
-        from repro.eval.figures import default_instance
+    from repro.eval.figures import default_instance
 
-        instance = default_instance(
-            args.topology, scale=args.scale, seed=args.instance_seed
-        )
+    return default_instance(
+        args.topology, scale=args.scale, seed=args.instance_seed
+    )
+
+
+def _run_localize(args) -> int:
+    from repro.io import canonical_json
+    from repro.serve.queries import encode_vectors, run_query
+
+    instance = _instance_from_flags(args)
     query: dict = {"kind": args.kind, "seed": args.seed}
     if args.kind == "localization":
         query.update(
@@ -1639,6 +1804,178 @@ def _run_localize(args) -> int:
     return 0
 
 
+def _file_windows(path):
+    """Yield raw window payloads from a JSONL file ('-' = stdin)."""
+    import json
+
+    handle = sys.stdin if path == "-" else open(path, encoding="utf-8")
+    try:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise SystemExit(
+                    f"error: --windows line {number}: invalid JSON: {exc}"
+                ) from None
+    finally:
+        if handle is not sys.stdin:
+            handle.close()
+
+
+def _simulated_windows(args, instance):
+    """Yield path-state matrices from a scripted SnapshotStream."""
+    import json
+
+    from repro.eval.scenario import (
+        make_clustered_scenario,
+        resolve_per_set_range,
+    )
+    from repro.model.loss import LossModel
+    from repro.simulate.probes import PathProber, ProbeConfig
+    from repro.simulate.stream import LinkStateTimeline, SnapshotStream
+    from repro.utils.rng import spawn_children
+
+    timeline = None
+    if args.events is not None:
+        try:
+            specs = json.loads(args.events)
+            if not isinstance(specs, list):
+                raise ValueError("expected a JSON list of event objects")
+            timeline = LinkStateTimeline.from_specs(specs)
+        except (json.JSONDecodeError, ValueError) as exc:
+            raise SystemExit(f"error: --events: {exc}") from None
+    scenario_seed, stream_seed = spawn_children(args.seed, 2)
+    scenario = make_clustered_scenario(
+        instance,
+        congested_fraction=args.congested_fraction,
+        per_set_range=resolve_per_set_range(args.per_set_range),
+        seed=scenario_seed,
+    )
+    packets = (
+        None if args.packets_per_path == 0 else args.packets_per_path
+    )
+    stream = SnapshotStream(
+        scenario.truth_model,
+        LossModel(),
+        PathProber(
+            instance.topology, ProbeConfig(packets_per_path=packets)
+        ),
+        window_size=args.window_size,
+        timeline=timeline,
+        rng=stream_seed,
+    )
+    for window in stream.windows(args.n_windows):
+        yield window.path_states
+
+
+def _run_stream(args) -> int:
+    import json
+
+    from repro.core.correlation_algorithm import infer_congestion
+    from repro.core.streaming import StreamingTomography
+    from repro.exceptions import SimulationError
+    from repro.io import canonical_json
+    from repro.serve.queries import encode_vectors
+    from repro.serve.stream import decode_window, verdict_delta
+    from repro.simulate.observations import PathObservations
+
+    if args.mode == "batch" and args.max_window is not None:
+        raise SystemExit(
+            "error: --max-window only applies to --mode incremental "
+            "(batch inference always covers the full history)"
+        )
+    instance = _instance_from_flags(args)
+    n_paths = instance.topology.n_paths
+    if args.simulate:
+        try:
+            source = _simulated_windows(args, instance)
+        except SimulationError as exc:
+            raise SystemExit(f"error: --events: {exc}") from None
+    else:
+        source = _file_windows(args.windows)
+    saver = (
+        open(args.save_windows, "w", encoding="utf-8")
+        if args.save_windows is not None
+        else None
+    )
+
+    def windows():
+        try:
+            for number, payload in enumerate(source, start=1):
+                try:
+                    states = decode_window(payload, n_paths)
+                except ValueError as exc:
+                    raise SystemExit(
+                        f"error: window {number}: {exc}"
+                    ) from None
+                if saver is not None:
+                    saver.write(
+                        json.dumps(states.astype(int).tolist()) + "\n"
+                    )
+                yield states
+        finally:
+            if saver is not None:
+                saver.close()
+
+    def final_line(observations, result):
+        print(
+            canonical_json(
+                {
+                    "n_snapshots": int(observations.n_snapshots),
+                    "n_evicted": int(
+                        getattr(observations, "n_evicted", 0)
+                    ),
+                    "result": encode_vectors(
+                        {
+                            "probabilities": (
+                                result.congestion_probabilities
+                            ),
+                            "log_good": result.log_good,
+                        }
+                    ),
+                }
+            )
+        )
+
+    if args.mode == "batch":
+        collected = list(windows())
+        if not collected:
+            raise SystemExit("error: the window source was empty")
+        observations = PathObservations(
+            np.concatenate(collected, axis=0)
+        )
+        result = infer_congestion(
+            instance.topology, instance.correlation, observations
+        )
+        final_line(observations, result)
+        return 0
+
+    engine = StreamingTomography(
+        instance.topology,
+        instance.correlation,
+        threshold=args.threshold,
+    )
+    observations = None
+    for states in windows():
+        if observations is None:
+            observations = PathObservations(
+                states, max_window=args.max_window
+            )
+        else:
+            observations.append_window(states)
+        verdict = engine.update(observations)
+        if not args.quiet:
+            print(canonical_json(verdict_delta(verdict)), flush=True)
+    if observations is None:
+        raise SystemExit("error: the window source was empty")
+    final_line(
+        observations, engine.template().infer(observations)
+    )
+    return 0
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "figure3": _run_figure3,
@@ -1649,6 +1986,7 @@ _HANDLERS = {
     "worker": _run_worker,
     "serve": _run_serve,
     "localize": _run_localize,
+    "stream": _run_stream,
 }
 
 
@@ -1670,6 +2008,13 @@ def main(argv=None) -> int:
         # clear remedy, not a stack trace.
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe (| head, a pager quit) — routine
+        # for the line-oriented stream output, not an error.  Point
+        # stdout at devnull so the interpreter's exit-time flush does
+        # not raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

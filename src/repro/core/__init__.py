@@ -44,6 +44,11 @@ from repro.core.prepared import (
     use_registry,
 )
 from repro.core.results import InferenceResult
+from repro.core.streaming import (
+    EquationTemplate,
+    StreamingTomography,
+    WindowVerdict,
+)
 from repro.core.solvers import solve, solve_bounded_least_squares, solve_l1
 from repro.core.theorem import TheoremAlgorithm, TheoremResult
 from repro.core.topology import Topology
@@ -88,6 +93,9 @@ __all__ = [
     "infer_congestion_independent",
     "infer_congestion_single_path",
     "InferenceResult",
+    "EquationTemplate",
+    "StreamingTomography",
+    "WindowVerdict",
     "LocalizationResult",
     "localize_map",
     "localize_smallest_set",

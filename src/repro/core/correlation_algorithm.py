@@ -128,6 +128,7 @@ class CorrelationTomography:
         self._correlation = correlation
         self._options = options or AlgorithmOptions()
         self._prepared: PreparedTopology | None = None
+        self._template = None
 
     @property
     def topology(self) -> Topology:
@@ -152,3 +153,23 @@ class CorrelationTomography:
             options=self._options,
             prepared=self.prepare(),
         )
+
+    def update(self, measurements: PathGoodProvider) -> InferenceResult:
+        """Window-incremental inference over a cached equation structure.
+
+        The first call extracts the accepted row structure (which, under
+        both selection modes, depends only on the prepared topology —
+        never on measured values) and caches the assembled sparse matrix;
+        every call then pays only the right-hand-side gather plus the
+        solve.  Bit-identical to :meth:`infer` on the same observations.
+        """
+        from repro.core.streaming import EquationTemplate
+
+        if self._template is None:
+            self._template = EquationTemplate.build(
+                self._topology,
+                self._correlation,
+                options=self._options,
+                prepared=self.prepare(),
+            )
+        return self._template.infer(measurements)

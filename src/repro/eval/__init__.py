@@ -60,6 +60,15 @@ from repro.eval.scenario import (
     make_clustered_scenario,
     resolve_per_set_range,
 )
+from repro.eval.streaming import (
+    DETECTION_RUNNER,
+    DetectionLatencyResult,
+    DetectionPoint,
+    detection_latency_sweep,
+    detection_latency_tasks,
+    render_detection_latency,
+    run_detection_task,
+)
 from repro.eval.unidentifiable import make_unidentifiable_scenario
 
 __all__ = [
@@ -73,6 +82,13 @@ __all__ = [
     "figure3_cdf",
     "figure4_cdf",
     "figure5_cdf",
+    "DETECTION_RUNNER",
+    "DetectionPoint",
+    "DetectionLatencyResult",
+    "run_detection_task",
+    "detection_latency_tasks",
+    "detection_latency_sweep",
+    "render_detection_latency",
     "DEFAULT_CDF_GRID",
     "ErrorStats",
     "absolute_error_stats",

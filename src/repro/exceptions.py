@@ -54,6 +54,15 @@ class MeasurementError(ReproError):
     """
 
 
+class SimulationError(ReproError):
+    """A simulation stream or scripted timeline is mis-specified.
+
+    Raised when a :class:`~repro.simulate.stream.StreamEvent` is malformed
+    (unknown kind, empty link set, inverted activity interval) or a
+    timeline references links outside the model's topology.
+    """
+
+
 class SolverError(ReproError):
     """The linear-system solver failed to produce a usable solution."""
 

@@ -17,6 +17,8 @@ same spirit as the hand-built dist wire):
 * :mod:`repro.serve.batching` — per-topology coalescing with a bounded
   queue (backpressure: full queue ⇒ shed).
 * :mod:`repro.serve.registry` — the bounded topology store.
+* :mod:`repro.serve.stream` — per-connection streaming sessions behind
+  the ``/stream`` endpoint (window uploads ⇒ chunked verdict deltas).
 * :mod:`repro.serve.server` — the asyncio HTTP/1.1 front end.
 * :mod:`repro.serve.client` — a small blocking client for tests,
   benchmarks, and examples.
@@ -33,6 +35,7 @@ from repro.serve.queries import (
 )
 from repro.serve.registry import TopologyStore
 from repro.serve.server import TomographyService
+from repro.serve.stream import StreamSession
 
 __all__ = [
     "QueryBatcher",
@@ -47,4 +50,5 @@ __all__ = [
     "decode_vectors",
     "TopologyStore",
     "TomographyService",
+    "StreamSession",
 ]

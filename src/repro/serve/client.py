@@ -11,16 +11,19 @@ from __future__ import annotations
 import http.client
 import json
 
+import numpy as np
+
 from repro.serve.queries import decode_vectors
 
 __all__ = ["ServiceError", "ServiceClient"]
 
 
 class ServiceError(RuntimeError):
-    """A non-2xx service response.
+    """A non-2xx service response or a transport-level failure.
 
     Attributes:
-        status: HTTP status code (e.g. 429 when shed by backpressure).
+        status: HTTP status code (e.g. 429 when shed by backpressure);
+            0 when no response arrived at all (socket timeout).
         payload: Decoded JSON error body (``{"error": ...}``).
     """
 
@@ -34,15 +37,32 @@ class ServiceError(RuntimeError):
 
 
 class ServiceClient:
-    """Talk to a :class:`repro.serve.server.TomographyService`."""
+    """Talk to a :class:`repro.serve.server.TomographyService`.
+
+    Every socket read is bounded by ``timeout`` (seconds): a stalled or
+    wedged server surfaces as a clean :class:`ServiceError` (status 0)
+    after at most that long, never an unbounded blocking read.
+    """
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8077, *, timeout: float = 60.0
+        self, host: str = "127.0.0.1", port: int = 8077, *, timeout: float = 30.0
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self._connection: http.client.HTTPConnection | None = None
+
+    def _timeout_error(self) -> "ServiceError":
+        self.close()
+        return ServiceError(
+            0,
+            {
+                "error": (
+                    f"no response from {self.host}:{self.port} within "
+                    f"{self.timeout}s"
+                )
+            },
+        )
 
     # ------------------------------------------------------------------
     # Transport
@@ -80,6 +100,10 @@ class ServiceClient:
                 response = connection.getresponse()
                 raw = response.read()
                 break
+            except TimeoutError:
+                # socket.timeout: the server accepted but never answered
+                # within self.timeout — fail cleanly, not hang forever.
+                raise self._timeout_error() from None
             except (
                 http.client.RemoteDisconnected,
                 BrokenPipeError,
@@ -140,3 +164,75 @@ class ServiceClient:
 
     def identifiability(self, fingerprint: str, **params) -> dict:
         return self.query(fingerprint, dict(params, kind="identifiability"))
+
+    def stream(
+        self,
+        fingerprint: str,
+        windows,
+        *,
+        threshold: float = 0.5,
+        max_window: int | None = None,
+        localize_last: bool = False,
+    ):
+        """Upload windows; iterate per-window verdict deltas as they land.
+
+        A generator over the service's chunked ``/stream`` response: one
+        dict per window (``window``, ``timestamp``, ``onsets``,
+        ``clears``, ``changed``, ...), then a terminal
+        ``{"final": ...}`` dict with the full-history estimates.  A
+        mid-stream server error arrives as ``{"error": ...}`` and is
+        raised as :class:`ServiceError`.  The generator must be
+        exhausted (or closed) before the client issues other requests
+        on this connection.
+        """
+        payload = {
+            "windows": [
+                np.asarray(window).astype(int).tolist()
+                for window in windows
+            ],
+            "threshold": threshold,
+            "max_window": max_window,
+            "localize_last": localize_last,
+        }
+        body = json.dumps(payload).encode()
+        connection = self._connect()
+        try:
+            connection.request(
+                "POST",
+                f"/topologies/{fingerprint}/stream",
+                body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+        except TimeoutError:
+            raise self._timeout_error() from None
+        if response.status >= 300:
+            raw = response.read()
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(response.status, decoded)
+
+        def deltas():
+            try:
+                while True:
+                    try:
+                        line = response.readline()
+                    except TimeoutError:
+                        raise self._timeout_error() from None
+                    if not line:
+                        break
+                    delta = json.loads(line)
+                    if "error" in delta:
+                        raise ServiceError(500, delta)
+                    yield delta
+            finally:
+                # Drain any unread tail so the keep-alive connection
+                # stays usable after an abandoned iteration.
+                try:
+                    response.read()
+                except (OSError, http.client.HTTPException):
+                    self.close()
+
+        return deltas()

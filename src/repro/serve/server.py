@@ -14,6 +14,7 @@ DELETE     ``/topologies/<fp>``               Evict one topology
 POST       ``/topologies/<fp>/query``         Run a query (``kind`` in body)
 POST       ``/topologies/<fp>/localize``      Sugar: ``kind=localization``
 POST       ``/topologies/<fp>/identifiability``  Sugar: ``kind=identifiability``
+POST       ``/topologies/<fp>/stream``        Window uploads → chunked deltas
 =========  =================================  ===================================
 
 Status mapping: bad payloads → 400, unknown topology/path → 404, store
@@ -35,6 +36,7 @@ from repro.eval.parallel import run_scenario_tasks
 from repro.serve.batching import BatcherClosed, BatcherFull, QueryBatcher
 from repro.serve.queries import encode_vectors, normalize_query, query_tasks
 from repro.serve.registry import StoreFull, TopologyStore, instance_from_payload
+from repro.serve.stream import StepFailure
 
 __all__ = ["TomographyService", "serve_forever"]
 
@@ -118,25 +120,45 @@ class TomographyService:
             **self._batcher_knobs,
         )
 
-    def _run_batch(self, instance, queries: list[dict]) -> list[dict]:
+    def _run_batch(self, instance, queries: list) -> list[dict]:
         """Execute one coalesced batch through the scenario engine.
 
         Tasks keep per-query pre-spawned seeds, so coalescing changes
         throughput only — each query's answer is the one it would get
         alone (and identical to the batch CLI's).
+
+        Callable payloads are streaming window-update jobs
+        (:meth:`repro.serve.stream.StreamSession.step` closures); they
+        run directly on this worker thread, in batch order, sharing the
+        per-topology single-flight pipeline with ordinary queries.
         """
-        tasks = []
-        for group, query in enumerate(queries):
-            tasks.extend(query_tasks(query, group=group))
-        return run_scenario_tasks(
-            instance,
-            tasks,
-            config=None,
-            options=self.options,
-            workers=self.workers,
-            cache=self.cache,
-            registry=self.store.prep_registry,
-        )
+        results: list = [None] * len(queries)
+        positions, tasks = [], []
+        for position, query in enumerate(queries):
+            if callable(query):
+                # Isolate stream-job failures: an exception from
+                # run_batch would fail every co-batched query, so a bad
+                # window must settle only its own submission.
+                try:
+                    results[position] = query()
+                except Exception as exc:
+                    results[position] = StepFailure(exc)
+            else:
+                positions.append(position)
+                tasks.extend(query_tasks(query, group=position))
+        if tasks:
+            task_results = run_scenario_tasks(
+                instance,
+                tasks,
+                config=None,
+                options=self.options,
+                workers=self.workers,
+                cache=self.cache,
+                registry=self.store.prep_registry,
+            )
+            for position, result in zip(positions, task_results):
+                results[position] = result
+        return results
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -197,18 +219,28 @@ class TomographyService:
                     break
                 body = await reader.readexactly(length) if length else b""
                 path = raw_path.split("?", 1)[0]
-                try:
-                    status, payload = await self._route(method, path, body)
-                except _HttpError as exc:
-                    status, payload = exc.status, {"error": str(exc)}
-                except Exception as exc:  # engine/runner failure
-                    status, payload = 500, {
-                        "error": f"{type(exc).__name__}: {exc}"
-                    }
                 keep_alive = (
                     headers.get("connection", "keep-alive").lower()
                     != "close"
                 )
+                try:
+                    routed = await self._route(
+                        method, path, body, writer=writer,
+                        keep_alive=keep_alive,
+                    )
+                except _HttpError as exc:
+                    routed = exc.status, {"error": str(exc)}
+                except Exception as exc:  # engine/runner failure
+                    routed = 500, {
+                        "error": f"{type(exc).__name__}: {exc}"
+                    }
+                if routed is None:
+                    # Streaming route: the response (chunked) was already
+                    # written by the handler.
+                    if not keep_alive:
+                        break
+                    continue
+                status, payload = routed
                 await self._respond(
                     writer, status, payload, keep_alive=keep_alive
                 )
@@ -257,8 +289,14 @@ class TomographyService:
         return payload
 
     async def _route(
-        self, method: str, path: str, body: bytes
-    ) -> tuple[int, dict]:
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        writer=None,
+        keep_alive: bool = False,
+    ) -> tuple[int, dict] | None:
         if self._closing:
             raise _HttpError(503, "service is shutting down")
         parts = [part for part in path.split("/") if part]
@@ -300,6 +338,13 @@ class TomographyService:
                 if action in kinds:
                     return await self._query(
                         fingerprint, self._json_body(body), kinds[action]
+                    )
+                if action == "stream":
+                    return await self._stream(
+                        fingerprint,
+                        self._json_body(body),
+                        writer,
+                        keep_alive=keep_alive,
                     )
         raise _HttpError(404, f"no route for {method} {path}")
 
@@ -362,6 +407,83 @@ class TomographyService:
             "fingerprint": fingerprint,
             "result": encode_vectors(result),
         }
+
+    # ------------------------------------------------------------------
+    # Streaming (/topologies/<fp>/stream)
+    # ------------------------------------------------------------------
+    async def _stream(
+        self, fingerprint: str, payload: dict, writer, *, keep_alive: bool
+    ) -> None:
+        """Per-window verdict deltas over a chunked HTTP/1.1 response.
+
+        The request body carries the whole window sequence; each window
+        is submitted through the topology's batcher (keeping the
+        single-flight ordering and 429 backpressure of ordinary
+        queries), and its delta is written as one chunk as soon as the
+        update completes.  The final chunk carries the full-history
+        estimates, bit-identical to a batch inference over the
+        concatenated windows.  Validation errors before the first
+        window fail with ordinary status responses; failures mid-stream
+        are reported as a terminal ``{"error": ...}`` line (the status
+        line is already on the wire).
+        """
+        from repro.serve.stream import StreamSession
+
+        entry = self.store.get(fingerprint)
+        if entry is None:
+            raise _HttpError(404, f"no topology {fingerprint!r} loaded")
+        windows = payload.get("windows")
+        if not isinstance(windows, list) or not windows:
+            raise _HttpError(
+                400, "'windows' must be a non-empty list of windows"
+            )
+        threshold = payload.get("threshold", 0.5)
+        max_window = payload.get("max_window")
+        try:
+            session = StreamSession(
+                entry.instance,
+                options=self.options,
+                registry=self.store.prep_registry,
+                threshold=float(threshold),
+                max_window=None if max_window is None else int(max_window),
+                localize_last=bool(payload.get("localize_last", False)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise _HttpError(400, f"bad stream parameters: {exc}") from None
+
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1"))
+        await writer.drain()
+        try:
+            for rows in windows:
+                delta = await entry.batcher.submit(
+                    functools.partial(session.step, rows)
+                )
+                if isinstance(delta, StepFailure):
+                    raise delta.error
+                entry.queries += 1
+                await self._write_chunk(writer, delta)
+            await self._write_chunk(writer, {"final": session.final()})
+        except (BatcherFull, BatcherClosed, ValueError) as exc:
+            await self._write_chunk(writer, {"error": str(exc)})
+        except Exception as exc:  # engine failure mid-stream
+            await self._write_chunk(
+                writer, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return None
+
+    @staticmethod
+    async def _write_chunk(writer, payload: dict) -> None:
+        data = json.dumps(payload).encode("utf-8") + b"\n"
+        writer.write(f"{len(data):X}\r\n".encode("latin-1") + data + b"\r\n")
+        await writer.drain()
 
 
 async def _serve_until_signalled(service: TomographyService, banner) -> None:

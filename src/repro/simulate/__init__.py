@@ -9,6 +9,12 @@ from repro.simulate.observations import PathObservations
 from repro.simulate.oracle import ExactPathStateDistribution
 from repro.simulate.probes import PathProber, ProbeConfig
 from repro.simulate.snapshot import SnapshotResult, simulate_snapshot
+from repro.simulate.stream import (
+    LinkStateTimeline,
+    ProbeWindow,
+    SnapshotStream,
+    StreamEvent,
+)
 
 __all__ = [
     "ExperimentConfig",
@@ -20,4 +26,8 @@ __all__ = [
     "ProbeConfig",
     "SnapshotResult",
     "simulate_snapshot",
+    "LinkStateTimeline",
+    "ProbeWindow",
+    "SnapshotStream",
+    "StreamEvent",
 ]

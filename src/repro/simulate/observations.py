@@ -28,9 +28,37 @@ The scalar accessors (``p_good``, ``log_good_pair``, ...) are thin
 wrappers over those kernels, so existing callers keep working while bulk
 consumers (the equation builder, the theorem algorithm) use the batch
 APIs directly.
+
+Streaming
+---------
+
+The estimator state is *appendable*: :meth:`PathObservations.append_window`
+admits a new window of snapshot rows, updating every materialised cache
+incrementally — the joint-good Gram accumulates ``good_w.T @ good_w``, the
+packed-row/mask-count caches gain exactly the new rows, and the per-path
+log cache is invalidated (it is O(paths) to rebuild).  A bounded sliding
+window (``max_window=``, or explicit :meth:`evict_oldest`) drops the
+oldest rows by *subtracting* their Gram/count contributions; because every
+count is an exact integer, the subtracted state is bit-identical to a
+from-scratch rebuild over the surviving rows — asserted under
+``__debug__`` on the first eviction (and on every eviction when the
+``REPRO_STREAM_VERIFY`` environment variable is set), with a full
+recompute as the fallback whenever a cache was never materialised.
+
+Input freezing: the constructor and :meth:`append_window` adopt boolean
+input arrays *without copying* and set ``flags.writeable = False`` on
+them.  Every cache here assumes rows never change after admission; an
+in-place mutation of the input would silently desynchronise
+``log_good_all``/``joint_good_gram`` from the raw rows.  Freezing turns
+that hazard into an immediate ``ValueError`` at the mutation site.  Pass
+``array.copy()`` if you need to keep a writable copy on the caller side.
+(Non-boolean inputs are converted, which copies — the caller's array is
+then untouched and stays writable.)
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -43,40 +71,102 @@ __all__ = ["PathObservations"]
 _GRAM_QUERY_THRESHOLD = 64
 
 
+def _window_gram(good_w: np.ndarray) -> np.ndarray:
+    """Exact int64 Gram contribution of one window of good indicators.
+
+    float32 matmul is exact for sums below 2^24 and twice as fast; any
+    realistic window is far below that.
+    """
+    dtype = np.float32 if good_w.shape[0] < 2**24 else np.float64
+    good = good_w.astype(dtype)
+    return (good.T @ good).astype(np.int64)
+
+
 class PathObservations:
     """Observed path congestion verdicts for one experiment.
 
     Args:
         path_states: Boolean matrix, ``path_states[t, i]`` true when path
-            ``P_i`` was congested during snapshot ``t``.
+            ``P_i`` was congested during snapshot ``t``.  Boolean arrays
+            are adopted without copying and frozen
+            (``flags.writeable = False``); see the module docstring.
+        max_window: Optional sliding-window bound.  When set, appends
+            evict the oldest rows so at most this many snapshots are
+            retained.  ``None`` (the default) keeps the full history.
     """
 
-    def __init__(self, path_states: np.ndarray) -> None:
+    def __init__(
+        self, path_states: np.ndarray, *, max_window: int | None = None
+    ) -> None:
+        states = self._adopt(path_states)
+        if states.shape[0] < 1:
+            raise MeasurementError("need at least one snapshot")
+        if max_window is not None and max_window < 1:
+            raise MeasurementError(
+                f"max_window must be positive, got {max_window}"
+            )
+        self._max_window = max_window
+        # Valid rows live at ``_buf[_start:_stop]``.  The initial buffer
+        # is the (frozen) input itself — the batch-only path never pays a
+        # copy; the first append reallocates into a private buffer.
+        self._buf = states
+        self._good_buf = ~states
+        self._good_buf.flags.writeable = False
+        self._start = 0
+        self._stop = states.shape[0]
+        self._n_paths = states.shape[1]
+        self._n_evicted = 0
+        self._verified_eviction = False
+        self._good_counts = self._good_buf.sum(axis=0).astype(np.int64)
+        self._mask_counts: dict[int, int] | None = None
+        self._log_good_all: np.ndarray | None = None
+        self._joint_gram: np.ndarray | None = None
+        self._packed_rows: np.ndarray | None = None
+        self._refresh_views()
+        if max_window is not None and self.n_snapshots > max_window:
+            self.evict_oldest(self.n_snapshots - max_window)
+
+    @staticmethod
+    def _adopt(path_states) -> np.ndarray:
         states = np.asarray(path_states)
         if states.ndim != 2:
             raise MeasurementError(
                 f"path_states must be 2-D (snapshot × path), got shape "
                 f"{states.shape}"
             )
-        if states.shape[0] < 1:
-            raise MeasurementError("need at least one snapshot")
-        self._states = states.astype(bool)
-        self._n_snapshots, self._n_paths = self._states.shape
-        self._good = ~self._states
-        self._good_counts = self._good.sum(axis=0).astype(np.int64)
-        self._mask_counts: dict[int, int] | None = None
-        self._log_good_all: np.ndarray | None = None
-        self._joint_gram: np.ndarray | None = None
-        self._packed_rows: np.ndarray | None = None
+        if states.dtype != bool:
+            states = states.astype(bool)
+        # Freeze the adopted rows: the incremental caches assume they
+        # never change (module docstring, "Input freezing").
+        states.flags.writeable = False
+        return states
+
+    def _refresh_views(self) -> None:
+        self._states = self._buf[self._start : self._stop]
+        self._good = self._good_buf[self._start : self._stop]
 
     # ------------------------------------------------------------------
     @property
     def n_snapshots(self) -> int:
-        return self._n_snapshots
+        return self._stop - self._start
+
+    @property
+    def _n_snapshots(self) -> int:
+        return self._stop - self._start
 
     @property
     def n_paths(self) -> int:
         return self._n_paths
+
+    @property
+    def n_evicted(self) -> int:
+        """Snapshots dropped so far by the sliding window."""
+        return self._n_evicted
+
+    @property
+    def max_window(self) -> int | None:
+        """The sliding-window bound (``None`` = unbounded)."""
+        return self._max_window
 
     @property
     def path_states(self) -> np.ndarray:
@@ -89,6 +179,140 @@ class PathObservations:
         """Observed fraction of snapshots with the path congested."""
         self._check_path(path_id)
         return 1.0 - self._good_counts[path_id] / self._n_snapshots
+
+    # ------------------------------------------------------------------
+    # Streaming: append / evict
+    # ------------------------------------------------------------------
+    def append_window(self, path_states: np.ndarray) -> None:
+        """Admit a window of new snapshot rows (incremental update).
+
+        Every materialised cache is extended in place: good counts and
+        the joint-good Gram accumulate the window's contribution, packed
+        rows and mask counts gain exactly the new rows, and the per-path
+        log cache is invalidated.  The resulting state is bit-identical
+        to constructing :class:`PathObservations` over the concatenated
+        rows.  With ``max_window`` set, the oldest rows are evicted to
+        honour the bound.  The input is adopted frozen (see the module
+        docstring).
+        """
+        window = self._adopt(path_states)
+        rows = window.shape[0]
+        if rows == 0:
+            return
+        if window.shape[1] != self._n_paths:
+            raise MeasurementError(
+                f"window has {window.shape[1]} paths, expected "
+                f"{self._n_paths}"
+            )
+        self._reserve(rows)
+        stop = self._stop + rows
+        self._buf[self._stop : stop] = window
+        good_w = self._good_buf[self._stop : stop]
+        np.logical_not(window, out=good_w)
+        self._stop = stop
+        self._refresh_views()
+        self._good_counts += good_w.sum(axis=0).astype(np.int64)
+        self._log_good_all = None
+        if self._joint_gram is not None:
+            self._joint_gram += _window_gram(good_w)
+        if self._packed_rows is not None:
+            packed_w = np.packbits(window, axis=1, bitorder="little")
+            self._packed_rows = np.concatenate([self._packed_rows, packed_w])
+            if self._mask_counts is not None:
+                for row in packed_w:
+                    mask = int.from_bytes(row.tobytes(), "little")
+                    self._mask_counts[mask] = (
+                        self._mask_counts.get(mask, 0) + 1
+                    )
+        if (
+            self._max_window is not None
+            and self.n_snapshots > self._max_window
+        ):
+            self.evict_oldest(self.n_snapshots - self._max_window)
+
+    def evict_oldest(self, count: int) -> None:
+        """Drop the ``count`` oldest snapshots (sliding-window eviction).
+
+        Materialised caches are updated by *subtracting* the evicted
+        rows' contributions; caches that were never materialised stay
+        unmaterialised and recompute lazily over the surviving rows (the
+        recompute fallback).  At least one snapshot must survive.
+        """
+        if count <= 0:
+            return
+        if count >= self.n_snapshots:
+            raise MeasurementError(
+                f"cannot evict {count} of {self.n_snapshots} snapshots; "
+                "at least one must remain"
+            )
+        old_good = self._good_buf[self._start : self._start + count]
+        self._good_counts -= old_good.sum(axis=0).astype(np.int64)
+        self._log_good_all = None
+        if self._joint_gram is not None:
+            self._joint_gram -= _window_gram(old_good)
+        if self._packed_rows is not None:
+            evicted_packed = self._packed_rows[:count]
+            if self._mask_counts is not None:
+                for row in evicted_packed:
+                    mask = int.from_bytes(row.tobytes(), "little")
+                    remaining = self._mask_counts[mask] - 1
+                    if remaining:
+                        self._mask_counts[mask] = remaining
+                    else:
+                        del self._mask_counts[mask]
+            self._packed_rows = self._packed_rows[count:].copy()
+        self._start += count
+        self._n_evicted += count
+        self._refresh_views()
+        if __debug__ and (
+            not self._verified_eviction
+            or os.environ.get("REPRO_STREAM_VERIFY")
+        ):
+            self._verified_eviction = True
+            self._assert_matches_recompute()
+
+    def _reserve(self, rows: int) -> None:
+        """Ensure the row buffers can hold ``rows`` more snapshots."""
+        capacity = self._buf.shape[0]
+        if self._stop + rows <= capacity and self._buf.flags.writeable:
+            return
+        valid = self.n_snapshots
+        new_capacity = max(2 * capacity, valid + rows, 16)
+        buf = np.empty((new_capacity, self._n_paths), dtype=bool)
+        good_buf = np.empty((new_capacity, self._n_paths), dtype=bool)
+        buf[:valid] = self._buf[self._start : self._stop]
+        good_buf[:valid] = self._good_buf[self._start : self._stop]
+        self._buf = buf
+        self._good_buf = good_buf
+        self._start = 0
+        self._stop = valid
+        self._refresh_views()
+
+    def _assert_matches_recompute(self) -> None:
+        """Equivalence contract: incremental state == from-scratch state.
+
+        Compares every materialised cache against a fresh
+        :class:`PathObservations` over the surviving rows.  Called under
+        ``__debug__`` after the first eviction (and every eviction when
+        ``REPRO_STREAM_VERIFY`` is set) — integer subtraction is exact,
+        so any mismatch is a genuine bookkeeping bug, not float noise.
+        """
+        fresh = PathObservations(self._states.copy())
+        assert np.array_equal(self._good_counts, fresh._good_counts), (
+            "incremental good counts diverged from recompute"
+        )
+        if self._joint_gram is not None:
+            assert np.array_equal(
+                self._joint_gram, fresh.joint_good_gram()
+            ), "incremental Gram diverged from recompute"
+        if self._packed_rows is not None:
+            assert np.array_equal(
+                self._packed_rows, fresh._ensure_packed_rows()
+            ), "incremental packed rows diverged from recompute"
+        if self._mask_counts is not None:
+            assert self._mask_counts == fresh._ensure_mask_counts(), (
+                "incremental mask counts diverged from recompute"
+            )
 
     # ------------------------------------------------------------------
     # Batch kernels
@@ -116,18 +340,16 @@ class PathObservations:
     def joint_good_gram(self) -> np.ndarray:
         """``G[i, j]`` = number of snapshots with paths i and j both good.
 
-        Computed once as ``good.T @ good`` and cached; the float
-        accumulation is exact because counts are bounded by the snapshot
-        count.
+        Computed once as ``good.T @ good``, cached, and thereafter
+        maintained incrementally across :meth:`append_window` /
+        :meth:`evict_oldest`; the float accumulation is exact because
+        counts are bounded by the snapshot count.
         """
         if self._joint_gram is None:
-            # float32 matmul is exact for sums below 2^24 and twice as
-            # fast; fall back to float64 for absurdly long experiments.
-            dtype = np.float32 if self._n_snapshots < 2**24 else np.float64
-            good = self._good.astype(dtype)
-            self._joint_gram = (good.T @ good).astype(np.int64)
-            self._joint_gram.flags.writeable = False
-        return self._joint_gram
+            self._joint_gram = _window_gram(self._good)
+        view = self._joint_gram.view()
+        view.flags.writeable = False
+        return view
 
     def _check_pairs(self, pairs) -> np.ndarray:
         pairs = np.asarray(pairs, dtype=np.int64)
@@ -237,7 +459,8 @@ class PathObservations:
     # ------------------------------------------------------------------
     def congested_mask_of_snapshot(self, snapshot: int) -> int:
         """Bitmask of congested paths during one snapshot (for the
-        localization extension)."""
+        localization extension).  Index 0 is the oldest *surviving*
+        snapshot when a sliding window has evicted history."""
         if not 0 <= snapshot < self._n_snapshots:
             raise MeasurementError(
                 f"snapshot {snapshot} out of range 0..{self._n_snapshots - 1}"

@@ -8,7 +8,9 @@ Each round (paper Section 5, "Simulator"):
 3. send packets along each path, dropping per-link;
 4. measure each path's loss rate and compare against ``t_p``.
 
-:func:`simulate_snapshot` does exactly one round; the bulk driver in
+:func:`simulate_snapshot` does exactly one round — implemented as the
+single-window special case of :class:`repro.simulate.stream.SnapshotStream`
+(one window of one snapshot, no timeline); the bulk driver in
 :mod:`repro.simulate.experiment` runs rounds in vectorised batches.
 """
 
@@ -49,13 +51,16 @@ def simulate_snapshot(
     prober: PathProber,
     rng: np.random.Generator,
 ) -> SnapshotResult:
-    """Run one full simulation round."""
-    link_states = network_model.sample_indicator(rng)
-    loss_rates = loss_model.sample_loss_rates(link_states, rng)
-    path_loss, path_states = prober.measure(loss_rates, rng)
+    """Run one full simulation round (a one-snapshot stream window)."""
+    from repro.simulate.stream import SnapshotStream
+
+    stream = SnapshotStream(
+        network_model, loss_model, prober, window_size=1, rng=rng
+    )
+    window = stream.next_window()
     return SnapshotResult(
-        link_states=link_states,
-        loss_rates=loss_rates,
-        path_loss=path_loss,
-        path_states=path_states,
+        link_states=window.link_states[0],
+        loss_rates=window.loss_rates[0],
+        path_loss=window.path_loss[0],
+        path_states=window.path_states[0],
     )

@@ -1,0 +1,144 @@
+"""Detection-latency sweep: the streaming engine's eval surface."""
+
+import numpy as np
+import pytest
+
+from repro.core.correlation_algorithm import AlgorithmOptions
+from repro.eval.parallel import scenario_tasks
+from repro.eval.streaming import (
+    DETECTION_RUNNER,
+    DetectionLatencyResult,
+    detection_latency_sweep,
+    render_detection_latency,
+    run_detection_task,
+)
+
+@pytest.fixture(scope="module")
+def instance(brite_small):
+    return brite_small.instance
+
+
+SWEEP_KWARGS = dict(
+    probe_rates=(10, 25),
+    n_windows=6,
+    onset_after=2,
+    packets_per_path=600,
+    congested_fraction=0.05,
+    per_set_range="high",
+    n_onset_links=2,
+    threshold=0.5,
+    n_trials=2,
+    seed=42,
+)
+
+TASK_KWARGS = dict(
+    probe_rate=15,
+    n_windows=5,
+    onset_after=2,
+    packets_per_path=600,
+    congested_fraction=0.05,
+    per_set_range="high",
+    n_onset_links=2,
+    threshold=0.5,
+)
+
+
+def make_task(seed=0, **overrides):
+    kwargs = {**TASK_KWARGS, **overrides}
+    (task,) = scenario_tasks(
+        DETECTION_RUNNER, kwargs, n_trials=1, seed=seed
+    )
+    return task
+
+
+class TestRunDetectionTask:
+    def test_runner_spec_is_accepted_by_the_task_engine(self):
+        """The dotted runner spec resolves, so the sweep can ship tasks
+        through any TaskExecutor backend."""
+        tasks = scenario_tasks(
+            DETECTION_RUNNER, dict(TASK_KWARGS), n_trials=3, seed=1
+        )
+        assert len(tasks) == 3
+        assert all(task.factory == DETECTION_RUNNER for task in tasks)
+
+    def test_result_shape_and_transport_types(self, instance):
+        result = run_detection_task(
+            instance, None, AlgorithmOptions(), make_task(seed=3)
+        )
+        assert set(result) == {
+            "probe_rate",
+            "onset_links",
+            "detected",
+            "latency_windows",
+            "false_alarm_link_windows",
+        }
+        for value in result.values():
+            assert value.dtype == np.float64  # executor transport
+        assert result["probe_rate"][0] == 15.0
+        assert result["onset_links"].shape == (2,)
+        assert set(result["detected"]) <= {0.0, 1.0}
+        # Latency is only defined for detected links, in 1..n_windows.
+        hit = result["detected"] > 0
+        assert np.isnan(result["latency_windows"][~hit]).all()
+        assert (result["latency_windows"][hit] >= 1).all()
+        assert (
+            result["latency_windows"][hit]
+            <= TASK_KWARGS["n_windows"] - TASK_KWARGS["onset_after"]
+        ).all()
+
+    def test_deterministic_at_fixed_seed(self, instance):
+        first = run_detection_task(
+            instance, None, AlgorithmOptions(), make_task(seed=7)
+        )
+        second = run_detection_task(
+            instance, None, AlgorithmOptions(), make_task(seed=7)
+        )
+        for key in first:
+            assert np.array_equal(
+                first[key], second[key], equal_nan=True
+            )
+
+    def test_rejects_unknown_parameters(self, instance):
+        task = make_task(seed=0, bogus=1)
+        with pytest.raises(ValueError, match="bogus"):
+            run_detection_task(
+                instance, None, AlgorithmOptions(), task
+            )
+
+    def test_rejects_onset_outside_stream(self, instance):
+        task = make_task(seed=0, onset_after=5, n_windows=5)
+        with pytest.raises(ValueError, match="onset_after"):
+            run_detection_task(
+                instance, None, AlgorithmOptions(), task
+            )
+
+
+class TestDetectionLatencySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self, instance) -> DetectionLatencyResult:
+        return detection_latency_sweep(instance, **SWEEP_KWARGS)
+
+    def test_one_point_per_probe_rate(self, sweep):
+        assert [p.probe_rate for p in sweep.points] == [10, 25]
+        for point in sweep.points:
+            assert 0.0 <= point.detection_fraction <= 1.0
+            assert point.false_alarm_rate >= 0.0
+            if point.detection_fraction > 0:
+                assert point.mean_latency >= 1.0
+                assert point.p90_latency >= point.mean_latency * 0.5
+
+    def test_metadata_records_the_configuration(self, sweep, instance):
+        assert sweep.metadata["n_windows"] == 6
+        assert sweep.metadata["n_trials"] == 2
+        assert sweep.metadata["n_links"] == instance.n_links
+        assert sweep.metadata["n_paths"] == instance.n_paths
+
+    def test_sweep_is_deterministic(self, sweep, instance):
+        again = detection_latency_sweep(instance, **SWEEP_KWARGS)
+        assert again.points == sweep.points
+
+    def test_render_smoke(self, sweep):
+        table = render_detection_latency(sweep, title="smoke")
+        assert "smoke" in table
+        for point in sweep.points:
+            assert str(point.probe_rate) in table

@@ -1,0 +1,112 @@
+"""Property-based tests for the incremental observation pipeline.
+
+The contract under test: after ANY schedule of appends and evictions,
+an incrementally-maintained :class:`PathObservations` is observationally
+identical to one built from scratch over the surviving rows.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.simulate.observations import PathObservations
+
+# A schedule: the initial window, then appends (row matrices with a
+# shared path count) interleaved with evictions (a fraction of the
+# surviving history, biased so at least one row always remains).
+row_counts = st.integers(min_value=1, max_value=12)
+
+
+@st.composite
+def schedules(draw):
+    n_paths = draw(st.integers(min_value=1, max_value=6))
+
+    def window():
+        return arrays(
+            dtype=bool, shape=st.tuples(row_counts, st.just(n_paths))
+        )
+
+    initial = draw(window())
+    steps = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(st.just("append"), window()),
+                st.tuples(
+                    st.just("evict"),
+                    st.floats(min_value=0.0, max_value=1.0),
+                ),
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    return initial, steps
+
+
+def apply_schedule(observations, rows, steps, materialise):
+    """Run the schedule, mirroring it on a plain row list."""
+    if materialise:
+        observations.joint_good_gram()
+        observations.observed_masks()
+        observations.log_good_all()
+    for kind, payload in steps:
+        if kind == "append":
+            observations.append_window(payload)
+            rows.append(np.array(payload))
+        else:
+            surviving = sum(chunk.shape[0] for chunk in rows)
+            count = min(int(payload * surviving), surviving - 1)
+            observations.evict_oldest(count)
+            flat = np.concatenate(rows, axis=0)[count:]
+            rows.clear()
+            rows.append(flat)
+    return np.concatenate(rows, axis=0)
+
+
+def assert_equivalent(incremental, scratch):
+    assert incremental.n_snapshots == scratch.n_snapshots
+    assert np.array_equal(incremental.path_states, scratch.path_states)
+    assert np.array_equal(
+        incremental.log_good_all(), scratch.log_good_all()
+    )
+    assert np.array_equal(
+        incremental.joint_good_gram(), scratch.joint_good_gram()
+    )
+    assert incremental.observed_masks() == scratch.observed_masks()
+
+
+@given(schedules(), st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_any_append_evict_schedule_matches_from_scratch(
+    schedule, materialise
+):
+    initial, steps = schedule
+    observations = PathObservations(initial)
+    surviving = apply_schedule(
+        observations, [np.array(initial)], steps, materialise
+    )
+    assert_equivalent(observations, PathObservations(surviving))
+
+
+@given(schedules(), st.integers(min_value=1, max_value=20))
+@settings(max_examples=60, deadline=None)
+def test_sliding_window_matches_tail_rebuild(schedule, max_window):
+    """With ``max_window`` set, the incremental state always equals a
+    from-scratch build over the most recent ``max_window`` rows."""
+    initial, steps = schedule
+    observations = PathObservations(initial, max_window=max_window)
+    observations.joint_good_gram()
+    observations.observed_masks()
+    total = [np.array(initial)]
+    for kind, payload in steps:
+        if kind != "append":
+            continue
+        observations.append_window(payload)
+        total.append(np.array(payload))
+    history = np.concatenate(total, axis=0)
+    tail = history[-max_window:]
+    assert_equivalent(observations, PathObservations(tail))
+    assert observations.n_evicted == max(
+        0, history.shape[0] - max_window
+    )
