@@ -1,0 +1,338 @@
+"""What-if prediction: memoized exact vs naive, and cache warm vs cold.
+
+Two legs over the same seeded synthetic demand (flows with random ECMP
+split sets concentrated on a few paths, so links see genuinely
+overlapping load):
+
+* **exact vs naive** — the memoized per-link recursion
+  (:func:`repro.predict.model.exceedance_exact`) against full joint
+  enumeration of every flow→path assignment
+  (:func:`~repro.predict.model.exceedance_naive`, the problib
+  ``ExactCongestionProbability`` shape).  The recursion prunes
+  can't-exceed subtrees and collapses equal partial loads, so it beats
+  the ``prod(n_candidates)`` enumeration by orders of magnitude.
+  Correctness is enforced both ways: exact must match naive to 1e-9
+  and a seeded Monte Carlo estimate within the statistical tolerance.
+* **warm vs cold cache** — a large Monte Carlo demand (above the
+  exact-flow threshold, the production fallback) predicted through a
+  :class:`repro.eval.cache.TrialCache`: the cold call pays the full
+  resampling, the warm call is one content-hash plus an npz read.
+
+The headline gates::
+
+    python benchmarks/bench_predict.py --require-exact-speedup 5 \
+        --require-cache-speedup 10
+
+``--quick`` is the CI smoke mode (same gates, smaller sizes).  Every
+run appends a record to ``BENCH_predict.json`` (see
+``benchmarks/bench_util.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from bench_util import write_bench_json
+
+PROFILES = {
+    "quick": {
+        "generator": {
+            "kind": "brite",
+            "n_ases": 12,
+            "routers_per_as": 3,
+            "n_paths": 30,
+            "seed": 7,
+        },
+        "exact_flows": 14,
+        "exact_path_pool": 6,
+        "exact_capacity": 4.0,
+        "mc_flows": 32,
+        "mc_path_pool": 10,
+        "mc_capacity": 8.0,
+        "mc_samples": 60_000,
+        "agreement_samples": 60_000,
+        "agreement_tol": 0.02,
+        "repeats": 3,
+        "default_exact_gate": 5.0,
+        "default_cache_gate": 10.0,
+    },
+    "full": {
+        "generator": {
+            "kind": "brite",
+            "n_ases": 12,
+            "routers_per_as": 3,
+            "n_paths": 30,
+            "seed": 7,
+        },
+        "exact_flows": 16,
+        "exact_path_pool": 6,
+        "exact_capacity": 4.5,
+        "mc_flows": 40,
+        "mc_path_pool": 10,
+        "mc_capacity": 10.0,
+        "mc_samples": 150_000,
+        "agreement_samples": 120_000,
+        "agreement_tol": 0.015,
+        "repeats": 5,
+        "default_exact_gate": 5.0,
+        "default_cache_gate": 10.0,
+    },
+}
+
+
+def _synthetic_demand(topology, *, n_flows, path_pool, capacity, seed):
+    """A seeded demand whose flows share a small path pool.
+
+    Concentrating every split set on the first ``path_pool`` paths makes
+    the covered links genuinely contended — the regime the exact
+    recursion exists for — while rates stay heterogeneous enough that
+    memoization has to work for its speedup.
+    """
+    from repro.predict.demand import DemandMatrix
+
+    rng = np.random.default_rng(seed)
+    rate_pool = [0.6, 1.0, 1.4]
+    flows = []
+    for index in range(n_flows):
+        split = sorted(
+            int(p) for p in rng.choice(path_pool, size=2, replace=False)
+        )
+        flows.append(
+            {
+                "name": f"f{index}",
+                "rate": float(rng.choice(rate_pool)),
+                "paths": split,
+            }
+        )
+    return DemandMatrix.from_payload(
+        {"flows": flows, "capacities": {"default": float(capacity)}}
+    )
+
+
+def run_benchmark(profile: dict) -> dict:
+    from repro.eval.cache import TrialCache
+    from repro.predict.model import (
+        CongestionModel,
+        exceedance_exact,
+        exceedance_naive,
+        exceedance_sample,
+    )
+    from repro.serve.registry import instance_from_payload
+
+    instance = instance_from_payload({"generator": profile["generator"]})
+    topology = instance.topology
+    repeats = profile["repeats"]
+
+    # ---- leg 1: memoized exact vs naive joint enumeration ------------
+    demand = _synthetic_demand(
+        topology,
+        n_flows=profile["exact_flows"],
+        path_pool=profile["exact_path_pool"],
+        capacity=profile["exact_capacity"],
+        seed=42,
+    )
+    resolved = demand.resolve(topology)
+    limits = 0.85 * resolved.capacities
+    states = int(
+        np.prod([len(split) for split in resolved.candidates])
+    )
+
+    exact_s, naive_s = [], []
+    exact = naive = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        exact = exceedance_exact(resolved.rates, resolved.incidences, limits)
+        exact_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        naive = exceedance_naive(resolved.rates, resolved.incidences, limits)
+        naive_s.append(time.perf_counter() - start)
+
+    if not np.allclose(exact, naive, atol=1e-9):
+        raise SystemExit(
+            "FAIL: memoized exact probabilities differ from the naive "
+            f"enumeration (max gap {np.abs(exact - naive).max():.3g})"
+        )
+    print(
+        f"exactness: memoized recursion == naive enumeration over "
+        f"{states} joint states (atol 1e-9)"
+    )
+    sampled = exceedance_sample(
+        resolved.rates,
+        resolved.incidences,
+        limits,
+        rng=np.random.default_rng(2024),
+        n_samples=profile["agreement_samples"],
+    )
+    mc_gap = float(np.abs(exact - sampled).max())
+    if mc_gap > profile["agreement_tol"]:
+        raise SystemExit(
+            f"FAIL: exact vs Monte Carlo gap {mc_gap:.4f} exceeds the "
+            f"{profile['agreement_tol']:.4f} tolerance at "
+            f"{profile['agreement_samples']} samples"
+        )
+    print(
+        f"agreement: exact vs Monte Carlo max gap {mc_gap:.4f} "
+        f"(tol {profile['agreement_tol']:.3f} at "
+        f"{profile['agreement_samples']} samples)"
+    )
+
+    # ---- leg 2: warm trial-cache hit vs cold prediction --------------
+    mc_demand = _synthetic_demand(
+        topology,
+        n_flows=profile["mc_flows"],
+        path_pool=profile["mc_path_pool"],
+        capacity=profile["mc_capacity"],
+        seed=43,
+    )
+    mc_resolved = mc_demand.resolve(topology)
+    model = CongestionModel(
+        exact_max_flows=16, mc_samples=profile["mc_samples"]
+    )
+    cold_s, warm_s = [], []
+    with tempfile.TemporaryDirectory(prefix="bench-predict-") as root:
+        cache = TrialCache(root)
+        start = time.perf_counter()
+        cold = model.predict(mc_resolved, seed=11, cache=cache)
+        cold_s.append(time.perf_counter() - start)
+        assert cold.method == "monte-carlo" and not cold.cached
+        for _ in range(max(repeats, 3)):
+            start = time.perf_counter()
+            warm = model.predict(mc_resolved, seed=11, cache=cache)
+            warm_s.append(time.perf_counter() - start)
+            if not warm.cached:
+                raise SystemExit(
+                    "FAIL: repeated prediction missed the trial cache"
+                )
+            if warm.probability.tobytes() != cold.probability.tobytes():
+                raise SystemExit(
+                    "FAIL: cached prediction differs from the cold one"
+                )
+    print("cache: warm hits byte-identical to the cold prediction")
+
+    return {
+        "exact_mean_s": statistics.mean(exact_s),
+        "naive_mean_s": statistics.mean(naive_s),
+        "cold_predict_s": cold_s[0],
+        "warm_predict_p50_s": statistics.median(warm_s),
+        "joint_states": states,
+        "mc_gap": mc_gap,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=(
+            "benchmark memoized exact congestion prediction against "
+            "naive enumeration, and warm cache hits against cold "
+            "predictions"
+        )
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: smaller flow sets, same gates",
+    )
+    parser.add_argument(
+        "--require-exact-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "fail unless naive mean / exact mean >= X (default: 5)"
+        ),
+    )
+    parser.add_argument(
+        "--require-cache-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "fail unless cold predict / warm predict p50 >= X "
+            "(default: 10)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    name = "quick" if args.quick else "full"
+    profile = PROFILES[name]
+    exact_gate = (
+        args.require_exact_speedup
+        if args.require_exact_speedup is not None
+        else profile["default_exact_gate"]
+    )
+    cache_gate = (
+        args.require_cache_speedup
+        if args.require_cache_speedup is not None
+        else profile["default_cache_gate"]
+    )
+
+    measured = run_benchmark(profile)
+    exact_speedup = measured["naive_mean_s"] / measured["exact_mean_s"]
+    cache_speedup = (
+        measured["cold_predict_s"] / measured["warm_predict_p50_s"]
+    )
+    print(
+        f"memoized exact: {measured['exact_mean_s'] * 1000:.2f} ms mean; "
+        f"naive enumeration over {measured['joint_states']} states: "
+        f"{measured['naive_mean_s'] * 1000:.2f} ms mean"
+    )
+    print(
+        f"exact speedup: {exact_speedup:.1f}x (gate: >= {exact_gate:.1f}x)"
+    )
+    print(
+        f"cold predict: {measured['cold_predict_s'] * 1000:.2f} ms; "
+        f"warm cache hit: {measured['warm_predict_p50_s'] * 1000:.2f} ms p50"
+    )
+    print(
+        f"cache speedup: {cache_speedup:.1f}x (gate: >= {cache_gate:.1f}x)"
+    )
+
+    joint_states = measured.pop("joint_states")
+    mc_gap = measured.pop("mc_gap")
+    path = write_bench_json(
+        "predict",
+        params={
+            "profile": name,
+            "generator": profile["generator"],
+            "exact_flows": profile["exact_flows"],
+            "mc_flows": profile["mc_flows"],
+            "mc_samples": profile["mc_samples"],
+            "joint_states": joint_states,
+            "agreement_samples": profile["agreement_samples"],
+            "exact_gate": exact_gate,
+            "cache_gate": cache_gate,
+        },
+        timings_s=measured,
+        ratios={
+            "exact_over_naive": exact_speedup,
+            "warm_over_cold": cache_speedup,
+            "exact_mc_gap": mc_gap,
+        },
+    )
+    print(f"recorded -> {path}")
+
+    failed = False
+    if exact_speedup < exact_gate:
+        print(
+            f"FAIL: exact speedup {exact_speedup:.1f}x below the "
+            f"{exact_gate:.1f}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    if cache_speedup < cache_gate:
+        print(
+            f"FAIL: cache speedup {cache_speedup:.1f}x below the "
+            f"{cache_gate:.1f}x gate",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

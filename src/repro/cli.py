@@ -630,6 +630,127 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the consumed windows as JSONL (for replay)",
     )
+
+    predict = commands.add_parser(
+        "predict",
+        help=(
+            "what-if forecast: infer current link state from simulated "
+            "probe observations, then rank links by congestion risk "
+            "under named demand shifts (JSON demand-matrix file) — the "
+            "batch reference the service /whatif endpoint must match "
+            "bit for bit"
+        ),
+    )
+    _instance_arguments(predict)
+    predict.add_argument(
+        "--seed",
+        type=int,
+        default=argparse.SUPPRESS,
+        help="query seed (overrides the top-level --seed)",
+    )
+    predict.add_argument(
+        "--demand",
+        required=True,
+        metavar="PATH",
+        help=(
+            "demand-matrix JSON file ('-' = stdin): flows (rate plus "
+            "src/dst endpoints or an explicit ECMP 'paths' split set), "
+            "link capacities, and optional named shifts"
+        ),
+    )
+    predict.add_argument(
+        "--shift",
+        action="append",
+        default=None,
+        metavar="NAME:SCALE",
+        help=(
+            "override a named shift's global scale, or add a new "
+            "uniform shift (repeatable), e.g. --shift surge:1.5"
+        ),
+    )
+    predict.add_argument(
+        "--congested-fraction",
+        type=float,
+        default=0.10,
+        help="simulated scenario: fraction of links congested",
+    )
+    predict.add_argument(
+        "--per-set-range",
+        choices=("high", "loose"),
+        default="high",
+        help="congestion clustering preset (Figure-3 vocabulary)",
+    )
+    predict.add_argument(
+        "--n-snapshots",
+        type=int,
+        default=120,
+        help="simulated probe rounds feeding the inference step",
+    )
+    predict.add_argument(
+        "--packets-per-path",
+        type=int,
+        default=400,
+        help="probe budget per path per round (0 = infinite traffic)",
+    )
+    predict.add_argument(
+        "--utilization-threshold",
+        type=_numeric_flag(
+            "utilization-threshold",
+            float,
+            minimum=1e-9,
+            hint="> 0",
+        ),
+        default=0.85,
+        help="a link congests when load exceeds this fraction of capacity",
+    )
+    predict.add_argument(
+        "--exact-max-flows",
+        type=_numeric_flag("exact-max-flows", int, minimum=0, hint=">= 0"),
+        default=16,
+        help=(
+            "largest flow set forecast by exact memoized enumeration; "
+            "bigger demands fall back to seeded Monte Carlo"
+        ),
+    )
+    predict.add_argument(
+        "--mc-samples",
+        type=_numeric_flag("mc-samples", int, minimum=1, hint=">= 1"),
+        default=20_000,
+        help="Monte Carlo fallback sample count",
+    )
+    predict.add_argument(
+        "--format",
+        choices=("table", "json"),
+        default="table",
+        help=(
+            "table = ranked links per shift; json = the canonical "
+            "result document (byte-comparable to the service answer)"
+        ),
+    )
+    predict.add_argument(
+        "--top",
+        type=_numeric_flag("top", int, minimum=1, hint=">= 1"),
+        default=10,
+        metavar="N",
+        help="table rows per shift",
+    )
+    predict.add_argument(
+        "--workers",
+        type=_worker_count,
+        default=None,
+        help="engine workers (1 = serial; default REPRO_WORKERS)",
+    )
+    predict.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="PATH",
+        help="trial cache (default: REPRO_CACHE_DIR, else off)",
+    )
+    predict.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the trial cache even if REPRO_CACHE_DIR is set",
+    )
     return parser
 
 
@@ -1976,6 +2097,126 @@ def _run_stream(args) -> int:
     return 0
 
 
+def _load_demand(args):
+    """Parse the --demand file into a DemandMatrix (SystemExit on junk)."""
+    import json
+
+    from repro.predict.demand import DemandMatrix
+
+    if args.demand == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.demand, encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as exc:
+            raise SystemExit(f"error: --demand: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: --demand: invalid JSON: {exc}") from None
+    try:
+        return DemandMatrix.from_payload(payload)
+    except ValueError as exc:
+        raise SystemExit(f"error: --demand: {exc}") from None
+
+
+def _shift_overrides(args, demand) -> list[dict]:
+    """Apply --shift NAME:SCALE overrides to the matrix's named shifts."""
+    shifts = [shift.to_payload() for shift in demand.shifts]
+    for spec in args.shift or []:
+        name, sep, scale_text = spec.rpartition(":")
+        if not sep or not name:
+            raise SystemExit(
+                f"error: --shift: expected NAME:SCALE, got {spec!r}"
+            )
+        try:
+            scale = float(scale_text)
+        except ValueError:
+            raise SystemExit(
+                f"error: --shift {name}: scale must be a number, "
+                f"got {scale_text!r}"
+            ) from None
+        if scale < 0:
+            raise SystemExit(
+                f"error: --shift {name}: scale must be >= 0, got {scale:g}"
+            )
+        for entry in shifts:
+            if entry["name"] == name:
+                entry["scale"] = scale
+                break
+        else:
+            shifts.append({"name": name, "scale": scale})
+    return shifts
+
+
+def _run_predict(args) -> int:
+    from repro.io import canonical_json
+    from repro.predict.tasks import whatif_vectors_to_result
+    from repro.serve.queries import encode_vectors, run_query, validate_query
+    from repro.utils.tables import format_table
+
+    instance = _instance_from_flags(args)
+    demand = _load_demand(args)
+    shifts = _shift_overrides(args, demand)
+    demand_payload = demand.to_payload()
+    demand_payload.pop("shifts", None)
+    query = {
+        "kind": "whatif",
+        "seed": args.seed,
+        "demand": demand_payload,
+        "shifts": shifts or None,
+        "utilization_threshold": args.utilization_threshold,
+        "exact_max_flows": args.exact_max_flows,
+        "mc_samples": args.mc_samples,
+        "congested_fraction": args.congested_fraction,
+        "per_set_range": args.per_set_range,
+        "n_snapshots": args.n_snapshots,
+        "packets_per_path": (
+            None if args.packets_per_path == 0 else args.packets_per_path
+        ),
+    }
+    try:
+        validate_query(instance, dict(query))
+    except ValueError as exc:
+        raise SystemExit(f"error: {exc}") from None
+    result = run_query(
+        instance, query, workers=args.workers, cache=_make_cache(args)
+    )
+    if args.format == "json":
+        print(canonical_json({"result": encode_vectors(result)}))
+        return 0
+    shift_names = [entry["name"] for entry in shifts] or ["baseline"]
+    record = whatif_vectors_to_result(result, shift_names)
+    topology = instance.topology
+    for shift in record["shifts"]:
+        rows = [
+            [
+                rank,
+                topology.links[link_id].name,
+                f"{record['current'][link_id]:.4f}",
+                f"{shift['predicted'][link_id]:.4f}",
+                f"{shift['combined'][link_id]:.4f}",
+                f"{shift['expected_utilization'][link_id]:.3f}",
+            ]
+            for rank, link_id in enumerate(
+                shift["ranking"][: args.top], start=1
+            )
+        ]
+        print(
+            format_table(
+                ["rank", "link", "now", "shift risk", "combined", "E[util]"],
+                rows,
+                title=(
+                    f"What-if {shift['name']!r} (scale {shift['scale']:g}, "
+                    f"{shift['method']}): top {len(rows)} links by "
+                    "combined risk"
+                ),
+            )
+        )
+    return 0
+
+
 _HANDLERS = {
     "demo": _run_demo,
     "figure3": _run_figure3,
@@ -1987,6 +2228,7 @@ _HANDLERS = {
     "serve": _run_serve,
     "localize": _run_localize,
     "stream": _run_stream,
+    "predict": _run_predict,
 }
 
 

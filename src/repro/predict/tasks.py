@@ -1,0 +1,154 @@
+"""What-if trials as scenario-engine tasks.
+
+:data:`WHATIF_RUNNER` is the dotted runner spec the service's
+``whatif`` query kind, the ``predict`` CLI command, and the
+:mod:`repro.eval.predict` sweep all execute — the identical code runs
+whether the task lands in-process, in a pool worker, or on a dist
+fleet, which is what makes the CLI and the ``/whatif`` endpoint
+bit-identical for the same inputs.
+
+One task is one full what-if trial: simulate a clustered congestion
+scenario and its probe observations (seeded from the task's pre-spawned
+child streams, exactly like the figure sweeps), infer the current link
+state, then forecast every requested demand shift.  Results are flat
+``dict[str, float64 ndarray]`` — the one shape every executor
+transport and the trial cache speak — with per-shift vectors keyed
+``shift<i>_*`` in the order the shifts were given.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.eval.scenario import make_clustered_scenario, resolve_per_set_range
+from repro.predict.demand import DemandMatrix, DemandShift
+from repro.predict.model import CongestionModel
+from repro.predict.scenario import WhatIfScenario
+from repro.simulate.experiment import ExperimentConfig, run_experiment
+from repro.utils.rng import clone_generator, spawn_children
+
+__all__ = ["WHATIF_RUNNER", "run_whatif_task", "whatif_vectors_to_result"]
+
+#: Dotted runner spec — resolvable by name in any worker process.
+WHATIF_RUNNER = "repro.predict.tasks:run_whatif_task"
+
+
+def run_whatif_task(instance, config, options, task) -> dict:
+    """One what-if trial: simulate, infer, forecast, rank.
+
+    ``factory_kwargs``: ``demand`` (demand-matrix payload), ``shifts``
+    (list of shift payloads; ``None`` = the matrix's own, else the
+    identity baseline), ``utilization_threshold`` / ``exact_max_flows``
+    / ``mc_samples`` (model knobs), and the probe-window parameters
+    ``congested_fraction`` / ``per_set_range`` / ``n_snapshots`` /
+    ``packets_per_path``.  The context ``config`` is ignored — the
+    window rides the kwargs so it is part of the cache key.
+
+    Returns ``current`` (inferred now-probabilities), ``capacities``,
+    ``n_shifts``, and per shift ``i``: ``shift<i>_scale``,
+    ``shift<i>_predicted``, ``shift<i>_combined``,
+    ``shift<i>_expected_utilization``, ``shift<i>_ranking`` (link ids
+    by descending combined risk), and ``shift<i>_method`` (0 = exact,
+    1 = Monte Carlo).
+    """
+    kwargs = dict(task.factory_kwargs)
+    demand = DemandMatrix.from_payload(kwargs.pop("demand"))
+    shifts_payload = kwargs.pop("shifts")
+    shifts = (
+        None
+        if shifts_payload is None
+        else [DemandShift.from_payload(shift) for shift in shifts_payload]
+    )
+    model = CongestionModel(
+        utilization_threshold=float(kwargs.pop("utilization_threshold")),
+        exact_max_flows=int(kwargs.pop("exact_max_flows")),
+        mc_samples=int(kwargs.pop("mc_samples")),
+    )
+    congested_fraction = float(kwargs.pop("congested_fraction"))
+    per_set_range = resolve_per_set_range(kwargs.pop("per_set_range"))
+    n_snapshots = int(kwargs.pop("n_snapshots"))
+    packets = kwargs.pop("packets_per_path")
+    packets = None if packets is None else int(packets)
+    if kwargs:
+        raise ValueError(f"unexpected whatif task parameters {sorted(kwargs)}")
+
+    scenario = make_clustered_scenario(
+        instance,
+        congested_fraction=congested_fraction,
+        per_set_range=per_set_range,
+        seed=clone_generator(task.scenario_seed),
+    )
+    sim_seed, predict_seed = spawn_children(clone_generator(task.run_seed), 2)
+    run = run_experiment(
+        instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(
+            n_snapshots=n_snapshots, packets_per_path=packets
+        ),
+        seed=sim_seed,
+    )
+    whatif = WhatIfScenario(
+        instance,
+        demand,
+        shifts=shifts,
+        model=model,
+        options=options,
+    )
+    result = whatif.evaluate(run.observations, seed=predict_seed)
+
+    out = {
+        "current": result.current,
+        "capacities": whatif.resolved.capacities.copy(),
+        "n_shifts": np.array([float(len(result.shifts))]),
+    }
+    for index, risk in enumerate(result.shifts):
+        out[f"shift{index}_scale"] = np.array([float(risk.scale)])
+        out[f"shift{index}_predicted"] = risk.predicted
+        out[f"shift{index}_combined"] = risk.combined
+        out[f"shift{index}_expected_utilization"] = risk.expected_utilization
+        out[f"shift{index}_ranking"] = risk.ranking.astype(np.float64)
+        out[f"shift{index}_method"] = np.array(
+            [0.0 if risk.method == "exact" else 1.0]
+        )
+    return out
+
+
+def whatif_vectors_to_result(vectors: dict, shift_names=None) -> dict:
+    """Re-shape a flat runner result into per-shift records.
+
+    The transports only carry float64 vectors, so shift *names* travel
+    with the query, not the result; pass them back in to label the
+    records (defaults to ``shift0..shiftN``).  Used by the CLI table
+    renderer and tests — JSON output keeps the flat canonical form.
+    """
+    n_shifts = int(vectors["n_shifts"][0])
+    if shift_names is None:
+        shift_names = [f"shift{index}" for index in range(n_shifts)]
+    if len(shift_names) != n_shifts:
+        raise ValueError(
+            f"{n_shifts} shifts in result, {len(shift_names)} names given"
+        )
+    shifts = []
+    for index, name in enumerate(shift_names):
+        shifts.append(
+            {
+                "name": name,
+                "scale": float(vectors[f"shift{index}_scale"][0]),
+                "predicted": vectors[f"shift{index}_predicted"],
+                "combined": vectors[f"shift{index}_combined"],
+                "expected_utilization": vectors[
+                    f"shift{index}_expected_utilization"
+                ],
+                "ranking": vectors[f"shift{index}_ranking"].astype(int),
+                "method": (
+                    "exact"
+                    if vectors[f"shift{index}_method"][0] == 0.0
+                    else "monte-carlo"
+                ),
+            }
+        )
+    return {
+        "current": vectors["current"],
+        "capacities": vectors["capacities"],
+        "shifts": shifts,
+    }

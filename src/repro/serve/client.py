@@ -165,6 +165,18 @@ class ServiceClient:
     def identifiability(self, fingerprint: str, **params) -> dict:
         return self.query(fingerprint, dict(params, kind="identifiability"))
 
+    def whatif(self, fingerprint: str, demand: dict, **params) -> dict:
+        """Run a what-if forecast; returns decoded float64 vectors.
+
+        ``demand`` is a demand-matrix payload (flows, capacities,
+        optional shifts); ``params`` take the same knobs as the
+        ``predict`` CLI command (``shifts``, ``utilization_threshold``,
+        ``exact_max_flows``, ``mc_samples``, simulation window, seed).
+        """
+        return self.query(
+            fingerprint, dict(params, kind="whatif", demand=demand)
+        )
+
     def stream(
         self,
         fingerprint: str,

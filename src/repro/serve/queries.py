@@ -34,8 +34,10 @@ from repro.utils.rng import clone_generator
 __all__ = [
     "LOCALIZATION_RUNNER",
     "IDENTIFIABILITY_RUNNER",
+    "WHATIF_RUNNER",
     "QUERY_KINDS",
     "normalize_query",
+    "validate_query",
     "query_tasks",
     "run_query",
     "encode_vectors",
@@ -47,6 +49,7 @@ __all__ = [
 #: Dotted runner specs — resolvable by name in any worker process.
 LOCALIZATION_RUNNER = "repro.serve.queries:run_localization_task"
 IDENTIFIABILITY_RUNNER = "repro.serve.queries:run_identifiability_task"
+WHATIF_RUNNER = "repro.predict.tasks:run_whatif_task"
 
 #: Query kind → (runner spec, parameter defaults).  ``None`` defaults
 #: are passed through untouched (e.g. infinite-traffic probing).
@@ -66,7 +69,63 @@ QUERY_KINDS: dict[str, tuple[str, dict]] = {
         IDENTIFIABILITY_RUNNER,
         {"max_subset_size": 2},
     ),
+    "whatif": (
+        WHATIF_RUNNER,
+        {
+            "demand": None,  # required — a demand-matrix payload
+            "shifts": None,  # default: the matrix's own named shifts
+            "utilization_threshold": 0.85,
+            "exact_max_flows": 16,
+            "mc_samples": 20_000,
+            "congested_fraction": 0.10,
+            "per_set_range": "high",
+            "n_snapshots": 120,
+            "packets_per_path": 400,
+        },
+    ),
 }
+
+
+def _normalize_whatif(kwargs: dict) -> dict:
+    """Canonicalise and validate the what-if parameters.
+
+    The demand payload round-trips through :class:`DemandMatrix` so
+    equivalent spellings (int vs float rates, missing optional fields)
+    produce byte-identical ``factory_kwargs`` — and therefore identical
+    cache keys — and malformed payloads fail here with a clear message
+    instead of poisoning a service batch at execution time.
+    """
+    from repro.predict.demand import DemandMatrix, DemandShift
+
+    demand = kwargs.get("demand")
+    if demand is None:
+        raise ValueError("whatif queries require a 'demand' matrix payload")
+    kwargs["demand"] = DemandMatrix.from_payload(demand).to_payload()
+    shifts = kwargs.get("shifts")
+    if shifts is not None:
+        if not isinstance(shifts, list) or not shifts:
+            raise ValueError(
+                "'shifts' must be a non-empty list of shift objects (or "
+                "omitted to use the demand matrix's own)"
+            )
+        kwargs["shifts"] = [
+            DemandShift.from_payload(shift).to_payload() for shift in shifts
+        ]
+    threshold = kwargs["utilization_threshold"]
+    if not isinstance(threshold, (int, float)) or not threshold > 0:
+        raise ValueError(
+            f"utilization_threshold must be > 0, got {threshold!r}"
+        )
+    if not isinstance(kwargs["exact_max_flows"], int) or kwargs["exact_max_flows"] < 0:
+        raise ValueError(
+            f"exact_max_flows must be an integer >= 0, got "
+            f"{kwargs['exact_max_flows']!r}"
+        )
+    if not isinstance(kwargs["mc_samples"], int) or kwargs["mc_samples"] < 1:
+        raise ValueError(
+            f"mc_samples must be an integer >= 1, got {kwargs['mc_samples']!r}"
+        )
+    return kwargs
 
 
 def normalize_query(query: dict) -> tuple[str, dict, int]:
@@ -102,7 +161,28 @@ def normalize_query(query: dict) -> tuple[str, dict, int]:
         kwargs["per_set_range"] = resolve_per_set_range(
             kwargs["per_set_range"]
         )
+    if kind == "whatif":
+        kwargs = _normalize_whatif(kwargs)
     return runner, kwargs, seed
+
+
+def validate_query(instance, query: dict) -> None:
+    """Full pre-queue validation of one query against its instance.
+
+    :func:`normalize_query` checks everything checkable without a
+    topology; this additionally binds a what-if query's demand matrix
+    to the instance, so unresolvable flows (unknown paths, endpoint
+    pairs with no routed path) are rejected as bad requests instead of
+    failing — and taking co-batched queries with them — inside the
+    engine.  Raises :class:`ValueError`.
+    """
+    runner, kwargs, _ = normalize_query(query)
+    if runner == WHATIF_RUNNER:
+        from repro.predict.demand import DemandMatrix
+
+        DemandMatrix.from_payload(kwargs["demand"]).resolve(
+            instance.topology
+        )
 
 
 def query_tasks(query: dict, *, group: int = 0) -> list[ScenarioTask]:

@@ -34,7 +34,7 @@ import time
 
 from repro.eval.parallel import run_scenario_tasks
 from repro.serve.batching import BatcherClosed, BatcherFull, QueryBatcher
-from repro.serve.queries import encode_vectors, normalize_query, query_tasks
+from repro.serve.queries import encode_vectors, query_tasks, validate_query
 from repro.serve.registry import StoreFull, TopologyStore, instance_from_payload
 from repro.serve.stream import StepFailure
 
@@ -334,6 +334,7 @@ class TomographyService:
                     "query": None,
                     "localize": "localization",
                     "identifiability": "identifiability",
+                    "whatif": "whatif",
                 }
                 if action in kinds:
                     return await self._query(
@@ -393,7 +394,10 @@ class TomographyService:
         if kind is not None:
             query = dict(query, kind=kind)
         try:
-            normalize_query(query)  # reject bad queries before queueing
+            # Reject bad queries before queueing — including what-if
+            # demands that do not bind to this topology, which would
+            # otherwise fail mid-batch and take co-batched queries down.
+            validate_query(entry.instance, query)
         except ValueError as exc:
             raise _HttpError(400, str(exc)) from None
         try:

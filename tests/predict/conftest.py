@@ -1,0 +1,39 @@
+"""Shared fixtures for the predict-layer tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.registry import instance_from_payload
+
+#: Same small generated instance the serve tests query.
+GENERATOR = {
+    "kind": "brite",
+    "n_ases": 12,
+    "routers_per_as": 3,
+    "n_paths": 30,
+    "seed": 7,
+}
+
+#: A demand whose three flows contend on overlapping path pools.
+DEMAND = {
+    "flows": [
+        {"name": "f0", "rate": 6.0, "paths": [0, 1]},
+        {"name": "f1", "rate": 5.0, "paths": [1, 2]},
+        {"name": "f2", "rate": 4.0, "paths": [0, 2]},
+    ],
+    "capacities": {"default": 10.0},
+    "shifts": [{"name": "surge", "scale": 1.6}],
+}
+
+
+@pytest.fixture(scope="session")
+def instance():
+    return instance_from_payload({"generator": GENERATOR})
+
+
+@pytest.fixture()
+def demand_payload():
+    import copy
+
+    return copy.deepcopy(DEMAND)

@@ -1,0 +1,180 @@
+"""Demand matrices: payload round-trips, fingerprints, resolution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.predict.demand import DemandMatrix, DemandShift, Flow
+
+
+class TestPayloadRoundTrip:
+    def test_round_trip_is_stable(self, demand_payload):
+        demand = DemandMatrix.from_payload(demand_payload)
+        replay = DemandMatrix.from_payload(demand.to_payload())
+        assert replay == demand
+        assert replay.to_payload() == demand.to_payload()
+
+    def test_equivalent_spellings_canonicalise(self, demand_payload):
+        # Int rates, unsorted link capacities, int scales — all normalise
+        # to the same canonical payload (and therefore cache key).
+        demand_payload["flows"][0]["rate"] = 6  # int spelling
+        demand_payload["shifts"][0]["scale"] = 1.6
+        base = DemandMatrix.from_payload(demand_payload)
+        assert base.flows[0].rate == 6.0
+        assert isinstance(base.flows[0].rate, float)
+
+    def test_shift_flow_factors(self):
+        shift = DemandShift.from_payload(
+            {"name": "surge", "scale": 2.0, "flows": {"f1": 3.0}}
+        )
+        assert shift.factor("f1") == 6.0
+        assert shift.factor("other") == 2.0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p.update(extra=1),
+            lambda p: p.update(flows=[]),
+            lambda p: p["flows"][0].update(bogus=1),
+            lambda p: p["flows"][0].update(rate=-1.0),
+            lambda p: p["flows"].append(dict(p["flows"][0])),  # dup name
+            lambda p: p["capacities"].update(bogus=1),
+            lambda p: p["capacities"].update(default=0.0),
+            lambda p: p["shifts"][0].update(scale=-2.0),
+            lambda p: p["shifts"].append(dict(p["shifts"][0])),  # dup name
+        ],
+    )
+    def test_malformed_payloads_fail_loudly(self, demand_payload, mutate):
+        mutate(demand_payload)
+        with pytest.raises(ValueError):
+            DemandMatrix.from_payload(demand_payload)
+
+    def test_flow_needs_paths_or_endpoints(self):
+        with pytest.raises(ValueError):
+            Flow.from_payload({"name": "f", "rate": 1.0})
+        with pytest.raises(ValueError):
+            Flow.from_payload(
+                {"name": "f", "rate": 1.0, "paths": [0], "src": "a", "dst": "b"}
+            )
+
+
+class TestFingerprint:
+    def test_round_trip_preserves_fingerprint(self, demand_payload):
+        demand = DemandMatrix.from_payload(demand_payload)
+        replay = DemandMatrix.from_payload(demand.to_payload())
+        assert replay.fingerprint() == demand.fingerprint()
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda p: p["flows"][0].update(rate=6.0001),
+            lambda p: p["flows"][1].update(paths=[1, 3]),
+            lambda p: p["capacities"].update(default=10.5),
+            lambda p: p["capacities"].update(links={"AS137->AS5": 3.0}),
+            lambda p: p["shifts"][0].update(scale=1.7),
+            lambda p: p["shifts"][0].update(flows={"f2": 2.0}),
+            lambda p: p["flows"].reverse(),  # order is significant
+        ],
+    )
+    def test_any_perturbation_moves_the_fingerprint(
+        self, demand_payload, mutate
+    ):
+        base = DemandMatrix.from_payload(demand_payload).fingerprint()
+        mutate(demand_payload)
+        perturbed = DemandMatrix.from_payload(demand_payload).fingerprint()
+        assert perturbed != base
+
+    def test_capacity_link_names_not_validated_until_resolve(
+        self, demand_payload
+    ):
+        demand_payload["capacities"]["links"] = {"no-such-link": 3.0}
+        DemandMatrix.from_payload(demand_payload)  # parse ok
+
+
+class TestResolve:
+    def test_explicit_ids_and_names(self, instance, demand_payload):
+        topology = instance.topology
+        name = topology.paths[3].name
+        demand_payload["flows"][0]["paths"] = [name, 0]
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(topology)
+        assert resolved.candidates[0] == (0, 3)
+        assert resolved.n_flows == 3
+        assert resolved.n_links == topology.n_links
+
+    def test_incidences_match_path_links(self, instance, demand_payload):
+        topology = instance.topology
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(topology)
+        for split, incidence in zip(resolved.candidates, resolved.incidences):
+            assert incidence.shape == (len(split), topology.n_links)
+            assert not incidence.flags.writeable
+            for row, path_id in enumerate(split):
+                expected = np.zeros(topology.n_links)
+                expected[list(topology.paths[path_id].link_ids)] = 1.0
+                assert np.array_equal(incidence[row], expected)
+
+    def test_endpoint_flows_bind_all_routed_paths(self, instance):
+        topology = instance.topology
+        path = topology.paths[0]
+        src = topology.links[path.link_ids[0]].src
+        dst = topology.links[path.link_ids[-1]].dst
+        demand = DemandMatrix.from_payload(
+            {"flows": [{"name": "f", "rate": 1.0, "src": src, "dst": dst}]}
+        )
+        resolved = demand.resolve(topology)
+        assert 0 in resolved.candidates[0]
+        # Every bound path really has those endpoints.
+        for path_id in resolved.candidates[0]:
+            bound = topology.paths[path_id]
+            assert str(topology.links[bound.link_ids[0]].src) == str(src)
+            assert str(topology.links[bound.link_ids[-1]].dst) == str(dst)
+
+    def test_capacities_default_and_overrides(self, instance, demand_payload):
+        topology = instance.topology
+        named = topology.links[5].name
+        demand_payload["capacities"]["links"] = {named: 3.5}
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(topology)
+        assert resolved.capacities[5] == 3.5
+        others = np.delete(resolved.capacities, 5)
+        assert np.all(others == 10.0)
+
+    def test_rates_under_shift(self, instance, demand_payload):
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(
+            instance.topology
+        )
+        shift = DemandShift(
+            name="s", scale=2.0, flow_scales=(("f1", 1.5),)
+        )
+        assert np.array_equal(
+            resolved.rates_under(shift), [12.0, 15.0, 8.0]
+        )
+
+    @pytest.mark.parametrize(
+        "flow",
+        [
+            {"name": "f", "rate": 1.0, "paths": [10_000]},
+            {"name": "f", "rate": 1.0, "src": "nowhere", "dst": "nohow"},
+        ],
+    )
+    def test_unresolvable_flows_fail_loudly(self, instance, flow):
+        demand = DemandMatrix.from_payload({"flows": [flow]})
+        with pytest.raises(ValueError, match=f"flow '{flow['name']}'"):
+            demand.resolve(instance.topology)
+
+    def test_unknown_path_name_fails_loudly(self, instance):
+        from repro.exceptions import TopologyError
+
+        demand = DemandMatrix.from_payload(
+            {"flows": [{"name": "f", "rate": 1.0, "paths": ["no-such-path"]}]}
+        )
+        with pytest.raises(TopologyError, match="no path named"):
+            demand.resolve(instance.topology)
+
+    def test_unknown_capacity_link_fails_at_resolve(
+        self, instance, demand_payload
+    ):
+        demand_payload["capacities"]["links"] = {"no-such-link": 3.0}
+        with pytest.raises(ValueError, match="unknown link"):
+            DemandMatrix.from_payload(demand_payload).resolve(
+                instance.topology
+            )

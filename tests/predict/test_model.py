@@ -1,0 +1,199 @@
+"""The congestion model: exact == naive, MC agreement, cache hits."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.eval.cache import TrialCache
+from repro.predict.demand import DemandMatrix
+from repro.predict.model import (
+    CongestionModel,
+    exceedance_exact,
+    exceedance_naive,
+    exceedance_sample,
+    expected_load,
+)
+
+
+def random_flow_set(rng, *, n_links=5, max_flows=6, max_candidates=3):
+    """A random (rates, incidences, limits) triple with feasible naive cost."""
+    n_flows = int(rng.integers(1, max_flows + 1))
+    rates = rng.uniform(0.1, 2.0, size=n_flows)
+    incidences = []
+    for _ in range(n_flows):
+        k = int(rng.integers(1, max_candidates + 1))
+        incidence = (rng.random((k, n_links)) < 0.5).astype(np.float64)
+        incidences.append(incidence)
+    limits = rng.uniform(0.5, 3.0, size=n_links)
+    return rates, incidences, limits
+
+
+class TestExactVsNaive:
+    def test_exact_equals_naive_on_random_flow_sets(self):
+        rng = np.random.default_rng(7)
+        for _ in range(30):
+            rates, incidences, limits = random_flow_set(rng)
+            exact = exceedance_exact(rates, incidences, limits)
+            naive = exceedance_naive(rates, incidences, limits)
+            assert np.allclose(exact, naive, atol=1e-12)
+
+    def test_certain_and_irrelevant_flows(self):
+        # Flow 0 always crosses link 0 (single candidate); flow 1 never
+        # does.  Exact must treat them deterministically.
+        incidences = [
+            np.array([[1.0, 0.0]]),
+            np.array([[0.0, 1.0], [0.0, 1.0]]),
+        ]
+        out = exceedance_exact([1.0, 1.0], incidences, [0.5, 10.0])
+        assert out[0] == 1.0  # certain load 1.0 > 0.5
+        assert out[1] == 0.0  # load 1.0 <= 10
+
+    def test_load_exactly_at_limit_is_not_congested(self):
+        # The shared boundary epsilon: load == limit counts as fine, for
+        # all three evaluators.
+        incidence = [np.array([[1.0]])]
+        for evaluate in (
+            lambda: exceedance_exact([0.85], incidence, [0.85]),
+            lambda: exceedance_naive([0.85], incidence, [0.85]),
+            lambda: exceedance_sample(
+                [0.85],
+                incidence,
+                [0.85],
+                rng=np.random.default_rng(0),
+                n_samples=10,
+            ),
+        ):
+            assert evaluate()[0] == 0.0
+
+    def test_empty_links_and_mismatched_inputs(self):
+        with pytest.raises(ValueError):
+            exceedance_exact([1.0, 2.0], [np.ones((1, 3))], np.ones(3))
+        with pytest.raises(ValueError):
+            exceedance_exact([1.0], [np.ones((1, 4))], np.ones(3))
+
+
+class TestMonteCarlo:
+    def test_sampler_is_deterministic_given_the_generator(self):
+        rng = np.random.default_rng(3)
+        rates, incidences, limits = random_flow_set(rng, max_flows=5)
+        first = exceedance_sample(
+            rates, incidences, limits,
+            rng=np.random.default_rng(11), n_samples=500,
+        )
+        second = exceedance_sample(
+            rates, incidences, limits,
+            rng=np.random.default_rng(11), n_samples=500,
+        )
+        assert np.array_equal(first, second)
+
+    def test_sampler_agrees_with_exact(self):
+        rng = np.random.default_rng(5)
+        rates, incidences, limits = random_flow_set(rng, max_flows=6)
+        exact = exceedance_exact(rates, incidences, limits)
+        sampled = exceedance_sample(
+            rates, incidences, limits,
+            rng=np.random.default_rng(0), n_samples=40_000,
+        )
+        assert np.abs(exact - sampled).max() < 0.02
+
+    def test_rejects_bad_sample_count(self):
+        with pytest.raises(ValueError):
+            exceedance_sample(
+                [1.0], [np.ones((1, 1))], [1.0],
+                rng=np.random.default_rng(0), n_samples=0,
+            )
+
+
+class TestExpectedLoad:
+    def test_expected_load_is_rate_weighted_membership(self):
+        incidences = [
+            np.array([[1.0, 0.0], [0.0, 1.0]]),  # 50/50 split
+            np.array([[1.0, 1.0]]),  # always both links
+        ]
+        load = expected_load([2.0, 3.0], incidences)
+        assert np.allclose(load, [2.0 * 0.5 + 3.0, 2.0 * 0.5 + 3.0])
+
+
+class TestCongestionModel:
+    def test_method_selection(self):
+        model = CongestionModel(exact_max_flows=2)
+        assert model.method_for(2) == "exact"
+        assert model.method_for(3) == "monte-carlo"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"utilization_threshold": 0.0},
+            {"exact_max_flows": -1},
+            {"mc_samples": 0},
+        ],
+    )
+    def test_rejects_bad_knobs(self, kwargs):
+        with pytest.raises(ValueError):
+            CongestionModel(**kwargs)
+
+    def test_rejects_wrong_rate_shape(self, instance, demand_payload):
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(
+            instance.topology
+        )
+        with pytest.raises(ValueError, match="shape"):
+            CongestionModel().predict(resolved, rates=[1.0])
+
+    def test_cache_hit_skips_the_computation(
+        self, instance, demand_payload, tmp_path, monkeypatch
+    ):
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(
+            instance.topology
+        )
+        cache = TrialCache(tmp_path)
+        model = CongestionModel()
+        cold = model.predict(resolved, cache=cache)
+        assert cold.method == "exact" and not cold.cached
+
+        # Any recomputation after the hit would blow up.
+        import repro.predict.model as model_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("cache hit recomputed the prediction")
+
+        monkeypatch.setattr(model_module, "exceedance_exact", boom)
+        monkeypatch.setattr(model_module, "exceedance_sample", boom)
+        warm = model.predict(resolved, cache=cache)
+        assert warm.cached
+        assert np.array_equal(warm.probability, cold.probability)
+        assert np.array_equal(warm.expected_load, cold.expected_load)
+        assert np.array_equal(
+            warm.expected_utilization, cold.expected_utilization
+        )
+
+    def test_cache_key_moves_with_rates_threshold_and_seed(
+        self, instance, demand_payload, tmp_path
+    ):
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(
+            instance.topology
+        )
+        cache = TrialCache(tmp_path)
+        model = CongestionModel()
+        model.predict(resolved, cache=cache)
+        shifted = model.predict(
+            resolved, rates=resolved.rates * 1.5, cache=cache
+        )
+        assert not shifted.cached  # rate perturbation = new key
+        other_threshold = CongestionModel(utilization_threshold=0.9)
+        assert not other_threshold.predict(resolved, cache=cache).cached
+        # Monte Carlo keys include the seed; exact keys do not.
+        mc_model = CongestionModel(exact_max_flows=0, mc_samples=200)
+        first = mc_model.predict(resolved, seed=1, cache=cache)
+        assert first.method == "monte-carlo" and not first.cached
+        assert mc_model.predict(resolved, seed=1, cache=cache).cached
+        assert not mc_model.predict(resolved, seed=2, cache=cache).cached
+
+    def test_exact_prediction_ignores_seed(self, instance, demand_payload):
+        resolved = DemandMatrix.from_payload(demand_payload).resolve(
+            instance.topology
+        )
+        model = CongestionModel()
+        one = model.predict(resolved, seed=1)
+        two = model.predict(resolved, seed=2)
+        assert np.array_equal(one.probability, two.probability)

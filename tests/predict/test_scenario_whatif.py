@@ -1,0 +1,204 @@
+"""WhatIfScenario, the whatif task runner, and the risk-shift sweep."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.eval.predict import render_risk_shift, risk_shift_sweep
+from repro.eval.scenario import make_clustered_scenario, resolve_per_set_range
+from repro.predict.demand import DemandMatrix, DemandShift
+from repro.predict.model import CongestionModel
+from repro.predict.scenario import WhatIfScenario, risk_ranking
+from repro.predict.tasks import run_whatif_task, whatif_vectors_to_result
+from repro.serve.queries import run_query
+from repro.simulate.experiment import ExperimentConfig, run_experiment
+
+#: Small probe window — the inference leg dominates test runtime.
+WINDOW = {"n_snapshots": 40, "packets_per_path": 150}
+
+
+@pytest.fixture(scope="module")
+def observations(instance):
+    scenario = make_clustered_scenario(
+        instance,
+        congested_fraction=0.10,
+        per_set_range=resolve_per_set_range("high"),
+        seed=3,
+    )
+    run = run_experiment(
+        instance.topology,
+        scenario.truth_model,
+        config=ExperimentConfig(**WINDOW),
+        seed=5,
+    )
+    return run.observations
+
+
+class TestRiskRanking:
+    def test_descending_with_id_tiebreak(self):
+        ranking = risk_ranking(np.array([0.2, 0.5, 0.5, 0.1]))
+        assert ranking.tolist() == [1, 2, 0, 3]
+
+
+class TestWhatIfScenario:
+    def test_shifts_default_to_the_demand_matrix_own(
+        self, instance, demand_payload
+    ):
+        demand = DemandMatrix.from_payload(demand_payload)
+        scenario = WhatIfScenario(instance, demand)
+        assert [shift.name for shift in scenario.shifts] == ["surge"]
+
+    def test_shiftless_demand_gets_the_identity_baseline(
+        self, instance, demand_payload
+    ):
+        demand_payload.pop("shifts")
+        demand = DemandMatrix.from_payload(demand_payload)
+        scenario = WhatIfScenario(instance, demand)
+        assert [shift.name for shift in scenario.shifts] == ["baseline"]
+        assert scenario.shifts[0].scale == 1.0
+
+    def test_duplicate_shift_names_rejected(self, instance, demand_payload):
+        demand = DemandMatrix.from_payload(demand_payload)
+        with pytest.raises(ValueError, match="duplicate"):
+            WhatIfScenario(
+                instance,
+                demand,
+                shifts=[DemandShift(name="s"), DemandShift(name="s")],
+            )
+
+    def test_unresolvable_demand_fails_at_construction(self, instance):
+        demand = DemandMatrix.from_payload(
+            {"flows": [{"name": "f", "rate": 1.0, "paths": [9_999]}]}
+        )
+        with pytest.raises(ValueError, match="flow 'f'"):
+            WhatIfScenario(instance, demand)
+
+    def test_evaluate_is_deterministic_and_self_consistent(
+        self, instance, demand_payload, observations
+    ):
+        demand = DemandMatrix.from_payload(demand_payload)
+        scenario = WhatIfScenario(instance, demand)
+        one = scenario.evaluate(observations, seed=7)
+        two = scenario.evaluate(observations, seed=7)
+        assert np.array_equal(one.current, two.current)
+        for risk_one, risk_two in zip(one.shifts, two.shifts):
+            assert np.array_equal(risk_one.combined, risk_two.combined)
+            assert np.array_equal(risk_one.ranking, risk_two.ranking)
+
+        risk = one.shift("surge")
+        expected = 1.0 - (1.0 - one.current) * (1.0 - risk.predicted)
+        assert np.allclose(risk.combined, expected, atol=1e-15)
+        assert np.array_equal(risk.ranking, risk_ranking(risk.combined))
+        assert risk.method == "exact"  # 3 flows < exact_max_flows
+        with pytest.raises(KeyError):
+            one.shift("no-such-shift")
+
+    def test_more_demand_means_no_less_predicted_risk(
+        self, instance, demand_payload, observations
+    ):
+        demand = DemandMatrix.from_payload(demand_payload)
+        scenario = WhatIfScenario(
+            instance,
+            demand,
+            shifts=[
+                DemandShift(name="x1", scale=1.0),
+                DemandShift(name="x2", scale=2.0),
+            ],
+            model=CongestionModel(),
+        )
+        result = scenario.evaluate(observations, seed=0)
+        low, high = result.shift("x1"), result.shift("x2")
+        assert np.all(high.predicted >= low.predicted - 1e-12)
+
+
+class TestTaskRunner:
+    def query(self, demand_payload, **overrides):
+        query = {
+            "kind": "whatif",
+            "demand": demand_payload,
+            "seed": 13,
+            **WINDOW,
+        }
+        query.update(overrides)
+        return query
+
+    def test_serial_and_pool_runs_are_bit_identical(
+        self, instance, demand_payload
+    ):
+        serial = run_query(instance, self.query(demand_payload))
+        pooled = run_query(instance, self.query(demand_payload), workers=2)
+        assert sorted(serial) == sorted(pooled)
+        for key, vector in serial.items():
+            assert np.array_equal(vector, pooled[key]), key
+
+    def test_result_reshapes_with_names(self, instance, demand_payload):
+        vectors = run_query(instance, self.query(demand_payload))
+        assert vectors["n_shifts"][0] == 1.0
+        result = whatif_vectors_to_result(vectors, shift_names=["surge"])
+        assert result["shifts"][0]["name"] == "surge"
+        assert result["shifts"][0]["scale"] == pytest.approx(1.6)
+        assert result["shifts"][0]["method"] == "exact"
+        assert result["shifts"][0]["ranking"].dtype.kind == "i"
+        assert len(result["current"]) == instance.topology.n_links
+        with pytest.raises(ValueError, match="names"):
+            whatif_vectors_to_result(vectors, shift_names=["a", "b"])
+
+    def test_explicit_shifts_override_the_matrix(
+        self, instance, demand_payload
+    ):
+        query = self.query(
+            demand_payload,
+            shifts=[
+                {"name": "a", "scale": 1.0},
+                {"name": "b", "scale": 2.5, "flows": {"f0": 0.5}},
+            ],
+        )
+        vectors = run_query(instance, query)
+        assert vectors["n_shifts"][0] == 2.0
+        assert vectors["shift0_scale"][0] == 1.0
+        assert vectors["shift1_scale"][0] == 2.5
+
+    def test_unknown_task_parameters_fail_loudly(self, instance):
+        task = SimpleNamespace(
+            factory_kwargs={
+                "demand": {"flows": [{"name": "f", "rate": 1.0, "paths": [0]}]},
+                "shifts": None,
+                "utilization_threshold": 0.85,
+                "exact_max_flows": 16,
+                "mc_samples": 100,
+                "congested_fraction": 0.10,
+                "per_set_range": (0.6, 0.9),
+                "n_snapshots": 10,
+                "packets_per_path": None,
+                "bogus": 1,
+            },
+            scenario_seed=0,
+            run_seed=0,
+        )
+        with pytest.raises(ValueError, match="bogus"):
+            run_whatif_task(instance, None, None, task)
+
+
+class TestRiskShiftSweep:
+    def test_sweep_points_and_rendering(self, instance, demand_payload):
+        result = risk_shift_sweep(
+            instance,
+            demand_payload,
+            scales=(1.0, 2.0),
+            n_trials=1,
+            seed=2,
+            **WINDOW,
+        )
+        assert [point.scale for point in result.points] == [1.0, 2.0]
+        # A doubled demand cannot predict less congestion.
+        assert (
+            result.points[1].mean_predicted
+            >= result.points[0].mean_predicted - 1e-12
+        )
+        assert result.metadata["n_flows"] == 3
+        rendered = render_risk_shift(result)
+        assert "shift scale" in rendered
+        assert "2" in rendered

@@ -1,0 +1,130 @@
+"""Property-based checks for the predict layer.
+
+The exact memoized evaluator is checked against full joint enumeration
+on arbitrary small flow sets, the Monte Carlo fallback against the
+exact answer, and demand fingerprints against arbitrary perturbations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predict.demand import DemandMatrix
+from repro.predict.model import (
+    exceedance_exact,
+    exceedance_naive,
+    exceedance_sample,
+)
+
+N_LINKS = 4
+
+rates_st = st.floats(
+    min_value=0.05, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+limits_st = st.floats(
+    min_value=0.1, max_value=4.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def flow_sets(draw, max_flows=6, max_candidates=3):
+    """(rates, incidences, limits) over a fixed small link set."""
+    n_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    rates = [draw(rates_st) for _ in range(n_flows)]
+    incidences = []
+    for _ in range(n_flows):
+        n_candidates = draw(st.integers(min_value=1, max_value=max_candidates))
+        rows = [
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=1),
+                    min_size=N_LINKS,
+                    max_size=N_LINKS,
+                )
+            )
+            for _ in range(n_candidates)
+        ]
+        incidences.append(np.array(rows, dtype=np.float64))
+    limits = [draw(limits_st) for _ in range(N_LINKS)]
+    return rates, incidences, limits
+
+
+@given(flow_sets())
+@settings(max_examples=60, deadline=None)
+def test_exact_matches_full_joint_enumeration(flow_set):
+    rates, incidences, limits = flow_set
+    exact = exceedance_exact(rates, incidences, limits)
+    naive = exceedance_naive(rates, incidences, limits)
+    assert np.allclose(exact, naive, atol=1e-12)
+    assert np.all((exact >= 0.0) & (exact <= 1.0))
+
+
+@given(flow_sets(max_flows=4))
+@settings(max_examples=15, deadline=None)
+def test_monte_carlo_converges_to_exact(flow_set):
+    rates, incidences, limits = flow_set
+    exact = exceedance_exact(rates, incidences, limits)
+    sampled = exceedance_sample(
+        rates,
+        incidences,
+        limits,
+        rng=np.random.default_rng(0),
+        n_samples=20_000,
+    )
+    # 20k Bernoulli samples: tol 0.03 is ~8.5 sigma at worst (p=0.5).
+    assert np.abs(exact - sampled).max() < 0.03
+
+
+@given(flow_sets())
+@settings(max_examples=40, deadline=None)
+def test_scaling_demand_up_never_reduces_risk(flow_set):
+    rates, incidences, limits = flow_set
+    base = exceedance_exact(rates, incidences, limits)
+    scaled = exceedance_exact(
+        [rate * 1.5 for rate in rates], incidences, limits
+    )
+    assert np.all(scaled >= base - 1e-12)
+
+
+@st.composite
+def demand_payloads(draw, max_flows=4):
+    n_flows = draw(st.integers(min_value=1, max_value=max_flows))
+    flows = []
+    for index in range(n_flows):
+        paths = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=9),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            )
+        )
+        flows.append(
+            {"name": f"f{index}", "rate": draw(rates_st), "paths": paths}
+        )
+    return {"flows": flows, "capacities": {"default": draw(limits_st)}}
+
+
+@given(demand_payloads(), st.data())
+@settings(max_examples=40, deadline=None)
+def test_fingerprint_separates_distinct_demands(payload, data):
+    base = DemandMatrix.from_payload(payload)
+    index = data.draw(
+        st.integers(min_value=0, max_value=len(payload["flows"]) - 1)
+    )
+    mutation = data.draw(st.sampled_from(["rate", "paths", "capacity"]))
+    if mutation == "rate":
+        payload["flows"][index]["rate"] += 0.25
+    elif mutation == "paths":
+        payload["flows"][index]["paths"] = [
+            ref + 10 for ref in payload["flows"][index]["paths"]
+        ]
+    else:
+        payload["capacities"]["default"] += 0.5
+    perturbed = DemandMatrix.from_payload(payload)
+    assert perturbed.fingerprint() != base.fingerprint()
+    # And the fingerprint is stable across payload round-trips.
+    replay = DemandMatrix.from_payload(perturbed.to_payload())
+    assert replay.fingerprint() == perturbed.fingerprint()

@@ -1,0 +1,155 @@
+"""The ``/whatif`` endpoint: service == batch bit-identity, validation.
+
+Pytest test dirs are not packages, so the small event-loop-thread
+harness is redefined here rather than imported from test_service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.client import ServiceClient, ServiceError
+from repro.serve.queries import decode_vectors, run_query
+from repro.serve.registry import instance_from_payload
+from repro.serve.server import TomographyService
+
+GENERATOR = {
+    "kind": "brite",
+    "n_ases": 12,
+    "routers_per_as": 3,
+    "n_paths": 30,
+    "seed": 7,
+}
+DEMAND = {
+    "flows": [
+        {"name": "f0", "rate": 6.0, "paths": [0, 1]},
+        {"name": "f1", "rate": 5.0, "paths": [1, 2]},
+        {"name": "f2", "rate": 4.0, "paths": [0, 2]},
+    ],
+    "capacities": {"default": 10.0},
+    "shifts": [{"name": "surge", "scale": 1.6}],
+}
+PARAMS = {"seed": 3, "n_snapshots": 30, "packets_per_path": 200}
+
+
+class ServiceHarness:
+    """A TomographyService on its own event-loop thread."""
+
+    def __init__(self, **knobs) -> None:
+        self.service = TomographyService(port=0, **knobs)
+        self.loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self.thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.service.start())
+        self._started.set()
+        self.loop.run_forever()
+
+    def __enter__(self) -> "ServiceHarness":
+        self.thread.start()
+        assert self._started.wait(timeout=30), "service failed to start"
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.shutdown(), self.loop
+        )
+        future.result(timeout=30)
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+    def client(self, **kwargs) -> ServiceClient:
+        return ServiceClient(port=self.service.port, **kwargs)
+
+
+@pytest.fixture(scope="module")
+def harness():
+    with ServiceHarness(flush_interval=0.01) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(harness):
+    with harness.client() as connected:
+        yield connected
+
+
+@pytest.fixture(scope="module")
+def fingerprint(client):
+    return client.load_topology(generator=GENERATOR)
+
+
+class TestWhatIfEndpoint:
+    def test_service_matches_batch_bit_for_bit(self, client, fingerprint):
+        served = client.whatif(fingerprint, DEMAND, **PARAMS)
+        batch = run_query(
+            instance_from_payload({"generator": GENERATOR}),
+            dict(PARAMS, kind="whatif", demand=DEMAND),
+        )
+        assert sorted(served) == sorted(batch)
+        for key, vector in batch.items():
+            assert np.array_equal(vector, served[key]), key
+
+    def test_sugar_route_matches_generic_query(self, client, fingerprint):
+        via_query = client.whatif(fingerprint, DEMAND, **PARAMS)
+        response = client.request(
+            "POST",
+            f"/topologies/{fingerprint}/whatif",
+            dict(PARAMS, demand=DEMAND),
+        )
+        via_sugar = decode_vectors(response["result"])
+        assert sorted(via_query) == sorted(via_sugar)
+        for key, vector in via_query.items():
+            assert np.array_equal(vector, via_sugar[key]), key
+
+    def test_repeat_queries_are_deterministic(self, client, fingerprint):
+        first = client.whatif(fingerprint, DEMAND, **PARAMS)
+        second = client.whatif(fingerprint, DEMAND, **PARAMS)
+        for key, vector in first.items():
+            assert np.array_equal(vector, second[key]), key
+
+    @pytest.mark.parametrize(
+        "query, match",
+        [
+            (dict(PARAMS, kind="whatif"), "demand"),
+            (
+                dict(PARAMS, kind="whatif", demand=DEMAND, bogus=1),
+                "bogus",
+            ),
+            (
+                dict(
+                    PARAMS,
+                    kind="whatif",
+                    demand={"flows": [{"name": "f", "rate": -1, "paths": [0]}]},
+                ),
+                "rate",
+            ),
+            (
+                dict(PARAMS, kind="whatif", demand=DEMAND, shifts=[]),
+                "shifts",
+            ),
+        ],
+    )
+    def test_malformed_queries_are_bad_requests(
+        self, client, fingerprint, query, match
+    ):
+        with pytest.raises(ServiceError) as excinfo:
+            client.query(fingerprint, query)
+        assert excinfo.value.status == 400
+        assert match in str(excinfo.value)
+
+    def test_unresolvable_demand_rejected_at_the_door(
+        self, client, fingerprint
+    ):
+        demand = {"flows": [{"name": "f", "rate": 1.0, "paths": [9_999]}]}
+        with pytest.raises(ServiceError) as excinfo:
+            client.whatif(fingerprint, demand, **PARAMS)
+        assert excinfo.value.status == 400
+        assert "flow 'f'" in str(excinfo.value)
